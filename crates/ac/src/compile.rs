@@ -1,0 +1,488 @@
+//! Compiling Bayesian networks into arithmetic circuits.
+//!
+//! The paper compiles its networks with the ACE tool; here compilation is
+//! done by *symbolic variable elimination*: factors hold AC node ids
+//! instead of numbers, so every multiplication/addition performed by
+//! variable elimination materializes as a product/sum node. The resulting
+//! circuit computes exactly the network polynomial
+//! `f(λ) = Σ_x Π θ_{x|u} λ_x` (paper §2): evaluating it with indicators
+//! set from evidence `e` yields `Pr(e)`.
+//!
+//! Elimination order is chosen with the min-degree heuristic on the
+//! interaction graph, which keeps intermediate factors (and therefore the
+//! circuit) small for the benchmark networks.
+
+use std::collections::BTreeSet;
+
+use problp_bayes::{BayesNet, NaiveBayes, VarId};
+
+use crate::error::AcError;
+use crate::graph::{AcGraph, NodeId};
+
+/// A symbolic factor: a table of AC node ids over a sorted set of
+/// variables.
+#[derive(Clone, Debug)]
+struct Factor {
+    /// Variable indices in strictly increasing order.
+    vars: Vec<usize>,
+    /// Row-major entries; the *last* variable in `vars` varies fastest.
+    entries: Vec<NodeId>,
+}
+
+impl Factor {
+    fn table_size(vars: &[usize], arities: &[usize]) -> usize {
+        vars.iter().map(|&v| arities[v]).product()
+    }
+
+    /// Flat index of `assignment` (parallel to `self.vars`).
+    fn index_of(&self, assignment: &[usize], arities: &[usize]) -> usize {
+        debug_assert_eq!(assignment.len(), self.vars.len());
+        let mut idx = 0usize;
+        for (i, &v) in self.vars.iter().enumerate() {
+            idx = idx * arities[v] + assignment[i];
+        }
+        idx
+    }
+}
+
+/// Iterates over all assignments of `vars` (mixed-radix counter), calling
+/// `visit` with each assignment.
+fn for_each_assignment(vars: &[usize], arities: &[usize], mut visit: impl FnMut(&[usize])) {
+    let mut assignment = vec![0usize; vars.len()];
+    loop {
+        visit(&assignment);
+        let mut i = vars.len();
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            assignment[i] += 1;
+            if assignment[i] < arities[vars[i]] {
+                break;
+            }
+            assignment[i] = 0;
+        }
+        if assignment.iter().all(|&a| a == 0) {
+            return;
+        }
+    }
+}
+
+/// Multiplies a set of factors symbolically: one n-ary product node per
+/// entry of the union table.
+fn multiply_all(
+    g: &mut AcGraph,
+    factors: &[Factor],
+    arities: &[usize],
+) -> Result<Factor, AcError> {
+    debug_assert!(!factors.is_empty());
+    if factors.len() == 1 {
+        return Ok(factors[0].clone());
+    }
+    let union: Vec<usize> = factors
+        .iter()
+        .flat_map(|f| f.vars.iter().copied())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let mut entries = Vec::with_capacity(Factor::table_size(&union, arities));
+    // Precompute, per factor, the positions of its vars within the union.
+    let positions: Vec<Vec<usize>> = factors
+        .iter()
+        .map(|f| {
+            f.vars
+                .iter()
+                .map(|v| union.binary_search(v).expect("var in union"))
+                .collect()
+        })
+        .collect();
+    let mut result: Result<(), AcError> = Ok(());
+    for_each_assignment(&union, arities, |assignment| {
+        if result.is_err() {
+            return;
+        }
+        let mut children = Vec::with_capacity(factors.len());
+        for (f, pos) in factors.iter().zip(&positions) {
+            let sub: Vec<usize> = pos.iter().map(|&p| assignment[p]).collect();
+            children.push(f.entries[f.index_of(&sub, arities)]);
+        }
+        match g.product(children) {
+            Ok(id) => entries.push(id),
+            Err(e) => result = Err(e),
+        }
+    });
+    result?;
+    Ok(Factor {
+        vars: union,
+        entries,
+    })
+}
+
+/// Sums variable `var` out of `factor`: one n-ary sum node per entry of the
+/// reduced table.
+fn sum_out(
+    g: &mut AcGraph,
+    factor: &Factor,
+    var: usize,
+    arities: &[usize],
+) -> Result<Factor, AcError> {
+    let pos = factor
+        .vars
+        .iter()
+        .position(|&v| v == var)
+        .expect("var present in factor");
+    let rest: Vec<usize> = factor
+        .vars
+        .iter()
+        .copied()
+        .filter(|&v| v != var)
+        .collect();
+    let mut entries = Vec::with_capacity(Factor::table_size(&rest, arities));
+    let mut result: Result<(), AcError> = Ok(());
+    for_each_assignment(&rest, arities, |assignment| {
+        if result.is_err() {
+            return;
+        }
+        let mut children = Vec::with_capacity(arities[var]);
+        for state in 0..arities[var] {
+            // Rebuild the full assignment with `var = state` spliced in.
+            let mut full = Vec::with_capacity(factor.vars.len());
+            full.extend_from_slice(&assignment[..pos]);
+            full.push(state);
+            full.extend_from_slice(&assignment[pos..]);
+            children.push(factor.entries[factor.index_of(&full, arities)]);
+        }
+        match g.sum(children) {
+            Ok(id) => entries.push(id),
+            Err(e) => result = Err(e),
+        }
+    });
+    result?;
+    Ok(Factor {
+        vars: rest,
+        entries,
+    })
+}
+
+/// Chooses a variable elimination order with the min-degree heuristic.
+fn min_degree_order(net: &BayesNet) -> Vec<usize> {
+    let n = net.var_count();
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    // Moralize: every CPT's family forms a clique.
+    for cpt in net.cpts() {
+        let mut family: Vec<usize> = cpt.parents().iter().map(|p| p.index()).collect();
+        family.push(cpt.var().index());
+        for i in 0..family.len() {
+            for j in (i + 1)..family.len() {
+                adj[family[i]].insert(family[j]);
+                adj[family[j]].insert(family[i]);
+            }
+        }
+    }
+    let mut remaining: BTreeSet<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let &best = remaining
+            .iter()
+            .min_by_key(|&&v| adj[v].len())
+            .expect("remaining non-empty");
+        // Connect the eliminated variable's neighbours.
+        let neighbours: Vec<usize> = adj[best].iter().copied().collect();
+        for i in 0..neighbours.len() {
+            for j in (i + 1)..neighbours.len() {
+                adj[neighbours[i]].insert(neighbours[j]);
+                adj[neighbours[j]].insert(neighbours[i]);
+            }
+        }
+        for &nb in &neighbours {
+            adj[nb].remove(&best);
+        }
+        adj[best].clear();
+        remaining.remove(&best);
+        order.push(best);
+    }
+    order
+}
+
+/// Compiles a Bayesian network into an arithmetic circuit computing its
+/// network polynomial.
+///
+/// The circuit has one indicator leaf per `(variable, state)` pair and one
+/// parameter leaf per distinct CPT value; evaluating it under evidence `e`
+/// yields `Pr(e)` (see [`AcGraph::evaluate`]).
+///
+/// # Errors
+///
+/// Propagates construction errors from the circuit builder (none occur for
+/// a validated [`BayesNet`]).
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::compile;
+/// use problp_bayes::{networks, Evidence};
+///
+/// let net = networks::sprinkler();
+/// let ac = compile(&net)?;
+/// let mut e = Evidence::empty(net.var_count());
+/// e.observe(net.find("WetGrass").unwrap(), 1);
+/// let pr = ac.evaluate(&e)?;
+/// assert!((pr - net.marginal(&e)).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(net: &BayesNet) -> Result<AcGraph, AcError> {
+    let arities: Vec<usize> = net.variables().iter().map(|v| v.arity()).collect();
+    let mut g = AcGraph::new(arities.clone());
+
+    let mut factors: Vec<Factor> = Vec::with_capacity(2 * net.var_count());
+    // Indicator factors λ_x.
+    for (v, &arity) in arities.iter().enumerate() {
+        let entries = (0..arity)
+            .map(|s| g.indicator(VarId::from_index(v), s))
+            .collect::<Result<Vec<_>, _>>()?;
+        factors.push(Factor {
+            vars: vec![v],
+            entries,
+        });
+    }
+    // CPT factors θ_{x|u}.
+    for cpt in net.cpts() {
+        let mut vars: Vec<usize> = cpt.parents().iter().map(|p| p.index()).collect();
+        vars.push(cpt.var().index());
+        vars.sort_unstable();
+        // Build entries in the sorted-vars order by translating each sorted
+        // assignment into the CPT's (parents..., child) coordinates.
+        let child = cpt.var().index();
+        let parent_order: Vec<usize> = cpt.parents().iter().map(|p| p.index()).collect();
+        let mut entries = Vec::with_capacity(Factor::table_size(&vars, &arities));
+        let mut err: Result<(), AcError> = Ok(());
+        for_each_assignment(&vars, &arities, |assignment| {
+            if err.is_err() {
+                return;
+            }
+            let state_of = |v: usize| {
+                let pos = vars.binary_search(&v).expect("var in factor");
+                assignment[pos]
+            };
+            let parent_states: Vec<usize> = parent_order.iter().map(|&p| state_of(p)).collect();
+            let p = cpt.probability(&parent_states, state_of(child));
+            match g.param(p) {
+                Ok(id) => entries.push(id),
+                Err(e) => err = Err(e),
+            }
+        });
+        err?;
+        factors.push(Factor { vars, entries });
+    }
+
+    // Eliminate every variable in min-degree order.
+    for var in min_degree_order(net) {
+        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) = factors
+            .into_iter()
+            .partition(|f| f.vars.contains(&var));
+        factors = rest;
+        debug_assert!(!mentioning.is_empty(), "every variable appears somewhere");
+        let product = multiply_all(&mut g, &mentioning, &arities)?;
+        let summed = sum_out(&mut g, &product, var, &arities)?;
+        factors.push(summed);
+    }
+
+    // All remaining factors are scalars; their product is the root.
+    let scalars: Vec<NodeId> = factors
+        .iter()
+        .map(|f| {
+            debug_assert!(f.vars.is_empty());
+            f.entries[0]
+        })
+        .collect();
+    let root = g.product(scalars)?;
+    g.set_root(root);
+    debug_assert!(g.validate().is_ok());
+    Ok(g)
+}
+
+/// Compiles a naive-Bayes classifier into the classic two-level AC
+/// `Σ_c λ_c θ_c Π_j (Σ_s λ_{js} θ_{js|c})` (paper §4's classifier
+/// benchmarks).
+///
+/// Produces the same polynomial as [`compile`] on the underlying network
+/// but with a guaranteed shallow, regular shape.
+///
+/// # Errors
+///
+/// Propagates construction errors from the circuit builder.
+pub fn compile_naive_bayes(nb: &NaiveBayes) -> Result<AcGraph, AcError> {
+    let net = nb.network();
+    let arities: Vec<usize> = net.variables().iter().map(|v| v.arity()).collect();
+    let mut g = AcGraph::new(arities.clone());
+    let class = nb.class_var();
+    let class_arity = net.variable(class).arity();
+
+    let mut class_terms = Vec::with_capacity(class_arity);
+    for c in 0..class_arity {
+        let mut children = Vec::with_capacity(2 + nb.feature_vars().len());
+        children.push(g.indicator(class, c)?);
+        children.push(g.param(net.cpt(class).probability(&[], c))?);
+        for &fv in nb.feature_vars() {
+            let fa = net.variable(fv).arity();
+            let mut terms = Vec::with_capacity(fa);
+            for s in 0..fa {
+                let lam = g.indicator(fv, s)?;
+                let theta = g.param(net.cpt(fv).probability(&[c], s))?;
+                terms.push(g.product(vec![lam, theta])?);
+            }
+            children.push(g.sum(terms)?);
+        }
+        class_terms.push(g.product(children)?);
+    }
+    let root = g.sum(class_terms)?;
+    g.set_root(root);
+    debug_assert!(g.validate().is_ok());
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_bayes::{networks, Evidence, LabeledDataset};
+
+    /// Exhaustively compares the compiled circuit against the enumeration
+    /// oracle on every complete and single-variable evidence.
+    fn check_against_oracle(net: &BayesNet) {
+        let ac = compile(net).unwrap();
+        assert!(ac.validate().is_ok());
+        // No evidence: the polynomial sums to 1.
+        let empty = Evidence::empty(net.var_count());
+        assert!(
+            (ac.evaluate(&empty).unwrap() - 1.0).abs() < 1e-9,
+            "polynomial at all-ones should be 1"
+        );
+        // Single-variable marginals.
+        for v in 0..net.var_count() {
+            let var = VarId::from_index(v);
+            for s in 0..net.variable(var).arity() {
+                let mut e = Evidence::empty(net.var_count());
+                e.observe(var, s);
+                let oracle = net.marginal(&e);
+                let got = ac.evaluate(&e).unwrap();
+                assert!(
+                    (oracle - got).abs() < 1e-9,
+                    "marginal of {var}={s}: oracle {oracle} vs ac {got}"
+                );
+            }
+        }
+        // A handful of complete assignments.
+        let mut assignment = vec![0usize; net.var_count()];
+        for trial in 0..8 {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = (trial + i) % net.variable(VarId::from_index(i)).arity();
+            }
+            let e = Evidence::from_assignment(&assignment);
+            let oracle = net.joint_probability(&assignment);
+            let got = ac.evaluate(&e).unwrap();
+            assert!(
+                (oracle - got).abs() < 1e-9,
+                "joint of {assignment:?}: oracle {oracle} vs ac {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_compiles_correctly() {
+        check_against_oracle(&networks::figure1());
+    }
+
+    #[test]
+    fn sprinkler_compiles_correctly() {
+        check_against_oracle(&networks::sprinkler());
+    }
+
+    #[test]
+    fn asia_compiles_correctly() {
+        check_against_oracle(&networks::asia());
+    }
+
+    #[test]
+    fn student_compiles_correctly() {
+        check_against_oracle(&networks::student());
+    }
+
+    #[test]
+    fn random_networks_compile_correctly() {
+        for seed in 0..10 {
+            check_against_oracle(&networks::random_network(seed, 7, 3, 3));
+        }
+    }
+
+    #[test]
+    fn alarm_compiles_and_normalizes() {
+        let net = networks::alarm(7);
+        let ac = compile(&net).unwrap();
+        assert!(ac.validate().is_ok());
+        let empty = Evidence::empty(net.var_count());
+        let total = ac.evaluate(&empty).unwrap();
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn mpe_matches_enumeration() {
+        for net in [networks::figure1(), networks::sprinkler(), networks::student()] {
+            let ac = compile(&net).unwrap();
+            let e = Evidence::empty(net.var_count());
+            let (_, oracle) = net.mpe(&e);
+            let got = ac.evaluate_mpe(&e).unwrap();
+            assert!((oracle - got).abs() < 1e-12, "oracle {oracle} vs {got}");
+        }
+    }
+
+    #[test]
+    fn naive_bayes_circuit_matches_generic_compiler() {
+        let ds = LabeledDataset::new(
+            vec![
+                vec![0, 1, 2],
+                vec![1, 0, 0],
+                vec![2, 1, 1],
+                vec![0, 0, 2],
+                vec![1, 1, 0],
+                vec![2, 0, 1],
+            ],
+            vec![0, 1, 0, 1, 0, 1],
+            vec![3, 2, 3],
+            2,
+        )
+        .unwrap();
+        let nb = NaiveBayes::fit(&ds, 1.0).unwrap();
+        let special = compile_naive_bayes(&nb).unwrap();
+        let generic = compile(nb.network()).unwrap();
+        let n = nb.network().var_count();
+        for v in 0..n {
+            let var = VarId::from_index(v);
+            for s in 0..nb.network().variable(var).arity() {
+                let mut e = Evidence::empty(n);
+                e.observe(var, s);
+                let a = special.evaluate(&e).unwrap();
+                let b = generic.evaluate(&e).unwrap();
+                assert!((a - b).abs() < 1e-12, "{var}={s}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_leaves_are_shared() {
+        let net = networks::sprinkler();
+        let ac = compile(&net).unwrap();
+        let stats = ac.stats();
+        // 4 binary variables -> exactly 8 indicators, each created once.
+        assert_eq!(stats.indicators, 8);
+    }
+
+    #[test]
+    fn min_degree_order_is_a_permutation() {
+        let net = networks::alarm(3);
+        let order = min_degree_order(&net);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..net.var_count()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for arithmetic-circuit construction and evaluation.
+
+/// Errors produced when building, transforming or evaluating an arithmetic
+/// circuit.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum AcError {
+    /// An operator node was created with no children.
+    EmptyOperator,
+    /// A child id referenced a node that does not exist (or does not
+    /// precede its parent in the arena).
+    InvalidChild {
+        /// The offending child index.
+        child: usize,
+    },
+    /// An indicator referenced a variable outside the circuit's scope.
+    VariableOutOfRange {
+        /// The variable index.
+        var: usize,
+        /// Number of variables in scope.
+        var_count: usize,
+    },
+    /// An indicator referenced a state outside its variable's arity.
+    StateOutOfRange {
+        /// The variable index.
+        var: usize,
+        /// The offending state.
+        state: usize,
+        /// The variable's arity.
+        arity: usize,
+    },
+    /// A parameter leaf held an invalid value (negative, NaN or infinite).
+    InvalidParameter {
+        /// The offending value.
+        value: f64,
+    },
+    /// The circuit has no root.
+    MissingRoot,
+    /// Evidence ranges over a different number of variables than the
+    /// circuit.
+    EvidenceLengthMismatch {
+        /// Variables in the evidence.
+        evidence: usize,
+        /// Variables in the circuit.
+        circuit: usize,
+    },
+}
+
+impl std::fmt::Display for AcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcError::EmptyOperator => write!(f, "operator nodes need at least one child"),
+            AcError::InvalidChild { child } => {
+                write!(f, "child id {child} does not reference an earlier node")
+            }
+            AcError::VariableOutOfRange { var, var_count } => {
+                write!(f, "variable {var} outside circuit scope of {var_count} variables")
+            }
+            AcError::StateOutOfRange { var, state, arity } => {
+                write!(f, "state {state} of variable {var} exceeds arity {arity}")
+            }
+            AcError::InvalidParameter { value } => {
+                write!(f, "parameter value {value} is not a finite non-negative number")
+            }
+            AcError::MissingRoot => write!(f, "the circuit has no root node"),
+            AcError::EvidenceLengthMismatch { evidence, circuit } => write!(
+                f,
+                "evidence over {evidence} variables but the circuit has {circuit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = AcError::StateOutOfRange {
+            var: 3,
+            state: 5,
+            arity: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('5') && s.contains('4'));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<AcError>();
+    }
+}

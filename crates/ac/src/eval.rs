@@ -1,0 +1,260 @@
+//! Arithmetic-circuit evaluation under pluggable number systems.
+//!
+//! Evaluation is a single forward pass over the arena (children always
+//! precede parents). The [`Semiring`] selects how sum nodes combine:
+//!
+//! * [`Semiring::SumProduct`] — ordinary evaluation (marginals, paper §2);
+//! * [`Semiring::MaxProduct`] — most probable explanation (paper §3.2.1);
+//! * [`Semiring::MinProduct`] — the *min-value analysis* of paper §3.1.4:
+//!   sums take the minimum over their non-zero children, yielding each
+//!   node's smallest positive achievable value when all indicators are 1.
+
+use problp_bayes::Evidence;
+use problp_num::{Arith, F64Arith};
+
+use crate::error::AcError;
+use crate::graph::{AcGraph, AcNode};
+
+/// How sum nodes are interpreted during evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Semiring {
+    /// Sums add: ordinary probability computation.
+    #[default]
+    SumProduct,
+    /// Sums take the maximum: max-product / MPE evaluation.
+    MaxProduct,
+    /// Sums take the minimum over non-zero children: min-value analysis.
+    MinProduct,
+}
+
+impl AcGraph {
+    /// Evaluates the circuit under the given arithmetic context and
+    /// semiring, returning the value of every node (indexed by node id).
+    ///
+    /// This is the instrumented entry point used by the max-value and
+    /// min-value analyses (paper §3.1.4), which need all internal values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcError::EvidenceLengthMismatch`] or
+    /// [`AcError::MissingRoot`].
+    pub fn evaluate_nodes<A: Arith>(
+        &self,
+        ctx: &mut A,
+        evidence: &Evidence,
+        semiring: Semiring,
+    ) -> Result<Vec<A::Value>, AcError> {
+        if self.root().is_none() {
+            return Err(AcError::MissingRoot);
+        }
+        if evidence.len() != self.var_count() {
+            return Err(AcError::EvidenceLengthMismatch {
+                evidence: evidence.len(),
+                circuit: self.var_count(),
+            });
+        }
+        let mut values: Vec<A::Value> = Vec::with_capacity(self.len());
+        for node in self.nodes() {
+            let value = match node {
+                AcNode::Param { value } => ctx.from_f64(*value),
+                AcNode::Indicator { var, state } => {
+                    ctx.from_f64(evidence.indicator(*var, *state))
+                }
+                AcNode::Product(children) => {
+                    let mut it = children.iter();
+                    let first = it.next().expect("validated operator");
+                    let mut acc = values[first.index()].clone();
+                    for c in it {
+                        acc = ctx.mul(&acc, &values[c.index()]);
+                    }
+                    acc
+                }
+                AcNode::Sum(children) => match semiring {
+                    Semiring::SumProduct => {
+                        let mut it = children.iter();
+                        let first = it.next().expect("validated operator");
+                        let mut acc = values[first.index()].clone();
+                        for c in it {
+                            acc = ctx.add(&acc, &values[c.index()]);
+                        }
+                        acc
+                    }
+                    Semiring::MaxProduct => {
+                        let mut it = children.iter();
+                        let first = it.next().expect("validated operator");
+                        let mut acc = values[first.index()].clone();
+                        for c in it {
+                            acc = ctx.max(&acc, &values[c.index()]);
+                        }
+                        acc
+                    }
+                    Semiring::MinProduct => {
+                        // Minimum over non-zero children; zero only if all
+                        // children are zero ("smallest positive non-zero
+                        // value", paper §3.1.4).
+                        let mut acc: Option<A::Value> = None;
+                        for c in children {
+                            let v = &values[c.index()];
+                            if ctx.to_f64(v) == 0.0 {
+                                continue;
+                            }
+                            acc = Some(match acc {
+                                None => v.clone(),
+                                Some(a) => ctx.min(&a, v),
+                            });
+                        }
+                        acc.unwrap_or_else(|| ctx.zero())
+                    }
+                },
+            };
+            values.push(value);
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the circuit under the given arithmetic context, returning
+    /// the root value.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AcGraph::evaluate_nodes`].
+    pub fn evaluate_with<A: Arith>(
+        &self,
+        ctx: &mut A,
+        evidence: &Evidence,
+        semiring: Semiring,
+    ) -> Result<A::Value, AcError> {
+        let values = self.evaluate_nodes(ctx, evidence, semiring)?;
+        let root = self.root().expect("checked by evaluate_nodes");
+        Ok(values[root.index()].clone())
+    }
+
+    /// Evaluates the circuit exactly (in `f64`) under the sum-product
+    /// semiring: the probability of the evidence, `Pr(e)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AcGraph::evaluate_nodes`].
+    pub fn evaluate(&self, evidence: &Evidence) -> Result<f64, AcError> {
+        self.evaluate_with(&mut F64Arith::new(), evidence, Semiring::SumProduct)
+    }
+
+    /// Evaluates the MPE value `max_x Pr(x, e)` exactly (in `f64`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AcGraph::evaluate_nodes`].
+    pub fn evaluate_mpe(&self, evidence: &Evidence) -> Result<f64, AcError> {
+        self.evaluate_with(&mut F64Arith::new(), evidence, Semiring::MaxProduct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_bayes::VarId;
+    use problp_num::{FixedArith, FixedFormat, FloatArith, FloatFormat};
+
+    /// λ_{a0}·0.3 + λ_{a1}·0.7, the single-variable network polynomial.
+    fn tiny() -> AcGraph {
+        let mut g = AcGraph::new(vec![2]);
+        let a0 = g.indicator(VarId::from_index(0), 0).unwrap();
+        let a1 = g.indicator(VarId::from_index(0), 1).unwrap();
+        let t0 = g.param(0.3).unwrap();
+        let t1 = g.param(0.7).unwrap();
+        let p0 = g.product(vec![a0, t0]).unwrap();
+        let p1 = g.product(vec![a1, t1]).unwrap();
+        let root = g.sum(vec![p0, p1]).unwrap();
+        g.set_root(root);
+        g
+    }
+
+    #[test]
+    fn sum_product_matches_hand_computation() {
+        let g = tiny();
+        let all = Evidence::empty(1);
+        assert_eq!(g.evaluate(&all).unwrap(), 1.0);
+        let mut e0 = Evidence::empty(1);
+        e0.observe(VarId::from_index(0), 0);
+        assert_eq!(g.evaluate(&e0).unwrap(), 0.3);
+    }
+
+    #[test]
+    fn max_product_takes_the_best_branch() {
+        let g = tiny();
+        let all = Evidence::empty(1);
+        assert_eq!(g.evaluate_mpe(&all).unwrap(), 0.7);
+        let mut e0 = Evidence::empty(1);
+        e0.observe(VarId::from_index(0), 0);
+        assert_eq!(g.evaluate_mpe(&e0).unwrap(), 0.3);
+    }
+
+    #[test]
+    fn min_product_skips_zero_children() {
+        let g = tiny();
+        let mut ctx = F64Arith::new();
+        let all = Evidence::empty(1);
+        let v = g
+            .evaluate_with(&mut ctx, &all, Semiring::MinProduct)
+            .unwrap();
+        assert_eq!(v, 0.3);
+        // With evidence a=1 the a0 branch is zero and must be skipped, not
+        // taken as the minimum.
+        let mut e1 = Evidence::empty(1);
+        e1.observe(VarId::from_index(0), 1);
+        let v = g
+            .evaluate_with(&mut ctx, &e1, Semiring::MinProduct)
+            .unwrap();
+        assert_eq!(v, 0.7);
+    }
+
+    #[test]
+    fn evaluate_nodes_returns_every_value() {
+        let g = tiny();
+        let mut ctx = F64Arith::new();
+        let all = Evidence::empty(1);
+        let values = g
+            .evaluate_nodes(&mut ctx, &all, Semiring::SumProduct)
+            .unwrap();
+        assert_eq!(values.len(), g.len());
+        assert_eq!(values[g.root().unwrap().index()], 1.0);
+        // Indicators evaluate to 1 with empty evidence.
+        assert_eq!(values[0], 1.0);
+    }
+
+    #[test]
+    fn low_precision_contexts_run_the_same_pass() {
+        let g = tiny();
+        let all = Evidence::empty(1);
+        let mut fx = FixedArith::new(FixedFormat::new(1, 12).unwrap());
+        let vfx = g
+            .evaluate_with(&mut fx, &all, Semiring::SumProduct)
+            .unwrap();
+        assert!((fx.to_f64(&vfx) - 1.0).abs() < 1e-3);
+        assert!(!fx.flags().range_violation());
+
+        let mut fl = FloatArith::new(FloatFormat::new(8, 12).unwrap());
+        let vfl = g
+            .evaluate_with(&mut fl, &all, Semiring::SumProduct)
+            .unwrap();
+        assert!((fl.to_f64(&vfl) - 1.0).abs() < 1e-3);
+        assert!(!fl.flags().range_violation());
+    }
+
+    #[test]
+    fn evidence_length_is_checked() {
+        let g = tiny();
+        let bad = Evidence::empty(3);
+        assert!(matches!(
+            g.evaluate(&bad).unwrap_err(),
+            AcError::EvidenceLengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let g = AcGraph::new(vec![2]);
+        let e = Evidence::empty(1);
+        assert_eq!(g.evaluate(&e).unwrap_err(), AcError::MissingRoot);
+    }
+}

@@ -1,0 +1,576 @@
+//! The arithmetic-circuit intermediate representation.
+//!
+//! An arithmetic circuit (AC) is a DAG of sums and products over two kinds
+//! of leaves (paper §2):
+//!
+//! * **parameters** `θ_{x|u}` — the network's conditional probabilities,
+//!   constant across evaluations;
+//! * **indicators** `λ_{x}` — 0/1 inputs derived from the evidence.
+//!
+//! The arena is append-only and children must precede parents, so the node
+//! index order is always a valid topological (evaluation) order.
+
+use std::collections::HashMap;
+
+use problp_bayes::VarId;
+
+use crate::error::AcError;
+
+/// Identifier of a node within an [`AcGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    #[inline]
+    pub const fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// The dense index of this node.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node of an arithmetic circuit.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AcNode {
+    /// An n-ary addition.
+    Sum(Vec<NodeId>),
+    /// An n-ary multiplication.
+    Product(Vec<NodeId>),
+    /// A constant parameter leaf `θ` (a conditional probability).
+    Param {
+        /// The parameter's value.
+        value: f64,
+    },
+    /// An indicator leaf `λ_{var = state}`, set from the evidence.
+    Indicator {
+        /// The indicator's variable.
+        var: VarId,
+        /// The indicated state.
+        state: usize,
+    },
+}
+
+impl AcNode {
+    /// The node's children (empty for leaves).
+    pub fn children(&self) -> &[NodeId] {
+        match self {
+            AcNode::Sum(c) | AcNode::Product(c) => c,
+            _ => &[],
+        }
+    }
+
+    /// Returns `true` for sum or product nodes.
+    pub const fn is_operator(&self) -> bool {
+        matches!(self, AcNode::Sum(_) | AcNode::Product(_))
+    }
+
+    /// Returns `true` for leaves.
+    pub const fn is_leaf(&self) -> bool {
+        !self.is_operator()
+    }
+}
+
+/// Aggregate statistics of an arithmetic circuit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AcStats {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Number of sum nodes.
+    pub sums: usize,
+    /// Number of product nodes.
+    pub products: usize,
+    /// Number of parameter leaves.
+    pub params: usize,
+    /// Number of indicator leaves.
+    pub indicators: usize,
+    /// Total number of child edges.
+    pub edges: usize,
+    /// Longest leaf-to-root path (leaves have depth 0).
+    pub depth: usize,
+    /// Largest operator fan-in.
+    pub max_fanin: usize,
+}
+
+impl std::fmt::Display for AcStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} sums, {} products, {} params, {} indicators), {} edges, depth {}, max fan-in {}",
+            self.nodes,
+            self.sums,
+            self.products,
+            self.params,
+            self.indicators,
+            self.edges,
+            self.depth,
+            self.max_fanin
+        )
+    }
+}
+
+/// An arithmetic circuit over a fixed set of discrete variables.
+///
+/// # Examples
+///
+/// Build the polynomial `λ_{a0}·θ + λ_{a1}·(1-θ)` by hand:
+///
+/// ```
+/// use problp_ac::{AcGraph, NodeId};
+/// use problp_bayes::{Evidence, VarId};
+///
+/// let mut g = AcGraph::new(vec![2]); // one binary variable
+/// let a0 = g.indicator(VarId::from_index(0), 0)?;
+/// let a1 = g.indicator(VarId::from_index(0), 1)?;
+/// let t0 = g.param(0.3)?;
+/// let t1 = g.param(0.7)?;
+/// let p0 = g.product(vec![a0, t0])?;
+/// let p1 = g.product(vec![a1, t1])?;
+/// let root = g.sum(vec![p0, p1])?;
+/// g.set_root(root);
+///
+/// let mut e = Evidence::empty(1);
+/// e.observe(VarId::from_index(0), 1);
+/// assert_eq!(g.evaluate(&e)?, 0.7);
+/// # Ok::<(), problp_ac::AcError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AcGraph {
+    nodes: Vec<AcNode>,
+    root: Option<NodeId>,
+    var_arities: Vec<usize>,
+    /// Hash-consing caches so identical leaves are shared.
+    param_cache: HashMap<u64, NodeId>,
+    indicator_cache: HashMap<(usize, usize), NodeId>,
+}
+
+impl AcGraph {
+    /// Creates an empty circuit over variables with the given arities.
+    pub fn new(var_arities: Vec<usize>) -> Self {
+        AcGraph {
+            nodes: Vec::new(),
+            root: None,
+            var_arities,
+            param_cache: HashMap::new(),
+            indicator_cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables in scope.
+    #[inline]
+    pub fn var_count(&self) -> usize {
+        self.var_arities.len()
+    }
+
+    /// Arities of the variables in scope.
+    #[inline]
+    pub fn var_arities(&self) -> &[usize] {
+        &self.var_arities
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the circuit has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &AcNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in arena (= topological) order.
+    pub fn nodes(&self) -> &[AcNode] {
+        &self.nodes
+    }
+
+    /// The root node, if set.
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Sets the root node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is out of range.
+    pub fn set_root(&mut self, root: NodeId) {
+        assert!(root.index() < self.nodes.len(), "root out of range");
+        self.root = Some(root);
+    }
+
+    /// Adds (or reuses) a parameter leaf with the given value.
+    ///
+    /// Identical values share one leaf (hash-consing), mirroring how
+    /// hardware stores each distinct constant once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcError::InvalidParameter`] for negative, NaN or infinite
+    /// values.
+    pub fn param(&mut self, value: f64) -> Result<NodeId, AcError> {
+        if !value.is_finite() || value < 0.0 {
+            return Err(AcError::InvalidParameter { value });
+        }
+        if let Some(&id) = self.param_cache.get(&value.to_bits()) {
+            return Ok(id);
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(AcNode::Param { value });
+        self.param_cache.insert(value.to_bits(), id);
+        Ok(id)
+    }
+
+    /// Adds (or reuses) the indicator leaf `λ_{var = state}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcError::VariableOutOfRange`] / [`AcError::StateOutOfRange`]
+    /// for indices outside the circuit's scope.
+    pub fn indicator(&mut self, var: VarId, state: usize) -> Result<NodeId, AcError> {
+        let v = var.index();
+        if v >= self.var_arities.len() {
+            return Err(AcError::VariableOutOfRange {
+                var: v,
+                var_count: self.var_arities.len(),
+            });
+        }
+        if state >= self.var_arities[v] {
+            return Err(AcError::StateOutOfRange {
+                var: v,
+                state,
+                arity: self.var_arities[v],
+            });
+        }
+        if let Some(&id) = self.indicator_cache.get(&(v, state)) {
+            return Ok(id);
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(AcNode::Indicator { var, state });
+        self.indicator_cache.insert((v, state), id);
+        Ok(id)
+    }
+
+    fn check_children(&self, children: &[NodeId]) -> Result<(), AcError> {
+        if children.is_empty() {
+            return Err(AcError::EmptyOperator);
+        }
+        for c in children {
+            if c.index() >= self.nodes.len() {
+                return Err(AcError::InvalidChild { child: c.index() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a sum node. A single-child sum is elided (the child id is
+    /// returned directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcError::EmptyOperator`] or [`AcError::InvalidChild`].
+    pub fn sum(&mut self, children: Vec<NodeId>) -> Result<NodeId, AcError> {
+        self.check_children(&children)?;
+        if children.len() == 1 {
+            return Ok(children[0]);
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(AcNode::Sum(children));
+        Ok(id)
+    }
+
+    /// Adds a product node. A single-child product is elided.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcError::EmptyOperator`] or [`AcError::InvalidChild`].
+    pub fn product(&mut self, children: Vec<NodeId>) -> Result<NodeId, AcError> {
+        self.check_children(&children)?;
+        if children.len() == 1 {
+            return Ok(children[0]);
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(AcNode::Product(children));
+        Ok(id)
+    }
+
+    /// Checks structural invariants: a root exists, children precede
+    /// parents, leaves are within scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), AcError> {
+        if self.root.is_none() {
+            return Err(AcError::MissingRoot);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                AcNode::Sum(c) | AcNode::Product(c) => {
+                    if c.is_empty() {
+                        return Err(AcError::EmptyOperator);
+                    }
+                    for ch in c {
+                        if ch.index() >= i {
+                            return Err(AcError::InvalidChild { child: ch.index() });
+                        }
+                    }
+                }
+                AcNode::Indicator { var, state } => {
+                    let v = var.index();
+                    if v >= self.var_arities.len() {
+                        return Err(AcError::VariableOutOfRange {
+                            var: v,
+                            var_count: self.var_arities.len(),
+                        });
+                    }
+                    if *state >= self.var_arities[v] {
+                        return Err(AcError::StateOutOfRange {
+                            var: v,
+                            state: *state,
+                            arity: self.var_arities[v],
+                        });
+                    }
+                }
+                AcNode::Param { value } => {
+                    if !value.is_finite() || *value < 0.0 {
+                        return Err(AcError::InvalidParameter { value: *value });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if every operator has at most two inputs (hardware
+    /// form, see [`crate::transform::binarize`]).
+    pub fn is_binary(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.children().len() <= 2)
+    }
+
+    /// Computes aggregate statistics.
+    pub fn stats(&self) -> AcStats {
+        let mut stats = AcStats {
+            nodes: self.nodes.len(),
+            ..AcStats::default()
+        };
+        let mut depths = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                AcNode::Sum(c) => {
+                    stats.sums += 1;
+                    stats.edges += c.len();
+                    stats.max_fanin = stats.max_fanin.max(c.len());
+                    depths[i] = 1 + c.iter().map(|ch| depths[ch.index()]).max().unwrap_or(0);
+                }
+                AcNode::Product(c) => {
+                    stats.products += 1;
+                    stats.edges += c.len();
+                    stats.max_fanin = stats.max_fanin.max(c.len());
+                    depths[i] = 1 + c.iter().map(|ch| depths[ch.index()]).max().unwrap_or(0);
+                }
+                AcNode::Param { .. } => stats.params += 1,
+                AcNode::Indicator { .. } => stats.indicators += 1,
+            }
+            stats.depth = stats.depth.max(depths[i]);
+        }
+        stats
+    }
+
+    /// Renders the circuit in Graphviz DOT format (sums as `+`, products
+    /// as `×`, parameters as their value, indicators as `λ_{var,state}`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use problp_ac::compile;
+    /// use problp_bayes::networks;
+    ///
+    /// let ac = compile(&networks::figure1())?;
+    /// let dot = ac.to_dot();
+    /// assert!(dot.starts_with("digraph ac {"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph ac {\n  rankdir=BT;\n");
+        for (i, node) in self.nodes.iter().enumerate() {
+            let (label, shape) = match node {
+                AcNode::Sum(_) => ("+".to_string(), "circle"),
+                AcNode::Product(_) => ("\u{00d7}".to_string(), "circle"),
+                AcNode::Param { value } => (format!("{value:.4}"), "box"),
+                AcNode::Indicator { var, state } => {
+                    (format!("\u{03bb}_{{{},{}}}", var.index(), state), "box")
+                }
+            };
+            out.push_str(&format!("  n{i} [label=\"{label}\", shape={shape}];\n"));
+            for c in node.children() {
+                out.push_str(&format!("  n{} -> n{i};\n", c.index()));
+            }
+        }
+        if let Some(root) = self.root {
+            out.push_str(&format!("  n{} [penwidth=2];\n", root.index()));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The ids of all nodes reachable from the root (in arena order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no root.
+    pub fn reachable(&self) -> Vec<bool> {
+        let root = self.root.expect("circuit has no root");
+        let mut mark = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if mark[id.index()] {
+                continue;
+            }
+            mark[id.index()] = true;
+            for &c in self.node(id).children() {
+                if !mark[c.index()] {
+                    stack.push(c);
+                }
+            }
+        }
+        mark
+    }
+}
+
+impl std::fmt::Display for AcGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AcGraph({})", self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn leaves_are_hash_consed() {
+        let mut g = AcGraph::new(vec![2]);
+        let p1 = g.param(0.25).unwrap();
+        let p2 = g.param(0.25).unwrap();
+        assert_eq!(p1, p2);
+        let i1 = g.indicator(v(0), 1).unwrap();
+        let i2 = g.indicator(v(0), 1).unwrap();
+        assert_eq!(i1, i2);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn single_child_operators_are_elided() {
+        let mut g = AcGraph::new(vec![2]);
+        let p = g.param(0.5).unwrap();
+        assert_eq!(g.sum(vec![p]).unwrap(), p);
+        assert_eq!(g.product(vec![p]).unwrap(), p);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn invalid_leaves_are_rejected() {
+        let mut g = AcGraph::new(vec![2]);
+        assert!(matches!(
+            g.param(-0.1).unwrap_err(),
+            AcError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            g.param(f64::NAN).unwrap_err(),
+            AcError::InvalidParameter { .. }
+        ));
+        assert!(matches!(
+            g.indicator(v(1), 0).unwrap_err(),
+            AcError::VariableOutOfRange { .. }
+        ));
+        assert!(matches!(
+            g.indicator(v(0), 2).unwrap_err(),
+            AcError::StateOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_operators_are_rejected() {
+        let mut g = AcGraph::new(vec![2]);
+        assert_eq!(g.sum(vec![]).unwrap_err(), AcError::EmptyOperator);
+        assert_eq!(g.product(vec![]).unwrap_err(), AcError::EmptyOperator);
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let mut g = AcGraph::new(vec![2, 2]);
+        let a = g.indicator(v(0), 0).unwrap();
+        let b = g.indicator(v(1), 0).unwrap();
+        let p = g.param(0.5).unwrap();
+        let m = g.product(vec![a, b, p]).unwrap();
+        let s = g.sum(vec![m, p]).unwrap();
+        g.set_root(s);
+        let st = g.stats();
+        assert_eq!(st.nodes, 5);
+        assert_eq!(st.sums, 1);
+        assert_eq!(st.products, 1);
+        assert_eq!(st.params, 1);
+        assert_eq!(st.indicators, 2);
+        assert_eq!(st.edges, 5);
+        assert_eq!(st.depth, 2);
+        assert_eq!(st.max_fanin, 3);
+        assert!(!g.is_binary());
+    }
+
+    #[test]
+    fn validation_catches_missing_root() {
+        let mut g = AcGraph::new(vec![2]);
+        let _ = g.param(0.5).unwrap();
+        assert_eq!(g.validate().unwrap_err(), AcError::MissingRoot);
+    }
+
+    #[test]
+    fn validation_passes_for_well_formed_graphs() {
+        let mut g = AcGraph::new(vec![2]);
+        let a = g.indicator(v(0), 0).unwrap();
+        let p = g.param(0.5).unwrap();
+        let m = g.product(vec![a, p]).unwrap();
+        g.set_root(m);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn reachable_marks_live_nodes() {
+        let mut g = AcGraph::new(vec![2]);
+        let a = g.indicator(v(0), 0).unwrap();
+        let p = g.param(0.5).unwrap();
+        let dead = g.param(0.75).unwrap();
+        let m = g.product(vec![a, p]).unwrap();
+        g.set_root(m);
+        let mark = g.reachable();
+        assert!(mark[a.index()] && mark[p.index()] && mark[m.index()]);
+        assert!(!mark[dead.index()]);
+    }
+}

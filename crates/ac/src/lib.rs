@@ -1,0 +1,59 @@
+//! # problp-ac — arithmetic circuits for ProbLP
+//!
+//! Arithmetic circuits (ACs, also known as sum-product networks) are the
+//! computational representation ProbLP designs hardware for (paper §2).
+//! This crate provides:
+//!
+//! * the circuit IR ([`AcGraph`], [`AcNode`], [`NodeId`]) with validation
+//!   and statistics,
+//! * evaluation under any [`problp_num::Arith`] number system and any
+//!   [`Semiring`] (sum-product, max-product for MPE, min-product for the
+//!   min-value analysis),
+//! * a Bayesian-network-to-AC compiler based on symbolic variable
+//!   elimination ([`compile`]) plus the specialised naive-Bayes form
+//!   ([`compile_naive_bayes`]) — the stand-in for the ACE tool used by the
+//!   paper (see `DESIGN.md`),
+//! * hardware-oriented transformations ([`transform::binarize`],
+//!   [`transform::prune`]).
+//!
+//! # Examples
+//!
+//! Compile a network and evaluate a marginal in 10-bit fixed point:
+//!
+//! ```
+//! use problp_ac::{compile, transform::binarize, Semiring};
+//! use problp_bayes::{networks, Evidence};
+//! use problp_num::{Arith, FixedArith, FixedFormat};
+//!
+//! let net = networks::sprinkler();
+//! let ac = binarize(&compile(&net)?)?;
+//!
+//! let mut e = Evidence::empty(net.var_count());
+//! e.observe(net.find("Rain").unwrap(), 1);
+//!
+//! let exact = ac.evaluate(&e)?;
+//! let mut lp = FixedArith::new(FixedFormat::new(1, 10)?);
+//! let approx = ac.evaluate_with(&mut lp, &e, Semiring::SumProduct)?;
+//! assert!((exact - lp.to_f64(&approx)).abs() < 1e-2);
+//! assert!(!lp.flags().range_violation());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compile;
+mod diff;
+mod error;
+mod eval;
+mod graph;
+mod mpe;
+mod optimize;
+pub mod transform;
+
+pub use compile::{compile, compile_naive_bayes};
+pub use diff::{AcDerivatives, ParameterSensitivity};
+pub use error::AcError;
+pub use eval::Semiring;
+pub use graph::{AcGraph, AcNode, AcStats, NodeId};
+pub use optimize::{optimize, OptimizeStats};

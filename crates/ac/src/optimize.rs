@@ -1,0 +1,353 @@
+//! Circuit optimisation: constant folding and common-subexpression
+//! elimination.
+//!
+//! The ACE compiler used by the paper produces heavily shared d-DNNF
+//! circuits; the plain variable-elimination compiler in this crate leaves
+//! some redundancy behind. This pass recovers part of the gap:
+//!
+//! * **constant folding** — products with a zero-parameter child collapse
+//!   to zero (deterministic CPT entries), multiplications by the constant
+//!   one disappear, sums drop zero-valued children, and operators whose
+//!   children are all constants fold into a single parameter leaf;
+//! * **common-subexpression elimination** — structurally identical
+//!   operators (same kind, same multiset of children) are shared.
+//!
+//! The optimised circuit computes the same polynomial for *every*
+//! indicator input (verified by property tests), so all error-bound
+//! machinery applies unchanged — with smaller constants, since fewer
+//! operators mean fewer roundings.
+
+use std::collections::HashMap;
+
+use crate::error::AcError;
+use crate::graph::{AcGraph, AcNode, NodeId};
+
+/// What a node rewrites to during optimisation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Rewrite {
+    /// The node became this id in the output graph.
+    Node(NodeId),
+    /// The node is the constant zero (dropped from sums, absorbs
+    /// products).
+    Zero,
+}
+
+/// Statistics of an optimisation pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OptimizeStats {
+    /// Nodes in the input circuit.
+    pub nodes_before: usize,
+    /// Nodes in the optimised circuit.
+    pub nodes_after: usize,
+    /// Operators eliminated by constant folding.
+    pub folded: usize,
+    /// Operators eliminated by common-subexpression elimination.
+    pub shared: usize,
+}
+
+impl std::fmt::Display for OptimizeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} -> {} nodes ({} folded, {} shared)",
+            self.nodes_before, self.nodes_after, self.folded, self.shared
+        )
+    }
+}
+
+/// Key for structural sharing of operators: kind + sorted children.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct OpKey {
+    is_sum: bool,
+    children: Vec<NodeId>,
+}
+
+/// Optimises a circuit by constant folding and common-subexpression
+/// elimination, returning the rewritten circuit and statistics.
+///
+/// The output circuit computes the same value as the input for every
+/// evidence. Zero-collapsing can remove indicator leaves entirely when a
+/// deterministic CPT makes a branch structurally impossible; if the whole
+/// circuit is the constant zero, a single zero-parameter root remains.
+///
+/// # Errors
+///
+/// Returns [`AcError::MissingRoot`] if the circuit has no root.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, optimize, transform::binarize};
+/// use problp_bayes::{networks, Evidence};
+///
+/// // Asia has deterministic CPT rows (the OR gate): folding shrinks it.
+/// let net = networks::asia();
+/// let ac = compile(&net)?;
+/// let (opt, stats) = optimize(&ac)?;
+/// assert!(stats.nodes_after < stats.nodes_before);
+/// let e = Evidence::empty(net.var_count());
+/// assert!((opt.evaluate(&e)? - ac.evaluate(&e)?).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize(g: &AcGraph) -> Result<(AcGraph, OptimizeStats), AcError> {
+    let root = g.root().ok_or(AcError::MissingRoot)?;
+    let reachable = g.reachable();
+    let mut out = AcGraph::new(g.var_arities().to_vec());
+    let mut rewrites: Vec<Option<Rewrite>> = vec![None; g.len()];
+    let mut op_cache: HashMap<OpKey, NodeId> = HashMap::new();
+    let mut stats = OptimizeStats {
+        nodes_before: g.stats().nodes,
+        ..OptimizeStats::default()
+    };
+
+    // The constant one: multiplications by it are identities.
+    let mut one_id: Option<NodeId> = None;
+
+    for (i, node) in g.nodes().iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let rewrite = match node {
+            AcNode::Param { value } => {
+                if *value == 0.0 {
+                    Rewrite::Zero
+                } else {
+                    let id = out.param(*value)?;
+                    if *value == 1.0 {
+                        one_id = Some(id);
+                    }
+                    Rewrite::Node(id)
+                }
+            }
+            AcNode::Indicator { var, state } => Rewrite::Node(out.indicator(*var, *state)?),
+            AcNode::Product(children) => {
+                let mut mapped = Vec::with_capacity(children.len());
+                let mut is_zero = false;
+                for c in children {
+                    match rewrites[c.index()].expect("children precede parents") {
+                        Rewrite::Zero => {
+                            is_zero = true;
+                            break;
+                        }
+                        Rewrite::Node(id) => {
+                            // Multiplying by the constant one is an identity.
+                            if Some(id) == one_id {
+                                stats.folded += 1;
+                                continue;
+                            }
+                            mapped.push(id);
+                        }
+                    }
+                }
+                if is_zero {
+                    stats.folded += 1;
+                    Rewrite::Zero
+                } else if mapped.is_empty() {
+                    // All children were ones.
+                    Rewrite::Node(one_id.expect("ones were seen"))
+                } else {
+                    intern_op(&mut out, &mut op_cache, &mut stats, false, mapped)?
+                }
+            }
+            AcNode::Sum(children) => {
+                let mut mapped = Vec::with_capacity(children.len());
+                for c in children {
+                    match rewrites[c.index()].expect("children precede parents") {
+                        Rewrite::Zero => {
+                            // Adding zero is an identity.
+                            stats.folded += 1;
+                        }
+                        Rewrite::Node(id) => mapped.push(id),
+                    }
+                }
+                if mapped.is_empty() {
+                    Rewrite::Zero
+                } else {
+                    intern_op(&mut out, &mut op_cache, &mut stats, true, mapped)?
+                }
+            }
+        };
+        rewrites[i] = Some(rewrite);
+    }
+
+    let new_root = match rewrites[root.index()].expect("root processed") {
+        Rewrite::Node(id) => id,
+        Rewrite::Zero => out.param(0.0)?,
+    };
+    out.set_root(new_root);
+    stats.nodes_after = out.stats().nodes;
+    Ok((out, stats))
+}
+
+/// Interns an operator node, sharing structurally identical ones.
+fn intern_op(
+    out: &mut AcGraph,
+    cache: &mut HashMap<OpKey, NodeId>,
+    stats: &mut OptimizeStats,
+    is_sum: bool,
+    children: Vec<NodeId>,
+) -> Result<Rewrite, AcError> {
+    // Sums and products are commutative: canonicalize the child order so
+    // permutations share (folding duplicate children would be wrong —
+    // x * x is not x).
+    let mut key_children = children.clone();
+    key_children.sort_unstable();
+    let key = OpKey {
+        is_sum,
+        children: key_children,
+    };
+    if let Some(&id) = cache.get(&key) {
+        stats.shared += 1;
+        return Ok(Rewrite::Node(id));
+    }
+    let id = if is_sum {
+        out.sum(children)?
+    } else {
+        out.product(children)?
+    };
+    cache.insert(key, id);
+    Ok(Rewrite::Node(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::transform::binarize;
+    use problp_bayes::{networks, Evidence, VarId};
+
+    fn equivalent_on_all_single_evidences(a: &AcGraph, b: &AcGraph, net: &problp_bayes::BayesNet) {
+        let empty = Evidence::empty(net.var_count());
+        assert!(
+            (a.evaluate(&empty).unwrap() - b.evaluate(&empty).unwrap()).abs() < 1e-12
+        );
+        for v in 0..net.var_count() {
+            for s in 0..net.variable(VarId::from_index(v)).arity() {
+                let mut e = Evidence::empty(net.var_count());
+                e.observe(VarId::from_index(v), s);
+                let va = a.evaluate(&e).unwrap();
+                let vb = b.evaluate(&e).unwrap();
+                assert!((va - vb).abs() < 1e-12, "{v}/{s}: {va} vs {vb}");
+            }
+        }
+    }
+
+    #[test]
+    fn asia_folds_deterministic_branches() {
+        // Asia's OR gate has 0.0/1.0 entries: folding must shrink it.
+        let net = networks::asia();
+        let ac = compile(&net).unwrap();
+        let (opt, stats) = optimize(&ac).unwrap();
+        assert!(stats.nodes_after < stats.nodes_before, "{stats}");
+        assert!(stats.folded > 0);
+        assert!(opt.validate().is_ok());
+        equivalent_on_all_single_evidences(&ac, &opt, &net);
+    }
+
+    #[test]
+    fn sprinkler_keeps_its_value() {
+        let net = networks::sprinkler();
+        let ac = compile(&net).unwrap();
+        let (opt, _) = optimize(&ac).unwrap();
+        equivalent_on_all_single_evidences(&ac, &opt, &net);
+    }
+
+    #[test]
+    fn alarm_optimizes_without_changing_the_polynomial() {
+        let net = networks::alarm(7);
+        let ac = compile(&net).unwrap();
+        let (opt, stats) = optimize(&ac).unwrap();
+        // Dirichlet CPTs have no zeros and VE rarely duplicates structure,
+        // so alarm mostly passes through — but never grows.
+        assert!(stats.nodes_after <= stats.nodes_before, "{stats}");
+        let e = Evidence::empty(net.var_count());
+        assert!((opt.evaluate(&e).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimized_circuits_binarize_and_bound() {
+        let net = networks::asia();
+        let ac = compile(&net).unwrap();
+        let (opt, _) = optimize(&ac).unwrap();
+        let bin = binarize(&opt).unwrap();
+        assert!(bin.is_binary());
+        equivalent_on_all_single_evidences(&bin, &ac, &net);
+    }
+
+    #[test]
+    fn random_networks_are_preserved() {
+        for seed in 0..8 {
+            let net = networks::random_network(seed, 7, 3, 3);
+            let ac = compile(&net).unwrap();
+            let (opt, _) = optimize(&ac).unwrap();
+            equivalent_on_all_single_evidences(&ac, &opt, &net);
+        }
+    }
+
+    #[test]
+    fn all_zero_circuit_folds_to_zero_root() {
+        let mut g = AcGraph::new(vec![2]);
+        let z = g.param(0.0).unwrap();
+        let l = g.indicator(VarId::from_index(0), 0).unwrap();
+        let p = g.product(vec![z, l]).unwrap();
+        g.set_root(p);
+        let (opt, _) = optimize(&g).unwrap();
+        let e = Evidence::empty(1);
+        assert_eq!(opt.evaluate(&e).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn multiplication_by_one_is_elided() {
+        let mut g = AcGraph::new(vec![2]);
+        let one = g.param(1.0).unwrap();
+        let l = g.indicator(VarId::from_index(0), 0).unwrap();
+        let t = g.param(0.5).unwrap();
+        let p1 = g.product(vec![one, l]).unwrap();
+        let p2 = g.product(vec![p1, t]).unwrap();
+        g.set_root(p2);
+        let (opt, stats) = optimize(&g).unwrap();
+        assert!(stats.folded >= 1);
+        // One product suffices: λ * 0.5.
+        assert_eq!(opt.stats().products, 1);
+        let mut e = Evidence::empty(1);
+        e.observe(VarId::from_index(0), 0);
+        assert_eq!(opt.evaluate(&e).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn duplicate_children_are_not_merged() {
+        // x * x must stay a two-child product (squaring, not identity).
+        let mut g = AcGraph::new(vec![2]);
+        let t = g.param(0.5).unwrap();
+        let p = g.product(vec![t, t]).unwrap();
+        g.set_root(p);
+        let (opt, _) = optimize(&g).unwrap();
+        let e = Evidence::empty(1);
+        assert_eq!(opt.evaluate(&e).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn identical_operators_are_shared() {
+        let mut g = AcGraph::new(vec![2]);
+        let a = g.indicator(VarId::from_index(0), 0).unwrap();
+        let b = g.indicator(VarId::from_index(0), 1).unwrap();
+        // Build the same sum twice without the builder noticing.
+        let s1 = g.sum(vec![a, b]).unwrap();
+        let s2 = g.sum(vec![b, a]).unwrap(); // permuted: still the same sum
+        let p = g.product(vec![s1, s2]).unwrap();
+        g.set_root(p);
+        assert_ne!(s1, s2);
+        let (opt, stats) = optimize(&g).unwrap();
+        assert_eq!(stats.shared, 1);
+        // The product now squares one shared sum.
+        assert_eq!(opt.stats().sums, 1);
+        let e = Evidence::empty(1);
+        assert_eq!(opt.evaluate(&e).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn missing_root_is_reported() {
+        let g = AcGraph::new(vec![2]);
+        assert!(matches!(optimize(&g).unwrap_err(), AcError::MissingRoot));
+    }
+}

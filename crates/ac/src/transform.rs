@@ -1,0 +1,292 @@
+//! Circuit transformations: binarization and pruning.
+//!
+//! ProbLP's hardware generator decomposes every operator with more than two
+//! inputs into a tree of two-input operators (paper §3.4, Fig. 4); the
+//! error analysis runs on the same binarized circuit because the paper's
+//! error models are per-two-input-operator.
+
+use crate::error::AcError;
+use crate::graph::{AcGraph, AcNode, NodeId};
+
+/// Reduces `children` to a single node by pairing adjacent nodes into a
+/// balanced tree of 2-input operators.
+fn balanced_reduce(
+    g: &mut AcGraph,
+    mut layer: Vec<NodeId>,
+    make: impl Fn(&mut AcGraph, Vec<NodeId>) -> Result<NodeId, AcError>,
+) -> Result<NodeId, AcError> {
+    debug_assert!(!layer.is_empty());
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut i = 0;
+        while i + 1 < layer.len() {
+            next.push(make(g, vec![layer[i], layer[i + 1]])?);
+            i += 2;
+        }
+        if i < layer.len() {
+            next.push(layer[i]);
+        }
+        layer = next;
+    }
+    Ok(layer[0])
+}
+
+/// Rewrites the circuit so that every operator has exactly two inputs,
+/// decomposing wider operators into balanced trees (paper Fig. 4).
+///
+/// The rewritten circuit computes the same polynomial; only reachable
+/// nodes are kept.
+///
+/// # Errors
+///
+/// Returns [`AcError::MissingRoot`] if the circuit has no root.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, transform::binarize};
+/// use problp_bayes::{networks, Evidence};
+///
+/// let net = networks::sprinkler();
+/// let ac = compile(&net)?;
+/// let bin = binarize(&ac)?;
+/// assert!(bin.is_binary());
+/// let e = Evidence::empty(net.var_count());
+/// assert!((bin.evaluate(&e)? - ac.evaluate(&e)?).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn binarize(g: &AcGraph) -> Result<AcGraph, AcError> {
+    let root = g.root().ok_or(AcError::MissingRoot)?;
+    let reachable = g.reachable();
+    let mut out = AcGraph::new(g.var_arities().to_vec());
+    let mut map: Vec<Option<NodeId>> = vec![None; g.len()];
+    for (i, node) in g.nodes().iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let new_id = match node {
+            AcNode::Param { value } => out.param(*value)?,
+            AcNode::Indicator { var, state } => out.indicator(*var, *state)?,
+            AcNode::Sum(children) => {
+                let mapped: Vec<NodeId> = children
+                    .iter()
+                    .map(|c| map[c.index()].expect("children precede parents"))
+                    .collect();
+                balanced_reduce(&mut out, mapped, |g, pair| g.sum(pair))?
+            }
+            AcNode::Product(children) => {
+                let mapped: Vec<NodeId> = children
+                    .iter()
+                    .map(|c| map[c.index()].expect("children precede parents"))
+                    .collect();
+                balanced_reduce(&mut out, mapped, |g, pair| g.product(pair))?
+            }
+        };
+        map[i] = Some(new_id);
+    }
+    out.set_root(map[root.index()].expect("root is reachable"));
+    Ok(out)
+}
+
+/// Binarizes with *left-leaning* (sequential) trees instead of balanced
+/// ones. Exposes the decomposition-shape ablation discussed in
+/// `DESIGN.md`: a chain has depth `n - 1` instead of `ceil(log2 n)`,
+/// which increases pipeline depth and (for products) the error bound.
+///
+/// # Errors
+///
+/// Returns [`AcError::MissingRoot`] if the circuit has no root.
+pub fn binarize_chain(g: &AcGraph) -> Result<AcGraph, AcError> {
+    let root = g.root().ok_or(AcError::MissingRoot)?;
+    let reachable = g.reachable();
+    let mut out = AcGraph::new(g.var_arities().to_vec());
+    let mut map: Vec<Option<NodeId>> = vec![None; g.len()];
+    for (i, node) in g.nodes().iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let new_id = match node {
+            AcNode::Param { value } => out.param(*value)?,
+            AcNode::Indicator { var, state } => out.indicator(*var, *state)?,
+            AcNode::Sum(children) | AcNode::Product(children) => {
+                let mapped: Vec<NodeId> = children
+                    .iter()
+                    .map(|c| map[c.index()].expect("children precede parents"))
+                    .collect();
+                let is_sum = matches!(node, AcNode::Sum(_));
+                let mut acc = mapped[0];
+                for &next in &mapped[1..] {
+                    acc = if is_sum {
+                        out.sum(vec![acc, next])?
+                    } else {
+                        out.product(vec![acc, next])?
+                    };
+                }
+                acc
+            }
+        };
+        map[i] = Some(new_id);
+    }
+    out.set_root(map[root.index()].expect("root is reachable"));
+    Ok(out)
+}
+
+/// Removes nodes not reachable from the root.
+///
+/// # Errors
+///
+/// Returns [`AcError::MissingRoot`] if the circuit has no root.
+pub fn prune(g: &AcGraph) -> Result<AcGraph, AcError> {
+    let root = g.root().ok_or(AcError::MissingRoot)?;
+    let reachable = g.reachable();
+    let mut out = AcGraph::new(g.var_arities().to_vec());
+    let mut map: Vec<Option<NodeId>> = vec![None; g.len()];
+    for (i, node) in g.nodes().iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let new_id = match node {
+            AcNode::Param { value } => out.param(*value)?,
+            AcNode::Indicator { var, state } => out.indicator(*var, *state)?,
+            AcNode::Sum(children) => {
+                let mapped = children
+                    .iter()
+                    .map(|c| map[c.index()].expect("children precede parents"))
+                    .collect();
+                out.sum(mapped)?
+            }
+            AcNode::Product(children) => {
+                let mapped = children
+                    .iter()
+                    .map(|c| map[c.index()].expect("children precede parents"))
+                    .collect();
+                out.product(mapped)?
+            }
+        };
+        map[i] = Some(new_id);
+    }
+    out.set_root(map[root.index()].expect("root is reachable"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_bayes::{networks, Evidence, VarId};
+
+    fn wide_circuit() -> AcGraph {
+        // One 5-input product like Fig. 4's F operator.
+        let mut g = AcGraph::new(vec![5]);
+        let leaves: Vec<NodeId> = (0..5)
+            .map(|i| g.indicator(VarId::from_index(0), i).unwrap())
+            .collect();
+        // Mix in params so leaves are distinct nodes.
+        let params: Vec<NodeId> = [0.9, 0.8, 0.7, 0.6, 0.5]
+            .iter()
+            .map(|&p| g.param(p).unwrap())
+            .collect();
+        let mut children = Vec::new();
+        for (l, p) in leaves.iter().zip(&params) {
+            children.push(g.product(vec![*l, *p]).unwrap());
+        }
+        let f = g.product(children).unwrap();
+        g.set_root(f);
+        g
+    }
+
+    #[test]
+    fn binarize_makes_every_operator_two_input() {
+        let g = wide_circuit();
+        assert!(!g.is_binary());
+        let b = binarize(&g).unwrap();
+        assert!(b.is_binary());
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn binarize_preserves_value() {
+        let g = wide_circuit();
+        let b = binarize(&g).unwrap();
+        let e = Evidence::empty(1);
+        assert!((g.evaluate(&e).unwrap() - b.evaluate(&e).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_input_operator_needs_four_two_input_ops() {
+        // Fig. 4: F decomposes into a tree of F1, F2, F3 (plus the top).
+        let mut g = AcGraph::new(vec![5]);
+        let leaves: Vec<NodeId> = (0..5)
+            .map(|i| g.indicator(VarId::from_index(0), i).unwrap())
+            .collect();
+        let f = g.product(leaves).unwrap();
+        g.set_root(f);
+        let b = binarize(&g).unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.products, 4); // n-1 two-input operators
+        assert_eq!(stats.depth, 3); // ceil(log2 5)
+    }
+
+    #[test]
+    fn balanced_is_shallower_than_chain() {
+        let mut g = AcGraph::new(vec![8]);
+        let leaves: Vec<NodeId> = (0..8)
+            .map(|i| g.indicator(VarId::from_index(0), i).unwrap())
+            .collect();
+        let f = g.sum(leaves).unwrap();
+        g.set_root(f);
+        let balanced = binarize(&g).unwrap();
+        let chain = binarize_chain(&g).unwrap();
+        assert_eq!(balanced.stats().depth, 3);
+        assert_eq!(chain.stats().depth, 7);
+        // Same number of operators either way.
+        assert_eq!(balanced.stats().sums, chain.stats().sums);
+        // Same value either way.
+        let e = Evidence::empty(1);
+        assert_eq!(
+            balanced.evaluate(&e).unwrap(),
+            chain.evaluate(&e).unwrap()
+        );
+    }
+
+    #[test]
+    fn binarized_alarm_matches_original() {
+        let net = networks::alarm(7);
+        let ac = compile_and_check(&net);
+        let b = binarize(&ac).unwrap();
+        assert!(b.is_binary());
+        for v in [0usize, 5, 20] {
+            let mut e = Evidence::empty(net.var_count());
+            e.observe(VarId::from_index(v), 0);
+            let orig = ac.evaluate(&e).unwrap();
+            let bin = b.evaluate(&e).unwrap();
+            assert!((orig - bin).abs() < 1e-9);
+        }
+    }
+
+    fn compile_and_check(net: &problp_bayes::BayesNet) -> AcGraph {
+        let ac = crate::compile::compile(net).unwrap();
+        assert!(ac.validate().is_ok());
+        ac
+    }
+
+    #[test]
+    fn prune_drops_dead_nodes() {
+        let mut g = AcGraph::new(vec![2]);
+        let a = g.indicator(VarId::from_index(0), 0).unwrap();
+        let p = g.param(0.5).unwrap();
+        let _dead = g.param(0.123).unwrap();
+        let m = g.product(vec![a, p]).unwrap();
+        g.set_root(m);
+        let pruned = prune(&g).unwrap();
+        assert_eq!(pruned.len(), 3);
+        let e = Evidence::empty(1);
+        assert_eq!(pruned.evaluate(&e).unwrap(), g.evaluate(&e).unwrap());
+    }
+
+    #[test]
+    fn missing_root_is_reported() {
+        let g = AcGraph::new(vec![2]);
+        assert_eq!(binarize(&g).unwrap_err(), AcError::MissingRoot);
+        assert_eq!(prune(&g).unwrap_err(), AcError::MissingRoot);
+    }
+}

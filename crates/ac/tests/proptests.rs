@@ -1,0 +1,146 @@
+//! Property tests for the arithmetic-circuit crate: compiler, optimiser,
+//! transforms, differentiation and MPE decoding against the enumeration
+//! oracle on random networks.
+
+use proptest::prelude::*;
+
+use problp_ac::{compile, optimize, transform, Semiring};
+use problp_bayes::{networks, Evidence, VarId};
+use problp_num::F64Arith;
+
+/// Builds a random partial evidence for a network from a seed vector.
+fn evidence_from(net: &problp_bayes::BayesNet, picks: &[usize], keep_mod: usize) -> Evidence {
+    let mut e = Evidence::empty(net.var_count());
+    for (v, p) in picks.iter().take(net.var_count()).enumerate() {
+        if p % 3 < keep_mod {
+            let arity = net.variable(VarId::from_index(v)).arity();
+            e.observe(VarId::from_index(v), p % arity);
+        }
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimizer_preserves_the_polynomial(
+        seed in 0u64..300,
+        picks in proptest::collection::vec(0usize..100, 7),
+    ) {
+        let net = networks::random_network(seed, 7, 3, 3);
+        let ac = compile(&net).unwrap();
+        let (opt, stats) = optimize(&ac).unwrap();
+        prop_assert!(stats.nodes_after <= stats.nodes_before);
+        for keep in 0..3 {
+            let e = evidence_from(&net, &picks, keep);
+            let a = ac.evaluate(&e).unwrap();
+            let b = opt.evaluate(&e).unwrap();
+            prop_assert!((a - b).abs() < 1e-12, "keep={}: {} vs {}", keep, a, b);
+        }
+    }
+
+    #[test]
+    fn optimizer_and_binarizer_commute_in_value(
+        seed in 0u64..300,
+        picks in proptest::collection::vec(0usize..100, 7),
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let path_a = transform::binarize(&optimize(&ac).unwrap().0).unwrap();
+        let path_b = optimize(&transform::binarize(&ac).unwrap()).unwrap().0;
+        let e = evidence_from(&net, &picks, 2);
+        let a = path_a.evaluate(&e).unwrap();
+        let b = path_b.evaluate(&e).unwrap();
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_recover_single_variable_marginals(
+        seed in 0u64..300,
+        picks in proptest::collection::vec(0usize..100, 7),
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let e = evidence_from(&net, &picks, 1);
+        let pr_e = ac.evaluate(&e).unwrap();
+        prop_assume!(pr_e > 1e-12);
+        let marginals = ac.joint_marginals(&e).unwrap();
+        for (v, row) in marginals.iter().enumerate() {
+            let var = VarId::from_index(v);
+            if e.state(var).is_some() {
+                continue;
+            }
+            for (s, &m) in row.iter().enumerate() {
+                let mut with_q = e.clone();
+                with_q.observe(var, s);
+                let direct = ac.evaluate(&with_q).unwrap();
+                prop_assert!(
+                    (m - direct).abs() < 1e-9,
+                    "v={} s={}: {} vs {}", v, s, m, direct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mpe_decoding_achieves_the_max_product_value(
+        seed in 0u64..300,
+        picks in proptest::collection::vec(0usize..100, 7),
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let e = evidence_from(&net, &picks, 1);
+        let value = ac.evaluate_mpe(&e).unwrap();
+        prop_assume!(value > 0.0);
+        let (assignment, decoded) = ac.mpe_assignment(&e).unwrap();
+        prop_assert!((decoded - value).abs() < 1e-12);
+        prop_assert!((net.joint_probability(&assignment) - value).abs() < 1e-12);
+        // The assignment respects the evidence.
+        for (var, state) in e.iter() {
+            prop_assert_eq!(assignment[var.index()], state);
+        }
+    }
+
+    #[test]
+    fn evaluation_is_linear_in_each_indicator(
+        seed in 0u64..300,
+        var_pick in 0usize..6,
+    ) {
+        // The network polynomial is multilinear: f(lambda_x = 1) equals
+        // the sum over the states' contributions. Check via semiring eval:
+        // Pr(e) = sum_s Pr(e, X = s) for any unobserved X.
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let var = VarId::from_index(var_pick % net.var_count());
+        let e = Evidence::empty(net.var_count());
+        let total = ac.evaluate(&e).unwrap();
+        let mut sum = 0.0;
+        for s in 0..net.variable(var).arity() {
+            let mut es = e.clone();
+            es.observe(var, s);
+            sum += ac.evaluate(&es).unwrap();
+        }
+        prop_assert!((total - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semiring_results_are_ordered(
+        seed in 0u64..300,
+        picks in proptest::collection::vec(0usize..100, 7),
+    ) {
+        // max-product <= sum-product <= 1 and min-product <= max-product
+        // for probability circuits at any evidence.
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let e = evidence_from(&net, &picks, 2);
+        let mut ctx = F64Arith::new();
+        let sum = ac.evaluate(&e).unwrap();
+        let max = ac.evaluate_mpe(&e).unwrap();
+        let min = ac.evaluate_with(&mut ctx, &e, Semiring::MinProduct).unwrap();
+        prop_assert!(max <= sum + 1e-12);
+        prop_assert!(sum <= 1.0 + 1e-9);
+        let _ = min; // min-product is an analysis quantity, only finiteness matters
+        prop_assert!(min.is_finite());
+    }
+}

@@ -1,0 +1,244 @@
+//! Conditional probability tables.
+
+use crate::error::BayesError;
+use crate::variable::VarId;
+
+/// A conditional probability table `Pr(X | parents)`.
+///
+/// The table stores one probability per `(parent assignment, state)` pair
+/// in row-major order: parents vary slowest in declaration order, the
+/// child's state varies fastest. Each row (one parent assignment) sums to
+/// one.
+///
+/// # Examples
+///
+/// ```
+/// use problp_bayes::{Cpt, VarId};
+///
+/// let a = VarId::from_index(0);
+/// let b = VarId::from_index(1);
+/// // Pr(B | A) with both binary: rows are Pr(B|a0), Pr(B|a1).
+/// let cpt = Cpt::new(b, vec![a], vec![2, 2], vec![0.9, 0.1, 0.3, 0.7])?;
+/// assert_eq!(cpt.probability(&[0], 0), 0.9);
+/// assert_eq!(cpt.probability(&[1], 1), 0.7);
+/// # Ok::<(), problp_bayes::BayesError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Cpt {
+    var: VarId,
+    parents: Vec<VarId>,
+    /// Arities: `arities[0..parents.len()]` are the parents' arities (same
+    /// order as `parents`), `arities[parents.len()]` is the child's.
+    arities: Vec<usize>,
+    table: Vec<f64>,
+}
+
+/// Tolerance for row normalization checks.
+const ROW_SUM_TOLERANCE: f64 = 1e-9;
+
+impl Cpt {
+    /// Creates a CPT for `var` given `parents`.
+    ///
+    /// `arities` lists the parents' arities in order followed by the
+    /// child's arity. `table` holds the probabilities in row-major order
+    /// (see the type-level docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::CptShapeMismatch`] if the table length does
+    /// not match the arities, [`BayesError::InvalidProbability`] for
+    /// entries outside `[0, 1]`, and [`BayesError::RowNotNormalized`] if a
+    /// row does not sum to one.
+    pub fn new(
+        var: VarId,
+        parents: Vec<VarId>,
+        arities: Vec<usize>,
+        table: Vec<f64>,
+    ) -> Result<Self, BayesError> {
+        if arities.len() != parents.len() + 1 {
+            return Err(BayesError::CptShapeMismatch {
+                var,
+                expected: parents.len() + 1,
+                actual: arities.len(),
+            });
+        }
+        let expected_len: usize = arities.iter().product();
+        if table.len() != expected_len {
+            return Err(BayesError::CptShapeMismatch {
+                var,
+                expected: expected_len,
+                actual: table.len(),
+            });
+        }
+        for &p in &table {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(BayesError::InvalidProbability { var, value: p });
+            }
+        }
+        let child_arity = *arities.last().expect("arities never empty");
+        for (row_idx, row) in table.chunks(child_arity).enumerate() {
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > ROW_SUM_TOLERANCE {
+                return Err(BayesError::RowNotNormalized {
+                    var,
+                    row: row_idx,
+                    sum,
+                });
+            }
+        }
+        Ok(Cpt {
+            var,
+            parents,
+            arities,
+            table,
+        })
+    }
+
+    /// The child variable.
+    #[inline]
+    pub fn var(&self) -> VarId {
+        self.var
+    }
+
+    /// The parent variables, in table order.
+    #[inline]
+    pub fn parents(&self) -> &[VarId] {
+        &self.parents
+    }
+
+    /// The child's arity.
+    #[inline]
+    pub fn child_arity(&self) -> usize {
+        *self.arities.last().expect("arities never empty")
+    }
+
+    /// The parents' arities, in table order.
+    #[inline]
+    pub fn parent_arities(&self) -> &[usize] {
+        &self.arities[..self.parents.len()]
+    }
+
+    /// The raw probability table (row-major, child state fastest).
+    #[inline]
+    pub fn table(&self) -> &[f64] {
+        &self.table
+    }
+
+    /// Flat index of the entry for `parent_states` and child `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range or `parent_states` has the wrong
+    /// length.
+    pub fn entry_index(&self, parent_states: &[usize], state: usize) -> usize {
+        assert_eq!(
+            parent_states.len(),
+            self.parents.len(),
+            "wrong number of parent states"
+        );
+        let mut idx = 0usize;
+        for (i, &ps) in parent_states.iter().enumerate() {
+            assert!(ps < self.arities[i], "parent state out of range");
+            idx = idx * self.arities[i] + ps;
+        }
+        assert!(state < self.child_arity(), "child state out of range");
+        idx * self.child_arity() + state
+    }
+
+    /// `Pr(var = state | parents = parent_states)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state is out of range (see [`Cpt::entry_index`]).
+    pub fn probability(&self, parent_states: &[usize], state: usize) -> f64 {
+        self.table[self.entry_index(parent_states, state)]
+    }
+
+    /// Decomposes a flat table index back into `(parent_states, state)`.
+    pub fn decompose_index(&self, mut index: usize) -> (Vec<usize>, usize) {
+        let state = index % self.child_arity();
+        index /= self.child_arity();
+        let mut parent_states = vec![0usize; self.parents.len()];
+        for i in (0..self.parents.len()).rev() {
+            parent_states[i] = index % self.arities[i];
+            index /= self.arities[i];
+        }
+        (parent_states, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn root_cpt() {
+        let cpt = Cpt::new(v(0), vec![], vec![3], vec![0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(cpt.probability(&[], 2), 0.5);
+        assert_eq!(cpt.child_arity(), 3);
+        assert!(cpt.parents().is_empty());
+    }
+
+    #[test]
+    fn two_parent_indexing() {
+        // Pr(C | A, B): A ternary, B binary, C binary.
+        let mut table = Vec::new();
+        for a in 0..3 {
+            for b in 0..2 {
+                let p = 0.1 + 0.1 * (a * 2 + b) as f64;
+                table.push(p);
+                table.push(1.0 - p);
+            }
+        }
+        let cpt = Cpt::new(v(2), vec![v(0), v(1)], vec![3, 2, 2], table).unwrap();
+        assert_eq!(cpt.probability(&[0, 0], 0), 0.1);
+        assert_eq!(cpt.probability(&[1, 1], 0), 0.4);
+        assert!((cpt.probability(&[2, 1], 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decompose_inverts_entry_index() {
+        let mut table = Vec::new();
+        for _ in 0..6 {
+            table.extend_from_slice(&[0.25, 0.75]);
+        }
+        let cpt = Cpt::new(v(2), vec![v(0), v(1)], vec![3, 2, 2], table).unwrap();
+        for a in 0..3 {
+            for b in 0..2 {
+                for s in 0..2 {
+                    let idx = cpt.entry_index(&[a, b], s);
+                    assert_eq!(cpt.decompose_index(idx), (vec![a, b], s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let err = Cpt::new(v(0), vec![], vec![2], vec![0.5, 0.25, 0.25]).unwrap_err();
+        assert!(matches!(err, BayesError::CptShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn unnormalized_rows_are_rejected() {
+        let err = Cpt::new(v(0), vec![], vec![2], vec![0.5, 0.6]).unwrap_err();
+        assert!(matches!(err, BayesError::RowNotNormalized { .. }));
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_rejected() {
+        let err = Cpt::new(v(0), vec![], vec![2], vec![1.5, -0.5]).unwrap_err();
+        assert!(matches!(err, BayesError::InvalidProbability { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "parent state out of range")]
+    fn bad_parent_state_panics() {
+        let cpt = Cpt::new(v(1), vec![v(0)], vec![2, 2], vec![0.5, 0.5, 0.5, 0.5]).unwrap();
+        let _ = cpt.probability(&[2], 0);
+    }
+}

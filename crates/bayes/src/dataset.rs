@@ -1,0 +1,211 @@
+//! Labeled discrete datasets (the input to classifier learning).
+
+use crate::error::BayesError;
+
+/// A labeled dataset of discrete feature vectors.
+///
+/// Rows are instances; `features[i][j]` is the state of feature `j` in
+/// instance `i`, `labels[i]` the class. This is the input format of
+/// [`NaiveBayes::fit`](crate::NaiveBayes::fit) and the output of the
+/// synthetic benchmark generators in `problp-data`.
+///
+/// # Examples
+///
+/// ```
+/// use problp_bayes::LabeledDataset;
+///
+/// let ds = LabeledDataset::new(
+///     vec![vec![0, 1], vec![1, 0], vec![1, 1]],
+///     vec![0, 1, 1],
+///     vec![2, 2],
+///     2,
+/// )?;
+/// assert_eq!(ds.len(), 3);
+/// assert_eq!(ds.feature_count(), 2);
+/// # Ok::<(), problp_bayes::BayesError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LabeledDataset {
+    features: Vec<Vec<usize>>,
+    labels: Vec<usize>,
+    feature_arities: Vec<usize>,
+    class_arity: usize,
+}
+
+impl LabeledDataset {
+    /// Creates a dataset, validating shapes and state ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidDataset`] if the dataset is empty, row
+    /// lengths are inconsistent, or any state exceeds its declared arity.
+    pub fn new(
+        features: Vec<Vec<usize>>,
+        labels: Vec<usize>,
+        feature_arities: Vec<usize>,
+        class_arity: usize,
+    ) -> Result<Self, BayesError> {
+        if features.is_empty() {
+            return Err(BayesError::InvalidDataset {
+                reason: "no instances".into(),
+            });
+        }
+        if features.len() != labels.len() {
+            return Err(BayesError::InvalidDataset {
+                reason: format!(
+                    "{} feature rows but {} labels",
+                    features.len(),
+                    labels.len()
+                ),
+            });
+        }
+        if class_arity < 2 {
+            return Err(BayesError::InvalidDataset {
+                reason: "class arity must be at least 2".into(),
+            });
+        }
+        for (i, row) in features.iter().enumerate() {
+            if row.len() != feature_arities.len() {
+                return Err(BayesError::InvalidDataset {
+                    reason: format!(
+                        "row {i} has {} features, expected {}",
+                        row.len(),
+                        feature_arities.len()
+                    ),
+                });
+            }
+            for (j, (&s, &a)) in row.iter().zip(&feature_arities).enumerate() {
+                if s >= a {
+                    return Err(BayesError::InvalidDataset {
+                        reason: format!("row {i} feature {j} state {s} >= arity {a}"),
+                    });
+                }
+            }
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            if l >= class_arity {
+                return Err(BayesError::InvalidDataset {
+                    reason: format!("label {l} of row {i} >= class arity {class_arity}"),
+                });
+            }
+        }
+        Ok(LabeledDataset {
+            features,
+            labels,
+            feature_arities,
+            class_arity,
+        })
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Returns `true` if the dataset has no instances (never true for a
+    /// validated dataset).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per instance.
+    pub fn feature_count(&self) -> usize {
+        self.feature_arities.len()
+    }
+
+    /// Arity of each feature.
+    pub fn feature_arities(&self) -> &[usize] {
+        &self.feature_arities
+    }
+
+    /// Number of classes.
+    pub fn class_arity(&self) -> usize {
+        self.class_arity
+    }
+
+    /// The feature rows.
+    pub fn features(&self) -> &[Vec<usize>] {
+        &self.features
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// One instance as `(features, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn instance(&self, i: usize) -> (&[usize], usize) {
+        (&self.features[i], self.labels[i])
+    }
+
+    /// Splits into `(train, test)` with the first `ratio` fraction used for
+    /// training (the paper trains on 60 % of each dataset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not in `(0, 1)` or a split would be empty.
+    pub fn split(&self, ratio: f64) -> (LabeledDataset, LabeledDataset) {
+        assert!(ratio > 0.0 && ratio < 1.0, "split ratio must be in (0, 1)");
+        let cut = ((self.len() as f64) * ratio).round() as usize;
+        assert!(cut > 0 && cut < self.len(), "split produces an empty part");
+        let train = LabeledDataset {
+            features: self.features[..cut].to_vec(),
+            labels: self.labels[..cut].to_vec(),
+            feature_arities: self.feature_arities.clone(),
+            class_arity: self.class_arity,
+        };
+        let test = LabeledDataset {
+            features: self.features[cut..].to_vec(),
+            labels: self.labels[cut..].to_vec(),
+            feature_arities: self.feature_arities.clone(),
+            class_arity: self.class_arity,
+        };
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LabeledDataset {
+        LabeledDataset::new(
+            vec![vec![0, 1], vec![1, 0], vec![1, 1], vec![0, 0]],
+            vec![0, 1, 1, 0],
+            vec![2, 2],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.feature_count(), 2);
+        assert_eq!(ds.class_arity(), 2);
+        assert_eq!(ds.instance(1), (&[1usize, 0][..], 1));
+    }
+
+    #[test]
+    fn split_respects_ratio() {
+        let ds = tiny();
+        let (train, test) = ds.split(0.5);
+        assert_eq!(train.len(), 2);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.feature_arities(), ds.feature_arities());
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(LabeledDataset::new(vec![], vec![], vec![2], 2).is_err());
+        assert!(LabeledDataset::new(vec![vec![0]], vec![0, 1], vec![2], 2).is_err());
+        assert!(LabeledDataset::new(vec![vec![5]], vec![0], vec![2], 2).is_err());
+        assert!(LabeledDataset::new(vec![vec![0]], vec![3], vec![2], 2).is_err());
+        assert!(LabeledDataset::new(vec![vec![0, 1]], vec![0], vec![2], 2).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Error types for Bayesian-network construction and queries.
+
+use crate::variable::VarId;
+
+/// Errors produced when building or querying a Bayesian network.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum BayesError {
+    /// A CPT's table length or arity list does not match its declaration.
+    CptShapeMismatch {
+        /// The child variable of the offending CPT.
+        var: VarId,
+        /// Expected number of entries (or arities).
+        expected: usize,
+        /// Actual number supplied.
+        actual: usize,
+    },
+    /// A probability was outside `[0, 1]` or NaN.
+    InvalidProbability {
+        /// The child variable of the offending CPT.
+        var: VarId,
+        /// The offending value.
+        value: f64,
+    },
+    /// A CPT row does not sum to one.
+    RowNotNormalized {
+        /// The child variable of the offending CPT.
+        var: VarId,
+        /// Row index (flattened parent assignment).
+        row: usize,
+        /// The row's actual sum.
+        sum: f64,
+    },
+    /// A variable has no CPT.
+    MissingCpt {
+        /// The variable without a CPT.
+        var: VarId,
+    },
+    /// A variable has more than one CPT.
+    DuplicateCpt {
+        /// The variable with multiple CPTs.
+        var: VarId,
+    },
+    /// The directed graph contains a cycle.
+    CyclicNetwork,
+    /// A CPT referenced a variable id that was never declared.
+    UnknownVariable {
+        /// The undeclared variable id.
+        var: VarId,
+    },
+    /// A CPT's declared arities disagree with the variables' arities.
+    ArityMismatch {
+        /// The child variable of the offending CPT.
+        var: VarId,
+    },
+    /// The dataset passed to a learner was empty or inconsistent.
+    InvalidDataset {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for BayesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BayesError::CptShapeMismatch {
+                var,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "cpt for {var} has wrong shape: expected {expected} entries, got {actual}"
+            ),
+            BayesError::InvalidProbability { var, value } => {
+                write!(f, "cpt for {var} contains invalid probability {value}")
+            }
+            BayesError::RowNotNormalized { var, row, sum } => {
+                write!(f, "cpt row {row} for {var} sums to {sum}, expected 1")
+            }
+            BayesError::MissingCpt { var } => write!(f, "variable {var} has no cpt"),
+            BayesError::DuplicateCpt { var } => {
+                write!(f, "variable {var} has more than one cpt")
+            }
+            BayesError::CyclicNetwork => write!(f, "the network graph contains a cycle"),
+            BayesError::UnknownVariable { var } => {
+                write!(f, "cpt references undeclared variable {var}")
+            }
+            BayesError::ArityMismatch { var } => {
+                write!(f, "cpt arities for {var} disagree with variable declarations")
+            }
+            BayesError::InvalidDataset { reason } => write!(f, "invalid dataset: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BayesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_with_context() {
+        let e = BayesError::RowNotNormalized {
+            var: VarId::from_index(4),
+            row: 2,
+            sum: 0.8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("X4"));
+        assert!(msg.contains("0.8"));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<BayesError>();
+    }
+}

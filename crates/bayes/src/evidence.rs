@@ -1,0 +1,163 @@
+//! Evidence: partial assignments of observed variables.
+
+use crate::variable::VarId;
+
+/// A partial assignment: for each variable either an observed state or
+/// "unobserved" (marginalized over).
+///
+/// In arithmetic-circuit terms, evidence determines the indicator inputs
+/// `λ`: indicators contradicting the evidence are 0, all others are 1
+/// (paper §2).
+///
+/// # Examples
+///
+/// ```
+/// use problp_bayes::{Evidence, VarId};
+///
+/// let mut e = Evidence::empty(3);
+/// e.observe(VarId::from_index(0), 1);
+/// assert_eq!(e.state(VarId::from_index(0)), Some(1));
+/// assert_eq!(e.state(VarId::from_index(1)), None);
+/// assert_eq!(e.observed_count(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Evidence {
+    states: Vec<Option<usize>>,
+}
+
+impl Evidence {
+    /// Creates evidence over `var_count` variables with nothing observed.
+    pub fn empty(var_count: usize) -> Self {
+        Evidence {
+            states: vec![None; var_count],
+        }
+    }
+
+    /// Creates evidence from a complete assignment (every variable
+    /// observed).
+    pub fn from_assignment(assignment: &[usize]) -> Self {
+        Evidence {
+            states: assignment.iter().map(|&s| Some(s)).collect(),
+        }
+    }
+
+    /// Observes `var` in state `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn observe(&mut self, var: VarId, state: usize) {
+        self.states[var.index()] = Some(state);
+    }
+
+    /// Removes the observation of `var` (marginalizes it again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn forget(&mut self, var: VarId) {
+        self.states[var.index()] = None;
+    }
+
+    /// The observed state of `var`, or `None` if unobserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn state(&self, var: VarId) -> Option<usize> {
+        self.states[var.index()]
+    }
+
+    /// Number of variables this evidence ranges over.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if no variable can be observed (zero variables).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Number of observed variables.
+    pub fn observed_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over `(variable, observed state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, usize)> + '_ {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|state| (VarId::from_index(i), state)))
+    }
+
+    /// The indicator value `λ_{var=state}` implied by this evidence:
+    /// 1.0 unless the evidence contradicts `var = state`.
+    pub fn indicator(&self, var: VarId, state: usize) -> f64 {
+        match self.state(var) {
+            Some(observed) if observed != state => 0.0,
+            _ => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Evidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let obs: Vec<String> = self
+            .iter()
+            .map(|(v, s)| format!("{v}={s}"))
+            .collect();
+        write!(f, "{{{}}}", obs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_observes_nothing() {
+        let e = Evidence::empty(4);
+        assert_eq!(e.observed_count(), 0);
+        assert_eq!(e.len(), 4);
+        assert!(e.iter().next().is_none());
+    }
+
+    #[test]
+    fn observe_and_forget() {
+        let mut e = Evidence::empty(3);
+        let v = VarId::from_index(2);
+        e.observe(v, 1);
+        assert_eq!(e.state(v), Some(1));
+        e.forget(v);
+        assert_eq!(e.state(v), None);
+    }
+
+    #[test]
+    fn from_assignment_observes_all() {
+        let e = Evidence::from_assignment(&[0, 2, 1]);
+        assert_eq!(e.observed_count(), 3);
+        assert_eq!(e.state(VarId::from_index(1)), Some(2));
+    }
+
+    #[test]
+    fn indicators_follow_the_paper_convention() {
+        // e = {A = a1}: λ_{a2} = 0, everything else 1.
+        let mut e = Evidence::empty(2);
+        let a = VarId::from_index(0);
+        let b = VarId::from_index(1);
+        e.observe(a, 0);
+        assert_eq!(e.indicator(a, 0), 1.0);
+        assert_eq!(e.indicator(a, 1), 0.0);
+        assert_eq!(e.indicator(b, 0), 1.0);
+        assert_eq!(e.indicator(b, 1), 1.0);
+    }
+
+    #[test]
+    fn display_lists_observations() {
+        let mut e = Evidence::empty(3);
+        e.observe(VarId::from_index(0), 1);
+        e.observe(VarId::from_index(2), 0);
+        assert_eq!(e.to_string(), "{X0=1, X2=0}");
+    }
+}

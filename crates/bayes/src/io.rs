@@ -1,0 +1,195 @@
+//! A plain-text network format (`.bn`) for loading and saving Bayesian
+//! networks.
+//!
+//! The format is line-oriented and minimal — enough for the CLI and for
+//! exchanging benchmark networks:
+//!
+//! ```text
+//! # patient monitoring (comments and blank lines are ignored)
+//! network sprinkler
+//! variable Cloudy 2
+//! variable Rain 2
+//! cpt Cloudy | : 0.5 0.5
+//! cpt Rain | Cloudy : 0.8 0.2 0.2 0.8
+//! ```
+//!
+//! `cpt X | P1 P2 : v...` lists the table in row-major order with the
+//! child state varying fastest (the same layout as [`crate::Cpt`]).
+
+use crate::error::BayesError;
+use crate::network::{BayesNet, BayesNetBuilder};
+use crate::variable::VarId;
+
+/// Serializes a network to the `.bn` text format.
+///
+/// # Examples
+///
+/// ```
+/// use problp_bayes::{io, networks};
+///
+/// let net = networks::sprinkler();
+/// let text = io::to_text(&net, "sprinkler");
+/// let back = io::from_text(&text)?;
+/// assert_eq!(&back, &net);
+/// # Ok::<(), problp_bayes::BayesError>(())
+/// ```
+pub fn to_text(net: &BayesNet, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("network {name}\n"));
+    for v in net.variables() {
+        out.push_str(&format!("variable {} {}\n", v.name(), v.arity()));
+    }
+    for cpt in net.cpts() {
+        let parents: Vec<&str> = cpt
+            .parents()
+            .iter()
+            .map(|p| net.variable(*p).name())
+            .collect();
+        let values: Vec<String> = cpt.table().iter().map(|p| format!("{p}")).collect();
+        out.push_str(&format!(
+            "cpt {} | {} : {}\n",
+            net.variable(cpt.var()).name(),
+            parents.join(" "),
+            values.join(" ")
+        ));
+    }
+    out
+}
+
+/// Parses a network from the `.bn` text format.
+///
+/// # Errors
+///
+/// Returns [`BayesError::InvalidDataset`] with a line-numbered reason for
+/// syntax errors, and propagates network validation errors (shape,
+/// normalization, cycles).
+pub fn from_text(text: &str) -> Result<BayesNet, BayesError> {
+    let mut builder = BayesNetBuilder::new();
+    let mut names: Vec<String> = Vec::new();
+    let syntax = |line_no: usize, reason: &str| BayesError::InvalidDataset {
+        reason: format!("line {}: {reason}", line_no + 1),
+    };
+    let find = |names: &[String], name: &str, line_no: usize| -> Result<VarId, BayesError> {
+        names
+            .iter()
+            .position(|n| n == name)
+            .map(VarId::from_index)
+            .ok_or_else(|| syntax(line_no, &format!("unknown variable {name}")))
+    };
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("network") => {
+                // Name line: informational only.
+            }
+            Some("variable") => {
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| syntax(line_no, "variable needs a name"))?;
+                let arity: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| syntax(line_no, "variable needs a numeric arity"))?;
+                if arity < 2 {
+                    return Err(syntax(line_no, "arity must be at least 2"));
+                }
+                if names.iter().any(|n| n == name) {
+                    return Err(syntax(line_no, &format!("duplicate variable {name}")));
+                }
+                builder.variable(name, arity);
+                names.push(name.to_string());
+            }
+            Some("cpt") => {
+                let rest = line.strip_prefix("cpt").expect("starts with cpt");
+                let (head, values) = rest
+                    .split_once(':')
+                    .ok_or_else(|| syntax(line_no, "cpt needs a ':' before its values"))?;
+                let (child, parents) = head
+                    .split_once('|')
+                    .ok_or_else(|| syntax(line_no, "cpt needs a '|' after the child"))?;
+                let child = find(&names, child.trim(), line_no)?;
+                let parent_ids = parents
+                    .split_whitespace()
+                    .map(|p| find(&names, p, line_no))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let table = values
+                    .split_whitespace()
+                    .map(|t| {
+                        t.parse::<f64>()
+                            .map_err(|_| syntax(line_no, &format!("bad probability {t}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                builder.cpt(child, parent_ids, table)?;
+            }
+            Some(other) => {
+                return Err(syntax(line_no, &format!("unknown directive {other}")));
+            }
+            None => unreachable!("blank lines were skipped"),
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::networks;
+
+    #[test]
+    fn classic_networks_roundtrip() {
+        for (net, name) in [
+            (networks::figure1(), "figure1"),
+            (networks::sprinkler(), "sprinkler"),
+            (networks::asia(), "asia"),
+            (networks::student(), "student"),
+        ] {
+            let text = to_text(&net, name);
+            let back = from_text(&text).unwrap();
+            assert_eq!(back, net, "{name} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn alarm_roundtrips() {
+        let net = networks::alarm(7);
+        let back = from_text(&to_text(&net, "alarm")).unwrap();
+        assert_eq!(back, net);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\n\nnetwork t\nvariable A 2\n# another\ncpt A | : 0.25 0.75\n";
+        let net = from_text(text).unwrap();
+        assert_eq!(net.var_count(), 1);
+        assert_eq!(net.cpt(VarId::from_index(0)).probability(&[], 1), 0.75);
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = from_text("variable A\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        let err = from_text("variable A 2\nfrob\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let err = from_text("variable A 2\ncpt B | : 0.5 0.5\n").unwrap_err();
+        assert!(err.to_string().contains("unknown variable B"));
+        let err = from_text("variable A 2\ncpt A | 0.5 0.5\n").unwrap_err();
+        assert!(err.to_string().contains("':'"));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        // Row does not sum to one.
+        let err = from_text("variable A 2\ncpt A | : 0.5 0.6\n").unwrap_err();
+        assert!(matches!(err, BayesError::RowNotNormalized { .. }));
+        // Duplicate variable.
+        let err = from_text("variable A 2\nvariable A 2\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+        // Unary variable.
+        let err = from_text("variable A 1\n").unwrap_err();
+        assert!(err.to_string().contains("arity"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # problp-bayes — discrete Bayesian networks for ProbLP
+//!
+//! This crate provides the probabilistic-model substrate of the ProbLP
+//! framework (Shah et al., DAC 2019): discrete [`BayesNet`]s with validated
+//! [`Cpt`]s, exact enumeration queries (the test oracle for the
+//! arithmetic-circuit compiler in `problp-ac`), forward sampling,
+//! [`NaiveBayes`] learning for the embedded-sensing classifier benchmarks,
+//! and the benchmark networks of the paper's evaluation — most importantly
+//! the 37-node ALARM network ([`networks::alarm`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use problp_bayes::{networks, Evidence};
+//!
+//! let net = networks::sprinkler();
+//! let mut e = Evidence::empty(net.var_count());
+//! e.observe(net.find("WetGrass").unwrap(), 1);
+//! let pr_rain_given_wet = net.conditional(net.find("Rain").unwrap(), 1, &e);
+//! assert!(pr_rain_given_wet > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpt;
+mod dataset;
+mod error;
+mod evidence;
+mod naive_bayes;
+mod network;
+pub mod io;
+pub mod networks;
+pub mod rngutil;
+mod variable;
+
+pub use cpt::Cpt;
+pub use dataset::LabeledDataset;
+pub use error::BayesError;
+pub use evidence::Evidence;
+pub use naive_bayes::NaiveBayes;
+pub use network::{BayesNet, BayesNetBuilder};
+pub use variable::{VarId, Variable};

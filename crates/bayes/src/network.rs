@@ -1,0 +1,518 @@
+//! Bayesian networks: structure, validation, exact queries and sampling.
+
+use rand::Rng;
+
+use crate::cpt::Cpt;
+use crate::error::BayesError;
+use crate::evidence::Evidence;
+use crate::variable::{VarId, Variable};
+
+/// A discrete Bayesian network: a DAG of variables with one CPT per
+/// variable (paper eq. 1).
+///
+/// Networks are constructed through [`BayesNetBuilder`], which validates
+/// acyclicity, CPT shapes and normalization.
+///
+/// The exact-inference methods ([`BayesNet::marginal`],
+/// [`BayesNet::conditional`], [`BayesNet::mpe`]) enumerate all joint
+/// assignments and serve as the *test oracle* for the arithmetic-circuit
+/// compiler; they are exponential in the number of unobserved variables.
+///
+/// # Examples
+///
+/// ```
+/// use problp_bayes::{BayesNetBuilder, Evidence};
+///
+/// let mut b = BayesNetBuilder::new();
+/// let rain = b.variable("Rain", 2);
+/// let grass = b.variable("WetGrass", 2);
+/// b.cpt(rain, [], [0.8, 0.2])?;
+/// b.cpt(grass, [rain], [0.9, 0.1, 0.05, 0.95])?;
+/// let net = b.build()?;
+///
+/// let mut e = Evidence::empty(net.var_count());
+/// e.observe(grass, 1); // wet grass observed
+/// let pr_wet = net.marginal(&e);
+/// assert!((pr_wet - (0.8 * 0.1 + 0.2 * 0.95)).abs() < 1e-12);
+/// # Ok::<(), problp_bayes::BayesError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct BayesNet {
+    vars: Vec<Variable>,
+    cpts: Vec<Cpt>,
+    topo: Vec<VarId>,
+}
+
+impl BayesNet {
+    /// Number of variables.
+    #[inline]
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The variable with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn variable(&self, var: VarId) -> &Variable {
+        &self.vars[var.index()]
+    }
+
+    /// All variables in declaration order.
+    pub fn variables(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// The CPT of the given variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn cpt(&self, var: VarId) -> &Cpt {
+        &self.cpts[var.index()]
+    }
+
+    /// All CPTs, indexed by variable.
+    pub fn cpts(&self) -> &[Cpt] {
+        &self.cpts
+    }
+
+    /// Looks a variable up by name.
+    pub fn find(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name() == name)
+            .map(VarId::from_index)
+    }
+
+    /// A topological order of the variables (parents before children).
+    pub fn topological_order(&self) -> &[VarId] {
+        &self.topo
+    }
+
+    /// The root variables (those without parents).
+    pub fn roots(&self) -> Vec<VarId> {
+        self.cpts
+            .iter()
+            .filter(|c| c.parents().is_empty())
+            .map(|c| c.var())
+            .collect()
+    }
+
+    /// The leaf variables (those that are nobody's parent).
+    pub fn leaves(&self) -> Vec<VarId> {
+        let mut is_parent = vec![false; self.vars.len()];
+        for cpt in &self.cpts {
+            for p in cpt.parents() {
+                is_parent[p.index()] = true;
+            }
+        }
+        (0..self.vars.len())
+            .filter(|&i| !is_parent[i])
+            .map(VarId::from_index)
+            .collect()
+    }
+
+    /// Total number of edges in the DAG.
+    pub fn edge_count(&self) -> usize {
+        self.cpts.iter().map(|c| c.parents().len()).sum()
+    }
+
+    /// Total number of free CPT parameters (table entries).
+    pub fn parameter_count(&self) -> usize {
+        self.cpts.iter().map(|c| c.table().len()).sum()
+    }
+
+    /// The joint probability of a complete assignment (paper eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment has the wrong length or an out-of-range
+    /// state.
+    pub fn joint_probability(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.vars.len(), "wrong assignment length");
+        let mut p = 1.0;
+        for cpt in &self.cpts {
+            let parent_states: Vec<usize> = cpt
+                .parents()
+                .iter()
+                .map(|pv| assignment[pv.index()])
+                .collect();
+            p *= cpt.probability(&parent_states, assignment[cpt.var().index()]);
+        }
+        p
+    }
+
+    /// Enumerates all completions of `evidence` and calls `visit` with each
+    /// complete assignment and its joint probability.
+    fn for_each_completion(&self, evidence: &Evidence, mut visit: impl FnMut(&[usize], f64)) {
+        assert_eq!(evidence.len(), self.vars.len(), "evidence length mismatch");
+        let free: Vec<usize> = (0..self.vars.len())
+            .filter(|&i| evidence.state(VarId::from_index(i)).is_none())
+            .collect();
+        assert!(
+            free.len() <= 25,
+            "enumeration over {} free variables is intractable; this method is a test oracle",
+            free.len()
+        );
+        let mut assignment: Vec<usize> = (0..self.vars.len())
+            .map(|i| evidence.state(VarId::from_index(i)).unwrap_or(0))
+            .collect();
+        loop {
+            visit(&assignment, self.joint_probability(&assignment));
+            // Advance the mixed-radix counter over the free variables.
+            let mut i = 0;
+            loop {
+                if i == free.len() {
+                    return;
+                }
+                let vi = free[i];
+                assignment[vi] += 1;
+                if assignment[vi] < self.vars[vi].arity() {
+                    break;
+                }
+                assignment[vi] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// The marginal probability of the evidence, `Pr(e)`, by exhaustive
+    /// enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 25 variables are unobserved (the oracle is
+    /// exponential), or on a length mismatch.
+    pub fn marginal(&self, evidence: &Evidence) -> f64 {
+        let mut total = 0.0;
+        self.for_each_completion(evidence, |_, p| total += p);
+        total
+    }
+
+    /// The conditional probability `Pr(query_var = state | e)` by
+    /// exhaustive enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`BayesNet::marginal`].
+    pub fn conditional(&self, query_var: VarId, state: usize, evidence: &Evidence) -> f64 {
+        let mut joint = evidence.clone();
+        joint.observe(query_var, state);
+        let num = self.marginal(&joint);
+        let den = self.marginal(evidence);
+        num / den
+    }
+
+    /// The most probable explanation: the completion of the evidence with
+    /// the highest joint probability, and that probability.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`BayesNet::marginal`].
+    pub fn mpe(&self, evidence: &Evidence) -> (Vec<usize>, f64) {
+        let mut best_p = -1.0;
+        let mut best: Vec<usize> = Vec::new();
+        self.for_each_completion(evidence, |a, p| {
+            if p > best_p {
+                best_p = p;
+                best = a.to_vec();
+            }
+        });
+        (best, best_p)
+    }
+
+    /// Draws one complete assignment by forward (ancestral) sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<usize> {
+        let mut assignment = vec![0usize; self.vars.len()];
+        for &var in &self.topo {
+            let cpt = &self.cpts[var.index()];
+            let parent_states: Vec<usize> = cpt
+                .parents()
+                .iter()
+                .map(|p| assignment[p.index()])
+                .collect();
+            let u: f64 = rng.random();
+            let mut acc = 0.0;
+            let mut chosen = cpt.child_arity() - 1;
+            for state in 0..cpt.child_arity() {
+                acc += cpt.probability(&parent_states, state);
+                if u < acc {
+                    chosen = state;
+                    break;
+                }
+            }
+            assignment[var.index()] = chosen;
+        }
+        assignment
+    }
+
+    /// Draws `n` samples (see [`BayesNet::sample`]).
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+impl std::fmt::Display for BayesNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BayesNet({} vars, {} edges, {} parameters)",
+            self.var_count(),
+            self.edge_count(),
+            self.parameter_count()
+        )
+    }
+}
+
+/// Incremental builder for [`BayesNet`] (see the network example there).
+#[derive(Default, Debug)]
+pub struct BayesNetBuilder {
+    vars: Vec<Variable>,
+    cpts: Vec<Option<Cpt>>,
+}
+
+impl BayesNetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a variable and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 2`.
+    pub fn variable(&mut self, name: impl Into<String>, arity: usize) -> VarId {
+        let id = VarId::from_index(self.vars.len());
+        self.vars.push(Variable::new(name, arity));
+        self.cpts.push(None);
+        id
+    }
+
+    /// Attaches the CPT `Pr(var | parents)`; arities are taken from the
+    /// declared variables and `table` is row-major with the child state
+    /// varying fastest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::UnknownVariable`] for undeclared ids,
+    /// [`BayesError::DuplicateCpt`] if `var` already has a CPT, and any
+    /// validation error from [`Cpt::new`].
+    pub fn cpt(
+        &mut self,
+        var: VarId,
+        parents: impl IntoIterator<Item = VarId>,
+        table: impl IntoIterator<Item = f64>,
+    ) -> Result<(), BayesError> {
+        let parents: Vec<VarId> = parents.into_iter().collect();
+        if var.index() >= self.vars.len() {
+            return Err(BayesError::UnknownVariable { var });
+        }
+        for &p in &parents {
+            if p.index() >= self.vars.len() {
+                return Err(BayesError::UnknownVariable { var: p });
+            }
+        }
+        if self.cpts[var.index()].is_some() {
+            return Err(BayesError::DuplicateCpt { var });
+        }
+        let mut arities: Vec<usize> = parents
+            .iter()
+            .map(|p| self.vars[p.index()].arity())
+            .collect();
+        arities.push(self.vars[var.index()].arity());
+        let cpt = Cpt::new(var, parents, arities, table.into_iter().collect())?;
+        self.cpts[var.index()] = Some(cpt);
+        Ok(())
+    }
+
+    /// Validates the network and builds it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::MissingCpt`] if a variable has no CPT and
+    /// [`BayesError::CyclicNetwork`] if the parent graph has a cycle.
+    pub fn build(self) -> Result<BayesNet, BayesError> {
+        let n = self.vars.len();
+        let mut cpts = Vec::with_capacity(n);
+        for (i, cpt) in self.cpts.into_iter().enumerate() {
+            cpts.push(cpt.ok_or(BayesError::MissingCpt {
+                var: VarId::from_index(i),
+            })?);
+        }
+        // Kahn's algorithm for a topological order.
+        let mut indegree = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for cpt in &cpts {
+            indegree[cpt.var().index()] = cpt.parents().len();
+            for p in cpt.parents() {
+                children[p.index()].push(cpt.var().index());
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            topo.push(VarId::from_index(v));
+            for &c in &children[v] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(BayesError::CyclicNetwork);
+        }
+        Ok(BayesNet {
+            vars: self.vars,
+            cpts,
+            topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain() -> BayesNet {
+        // A -> B -> C, all binary.
+        let mut b = BayesNetBuilder::new();
+        let a = b.variable("A", 2);
+        let bb = b.variable("B", 2);
+        let c = b.variable("C", 2);
+        b.cpt(a, [], [0.3, 0.7]).unwrap();
+        b.cpt(bb, [a], [0.9, 0.1, 0.2, 0.8]).unwrap();
+        b.cpt(c, [bb], [0.6, 0.4, 0.25, 0.75]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn joint_probability_multiplies_cpt_rows() {
+        let net = chain();
+        // Pr(a1, b0, c1) = 0.7 * 0.2 * 0.4
+        let p = net.joint_probability(&[1, 0, 1]);
+        assert!((p - 0.7 * 0.2 * 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_sums_to_one_with_no_evidence() {
+        let net = chain();
+        let e = Evidence::empty(net.var_count());
+        assert!((net.marginal(&e) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_of_single_variable() {
+        let net = chain();
+        let mut e = Evidence::empty(3);
+        e.observe(VarId::from_index(1), 0);
+        // Pr(B=0) = 0.3*0.9 + 0.7*0.2
+        assert!((net.marginal(&e) - (0.3 * 0.9 + 0.7 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_matches_bayes_rule() {
+        let net = chain();
+        let mut e = Evidence::empty(3);
+        e.observe(VarId::from_index(2), 1);
+        let pr = net.conditional(VarId::from_index(0), 0, &e);
+        // Pr(A=0 | C=1) by hand:
+        let num: f64 = [0, 1]
+            .iter()
+            .map(|&b| {
+                net.joint_probability(&[0, b, 1])
+            })
+            .sum();
+        let den: f64 = [0usize, 1]
+            .iter()
+            .flat_map(|&a| [0usize, 1].map(|b| net.joint_probability(&[a, b, 1])))
+            .sum();
+        assert!((pr - num / den).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpe_finds_the_best_completion() {
+        let net = chain();
+        let e = Evidence::empty(3);
+        let (best, p) = net.mpe(&e);
+        // Best assignment by inspection: a1 (0.7), b1 (0.8), c1 (0.75).
+        assert_eq!(best, vec![1, 1, 1]);
+        assert!((p - 0.7 * 0.8 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let net = chain();
+        let pos: Vec<usize> = (0..3)
+            .map(|i| {
+                net.topological_order()
+                    .iter()
+                    .position(|v| v.index() == i)
+                    .unwrap()
+            })
+            .collect();
+        assert!(pos[0] < pos[1]);
+        assert!(pos[1] < pos[2]);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut b = BayesNetBuilder::new();
+        let a = b.variable("A", 2);
+        let c = b.variable("B", 2);
+        b.cpt(a, [c], [0.5, 0.5, 0.5, 0.5]).unwrap();
+        b.cpt(c, [a], [0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(b.build().unwrap_err(), BayesError::CyclicNetwork);
+    }
+
+    #[test]
+    fn missing_cpt_is_rejected() {
+        let mut b = BayesNetBuilder::new();
+        let _a = b.variable("A", 2);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BayesError::MissingCpt { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_cpt_is_rejected() {
+        let mut b = BayesNetBuilder::new();
+        let a = b.variable("A", 2);
+        b.cpt(a, [], [0.5, 0.5]).unwrap();
+        assert!(matches!(
+            b.cpt(a, [], [0.4, 0.6]).unwrap_err(),
+            BayesError::DuplicateCpt { .. }
+        ));
+    }
+
+    #[test]
+    fn sampling_approximates_the_marginal() {
+        let net = chain();
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples = net.sample_n(&mut rng, 20_000);
+        let freq_a1 = samples.iter().filter(|s| s[0] == 1).count() as f64 / 20_000.0;
+        assert!((freq_a1 - 0.7).abs() < 0.02, "freq={freq_a1}");
+        // Pr(C=1) = Pr(B=0)*0.4 + Pr(B=1)*0.75
+        let pr_b0 = 0.3 * 0.9 + 0.7 * 0.2;
+        let pr_c1 = pr_b0 * 0.4 + (1.0 - pr_b0) * 0.75;
+        let freq_c1 = samples.iter().filter(|s| s[2] == 1).count() as f64 / 20_000.0;
+        assert!((freq_c1 - pr_c1).abs() < 0.02, "freq={freq_c1}");
+    }
+
+    #[test]
+    fn structure_queries() {
+        let net = chain();
+        assert_eq!(net.roots(), vec![VarId::from_index(0)]);
+        assert_eq!(net.leaves(), vec![VarId::from_index(2)]);
+        assert_eq!(net.edge_count(), 2);
+        assert_eq!(net.parameter_count(), 2 + 4 + 4);
+        assert_eq!(net.find("B"), Some(VarId::from_index(1)));
+        assert_eq!(net.find("Z"), None);
+    }
+}

@@ -1,0 +1,421 @@
+//! Ready-made benchmark networks.
+//!
+//! * [`figure1`] — the example network of the paper's Figure 1.
+//! * [`sprinkler`], [`asia`], [`student`] — classic small networks with
+//!   literature parameters, used as test fixtures.
+//! * [`alarm`] — the 37-node / 46-edge ALARM monitoring network
+//!   (Beinlich et al. 1989), the paper's standard mid-size benchmark. The
+//!   *structure* (nodes, arities, edges) is the published one; the CPT
+//!   entries are seeded Dirichlet draws (see `DESIGN.md`, substitution 5).
+//! * [`random_network`] — seeded random DAGs for property tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::{BayesNet, BayesNetBuilder};
+use crate::rngutil::dirichlet;
+
+/// The example network of the paper's Figure 1(a): `A → B`, `A → C`, with
+/// `A`, `B` binary and `C` ternary.
+pub fn figure1() -> BayesNet {
+    let mut b = BayesNetBuilder::new();
+    let a = b.variable("A", 2);
+    let bb = b.variable("B", 2);
+    let c = b.variable("C", 3);
+    b.cpt(a, [], [0.6, 0.4]).expect("valid cpt");
+    b.cpt(bb, [a], [0.7, 0.3, 0.2, 0.8]).expect("valid cpt");
+    b.cpt(c, [a], [0.5, 0.3, 0.2, 0.1, 0.4, 0.5])
+        .expect("valid cpt");
+    b.build().expect("figure 1 network is valid")
+}
+
+/// The classic sprinkler network: Cloudy → {Sprinkler, Rain} → WetGrass.
+pub fn sprinkler() -> BayesNet {
+    let mut b = BayesNetBuilder::new();
+    let cloudy = b.variable("Cloudy", 2);
+    let sprinkler = b.variable("Sprinkler", 2);
+    let rain = b.variable("Rain", 2);
+    let wet = b.variable("WetGrass", 2);
+    b.cpt(cloudy, [], [0.5, 0.5]).expect("valid cpt");
+    b.cpt(sprinkler, [cloudy], [0.5, 0.5, 0.9, 0.1])
+        .expect("valid cpt");
+    b.cpt(rain, [cloudy], [0.8, 0.2, 0.2, 0.8]).expect("valid cpt");
+    b.cpt(
+        wet,
+        [sprinkler, rain],
+        [1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
+    )
+    .expect("valid cpt");
+    b.build().expect("sprinkler network is valid")
+}
+
+/// The Asia ("chest clinic") network of Lauritzen & Spiegelhalter with the
+/// canonical parameters. State 0 is "no", state 1 is "yes".
+pub fn asia() -> BayesNet {
+    let mut b = BayesNetBuilder::new();
+    let visit = b.variable("VisitAsia", 2);
+    let tub = b.variable("Tuberculosis", 2);
+    let smoke = b.variable("Smoking", 2);
+    let lung = b.variable("LungCancer", 2);
+    let bronc = b.variable("Bronchitis", 2);
+    let either = b.variable("Either", 2);
+    let xray = b.variable("XRay", 2);
+    let dysp = b.variable("Dyspnoea", 2);
+    b.cpt(visit, [], [0.99, 0.01]).expect("valid cpt");
+    b.cpt(tub, [visit], [0.99, 0.01, 0.95, 0.05]).expect("valid cpt");
+    b.cpt(smoke, [], [0.5, 0.5]).expect("valid cpt");
+    b.cpt(lung, [smoke], [0.99, 0.01, 0.9, 0.1]).expect("valid cpt");
+    b.cpt(bronc, [smoke], [0.7, 0.3, 0.4, 0.6]).expect("valid cpt");
+    // Either = Tuberculosis OR LungCancer (deterministic).
+    b.cpt(
+        either,
+        [tub, lung],
+        [1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0],
+    )
+    .expect("valid cpt");
+    b.cpt(xray, [either], [0.95, 0.05, 0.02, 0.98]).expect("valid cpt");
+    b.cpt(
+        dysp,
+        [bronc, either],
+        [0.9, 0.1, 0.3, 0.7, 0.2, 0.8, 0.1, 0.9],
+    )
+    .expect("valid cpt");
+    b.build().expect("asia network is valid")
+}
+
+/// Koller & Friedman's student network (Difficulty, Intelligence, Grade,
+/// SAT, Letter) with the textbook parameters.
+pub fn student() -> BayesNet {
+    let mut b = BayesNetBuilder::new();
+    let diff = b.variable("Difficulty", 2);
+    let intel = b.variable("Intelligence", 2);
+    let grade = b.variable("Grade", 3);
+    let sat = b.variable("SAT", 2);
+    let letter = b.variable("Letter", 2);
+    b.cpt(diff, [], [0.6, 0.4]).expect("valid cpt");
+    b.cpt(intel, [], [0.7, 0.3]).expect("valid cpt");
+    b.cpt(
+        grade,
+        [intel, diff],
+        [
+            0.3, 0.4, 0.3, // i0, d0
+            0.05, 0.25, 0.7, // i0, d1
+            0.9, 0.08, 0.02, // i1, d0
+            0.5, 0.3, 0.2, // i1, d1
+        ],
+    )
+    .expect("valid cpt");
+    b.cpt(sat, [intel], [0.95, 0.05, 0.2, 0.8]).expect("valid cpt");
+    b.cpt(letter, [grade], [0.1, 0.9, 0.4, 0.6, 0.99, 0.01])
+        .expect("valid cpt");
+    b.build().expect("student network is valid")
+}
+
+/// Pearl's earthquake network: Burglary and Earthquake cause Alarm,
+/// which prompts John and Mary to call. Canonical textbook parameters.
+pub fn earthquake() -> BayesNet {
+    let mut b = BayesNetBuilder::new();
+    let burglary = b.variable("Burglary", 2);
+    let quake = b.variable("Earthquake", 2);
+    let alarm = b.variable("Alarm", 2);
+    let john = b.variable("JohnCalls", 2);
+    let mary = b.variable("MaryCalls", 2);
+    b.cpt(burglary, [], [0.999, 0.001]).expect("valid cpt");
+    b.cpt(quake, [], [0.998, 0.002]).expect("valid cpt");
+    b.cpt(
+        alarm,
+        [burglary, quake],
+        [
+            0.999, 0.001, // no burglary, no quake
+            0.71, 0.29, // no burglary, quake
+            0.06, 0.94, // burglary, no quake
+            0.05, 0.95, // burglary, quake
+        ],
+    )
+    .expect("valid cpt");
+    b.cpt(john, [alarm], [0.95, 0.05, 0.1, 0.9]).expect("valid cpt");
+    b.cpt(mary, [alarm], [0.99, 0.01, 0.3, 0.7]).expect("valid cpt");
+    b.build().expect("earthquake network is valid")
+}
+
+/// The cancer network (Korb & Nicholson): Pollution and Smoking cause
+/// Cancer, observed through XRay and Dyspnoea.
+pub fn cancer() -> BayesNet {
+    let mut b = BayesNetBuilder::new();
+    let pollution = b.variable("Pollution", 2);
+    let smoker = b.variable("Smoker", 2);
+    let cancer = b.variable("Cancer", 2);
+    let xray = b.variable("XRay", 2);
+    let dysp = b.variable("Dyspnoea", 2);
+    b.cpt(pollution, [], [0.9, 0.1]).expect("valid cpt");
+    b.cpt(smoker, [], [0.7, 0.3]).expect("valid cpt");
+    b.cpt(
+        cancer,
+        [pollution, smoker],
+        [
+            0.999, 0.001, // low pollution, non-smoker
+            0.97, 0.03, // low pollution, smoker
+            0.98, 0.02, // high pollution, non-smoker
+            0.95, 0.05, // high pollution, smoker
+        ],
+    )
+    .expect("valid cpt");
+    b.cpt(xray, [cancer], [0.8, 0.2, 0.1, 0.9]).expect("valid cpt");
+    b.cpt(dysp, [cancer], [0.7, 0.3, 0.35, 0.65]).expect("valid cpt");
+    b.build().expect("cancer network is valid")
+}
+
+/// Structure of the ALARM network: `(name, arity, parent names)`.
+///
+/// Topology and arities follow Beinlich et al. (1989) — 37 nodes, 46
+/// edges, the standard patient-monitoring benchmark the paper evaluates on.
+const ALARM_STRUCTURE: &[(&str, usize, &[&str])] = &[
+    ("HYPOVOLEMIA", 2, &[]),
+    ("LVFAILURE", 2, &[]),
+    ("ERRLOWOUTPUT", 2, &[]),
+    ("ERRCAUTER", 2, &[]),
+    ("INSUFFANESTH", 2, &[]),
+    ("ANAPHYLAXIS", 2, &[]),
+    ("KINKEDTUBE", 2, &[]),
+    ("DISCONNECT", 2, &[]),
+    ("PULMEMBOLUS", 2, &[]),
+    ("FIO2", 2, &[]),
+    ("MINVOLSET", 3, &[]),
+    ("INTUBATION", 3, &[]),
+    ("LVEDVOLUME", 3, &["HYPOVOLEMIA", "LVFAILURE"]),
+    ("STROKEVOLUME", 3, &["HYPOVOLEMIA", "LVFAILURE"]),
+    ("CVP", 3, &["LVEDVOLUME"]),
+    ("PCWP", 3, &["LVEDVOLUME"]),
+    ("HISTORY", 2, &["LVFAILURE"]),
+    ("TPR", 3, &["ANAPHYLAXIS"]),
+    ("VENTMACH", 4, &["MINVOLSET"]),
+    ("VENTTUBE", 4, &["DISCONNECT", "VENTMACH"]),
+    ("VENTLUNG", 4, &["INTUBATION", "KINKEDTUBE", "VENTTUBE"]),
+    ("VENTALV", 4, &["INTUBATION", "VENTLUNG"]),
+    ("ARTCO2", 3, &["VENTALV"]),
+    ("PVSAT", 3, &["FIO2", "VENTALV"]),
+    ("SHUNT", 2, &["INTUBATION", "PULMEMBOLUS"]),
+    ("SAO2", 3, &["PVSAT", "SHUNT"]),
+    ("PAP", 3, &["PULMEMBOLUS"]),
+    ("PRESS", 4, &["INTUBATION", "KINKEDTUBE", "VENTTUBE"]),
+    ("EXPCO2", 4, &["ARTCO2", "VENTLUNG"]),
+    ("MINVOL", 4, &["INTUBATION", "VENTLUNG"]),
+    ("CATECHOL", 2, &["ARTCO2", "INSUFFANESTH", "SAO2", "TPR"]),
+    ("HR", 3, &["CATECHOL"]),
+    ("CO", 3, &["HR", "STROKEVOLUME"]),
+    ("BP", 3, &["CO", "TPR"]),
+    ("HRBP", 3, &["ERRLOWOUTPUT", "HR"]),
+    ("HREKG", 3, &["ERRCAUTER", "HR"]),
+    ("HRSAT", 3, &["ERRCAUTER", "HR"]),
+];
+
+/// Builds the ALARM network with the published structure and seeded
+/// Dirichlet CPTs (concentration 0.6, which gives realistic, skewed rows).
+///
+/// The same seed always yields the same network.
+pub fn alarm(seed: u64) -> BayesNet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = BayesNetBuilder::new();
+    let mut ids = std::collections::HashMap::new();
+    for &(name, arity, _) in ALARM_STRUCTURE {
+        ids.insert(name, b.variable(name, arity));
+    }
+    for &(name, arity, parents) in ALARM_STRUCTURE {
+        let parent_ids: Vec<_> = parents.iter().map(|p| ids[p]).collect();
+        let rows: usize = parents
+            .iter()
+            .map(|p| {
+                ALARM_STRUCTURE
+                    .iter()
+                    .find(|(n, _, _)| n == p)
+                    .expect("parent declared")
+                    .1
+            })
+            .product();
+        let mut table = Vec::with_capacity(rows * arity);
+        for _ in 0..rows {
+            table.extend(dirichlet(&mut rng, 0.6, arity));
+        }
+        b.cpt(ids[name], parent_ids, table).expect("valid cpt");
+    }
+    b.build().expect("alarm network is valid")
+}
+
+/// Generates a seeded random Bayesian network for property tests:
+/// `var_count` variables with arities in `2..=max_arity`, each variable
+/// choosing up to `max_parents` parents among the previously declared ones,
+/// and Dirichlet(1.0) CPT rows.
+///
+/// # Panics
+///
+/// Panics if `var_count == 0`, `max_arity < 2`.
+pub fn random_network(seed: u64, var_count: usize, max_parents: usize, max_arity: usize) -> BayesNet {
+    assert!(var_count > 0, "need at least one variable");
+    assert!(max_arity >= 2, "arity must be at least 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = BayesNetBuilder::new();
+    let mut vars = Vec::with_capacity(var_count);
+    let mut arities = Vec::with_capacity(var_count);
+    for i in 0..var_count {
+        let arity = rng.random_range(2..=max_arity);
+        vars.push(b.variable(format!("V{i}"), arity));
+        arities.push(arity);
+    }
+    for i in 0..var_count {
+        let possible = i; // parents come from earlier variables only
+        let k = rng.random_range(0..=max_parents.min(possible));
+        // Draw k distinct earlier variables.
+        let mut chosen: Vec<usize> = Vec::new();
+        while chosen.len() < k {
+            let p = rng.random_range(0..possible);
+            if !chosen.contains(&p) {
+                chosen.push(p);
+            }
+        }
+        chosen.sort_unstable();
+        let rows: usize = chosen.iter().map(|&p| arities[p]).product();
+        let mut table = Vec::with_capacity(rows * arities[i]);
+        for _ in 0..rows {
+            table.extend(dirichlet(&mut rng, 1.0, arities[i]));
+        }
+        let parents: Vec<_> = chosen.iter().map(|&p| vars[p]).collect();
+        b.cpt(vars[i], parents, table).expect("valid cpt");
+    }
+    b.build().expect("random network construction is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Evidence;
+    use crate::variable::VarId;
+
+    #[test]
+    fn figure1_matches_the_paper_example() {
+        let net = figure1();
+        assert_eq!(net.var_count(), 3);
+        assert_eq!(net.edge_count(), 2);
+        // The paper's example evidence e = {A = a1, C = c3}: with our
+        // 0-based states, A=0 and C=2.
+        let mut e = Evidence::empty(3);
+        e.observe(net.find("A").unwrap(), 0);
+        e.observe(net.find("C").unwrap(), 2);
+        let pr = net.marginal(&e);
+        // Pr(a0) * Pr(c2 | a0) (B marginalized away).
+        assert!((pr - 0.6 * 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sprinkler_posterior_sanity() {
+        let net = sprinkler();
+        let mut e = Evidence::empty(4);
+        e.observe(net.find("WetGrass").unwrap(), 1);
+        // Grass is wet: rain should be more likely than its prior 0.5.
+        let pr_rain = net.conditional(net.find("Rain").unwrap(), 1, &e);
+        assert!(pr_rain > 0.5, "pr_rain={pr_rain}");
+    }
+
+    #[test]
+    fn asia_classic_query() {
+        let net = asia();
+        // Pr(Tuberculosis=yes) with no evidence is small.
+        let mut e = Evidence::empty(8);
+        e.observe(net.find("Tuberculosis").unwrap(), 1);
+        let pr = net.marginal(&e);
+        assert!((pr - (0.99 * 0.01 + 0.01 * 0.05)).abs() < 1e-12);
+        // Positive x-ray raises the cancer posterior.
+        let mut e = Evidence::empty(8);
+        e.observe(net.find("XRay").unwrap(), 1);
+        let lung = net.find("LungCancer").unwrap();
+        let posterior = net.conditional(lung, 1, &e);
+        let mut prior_e = Evidence::empty(8);
+        prior_e.observe(lung, 1);
+        let prior = net.marginal(&prior_e);
+        assert!(posterior > prior);
+    }
+
+    #[test]
+    fn student_grade_distribution() {
+        let net = student();
+        let g = net.find("Grade").unwrap();
+        let mut total = 0.0;
+        for s in 0..3 {
+            let mut e = Evidence::empty(5);
+            e.observe(g, s);
+            total += net.marginal(&e);
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn earthquake_classic_posterior() {
+        let net = earthquake();
+        // Pearl's classic query: Pr(Burglary | JohnCalls, MaryCalls) ≈ 0.284.
+        let mut e = Evidence::empty(5);
+        e.observe(net.find("JohnCalls").unwrap(), 1);
+        e.observe(net.find("MaryCalls").unwrap(), 1);
+        let pr = net.conditional(net.find("Burglary").unwrap(), 1, &e);
+        assert!((pr - 0.284).abs() < 0.005, "pr={pr}");
+    }
+
+    #[test]
+    fn cancer_network_sanity() {
+        let net = cancer();
+        assert_eq!(net.var_count(), 5);
+        // Smoking raises the cancer posterior.
+        let c = net.find("Cancer").unwrap();
+        let s = net.find("Smoker").unwrap();
+        let mut smoker = Evidence::empty(5);
+        smoker.observe(s, 1);
+        let mut nonsmoker = Evidence::empty(5);
+        nonsmoker.observe(s, 0);
+        assert!(net.conditional(c, 1, &smoker) > net.conditional(c, 1, &nonsmoker));
+    }
+
+    #[test]
+    fn alarm_has_published_shape() {
+        let net = alarm(7);
+        assert_eq!(net.var_count(), 37);
+        assert_eq!(net.edge_count(), 46);
+        // CATECHOL has four parents (the widest family).
+        let cat = net.find("CATECHOL").unwrap();
+        assert_eq!(net.cpt(cat).parents().len(), 4);
+        // Same seed reproduces the same parameters.
+        assert_eq!(net, alarm(7));
+        assert_ne!(net, alarm(8));
+    }
+
+    #[test]
+    fn alarm_cpts_are_strictly_positive() {
+        let net = alarm(7);
+        for cpt in net.cpts() {
+            assert!(cpt.table().iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn alarm_sampling_is_consistent() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let net = alarm(7);
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples = net.sample_n(&mut rng, 100);
+        for s in &samples {
+            assert_eq!(s.len(), 37);
+            for (i, &state) in s.iter().enumerate() {
+                assert!(state < net.variable(VarId::from_index(i)).arity());
+            }
+        }
+    }
+
+    #[test]
+    fn random_networks_are_valid_and_reproducible() {
+        for seed in 0..5 {
+            let net = random_network(seed, 8, 3, 4);
+            assert_eq!(net.var_count(), 8);
+            assert_eq!(net, random_network(seed, 8, 3, 4));
+            let e = Evidence::empty(8);
+            assert!((net.marginal(&e) - 1.0).abs() < 1e-9);
+        }
+    }
+}

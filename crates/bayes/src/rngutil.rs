@@ -1,0 +1,151 @@
+//! Small sampling utilities (normal, gamma, Dirichlet) built on `rand`.
+//!
+//! These keep the workspace's dependency footprint to the plain `rand`
+//! crate; the distributions are only used to generate benchmark CPTs and
+//! synthetic sensor data, so simple textbook algorithms suffice.
+
+use rand::Rng;
+
+/// Draws a standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 (log of zero).
+    let u1: f64 = loop {
+        let u: f64 = rng.random();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a normal sample with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or not finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0 && std_dev.is_finite(), "invalid std deviation");
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a Gamma(shape, 1) sample using Marsaglia–Tsang, with the usual
+/// boost for `shape < 1`.
+///
+/// # Panics
+///
+/// Panics if `shape` is not positive and finite.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0 && shape.is_finite(), "gamma shape must be positive");
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = loop {
+            let u: f64 = rng.random();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u > 0.0 && u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Draws a Dirichlet sample with symmetric concentration `alpha` over `k`
+/// categories. Small `alpha` (< 1) produces skewed, CPT-like rows; large
+/// `alpha` produces near-uniform rows.
+///
+/// Entries are clamped away from exact zero so the resulting CPTs have no
+/// structurally impossible states (keeps min-value analysis meaningful).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `alpha` is not positive.
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    assert!(k >= 2, "dirichlet needs at least two categories");
+    assert!(alpha > 0.0, "dirichlet concentration must be positive");
+    const FLOOR: f64 = 1e-4;
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma(rng, alpha).max(FLOOR)).collect();
+    let sum: f64 = draws.iter().sum();
+    for d in &mut draws {
+        *d /= sum;
+    }
+    // Renormalize exactly to keep CPT validation happy.
+    let sum: f64 = draws.iter().sum();
+    let last = draws.len() - 1;
+    draws[last] += 1.0 - sum;
+    draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for shape in [0.5, 1.0, 3.0, 10.0] {
+            let n = 30_000;
+            let mean: f64 = (0..n).map(|_| gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(1.0),
+                "shape={shape} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_rows_are_normalized_and_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in [2usize, 3, 7] {
+            for alpha in [0.3, 1.0, 5.0] {
+                let row = dirichlet(&mut rng, alpha, k);
+                assert_eq!(row.len(), k);
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12, "sum={sum}");
+                assert!(row.iter().all(|&p| p > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn small_alpha_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // With alpha = 0.2 the max entry should usually dominate.
+        let mut dominant = 0usize;
+        for _ in 0..200 {
+            let row = dirichlet(&mut rng, 0.2, 4);
+            if row.iter().cloned().fold(f64::MIN, f64::max) > 0.7 {
+                dominant += 1;
+            }
+        }
+        assert!(dominant > 100, "dominant={dominant}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Random variables and their identifiers.
+
+/// Identifier of a random variable within a [`BayesNet`].
+///
+/// `VarId`s are dense indices assigned in declaration order by the
+/// [`BayesNetBuilder`]; they index every per-variable table in the crate.
+///
+/// [`BayesNet`]: crate::BayesNet
+/// [`BayesNetBuilder`]: crate::BayesNetBuilder
+///
+/// # Examples
+///
+/// ```
+/// use problp_bayes::VarId;
+///
+/// let v = VarId::from_index(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "X3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+impl VarId {
+    /// Creates a variable id from its dense index.
+    #[inline]
+    pub const fn from_index(index: usize) -> Self {
+        VarId(index)
+    }
+
+    /// The dense index of this variable.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// A named discrete random variable with a fixed number of states.
+///
+/// # Examples
+///
+/// ```
+/// use problp_bayes::Variable;
+///
+/// let v = Variable::new("Rain", 2);
+/// assert_eq!(v.name(), "Rain");
+/// assert_eq!(v.arity(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Variable {
+    name: String,
+    arity: usize,
+}
+
+impl Variable {
+    /// Creates a variable with the given name and number of states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 2` (a random variable needs at least two states).
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        assert!(arity >= 2, "a discrete variable needs at least two states");
+        Variable {
+            name: name.into(),
+            arity,
+        }
+    }
+
+    /// The variable's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of states.
+    #[inline]
+    pub const fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+impl std::fmt::Display for Variable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}({})", self.name, self.arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_id_roundtrip() {
+        for i in [0usize, 1, 100] {
+            assert_eq!(VarId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn var_ids_order_by_index() {
+        assert!(VarId::from_index(1) < VarId::from_index(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two states")]
+    fn unary_variables_are_rejected() {
+        let _ = Variable::new("bad", 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Variable::new("Rain", 2).to_string(), "Rain(2)");
+        assert_eq!(VarId::from_index(7).to_string(), "X7");
+    }
+}

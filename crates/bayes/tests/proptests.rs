@@ -1,0 +1,105 @@
+//! Property tests for the Bayesian-network crate: probability axioms,
+//! serialization roundtrips, sampling consistency and learning sanity on
+//! random networks.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use problp_bayes::{io, networks, Evidence, LabeledDataset, NaiveBayes, VarId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn joint_probabilities_form_a_distribution(seed in 0u64..500) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        // Sum over all complete assignments equals one.
+        let e = Evidence::empty(net.var_count());
+        let total = net.marginal(&e);
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginals_are_monotone_in_evidence(
+        seed in 0u64..500,
+        var in 0usize..6,
+        state in 0usize..2,
+    ) {
+        // Observing one more variable can only shrink the probability.
+        let net = networks::random_network(seed, 6, 2, 3);
+        let v = VarId::from_index(var % net.var_count());
+        let s = state % net.variable(v).arity();
+        let empty = Evidence::empty(net.var_count());
+        let mut observed = empty.clone();
+        observed.observe(v, s);
+        prop_assert!(net.marginal(&observed) <= net.marginal(&empty) + 1e-12);
+    }
+
+    #[test]
+    fn conditionals_normalize(seed in 0u64..500, var in 0usize..6) {
+        let net = networks::random_network(seed, 5, 2, 3);
+        let v = VarId::from_index(var % net.var_count());
+        let mut e = Evidence::empty(net.var_count());
+        // Observe some other variable.
+        let other = VarId::from_index((var + 1) % net.var_count());
+        if other != v {
+            e.observe(other, 0);
+        }
+        prop_assume!(net.marginal(&e) > 1e-12);
+        let total: f64 = (0..net.variable(v).arity())
+            .map(|s| net.conditional(v, s, &e))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_format_roundtrips_random_networks(seed in 0u64..500) {
+        let net = networks::random_network(seed, 8, 3, 4);
+        let text = io::to_text(&net, "random");
+        let back = io::from_text(&text).unwrap();
+        prop_assert_eq!(back, net);
+    }
+
+    #[test]
+    fn mpe_value_is_attained_by_its_assignment(seed in 0u64..500) {
+        let net = networks::random_network(seed, 5, 2, 3);
+        let e = Evidence::empty(net.var_count());
+        let (assignment, p) = net.mpe(&e);
+        prop_assert!((net.joint_probability(&assignment) - p).abs() < 1e-12);
+        // No sampled assignment beats it.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let sample = net.sample(&mut rng);
+            prop_assert!(net.joint_probability(&sample) <= p + 1e-12);
+        }
+    }
+
+    #[test]
+    fn samples_respect_arities(seed in 0u64..500) {
+        let net = networks::random_network(seed, 7, 3, 4);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for sample in net.sample_n(&mut rng, 20) {
+            for (v, &s) in sample.iter().enumerate() {
+                prop_assert!(s < net.variable(VarId::from_index(v)).arity());
+            }
+        }
+    }
+
+    #[test]
+    fn naive_bayes_posteriors_normalize(
+        rows in proptest::collection::vec((0usize..3, 0usize..3, 0usize..2), 12..40),
+    ) {
+        let features: Vec<Vec<usize>> = rows.iter().map(|&(a, b, _)| vec![a, b]).collect();
+        let labels: Vec<usize> = rows.iter().map(|&(_, _, l)| l).collect();
+        prop_assume!(labels.contains(&0) && labels.contains(&1));
+        let ds = LabeledDataset::new(features, labels, vec![3, 3], 2).unwrap();
+        let nb = NaiveBayes::fit(&ds, 1.0).unwrap();
+        for a in 0..3 {
+            for b in 0..3 {
+                let total: f64 = (0..2).map(|c| nb.posterior(&[a, b], c)).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//! decomposition shape (balanced vs chain), leaf-error model (worst-case
+//! vs exact), and the pipelined netlist simulator's throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use problp_ac::{compile, transform};
+use problp_bayes::{networks, Evidence};
+use problp_bounds::{fixed_error_bound, AcAnalysis, LeafErrorModel};
+use problp_hw::{Netlist, PipelineSim};
+use problp_num::{FixedArith, FixedFormat, Representation};
+
+fn bench_ablations(c: &mut Criterion) {
+    let net = networks::alarm(7);
+    let raw = compile(&net).unwrap();
+    let format = FixedFormat::new(1, 14).unwrap();
+
+    // Ablation 1: balanced vs chain decomposition (depth, bound, energy
+    // all differ; here we measure the transform cost and report shapes).
+    c.bench_function("ablation/binarize_balanced", |b| {
+        b.iter(|| black_box(transform::binarize(black_box(&raw)).unwrap()))
+    });
+    c.bench_function("ablation/binarize_chain", |b| {
+        b.iter(|| black_box(transform::binarize_chain(black_box(&raw)).unwrap()))
+    });
+
+    let balanced = transform::binarize(&raw).unwrap();
+    let chain = transform::binarize_chain(&raw).unwrap();
+    eprintln!(
+        "ablation shapes: balanced depth {}, chain depth {}",
+        balanced.stats().depth,
+        chain.stats().depth
+    );
+
+    // Ablation 2: leaf-error model.
+    let analysis = AcAnalysis::new(&balanced).unwrap();
+    c.bench_function("ablation/bound_worstcase_leaves", |b| {
+        b.iter(|| {
+            black_box(
+                fixed_error_bound(&balanced, &analysis, format, LeafErrorModel::WorstCase)
+                    .unwrap()
+                    .root_bound(),
+            )
+        })
+    });
+    c.bench_function("ablation/bound_exact_leaves", |b| {
+        b.iter(|| {
+            black_box(
+                fixed_error_bound(&balanced, &analysis, format, LeafErrorModel::Exact)
+                    .unwrap()
+                    .root_bound(),
+            )
+        })
+    });
+
+    // Ablation 3: hardware simulation throughput (one pipelined cycle).
+    let nl = Netlist::from_ac(&balanced, Representation::Fixed(format)).unwrap();
+    let e = Evidence::empty(net.var_count());
+    c.bench_function("ablation/pipeline_cycle", |b| {
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        b.iter(|| black_box(sim.step(Some(black_box(&e))).unwrap()))
+    });
+
+    // Ablation 4: multiplier rounding mode in the software datapath.
+    use problp_num::FixedRounding;
+    c.bench_function("ablation/eval_halfup", |b| {
+        b.iter(|| {
+            let mut ctx = FixedArith::with_rounding(format, FixedRounding::HalfUp);
+            black_box(
+                balanced
+                    .evaluate_with(&mut ctx, black_box(&e), problp_ac::Semiring::SumProduct)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("ablation/eval_truncate", |b| {
+        b.iter(|| {
+            let mut ctx = FixedArith::with_rounding(format, FixedRounding::Truncate);
+            black_box(
+                balanced
+                    .evaluate_with(&mut ctx, black_box(&e), problp_ac::Semiring::SumProduct)
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Ablation 5: sequential accelerator (one full evaluation = one
+    // instruction stream) vs one pipeline cycle above.
+    let schedule = problp_hw::Schedule::from_netlist(&nl).unwrap();
+    c.bench_function("ablation/schedule_execute", |b| {
+        b.iter(|| {
+            let mut ctx = FixedArith::new(format);
+            black_box(schedule.execute(&mut ctx, black_box(&e)).unwrap())
+        })
+    });
+
+    // Ablation 6: the optimisation pass on a foldable circuit.
+    let asia = compile(&networks::asia()).unwrap();
+    c.bench_function("ablation/optimize_asia", |b| {
+        b.iter(|| black_box(problp_ac::optimize(black_box(&asia)).unwrap().1))
+    });
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

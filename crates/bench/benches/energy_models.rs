@@ -1,0 +1,49 @@
+//! Criterion bench for the Table 1 pipeline: operator-level model
+//! evaluation and whole-circuit energy estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use problp_ac::{compile, transform::binarize};
+use problp_bayes::networks;
+use problp_energy::{fixed_ac_energy, float_ac_energy, CellLibrary, EnergyModel, Tsmc65Model};
+use problp_num::{FixedFormat, FloatFormat};
+
+fn bench_energy_models(c: &mut Criterion) {
+    let model = Tsmc65Model;
+    let lib = CellLibrary::default();
+    let fx = FixedFormat::new(1, 15).unwrap();
+    let fl = FloatFormat::new(8, 13).unwrap();
+
+    c.bench_function("table1/operator_models", |b| {
+        b.iter(|| {
+            let a = model.fixed_add_fj(black_box(fx));
+            let m = model.fixed_mul_fj(black_box(fx));
+            let fa = model.float_add_fj(black_box(fl));
+            let fm = model.float_mul_fj(black_box(fl));
+            black_box(a + m + fa + fm)
+        })
+    });
+
+    c.bench_function("table1/gate_level_models", |b| {
+        b.iter(|| {
+            let a = lib.fixed_add_fj(black_box(fx));
+            let m = lib.fixed_mul_fj(black_box(fx));
+            let fa = lib.float_add_fj(black_box(fl));
+            let fm = lib.float_mul_fj(black_box(fl));
+            black_box(a + m + fa + fm)
+        })
+    });
+
+    let alarm = binarize(&compile(&networks::alarm(7)).unwrap()).unwrap();
+    c.bench_function("table1/alarm_circuit_energy", |b| {
+        b.iter(|| {
+            let fx_e = fixed_ac_energy(black_box(&alarm), fx, &model);
+            let fl_e = float_ac_energy(black_box(&alarm), fl, &model);
+            black_box(fx_e.total_nj() + fl_e.total_nj())
+        })
+    });
+}
+
+criterion_group!(benches, bench_energy_models);
+criterion_main!(benches);

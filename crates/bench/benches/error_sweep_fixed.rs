@@ -1,0 +1,63 @@
+//! Criterion bench for the Figure 5(a) pipeline: fixed-point bound
+//! computation and low-precision evaluation on the Alarm circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use problp_ac::Semiring;
+use problp_bench::alarm_fixture;
+use problp_bounds::{fixed_error_bound, fixed_query_bound, LeafErrorModel, QueryType, Tolerance};
+use problp_num::{Arith, FixedArith, FixedFormat};
+
+fn bench_fixed_sweep(c: &mut Criterion) {
+    let fixture = alarm_fixture(8);
+    let format = FixedFormat::new(1, 14).unwrap();
+
+    c.bench_function("fig5a/bound_propagation", |b| {
+        b.iter(|| {
+            let bound = fixed_error_bound(
+                black_box(&fixture.ac),
+                &fixture.analysis,
+                format,
+                LeafErrorModel::WorstCase,
+            )
+            .unwrap();
+            black_box(bound.root_bound())
+        })
+    });
+
+    c.bench_function("fig5a/query_bound", |b| {
+        b.iter(|| {
+            black_box(
+                fixed_query_bound(
+                    &fixture.ac,
+                    &fixture.analysis,
+                    format,
+                    QueryType::Marginal,
+                    Tolerance::Absolute(1.0),
+                    LeafErrorModel::WorstCase,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    let evidence = &fixture.bench.test_evidence[0];
+    c.bench_function("fig5a/lp_evaluation", |b| {
+        b.iter(|| {
+            let mut ctx = FixedArith::new(format);
+            let v = fixture
+                .ac
+                .evaluate_with(&mut ctx, black_box(evidence), Semiring::SumProduct)
+                .unwrap();
+            black_box(ctx.to_f64(&v))
+        })
+    });
+
+    c.bench_function("fig5a/exact_evaluation", |b| {
+        b.iter(|| black_box(fixture.ac.evaluate(black_box(evidence)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_fixed_sweep);
+criterion_main!(benches);

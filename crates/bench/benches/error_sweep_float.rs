@@ -1,0 +1,65 @@
+//! Criterion bench for the Figure 5(b) pipeline: floating-point bound
+//! computation and soft-float evaluation on the Alarm circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use problp_ac::Semiring;
+use problp_bench::alarm_fixture;
+use problp_bounds::{float_error_bound, required_exp_bits};
+use problp_num::{Arith, FloatArith, FloatFormat};
+
+fn bench_float_sweep(c: &mut Criterion) {
+    let fixture = alarm_fixture(8);
+    let exp_bits = required_exp_bits(&fixture.analysis, 0.5).unwrap();
+    let format = FloatFormat::new(exp_bits, 13).unwrap();
+
+    c.bench_function("fig5b/bound_propagation", |b| {
+        b.iter(|| {
+            let bound =
+                float_error_bound(black_box(&fixture.ac), &fixture.analysis, format).unwrap();
+            black_box(bound.relative_bound())
+        })
+    });
+
+    c.bench_function("fig5b/exp_bit_sizing", |b| {
+        b.iter(|| black_box(required_exp_bits(&fixture.analysis, 0.01).unwrap()))
+    });
+
+    let evidence = &fixture.bench.test_evidence[0];
+    c.bench_function("fig5b/lp_evaluation", |b| {
+        b.iter(|| {
+            let mut ctx = FloatArith::new(format);
+            let v = fixture
+                .ac
+                .evaluate_with(&mut ctx, black_box(evidence), Semiring::SumProduct)
+                .unwrap();
+            black_box(ctx.to_f64(&v))
+        })
+    });
+
+    // Soft-float operator microbenchmarks (the inner loop of every
+    // experiment).
+    c.bench_function("fig5b/softfloat_mul", |b| {
+        let mut ctx = FloatArith::new(format);
+        let x = ctx.from_f64(0.37);
+        let y = ctx.from_f64(0.61);
+        b.iter(|| {
+            let v = ctx.mul(black_box(&x), black_box(&y));
+            black_box(v)
+        })
+    });
+
+    c.bench_function("fig5b/softfloat_add", |b| {
+        let mut ctx = FloatArith::new(format);
+        let x = ctx.from_f64(0.37);
+        let y = ctx.from_f64(0.61);
+        b.iter(|| {
+            let v = ctx.add(black_box(&x), black_box(&y));
+            black_box(v)
+        })
+    });
+}
+
+criterion_group!(benches, bench_float_sweep);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench for the Table 2 pipeline: the whole ProbLP framework
+//! (analyses, bit-width search, energy comparison, selection) plus
+//! compilation and hardware generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use problp_ac::{compile, transform::binarize};
+use problp_bayes::networks;
+use problp_bounds::{QueryType, Tolerance};
+use problp_core::Problp;
+use problp_hw::{emit_verilog, Netlist};
+use problp_num::{FixedFormat, Representation};
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let alarm = networks::alarm(7);
+    let alarm_ac = compile(&alarm).unwrap();
+
+    c.bench_function("table2/compile_alarm", |b| {
+        b.iter(|| black_box(compile(black_box(&alarm)).unwrap()))
+    });
+
+    c.bench_function("table2/binarize_alarm", |b| {
+        b.iter(|| black_box(binarize(black_box(&alarm_ac)).unwrap()))
+    });
+
+    c.bench_function("table2/problp_run_alarm", |b| {
+        b.iter(|| {
+            black_box(
+                Problp::new(black_box(&alarm_ac))
+                    .query(QueryType::Marginal)
+                    .tolerance(Tolerance::Absolute(0.01))
+                    .skip_rtl()
+                    .run()
+                    .unwrap(),
+            )
+        })
+    });
+
+    let uiwads = problp_data::uiwads_benchmark(7);
+    let uiwads_ac = compile(&uiwads.net).unwrap();
+    c.bench_function("table2/problp_run_uiwads_conditional", |b| {
+        b.iter(|| {
+            black_box(
+                Problp::new(black_box(&uiwads_ac))
+                    .query(QueryType::Conditional)
+                    .tolerance(Tolerance::Relative(0.01))
+                    .skip_rtl()
+                    .run()
+                    .unwrap(),
+            )
+        })
+    });
+
+    let bin = binarize(&alarm_ac).unwrap();
+    let repr = Representation::Fixed(FixedFormat::new(1, 14).unwrap());
+    c.bench_function("table2/netlist_alarm", |b| {
+        b.iter(|| black_box(Netlist::from_ac(black_box(&bin), repr).unwrap()))
+    });
+
+    let nl = Netlist::from_ac(&bin, repr).unwrap();
+    c.bench_function("table2/verilog_alarm", |b| {
+        b.iter(|| black_box(emit_verilog(black_box(&nl)).len()))
+    });
+}
+
+criterion_group!(benches, bench_full_pipeline);
+criterion_main!(benches);

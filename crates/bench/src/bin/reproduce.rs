@@ -1,0 +1,157 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p problp-bench --bin reproduce -- all
+//! cargo run --release -p problp-bench --bin reproduce -- table2 --instances 1000
+//! cargo run --release -p problp-bench --bin reproduce -- all --write-experiments
+//! ```
+//!
+//! Subcommands: `table1`, `fig5a`, `fig5b`, `table2`, `ablations`,
+//! `accuracy`, `missing`, `all`.
+//! Options: `--instances N` (test instances per benchmark, default 300;
+//! the paper uses 1000 for Alarm), `--write-experiments` (rewrite
+//! `EXPERIMENTS.md` from the measured results).
+
+use problp_bench::{
+    alarm_fixture, figure5a, figure5b, render_sweep, render_table2, table1, table2, SEED,
+};
+
+struct Options {
+    command: String,
+    instances: usize,
+    write_experiments: bool,
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        command: "all".to_string(),
+        instances: 300,
+        write_experiments: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--instances" => {
+                opts.instances = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--instances needs a number"));
+            }
+            "--write-experiments" => opts.write_experiments = true,
+            "table1" | "fig5a" | "fig5b" | "table2" | "ablations" | "accuracy" | "missing"
+            | "all" => {
+                opts.command = arg
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    opts
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|all] [--instances N] [--write-experiments]");
+    std::process::exit(2);
+}
+
+/// The sweep grid of Figure 5 (the paper sweeps 8..=40).
+const SWEEP_BITS: [u32; 9] = [8, 12, 16, 20, 24, 28, 32, 36, 40];
+
+fn main() {
+    let opts = parse_args();
+    let mut sections: Vec<String> = Vec::new();
+
+    if matches!(opts.command.as_str(), "table1" | "all") {
+        let t = table1();
+        println!("{t}");
+        sections.push(format!("## Table 1 — operator energy models\n\n```text\n{t}```\n"));
+    }
+
+    let need_alarm = matches!(opts.command.as_str(), "fig5a" | "fig5b" | "all");
+    let fixture = need_alarm.then(|| {
+        eprintln!(
+            "building alarm fixture (seed {SEED}, {} instances)...",
+            opts.instances
+        );
+        alarm_fixture(opts.instances)
+    });
+
+    if matches!(opts.command.as_str(), "fig5a" | "all") {
+        let fixture = fixture.as_ref().expect("fixture built");
+        let points = figure5a(fixture, &SWEEP_BITS);
+        let t = render_sweep(
+            &format!(
+                "Figure 5(a): fixed-point marginal on Alarm, I=1, {} test instances — absolute error",
+                fixture.bench.test_len()
+            ),
+            "max obs.",
+            &points,
+        );
+        println!("{t}");
+        sections.push(format!(
+            "## Figure 5(a) — fixed-point bound vs observed error\n\n```text\n{t}```\n"
+        ));
+    }
+
+    if matches!(opts.command.as_str(), "fig5b" | "all") {
+        let fixture = fixture.as_ref().expect("fixture built");
+        let points = figure5b(fixture, &SWEEP_BITS);
+        let t = render_sweep(
+            &format!(
+                "Figure 5(b): floating-point marginal on Alarm, {} test instances — relative error",
+                fixture.bench.test_len()
+            ),
+            "max obs.",
+            &points,
+        );
+        println!("{t}");
+        sections.push(format!(
+            "## Figure 5(b) — floating-point bound vs observed error\n\n```text\n{t}```\n"
+        ));
+    }
+
+    if matches!(opts.command.as_str(), "table2" | "all") {
+        eprintln!(
+            "running the full framework on all benchmarks ({} instances each)...",
+            opts.instances
+        );
+        let rows = table2(opts.instances);
+        let t = render_table2(&rows);
+        println!("{t}");
+        sections.push(format!("## Table 2 — overall performance\n\n```text\n{t}```\n"));
+    }
+
+    if matches!(opts.command.as_str(), "accuracy" | "all") {
+        let t = problp_bench::accuracy_report(opts.instances);
+        println!("{t}");
+        sections.push(format!(
+            "## Classification impact\n\n```text\n{t}```\n"
+        ));
+    }
+
+    if matches!(opts.command.as_str(), "missing" | "all") {
+        let t = problp_bench::missing_data_report(opts.instances.min(100), 0.01);
+        println!("{t}");
+        sections.push(format!("## Missing-data robustness\n\n```text\n{t}```\n"));
+    }
+
+    if matches!(opts.command.as_str(), "ablations" | "all") {
+        let t = problp_bench::ablation_report();
+        println!("{t}");
+        sections.push(format!("## Ablations — design choices\n\n```text\n{t}```\n"));
+    }
+
+    if opts.write_experiments {
+        let doc = format!(
+            "# EXPERIMENTS — measured reproduction results\n\n\
+             Generated by `cargo run --release -p problp-bench --bin reproduce -- {} --instances {}`\n\
+             (seed {SEED}). See `DESIGN.md` for the substitutions relative to the paper's setup\n\
+             and the bottom of this file for the paper-vs-measured discussion.\n\n{}",
+            opts.command,
+            opts.instances,
+            sections.join("\n")
+        );
+        std::fs::write("EXPERIMENTS.generated.md", doc).expect("write EXPERIMENTS.generated.md");
+        eprintln!("wrote EXPERIMENTS.generated.md");
+    }
+}

@@ -1,0 +1,764 @@
+//! # problp-bench — experiment harness for the ProbLP reproduction
+//!
+//! One function per table/figure of the paper's evaluation:
+//!
+//! * [`table1`] — the operator energy models (paper Table 1) next to the
+//!   independent gate-level estimates;
+//! * [`figure5a`] / [`figure5b`] — bound-vs-observed error sweeps on the
+//!   Alarm circuit (paper Fig. 5);
+//! * [`table2`] — the full framework on all four benchmarks (paper
+//!   Table 2).
+//!
+//! The `reproduce` binary renders these as text tables and can emit the
+//! `EXPERIMENTS.md` report; the Criterion benches in `benches/` measure
+//! the runtime cost of each experiment's pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use problp_ac::{compile, transform::binarize, AcGraph};
+use problp_bounds::{
+    fixed_query_bound, float_query_bound, AcAnalysis, BoundsError, LeafErrorModel, QueryType,
+    Tolerance,
+};
+use problp_core::{gate_level_energy_nj, measure_errors, Problp};
+use problp_data::Benchmark;
+use problp_energy::{CellLibrary, EnergyModel, Tsmc65Model};
+use problp_hw::Netlist;
+use problp_num::{FixedFormat, FloatFormat, Representation};
+
+/// Default RNG seed for every experiment (reproducible end to end).
+pub const SEED: u64 = 7;
+
+/// Renders Table 1: the fitted operator-level energy models, with the
+/// gate-level structural estimates alongside (the reproduction's
+/// "post-synthesis" stand-in).
+pub fn table1() -> String {
+    let model = Tsmc65Model;
+    let lib = CellLibrary::default();
+    let mut out = String::new();
+    out.push_str("Table 1: energy models for arithmetic operators at 1 V (fJ/op)\n");
+    out.push_str("  fitted model (paper)                 | this repo's gate-level estimate\n");
+    out.push_str(&format!(
+        "{:>6} | {:>10} | {:>10} | {:>10} | {:>10} || {:>9} | {:>9} | {:>9} | {:>9}\n",
+        "bits", "fx add", "fx mul", "fl add", "fl mul", "g fx add", "g fx mul", "g fl add", "g fl mul"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(118)));
+    for bits in [8u32, 12, 16, 20, 24, 32] {
+        let fx = FixedFormat::new(1, bits - 1).expect("valid format");
+        let fl = FloatFormat::new(8, bits - 1).expect("valid format");
+        out.push_str(&format!(
+            "{bits:>6} | {:>10.1} | {:>10.1} | {:>10.1} | {:>10.1} || {:>9.1} | {:>9.1} | {:>9.1} | {:>9.1}\n",
+            model.fixed_add_fj(fx),
+            model.fixed_mul_fj(fx),
+            model.float_add_fj(fl),
+            model.float_mul_fj(fl),
+            lib.fixed_add_fj(fx),
+            lib.fixed_mul_fj(fx),
+            lib.float_add_fj(fl),
+            lib.float_mul_fj(fl),
+        ));
+    }
+    out.push_str("\nmodels: fx add 7.8N | fx mul 1.9 N^2 log2 N | fl add 44.74 (M+1) | fl mul 2.9 (M+1)^2 log2(M+1)\n");
+    out
+}
+
+/// One point of a Figure 5 sweep.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SweepPoint {
+    /// Fraction (5a) or mantissa (5b) bits.
+    pub bits: u32,
+    /// The analytical worst-case bound.
+    pub bound: f64,
+    /// Largest error observed on the test set.
+    pub max_observed: f64,
+    /// Mean error observed on the test set.
+    pub mean_observed: f64,
+}
+
+/// The Alarm fixture shared by Figure 5 and Table 2.
+pub struct AlarmFixture {
+    /// The benchmark (network, query variable, test evidences).
+    pub bench: Benchmark,
+    /// The binarized circuit.
+    pub ac: AcGraph,
+    /// Its value-range analysis.
+    pub analysis: AcAnalysis,
+}
+
+/// Builds the Alarm fixture with `instances` sampled test records (the
+/// paper uses 1000).
+pub fn alarm_fixture(instances: usize) -> AlarmFixture {
+    let bench = problp_data::alarm_benchmark(SEED, instances);
+    let ac = binarize(&compile(&bench.net).expect("alarm compiles"))
+        .expect("alarm binarizes");
+    let analysis = AcAnalysis::new(&ac).expect("alarm analyzes");
+    AlarmFixture {
+        bench,
+        ac,
+        analysis,
+    }
+}
+
+/// Figure 5(a): fixed-point marginal query on Alarm — analytical bound
+/// and observed mean/max absolute error versus fraction bits (I = 1,
+/// F = 8..=40 in the paper).
+pub fn figure5a(fixture: &AlarmFixture, frac_bits: &[u32]) -> Vec<SweepPoint> {
+    frac_bits
+        .iter()
+        .map(|&frac| {
+            let format = FixedFormat::new(1, frac).expect("valid format");
+            let bound = fixed_query_bound(
+                &fixture.ac,
+                &fixture.analysis,
+                format,
+                QueryType::Marginal,
+                Tolerance::Absolute(1.0),
+                LeafErrorModel::WorstCase,
+            )
+            .expect("bound computes");
+            let stats = measure_errors(
+                &fixture.ac,
+                Representation::Fixed(format),
+                QueryType::Marginal,
+                fixture.bench.query_var,
+                &fixture.bench.test_evidence,
+            )
+            .expect("measurement runs");
+            SweepPoint {
+                bits: frac,
+                bound,
+                max_observed: stats.max_abs,
+                mean_observed: stats.mean_abs,
+            }
+        })
+        .collect()
+}
+
+/// Figure 5(b): floating-point marginal query on Alarm — analytical bound
+/// and observed mean/max relative error versus mantissa bits (E fixed by
+/// the max-min analysis, M = 8..=40 in the paper).
+pub fn figure5b(fixture: &AlarmFixture, mant_bits: &[u32]) -> Vec<SweepPoint> {
+    let exp_bits =
+        problp_bounds::required_exp_bits(&fixture.analysis, 0.5).expect("range representable");
+    mant_bits
+        .iter()
+        .map(|&mant| {
+            let format = FloatFormat::new(exp_bits, mant).expect("valid format");
+            let bound = float_query_bound(
+                &fixture.ac,
+                &fixture.analysis,
+                format,
+                QueryType::Marginal,
+                Tolerance::Relative(1.0),
+            )
+            .expect("bound computes");
+            let stats = measure_errors(
+                &fixture.ac,
+                Representation::Float(format),
+                QueryType::Marginal,
+                fixture.bench.query_var,
+                &fixture.bench.test_evidence,
+            )
+            .expect("measurement runs");
+            SweepPoint {
+                bits: mant,
+                bound,
+                max_observed: stats.max_rel,
+                mean_observed: stats.mean_rel,
+            }
+        })
+        .collect()
+}
+
+/// Renders a Figure 5 sweep as a text series.
+pub fn render_sweep(title: &str, metric: &str, points: &[SweepPoint]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:>6} | {:>12} | {:>12} | {:>12} | bound/observed\n",
+        "bits", "bound", metric, "mean"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(68)));
+    for p in points {
+        let ratio = if p.max_observed > 0.0 {
+            format!("{:>10.1}x", p.bound / p.max_observed)
+        } else {
+            "        inf".to_string()
+        };
+        out.push_str(&format!(
+            "{:>6} | {:>12.3e} | {:>12.3e} | {:>12.3e} | {ratio}\n",
+            p.bits, p.bound, p.max_observed, p.mean_observed
+        ));
+    }
+    out
+}
+
+/// One row of Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub ac_name: String,
+    /// Query type.
+    pub query: QueryType,
+    /// Error tolerance.
+    pub tolerance: Tolerance,
+    /// Optimal fixed representation and its predicted energy, or the
+    /// failure (`>64` idiom / not applicable).
+    pub fixed: Result<(FixedFormat, f64), BoundsError>,
+    /// Optimal float representation and its predicted energy.
+    pub float: Result<(FloatFormat, f64), BoundsError>,
+    /// Whether the selected representation is the fixed one.
+    pub selected_fixed: bool,
+    /// Max error observed on the test set with the selected
+    /// representation (in the tolerance's metric).
+    pub max_observed: f64,
+    /// Gate-level ("post-synthesis" stand-in) energy of the selected
+    /// datapath, nJ/eval.
+    pub gate_level_nj: f64,
+    /// Energy with 32-bit float operators, nJ/eval.
+    pub float32_nj: f64,
+}
+
+/// The paper's Table 2 row list: benchmark × (query, tolerance metric)
+/// combinations.
+pub fn table2_combos() -> Vec<(&'static str, QueryType, Tolerance)> {
+    vec![
+        ("HAR", QueryType::Marginal, Tolerance::Absolute(0.01)),
+        ("HAR", QueryType::Marginal, Tolerance::Relative(0.01)),
+        ("HAR", QueryType::Conditional, Tolerance::Absolute(0.01)),
+        ("HAR", QueryType::Conditional, Tolerance::Relative(0.01)),
+        ("UNIMIB", QueryType::Marginal, Tolerance::Absolute(0.01)),
+        ("UNIMIB", QueryType::Conditional, Tolerance::Relative(0.01)),
+        ("UIWADS", QueryType::Marginal, Tolerance::Absolute(0.01)),
+        ("UIWADS", QueryType::Marginal, Tolerance::Relative(0.01)),
+        ("Alarm", QueryType::Marginal, Tolerance::Absolute(0.01)),
+        ("Alarm", QueryType::Conditional, Tolerance::Relative(0.01)),
+    ]
+}
+
+/// Builds the named benchmark (test set truncated to `instances`).
+pub fn benchmark_by_name(name: &str, instances: usize) -> Benchmark {
+    let mut bench = match name {
+        "HAR" => problp_data::har_benchmark(SEED),
+        "UNIMIB" => problp_data::unimib_benchmark(SEED),
+        "UIWADS" => problp_data::uiwads_benchmark(SEED),
+        "Alarm" => problp_data::alarm_benchmark(SEED, instances),
+        other => panic!("unknown benchmark {other}"),
+    };
+    bench.test_evidence.truncate(instances);
+    if let Some(labels) = &mut bench.test_labels {
+        labels.truncate(instances);
+    }
+    bench
+}
+
+/// Runs one Table 2 row end to end.
+pub fn table2_row(bench: &Benchmark, query: QueryType, tolerance: Tolerance) -> Table2Row {
+    let raw = compile(&bench.net).expect("benchmark compiles");
+    let report = Problp::new(&raw)
+        .query(query)
+        .tolerance(tolerance)
+        .skip_rtl()
+        .run()
+        .expect("at least one representation is feasible");
+    let bin = binarize(&raw).expect("benchmark binarizes");
+    let stats = measure_errors(
+        &bin,
+        report.selected.repr,
+        query,
+        bench.query_var,
+        &bench.test_evidence,
+    )
+    .expect("measurement runs");
+    let max_observed = match tolerance {
+        Tolerance::Absolute(_) => stats.max_abs,
+        Tolerance::Relative(_) => stats.max_rel,
+    };
+    // Gate-level estimate for the selected datapath.
+    let nl = Netlist::from_ac(&bin, report.selected.repr).expect("netlist builds");
+    let gate_level_nj =
+        gate_level_energy_nj(&nl.stats(), report.selected.repr, &CellLibrary::default());
+    let fixed = match (&report.fixed, &report.fixed_failure) {
+        (Some(c), _) => Ok((
+            c.repr.as_fixed().expect("fixed candidate"),
+            c.energy.total_nj(),
+        )),
+        (None, Some(e)) => Err(e.clone()),
+        _ => unreachable!("candidate or failure always present"),
+    };
+    let float = match (&report.float, &report.float_failure) {
+        (Some(c), _) => Ok((
+            c.repr.as_float().expect("float candidate"),
+            c.energy.total_nj(),
+        )),
+        (None, Some(e)) => Err(e.clone()),
+        _ => unreachable!("candidate or failure always present"),
+    };
+    Table2Row {
+        ac_name: bench.name.clone(),
+        query,
+        tolerance,
+        fixed,
+        float,
+        selected_fixed: report.selected.repr.is_fixed(),
+        max_observed,
+        gate_level_nj,
+        float32_nj: report.baseline_float32_nj,
+    }
+}
+
+/// Runs all of Table 2 (test sets truncated to `instances` per
+/// benchmark).
+pub fn table2(instances: usize) -> Vec<Table2Row> {
+    let mut cache: std::collections::HashMap<&str, Benchmark> = std::collections::HashMap::new();
+    table2_combos()
+        .into_iter()
+        .map(|(name, query, tolerance)| {
+            let bench = cache
+                .entry(name)
+                .or_insert_with(|| benchmark_by_name(name, instances));
+            table2_row(bench, query, tolerance)
+        })
+        .collect()
+}
+
+/// Renders Table 2 as a text table (the `*` marks the selected
+/// representation, mirroring the paper's bold).
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table 2: optimal representations, selected repr (*), observed error and energy\n",
+    );
+    out.push_str(&format!(
+        "{:>7} | {:>11} | {:>12} | {:>20} | {:>20} | {:>10} | {:>11} | {:>9}\n",
+        "AC", "query", "tolerance", "opt fx I,F (nJ)", "opt fl E,M (nJ)", "max obs.", "gate (nJ)", "32b (nJ)"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(122)));
+    for r in rows {
+        let fixed = match &r.fixed {
+            Ok((f, e)) => format!(
+                "{}{},{} ({:.2})",
+                if r.selected_fixed { "*" } else { "" },
+                f.int_bits(),
+                f.frac_bits(),
+                e
+            ),
+            Err(BoundsError::ToleranceUnreachable { max_bits, .. }) => {
+                format!("1,>{max_bits} ( - )")
+            }
+            Err(BoundsError::FixedUnsupportedForQuery) => "-".to_string(),
+            Err(other) => format!("{other:?}"),
+        };
+        let float = match &r.float {
+            Ok((f, e)) => format!(
+                "{}{},{} ({:.2})",
+                if r.selected_fixed { "" } else { "*" },
+                f.exp_bits(),
+                f.mant_bits(),
+                e
+            ),
+            Err(e) => format!("{e:?}"),
+        };
+        out.push_str(&format!(
+            "{:>7} | {:>11} | {:>12} | {:>20} | {:>20} | {:>10.1e} | {:>11.2} | {:>9.2}\n",
+            r.ac_name,
+            r.query.to_string(),
+            r.tolerance.to_string(),
+            fixed,
+            float,
+            r.max_observed,
+            r.gate_level_nj,
+            r.float32_nj
+        ));
+    }
+    out
+}
+
+/// The downstream impact of low precision on classification: accuracy of
+/// exact versus low-precision posteriors, and how often the predicted
+/// class agrees.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AccuracyImpact {
+    /// Classification accuracy with exact (f64) inference.
+    pub exact_accuracy: f64,
+    /// Classification accuracy with the selected low-precision format.
+    pub lp_accuracy: f64,
+    /// Fraction of instances where both agree on the predicted class.
+    pub agreement: f64,
+    /// Number of evaluated test instances.
+    pub instances: usize,
+}
+
+/// Measures the classification impact of the representation ProbLP
+/// selects for conditional queries at the given absolute tolerance — the
+/// paper's motivating scenario (§1: threshold-based decisions are only
+/// affected inside the tolerance band).
+pub fn classification_impact(bench: &Benchmark, tolerance: f64) -> AccuracyImpact {
+    use problp_ac::Semiring;
+    use problp_num::{Arith, F64Arith, FixedArith, FloatArith};
+
+    let raw = compile(&bench.net).expect("benchmark compiles");
+    let report = Problp::new(&raw)
+        .query(QueryType::Conditional)
+        .tolerance(Tolerance::Absolute(tolerance))
+        .skip_rtl()
+        .run()
+        .expect("a representation is feasible");
+    let ac = binarize(&raw).expect("binarizes");
+    let labels = bench.test_labels.as_ref().expect("classifier benchmark");
+    let classes = bench.net.variable(bench.query_var).arity();
+
+    let mut exact_correct = 0usize;
+    let mut lp_correct = 0usize;
+    let mut agree = 0usize;
+    for (e, &label) in bench.test_evidence.iter().zip(labels) {
+        // Exact posteriors (numerators share a denominator, so argmax of
+        // the numerators suffices).
+        let mut exact_ctx = F64Arith::new();
+        let argmax_exact = argmax_class(&ac, &mut exact_ctx, e, bench, classes);
+        // Low-precision posteriors in the selected representation.
+        let argmax_lp = match report.selected.repr {
+            problp_num::Representation::Fixed(f) => {
+                let mut ctx = FixedArith::new(f);
+                argmax_class(&ac, &mut ctx, e, bench, classes)
+            }
+            problp_num::Representation::Float(f) => {
+                let mut ctx = FloatArith::new(f);
+                argmax_class(&ac, &mut ctx, e, bench, classes)
+            }
+        };
+        exact_correct += (argmax_exact == label) as usize;
+        lp_correct += (argmax_lp == label) as usize;
+        agree += (argmax_exact == argmax_lp) as usize;
+    }
+    let n = bench.test_evidence.len();
+
+    fn argmax_class<A: Arith>(
+        ac: &AcGraph,
+        ctx: &mut A,
+        e: &problp_bayes::Evidence,
+        bench: &Benchmark,
+        classes: usize,
+    ) -> usize {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for c in 0..classes {
+            let mut with_q = e.clone();
+            with_q.observe(bench.query_var, c);
+            let v = ac
+                .evaluate_with(ctx, &with_q, Semiring::SumProduct)
+                .expect("evaluates");
+            let v = ctx.to_f64(&v);
+            if v > best.1 {
+                best = (c, v);
+            }
+        }
+        best.0
+    }
+
+    AccuracyImpact {
+        exact_accuracy: exact_correct as f64 / n as f64,
+        lp_accuracy: lp_correct as f64 / n as f64,
+        agreement: agree as f64 / n as f64,
+        instances: n,
+    }
+}
+
+/// Renders the classification-impact study for the three classifier
+/// benchmarks.
+pub fn accuracy_report(instances: usize) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Classification impact of the selected low-precision representation (tol 0.01)\n",
+    );
+    out.push_str(&format!(
+        "{:>8} | {:>10} | {:>10} | {:>10} | instances\n",
+        "dataset", "exact acc", "lp acc", "agreement"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(62)));
+    for name in ["HAR", "UNIMIB", "UIWADS"] {
+        let bench = benchmark_by_name(name, instances);
+        let impact = classification_impact(&bench, 0.01);
+        out.push_str(&format!(
+            "{name:>8} | {:>10.4} | {:>10.4} | {:>10.4} | {}\n",
+            impact.exact_accuracy, impact.lp_accuracy, impact.agreement, impact.instances
+        ));
+    }
+    out
+}
+
+/// Renders the missing-data robustness study: the paper's introduction
+/// motivates PGMs by their ability to handle missing inputs — an absent
+/// sensor is simply marginalized (its indicators stay 1). Crucially, the
+/// worst-case bounds hold for *every* indicator pattern, so the same
+/// hardware keeps its guarantee under dropout.
+pub fn missing_data_report(instances: usize, tolerance: f64) -> String {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let bench = benchmark_by_name("UIWADS", instances);
+    let raw = compile(&bench.net).expect("compiles");
+    let report = Problp::new(&raw)
+        .query(QueryType::Conditional)
+        .tolerance(Tolerance::Absolute(tolerance))
+        .skip_rtl()
+        .run()
+        .expect("feasible");
+    let ac = binarize(&raw).expect("binarizes");
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xD207);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Missing-data robustness (UIWADS, {}, tol {tolerance}):\n",
+        report.selected.repr
+    ));
+    out.push_str(&format!(
+        "{:>10} | {:>10} | {:>12} | within bound\n",
+        "dropout", "exact acc", "max lp err"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(52)));
+    for dropout in [0.0f64, 0.25, 0.5, 0.75] {
+        // Degrade the evidence: each observed feature survives with
+        // probability 1 - dropout.
+        let degraded: Vec<problp_bayes::Evidence> = bench
+            .test_evidence
+            .iter()
+            .map(|e| {
+                let mut d = e.clone();
+                for (var, _) in e.iter() {
+                    if rng.random::<f64>() < dropout {
+                        d.forget(var);
+                    }
+                }
+                d
+            })
+            .collect();
+        let stats = measure_errors(
+            &ac,
+            report.selected.repr,
+            QueryType::Conditional,
+            bench.query_var,
+            &degraded,
+        )
+        .expect("measures");
+        // Exact accuracy under dropout (posterior argmax vs label).
+        let labels = bench.test_labels.as_ref().expect("labels");
+        let classes = bench.net.variable(bench.query_var).arity();
+        let correct = degraded
+            .iter()
+            .zip(labels)
+            .filter(|(e, label)| {
+                let den = ac.evaluate(e).expect("evaluates");
+                let best = (0..classes)
+                    .max_by(|&x, &y| {
+                        let px = {
+                            let mut q = (*e).clone();
+                            q.observe(bench.query_var, x);
+                            ac.evaluate(&q).expect("evaluates")
+                        };
+                        let py = {
+                            let mut q = (*e).clone();
+                            q.observe(bench.query_var, y);
+                            ac.evaluate(&q).expect("evaluates")
+                        };
+                        px.partial_cmp(&py).expect("finite")
+                    })
+                    .expect("classes");
+                let _ = den;
+                best == **label
+            })
+            .count();
+        out.push_str(&format!(
+            "{:>9.0}% | {:>10.4} | {:>12.3e} | {}\n",
+            dropout * 100.0,
+            correct as f64 / degraded.len() as f64,
+            stats.max_abs,
+            if stats.max_abs <= report.selected.bound {
+                "yes"
+            } else {
+                "NO"
+            }
+        ));
+    }
+    out.push_str(
+        "\naccuracy degrades gracefully; the error guarantee holds at every dropout level\n",
+    );
+    out
+}
+
+/// Renders the design-choice ablation study promised in `DESIGN.md`:
+/// decomposition shape, multiplier rounding mode, leaf-error model and
+/// the optimisation pass, each evaluated on the Alarm circuit.
+pub fn ablation_report() -> String {
+    use problp_ac::transform::{binarize, binarize_chain};
+    use problp_bounds::fixed_error_bound_with_rounding;
+    use problp_num::FixedRounding;
+
+    let net = problp_bayes::networks::alarm(SEED);
+    let raw = compile(&net).expect("alarm compiles");
+    let mut out = String::new();
+    out.push_str("Ablation study on the Alarm circuit (DESIGN.md design choices)\n\n");
+
+    // 1. Decomposition shape.
+    let balanced = binarize(&raw).expect("binarizes");
+    let chain = binarize_chain(&raw).expect("binarizes");
+    let f14 = FixedFormat::new(1, 14).expect("valid");
+    let nl_b = Netlist::from_ac(&balanced, Representation::Fixed(f14)).expect("netlist");
+    let nl_c = Netlist::from_ac(&chain, Representation::Fixed(f14)).expect("netlist");
+    out.push_str(&format!(
+        "decomposition shape   | depth | balance regs | register bits\n\
+         {}\n\
+         balanced trees        | {:>5} | {:>12} | {:>13}\n\
+         left-leaning chains   | {:>5} | {:>12} | {:>13}\n\n",
+        "-".repeat(62),
+        nl_b.stats().pipeline_depth,
+        nl_b.stats().balance_regs,
+        nl_b.stats().register_bits(),
+        nl_c.stats().pipeline_depth,
+        nl_c.stats().balance_regs,
+        nl_c.stats().register_bits(),
+    ));
+
+    // 2. Multiplier rounding mode.
+    let analysis = AcAnalysis::new(&balanced).expect("analyzes");
+    let bound = |rounding: FixedRounding| {
+        fixed_error_bound_with_rounding(
+            &balanced,
+            &analysis,
+            f14,
+            LeafErrorModel::WorstCase,
+            rounding,
+        )
+        .expect("bound computes")
+        .root_bound()
+    };
+    out.push_str(&format!(
+        "multiplier rounding   | bound at F=14\n\
+         {}\n\
+         half-up (paper)       | {:.3e}\n\
+         truncate              | {:.3e}   ({:.2}x worse)\n\n",
+        "-".repeat(40),
+        bound(FixedRounding::HalfUp),
+        bound(FixedRounding::Truncate),
+        bound(FixedRounding::Truncate) / bound(FixedRounding::HalfUp),
+    ));
+
+    // 3. Leaf-error model: minimal F meeting 0.01 absolute.
+    let min_f = |leaf: LeafErrorModel| {
+        problp_bounds::optimize_fixed(
+            &balanced,
+            &analysis,
+            QueryType::Marginal,
+            Tolerance::Absolute(0.01),
+            leaf,
+            64,
+        )
+        .expect("feasible")
+        .format
+        .frac_bits()
+    };
+    out.push_str(&format!(
+        "leaf-error model      | minimal F for abs 0.01\n\
+         {}\n\
+         worst-case (paper)    | {}\n\
+         exact conversion      | {}\n\n",
+        "-".repeat(46),
+        min_f(LeafErrorModel::WorstCase),
+        min_f(LeafErrorModel::Exact),
+    ));
+
+    // 4. Optimisation pass. Alarm's Dirichlet CPTs have nothing to fold,
+    // so this ablation uses Asia, whose deterministic OR gate does.
+    let asia = compile(&problp_bayes::networks::asia()).expect("asia compiles");
+    let plain = Problp::new(&asia)
+        .skip_rtl()
+        .run()
+        .expect("pipeline runs");
+    let opt = Problp::new(&asia)
+        .optimize_circuit(true)
+        .skip_rtl()
+        .run()
+        .expect("pipeline runs");
+    out.push_str(&format!(
+        "optimisation (Asia)   | nodes | selected energy (nJ)\n\
+         {}\n\
+         off (paper flow)      | {:>5} | {:.4}\n\
+         fold + share          | {:>5} | {:.4}\n",
+        "-".repeat(52),
+        plain.circuit_stats.nodes,
+        plain.selected.energy.total_nj(),
+        opt.circuit_stats.nodes,
+        opt.selected.energy.total_nj(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_the_fitted_coefficients() {
+        let t = table1();
+        // fx add at N = 8: 62.4 fJ.
+        assert!(t.contains("62.4"));
+        assert!(t.contains("7.8N"));
+    }
+
+    #[test]
+    fn figure5_points_keep_bound_above_observed() {
+        let fixture = alarm_fixture(15);
+        for p in figure5a(&fixture, &[8, 20]) {
+            assert!(p.bound >= p.max_observed, "fig5a bits={}", p.bits);
+            assert!(p.max_observed >= p.mean_observed);
+        }
+        for p in figure5b(&fixture, &[8, 20]) {
+            assert!(p.bound >= p.max_observed, "fig5b bits={}", p.bits);
+        }
+    }
+
+    #[test]
+    fn table2_row_runs_on_the_smallest_benchmark() {
+        let bench = benchmark_by_name("UIWADS", 20);
+        let row = table2_row(&bench, QueryType::Marginal, Tolerance::Absolute(0.01));
+        assert!(row.fixed.is_ok());
+        assert!(row.float.is_ok());
+        assert!(row.selected_fixed, "UIWADS marg/abs selects fixed (Table 2)");
+        assert!(row.max_observed <= 0.01);
+        assert!(row.gate_level_nj > 0.0);
+        let rendered = render_table2(&[row]);
+        assert!(rendered.contains("UIWADS"));
+        assert!(rendered.contains('*'));
+    }
+
+    #[test]
+    fn classification_impact_agreement_is_high() {
+        // Guaranteed-within-tolerance posteriors rarely flip an argmax.
+        let bench = benchmark_by_name("UIWADS", 40);
+        let impact = classification_impact(&bench, 0.01);
+        assert_eq!(impact.instances, 40);
+        assert!(impact.agreement >= 0.95, "agreement {}", impact.agreement);
+        assert!((impact.lp_accuracy - impact.exact_accuracy).abs() <= 0.05);
+    }
+
+    #[test]
+    fn ablation_report_renders_all_sections() {
+        let t = ablation_report();
+        assert!(t.contains("decomposition shape"));
+        assert!(t.contains("multiplier rounding"));
+        assert!(t.contains("leaf-error model"));
+        assert!(t.contains("optimisation"));
+    }
+
+    #[test]
+    fn sweep_rendering_is_complete() {
+        let pts = [SweepPoint {
+            bits: 8,
+            bound: 1e-2,
+            max_observed: 1e-3,
+            mean_observed: 1e-4,
+        }];
+        let s = render_sweep("t", "max", &pts);
+        assert!(s.contains("1.000e-2"));
+        assert!(s.contains("10.0x"));
+    }
+}

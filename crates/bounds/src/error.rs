@@ -1,0 +1,92 @@
+//! Error types for the bounds engine.
+
+/// Errors produced by the error-bound analyses.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum BoundsError {
+    /// The circuit contains operators with more than two inputs; the
+    /// paper's error models are per-two-input operator, so analyses
+    /// require a binarized circuit (see `problp_ac::transform::binarize`).
+    NotBinary,
+    /// The circuit has no root.
+    MissingRoot,
+    /// An analysis was paired with a circuit of a different size.
+    AnalysisMismatch {
+        /// Nodes in the analysis.
+        analysis: usize,
+        /// Nodes in the circuit.
+        circuit: usize,
+    },
+    /// The requested tolerance is not a positive finite number.
+    InvalidTolerance {
+        /// The offending value.
+        value: f64,
+    },
+    /// Fixed point cannot bound the relative error of a conditional query
+    /// (paper §3.2.2: ProbLP always chooses floating point there).
+    FixedUnsupportedForQuery,
+    /// No bit width within the search cap satisfies the tolerance.
+    ToleranceUnreachable {
+        /// The largest width tried.
+        max_bits: u32,
+        /// The bound achieved at that width.
+        bound_at_max: f64,
+    },
+    /// The circuit's value range cannot be represented by any supported
+    /// exponent/integer width.
+    RangeUnrepresentable,
+}
+
+impl std::fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundsError::NotBinary => {
+                write!(f, "error analyses require a binarized circuit (two-input operators)")
+            }
+            BoundsError::MissingRoot => write!(f, "the circuit has no root node"),
+            BoundsError::AnalysisMismatch { analysis, circuit } => write!(
+                f,
+                "analysis over {analysis} nodes paired with a circuit of {circuit} nodes"
+            ),
+            BoundsError::InvalidTolerance { value } => {
+                write!(f, "tolerance must be positive and finite, got {value}")
+            }
+            BoundsError::FixedUnsupportedForQuery => write!(
+                f,
+                "fixed point cannot bound the relative error of conditional queries"
+            ),
+            BoundsError::ToleranceUnreachable {
+                max_bits,
+                bound_at_max,
+            } => write!(
+                f,
+                "tolerance unreachable within {max_bits} bits (bound {bound_at_max:.3e} at the cap)"
+            ),
+            BoundsError::RangeUnrepresentable => {
+                write!(f, "circuit values exceed every supported number range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BoundsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BoundsError::ToleranceUnreachable {
+            max_bits: 64,
+            bound_at_max: 0.5,
+        };
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<BoundsError>();
+    }
+}

@@ -1,0 +1,370 @@
+//! Fixed-point error propagation (paper §3.1.1 and Fig. 3).
+//!
+//! The absolute error of every node is bounded recursively:
+//!
+//! * parameter leaf: `|Δ| <= 2^-(F+1)` — eq. (2);
+//! * indicator leaf: exact (0 or 1), `Δ = 0`;
+//! * adder: `Δf = Δa + Δb` — eq. (3), adders round nothing;
+//! * multiplier: `Δf <= a_max·Δb + b_max·Δa + Δa·Δb + 2^-(F+1)` — eq. (5),
+//!   with `a_max`/`b_max` from the max-value analysis.
+//!
+//! The recursion additionally covers max-product (MPE) evaluation:
+//! `|max(ã,b̃) - max(a,b)| <= max(Δa, Δb) <= Δa + Δb`, so the adder model
+//! is a valid (conservative) bound for max nodes too.
+
+use problp_ac::{AcGraph, AcNode};
+use problp_num::{FixedFormat, FixedRounding};
+
+use crate::analysis::AcAnalysis;
+use crate::error::BoundsError;
+
+/// How parameter-leaf conversion errors are modelled.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LeafErrorModel {
+    /// The paper's model: every parameter leaf contributes the worst-case
+    /// half-ulp `2^-(F+1)` (eq. 2).
+    #[default]
+    WorstCase,
+    /// Ablation: use each parameter's *actual* conversion error. Tightens
+    /// the bound when many parameters are exactly representable.
+    Exact,
+}
+
+/// Result of a fixed-point error propagation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FixedErrorBound {
+    /// Absolute error bound of every node.
+    node_bounds: Vec<f64>,
+    /// Absolute error bound at the root (the `c` of paper §3.1.3).
+    root_bound: f64,
+}
+
+impl FixedErrorBound {
+    /// The absolute error bound of each node.
+    pub fn node_bounds(&self) -> &[f64] {
+        &self.node_bounds
+    }
+
+    /// The absolute error bound at the root: `|~Pr - Pr| <= root_bound`
+    /// for every indicator input.
+    pub fn root_bound(&self) -> f64 {
+        self.root_bound
+    }
+}
+
+/// Propagates fixed-point error bounds through a binarized circuit.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::NotBinary`] for circuits with wider operators,
+/// [`BoundsError::MissingRoot`], or [`BoundsError::AnalysisMismatch`] when
+/// the analysis belongs to a different circuit.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, transform::binarize};
+/// use problp_bayes::networks;
+/// use problp_bounds::{fixed_error_bound, AcAnalysis, LeafErrorModel};
+/// use problp_num::FixedFormat;
+///
+/// let ac = binarize(&compile(&networks::sprinkler())?)?;
+/// let analysis = AcAnalysis::new(&ac)?;
+/// let b8 = fixed_error_bound(&ac, &analysis, FixedFormat::new(1, 8)?, LeafErrorModel::WorstCase)?;
+/// let b16 = fixed_error_bound(&ac, &analysis, FixedFormat::new(1, 16)?, LeafErrorModel::WorstCase)?;
+/// // Eight extra fraction bits shrink the bound by about 2^8.
+/// assert!(b16.root_bound() < b8.root_bound() / 100.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn fixed_error_bound(
+    ac: &AcGraph,
+    analysis: &AcAnalysis,
+    format: FixedFormat,
+    leaf_model: LeafErrorModel,
+) -> Result<FixedErrorBound, BoundsError> {
+    fixed_error_bound_with_rounding(ac, analysis, format, leaf_model, FixedRounding::HalfUp)
+}
+
+/// [`fixed_error_bound`] with an explicit multiplier rounding mode: the
+/// rounding-mode ablation of `DESIGN.md`. Truncating multipliers save the
+/// rounding adder but double the per-operation error term (one full ulp
+/// instead of half).
+///
+/// # Errors
+///
+/// Same as [`fixed_error_bound`].
+pub fn fixed_error_bound_with_rounding(
+    ac: &AcGraph,
+    analysis: &AcAnalysis,
+    format: FixedFormat,
+    leaf_model: LeafErrorModel,
+    rounding: FixedRounding,
+) -> Result<FixedErrorBound, BoundsError> {
+    let root = ac.root().ok_or(BoundsError::MissingRoot)?;
+    if !ac.is_binary() {
+        return Err(BoundsError::NotBinary);
+    }
+    if analysis.len() != ac.len() {
+        return Err(BoundsError::AnalysisMismatch {
+            analysis: analysis.len(),
+            circuit: ac.len(),
+        });
+    }
+    let half_ulp = format.conversion_error_bound();
+    let per_op = rounding.per_op_error(format);
+    let ulp = format.ulp();
+    let max_values = analysis.max_values();
+    let mut bounds = vec![0.0f64; ac.len()];
+    for (i, node) in ac.nodes().iter().enumerate() {
+        bounds[i] = match node {
+            AcNode::Indicator { .. } => 0.0,
+            AcNode::Param { value } => match leaf_model {
+                // Constants come from a ROM and are rounded to nearest
+                // regardless of the multiplier rounding mode.
+                LeafErrorModel::WorstCase => half_ulp,
+                LeafErrorModel::Exact => {
+                    let scaled = value * (format.frac_bits() as f64).exp2();
+                    (scaled.round() - scaled).abs() * ulp
+                }
+            },
+            AcNode::Sum(children) => {
+                children.iter().map(|c| bounds[c.index()]).sum::<f64>()
+            }
+            AcNode::Product(children) => {
+                debug_assert!(children.len() == 2);
+                let (a, b) = (children[0].index(), children[1].index());
+                max_values[a] * bounds[b] + max_values[b] * bounds[a]
+                    + bounds[a] * bounds[b]
+                    + per_op
+            }
+        };
+    }
+    Ok(FixedErrorBound {
+        root_bound: bounds[root.index()],
+        node_bounds: bounds,
+    })
+}
+
+/// The number of integer bits needed so that every intermediate value
+/// (including its worst-case error) stays in range: the max-value analysis
+/// of paper §3.1.4.
+///
+/// Values live in `[0, 2^I)`, so `I` is the bit length of
+/// `floor(global_max + root-area error margin)` and at least 1 (the
+/// indicators need to represent the value one).
+pub fn required_int_bits(analysis: &AcAnalysis, error_margin: f64) -> u32 {
+    let needed = analysis.global_max() + error_margin;
+    let mut bits = 1u32;
+    while (bits as f64).exp2() <= needed {
+        bits += 1;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::transform::binarize;
+    use problp_ac::{compile, Semiring};
+    use problp_bayes::{networks, Evidence, VarId};
+    use problp_num::{Arith, F64Arith, FixedArith};
+
+    fn fixture() -> (problp_bayes::BayesNet, AcGraph, AcAnalysis) {
+        let net = networks::student();
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        (net, ac, analysis)
+    }
+
+    #[test]
+    fn figure3_style_hand_example() {
+        // Reproduce the flavour of paper Fig. 3: (θ1·λ + θ2)·θ3 with
+        // F fraction bits. Build: p = θ1·λ, s = p + θ2, r = s·θ3.
+        let mut g = AcGraph::new(vec![2]);
+        let lam = g.indicator(VarId::from_index(0), 0).unwrap();
+        let t1 = g.param(0.3).unwrap();
+        let t2 = g.param(0.5).unwrap();
+        let t3 = g.param(0.25).unwrap();
+        let p = g.product(vec![lam, t1]).unwrap();
+        let s = g.sum(vec![p, t2]).unwrap();
+        let r = g.product(vec![s, t3]).unwrap();
+        g.set_root(r);
+        let analysis = AcAnalysis::new(&g).unwrap();
+        let f = FixedFormat::new(1, 8).unwrap();
+        let u = f.conversion_error_bound(); // 2^-9
+        let b = fixed_error_bound(&g, &analysis, f, LeafErrorModel::WorstCase).unwrap();
+        // By hand: Δt = u for all params, Δλ = 0.
+        // Δp = 1·u + 0.3·0 + 0 + u = wait: amax(λ)=1, bmax(θ1)=0.3:
+        // Δp = 1*u + 0.3*0 + 0*u + u = 2u.
+        let dp = 1.0 * u + 0.3 * 0.0 + 0.0 * u + u;
+        // Δs = Δp + u = 3u.
+        let ds = dp + u;
+        // Δr: smax = 0.8, t3max = 0.25:
+        let dr = 0.8 * u + 0.25 * ds + ds * u + u;
+        assert!((b.root_bound() - dr).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bound_dominates_observed_error_on_student() {
+        let (net, ac, analysis) = fixture();
+        for frac in [6u32, 10, 14] {
+            let format = FixedFormat::new(1, frac).unwrap();
+            let bound =
+                fixed_error_bound(&ac, &analysis, format, LeafErrorModel::WorstCase).unwrap();
+            // Exhaustive single-variable evidences.
+            for v in 0..net.var_count() {
+                for s in 0..net.variable(VarId::from_index(v)).arity() {
+                    let mut e = Evidence::empty(net.var_count());
+                    e.observe(VarId::from_index(v), s);
+                    let exact = ac.evaluate(&e).unwrap();
+                    let mut lp = FixedArith::new(format);
+                    let got = ac
+                        .evaluate_with(&mut lp, &e, Semiring::SumProduct)
+                        .unwrap();
+                    let err = (lp.to_f64(&got) - exact).abs();
+                    assert!(
+                        err <= bound.root_bound() + 1e-15,
+                        "F={frac} v={v} s={s}: err {err} > bound {}",
+                        bound.root_bound()
+                    );
+                    assert!(!lp.flags().range_violation());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_node_bounds_dominate_observed_errors() {
+        let (net, ac, analysis) = fixture();
+        let format = FixedFormat::new(1, 9).unwrap();
+        let bound = fixed_error_bound(&ac, &analysis, format, LeafErrorModel::WorstCase).unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        e.observe(VarId::from_index(2), 1);
+        let mut exact_ctx = F64Arith::new();
+        let exact = ac
+            .evaluate_nodes(&mut exact_ctx, &e, Semiring::SumProduct)
+            .unwrap();
+        let mut lp = FixedArith::new(format);
+        let got = ac.evaluate_nodes(&mut lp, &e, Semiring::SumProduct).unwrap();
+        for i in 0..ac.len() {
+            let err = (lp.to_f64(&got[i]) - exact[i]).abs();
+            assert!(
+                err <= bound.node_bounds()[i] + 1e-15,
+                "node {i}: err {err} > bound {}",
+                bound.node_bounds()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bound_halves_per_extra_bit() {
+        let (_, ac, analysis) = fixture();
+        let mut prev = f64::INFINITY;
+        for frac in 4..20 {
+            let format = FixedFormat::new(1, frac).unwrap();
+            let b = fixed_error_bound(&ac, &analysis, format, LeafErrorModel::WorstCase)
+                .unwrap()
+                .root_bound();
+            assert!(b < prev, "bound should shrink with more bits");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn exact_leaf_model_is_tighter() {
+        let (_, ac, analysis) = fixture();
+        let format = FixedFormat::new(1, 8).unwrap();
+        let worst = fixed_error_bound(&ac, &analysis, format, LeafErrorModel::WorstCase)
+            .unwrap()
+            .root_bound();
+        let tight = fixed_error_bound(&ac, &analysis, format, LeafErrorModel::Exact)
+            .unwrap()
+            .root_bound();
+        assert!(tight <= worst);
+        assert!(tight > 0.0);
+    }
+
+    #[test]
+    fn mpe_evaluation_respects_the_same_bound() {
+        let (net, ac, analysis) = fixture();
+        let format = FixedFormat::new(1, 8).unwrap();
+        let bound = fixed_error_bound(&ac, &analysis, format, LeafErrorModel::WorstCase).unwrap();
+        let e = Evidence::empty(net.var_count());
+        let exact = ac.evaluate_mpe(&e).unwrap();
+        let mut lp = FixedArith::new(format);
+        let got = ac.evaluate_with(&mut lp, &e, Semiring::MaxProduct).unwrap();
+        let err = (lp.to_f64(&got) - exact).abs();
+        assert!(err <= bound.root_bound());
+    }
+
+    #[test]
+    fn non_binary_circuits_are_rejected() {
+        let net = networks::sprinkler();
+        let ac = compile(&net).unwrap(); // not binarized
+        if !ac.is_binary() {
+            let analysis = AcAnalysis::new(&ac).unwrap();
+            let err = fixed_error_bound(
+                &ac,
+                &analysis,
+                FixedFormat::new(1, 8).unwrap(),
+                LeafErrorModel::WorstCase,
+            )
+            .unwrap_err();
+            assert_eq!(err, BoundsError::NotBinary);
+        }
+    }
+
+    #[test]
+    fn analysis_mismatch_is_rejected() {
+        let (_, ac, _) = fixture();
+        let other = binarize(&compile(&networks::figure1()).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&other).unwrap();
+        let err = fixed_error_bound(
+            &ac,
+            &analysis,
+            FixedFormat::new(1, 8).unwrap(),
+            LeafErrorModel::WorstCase,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BoundsError::AnalysisMismatch { .. }));
+    }
+
+    #[test]
+    fn truncation_bound_is_larger_and_still_holds() {
+        use problp_num::FixedRounding;
+        let (net, ac, analysis) = fixture();
+        let format = FixedFormat::new(1, 10).unwrap();
+        let up = fixed_error_bound_with_rounding(
+            &ac, &analysis, format,
+            LeafErrorModel::WorstCase,
+            FixedRounding::HalfUp,
+        )
+        .unwrap();
+        let trunc = fixed_error_bound_with_rounding(
+            &ac, &analysis, format,
+            LeafErrorModel::WorstCase,
+            FixedRounding::Truncate,
+        )
+        .unwrap();
+        assert!(trunc.root_bound() > up.root_bound());
+        assert!(trunc.root_bound() < 2.1 * up.root_bound());
+        // The truncating datapath respects the truncation bound.
+        for v in 0..net.var_count() {
+            let mut e = Evidence::empty(net.var_count());
+            e.observe(VarId::from_index(v), 0);
+            let exact = ac.evaluate(&e).unwrap();
+            let mut lp = problp_num::FixedArith::with_rounding(format, FixedRounding::Truncate);
+            let got = ac.evaluate_with(&mut lp, &e, Semiring::SumProduct).unwrap();
+            let err = (lp.to_f64(&got) - exact).abs();
+            assert!(err <= trunc.root_bound(), "v={v}: {err} > {}", trunc.root_bound());
+        }
+    }
+
+    #[test]
+    fn int_bits_cover_the_value_range() {
+        let (_, _, analysis) = fixture();
+        let bits = required_int_bits(&analysis, 0.0);
+        assert!(bits >= 1);
+        assert!((bits as f64).exp2() > analysis.global_max());
+    }
+}

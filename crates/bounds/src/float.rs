@@ -1,0 +1,310 @@
+//! Floating-point error propagation (paper §3.1.2).
+//!
+//! Every rounding multiplies the true value by a factor `(1 ± ε)` with
+//! `ε = 2^-(M+1)`. The *rounding count* `c` of each node bounds how many
+//! such factors its value has accumulated:
+//!
+//! * parameter leaf: `c = 1` (the conversion rounding, eq. 6);
+//! * indicator leaf: `c = 0` (0 and 1 are exact);
+//! * adder: `c = max(c_a, c_b) + 1` — eq. (10);
+//! * multiplier: `c = c_a + c_b + 1` — eq. (12).
+//!
+//! The root satisfies `f̃ ∈ [f·(1-ε)^c, f·(1+ε)^c]`, giving the relative
+//! bound `δ = (1+ε)^c - 1` (paper §3.1.3). Max-product evaluation is
+//! covered conservatively: `max` introduces no rounding and
+//! `|max(ã,b̃)|` carries at most `max(c_a, c_b) <= max(c_a, c_b) + 1`
+//! factors.
+
+use problp_ac::{AcGraph, AcNode};
+use problp_num::FloatFormat;
+
+use crate::analysis::AcAnalysis;
+use crate::error::BoundsError;
+
+/// Result of a floating-point error propagation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FloatErrorBound {
+    node_counts: Vec<u64>,
+    root_count: u64,
+    epsilon: f64,
+}
+
+impl FloatErrorBound {
+    /// Rounding count of every node.
+    pub fn node_counts(&self) -> &[u64] {
+        &self.node_counts
+    }
+
+    /// Rounding count at the root: the structural constant `c` of paper
+    /// §3.1.3 (depends only on the circuit, not on `M`).
+    pub fn root_count(&self) -> u64 {
+        self.root_count
+    }
+
+    /// The per-operation relative error `ε = 2^-(M+1)`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Relative error bound of a single evaluation:
+    /// `δ = (1+ε)^c - 1` (the larger of the two one-sided bounds).
+    pub fn relative_bound(&self) -> f64 {
+        relative_from_count(self.root_count, self.epsilon)
+    }
+
+    /// Relative error bound of a *ratio* of two evaluations of this
+    /// circuit (conditional probability, paper eq. 17): the worst case is
+    /// an undisturbed numerator over a fully disturbed denominator,
+    /// `δ = (1-ε)^-c - 1`.
+    pub fn ratio_relative_bound(&self) -> f64 {
+        let c = self.root_count as f64;
+        // exp(-c·ln(1-ε)) - 1, via ln_1p/exp_m1 so that tiny ε (large
+        // mantissas) does not underflow to an exactly-zero bound.
+        (-c * (-self.epsilon).ln_1p()).exp_m1()
+    }
+}
+
+/// `(1+ε)^c - 1`, the single-evaluation relative bound, computed via
+/// `ln_1p`/`exp_m1` to stay accurate for tiny `ε`.
+fn relative_from_count(count: u64, epsilon: f64) -> f64 {
+    (count as f64 * epsilon.ln_1p()).exp_m1()
+}
+
+/// Propagates floating-point rounding counts through a binarized circuit.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::NotBinary`], [`BoundsError::MissingRoot`], or
+/// [`BoundsError::AnalysisMismatch`].
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, transform::binarize};
+/// use problp_bayes::networks;
+/// use problp_bounds::{float_error_bound, AcAnalysis};
+/// use problp_num::FloatFormat;
+///
+/// let ac = binarize(&compile(&networks::sprinkler())?)?;
+/// let analysis = AcAnalysis::new(&ac)?;
+/// let b = float_error_bound(&ac, &analysis, FloatFormat::new(8, 12)?)?;
+/// // The relative bound is roughly c * 2^-13 for small ε.
+/// assert!(b.relative_bound() < b.root_count() as f64 * b.epsilon() * 1.01);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn float_error_bound(
+    ac: &AcGraph,
+    analysis: &AcAnalysis,
+    format: FloatFormat,
+) -> Result<FloatErrorBound, BoundsError> {
+    let root = ac.root().ok_or(BoundsError::MissingRoot)?;
+    if !ac.is_binary() {
+        return Err(BoundsError::NotBinary);
+    }
+    if analysis.len() != ac.len() {
+        return Err(BoundsError::AnalysisMismatch {
+            analysis: analysis.len(),
+            circuit: ac.len(),
+        });
+    }
+    let mut counts = vec![0u64; ac.len()];
+    for (i, node) in ac.nodes().iter().enumerate() {
+        counts[i] = match node {
+            AcNode::Indicator { .. } => 0,
+            AcNode::Param { .. } => 1,
+            AcNode::Sum(children) => {
+                1 + children
+                    .iter()
+                    .map(|c| counts[c.index()])
+                    .max()
+                    .expect("validated operator")
+            }
+            AcNode::Product(children) => {
+                1 + children.iter().map(|c| counts[c.index()]).sum::<u64>()
+            }
+        };
+    }
+    Ok(FloatErrorBound {
+        root_count: counts[root.index()],
+        node_counts: counts,
+        epsilon: format.epsilon(),
+    })
+}
+
+/// The smallest exponent width whose normal range covers every value the
+/// circuit can produce, with a relative error margin `delta` on both ends
+/// (paper §3.1.4's max- and min-value analyses).
+///
+/// # Errors
+///
+/// Returns [`BoundsError::RangeUnrepresentable`] if no supported width
+/// covers the range.
+pub fn required_exp_bits(analysis: &AcAnalysis, delta: f64) -> Result<u32, BoundsError> {
+    // Largest exponent that must be representable (overflow side).
+    let hi = analysis.global_max() * (1.0 + delta);
+    // Smallest positive value that must stay normal (underflow side).
+    let lo = analysis.global_min_positive() * (1.0 - delta).max(f64::MIN_POSITIVE);
+    let needed_max = if hi > 0.0 { hi.log2().ceil() as i64 } else { 0 };
+    let needed_min = if lo > 0.0 && lo.is_finite() {
+        lo.log2().floor() as i64
+    } else {
+        0
+    };
+    for exp_bits in problp_num::MIN_EXP_BITS..=problp_num::MAX_EXP_BITS {
+        let bias = (1i64 << (exp_bits - 1)) - 1;
+        let emax = bias;
+        let emin = 1 - bias;
+        if needed_max <= emax && needed_min >= emin {
+            return Ok(exp_bits);
+        }
+    }
+    Err(BoundsError::RangeUnrepresentable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::transform::binarize;
+    use problp_ac::{compile, Semiring};
+    use problp_bayes::{networks, Evidence, VarId};
+    use problp_num::{Arith, FloatArith};
+
+    fn fixture() -> (problp_bayes::BayesNet, AcGraph, AcAnalysis) {
+        let net = networks::student();
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        (net, ac, analysis)
+    }
+
+    #[test]
+    fn counts_follow_the_paper_recursion() {
+        // p = θ1·λ (c = 1+0+1 = 2), s = p + θ2 (c = max(2,1)+1 = 3),
+        // r = s·θ3 (c = 3+1+1 = 5).
+        let mut g = AcGraph::new(vec![2]);
+        let lam = g.indicator(VarId::from_index(0), 0).unwrap();
+        let t1 = g.param(0.3).unwrap();
+        let t2 = g.param(0.5).unwrap();
+        let t3 = g.param(0.25).unwrap();
+        let p = g.product(vec![lam, t1]).unwrap();
+        let s = g.sum(vec![p, t2]).unwrap();
+        let r = g.product(vec![s, t3]).unwrap();
+        g.set_root(r);
+        let analysis = AcAnalysis::new(&g).unwrap();
+        let b = float_error_bound(&g, &analysis, FloatFormat::new(8, 10).unwrap()).unwrap();
+        assert_eq!(b.node_counts()[p.index()], 2);
+        assert_eq!(b.node_counts()[s.index()], 3);
+        assert_eq!(b.root_count(), 5);
+    }
+
+    #[test]
+    fn relative_bound_dominates_observed_error() {
+        let (net, ac, analysis) = fixture();
+        for mant in [8u32, 12, 16, 20] {
+            let format = FloatFormat::new(10, mant).unwrap();
+            let bound = float_error_bound(&ac, &analysis, format).unwrap();
+            let delta = bound.relative_bound();
+            for v in 0..net.var_count() {
+                for s in 0..net.variable(VarId::from_index(v)).arity() {
+                    let mut e = Evidence::empty(net.var_count());
+                    e.observe(VarId::from_index(v), s);
+                    let exact = ac.evaluate(&e).unwrap();
+                    if exact == 0.0 {
+                        continue;
+                    }
+                    let mut lp = FloatArith::new(format);
+                    let got = ac
+                        .evaluate_with(&mut lp, &e, Semiring::SumProduct)
+                        .unwrap();
+                    let rel = ((lp.to_f64(&got) - exact) / exact).abs();
+                    assert!(
+                        rel <= delta,
+                        "M={mant} v={v} s={s}: rel {rel} > bound {delta}"
+                    );
+                    assert!(!lp.flags().range_violation());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_bound_exceeds_single_bound() {
+        let (_, ac, analysis) = fixture();
+        let b = float_error_bound(&ac, &analysis, FloatFormat::new(8, 12).unwrap()).unwrap();
+        assert!(b.ratio_relative_bound() >= b.relative_bound());
+        // Both are ~ c·ε for small ε.
+        let ce = b.root_count() as f64 * b.epsilon();
+        assert!(b.ratio_relative_bound() < 1.1 * ce);
+    }
+
+    #[test]
+    fn bound_halves_per_extra_mantissa_bit() {
+        let (_, ac, analysis) = fixture();
+        let mut prev = f64::INFINITY;
+        for mant in 4..24 {
+            let b = float_error_bound(&ac, &analysis, FloatFormat::new(10, mant).unwrap())
+                .unwrap()
+                .relative_bound();
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn count_is_structural_not_format_dependent() {
+        let (_, ac, analysis) = fixture();
+        let a = float_error_bound(&ac, &analysis, FloatFormat::new(8, 4).unwrap()).unwrap();
+        let b = float_error_bound(&ac, &analysis, FloatFormat::new(11, 40).unwrap()).unwrap();
+        assert_eq!(a.root_count(), b.root_count());
+        assert!(a.relative_bound() > b.relative_bound());
+    }
+
+    #[test]
+    fn exp_bits_cover_the_range_without_flags() {
+        let net = networks::alarm(7);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        let b = float_error_bound(&ac, &analysis, FloatFormat::new(8, 12).unwrap()).unwrap();
+        let e_bits = required_exp_bits(&analysis, b.relative_bound()).unwrap();
+        let format = FloatFormat::new(e_bits, 12).unwrap();
+        // Evaluate a few evidences: no overflow/underflow may occur.
+        let mut lp = FloatArith::new(format);
+        for v in [0usize, 10, 20, 30] {
+            let mut e = Evidence::empty(net.var_count());
+            e.observe(VarId::from_index(v), 0);
+            let _ = ac.evaluate_with(&mut lp, &e, Semiring::SumProduct).unwrap();
+        }
+        assert!(
+            !lp.flags().range_violation(),
+            "chosen E={e_bits} must avoid range violations, flags: {}",
+            lp.flags()
+        );
+    }
+
+    #[test]
+    fn smaller_exponent_width_would_underflow() {
+        let net = networks::alarm(7);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        let needed = required_exp_bits(&analysis, 0.01).unwrap();
+        assert!(needed > 2, "alarm needs a non-trivial exponent range");
+        // One bit less must violate the range on at least the analysis
+        // extremes.
+        let format = FloatFormat::new(needed - 1, 12).unwrap();
+        let lo = analysis.global_min_positive();
+        let hi = analysis.global_max();
+        let lo_ok = lo >= format.min_positive();
+        let hi_ok = hi <= format.max_finite();
+        assert!(!(lo_ok && hi_ok), "E-1 should not cover the range");
+    }
+
+    #[test]
+    fn non_binary_circuits_are_rejected() {
+        let ac = compile(&networks::sprinkler()).unwrap();
+        if !ac.is_binary() {
+            let analysis = AcAnalysis::new(&ac).unwrap();
+            let err = float_error_bound(&ac, &analysis, FloatFormat::new(8, 8).unwrap())
+                .unwrap_err();
+            assert_eq!(err, BoundsError::NotBinary);
+        }
+    }
+}

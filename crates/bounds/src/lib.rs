@@ -1,0 +1,64 @@
+//! # problp-bounds — worst-case error bounds for ProbLP
+//!
+//! The analytical heart of the ProbLP framework (paper §3): given an
+//! arithmetic circuit, this crate
+//!
+//! 1. runs the **max-value** and **min-value analyses** ([`AcAnalysis`],
+//!    §3.1.4) — a single all-indicators-one evaluation bounds every node
+//!    from above, and the same evaluation with sums replaced by min over
+//!    non-zero children bounds every node's positive values from below;
+//! 2. propagates **fixed-point absolute error bounds**
+//!    ([`fixed_error_bound`], eqs. 2–5) and **floating-point relative
+//!    error bounds** ([`float_error_bound`], eqs. 6–12) through every
+//!    operator;
+//! 3. composes them into **query-level bounds** ([`fixed_query_bound`],
+//!    [`float_query_bound`], §3.2) for marginal, conditional and MPE
+//!    queries under absolute or relative tolerances;
+//! 4. searches for the **least bit widths** meeting a tolerance
+//!    ([`optimize_fixed`], [`optimize_float`], §3.3), sizing integer and
+//!    exponent bits so that no overflow or underflow can occur.
+//!
+//! # Examples
+//!
+//! ```
+//! use problp_ac::{compile, transform::binarize};
+//! use problp_bayes::networks;
+//! use problp_bounds::{
+//!     optimize_fixed, optimize_float, AcAnalysis, LeafErrorModel, QueryType, Tolerance,
+//! };
+//!
+//! let ac = binarize(&compile(&networks::alarm(7))?)?;
+//! let analysis = AcAnalysis::new(&ac)?;
+//! let fx = optimize_fixed(
+//!     &ac, &analysis,
+//!     QueryType::Marginal,
+//!     Tolerance::Absolute(0.01),
+//!     LeafErrorModel::WorstCase,
+//!     64,
+//! )?;
+//! let fl = optimize_float(&ac, &analysis, QueryType::Marginal, Tolerance::Absolute(0.01), 64)?;
+//! println!("fixed {} vs float {}", fx.format, fl.format);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod error;
+mod fixed;
+mod float;
+mod query;
+mod search;
+
+pub use analysis::AcAnalysis;
+pub use error::BoundsError;
+pub use fixed::{
+    fixed_error_bound, fixed_error_bound_with_rounding, required_int_bits, FixedErrorBound,
+    LeafErrorModel,
+};
+pub use float::{float_error_bound, required_exp_bits, FloatErrorBound};
+pub use query::{fixed_query_bound, float_query_bound, QueryType, Tolerance};
+pub use search::{
+    optimize_fixed, optimize_float, FixedChoice, FloatChoice, DEFAULT_MAX_PRECISION_BITS,
+};

@@ -1,0 +1,267 @@
+//! Query-level error bounds (paper §3.2).
+//!
+//! The per-evaluation bounds of §3.1 are composed into bounds on the three
+//! query types:
+//!
+//! * **Marginal / MPE** — one AC evaluation: the §3.1.3 bounds apply
+//!   directly.
+//! * **Conditional** — a ratio of two evaluations; fixed point divides an
+//!   absolute error by `min Pr(e)` (eq. 14) and cannot bound the relative
+//!   error at all (ProbLP then always chooses float, §3.2.2); float's
+//!   relative factors simply stack (eq. 17).
+
+use problp_ac::AcGraph;
+use problp_num::{FixedFormat, FloatFormat};
+
+use crate::analysis::AcAnalysis;
+use crate::error::BoundsError;
+use crate::fixed::{fixed_error_bound, LeafErrorModel};
+use crate::float::float_error_bound;
+
+/// The probabilistic query a circuit will serve (paper §3, "Type of
+/// query").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum QueryType {
+    /// Marginal probability `Pr(q, e)`: one upward pass.
+    #[default]
+    Marginal,
+    /// Conditional probability `Pr(q | e) = Pr(q, e) / Pr(e)`: two upward
+    /// passes and a division.
+    Conditional,
+    /// Most probable explanation: one max-product pass.
+    Mpe,
+}
+
+impl std::fmt::Display for QueryType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryType::Marginal => write!(f, "marginal"),
+            QueryType::Conditional => write!(f, "conditional"),
+            QueryType::Mpe => write!(f, "MPE"),
+        }
+    }
+}
+
+/// The application's error tolerance (paper §3, "Error tolerance").
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Tolerance {
+    /// Bound on `|~Pr - Pr|`.
+    Absolute(f64),
+    /// Bound on `|~Pr - Pr| / Pr`.
+    Relative(f64),
+}
+
+impl Tolerance {
+    /// The numeric tolerance value.
+    pub fn value(&self) -> f64 {
+        match *self {
+            Tolerance::Absolute(v) | Tolerance::Relative(v) => v,
+        }
+    }
+
+    /// Validates that the tolerance is positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundsError::InvalidTolerance`] otherwise.
+    pub fn validate(&self) -> Result<(), BoundsError> {
+        let v = self.value();
+        if v > 0.0 && v.is_finite() {
+            Ok(())
+        } else {
+            Err(BoundsError::InvalidTolerance { value: v })
+        }
+    }
+}
+
+impl std::fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tolerance::Absolute(v) => write!(f, "abs. err {v}"),
+            Tolerance::Relative(v) => write!(f, "rel. err {v}"),
+        }
+    }
+}
+
+/// Worst-case error of serving `query` with fixed-point arithmetic of the
+/// given format, in the metric of `tolerance` (absolute or relative).
+///
+/// # Errors
+///
+/// Returns [`BoundsError::FixedUnsupportedForQuery`] for
+/// conditional-relative queries (paper §3.2.2) and propagates propagation
+/// errors.
+pub fn fixed_query_bound(
+    ac: &AcGraph,
+    analysis: &AcAnalysis,
+    format: FixedFormat,
+    query: QueryType,
+    tolerance: Tolerance,
+    leaf_model: LeafErrorModel,
+) -> Result<f64, BoundsError> {
+    let eval = fixed_error_bound(ac, analysis, format, leaf_model)?;
+    let delta = eval.root_bound();
+    match (query, tolerance) {
+        // One evaluation: the absolute bound is Δ (eq. 3/5 composition).
+        (QueryType::Marginal | QueryType::Mpe, Tolerance::Absolute(_)) => Ok(delta),
+        // Relative error of one evaluation: Δ / min Pr (min-value
+        // analysis of the output).
+        (QueryType::Marginal | QueryType::Mpe, Tolerance::Relative(_)) => {
+            Ok(delta / analysis.root_min_positive())
+        }
+        // Conditional, absolute: eq. (14), Δ1max / min Pr(e).
+        (QueryType::Conditional, Tolerance::Absolute(_)) => {
+            Ok(delta / analysis.root_min_positive())
+        }
+        // Conditional, relative: eq. (15) has no usable bound.
+        (QueryType::Conditional, Tolerance::Relative(_)) => {
+            Err(BoundsError::FixedUnsupportedForQuery)
+        }
+    }
+}
+
+/// Worst-case error of serving `query` with floating-point arithmetic of
+/// the given format, in the metric of `tolerance`.
+///
+/// # Errors
+///
+/// Propagates propagation errors.
+pub fn float_query_bound(
+    ac: &AcGraph,
+    analysis: &AcAnalysis,
+    format: FloatFormat,
+    query: QueryType,
+    tolerance: Tolerance,
+) -> Result<f64, BoundsError> {
+    let eval = float_error_bound(ac, analysis, format)?;
+    match (query, tolerance) {
+        // Single evaluation, absolute: |f̃ - f| <= f·δ <= f_max·δ.
+        (QueryType::Marginal | QueryType::Mpe, Tolerance::Absolute(_)) => {
+            Ok(analysis.root_max() * eval.relative_bound())
+        }
+        // Single evaluation, relative: δ directly.
+        (QueryType::Marginal | QueryType::Mpe, Tolerance::Relative(_)) => {
+            Ok(eval.relative_bound())
+        }
+        // Conditional: the ratio bound (eq. 17); for the absolute metric
+        // Pr(q|e) <= 1 scales it.
+        (QueryType::Conditional, Tolerance::Relative(_)) => Ok(eval.ratio_relative_bound()),
+        (QueryType::Conditional, Tolerance::Absolute(_)) => Ok(eval.ratio_relative_bound()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::transform::binarize;
+    use problp_ac::compile;
+    use problp_bayes::networks;
+
+    fn fixture() -> (AcGraph, AcAnalysis) {
+        let ac = binarize(&compile(&networks::student()).unwrap()).unwrap();
+        let a = AcAnalysis::new(&ac).unwrap();
+        (ac, a)
+    }
+
+    #[test]
+    fn fixed_conditional_relative_is_rejected() {
+        let (ac, a) = fixture();
+        let err = fixed_query_bound(
+            &ac,
+            &a,
+            FixedFormat::new(1, 16).unwrap(),
+            QueryType::Conditional,
+            Tolerance::Relative(0.01),
+            LeafErrorModel::WorstCase,
+        )
+        .unwrap_err();
+        assert_eq!(err, BoundsError::FixedUnsupportedForQuery);
+    }
+
+    #[test]
+    fn fixed_relative_bounds_are_larger_than_absolute() {
+        let (ac, a) = fixture();
+        let f = FixedFormat::new(1, 16).unwrap();
+        let abs = fixed_query_bound(
+            &ac, &a, f,
+            QueryType::Marginal,
+            Tolerance::Absolute(0.01),
+            LeafErrorModel::WorstCase,
+        )
+        .unwrap();
+        let rel = fixed_query_bound(
+            &ac, &a, f,
+            QueryType::Marginal,
+            Tolerance::Relative(0.01),
+            LeafErrorModel::WorstCase,
+        )
+        .unwrap();
+        // min Pr < 1 inflates the relative bound.
+        assert!(rel > abs);
+        let cond_abs = fixed_query_bound(
+            &ac, &a, f,
+            QueryType::Conditional,
+            Tolerance::Absolute(0.01),
+            LeafErrorModel::WorstCase,
+        )
+        .unwrap();
+        assert_eq!(cond_abs, rel); // both divide by min Pr(e)
+    }
+
+    #[test]
+    fn float_bounds_are_insensitive_to_small_outputs() {
+        let (ac, a) = fixture();
+        let f = FloatFormat::new(10, 16).unwrap();
+        let marg_rel =
+            float_query_bound(&ac, &a, f, QueryType::Marginal, Tolerance::Relative(0.01))
+                .unwrap();
+        let cond_rel = float_query_bound(
+            &ac, &a, f,
+            QueryType::Conditional,
+            Tolerance::Relative(0.01),
+        )
+        .unwrap();
+        // The conditional bound is only slightly larger (same c, both-sided).
+        assert!(cond_rel >= marg_rel);
+        assert!(cond_rel < 3.0 * marg_rel);
+    }
+
+    #[test]
+    fn mpe_uses_the_single_evaluation_bounds() {
+        let (ac, a) = fixture();
+        let ffx = FixedFormat::new(1, 12).unwrap();
+        let marg = fixed_query_bound(
+            &ac, &a, ffx,
+            QueryType::Marginal,
+            Tolerance::Absolute(0.01),
+            LeafErrorModel::WorstCase,
+        )
+        .unwrap();
+        let mpe = fixed_query_bound(
+            &ac, &a, ffx,
+            QueryType::Mpe,
+            Tolerance::Absolute(0.01),
+            LeafErrorModel::WorstCase,
+        )
+        .unwrap();
+        assert_eq!(marg, mpe);
+    }
+
+    #[test]
+    fn tolerance_validation() {
+        assert!(Tolerance::Absolute(0.01).validate().is_ok());
+        assert!(Tolerance::Relative(1e-9).validate().is_ok());
+        assert!(Tolerance::Absolute(0.0).validate().is_err());
+        assert!(Tolerance::Relative(-1.0).validate().is_err());
+        assert!(Tolerance::Absolute(f64::INFINITY).validate().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(QueryType::Marginal.to_string(), "marginal");
+        assert_eq!(QueryType::Conditional.to_string(), "conditional");
+        assert_eq!(QueryType::Mpe.to_string(), "MPE");
+        assert_eq!(Tolerance::Absolute(0.01).to_string(), "abs. err 0.01");
+        assert_eq!(Tolerance::Relative(0.5).to_string(), "rel. err 0.5");
+    }
+}

@@ -1,0 +1,322 @@
+//! Bit-width optimisation (paper §3.3).
+//!
+//! ProbLP "evaluates the bounds starting with 2 fraction bits and 2
+//! mantissa bits, and increments them until the error-requirement is
+//! satisfied. Then, it estimates the least number of integer and exponent
+//! bits required by the min and max analysis". This module implements
+//! exactly that search, reporting the paper's `>64` idiom as
+//! [`BoundsError::ToleranceUnreachable`].
+
+use problp_ac::AcGraph;
+use problp_num::{FixedFormat, FloatFormat};
+
+use crate::analysis::AcAnalysis;
+use crate::error::BoundsError;
+use crate::fixed::{required_int_bits, LeafErrorModel};
+use crate::float::required_exp_bits;
+use crate::query::{fixed_query_bound, float_query_bound, QueryType, Tolerance};
+
+/// Default cap on fraction/mantissa bits (the paper reports `>64` when the
+/// cap is exceeded).
+pub const DEFAULT_MAX_PRECISION_BITS: u32 = 64;
+
+/// An optimised representation choice together with its guaranteed bound.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FixedChoice {
+    /// The minimal fixed-point format meeting the tolerance.
+    pub format: FixedFormat,
+    /// The worst-case error bound achieved at that format (in the
+    /// tolerance's metric).
+    pub bound: f64,
+}
+
+/// An optimised floating-point choice together with its guaranteed bound.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FloatChoice {
+    /// The minimal floating-point format meeting the tolerance.
+    pub format: FloatFormat,
+    /// The worst-case error bound achieved at that format (in the
+    /// tolerance's metric).
+    pub bound: f64,
+}
+
+/// Finds the least number of fraction bits meeting the tolerance, then
+/// sizes the integer bits from the max-value analysis.
+///
+/// # Errors
+///
+/// * [`BoundsError::FixedUnsupportedForQuery`] for conditional-relative
+///   queries (ProbLP always picks float there, paper §3.2.2);
+/// * [`BoundsError::ToleranceUnreachable`] when even `max_frac_bits`
+///   fraction bits cannot meet the tolerance (reported as `>64` in the
+///   paper's Table 2);
+/// * propagation errors for malformed inputs.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, transform::binarize};
+/// use problp_bayes::networks;
+/// use problp_bounds::{optimize_fixed, AcAnalysis, LeafErrorModel, QueryType, Tolerance};
+///
+/// let ac = binarize(&compile(&networks::sprinkler())?)?;
+/// let analysis = AcAnalysis::new(&ac)?;
+/// let choice = optimize_fixed(
+///     &ac,
+///     &analysis,
+///     QueryType::Marginal,
+///     Tolerance::Absolute(0.01),
+///     LeafErrorModel::WorstCase,
+///     64,
+/// )?;
+/// assert!(choice.bound <= 0.01);
+/// assert!(choice.format.int_bits() >= 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimize_fixed(
+    ac: &AcGraph,
+    analysis: &AcAnalysis,
+    query: QueryType,
+    tolerance: Tolerance,
+    leaf_model: LeafErrorModel,
+    max_frac_bits: u32,
+) -> Result<FixedChoice, BoundsError> {
+    tolerance.validate()?;
+    if matches!(
+        (query, tolerance),
+        (QueryType::Conditional, Tolerance::Relative(_))
+    ) {
+        return Err(BoundsError::FixedUnsupportedForQuery);
+    }
+    let mut last_bound = f64::INFINITY;
+    for frac in 2..=max_frac_bits {
+        // Integer bits do not influence the error bound; use a probe
+        // format wide enough for any range.
+        let probe = FixedFormat::new(1, frac).expect("probe format is valid");
+        let bound = fixed_query_bound(ac, analysis, probe, query, tolerance, leaf_model)?;
+        last_bound = bound;
+        if bound <= tolerance.value() {
+            let int_bits = required_int_bits(analysis, bound);
+            let format = FixedFormat::new(int_bits, frac)
+                .map_err(|_| BoundsError::RangeUnrepresentable)?;
+            return Ok(FixedChoice { format, bound });
+        }
+    }
+    Err(BoundsError::ToleranceUnreachable {
+        max_bits: max_frac_bits,
+        bound_at_max: last_bound,
+    })
+}
+
+/// Finds the least number of mantissa bits meeting the tolerance, then
+/// sizes the exponent bits from the max- and min-value analyses.
+///
+/// # Errors
+///
+/// * [`BoundsError::ToleranceUnreachable`] when even `max_mant_bits`
+///   mantissa bits cannot meet the tolerance;
+/// * [`BoundsError::RangeUnrepresentable`] when no supported exponent
+///   width covers the circuit's value range;
+/// * propagation errors for malformed inputs.
+pub fn optimize_float(
+    ac: &AcGraph,
+    analysis: &AcAnalysis,
+    query: QueryType,
+    tolerance: Tolerance,
+    max_mant_bits: u32,
+) -> Result<FloatChoice, BoundsError> {
+    tolerance.validate()?;
+    let mut last_bound = f64::INFINITY;
+    for mant in 2..=max_mant_bits {
+        // Exponent bits do not influence the error bound; probe with the
+        // widest exponent.
+        let probe = FloatFormat::new(problp_num::MAX_EXP_BITS, mant)
+            .expect("probe format is valid");
+        let bound = float_query_bound(ac, analysis, probe, query, tolerance)?;
+        last_bound = bound;
+        if bound <= tolerance.value() {
+            let exp_bits = required_exp_bits(analysis, bound)?;
+            let format = FloatFormat::new(exp_bits, mant)
+                .map_err(|_| BoundsError::RangeUnrepresentable)?;
+            return Ok(FloatChoice { format, bound });
+        }
+    }
+    Err(BoundsError::ToleranceUnreachable {
+        max_bits: max_mant_bits,
+        bound_at_max: last_bound,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::compile;
+    use problp_ac::transform::binarize;
+    use problp_bayes::networks;
+    use crate::query::fixed_query_bound as fqb;
+
+    fn fixture() -> (AcGraph, AcAnalysis) {
+        let ac = binarize(&compile(&networks::student()).unwrap()).unwrap();
+        let a = AcAnalysis::new(&ac).unwrap();
+        (ac, a)
+    }
+
+    #[test]
+    fn fixed_choice_is_minimal() {
+        let (ac, a) = fixture();
+        let tol = Tolerance::Absolute(0.01);
+        let choice = optimize_fixed(
+            &ac, &a,
+            QueryType::Marginal,
+            tol,
+            LeafErrorModel::WorstCase,
+            64,
+        )
+        .unwrap();
+        assert!(choice.bound <= 0.01);
+        // One fewer fraction bit must violate the tolerance.
+        if choice.format.frac_bits() > 2 {
+            let narrower = FixedFormat::new(1, choice.format.frac_bits() - 1).unwrap();
+            let bound = fqb(
+                &ac, &a,
+                narrower,
+                QueryType::Marginal,
+                tol,
+                LeafErrorModel::WorstCase,
+            )
+            .unwrap();
+            assert!(bound > 0.01);
+        }
+    }
+
+    #[test]
+    fn float_choice_is_minimal() {
+        let (ac, a) = fixture();
+        let tol = Tolerance::Relative(0.01);
+        let choice = optimize_float(&ac, &a, QueryType::Conditional, tol, 64).unwrap();
+        assert!(choice.bound <= 0.01);
+        assert!(choice.format.mant_bits() >= 2);
+        assert!(choice.format.exp_bits() >= 2);
+    }
+
+    #[test]
+    fn tighter_tolerances_need_more_bits() {
+        let (ac, a) = fixture();
+        let loose = optimize_fixed(
+            &ac, &a,
+            QueryType::Marginal,
+            Tolerance::Absolute(0.01),
+            LeafErrorModel::WorstCase,
+            64,
+        )
+        .unwrap();
+        let tight = optimize_fixed(
+            &ac, &a,
+            QueryType::Marginal,
+            Tolerance::Absolute(1e-6),
+            LeafErrorModel::WorstCase,
+            64,
+        )
+        .unwrap();
+        assert!(tight.format.frac_bits() > loose.format.frac_bits());
+    }
+
+    #[test]
+    fn conditional_relative_fixed_is_rejected() {
+        let (ac, a) = fixture();
+        let err = optimize_fixed(
+            &ac, &a,
+            QueryType::Conditional,
+            Tolerance::Relative(0.01),
+            LeafErrorModel::WorstCase,
+            64,
+        )
+        .unwrap_err();
+        assert_eq!(err, BoundsError::FixedUnsupportedForQuery);
+    }
+
+    #[test]
+    fn unreachable_tolerance_reports_the_cap() {
+        let (ac, a) = fixture();
+        let err = optimize_fixed(
+            &ac, &a,
+            QueryType::Marginal,
+            Tolerance::Absolute(1e-30),
+            LeafErrorModel::WorstCase,
+            20, // low cap to force failure
+        )
+        .unwrap_err();
+        match err {
+            BoundsError::ToleranceUnreachable {
+                max_bits,
+                bound_at_max,
+            } => {
+                assert_eq!(max_bits, 20);
+                assert!(bound_at_max > 1e-30);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_tolerances_are_rejected() {
+        let (ac, a) = fixture();
+        assert!(matches!(
+            optimize_fixed(
+                &ac, &a,
+                QueryType::Marginal,
+                Tolerance::Absolute(0.0),
+                LeafErrorModel::WorstCase,
+                64,
+            ),
+            Err(BoundsError::InvalidTolerance { .. })
+        ));
+        assert!(matches!(
+            optimize_float(&ac, &a, QueryType::Marginal, Tolerance::Relative(-3.0), 64),
+            Err(BoundsError::InvalidTolerance { .. })
+        ));
+    }
+
+    #[test]
+    fn alarm_fixed_matches_paper_magnitude() {
+        // Paper Table 2: Alarm, marginal, abs 0.01 -> I=1, F=14. Our AC
+        // differs from ACE's, but the fraction bits should land in the
+        // same territory (roughly 10-20).
+        let ac = binarize(&compile(&networks::alarm(7)).unwrap()).unwrap();
+        let a = AcAnalysis::new(&ac).unwrap();
+        let choice = optimize_fixed(
+            &ac, &a,
+            QueryType::Marginal,
+            Tolerance::Absolute(0.01),
+            LeafErrorModel::WorstCase,
+            64,
+        )
+        .unwrap();
+        assert!(
+            (8..=24).contains(&choice.format.frac_bits()),
+            "F={} outside expected territory",
+            choice.format.frac_bits()
+        );
+        assert_eq!(choice.format.int_bits(), 1, "alarm values stay below 2");
+    }
+
+    #[test]
+    fn alarm_float_matches_paper_magnitude() {
+        // Paper Table 2: Alarm, cond. rel 0.01 -> E=8, M=13.
+        let ac = binarize(&compile(&networks::alarm(7)).unwrap()).unwrap();
+        let a = AcAnalysis::new(&ac).unwrap();
+        let choice =
+            optimize_float(&ac, &a, QueryType::Conditional, Tolerance::Relative(0.01), 64)
+                .unwrap();
+        assert!(
+            (8..=24).contains(&choice.format.mant_bits()),
+            "M={} outside expected territory",
+            choice.format.mant_bits()
+        );
+        assert!(
+            (5..=12).contains(&choice.format.exp_bits()),
+            "E={} outside expected territory",
+            choice.format.exp_bits()
+        );
+    }
+}

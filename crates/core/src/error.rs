@@ -1,0 +1,99 @@
+//! Error types for the framework pipeline.
+
+use problp_ac::AcError;
+use problp_bounds::BoundsError;
+use problp_hw::HwError;
+
+/// Errors produced by the ProbLP pipeline.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A circuit-level operation failed.
+    Circuit(AcError),
+    /// An error-bound analysis failed.
+    Bounds(BoundsError),
+    /// Hardware generation failed.
+    Hardware(HwError),
+    /// Neither fixed nor floating point can meet the requirements.
+    NoFeasibleRepresentation {
+        /// Why fixed point failed.
+        fixed: BoundsError,
+        /// Why floating point failed.
+        float: BoundsError,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CoreError::Bounds(e) => write!(f, "bounds error: {e}"),
+            CoreError::Hardware(e) => write!(f, "hardware error: {e}"),
+            CoreError::NoFeasibleRepresentation { fixed, float } => write!(
+                f,
+                "no feasible representation: fixed failed ({fixed}); float failed ({float})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Circuit(e) => Some(e),
+            CoreError::Bounds(e) => Some(e),
+            CoreError::Hardware(e) => Some(e),
+            CoreError::NoFeasibleRepresentation { .. } => None,
+        }
+    }
+}
+
+impl From<AcError> for CoreError {
+    fn from(e: AcError) -> Self {
+        CoreError::Circuit(e)
+    }
+}
+
+impl From<BoundsError> for CoreError {
+    fn from(e: BoundsError) -> Self {
+        CoreError::Bounds(e)
+    }
+}
+
+impl From<HwError> for CoreError {
+    fn from(e: HwError) -> Self {
+        CoreError::Hardware(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let e: CoreError = AcError::MissingRoot.into();
+        assert!(matches!(e, CoreError::Circuit(_)));
+        let e: CoreError = BoundsError::NotBinary.into();
+        assert!(matches!(e, CoreError::Bounds(_)));
+        let e: CoreError = HwError::NotBinary.into();
+        assert!(matches!(e, CoreError::Hardware(_)));
+    }
+
+    #[test]
+    fn display_includes_inner_message() {
+        let e: CoreError = BoundsError::NotBinary.into();
+        assert!(e.to_string().contains("binarized"));
+        let both = CoreError::NoFeasibleRepresentation {
+            fixed: BoundsError::FixedUnsupportedForQuery,
+            float: BoundsError::RangeUnrepresentable,
+        };
+        assert!(both.to_string().contains("no feasible"));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

@@ -1,0 +1,341 @@
+//! Test-set error measurement (the `Max error observed on test-set`
+//! column of Table 2 and the observed curves of Fig. 5).
+//!
+//! For every test evidence the circuit is evaluated once in exact `f64`
+//! and once in the low-precision representation; conditional queries run
+//! two evaluations each (numerator and denominator) with the final ratio
+//! taken outside the AC (paper §3.2.2).
+
+use problp_ac::{AcGraph, Semiring};
+use problp_bayes::{Evidence, VarId};
+use problp_bounds::QueryType;
+use problp_num::{Arith, F64Arith, Flags, FixedArith, FloatArith, Representation};
+
+use crate::error::CoreError;
+
+/// Aggregated error statistics over a test set.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct ErrorStats {
+    /// Largest observed absolute error.
+    pub max_abs: f64,
+    /// Mean observed absolute error.
+    pub mean_abs: f64,
+    /// Largest observed relative error (over outputs with non-zero exact
+    /// value).
+    pub max_rel: f64,
+    /// Mean observed relative error.
+    pub mean_rel: f64,
+    /// Number of measured query outputs.
+    pub count: usize,
+    /// Sticky arithmetic flags accumulated across all low-precision
+    /// evaluations — `range_violation()` must stay false for the bounds
+    /// to be valid.
+    pub flags: Flags,
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max abs {:.3e}, mean abs {:.3e}, max rel {:.3e}, mean rel {:.3e} over {} outputs",
+            self.max_abs, self.mean_abs, self.max_rel, self.mean_rel, self.count
+        )
+    }
+}
+
+struct Accumulator {
+    stats: ErrorStats,
+    abs_sum: f64,
+    rel_sum: f64,
+    rel_count: usize,
+}
+
+impl Accumulator {
+    fn new() -> Self {
+        Accumulator {
+            stats: ErrorStats::default(),
+            abs_sum: 0.0,
+            rel_sum: 0.0,
+            rel_count: 0,
+        }
+    }
+
+    fn record(&mut self, exact: f64, approx: f64) {
+        let abs = (approx - exact).abs();
+        self.stats.max_abs = self.stats.max_abs.max(abs);
+        self.abs_sum += abs;
+        self.stats.count += 1;
+        if exact != 0.0 {
+            let rel = abs / exact.abs();
+            self.stats.max_rel = self.stats.max_rel.max(rel);
+            self.rel_sum += rel;
+            self.rel_count += 1;
+        }
+    }
+
+    fn finish(mut self, flags: Flags) -> ErrorStats {
+        if self.stats.count > 0 {
+            self.stats.mean_abs = self.abs_sum / self.stats.count as f64;
+        }
+        if self.rel_count > 0 {
+            self.stats.mean_rel = self.rel_sum / self.rel_count as f64;
+        }
+        self.stats.flags = flags;
+        self.stats
+    }
+}
+
+/// Evaluates one query in an arbitrary arithmetic, mirroring how the
+/// deployed hardware would serve it.
+fn query_outputs<A: Arith>(
+    ac: &AcGraph,
+    ctx: &mut A,
+    query: QueryType,
+    query_var: VarId,
+    query_states: usize,
+    evidence: &Evidence,
+) -> Result<Vec<f64>, CoreError> {
+    match query {
+        QueryType::Marginal => {
+            let v = ac.evaluate_with(ctx, evidence, Semiring::SumProduct)?;
+            Ok(vec![ctx.to_f64(&v)])
+        }
+        QueryType::Mpe => {
+            let v = ac.evaluate_with(ctx, evidence, Semiring::MaxProduct)?;
+            Ok(vec![ctx.to_f64(&v)])
+        }
+        QueryType::Conditional => {
+            // Pr(q = s | e) for every state s: numerators Pr(q = s, e)
+            // over the shared denominator Pr(e); the ratio is taken
+            // outside the AC (paper §3.2.2, footnote 2).
+            let den = {
+                let v = ac.evaluate_with(ctx, evidence, Semiring::SumProduct)?;
+                ctx.to_f64(&v)
+            };
+            let mut outs = Vec::with_capacity(query_states);
+            for s in 0..query_states {
+                let mut with_q = evidence.clone();
+                with_q.observe(query_var, s);
+                let num = {
+                    let v = ac.evaluate_with(ctx, &with_q, Semiring::SumProduct)?;
+                    ctx.to_f64(&v)
+                };
+                outs.push(num / den);
+            }
+            Ok(outs)
+        }
+    }
+}
+
+/// Measures observed low-precision errors of `query` over a test set.
+///
+/// Query outputs whose exact value is NaN or whose exact denominator is
+/// zero (unreachable evidence) are skipped.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (shape mismatches, missing root).
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, transform::binarize};
+/// use problp_bayes::{networks, Evidence};
+/// use problp_bounds::QueryType;
+/// use problp_core::measure_errors;
+/// use problp_num::{FixedFormat, Representation};
+///
+/// let net = networks::sprinkler();
+/// let ac = binarize(&compile(&net)?)?;
+/// let mut e = Evidence::empty(net.var_count());
+/// e.observe(net.find("WetGrass").unwrap(), 1);
+/// let stats = measure_errors(
+///     &ac,
+///     Representation::Fixed(FixedFormat::new(1, 12)?),
+///     QueryType::Marginal,
+///     net.find("Rain").unwrap(),
+///     &[e],
+/// )?;
+/// assert!(stats.max_abs < 1e-2);
+/// assert!(!stats.flags.range_violation());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn measure_errors(
+    ac: &AcGraph,
+    repr: Representation,
+    query: QueryType,
+    query_var: VarId,
+    test_evidence: &[Evidence],
+) -> Result<ErrorStats, CoreError> {
+    let query_states = ac.var_arities()[query_var.index()];
+    let mut acc = Accumulator::new();
+    let mut exact_ctx = F64Arith::new();
+    match repr {
+        Representation::Fixed(format) => {
+            let mut lp = FixedArith::new(format);
+            for e in test_evidence {
+                let exact =
+                    query_outputs(ac, &mut exact_ctx, query, query_var, query_states, e)?;
+                let approx = query_outputs(ac, &mut lp, query, query_var, query_states, e)?;
+                for (x, a) in exact.iter().zip(&approx) {
+                    if x.is_finite() && a.is_finite() {
+                        acc.record(*x, *a);
+                    }
+                }
+            }
+            Ok(acc.finish(lp.flags()))
+        }
+        Representation::Float(format) => {
+            let mut lp = FloatArith::new(format);
+            for e in test_evidence {
+                let exact =
+                    query_outputs(ac, &mut exact_ctx, query, query_var, query_states, e)?;
+                let approx = query_outputs(ac, &mut lp, query, query_var, query_states, e)?;
+                for (x, a) in exact.iter().zip(&approx) {
+                    if x.is_finite() && a.is_finite() {
+                        acc.record(*x, *a);
+                    }
+                }
+            }
+            Ok(acc.finish(lp.flags()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::{compile, transform::binarize};
+    use problp_bayes::networks;
+    use problp_bounds::{
+        fixed_query_bound, float_query_bound, AcAnalysis, LeafErrorModel, Tolerance,
+    };
+    use problp_num::{FixedFormat, FloatFormat};
+
+    fn all_single_evidences(net: &problp_bayes::BayesNet) -> Vec<Evidence> {
+        let mut out = Vec::new();
+        for v in 0..net.var_count() {
+            for s in 0..net.variable(VarId::from_index(v)).arity() {
+                let mut e = Evidence::empty(net.var_count());
+                e.observe(VarId::from_index(v), s);
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn observed_errors_stay_below_the_fixed_bound() {
+        let net = networks::student();
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        let format = FixedFormat::new(1, 12).unwrap();
+        let bound = fixed_query_bound(
+            &ac,
+            &analysis,
+            format,
+            QueryType::Marginal,
+            Tolerance::Absolute(1.0),
+            LeafErrorModel::WorstCase,
+        )
+        .unwrap();
+        let stats = measure_errors(
+            &ac,
+            Representation::Fixed(format),
+            QueryType::Marginal,
+            VarId::from_index(0),
+            &all_single_evidences(&net),
+        )
+        .unwrap();
+        assert!(stats.count > 0);
+        assert!(stats.max_abs <= bound, "{} > {bound}", stats.max_abs);
+        assert!(stats.mean_abs <= stats.max_abs);
+        assert!(!stats.flags.range_violation());
+    }
+
+    #[test]
+    fn observed_errors_stay_below_the_float_bound() {
+        let net = networks::student();
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        let format = FloatFormat::new(10, 12).unwrap();
+        let bound = float_query_bound(
+            &ac,
+            &analysis,
+            format,
+            QueryType::Marginal,
+            Tolerance::Relative(1.0),
+        )
+        .unwrap();
+        let stats = measure_errors(
+            &ac,
+            Representation::Float(format),
+            QueryType::Marginal,
+            VarId::from_index(0),
+            &all_single_evidences(&net),
+        )
+        .unwrap();
+        assert!(stats.max_rel <= bound, "{} > {bound}", stats.max_rel);
+        assert!(!stats.flags.range_violation());
+    }
+
+    #[test]
+    fn conditional_measurement_covers_every_state() {
+        let net = networks::sprinkler();
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let rain = net.find("Rain").unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        e.observe(net.find("WetGrass").unwrap(), 1);
+        let stats = measure_errors(
+            &ac,
+            Representation::Float(FloatFormat::new(8, 14).unwrap()),
+            QueryType::Conditional,
+            rain,
+            std::slice::from_ref(&e),
+        )
+        .unwrap();
+        // Two states of Rain measured.
+        assert_eq!(stats.count, 2);
+        assert!(stats.max_rel < 1e-2);
+    }
+
+    #[test]
+    fn mpe_measurement_works() {
+        let net = networks::figure1();
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let stats = measure_errors(
+            &ac,
+            Representation::Fixed(FixedFormat::new(1, 10).unwrap()),
+            QueryType::Mpe,
+            VarId::from_index(0),
+            &[Evidence::empty(net.var_count())],
+        )
+        .unwrap();
+        assert_eq!(stats.count, 1);
+        assert!(stats.max_abs < 1e-2);
+    }
+
+    #[test]
+    fn more_bits_mean_less_error() {
+        let net = networks::student();
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let evidences = all_single_evidences(&net);
+        let coarse = measure_errors(
+            &ac,
+            Representation::Fixed(FixedFormat::new(1, 6).unwrap()),
+            QueryType::Marginal,
+            VarId::from_index(0),
+            &evidences,
+        )
+        .unwrap();
+        let fine = measure_errors(
+            &ac,
+            Representation::Fixed(FixedFormat::new(1, 20).unwrap()),
+            QueryType::Marginal,
+            VarId::from_index(0),
+            &evidences,
+        )
+        .unwrap();
+        assert!(fine.max_abs < coarse.max_abs);
+    }
+}

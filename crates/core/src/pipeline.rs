@@ -1,0 +1,462 @@
+//! The ProbLP pipeline (paper Fig. 2).
+//!
+//! ```text
+//! AC + query type + error tolerance
+//!   └─ binarize ─ max/min analyses
+//!        ├─ fixed-pt error analysis ─► optimal (I, F) ─ energy estimate ─┐
+//!        ├─ float-pt error analysis ─► optimal (E, M) ─ energy estimate ─┤
+//!        └────────────────────────────── compare & select ◄──────────────┘
+//!                                             │
+//!                                       HW generation ─► Verilog
+//! ```
+
+use problp_ac::{transform, AcGraph, AcStats};
+use problp_bounds::{
+    optimize_fixed, optimize_float, AcAnalysis, BoundsError, LeafErrorModel, QueryType,
+    Tolerance, DEFAULT_MAX_PRECISION_BITS,
+};
+use problp_energy::{fixed_ac_energy, float_ac_energy, AcEnergy, CellLibrary, Tsmc65Model};
+use problp_hw::{emit_verilog, HwStats, Netlist};
+use problp_num::{FloatFormat, Representation};
+
+use crate::error::CoreError;
+
+/// One candidate representation with its guaranteed bound and predicted
+/// energy.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Candidate {
+    /// The representation (formats sized by the analyses).
+    pub repr: Representation,
+    /// The worst-case error bound in the tolerance's metric.
+    pub bound: f64,
+    /// Predicted energy per AC evaluation (operator-level model).
+    pub energy: AcEnergy,
+}
+
+impl std::fmt::Display for Candidate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (bound {:.3e}, {:.3} nJ/eval)",
+            self.repr,
+            self.bound,
+            self.energy.total_nj()
+        )
+    }
+}
+
+/// The generated hardware and its statistics.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HardwareReport {
+    /// Netlist statistics (operators, registers, pipeline depth).
+    pub stats: HwStats,
+    /// The emitted Verilog source.
+    pub verilog: String,
+    /// The gate-level ("post-synthesis" stand-in) energy estimate in nJ,
+    /// including pipeline-register energy.
+    pub gate_level_nj: f64,
+}
+
+/// The full result of a ProbLP run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Report {
+    /// The query the hardware will serve.
+    pub query: QueryType,
+    /// The error tolerance it must meet.
+    pub tolerance: Tolerance,
+    /// Statistics of the binarized circuit the hardware implements.
+    pub circuit_stats: AcStats,
+    /// The optimal fixed-point candidate, if fixed point is feasible.
+    pub fixed: Option<Candidate>,
+    /// Why fixed point was rejected (e.g. `>64` bits, or conditional
+    /// relative-error queries), if it was.
+    pub fixed_failure: Option<BoundsError>,
+    /// The optimal floating-point candidate, if feasible.
+    pub float: Option<Candidate>,
+    /// Why floating point was rejected, if it was.
+    pub float_failure: Option<BoundsError>,
+    /// The selected (lower-energy) representation.
+    pub selected: Candidate,
+    /// Energy of the same circuit with 32-bit float operators
+    /// (`E=8, M=23`) — the comparison column of Table 2.
+    pub baseline_float32_nj: f64,
+    /// The generated hardware.
+    pub hardware: HardwareReport,
+}
+
+impl Report {
+    /// Energy saving of the selected representation versus the 32-bit
+    /// float baseline (e.g. `2.0` = half the energy).
+    pub fn saving_vs_float32(&self) -> f64 {
+        self.baseline_float32_nj / self.selected.energy.total_nj()
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ProbLP report: {} query, {}", self.query, self.tolerance)?;
+        writeln!(f, "  circuit: {}", self.circuit_stats)?;
+        match (&self.fixed, &self.fixed_failure) {
+            (Some(c), _) => writeln!(f, "  fixed:  {c}")?,
+            (None, Some(e)) => writeln!(f, "  fixed:  not feasible ({e})")?,
+            _ => {}
+        }
+        match (&self.float, &self.float_failure) {
+            (Some(c), _) => writeln!(f, "  float:  {c}")?,
+            (None, Some(e)) => writeln!(f, "  float:  not feasible ({e})")?,
+            _ => {}
+        }
+        writeln!(f, "  selected: {}", self.selected)?;
+        writeln!(
+            f,
+            "  32b-float baseline: {:.3} nJ/eval ({:.2}x saving)",
+            self.baseline_float32_nj,
+            self.saving_vs_float32()
+        )?;
+        write!(
+            f,
+            "  hardware: {} ({:.3} nJ/eval gate-level)",
+            self.hardware.stats, self.hardware.gate_level_nj
+        )
+    }
+}
+
+/// The ProbLP framework: a builder over its three inputs (paper §3) plus
+/// engineering knobs.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::compile;
+/// use problp_bayes::networks;
+/// use problp_core::Problp;
+/// use problp_bounds::{QueryType, Tolerance};
+///
+/// let ac = compile(&networks::alarm(7))?;
+/// let report = Problp::new(&ac)
+///     .query(QueryType::Marginal)
+///     .tolerance(Tolerance::Absolute(0.01))
+///     .run()?;
+/// // The paper's Table 2: fixed point wins Alarm marginal queries.
+/// assert!(report.selected.repr.is_fixed());
+/// assert!(report.selected.bound <= 0.01);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Problp<'a> {
+    ac: &'a AcGraph,
+    query: QueryType,
+    tolerance: Tolerance,
+    leaf_model: LeafErrorModel,
+    max_precision_bits: u32,
+    cell_library: CellLibrary,
+    emit_rtl: bool,
+    optimize_circuit: bool,
+}
+
+impl<'a> Problp<'a> {
+    /// Creates a pipeline for the given circuit (binarized internally if
+    /// needed) with the defaults: marginal query, absolute tolerance 0.01,
+    /// worst-case leaf model, 64-bit precision cap.
+    pub fn new(ac: &'a AcGraph) -> Self {
+        Problp {
+            ac,
+            query: QueryType::Marginal,
+            tolerance: Tolerance::Absolute(0.01),
+            leaf_model: LeafErrorModel::WorstCase,
+            max_precision_bits: DEFAULT_MAX_PRECISION_BITS,
+            cell_library: CellLibrary::default(),
+            emit_rtl: true,
+            optimize_circuit: false,
+        }
+    }
+
+    /// Sets the query type.
+    pub fn query(mut self, query: QueryType) -> Self {
+        self.query = query;
+        self
+    }
+
+    /// Sets the error tolerance.
+    pub fn tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the leaf-error model (ablation knob, default worst-case).
+    pub fn leaf_model(mut self, model: LeafErrorModel) -> Self {
+        self.leaf_model = model;
+        self
+    }
+
+    /// Sets the fraction/mantissa bit cap (default 64, the paper's `>64`
+    /// reporting threshold).
+    pub fn max_precision_bits(mut self, bits: u32) -> Self {
+        self.max_precision_bits = bits;
+        self
+    }
+
+    /// Sets the cell library used for the gate-level energy estimate.
+    pub fn cell_library(mut self, lib: CellLibrary) -> Self {
+        self.cell_library = lib;
+        self
+    }
+
+    /// Disables Verilog emission (keeps the report light for sweeps).
+    pub fn skip_rtl(mut self) -> Self {
+        self.emit_rtl = false;
+        self
+    }
+
+    /// Enables the constant-folding / sharing optimisation pass before
+    /// analysis (off by default: the paper's flow has no such pass, it is
+    /// an ablation — see `DESIGN.md`).
+    pub fn optimize_circuit(mut self, enable: bool) -> Self {
+        self.optimize_circuit = enable;
+        self
+    }
+
+    /// Runs the full pipeline: analyses, bit-width optimisation, energy
+    /// comparison, selection, and hardware generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoFeasibleRepresentation`] when neither
+    /// representation can meet the tolerance, and propagates circuit /
+    /// analysis / hardware errors.
+    pub fn run(self) -> Result<Report, CoreError> {
+        let model = Tsmc65Model;
+        let optimized;
+        let source = if self.optimize_circuit {
+            optimized = problp_ac::optimize(self.ac)?.0;
+            &optimized
+        } else {
+            self.ac
+        };
+        // Stage 1 of HW generation (paper §3.4): two-input operators.
+        let bin = transform::binarize(source)?;
+        let analysis = AcAnalysis::new(&bin)?;
+
+        let fixed_result = optimize_fixed(
+            &bin,
+            &analysis,
+            self.query,
+            self.tolerance,
+            self.leaf_model,
+            self.max_precision_bits,
+        );
+        let float_result = optimize_float(
+            &bin,
+            &analysis,
+            self.query,
+            self.tolerance,
+            self.max_precision_bits,
+        );
+
+        let fixed = match &fixed_result {
+            Ok(c) => Some(Candidate {
+                repr: Representation::Fixed(c.format),
+                bound: c.bound,
+                energy: fixed_ac_energy(&bin, c.format, &model),
+            }),
+            Err(_) => None,
+        };
+        let float = match &float_result {
+            Ok(c) => Some(Candidate {
+                repr: Representation::Float(c.format),
+                bound: c.bound,
+                energy: float_ac_energy(&bin, c.format, &model),
+            }),
+            Err(_) => None,
+        };
+
+        // Compare fixed and float (paper §3.3): lower predicted energy.
+        let selected = match (&fixed, &float) {
+            (Some(a), Some(b)) => {
+                if a.energy.total_nj() <= b.energy.total_nj() {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
+            }
+            (Some(a), None) => a.clone(),
+            (None, Some(b)) => b.clone(),
+            (None, None) => {
+                return Err(CoreError::NoFeasibleRepresentation {
+                    fixed: fixed_result.unwrap_err(),
+                    float: float_result.unwrap_err(),
+                });
+            }
+        };
+
+        // Hardware generation for the selected representation.
+        let netlist = Netlist::from_ac(&bin, selected.repr)?;
+        let stats = netlist.stats();
+        let gate_level_nj = gate_level_energy_nj(&stats, selected.repr, &self.cell_library);
+        let verilog = if self.emit_rtl {
+            emit_verilog(&netlist)
+        } else {
+            String::new()
+        };
+
+        let baseline = float_ac_energy(&bin, FloatFormat::ieee_single(), &model);
+
+        Ok(Report {
+            query: self.query,
+            tolerance: self.tolerance,
+            circuit_stats: bin.stats(),
+            fixed,
+            fixed_failure: fixed_result.err(),
+            float,
+            float_failure: float_result.err(),
+            selected,
+            baseline_float32_nj: baseline.total_nj(),
+            hardware: HardwareReport {
+                stats,
+                verilog,
+                gate_level_nj,
+            },
+        })
+    }
+}
+
+/// Gate-level energy of a pipelined datapath: structural operator
+/// estimates plus pipeline-register energy (the "post-synthesis"
+/// stand-in, DESIGN.md substitution 3).
+pub fn gate_level_energy_nj(stats: &HwStats, repr: Representation, lib: &CellLibrary) -> f64 {
+    let op_fj = match repr {
+        Representation::Fixed(f) => {
+            stats.adds as f64 * lib.fixed_add_fj(f) + stats.muls as f64 * lib.fixed_mul_fj(f)
+        }
+        Representation::Float(f) => {
+            stats.adds as f64 * lib.float_add_fj(f) + stats.muls as f64 * lib.float_mul_fj(f)
+        }
+    };
+    (op_fj + lib.register_fj(stats.register_bits())) * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::compile;
+    use problp_bayes::networks;
+
+    #[test]
+    fn alarm_marginal_absolute_selects_fixed() {
+        // Table 2 row: Alarm, marg. prob., abs. err 0.01 -> fixed wins.
+        let ac = compile(&networks::alarm(7)).unwrap();
+        let report = Problp::new(&ac)
+            .query(QueryType::Marginal)
+            .tolerance(Tolerance::Absolute(0.01))
+            .run()
+            .unwrap();
+        assert!(report.selected.repr.is_fixed());
+        assert!(report.fixed.is_some());
+        assert!(report.float.is_some());
+        let fx = report.fixed.as_ref().unwrap();
+        let fl = report.float.as_ref().unwrap();
+        assert!(fx.energy.total_nj() <= fl.energy.total_nj());
+        // Both candidates meet the tolerance.
+        assert!(fx.bound <= 0.01 && fl.bound <= 0.01);
+        // The selected representation beats the 32-bit float baseline.
+        assert!(report.saving_vs_float32() > 1.0);
+    }
+
+    #[test]
+    fn alarm_conditional_relative_selects_float() {
+        // Table 2 row: Alarm, cond. prob., rel. err 0.01 -> float only.
+        let ac = compile(&networks::alarm(7)).unwrap();
+        let report = Problp::new(&ac)
+            .query(QueryType::Conditional)
+            .tolerance(Tolerance::Relative(0.01))
+            .run()
+            .unwrap();
+        assert!(report.selected.repr.is_float());
+        assert!(report.fixed.is_none());
+        assert!(matches!(
+            report.fixed_failure,
+            Some(BoundsError::FixedUnsupportedForQuery)
+        ));
+    }
+
+    #[test]
+    fn report_contains_working_hardware() {
+        let ac = compile(&networks::student()).unwrap();
+        let report = Problp::new(&ac)
+            .query(QueryType::Marginal)
+            .tolerance(Tolerance::Absolute(0.01))
+            .run()
+            .unwrap();
+        assert!(report.hardware.verilog.contains("problp_ac_top"));
+        assert!(report.hardware.stats.pipeline_depth >= 1);
+        assert!(report.hardware.gate_level_nj > 0.0);
+        // Gate-level and model-level estimates agree within a small factor
+        // (the paper's post-synthesis column matches its predictions).
+        let ratio = report.hardware.gate_level_nj / report.selected.energy.total_nj();
+        assert!(
+            (0.4..=2.5).contains(&ratio),
+            "gate-level {} vs model {} (ratio {ratio})",
+            report.hardware.gate_level_nj,
+            report.selected.energy.total_nj()
+        );
+    }
+
+    #[test]
+    fn skip_rtl_omits_verilog() {
+        let ac = compile(&networks::figure1()).unwrap();
+        let report = Problp::new(&ac).skip_rtl().run().unwrap();
+        assert!(report.hardware.verilog.is_empty());
+        assert!(report.hardware.stats.pipeline_depth >= 1);
+    }
+
+    #[test]
+    fn impossible_requirements_fail_cleanly() {
+        let ac = compile(&networks::figure1()).unwrap();
+        let err = Problp::new(&ac)
+            .tolerance(Tolerance::Absolute(1e-300))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NoFeasibleRepresentation { .. }));
+    }
+
+    #[test]
+    fn report_display_is_complete() {
+        let ac = compile(&networks::figure1()).unwrap();
+        let report = Problp::new(&ac).skip_rtl().run().unwrap();
+        let text = report.to_string();
+        assert!(text.contains("selected"));
+        assert!(text.contains("baseline"));
+        assert!(text.contains("nJ/eval"));
+    }
+
+    #[test]
+    fn optimize_ablation_never_costs_energy() {
+        // Asia has deterministic CPTs: folding shrinks it, which can only
+        // reduce the energy of the result.
+        let ac = compile(&networks::asia()).unwrap();
+        let plain = Problp::new(&ac).skip_rtl().run().unwrap();
+        let opt = Problp::new(&ac)
+            .optimize_circuit(true)
+            .skip_rtl()
+            .run()
+            .unwrap();
+        assert!(opt.circuit_stats.nodes < plain.circuit_stats.nodes);
+        assert!(opt.selected.energy.total_nj() <= plain.selected.energy.total_nj());
+        // The optimized hardware still meets the tolerance.
+        assert!(opt.selected.bound <= 0.01);
+    }
+
+    #[test]
+    fn leaf_model_ablation_never_hurts() {
+        let ac = compile(&networks::student()).unwrap();
+        let worst = Problp::new(&ac).skip_rtl().run().unwrap();
+        let tight = Problp::new(&ac)
+            .leaf_model(LeafErrorModel::Exact)
+            .skip_rtl()
+            .run()
+            .unwrap();
+        let f_worst = worst.fixed.unwrap().repr.as_fixed().unwrap().frac_bits();
+        let f_tight = tight.fixed.unwrap().repr.as_fixed().unwrap().frac_bits();
+        assert!(f_tight <= f_worst);
+    }
+}

@@ -1,0 +1,190 @@
+//! The paper's four evaluation benchmarks, packaged for experiments.
+//!
+//! Each [`Benchmark`] bundles a trained Bayesian network, the query
+//! variable `q`, the evidence variables `e`, and a test set of evidence
+//! assignments — exactly the experimental setting of paper §4: "the leaf
+//! nodes of the BN were used as evidence nodes e and one of the root
+//! nodes in the BN (the class node in the case of the classifiers) as a
+//! query node q".
+
+use problp_bayes::{networks, BayesNet, Evidence, LabeledDataset, NaiveBayes, VarId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::generator::{har_like, uiwads_like, unimib_like};
+
+/// A packaged evaluation benchmark.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name ("HAR", "UNIMIB", "UIWADS", "Alarm").
+    pub name: String,
+    /// The trained network.
+    pub net: BayesNet,
+    /// The query variable `q` (the class / a root node).
+    pub query_var: VarId,
+    /// The evidence variables `e` (classifier features / BN leaves).
+    pub evidence_vars: Vec<VarId>,
+    /// Test-set evidence assignments (observations of `evidence_vars`).
+    pub test_evidence: Vec<Evidence>,
+    /// Test-set labels (states of `query_var`), when known.
+    pub test_labels: Option<Vec<usize>>,
+}
+
+impl Benchmark {
+    /// Number of test instances.
+    pub fn test_len(&self) -> usize {
+        self.test_evidence.len()
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} with {} test instances",
+            self.name,
+            self.net,
+            self.test_len()
+        )
+    }
+}
+
+/// Builds a classifier benchmark: trains naive Bayes on 60 % of the data
+/// (paper §4) and turns the remaining 40 % into test evidences.
+fn classifier_benchmark(name: &str, dataset: &LabeledDataset) -> Benchmark {
+    let (train, test) = dataset.split(0.6);
+    let nb = NaiveBayes::fit(&train, 1.0).expect("training data is valid");
+    let query_var = nb.class_var();
+    let evidence_vars = nb.feature_vars().to_vec();
+    let var_count = nb.network().var_count();
+    let mut test_evidence = Vec::with_capacity(test.len());
+    let mut labels = Vec::with_capacity(test.len());
+    for i in 0..test.len() {
+        let (row, label) = test.instance(i);
+        let mut e = Evidence::empty(var_count);
+        for (j, &fv) in evidence_vars.iter().enumerate() {
+            e.observe(fv, row[j]);
+        }
+        test_evidence.push(e);
+        labels.push(label);
+    }
+    Benchmark {
+        name: name.to_string(),
+        net: nb.into_network(),
+        query_var,
+        evidence_vars,
+        test_evidence,
+        test_labels: Some(labels),
+    }
+}
+
+/// The HAR-like benchmark (6-class activity recognition).
+pub fn har_benchmark(seed: u64) -> Benchmark {
+    classifier_benchmark("HAR", &har_like(seed))
+}
+
+/// The UniMiB-SHAR-like benchmark (9-class activity recognition).
+pub fn unimib_benchmark(seed: u64) -> Benchmark {
+    classifier_benchmark("UNIMIB", &unimib_like(seed))
+}
+
+/// The UIWADS-like benchmark (binary user verification).
+pub fn uiwads_benchmark(seed: u64) -> Benchmark {
+    classifier_benchmark("UIWADS", &uiwads_like(seed))
+}
+
+/// The Alarm benchmark: the 37-node patient-monitoring network with a
+/// test set of `instances` forward samples (the paper uses 1000),
+/// evidence on the BN's leaf variables and query on the root
+/// `HYPOVOLEMIA`.
+pub fn alarm_benchmark(seed: u64, instances: usize) -> Benchmark {
+    let net = networks::alarm(seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5EED));
+    let leaves = net.leaves();
+    let query_var = net.find("HYPOVOLEMIA").expect("alarm has HYPOVOLEMIA");
+    let mut test_evidence = Vec::with_capacity(instances);
+    let mut labels = Vec::with_capacity(instances);
+    for _ in 0..instances {
+        let sample = net.sample(&mut rng);
+        let mut e = Evidence::empty(net.var_count());
+        for &leaf in &leaves {
+            e.observe(leaf, sample[leaf.index()]);
+        }
+        test_evidence.push(e);
+        labels.push(sample[query_var.index()]);
+    }
+    Benchmark {
+        name: "Alarm".to_string(),
+        net,
+        query_var,
+        evidence_vars: leaves,
+        test_evidence,
+        test_labels: Some(labels),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_benchmarks_have_consistent_shapes() {
+        for bench in [
+            uiwads_benchmark(3),
+            unimib_benchmark(3),
+        ] {
+            assert!(bench.test_len() > 100);
+            assert_eq!(
+                bench.test_labels.as_ref().unwrap().len(),
+                bench.test_len()
+            );
+            // Evidence observes exactly the feature variables.
+            for e in bench.test_evidence.iter().take(20) {
+                assert_eq!(e.observed_count(), bench.evidence_vars.len());
+                assert_eq!(e.state(bench.query_var), None);
+            }
+        }
+    }
+
+    #[test]
+    fn alarm_benchmark_observes_the_leaves() {
+        let bench = alarm_benchmark(7, 50);
+        assert_eq!(bench.test_len(), 50);
+        assert_eq!(bench.net.var_count(), 37);
+        assert_eq!(bench.evidence_vars.len(), bench.net.leaves().len());
+        assert!(bench.evidence_vars.len() >= 8, "alarm has many leaf sensors");
+        for e in &bench.test_evidence {
+            assert_eq!(e.observed_count(), bench.evidence_vars.len());
+            assert_eq!(e.state(bench.query_var), None);
+        }
+    }
+
+    #[test]
+    fn query_var_is_a_root() {
+        let bench = alarm_benchmark(7, 5);
+        assert!(bench.net.roots().contains(&bench.query_var));
+        let uiwads = uiwads_benchmark(3);
+        assert!(uiwads.net.roots().contains(&uiwads.query_var));
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        let a = uiwads_benchmark(9);
+        let b = uiwads_benchmark(9);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.test_evidence, b.test_evidence);
+    }
+
+    #[test]
+    fn relative_circuit_scales_follow_the_paper() {
+        // HAR's network must dwarf UniMiB's, which dwarfs UIWADS's —
+        // that ordering drives the energy ordering of Table 2.
+        let har = har_benchmark(1);
+        let unimib = unimib_benchmark(1);
+        let uiwads = uiwads_benchmark(1);
+        let params =
+            |b: &Benchmark| b.net.parameter_count();
+        assert!(params(&har) > 4 * params(&unimib));
+        assert!(params(&unimib) > 2 * params(&uiwads));
+    }
+}

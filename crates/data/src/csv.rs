@@ -1,0 +1,170 @@
+//! CSV import/export for labeled datasets.
+//!
+//! A minimal, dependency-free CSV dialect for exchanging benchmark data:
+//! one instance per line, features first and the class label last, with
+//! an optional `#`-prefixed header describing the arities:
+//!
+//! ```text
+//! # arities: 4 4 4, classes: 2
+//! 0,2,1,3,0
+//! 1,1,0,2,1
+//! ```
+
+use problp_bayes::{BayesError, LabeledDataset};
+
+/// Serializes a dataset to the CSV dialect above (with the arity header).
+///
+/// # Examples
+///
+/// ```
+/// use problp_data::{csv, uiwads_like};
+///
+/// let ds = uiwads_like(1);
+/// let text = csv::to_csv(&ds);
+/// let back = csv::from_csv(&text)?;
+/// assert_eq!(back, ds);
+/// # Ok::<(), problp_bayes::BayesError>(())
+/// ```
+pub fn to_csv(dataset: &LabeledDataset) -> String {
+    let mut out = String::new();
+    let arities: Vec<String> = dataset
+        .feature_arities()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    out.push_str(&format!(
+        "# arities: {}, classes: {}\n",
+        arities.join(" "),
+        dataset.class_arity()
+    ));
+    for i in 0..dataset.len() {
+        let (row, label) = dataset.instance(i);
+        let mut fields: Vec<String> = row.iter().map(|s| s.to_string()).collect();
+        fields.push(label.to_string());
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the CSV dialect above. Without a header, arities are inferred
+/// as `max(state) + 1` per column (with a floor of 2).
+///
+/// # Errors
+///
+/// Returns [`BayesError::InvalidDataset`] for malformed lines or
+/// validation failures.
+pub fn from_csv(text: &str) -> Result<LabeledDataset, BayesError> {
+    let mut feature_arities: Option<Vec<usize>> = None;
+    let mut class_arity: Option<usize> = None;
+    let mut features: Vec<Vec<usize>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let bad = |line_no: usize, reason: &str| BayesError::InvalidDataset {
+        reason: format!("csv line {}: {reason}", line_no + 1),
+    };
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('#') {
+            // "# arities: 4 4 4, classes: 2"
+            if let Some(rest) = header.trim().strip_prefix("arities:") {
+                let (arities_part, classes_part) = rest
+                    .split_once(',')
+                    .ok_or_else(|| bad(line_no, "header needs ', classes:'"))?;
+                let arities = arities_part
+                    .split_whitespace()
+                    .map(|t| t.parse::<usize>().map_err(|_| bad(line_no, "bad arity")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let classes = classes_part
+                    .trim()
+                    .strip_prefix("classes:")
+                    .and_then(|c| c.trim().parse::<usize>().ok())
+                    .ok_or_else(|| bad(line_no, "bad class count"))?;
+                feature_arities = Some(arities);
+                class_arity = Some(classes);
+            }
+            continue;
+        }
+        let fields = line
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .map_err(|_| bad(line_no, &format!("bad field {t}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if fields.len() < 2 {
+            return Err(bad(line_no, "need at least one feature and a label"));
+        }
+        let (label, row) = fields.split_last().expect("checked length");
+        features.push(row.to_vec());
+        labels.push(*label);
+    }
+    if features.is_empty() {
+        return Err(BayesError::InvalidDataset {
+            reason: "csv has no data rows".into(),
+        });
+    }
+    let width = features[0].len();
+    let feature_arities = feature_arities.unwrap_or_else(|| {
+        (0..width)
+            .map(|j| {
+                features
+                    .iter()
+                    .map(|row| row[j] + 1)
+                    .max()
+                    .unwrap_or(2)
+                    .max(2)
+            })
+            .collect()
+    });
+    let class_arity = class_arity
+        .unwrap_or_else(|| labels.iter().map(|&l| l + 1).max().unwrap_or(2).max(2));
+    LabeledDataset::new(features, labels, feature_arities, class_arity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{har_like, uiwads_like};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        for ds in [uiwads_like(3), har_like(3)] {
+            let back = from_csv(&to_csv(&ds)).unwrap();
+            assert_eq!(back, ds);
+        }
+    }
+
+    #[test]
+    fn headerless_csv_infers_arities() {
+        let ds = from_csv("0,1,0\n1,0,1\n2,1,0\n").unwrap();
+        assert_eq!(ds.feature_arities(), &[3, 2]);
+        assert_eq!(ds.class_arity(), 2);
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let err = from_csv("0,1\nx,1\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        let err = from_csv("5\n").unwrap_err();
+        assert!(err.to_string().contains("at least one feature"));
+        assert!(from_csv("").is_err());
+    }
+
+    #[test]
+    fn header_overrides_inference() {
+        let ds = from_csv("# arities: 4 4, classes: 3\n0,1,0\n").unwrap();
+        assert_eq!(ds.feature_arities(), &[4, 4]);
+        assert_eq!(ds.class_arity(), 3);
+    }
+
+    #[test]
+    fn out_of_range_states_fail_validation() {
+        let err = from_csv("# arities: 2 2, classes: 2\n0,5,0\n").unwrap_err();
+        assert!(matches!(err, BayesError::InvalidDataset { .. }));
+    }
+}

@@ -1,0 +1,38 @@
+//! # problp-data — benchmark data for ProbLP
+//!
+//! Seeded synthetic stand-ins for the paper's embedded-sensing datasets
+//! (HAR, UniMiB-SHAR, UIWADS — see `DESIGN.md`, substitution 2) and the
+//! packaged evaluation [`Benchmark`]s of paper §4, including the Alarm
+//! patient-monitoring benchmark with its 1000-sample test set.
+//!
+//! # Examples
+//!
+//! ```
+//! use problp_data::{har_like, uiwads_benchmark};
+//! use problp_bayes::NaiveBayes;
+//!
+//! // Raw dataset access:
+//! let ds = har_like(42);
+//! let (train, test) = ds.split(0.6);
+//! let nb = NaiveBayes::fit(&train, 1.0)?;
+//! assert!(nb.accuracy(&test) > 0.4);
+//!
+//! // Or the packaged benchmark (network + query + test evidences):
+//! let bench = uiwads_benchmark(42);
+//! assert_eq!(bench.name, "UIWADS");
+//! # Ok::<(), problp_bayes::BayesError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+pub mod csv;
+mod generator;
+
+pub use benchmark::{
+    alarm_benchmark, har_benchmark, uiwads_benchmark, unimib_benchmark, Benchmark,
+};
+pub use generator::{
+    har_like, synthetic_sensor_dataset, uiwads_like, unimib_like, SensorSpec,
+};

@@ -1,0 +1,35 @@
+//! # problp-energy — energy models and estimates for ProbLP
+//!
+//! The energy side of the ProbLP framework (paper §3.3): the fitted
+//! TSMC 65 nm operator models of Table 1 ([`Tsmc65Model`]), whole-circuit
+//! energy estimates ([`fixed_ac_energy`], [`float_ac_energy`] — the
+//! `pred. energy` column of Table 2), and an independent gate-level
+//! estimator ([`CellLibrary`]) standing in for the paper's post-synthesis
+//! measurements.
+//!
+//! # Examples
+//!
+//! ```
+//! use problp_ac::{compile, transform::binarize};
+//! use problp_bayes::networks;
+//! use problp_energy::{fixed_ac_energy, float_ac_energy, Tsmc65Model};
+//! use problp_num::{FixedFormat, FloatFormat};
+//!
+//! let ac = binarize(&compile(&networks::alarm(7))?)?;
+//! let fx = fixed_ac_energy(&ac, FixedFormat::new(1, 14)?, &Tsmc65Model);
+//! let fl = float_ac_energy(&ac, FloatFormat::new(8, 13)?, &Tsmc65Model);
+//! // The paper's Table 2: fixed wins for Alarm marginal queries.
+//! assert!(fx.total_nj() < fl.total_nj());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod estimate;
+mod gate;
+mod model;
+
+pub use estimate::{fixed_ac_energy, float_ac_energy, AcEnergy, OpCounts};
+pub use gate::CellLibrary;
+pub use model::{EnergyModel, Tsmc65Model};

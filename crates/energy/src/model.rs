@@ -1,0 +1,134 @@
+//! Operator-level energy models (paper Table 1).
+//!
+//! The paper fitted these models to post-synthesis energies of adders and
+//! multipliers synthesized in TSMC 65 nm at 1 V. The fitted coefficients
+//! are reproduced verbatim; they are the `Energy models` input of Fig. 2.
+//!
+//! | Operator      | Energy (fJ)              |
+//! |---------------|--------------------------|
+//! | Fixed-pt add  | `7.8 · N`                |
+//! | Fixed-pt mult | `1.9 · N² · log2 N`      |
+//! | Float-pt add  | `44.74 · (M+1)`          |
+//! | Float-pt mult | `2.9 · (M+1)² · log2(M+1)` |
+//!
+//! `N` is the total number of fixed-point bits (`I + F`) and `M` the
+//! number of mantissa bits.
+
+use problp_num::{FixedFormat, FloatFormat};
+
+/// An operator-level energy model: energy per operation in femtojoules.
+///
+/// The trait allows swapping technology nodes or recalibrated models; the
+/// shipped implementation is [`Tsmc65Model`] (the paper's Table 1).
+pub trait EnergyModel {
+    /// Energy of one fixed-point addition at `N = I + F` total bits (fJ).
+    fn fixed_add_fj(&self, format: FixedFormat) -> f64;
+    /// Energy of one fixed-point multiplication at `N = I + F` bits (fJ).
+    fn fixed_mul_fj(&self, format: FixedFormat) -> f64;
+    /// Energy of one floating-point addition at `M` mantissa bits (fJ).
+    fn float_add_fj(&self, format: FloatFormat) -> f64;
+    /// Energy of one floating-point multiplication at `M` mantissa bits
+    /// (fJ).
+    fn float_mul_fj(&self, format: FloatFormat) -> f64;
+}
+
+/// The paper's fitted TSMC 65 nm @ 1 V models (Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use problp_energy::{EnergyModel, Tsmc65Model};
+/// use problp_num::{FixedFormat, FloatFormat};
+///
+/// let m = Tsmc65Model;
+/// let fx16 = FixedFormat::new(1, 15)?; // N = 16
+/// assert_eq!(m.fixed_add_fj(fx16), 7.8 * 16.0);
+/// assert_eq!(m.fixed_mul_fj(fx16), 1.9 * 256.0 * 4.0);
+/// let fl = FloatFormat::new(8, 23)?; // M + 1 = 24
+/// assert_eq!(m.float_add_fj(fl), 44.74 * 24.0);
+/// # Ok::<(), problp_num::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Tsmc65Model;
+
+impl EnergyModel for Tsmc65Model {
+    fn fixed_add_fj(&self, format: FixedFormat) -> f64 {
+        let n = format.total_bits() as f64;
+        7.8 * n
+    }
+
+    fn fixed_mul_fj(&self, format: FixedFormat) -> f64 {
+        let n = format.total_bits() as f64;
+        1.9 * n * n * n.log2()
+    }
+
+    fn float_add_fj(&self, format: FloatFormat) -> f64 {
+        let m1 = (format.mant_bits() + 1) as f64;
+        44.74 * m1
+    }
+
+    fn float_mul_fj(&self, format: FloatFormat) -> f64 {
+        let m1 = (format.mant_bits() + 1) as f64;
+        2.9 * m1 * m1 * m1.log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(i: u32, f: u32) -> FixedFormat {
+        FixedFormat::new(i, f).unwrap()
+    }
+
+    fn fl(e: u32, m: u32) -> FloatFormat {
+        FloatFormat::new(e, m).unwrap()
+    }
+
+    #[test]
+    fn table1_fixed_values() {
+        let m = Tsmc65Model;
+        // N = 8
+        assert!((m.fixed_add_fj(fx(1, 7)) - 62.4).abs() < 1e-9);
+        assert!((m.fixed_mul_fj(fx(1, 7)) - 1.9 * 64.0 * 3.0).abs() < 1e-9);
+        // N = 32
+        assert!((m.fixed_add_fj(fx(1, 31)) - 249.6).abs() < 1e-9);
+        assert!((m.fixed_mul_fj(fx(1, 31)) - 1.9 * 1024.0 * 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_float_values() {
+        let m = Tsmc65Model;
+        // M = 13 (the paper's Alarm float choice).
+        assert!((m.float_add_fj(fl(8, 13)) - 44.74 * 14.0).abs() < 1e-9);
+        let expect = 2.9 * 14.0 * 14.0 * 14.0_f64.log2();
+        assert!((m.float_mul_fj(fl(8, 13)) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_grows_with_width() {
+        let m = Tsmc65Model;
+        assert!(m.fixed_mul_fj(fx(1, 15)) < m.fixed_mul_fj(fx(1, 31)));
+        assert!(m.float_mul_fj(fl(8, 10)) < m.float_mul_fj(fl(8, 23)));
+        assert!(m.fixed_add_fj(fx(1, 15)) < m.fixed_add_fj(fx(2, 15)));
+    }
+
+    #[test]
+    fn multipliers_dominate_adders() {
+        let m = Tsmc65Model;
+        for bits in [8u32, 16, 24, 32] {
+            assert!(m.fixed_mul_fj(fx(1, bits - 1)) > m.fixed_add_fj(fx(1, bits - 1)));
+        }
+        for mant in [8u32, 16, 23] {
+            assert!(m.float_mul_fj(fl(8, mant)) > m.float_add_fj(fl(8, mant)));
+        }
+    }
+
+    #[test]
+    fn exponent_bits_do_not_change_the_model() {
+        // Table 1 models float energy by mantissa width only.
+        let m = Tsmc65Model;
+        assert_eq!(m.float_add_fj(fl(5, 10)), m.float_add_fj(fl(11, 10)));
+        assert_eq!(m.float_mul_fj(fl(5, 10)), m.float_mul_fj(fl(11, 10)));
+    }
+}

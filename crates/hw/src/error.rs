@@ -1,0 +1,60 @@
+//! Error types for hardware generation.
+
+/// Errors produced by netlist construction and simulation.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum HwError {
+    /// The circuit contains operators with more than two inputs; run
+    /// `problp_ac::transform::binarize` first (paper §3.4 stage one).
+    NotBinary,
+    /// The circuit has no root.
+    MissingRoot,
+    /// Evidence ranges over a different number of variables than the
+    /// netlist.
+    EvidenceLengthMismatch {
+        /// Variables in the evidence.
+        evidence: usize,
+        /// Variables in the netlist.
+        netlist: usize,
+    },
+    /// The fixed-point format has no fraction bits; the emitted multiplier
+    /// rounding idiom requires `F >= 1`.
+    UnsupportedFormat {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for HwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HwError::NotBinary => {
+                write!(f, "hardware generation requires a binarized circuit")
+            }
+            HwError::MissingRoot => write!(f, "the circuit has no root node"),
+            HwError::EvidenceLengthMismatch { evidence, netlist } => write!(
+                f,
+                "evidence over {evidence} variables but the netlist has {netlist}"
+            ),
+            HwError::UnsupportedFormat { reason } => write!(f, "unsupported format: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(HwError::NotBinary.to_string().contains("binarized"));
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<HwError>();
+    }
+}

@@ -1,0 +1,397 @@
+//! The pipelined-datapath netlist (paper §3.4, Fig. 4).
+//!
+//! ProbLP converts the binarized AC into a fully-parallel, fully-pipelined
+//! datapath: every two-input operator becomes an arithmetic cell with an
+//! output register, and edges that skip pipeline stages receive balancing
+//! registers so all paths have equal latency — the "mismatch in path
+//! timings" registers of Fig. 4.
+
+use problp_ac::{AcGraph, AcNode};
+use problp_bayes::VarId;
+use problp_num::Representation;
+
+use crate::error::HwError;
+
+/// Identifier of a cell within a [`Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Creates a cell id from its dense index.
+    #[inline]
+    pub const fn from_index(index: usize) -> Self {
+        CellId(index as u32)
+    }
+
+    /// The dense index of this cell.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The two arithmetic operator types of an AC datapath.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HwOp {
+    /// A two-input adder.
+    Add,
+    /// A two-input multiplier.
+    Mul,
+}
+
+/// What a netlist cell is.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CellKind {
+    /// An indicator input `λ_{var = state}`: a one-bit input expanded to a
+    /// word of 0.0 or 1.0.
+    Input {
+        /// The indicator's variable.
+        var: VarId,
+        /// The indicated state.
+        state: usize,
+    },
+    /// A constant parameter `θ` (becomes a literal in the Verilog).
+    Constant {
+        /// The parameter's real value (encoded per the netlist's format).
+        value: f64,
+    },
+    /// A registered two-input arithmetic operator.
+    Op {
+        /// The operator type.
+        op: HwOp,
+        /// First operand.
+        a: CellId,
+        /// Second operand.
+        b: CellId,
+    },
+}
+
+/// One cell of the netlist with its pipeline stage (leaves are stage 0; an
+/// operator's result is registered at its stage).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Cell {
+    /// What the cell is.
+    pub kind: CellKind,
+    /// The pipeline stage at which this cell's value is available.
+    pub stage: u32,
+}
+
+/// Aggregate statistics of a pipelined netlist (consumed by the
+/// gate-level energy estimator).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HwStats {
+    /// Two-input adders.
+    pub adds: usize,
+    /// Two-input multipliers.
+    pub muls: usize,
+    /// Indicator input bits.
+    pub inputs: usize,
+    /// Distinct parameter constants.
+    pub constants: usize,
+    /// Datapath word width in bits.
+    pub word_bits: u32,
+    /// Pipeline depth in clock cycles (= the output's stage).
+    pub pipeline_depth: u32,
+    /// Operator output registers (one word each).
+    pub output_regs: usize,
+    /// Balancing registers inserted for path-timing mismatches (words).
+    pub balance_regs: usize,
+}
+
+impl HwStats {
+    /// Total register bits ((output + balancing) words × word width).
+    pub fn register_bits(&self) -> usize {
+        (self.output_regs + self.balance_regs) * self.word_bits as usize
+    }
+}
+
+impl std::fmt::Display for HwStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} adds + {} muls @ {} bits, {} stages, {} output regs, {} balance regs",
+            self.adds, self.muls, self.word_bits, self.pipeline_depth, self.output_regs,
+            self.balance_regs
+        )
+    }
+}
+
+/// A fully-parallel pipelined datapath implementing one arithmetic
+/// circuit in one number representation.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, transform::binarize};
+/// use problp_bayes::networks;
+/// use problp_hw::Netlist;
+/// use problp_num::{FixedFormat, Representation};
+///
+/// let ac = binarize(&compile(&networks::sprinkler())?)?;
+/// let nl = Netlist::from_ac(&ac, Representation::Fixed(FixedFormat::new(1, 11)?))?;
+/// let stats = nl.stats();
+/// assert_eq!(stats.word_bits, 12);
+/// assert!(stats.pipeline_depth >= 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Netlist {
+    repr: Representation,
+    cells: Vec<Cell>,
+    output: CellId,
+    var_arities: Vec<usize>,
+}
+
+impl Netlist {
+    /// Builds the pipelined netlist for a binarized circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::NotBinary`] for circuits with wider operators,
+    /// [`HwError::MissingRoot`] for rootless circuits, and
+    /// [`HwError::UnsupportedFormat`] for fixed-point formats without
+    /// fraction bits.
+    pub fn from_ac(ac: &AcGraph, repr: Representation) -> Result<Self, HwError> {
+        let root = ac.root().ok_or(HwError::MissingRoot)?;
+        if !ac.is_binary() {
+            return Err(HwError::NotBinary);
+        }
+        if let Representation::Fixed(f) = repr {
+            if f.frac_bits() == 0 {
+                return Err(HwError::UnsupportedFormat {
+                    reason: "fixed-point multipliers need at least one fraction bit".into(),
+                });
+            }
+        }
+        let reachable = ac.reachable();
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut map: Vec<Option<CellId>> = vec![None; ac.len()];
+        for (i, node) in ac.nodes().iter().enumerate() {
+            if !reachable[i] {
+                continue;
+            }
+            let cell = match node {
+                AcNode::Param { value } => Cell {
+                    kind: CellKind::Constant { value: *value },
+                    stage: 0,
+                },
+                AcNode::Indicator { var, state } => Cell {
+                    kind: CellKind::Input {
+                        var: *var,
+                        state: *state,
+                    },
+                    stage: 0,
+                },
+                AcNode::Sum(children) | AcNode::Product(children) => {
+                    debug_assert_eq!(children.len(), 2);
+                    let a = map[children[0].index()].expect("children precede parents");
+                    let b = map[children[1].index()].expect("children precede parents");
+                    let stage = 1 + cells[a.index()].stage.max(cells[b.index()].stage);
+                    Cell {
+                        kind: CellKind::Op {
+                            op: if matches!(node, AcNode::Sum(_)) {
+                                HwOp::Add
+                            } else {
+                                HwOp::Mul
+                            },
+                            a,
+                            b,
+                        },
+                        stage,
+                    }
+                }
+            };
+            let id = CellId::from_index(cells.len());
+            cells.push(cell);
+            map[i] = Some(id);
+        }
+        Ok(Netlist {
+            repr,
+            cells,
+            output: map[root.index()].expect("root is reachable"),
+            var_arities: ac.var_arities().to_vec(),
+        })
+    }
+
+    /// The number representation of the datapath.
+    pub fn representation(&self) -> Representation {
+        self.repr
+    }
+
+    /// All cells in topological order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// The output cell.
+    pub fn output(&self) -> CellId {
+        self.output
+    }
+
+    /// Arities of the variables the indicator inputs range over.
+    pub fn var_arities(&self) -> &[usize] {
+        &self.var_arities
+    }
+
+    /// Pipeline depth: the clock cycles from applying an input vector to
+    /// its result appearing at the output register.
+    pub fn pipeline_depth(&self) -> u32 {
+        self.cells[self.output.index()].stage
+    }
+
+    /// The number of balancing registers needed on the edge `from -> to`
+    /// (Fig. 4's path-timing mismatch registers).
+    pub fn edge_delay(&self, from: CellId, to: CellId) -> u32 {
+        let consume = self.cells[to.index()].stage - 1;
+        consume - self.cells[from.index()].stage
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> HwStats {
+        let mut stats = HwStats {
+            word_bits: self.repr.word_bits(),
+            pipeline_depth: self.pipeline_depth(),
+            ..HwStats::default()
+        };
+        for cell in &self.cells {
+            match &cell.kind {
+                CellKind::Input { .. } => stats.inputs += 1,
+                CellKind::Constant { .. } => stats.constants += 1,
+                CellKind::Op { op, a, b } => {
+                    match op {
+                        HwOp::Add => stats.adds += 1,
+                        HwOp::Mul => stats.muls += 1,
+                    }
+                    stats.output_regs += 1;
+                    stats.balance_regs += (cell.stage - 1 - self.cells[a.index()].stage)
+                        as usize
+                        + (cell.stage - 1 - self.cells[b.index()].stage) as usize;
+                }
+            }
+        }
+        stats
+    }
+}
+
+impl std::fmt::Display for Netlist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Netlist[{}]({})", self.repr, self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::{compile, transform::binarize};
+    use problp_bayes::networks;
+    use problp_num::{FixedFormat, FloatFormat};
+
+    fn fixed_repr() -> Representation {
+        Representation::Fixed(FixedFormat::new(1, 11).unwrap())
+    }
+
+    fn sprinkler_netlist() -> Netlist {
+        let ac = binarize(&compile(&networks::sprinkler()).unwrap()).unwrap();
+        Netlist::from_ac(&ac, fixed_repr()).unwrap()
+    }
+
+    #[test]
+    fn cell_census_matches_circuit() {
+        let ac = binarize(&compile(&networks::sprinkler()).unwrap()).unwrap();
+        let nl = Netlist::from_ac(&ac, fixed_repr()).unwrap();
+        let ac_stats = ac.stats();
+        let hw = nl.stats();
+        assert_eq!(hw.adds, ac_stats.sums);
+        assert_eq!(hw.muls, ac_stats.products);
+        assert_eq!(hw.inputs, ac_stats.indicators);
+        assert_eq!(hw.constants, ac_stats.params);
+        assert_eq!(hw.output_regs, hw.adds + hw.muls);
+        assert_eq!(hw.pipeline_depth as usize, ac_stats.depth);
+    }
+
+    #[test]
+    fn stage_assignment_is_monotone() {
+        let nl = sprinkler_netlist();
+        for cell in nl.cells() {
+            if let CellKind::Op { a, b, .. } = &cell.kind {
+                assert!(cell.stage > nl.cell(*a).stage);
+                assert!(cell.stage > nl.cell(*b).stage);
+                assert_eq!(
+                    cell.stage,
+                    1 + nl.cell(*a).stage.max(nl.cell(*b).stage),
+                    "operators are placed as early as possible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_balancing_registers() {
+        // Two leaves A, B; op1 = A * B (stage 1); op2 = op1 * A (stage 2):
+        // the A -> op2 edge skips a stage and needs one balancing register.
+        let mut g = problp_ac::AcGraph::new(vec![2]);
+        let a = g.indicator(VarId::from_index(0), 0).unwrap();
+        let b = g.indicator(VarId::from_index(0), 1).unwrap();
+        let op1 = g.product(vec![a, b]).unwrap();
+        let op2 = g.product(vec![op1, a]).unwrap();
+        g.set_root(op2);
+        let nl = Netlist::from_ac(&g, fixed_repr()).unwrap();
+        let stats = nl.stats();
+        assert_eq!(stats.pipeline_depth, 2);
+        assert_eq!(stats.balance_regs, 1);
+        assert_eq!(stats.output_regs, 2);
+        assert_eq!(stats.register_bits(), 3 * 12);
+    }
+
+    #[test]
+    fn word_width_follows_representation() {
+        let ac = binarize(&compile(&networks::figure1()).unwrap()).unwrap();
+        let fx = Netlist::from_ac(&ac, fixed_repr()).unwrap();
+        assert_eq!(fx.stats().word_bits, 12);
+        let fl = Netlist::from_ac(
+            &ac,
+            Representation::Float(FloatFormat::new(8, 13).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(fl.stats().word_bits, 21);
+    }
+
+    #[test]
+    fn non_binary_circuits_are_rejected() {
+        let ac = compile(&networks::sprinkler()).unwrap();
+        if !ac.is_binary() {
+            assert_eq!(
+                Netlist::from_ac(&ac, fixed_repr()).unwrap_err(),
+                HwError::NotBinary
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_free_fixed_is_rejected() {
+        let ac = binarize(&compile(&networks::figure1()).unwrap()).unwrap();
+        let err = Netlist::from_ac(
+            &ac,
+            Representation::Fixed(FixedFormat::new(4, 0).unwrap()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HwError::UnsupportedFormat { .. }));
+    }
+
+    use problp_bayes::VarId;
+}

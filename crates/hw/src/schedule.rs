@@ -1,0 +1,410 @@
+//! A sequential (time-multiplexed) accelerator: the architecture
+//! alternative to the paper's fully-parallel datapath.
+//!
+//! ProbLP generates one operator per AC node (paper §3.4); prior
+//! accelerators (e.g. Khan & Wentzloff 2016, cited as [12]) instead
+//! execute the circuit on a single ALU with a register file and an
+//! instruction ROM. This module provides that design point for
+//! comparison: it compiles a [`Netlist`] into a linear [`Schedule`] with
+//! register allocation, executes it bit-exactly in any arithmetic, and
+//! reports the register-file size the circuit requires.
+//!
+//! Trade-off in one sentence: the parallel datapath spends area and
+//! register energy for single-cycle throughput, while the schedule takes
+//! one cycle per operator but needs only `max-liveness` registers.
+
+use problp_num::Arith;
+
+use crate::error::HwError;
+use crate::netlist::{CellKind, HwOp, Netlist};
+
+/// Where an ALU operand comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// A constant from the parameter ROM (index into [`Schedule::constants`]).
+    Const(u32),
+    /// An indicator input word (index into [`Schedule::inputs`]).
+    Input(u32),
+    /// A register-file entry.
+    Reg(u32),
+}
+
+/// One ALU instruction: `dst = a op b`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Instruction {
+    /// The operation.
+    pub op: HwOp,
+    /// First operand.
+    pub a: Operand,
+    /// Second operand.
+    pub b: Operand,
+    /// Destination register.
+    pub dst: u32,
+}
+
+/// Aggregate statistics of a schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ScheduleStats {
+    /// Instructions (= cycles per evaluation).
+    pub instructions: usize,
+    /// Additions among them.
+    pub adds: usize,
+    /// Multiplications among them.
+    pub muls: usize,
+    /// Register-file entries needed (peak liveness).
+    pub registers: usize,
+    /// Constant-ROM entries.
+    pub constants: usize,
+    /// Indicator input words.
+    pub inputs: usize,
+    /// Datapath word width in bits.
+    pub word_bits: u32,
+}
+
+impl std::fmt::Display for ScheduleStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} instructions ({} adds, {} muls), {} registers, {} constants @ {} bits",
+            self.instructions, self.adds, self.muls, self.registers, self.constants,
+            self.word_bits
+        )
+    }
+}
+
+/// A linear instruction schedule executing one AC evaluation on a single
+/// ALU.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, transform::binarize};
+/// use problp_bayes::{networks, Evidence};
+/// use problp_hw::{Netlist, Schedule};
+/// use problp_num::{Arith, FixedArith, FixedFormat, Representation};
+///
+/// let net = networks::sprinkler();
+/// let ac = binarize(&compile(&net)?)?;
+/// let format = FixedFormat::new(1, 11)?;
+/// let nl = Netlist::from_ac(&ac, Representation::Fixed(format))?;
+/// let schedule = Schedule::from_netlist(&nl)?;
+///
+/// // Far fewer registers than the parallel datapath's output registers.
+/// assert!(schedule.stats().registers < nl.stats().output_regs);
+///
+/// // And bit-exact execution.
+/// let mut ctx = FixedArith::new(format);
+/// let out = schedule.execute(&mut ctx, &Evidence::empty(net.var_count()))?;
+/// assert!((ctx.to_f64(&out) - 1.0).abs() < 0.01);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Schedule {
+    repr: problp_num::Representation,
+    instructions: Vec<Instruction>,
+    constants: Vec<f64>,
+    inputs: Vec<(problp_bayes::VarId, usize)>,
+    register_count: usize,
+    /// Where the final result lives (register, constant or input for
+    /// degenerate circuits).
+    output: Operand,
+    var_count: usize,
+}
+
+impl Schedule {
+    /// Compiles a netlist into a schedule with greedy register
+    /// allocation: operators issue in topological order and a register is
+    /// recycled after its last consumer.
+    ///
+    /// # Errors
+    ///
+    /// This conversion cannot fail for a valid [`Netlist`]; the `Result`
+    /// mirrors the other constructors for API consistency.
+    pub fn from_netlist(netlist: &Netlist) -> Result<Self, HwError> {
+        let cells = netlist.cells();
+        // Last use of each operator cell (operators only live in registers).
+        let mut last_use = vec![usize::MAX; cells.len()];
+        for (i, cell) in cells.iter().enumerate() {
+            if let CellKind::Op { a, b, .. } = &cell.kind {
+                last_use[a.index()] = i;
+                last_use[b.index()] = i;
+            }
+        }
+        let mut constants = Vec::new();
+        let mut inputs = Vec::new();
+        let mut operand_of: Vec<Option<Operand>> = vec![None; cells.len()];
+        let mut instructions = Vec::new();
+        let mut free_regs: Vec<u32> = Vec::new();
+        let mut next_reg = 0u32;
+        let mut reg_of: Vec<Option<u32>> = vec![None; cells.len()];
+        for (i, cell) in cells.iter().enumerate() {
+            match &cell.kind {
+                CellKind::Constant { value } => {
+                    operand_of[i] = Some(Operand::Const(constants.len() as u32));
+                    constants.push(*value);
+                }
+                CellKind::Input { var, state } => {
+                    operand_of[i] = Some(Operand::Input(inputs.len() as u32));
+                    inputs.push((*var, *state));
+                }
+                CellKind::Op { op, a, b } => {
+                    let oa = operand_of[a.index()].expect("children precede parents");
+                    let ob = operand_of[b.index()].expect("children precede parents");
+                    // Free operand registers whose last use is this
+                    // instruction *before* allocating the destination, so
+                    // `dst = a op a`-style reuse is possible.
+                    for src in [a.index(), b.index()] {
+                        if last_use[src] == i {
+                            if let Some(r) = reg_of[src].take() {
+                                free_regs.push(r);
+                            }
+                        }
+                    }
+                    let dst = free_regs.pop().unwrap_or_else(|| {
+                        let r = next_reg;
+                        next_reg += 1;
+                        r
+                    });
+                    instructions.push(Instruction {
+                        op: *op,
+                        a: oa,
+                        b: ob,
+                        dst,
+                    });
+                    operand_of[i] = Some(Operand::Reg(dst));
+                    reg_of[i] = Some(dst);
+                }
+            }
+        }
+        let output = operand_of[netlist.output().index()].expect("output exists");
+        Ok(Schedule {
+            repr: netlist.representation(),
+            instructions,
+            constants,
+            inputs,
+            register_count: next_reg as usize,
+            output,
+            var_count: netlist.var_arities().len(),
+        })
+    }
+
+    /// The instruction stream.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// The constant ROM contents.
+    pub fn constants(&self) -> &[f64] {
+        &self.constants
+    }
+
+    /// The indicator input words in fetch order.
+    pub fn inputs(&self) -> &[(problp_bayes::VarId, usize)] {
+        &self.inputs
+    }
+
+    /// The representation the ALU computes in.
+    pub fn representation(&self) -> problp_num::Representation {
+        self.repr
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ScheduleStats {
+        ScheduleStats {
+            instructions: self.instructions.len(),
+            adds: self
+                .instructions
+                .iter()
+                .filter(|i| i.op == HwOp::Add)
+                .count(),
+            muls: self
+                .instructions
+                .iter()
+                .filter(|i| i.op == HwOp::Mul)
+                .count(),
+            registers: self.register_count,
+            constants: self.constants.len(),
+            inputs: self.inputs.len(),
+            word_bits: self.repr.word_bits(),
+        }
+    }
+
+    /// Executes the schedule under `evidence` in the given arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::EvidenceLengthMismatch`] on a shape mismatch.
+    pub fn execute<A: Arith>(
+        &self,
+        ctx: &mut A,
+        evidence: &problp_bayes::Evidence,
+    ) -> Result<A::Value, HwError> {
+        if evidence.len() != self.var_count {
+            return Err(HwError::EvidenceLengthMismatch {
+                evidence: evidence.len(),
+                netlist: self.var_count,
+            });
+        }
+        let consts: Vec<A::Value> = self
+            .constants
+            .iter()
+            .map(|&v| ctx.from_f64(v))
+            .collect();
+        let ins: Vec<A::Value> = self
+            .inputs
+            .iter()
+            .map(|&(var, state)| ctx.from_f64(evidence.indicator(var, state)))
+            .collect();
+        let mut regs: Vec<Option<A::Value>> = vec![None; self.register_count];
+        let fetch = |regs: &[Option<A::Value>],
+                     consts: &[A::Value],
+                     ins: &[A::Value],
+                     operand: Operand|
+         -> A::Value {
+            match operand {
+                Operand::Const(i) => consts[i as usize].clone(),
+                Operand::Input(i) => ins[i as usize].clone(),
+                Operand::Reg(r) => regs[r as usize]
+                    .clone()
+                    .expect("register read before write"),
+            }
+        };
+        for inst in &self.instructions {
+            let a = fetch(&regs, &consts, &ins, inst.a);
+            let b = fetch(&regs, &consts, &ins, inst.b);
+            let v = match inst.op {
+                HwOp::Add => ctx.add(&a, &b),
+                HwOp::Mul => ctx.mul(&a, &b),
+            };
+            regs[inst.dst as usize] = Some(v);
+        }
+        Ok(fetch(&regs, &consts, &ins, self.output))
+    }
+}
+
+impl std::fmt::Display for Schedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Schedule[{}]({})", self.repr, self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::PipelineSim;
+    use problp_ac::{compile, transform::binarize, Semiring};
+    use problp_bayes::{networks, Evidence, VarId};
+    use problp_num::{FixedArith, FixedFormat, FloatArith, FloatFormat, Representation};
+
+    fn fixed_setup(
+        net: &problp_bayes::BayesNet,
+        frac: u32,
+    ) -> (problp_ac::AcGraph, Netlist, FixedFormat) {
+        let ac = binarize(&compile(net).unwrap()).unwrap();
+        let format = FixedFormat::new(1, frac).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Fixed(format)).unwrap();
+        (ac, nl, format)
+    }
+
+    #[test]
+    fn schedule_matches_parallel_hardware_bit_exactly() {
+        let net = networks::sprinkler();
+        let (_, nl, format) = fixed_setup(&net, 11);
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        for v in 0..net.var_count() {
+            let mut e = Evidence::empty(net.var_count());
+            e.observe(VarId::from_index(v), 1);
+            let mut pipe = PipelineSim::new(&nl, FixedArith::new(format));
+            let parallel = pipe.run(&e).unwrap();
+            let mut ctx = FixedArith::new(format);
+            let sequential = schedule.execute(&mut ctx, &e).unwrap();
+            assert_eq!(parallel.raw(), sequential.raw(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn schedule_matches_software_for_floats() {
+        let net = networks::student();
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let format = FloatFormat::new(8, 13).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Float(format)).unwrap();
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        e.observe(net.find("SAT").unwrap(), 1);
+        let mut sw = FloatArith::new(format);
+        let expect = ac.evaluate_with(&mut sw, &e, Semiring::SumProduct).unwrap();
+        let mut ctx = FloatArith::new(format);
+        let got = schedule.execute(&mut ctx, &e).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn instruction_count_equals_operator_count() {
+        let net = networks::alarm(7);
+        let (_, nl, _) = fixed_setup(&net, 14);
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        let hw = nl.stats();
+        let sch = schedule.stats();
+        assert_eq!(sch.instructions, hw.adds + hw.muls);
+        assert_eq!(sch.adds, hw.adds);
+        assert_eq!(sch.muls, hw.muls);
+        assert_eq!(sch.constants, hw.constants);
+        assert_eq!(sch.inputs, hw.inputs);
+    }
+
+    #[test]
+    fn register_file_is_much_smaller_than_parallel_registers() {
+        let net = networks::alarm(7);
+        let (_, nl, _) = fixed_setup(&net, 14);
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        let registers = schedule.stats().registers;
+        let parallel_regs = nl.stats().output_regs + nl.stats().balance_regs;
+        assert!(
+            registers * 10 < parallel_regs,
+            "sequential {registers} vs parallel {parallel_regs}"
+        );
+    }
+
+    #[test]
+    fn registers_are_never_read_before_written() {
+        // The allocator's correctness: execute panics on a read-before-
+        // write, so a clean pass over every benchmark is the check.
+        for net in [networks::figure1(), networks::asia(), networks::student()] {
+            let (_, nl, format) = fixed_setup(&net, 10);
+            let schedule = Schedule::from_netlist(&nl).unwrap();
+            let mut ctx = FixedArith::new(format);
+            let _ = schedule
+                .execute(&mut ctx, &Evidence::empty(net.var_count()))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn degenerate_single_leaf_circuit() {
+        let mut g = problp_ac::AcGraph::new(vec![2]);
+        let p = g.param(0.75).unwrap();
+        g.set_root(p);
+        let nl = Netlist::from_ac(
+            &g,
+            Representation::Fixed(FixedFormat::new(1, 8).unwrap()),
+        )
+        .unwrap();
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        assert_eq!(schedule.stats().instructions, 0);
+        let mut ctx = FixedArith::new(FixedFormat::new(1, 8).unwrap());
+        let out = schedule.execute(&mut ctx, &Evidence::empty(1)).unwrap();
+        assert_eq!(out.to_f64(), 0.75);
+    }
+
+    #[test]
+    fn evidence_shape_is_checked() {
+        let net = networks::figure1();
+        let (_, nl, format) = fixed_setup(&net, 8);
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        let mut ctx = FixedArith::new(format);
+        assert!(matches!(
+            schedule.execute(&mut ctx, &Evidence::empty(42)),
+            Err(HwError::EvidenceLengthMismatch { .. })
+        ));
+    }
+}

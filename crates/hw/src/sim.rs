@@ -1,0 +1,366 @@
+//! Cycle-accurate simulation of the generated pipelined datapath.
+//!
+//! The simulator models every operator output register and every
+//! balancing register explicitly, clocking the whole netlist once per
+//! [`PipelineSim::step`]. It validates the two properties the paper's
+//! hardware generator must guarantee:
+//!
+//! * **latency** — an input vector's result appears at the output exactly
+//!   `pipeline_depth` cycles later;
+//! * **throughput** — a new input vector can be applied *every* cycle and
+//!   the results stream out in order, bit-exact with the software
+//!   low-precision evaluation of the same circuit.
+//!
+//! Within this repository the simulator is the stand-in for Verilog
+//! simulation of the emitted RTL (`DESIGN.md`, substitution 4): it
+//! executes the same structure the Verilog describes with the same
+//! rounding semantics (`problp-num`).
+
+use std::collections::VecDeque;
+
+use problp_bayes::Evidence;
+use problp_num::Arith;
+
+use crate::error::HwError;
+use crate::netlist::{CellKind, HwOp, Netlist};
+
+/// A running simulation of a [`Netlist`] in the arithmetic `A`.
+///
+/// Pipeline slots that have not been filled yet hold `None` (the `x`
+/// values of an RTL simulation).
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, transform::binarize};
+/// use problp_bayes::{networks, Evidence};
+/// use problp_hw::{Netlist, PipelineSim};
+/// use problp_num::{Arith, FixedArith, FixedFormat, Representation};
+///
+/// let net = networks::figure1();
+/// let ac = binarize(&compile(&net)?)?;
+/// let format = FixedFormat::new(1, 11)?;
+/// let nl = Netlist::from_ac(&ac, Representation::Fixed(format))?;
+///
+/// let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+/// let e = Evidence::empty(net.var_count());
+/// let out = sim.run(&e)?; // clocks depth cycles
+/// let value = sim.context().to_f64(&out);
+/// assert!((value - 1.0).abs() < 0.01);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PipelineSim<'n, A: Arith> {
+    netlist: &'n Netlist,
+    ctx: A,
+    /// Output register of each operator cell (`None` for leaves and for
+    /// slots not yet filled).
+    regs: Vec<Option<A::Value>>,
+    /// Balancing-register chains, one per operator operand with a
+    /// non-zero delay: `(op_cell, operand_index)` order.
+    fifos: Vec<VecDeque<Option<A::Value>>>,
+    /// For each operator cell, the fifo indices of its two operands
+    /// (`usize::MAX` when the edge has no delay).
+    fifo_of: Vec<[usize; 2]>,
+    /// Pre-converted constant leaf values.
+    constants: Vec<Option<A::Value>>,
+    cycle: u64,
+}
+
+impl<'n, A: Arith> PipelineSim<'n, A> {
+    /// Prepares a simulation of `netlist` in the arithmetic `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx`'s format disagrees with the netlist's word width
+    /// (cannot happen when both are constructed from the same
+    /// [`problp_num::Representation`]).
+    pub fn new(netlist: &'n Netlist, mut ctx: A) -> Self {
+        let n = netlist.cells().len();
+        let mut fifos = Vec::new();
+        let mut fifo_of = vec![[usize::MAX, usize::MAX]; n];
+        let mut constants: Vec<Option<A::Value>> = vec![None; n];
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            match &cell.kind {
+                CellKind::Constant { value } => {
+                    constants[i] = Some(ctx.from_f64(*value));
+                }
+                CellKind::Op { a, b, .. } => {
+                    for (slot, operand) in [a, b].into_iter().enumerate() {
+                        let delay = netlist.edge_delay(*operand, crate::netlist::CellId::from_index(i));
+                        if delay > 0 {
+                            fifo_of[i][slot] = fifos.len();
+                            fifos.push(VecDeque::from(vec![None; delay as usize]));
+                        }
+                    }
+                }
+                CellKind::Input { .. } => {}
+            }
+        }
+        PipelineSim {
+            netlist,
+            ctx,
+            regs: vec![None; n],
+            fifos,
+            fifo_of,
+            constants,
+            cycle: 0,
+        }
+    }
+
+    /// The arithmetic context (for reading flags or converting values).
+    pub fn context(&self) -> &A {
+        &self.ctx
+    }
+
+    /// Clock cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The current value of a leaf for this cycle's input vector (`None`
+    /// for a bubble).
+    fn leaf_value(&mut self, index: usize, inputs: Option<&Evidence>) -> Option<A::Value> {
+        let netlist = self.netlist;
+        match &netlist.cells()[index].kind {
+            CellKind::Constant { .. } => self.constants[index].clone(),
+            CellKind::Input { var, state } => inputs
+                .map(|e| self.ctx.from_f64(e.indicator(*var, *state))),
+            CellKind::Op { .. } => unreachable!("leaf_value on an operator"),
+        }
+    }
+
+    /// The value a cell presents to its consumers during this cycle
+    /// (before the clock edge): leaves present this cycle's input,
+    /// operators present their output register.
+    fn present(&mut self, index: usize, inputs: Option<&Evidence>) -> Option<A::Value> {
+        let netlist = self.netlist;
+        match &netlist.cells()[index].kind {
+            CellKind::Op { .. } => self.regs[index].clone(),
+            _ => self.leaf_value(index, inputs),
+        }
+    }
+
+    /// Advances the pipeline by one clock cycle, applying `inputs` (or a
+    /// bubble when `None`). Returns the output register's value *after*
+    /// the clock edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::EvidenceLengthMismatch`] if the evidence shape
+    /// disagrees with the netlist.
+    pub fn step(&mut self, inputs: Option<&Evidence>) -> Result<Option<A::Value>, HwError> {
+        if let Some(e) = inputs {
+            if e.len() != self.netlist.var_arities().len() {
+                return Err(HwError::EvidenceLengthMismatch {
+                    evidence: e.len(),
+                    netlist: self.netlist.var_arities().len(),
+                });
+            }
+        }
+        let netlist = self.netlist;
+        let n = netlist.cells().len();
+        // Phase 1: read all present values (pre-edge state).
+        let mut presented: Vec<Option<A::Value>> = Vec::with_capacity(n);
+        for i in 0..n {
+            presented.push(self.present(i, inputs));
+        }
+        // Phase 2: compute next register values and shift delay chains.
+        let mut next_regs = self.regs.clone();
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            if let CellKind::Op { op, a, b } = &cell.kind {
+                let operand = |sim: &mut Self, slot: usize, src: usize| -> Option<A::Value> {
+                    let fid = sim.fifo_of[i][slot];
+                    if fid == usize::MAX {
+                        presented[src].clone()
+                    } else {
+                        let fifo = &mut sim.fifos[fid];
+                        fifo.push_back(presented[src].clone());
+                        fifo.pop_front().expect("fifo never empty")
+                    }
+                };
+                let va = operand(self, 0, a.index());
+                let vb = operand(self, 1, b.index());
+                next_regs[i] = match (va, vb) {
+                    (Some(x), Some(y)) => Some(match op {
+                        HwOp::Add => self.ctx.add(&x, &y),
+                        HwOp::Mul => self.ctx.mul(&x, &y),
+                    }),
+                    _ => None,
+                };
+            }
+        }
+        self.regs = next_regs;
+        self.cycle += 1;
+        let out = netlist.output().index();
+        Ok(match &netlist.cells()[out].kind {
+            // Degenerate netlists whose output is a leaf have no register.
+            CellKind::Op { .. } => self.regs[out].clone(),
+            _ => presented[out].clone(),
+        })
+    }
+
+    /// Applies one input vector and clocks the pipeline until its result
+    /// reaches the output (`pipeline_depth` cycles), returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::EvidenceLengthMismatch`] on a shape mismatch.
+    pub fn run(&mut self, inputs: &Evidence) -> Result<A::Value, HwError> {
+        let depth = self.netlist.pipeline_depth().max(1);
+        let mut last = self.step(Some(inputs))?;
+        for _ in 1..depth {
+            last = self.step(None)?;
+        }
+        Ok(last.expect("result must be valid after pipeline_depth cycles"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::{compile, transform::binarize, Semiring};
+    use problp_bayes::{networks, VarId};
+    use problp_num::{FixedArith, FixedFormat, FloatArith, FloatFormat, Representation};
+
+    fn fixed_setup(
+        net: &problp_bayes::BayesNet,
+        frac: u32,
+    ) -> (problp_ac::AcGraph, Netlist, FixedFormat) {
+        let ac = binarize(&compile(net).unwrap()).unwrap();
+        let format = FixedFormat::new(1, frac).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Fixed(format)).unwrap();
+        (ac, nl, format)
+    }
+
+    #[test]
+    fn single_result_matches_software_evaluation_bit_exactly() {
+        let net = networks::sprinkler();
+        let (ac, nl, format) = fixed_setup(&net, 11);
+        for v in 0..net.var_count() {
+            for s in 0..2 {
+                let mut e = Evidence::empty(net.var_count());
+                e.observe(VarId::from_index(v), s);
+                let mut sw = FixedArith::new(format);
+                let expect = ac.evaluate_with(&mut sw, &e, Semiring::SumProduct).unwrap();
+                let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+                let got = sim.run(&e).unwrap();
+                assert_eq!(got.raw(), expect.raw(), "v={v} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn float_datapath_matches_software_bit_exactly() {
+        let net = networks::student();
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let format = FloatFormat::new(8, 13).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Float(format)).unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        e.observe(net.find("Grade").unwrap(), 1);
+        let mut sw = FloatArith::new(format);
+        let expect = ac.evaluate_with(&mut sw, &e, Semiring::SumProduct).unwrap();
+        let mut sim = PipelineSim::new(&nl, FloatArith::new(format));
+        let got = sim.run(&e).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn results_take_exactly_pipeline_depth_cycles() {
+        let net = networks::figure1();
+        let (_, nl, format) = fixed_setup(&net, 9);
+        let depth = nl.pipeline_depth();
+        assert!(depth >= 2);
+        let e = Evidence::empty(net.var_count());
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        // Result must NOT be valid one cycle early.
+        let mut out = sim.step(Some(&e)).unwrap();
+        for _ in 1..depth - 1 {
+            out = sim.step(None).unwrap();
+        }
+        assert!(out.is_none(), "result appeared before {depth} cycles");
+        let out = sim.step(None).unwrap();
+        assert!(out.is_some(), "result must appear at cycle {depth}");
+    }
+
+    #[test]
+    fn pipeline_streams_one_result_per_cycle() {
+        let net = networks::sprinkler();
+        let (ac, nl, format) = fixed_setup(&net, 11);
+        let depth = nl.pipeline_depth() as usize;
+        // Build a stream of distinct evidences.
+        let evidences: Vec<Evidence> = (0..6)
+            .map(|k| {
+                let mut e = Evidence::empty(net.var_count());
+                e.observe(VarId::from_index(k % 4), k % 2);
+                e
+            })
+            .collect();
+        let expected: Vec<u128> = evidences
+            .iter()
+            .map(|e| {
+                let mut sw = FixedArith::new(format);
+                ac.evaluate_with(&mut sw, e, Semiring::SumProduct)
+                    .unwrap()
+                    .raw()
+            })
+            .collect();
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        let mut outputs = Vec::new();
+        // Feed one evidence per cycle, then drain the pipeline.
+        for e in &evidences {
+            outputs.push(sim.step(Some(e)).unwrap());
+        }
+        for _ in 0..depth {
+            outputs.push(sim.step(None).unwrap());
+        }
+        // outputs[depth - 1 + k] is the result of evidence k.
+        for (k, expect) in expected.iter().enumerate() {
+            let got = outputs[depth - 1 + k]
+                .as_ref()
+                .unwrap_or_else(|| panic!("missing result {k}"));
+            assert_eq!(got.raw(), *expect, "stream position {k}");
+        }
+    }
+
+    #[test]
+    fn bubbles_produce_invalid_outputs() {
+        let net = networks::figure1();
+        let (_, nl, format) = fixed_setup(&net, 9);
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        let e = Evidence::empty(net.var_count());
+        let depth = nl.pipeline_depth();
+        let _ = sim.run(&e).unwrap();
+        // After draining with bubbles, outputs go invalid again.
+        let mut out = None;
+        for _ in 0..depth {
+            out = sim.step(None).unwrap();
+        }
+        assert!(out.is_none(), "bubble should have reached the output");
+    }
+
+    #[test]
+    fn evidence_shape_is_checked() {
+        let net = networks::figure1();
+        let (_, nl, format) = fixed_setup(&net, 9);
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        let bad = Evidence::empty(17);
+        assert!(matches!(
+            sim.step(Some(&bad)).unwrap_err(),
+            HwError::EvidenceLengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn alarm_netlist_simulates_correctly() {
+        let net = networks::alarm(7);
+        let (ac, nl, format) = fixed_setup(&net, 14);
+        let mut e = Evidence::empty(net.var_count());
+        e.observe(net.find("HRBP").unwrap(), 1);
+        e.observe(net.find("BP").unwrap(), 0);
+        let mut sw = FixedArith::new(format);
+        let expect = ac.evaluate_with(&mut sw, &e, Semiring::SumProduct).unwrap();
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        let got = sim.run(&e).unwrap();
+        assert_eq!(got.raw(), expect.raw());
+    }
+}

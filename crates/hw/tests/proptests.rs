@@ -1,0 +1,152 @@
+//! Property tests for the hardware crate: for random circuits, formats
+//! and evidence, the parallel pipeline, the sequential schedule and the
+//! software evaluation agree bit-for-bit, and the structural invariants
+//! (stage monotonicity, balancing-register accounting) hold.
+
+use proptest::prelude::*;
+
+use problp_ac::{compile, transform::binarize, Semiring};
+use problp_bayes::{networks, Evidence, VarId};
+use problp_hw::{CellKind, Netlist, PipelineSim, Schedule};
+use problp_num::{FixedArith, FixedFormat, FloatArith, FloatFormat, Representation};
+
+fn evidence_from(net: &problp_bayes::BayesNet, picks: &[usize]) -> Evidence {
+    let mut e = Evidence::empty(net.var_count());
+    for (v, p) in picks.iter().take(net.var_count()).enumerate() {
+        if p % 2 == 0 {
+            let arity = net.variable(VarId::from_index(v)).arity();
+            e.observe(VarId::from_index(v), p % arity);
+        }
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn three_implementations_agree_fixed(
+        seed in 0u64..200,
+        picks in proptest::collection::vec(0usize..100, 6),
+        frac in 6u32..24,
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let format = FixedFormat::new(2, frac).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Fixed(format)).unwrap();
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        let e = evidence_from(&net, &picks);
+
+        let mut sw = FixedArith::new(format);
+        let software = ac.evaluate_with(&mut sw, &e, Semiring::SumProduct).unwrap();
+        let mut pipe = PipelineSim::new(&nl, FixedArith::new(format));
+        let parallel = pipe.run(&e).unwrap();
+        let mut seq_ctx = FixedArith::new(format);
+        let sequential = schedule.execute(&mut seq_ctx, &e).unwrap();
+
+        prop_assert_eq!(software.raw(), parallel.raw());
+        prop_assert_eq!(software.raw(), sequential.raw());
+    }
+
+    #[test]
+    fn three_implementations_agree_float(
+        seed in 0u64..200,
+        picks in proptest::collection::vec(0usize..100, 6),
+        mant in 4u32..20,
+    ) {
+        let net = networks::random_network(seed, 5, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let format = FloatFormat::new(8, mant).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Float(format)).unwrap();
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        let e = evidence_from(&net, &picks);
+
+        let mut sw = FloatArith::new(format);
+        let software = ac.evaluate_with(&mut sw, &e, Semiring::SumProduct).unwrap();
+        let mut pipe = PipelineSim::new(&nl, FloatArith::new(format));
+        let parallel = pipe.run(&e).unwrap();
+        let mut seq_ctx = FloatArith::new(format);
+        let sequential = schedule.execute(&mut seq_ctx, &e).unwrap();
+
+        prop_assert_eq!(&software, &parallel);
+        prop_assert_eq!(&software, &sequential);
+    }
+
+    #[test]
+    fn pipeline_structure_invariants(seed in 0u64..200) {
+        let net = networks::random_network(seed, 6, 3, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let nl = Netlist::from_ac(
+            &ac,
+            Representation::Fixed(FixedFormat::new(1, 10).unwrap()),
+        )
+        .unwrap();
+        let mut max_stage = 0;
+        for cell in nl.cells() {
+            if let CellKind::Op { a, b, .. } = &cell.kind {
+                // Operators sit exactly one stage after their latest input.
+                let sa = nl.cell(*a).stage;
+                let sb = nl.cell(*b).stage;
+                prop_assert_eq!(cell.stage, 1 + sa.max(sb));
+            } else {
+                prop_assert_eq!(cell.stage, 0);
+            }
+            max_stage = max_stage.max(cell.stage);
+        }
+        prop_assert_eq!(nl.pipeline_depth(), nl.cell(nl.output()).stage);
+        prop_assert!(nl.pipeline_depth() <= max_stage);
+        // Register accounting: balance regs equal the summed edge delays.
+        let mut total_delay = 0usize;
+        for (i, cell) in nl.cells().iter().enumerate() {
+            if let CellKind::Op { a, b, .. } = &cell.kind {
+                let to = problp_hw::CellId::from_index(i);
+                total_delay += nl.edge_delay(*a, to) as usize;
+                total_delay += nl.edge_delay(*b, to) as usize;
+            }
+        }
+        prop_assert_eq!(nl.stats().balance_regs, total_delay);
+    }
+
+    #[test]
+    fn streaming_results_are_independent(
+        seed in 0u64..100,
+        picks_a in proptest::collection::vec(0usize..100, 6),
+        picks_b in proptest::collection::vec(0usize..100, 6),
+    ) {
+        // Back-to-back queries must not contaminate each other.
+        let net = networks::random_network(seed, 5, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let format = FixedFormat::new(1, 12).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Fixed(format)).unwrap();
+        let (ea, eb) = (evidence_from(&net, &picks_a), evidence_from(&net, &picks_b));
+        let expect = |e: &Evidence| {
+            let mut sw = FixedArith::new(format);
+            ac.evaluate_with(&mut sw, e, Semiring::SumProduct).unwrap().raw()
+        };
+        let depth = nl.pipeline_depth().max(1) as usize;
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        let mut outputs = Vec::new();
+        outputs.push(sim.step(Some(&ea)).unwrap());
+        outputs.push(sim.step(Some(&eb)).unwrap());
+        for _ in 0..depth {
+            outputs.push(sim.step(None).unwrap());
+        }
+        prop_assert_eq!(outputs[depth - 1].as_ref().unwrap().raw(), expect(&ea));
+        prop_assert_eq!(outputs[depth].as_ref().unwrap().raw(), expect(&eb));
+    }
+
+    #[test]
+    fn schedule_register_count_is_bounded_by_operator_count(seed in 0u64..200) {
+        let net = networks::random_network(seed, 7, 3, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let nl = Netlist::from_ac(
+            &ac,
+            Representation::Fixed(FixedFormat::new(1, 10).unwrap()),
+        )
+        .unwrap();
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        let stats = schedule.stats();
+        prop_assert!(stats.registers <= stats.instructions.max(1));
+        prop_assert_eq!(stats.instructions, nl.stats().adds + nl.stats().muls);
+    }
+}

@@ -1,0 +1,337 @@
+//! The [`Arith`] abstraction: a pluggable arithmetic context.
+//!
+//! Arithmetic-circuit evaluation is generic over the number system it runs
+//! in. An [`Arith`] context owns the format and the sticky [`Flags`]
+//! accumulated across operations, so evaluating an AC under exact `f64`,
+//! low-precision fixed point, or low-precision floating point is the same
+//! code path with a different context.
+
+use crate::fixed::{Fixed, FixedFormat, FixedRounding};
+use crate::flags::Flags;
+use crate::float::{FloatFormat, LpFloat};
+
+/// A number system in which an arithmetic circuit can be evaluated.
+///
+/// Implementations accumulate status [`Flags`] internally; call
+/// [`Arith::flags`] after an evaluation to check that no overflow or
+/// underflow invalidated ProbLP's error bounds (paper §3.1.4).
+///
+/// # Examples
+///
+/// ```
+/// use problp_num::{Arith, FixedArith, FixedFormat};
+///
+/// let mut ctx = FixedArith::new(FixedFormat::new(1, 8)?);
+/// let half = ctx.from_f64(0.5);
+/// let quarter = ctx.from_f64(0.25);
+/// let sum = ctx.add(&half, &quarter);
+/// assert_eq!(ctx.to_f64(&sum), 0.75);
+/// assert!(!ctx.flags().any());
+/// # Ok::<(), problp_num::FormatError>(())
+/// ```
+pub trait Arith {
+    /// The value type of this number system.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Converts a real value into this number system (rounding as needed).
+    ///
+    /// Takes `&mut self` because conversions can raise flags on the
+    /// context (clippy's `from_*`-without-self convention targets
+    /// constructors, which this is not).
+    #[allow(clippy::wrong_self_convention)]
+    fn from_f64(&mut self, x: f64) -> Self::Value;
+
+    /// Converts a value back to `f64` for inspection.
+    fn to_f64(&self, v: &Self::Value) -> f64;
+
+    /// The additive identity.
+    fn zero(&mut self) -> Self::Value;
+
+    /// The multiplicative identity.
+    fn one(&mut self) -> Self::Value;
+
+    /// Adds two values.
+    fn add(&mut self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// Multiplies two values.
+    fn mul(&mut self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// The larger of two values (max-product / MPE evaluation).
+    fn max(&mut self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// The smaller of two values (min-value analysis).
+    fn min(&mut self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+
+    /// The sticky flags accumulated so far.
+    fn flags(&self) -> Flags;
+
+    /// Clears the accumulated flags.
+    fn clear_flags(&mut self);
+}
+
+/// Exact double-precision arithmetic: the reference ("ideal") evaluation.
+///
+/// `f64` stands in for exact real arithmetic; with probabilities and AC
+/// depths in the benchmarks' range its 2^-53 rounding is negligible next to
+/// the low-precision errors under study.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct F64Arith;
+
+impl F64Arith {
+    /// Creates the reference context.
+    pub fn new() -> Self {
+        F64Arith
+    }
+}
+
+impl Arith for F64Arith {
+    type Value = f64;
+
+    fn from_f64(&mut self, x: f64) -> f64 {
+        x
+    }
+
+    fn to_f64(&self, v: &f64) -> f64 {
+        *v
+    }
+
+    fn zero(&mut self) -> f64 {
+        0.0
+    }
+
+    fn one(&mut self) -> f64 {
+        1.0
+    }
+
+    fn add(&mut self, a: &f64, b: &f64) -> f64 {
+        a + b
+    }
+
+    fn mul(&mut self, a: &f64, b: &f64) -> f64 {
+        a * b
+    }
+
+    fn max(&mut self, a: &f64, b: &f64) -> f64 {
+        a.max(*b)
+    }
+
+    fn min(&mut self, a: &f64, b: &f64) -> f64 {
+        a.min(*b)
+    }
+
+    fn flags(&self) -> Flags {
+        Flags::new()
+    }
+
+    fn clear_flags(&mut self) {}
+}
+
+/// Low-precision fixed-point arithmetic context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixedArith {
+    format: FixedFormat,
+    rounding: FixedRounding,
+    flags: Flags,
+}
+
+impl FixedArith {
+    /// Creates a fixed-point context for the given format with the
+    /// default half-up multiplier rounding.
+    pub fn new(format: FixedFormat) -> Self {
+        Self::with_rounding(format, FixedRounding::HalfUp)
+    }
+
+    /// Creates a fixed-point context with an explicit multiplier rounding
+    /// mode (the `DESIGN.md` rounding ablation).
+    pub fn with_rounding(format: FixedFormat, rounding: FixedRounding) -> Self {
+        FixedArith {
+            format,
+            rounding,
+            flags: Flags::new(),
+        }
+    }
+
+    /// The fixed-point format of this context.
+    pub fn format(&self) -> FixedFormat {
+        self.format
+    }
+
+    /// The multiplier rounding mode of this context.
+    pub fn rounding(&self) -> FixedRounding {
+        self.rounding
+    }
+}
+
+impl Arith for FixedArith {
+    type Value = Fixed;
+
+    fn from_f64(&mut self, x: f64) -> Fixed {
+        Fixed::from_f64(x, self.format, &mut self.flags)
+    }
+
+    fn to_f64(&self, v: &Fixed) -> f64 {
+        v.to_f64()
+    }
+
+    fn zero(&mut self) -> Fixed {
+        Fixed::zero(self.format)
+    }
+
+    fn one(&mut self) -> Fixed {
+        Fixed::one(self.format, &mut self.flags)
+    }
+
+    fn add(&mut self, a: &Fixed, b: &Fixed) -> Fixed {
+        a.add(b, &mut self.flags)
+    }
+
+    fn mul(&mut self, a: &Fixed, b: &Fixed) -> Fixed {
+        a.mul_with(b, self.rounding, &mut self.flags)
+    }
+
+    fn max(&mut self, a: &Fixed, b: &Fixed) -> Fixed {
+        a.max(b)
+    }
+
+    fn min(&mut self, a: &Fixed, b: &Fixed) -> Fixed {
+        a.min(b)
+    }
+
+    fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    fn clear_flags(&mut self) {
+        self.flags.clear();
+    }
+}
+
+/// Low-precision floating-point arithmetic context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FloatArith {
+    format: FloatFormat,
+    flags: Flags,
+}
+
+impl FloatArith {
+    /// Creates a floating-point context for the given format.
+    pub fn new(format: FloatFormat) -> Self {
+        FloatArith {
+            format,
+            flags: Flags::new(),
+        }
+    }
+
+    /// The floating-point format of this context.
+    pub fn format(&self) -> FloatFormat {
+        self.format
+    }
+}
+
+impl Arith for FloatArith {
+    type Value = LpFloat;
+
+    fn from_f64(&mut self, x: f64) -> LpFloat {
+        LpFloat::from_f64(x, self.format, &mut self.flags)
+    }
+
+    fn to_f64(&self, v: &LpFloat) -> f64 {
+        v.to_f64()
+    }
+
+    fn zero(&mut self) -> LpFloat {
+        LpFloat::zero(self.format)
+    }
+
+    fn one(&mut self) -> LpFloat {
+        LpFloat::one(self.format)
+    }
+
+    fn add(&mut self, a: &LpFloat, b: &LpFloat) -> LpFloat {
+        a.add(b, &mut self.flags)
+    }
+
+    fn mul(&mut self, a: &LpFloat, b: &LpFloat) -> LpFloat {
+        a.mul(b, &mut self.flags)
+    }
+
+    fn max(&mut self, a: &LpFloat, b: &LpFloat) -> LpFloat {
+        a.max(b)
+    }
+
+    fn min(&mut self, a: &LpFloat, b: &LpFloat) -> LpFloat {
+        a.min(b)
+    }
+
+    fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    fn clear_flags(&mut self) {
+        self.flags.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<A: Arith>(ctx: &mut A) -> (f64, f64, f64) {
+        let a = ctx.from_f64(0.5);
+        let b = ctx.from_f64(0.25);
+        let s = ctx.add(&a, &b);
+        let p = ctx.mul(&a, &b);
+        let m = ctx.max(&a, &b);
+        (ctx.to_f64(&s), ctx.to_f64(&p), ctx.to_f64(&m))
+    }
+
+    #[test]
+    fn all_contexts_agree_on_exact_values() {
+        let mut f64ctx = F64Arith::new();
+        let mut fx = FixedArith::new(FixedFormat::new(1, 8).unwrap());
+        let mut fl = FloatArith::new(FloatFormat::new(6, 8).unwrap());
+        let expected = (0.75, 0.125, 0.5);
+        assert_eq!(exercise(&mut f64ctx), expected);
+        assert_eq!(exercise(&mut fx), expected);
+        assert_eq!(exercise(&mut fl), expected);
+        assert!(!fx.flags().any());
+        assert!(!fl.flags().any());
+    }
+
+    #[test]
+    fn identities() {
+        let mut fx = FixedArith::new(FixedFormat::new(1, 8).unwrap());
+        let one = fx.one();
+        let zero = fx.zero();
+        let x = fx.from_f64(0.625);
+        let via_one = fx.mul(&x, &one);
+        let via_zero = fx.add(&x, &zero);
+        assert_eq!(fx.to_f64(&via_one), 0.625);
+        assert_eq!(fx.to_f64(&via_zero), 0.625);
+
+        let mut fl = FloatArith::new(FloatFormat::new(6, 8).unwrap());
+        let one = fl.one();
+        let x = fl.from_f64(0.625);
+        let p = fl.mul(&x, &one);
+        assert_eq!(fl.to_f64(&p), 0.625);
+    }
+
+    #[test]
+    fn flags_accumulate_and_clear() {
+        let mut fx = FixedArith::new(FixedFormat::new(1, 4).unwrap());
+        let big = fx.from_f64(1.9);
+        let _ = fx.add(&big, &big);
+        assert!(fx.flags().overflow);
+        fx.clear_flags();
+        assert!(!fx.flags().any());
+    }
+
+    #[test]
+    fn min_matches_value_order() {
+        let mut fl = FloatArith::new(FloatFormat::new(6, 8).unwrap());
+        let a = fl.from_f64(0.125);
+        let b = fl.from_f64(0.5);
+        let m = fl.min(&a, &b);
+        assert_eq!(fl.to_f64(&m), 0.125);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for format construction.
+
+/// Error returned when constructing an invalid number format.
+///
+/// # Examples
+///
+/// ```
+/// use problp_num::{FixedFormat, FormatError};
+///
+/// let err = FixedFormat::new(100, 100).unwrap_err();
+/// assert!(matches!(err, FormatError::WidthTooLarge { .. }));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// The total bit width exceeds what the implementation supports.
+    WidthTooLarge {
+        /// Requested total width in bits.
+        requested: u32,
+        /// Largest supported total width in bits.
+        max: u32,
+    },
+    /// The total bit width is zero.
+    WidthZero,
+    /// The exponent bit count is outside the supported range.
+    ExpBitsOutOfRange {
+        /// Requested exponent bits.
+        requested: u32,
+        /// Smallest supported exponent bits.
+        min: u32,
+        /// Largest supported exponent bits.
+        max: u32,
+    },
+    /// The mantissa bit count is outside the supported range.
+    MantBitsOutOfRange {
+        /// Requested mantissa bits.
+        requested: u32,
+        /// Smallest supported mantissa bits.
+        min: u32,
+        /// Largest supported mantissa bits.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::WidthTooLarge { requested, max } => {
+                write!(f, "total width of {requested} bits exceeds the supported maximum of {max}")
+            }
+            FormatError::WidthZero => write!(f, "total width must be at least one bit"),
+            FormatError::ExpBitsOutOfRange { requested, min, max } => {
+                write!(f, "exponent width of {requested} bits is outside the supported range {min}..={max}")
+            }
+            FormatError::MantBitsOutOfRange { requested, min, max } => {
+                write!(f, "mantissa width of {requested} bits is outside the supported range {min}..={max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_descriptive() {
+        let e = FormatError::WidthTooLarge {
+            requested: 200,
+            max: 127,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("200"));
+        assert!(msg.contains("127"));
+        assert_eq!(msg, msg.trim());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<FormatError>();
+    }
+}

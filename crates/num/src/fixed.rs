@@ -1,0 +1,616 @@
+//! Parameterised unsigned fixed-point arithmetic.
+//!
+//! ProbLP's arithmetic circuits only ever compute on non-negative
+//! probability-like values, so the fixed-point representation is unsigned:
+//! a format with `I` integer bits and `F` fraction bits stores values
+//! `raw / 2^F` with `raw < 2^(I+F)`, covering `[0, 2^I - 2^-F]`.
+//!
+//! Rounding follows the hardware the framework generates: multiplications
+//! compute the exact double-width product and round the low `F` bits
+//! *half-up* (the `(p + half) >> F` idiom), which satisfies the paper's
+//! half-ulp error model `|Δ| <= 2^-(F+1)` (eq. 4). Additions are exact
+//! unless they overflow the representation (eq. 3).
+
+use crate::error::FormatError;
+use crate::flags::Flags;
+use crate::wide::U256;
+
+/// Maximum supported total width (integer + fraction bits).
+pub const MAX_FIXED_WIDTH: u32 = 127;
+
+/// How fixed-point multipliers round the low `F` product bits.
+///
+/// The framework (and the paper) use [`FixedRounding::HalfUp`], whose
+/// error is at most half an ulp (`2^-(F+1)`). [`FixedRounding::Truncate`]
+/// drops the bits — cheaper hardware (no rounding adder) but a one-sided
+/// error of up to one full ulp (`2^-F`); it is provided for the
+/// rounding-mode ablation in `DESIGN.md`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FixedRounding {
+    /// Add half an ulp, then truncate: `(p + (1 << (F-1))) >> F`.
+    #[default]
+    HalfUp,
+    /// Truncate: `p >> F`.
+    Truncate,
+}
+
+impl FixedRounding {
+    /// Worst-case absolute error of one multiplier rounding under this
+    /// mode, in value units.
+    pub fn per_op_error(&self, format: FixedFormat) -> f64 {
+        match self {
+            FixedRounding::HalfUp => format.conversion_error_bound(),
+            FixedRounding::Truncate => format.ulp(),
+        }
+    }
+}
+
+/// An unsigned fixed-point format: `I` integer bits and `F` fraction bits.
+///
+/// # Examples
+///
+/// ```
+/// use problp_num::FixedFormat;
+///
+/// let fmt = FixedFormat::new(1, 15)?;
+/// assert_eq!(fmt.int_bits(), 1);
+/// assert_eq!(fmt.frac_bits(), 15);
+/// assert_eq!(fmt.total_bits(), 16);
+/// // Half-ulp conversion error bound of the paper, eq. (2).
+/// assert_eq!(fmt.conversion_error_bound(), 2.0_f64.powi(-16));
+/// # Ok::<(), problp_num::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FixedFormat {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl FixedFormat {
+    /// Creates a fixed-point format with `int_bits` integer bits and
+    /// `frac_bits` fraction bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::WidthTooLarge`] if `int_bits + frac_bits`
+    /// exceeds [`MAX_FIXED_WIDTH`], and [`FormatError::WidthZero`] if the
+    /// total width is zero.
+    pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self, FormatError> {
+        let total = int_bits
+            .checked_add(frac_bits)
+            .ok_or(FormatError::WidthTooLarge {
+                requested: u32::MAX,
+                max: MAX_FIXED_WIDTH,
+            })?;
+        if total == 0 {
+            return Err(FormatError::WidthZero);
+        }
+        if total > MAX_FIXED_WIDTH {
+            return Err(FormatError::WidthTooLarge {
+                requested: total,
+                max: MAX_FIXED_WIDTH,
+            });
+        }
+        Ok(FixedFormat { int_bits, frac_bits })
+    }
+
+    /// Number of integer bits `I`.
+    #[inline]
+    pub const fn int_bits(&self) -> u32 {
+        self.int_bits
+    }
+
+    /// Number of fraction bits `F`.
+    #[inline]
+    pub const fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total width `I + F` in bits.
+    #[inline]
+    pub const fn total_bits(&self) -> u32 {
+        self.int_bits + self.frac_bits
+    }
+
+    /// The largest representable value, `2^I - 2^-F`.
+    pub fn max_value(&self) -> f64 {
+        self.max_raw() as f64 * self.ulp()
+    }
+
+    /// The largest representable raw integer, `2^(I+F) - 1`.
+    #[inline]
+    pub fn max_raw(&self) -> u128 {
+        if self.total_bits() == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.total_bits()) - 1
+        }
+    }
+
+    /// The value of one unit in the last place, `2^-F`.
+    pub fn ulp(&self) -> f64 {
+        (-(self.frac_bits as f64)).exp2()
+    }
+
+    /// Worst-case absolute error of converting a real value into this
+    /// format, `2^-(F+1)` (paper eq. 2). This is also the per-operation
+    /// rounding error of a multiplier (the `2^-(F+1)` term of eq. 4).
+    pub fn conversion_error_bound(&self) -> f64 {
+        (-(self.frac_bits as f64 + 1.0)).exp2()
+    }
+}
+
+impl std::fmt::Display for FixedFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fx(I={}, F={})", self.int_bits, self.frac_bits)
+    }
+}
+
+/// An unsigned fixed-point number in a given [`FixedFormat`].
+///
+/// Operations take a [`Flags`] accumulator that records overflow (result
+/// saturated to the maximum), inexactness (rounding happened) and invalid
+/// inputs (negative or NaN values clamped to zero).
+///
+/// # Examples
+///
+/// ```
+/// use problp_num::{Fixed, FixedFormat, Flags};
+///
+/// let fmt = FixedFormat::new(1, 8)?;
+/// let mut flags = Flags::default();
+/// let a = Fixed::from_f64(0.5, fmt, &mut flags);
+/// let b = Fixed::from_f64(0.25, fmt, &mut flags);
+/// assert_eq!(a.mul(&b, &mut flags).to_f64(), 0.125);
+/// assert_eq!(a.add(&b, &mut flags).to_f64(), 0.75);
+/// assert!(!flags.overflow);
+/// # Ok::<(), problp_num::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fixed {
+    raw: u128,
+    format: FixedFormat,
+}
+
+impl Fixed {
+    /// The value zero in the given format.
+    pub fn zero(format: FixedFormat) -> Self {
+        Fixed { raw: 0, format }
+    }
+
+    /// The value one in the given format.
+    ///
+    /// If the format has no integer bits, one is not representable; the
+    /// result saturates to the maximum value and `flags.overflow` is set.
+    pub fn one(format: FixedFormat, flags: &mut Flags) -> Self {
+        Self::from_f64(1.0, format, flags)
+    }
+
+    /// The largest representable value in the given format.
+    pub fn max_value(format: FixedFormat) -> Self {
+        Fixed {
+            raw: format.max_raw(),
+            format,
+        }
+    }
+
+    /// Converts a real value to fixed point, rounding to nearest.
+    ///
+    /// Out-of-range positive values saturate to the maximum and raise
+    /// `overflow`; negative or NaN inputs clamp to zero and raise
+    /// `invalid`; any rounding raises `inexact`.
+    pub fn from_f64(value: f64, format: FixedFormat, flags: &mut Flags) -> Self {
+        if value.is_nan() || value < 0.0 {
+            flags.invalid = true;
+            return Fixed { raw: 0, format };
+        }
+        // Scaling by a power of two is exact in f64 (only the exponent
+        // changes), so `scaled` carries the full precision of `value`.
+        let scaled = value * (format.frac_bits as f64).exp2();
+        if scaled >= format.max_raw() as f64 + 0.5 {
+            flags.overflow = true;
+            return Self::max_value(format);
+        }
+        let rounded = scaled.round();
+        if rounded != scaled {
+            flags.inexact = true;
+        }
+        let raw = rounded as u128;
+        if raw > format.max_raw() {
+            flags.overflow = true;
+            return Self::max_value(format);
+        }
+        Fixed { raw, format }
+    }
+
+    /// Builds a fixed-point number directly from its raw integer encoding
+    /// (the value is `raw / 2^F`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::WidthTooLarge`] if `raw` does not fit in the
+    /// format's total width.
+    pub fn from_raw(raw: u128, format: FixedFormat) -> Result<Self, FormatError> {
+        if raw > format.max_raw() {
+            return Err(FormatError::WidthTooLarge {
+                requested: 128 - raw.leading_zeros(),
+                max: format.total_bits(),
+            });
+        }
+        Ok(Fixed { raw, format })
+    }
+
+    /// The raw integer encoding (also the hardware bit pattern).
+    #[inline]
+    pub const fn raw(&self) -> u128 {
+        self.raw
+    }
+
+    /// The format of this number.
+    #[inline]
+    pub const fn format(&self) -> FixedFormat {
+        self.format
+    }
+
+    /// Converts back to `f64` (rounding to nearest if the raw value exceeds
+    /// 53 bits).
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 * self.format.ulp()
+    }
+
+    /// Returns `true` if the value is zero.
+    #[inline]
+    pub const fn is_zero(&self) -> bool {
+        self.raw == 0
+    }
+
+    fn check_format(&self, other: &Fixed) {
+        assert_eq!(
+            self.format, other.format,
+            "fixed-point operands must share a format"
+        );
+    }
+
+    /// Adds two fixed-point numbers.
+    ///
+    /// Fixed-point addition is exact (paper eq. 3) unless the result
+    /// overflows the representation, in which case it saturates and raises
+    /// `overflow`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn add(&self, other: &Fixed, flags: &mut Flags) -> Fixed {
+        self.check_format(other);
+        // Raw values are < 2^127, so the u128 sum cannot wrap.
+        let sum = self.raw + other.raw;
+        if sum > self.format.max_raw() {
+            flags.overflow = true;
+            return Self::max_value(self.format);
+        }
+        Fixed {
+            raw: sum,
+            format: self.format,
+        }
+    }
+
+    /// Multiplies two fixed-point numbers, rounding the low `F` bits of the
+    /// exact product half-up (paper eq. 4: `|Δ| <= 2^-(F+1)` per operation).
+    ///
+    /// Saturates and raises `overflow` if the product exceeds the format's
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn mul(&self, other: &Fixed, flags: &mut Flags) -> Fixed {
+        self.mul_with(other, FixedRounding::HalfUp, flags)
+    }
+
+    /// Multiplies two fixed-point numbers with an explicit rounding mode
+    /// (see [`FixedRounding`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn mul_with(&self, other: &Fixed, rounding: FixedRounding, flags: &mut Flags) -> Fixed {
+        self.check_format(other);
+        let product = U256::widening_mul(self.raw, other.raw);
+        let (rounded, inexact) = match rounding {
+            FixedRounding::HalfUp => product.round_shr_half_up(self.format.frac_bits),
+            FixedRounding::Truncate => {
+                let shifted = product.shr(self.format.frac_bits);
+                let inexact = !product.low_bits(self.format.frac_bits).is_zero();
+                (shifted.to_u128(), inexact)
+            }
+        };
+        flags.inexact |= inexact;
+        if rounded > self.format.max_raw() {
+            flags.overflow = true;
+            return Self::max_value(self.format);
+        }
+        Fixed {
+            raw: rounded,
+            format: self.format,
+        }
+    }
+
+    /// Returns the larger of two fixed-point numbers (used by max-product /
+    /// MPE evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn max(&self, other: &Fixed) -> Fixed {
+        self.check_format(other);
+        if self.raw >= other.raw {
+            *self
+        } else {
+            *other
+        }
+    }
+
+    /// Returns the smaller of two fixed-point numbers (used by min-value
+    /// analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn min(&self, other: &Fixed) -> Fixed {
+        self.check_format(other);
+        if self.raw <= other.raw {
+            *self
+        } else {
+            *other
+        }
+    }
+}
+
+impl PartialOrd for Fixed {
+    /// Compares by numeric value. Returns `None` for different formats.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        if self.format == other.format {
+            Some(self.raw.cmp(&other.raw))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Fixed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(i: u32, f: u32) -> FixedFormat {
+        FixedFormat::new(i, f).unwrap()
+    }
+
+    #[test]
+    fn format_validation() {
+        assert!(FixedFormat::new(0, 0).is_err());
+        assert!(FixedFormat::new(64, 64).is_err());
+        assert!(FixedFormat::new(63, 64).is_ok());
+        assert!(FixedFormat::new(1, 126).is_ok());
+    }
+
+    #[test]
+    fn conversion_is_nearest() {
+        let f = fmt(1, 2); // ulp = 0.25
+        let mut flags = Flags::default();
+        assert_eq!(Fixed::from_f64(0.3, f, &mut flags).to_f64(), 0.25);
+        assert_eq!(Fixed::from_f64(0.4, f, &mut flags).to_f64(), 0.5);
+        assert!(flags.inexact);
+        let mut clean = Flags::default();
+        assert_eq!(Fixed::from_f64(0.75, f, &mut clean).to_f64(), 0.75);
+        assert!(!clean.inexact);
+    }
+
+    #[test]
+    fn conversion_error_within_half_ulp() {
+        let f = fmt(1, 13);
+        let bound = f.conversion_error_bound();
+        let mut flags = Flags::default();
+        for i in 0..1000 {
+            let x = i as f64 / 1000.0;
+            let got = Fixed::from_f64(x, f, &mut flags).to_f64();
+            assert!(
+                (got - x).abs() <= bound,
+                "x={x} got={got} err={} bound={bound}",
+                (got - x).abs()
+            );
+        }
+        assert!(!flags.overflow && !flags.invalid);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        let f = fmt(1, 4);
+        let mut flags = Flags::default();
+        assert!(Fixed::from_f64(-0.5, f, &mut flags).is_zero());
+        assert!(flags.invalid);
+        flags.clear();
+        assert!(Fixed::from_f64(f64::NAN, f, &mut flags).is_zero());
+        assert!(flags.invalid);
+    }
+
+    #[test]
+    fn overflow_saturates() {
+        let f = fmt(1, 4);
+        let mut flags = Flags::default();
+        let v = Fixed::from_f64(5.0, f, &mut flags);
+        assert!(flags.overflow);
+        assert_eq!(v, Fixed::max_value(f));
+        assert_eq!(v.to_f64(), 2.0 - 2.0_f64.powi(-4));
+    }
+
+    #[test]
+    fn addition_is_exact() {
+        let f = fmt(2, 10);
+        let mut flags = Flags::default();
+        let a = Fixed::from_f64(0.125, f, &mut flags);
+        let b = Fixed::from_f64(1.5, f, &mut flags);
+        let s = a.add(&b, &mut flags);
+        assert_eq!(s.to_f64(), 1.625);
+        assert!(!flags.inexact);
+    }
+
+    #[test]
+    fn addition_overflow_saturates() {
+        let f = fmt(1, 3);
+        let mut flags = Flags::default();
+        let a = Fixed::from_f64(1.5, f, &mut flags);
+        let s = a.add(&a, &mut flags);
+        assert!(flags.overflow);
+        assert_eq!(s, Fixed::max_value(f));
+    }
+
+    #[test]
+    fn multiplication_rounds_half_up() {
+        let f = fmt(1, 2); // ulp 0.25
+        let mut flags = Flags::default();
+        // 0.75 * 0.75 = 0.5625; grid {0.5, 0.75}: 0.5625 is 0.0625 above 0.5,
+        // exact halfway would be 0.625. 0.5625 < 0.625 -> rounds down to 0.5.
+        let a = Fixed::from_f64(0.75, f, &mut flags);
+        assert_eq!(a.mul(&a, &mut flags).to_f64(), 0.5);
+        assert!(flags.inexact);
+        // 0.25 * 0.5 = 0.125 = exactly half an ulp -> half-up gives 0.25.
+        let b = Fixed::from_f64(0.25, f, &mut flags);
+        let c = Fixed::from_f64(0.5, f, &mut flags);
+        assert_eq!(b.mul(&c, &mut flags).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn multiplication_error_within_bound() {
+        let f = fmt(1, 11);
+        let bound = f.conversion_error_bound();
+        let mut flags = Flags::default();
+        for i in 1..100u32 {
+            for j in 1..100u32 {
+                let a = Fixed::from_raw((i * 20) as u128, f).unwrap();
+                let b = Fixed::from_raw((j * 20) as u128, f).unwrap();
+                let exact = a.to_f64() * b.to_f64();
+                let got = a.mul(&b, &mut flags).to_f64();
+                assert!(
+                    (got - exact).abs() <= bound,
+                    "a={a} b={b} exact={exact} got={got}"
+                );
+            }
+        }
+        assert!(!flags.overflow);
+    }
+
+    #[test]
+    fn multiplication_of_wide_values() {
+        // Exercise the 256-bit product path: F large enough that raw
+        // products exceed 128 bits.
+        let f = fmt(1, 100);
+        let mut flags = Flags::default();
+        let a = Fixed::from_f64(0.999999, f, &mut flags);
+        let p = a.mul(&a, &mut flags);
+        let exact = a.to_f64() * a.to_f64();
+        assert!((p.to_f64() - exact).abs() <= f.conversion_error_bound());
+    }
+
+    #[test]
+    fn mul_overflow_saturates() {
+        let f = fmt(2, 4);
+        let mut flags = Flags::default();
+        let a = Fixed::from_f64(3.5, f, &mut flags);
+        assert!(!flags.overflow);
+        let p = a.mul(&a, &mut flags); // 12.25 > 4
+        assert!(flags.overflow);
+        assert_eq!(p, Fixed::max_value(f));
+    }
+
+    #[test]
+    fn min_max_follow_value_order() {
+        let f = fmt(1, 8);
+        let mut flags = Flags::default();
+        let a = Fixed::from_f64(0.3, f, &mut flags);
+        let b = Fixed::from_f64(0.7, f, &mut flags);
+        assert_eq!(a.max(&b), b);
+        assert_eq!(a.min(&b), a);
+        assert_eq!(b.max(&a), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a format")]
+    fn mismatched_formats_panic() {
+        let mut flags = Flags::default();
+        let a = Fixed::from_f64(0.5, fmt(1, 4), &mut flags);
+        let b = Fixed::from_f64(0.5, fmt(1, 5), &mut flags);
+        let _ = a.add(&b, &mut flags);
+    }
+
+    #[test]
+    fn one_requires_an_integer_bit() {
+        let mut flags = Flags::default();
+        let v = Fixed::one(fmt(0, 8), &mut flags);
+        assert!(flags.overflow);
+        assert_eq!(v, Fixed::max_value(fmt(0, 8)));
+        flags.clear();
+        let v = Fixed::one(fmt(1, 8), &mut flags);
+        assert_eq!(v.to_f64(), 1.0);
+        assert!(!flags.any());
+    }
+
+    #[test]
+    fn display_shows_value_and_format() {
+        let f = fmt(1, 4);
+        assert_eq!(f.to_string(), "fx(I=1, F=4)");
+        let mut flags = Flags::default();
+        assert_eq!(Fixed::from_f64(0.5, f, &mut flags).to_string(), "0.5");
+    }
+
+    #[test]
+    fn from_raw_validates_width() {
+        let f = fmt(1, 4);
+        assert!(Fixed::from_raw(31, f).is_ok());
+        assert!(Fixed::from_raw(32, f).is_err());
+    }
+
+    #[test]
+    fn truncation_never_rounds_up() {
+        let f = fmt(1, 3); // ulp 0.125
+        let mut flags = Flags::default();
+        let a = Fixed::from_f64(0.875, f, &mut flags);
+        // 0.875^2 = 0.765625; half-up gives 0.75, truncate gives 0.75 too.
+        // 0.375 * 0.875 = 0.328125: half-up -> 0.375, truncate -> 0.25.
+        let b = Fixed::from_f64(0.375, f, &mut flags);
+        let up = b.mul_with(&a, FixedRounding::HalfUp, &mut flags);
+        let tr = b.mul_with(&a, FixedRounding::Truncate, &mut flags);
+        assert_eq!(up.to_f64(), 0.375);
+        assert_eq!(tr.to_f64(), 0.25);
+        assert!(tr.raw() <= up.raw());
+    }
+
+    #[test]
+    fn truncation_error_within_one_ulp() {
+        let f = fmt(1, 9);
+        let mut flags = Flags::default();
+        for i in 1..60u32 {
+            for j in 1..60u32 {
+                let a = Fixed::from_raw((i * 8) as u128, f).unwrap();
+                let b = Fixed::from_raw((j * 8) as u128, f).unwrap();
+                let exact = a.to_f64() * b.to_f64();
+                let got = a.mul_with(&b, FixedRounding::Truncate, &mut flags).to_f64();
+                // Truncation is one-sided: result <= exact, off by < 1 ulp.
+                assert!(got <= exact + 1e-15);
+                assert!(exact - got < FixedRounding::Truncate.per_op_error(f));
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_mode_error_bounds() {
+        let f = fmt(1, 7);
+        assert_eq!(FixedRounding::HalfUp.per_op_error(f), 2.0_f64.powi(-8));
+        assert_eq!(FixedRounding::Truncate.per_op_error(f), 2.0_f64.powi(-7));
+    }
+}

@@ -1,0 +1,146 @@
+//! Sticky arithmetic status flags.
+
+/// Sticky status flags accumulated by low-precision operations.
+///
+/// ProbLP's error models (paper §3.1) are only valid when no overflow or
+/// underflow occurs; the framework sizes integer/exponent bits so that the
+/// flags stay clear, and the test-suite asserts this. The flags are *sticky*:
+/// once raised they stay raised until [`Flags::clear`] is called.
+///
+/// # Examples
+///
+/// ```
+/// use problp_num::{Fixed, FixedFormat, Flags};
+///
+/// let fmt = FixedFormat::new(1, 4)?;
+/// let mut flags = Flags::default();
+/// let a = Fixed::from_f64(1.9, fmt, &mut flags);
+/// let _sum = a.add(&a, &mut flags); // 3.8 does not fit in (1, 4)
+/// assert!(flags.overflow);
+/// # Ok::<(), problp_num::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Flags {
+    /// A result was too large for the representation and was saturated.
+    pub overflow: bool,
+    /// A non-zero floating-point result was below the smallest normal value
+    /// and was flushed to zero.
+    pub underflow: bool,
+    /// A result had to be rounded.
+    pub inexact: bool,
+    /// An invalid operation occurred (NaN produced, or a negative/NaN input
+    /// was clamped in a format that cannot represent it).
+    pub invalid: bool,
+}
+
+impl Flags {
+    /// Creates a cleared flag set.
+    pub const fn new() -> Self {
+        Flags {
+            overflow: false,
+            underflow: false,
+            inexact: false,
+            invalid: false,
+        }
+    }
+
+    /// Returns `true` if any flag is raised.
+    pub const fn any(&self) -> bool {
+        self.overflow || self.underflow || self.inexact || self.invalid
+    }
+
+    /// Returns `true` if a range violation occurred (overflow or underflow).
+    ///
+    /// ProbLP's bounds are invalid in that case (paper §3.1.4).
+    pub const fn range_violation(&self) -> bool {
+        self.overflow || self.underflow
+    }
+
+    /// Clears all flags.
+    pub fn clear(&mut self) {
+        *self = Flags::new();
+    }
+
+    /// Merges another flag set into this one (logical OR per flag).
+    pub fn merge(&mut self, other: Flags) {
+        self.overflow |= other.overflow;
+        self.underflow |= other.underflow;
+        self.inexact |= other.inexact;
+        self.invalid |= other.invalid;
+    }
+}
+
+impl std::fmt::Display for Flags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut raised: Vec<&str> = Vec::new();
+        if self.overflow {
+            raised.push("overflow");
+        }
+        if self.underflow {
+            raised.push("underflow");
+        }
+        if self.inexact {
+            raised.push("inexact");
+        }
+        if self.invalid {
+            raised.push("invalid");
+        }
+        if raised.is_empty() {
+            write!(f, "none")
+        } else {
+            write!(f, "{}", raised.join("|"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clear() {
+        let f = Flags::default();
+        assert!(!f.any());
+        assert!(!f.range_violation());
+        assert_eq!(f, Flags::new());
+    }
+
+    #[test]
+    fn merge_is_sticky_or() {
+        let mut a = Flags {
+            overflow: true,
+            ..Flags::new()
+        };
+        let b = Flags {
+            inexact: true,
+            ..Flags::new()
+        };
+        a.merge(b);
+        assert!(a.overflow && a.inexact);
+        assert!(!a.underflow && !a.invalid);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = Flags {
+            overflow: true,
+            underflow: true,
+            inexact: true,
+            invalid: true,
+        };
+        assert!(f.range_violation());
+        f.clear();
+        assert!(!f.any());
+    }
+
+    #[test]
+    fn display_lists_raised_flags() {
+        let f = Flags {
+            overflow: true,
+            inexact: true,
+            ..Flags::new()
+        };
+        assert_eq!(f.to_string(), "overflow|inexact");
+        assert_eq!(Flags::new().to_string(), "none");
+    }
+}

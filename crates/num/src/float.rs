@@ -1,0 +1,1218 @@
+//! Parameterised normalized floating-point arithmetic (soft-float).
+//!
+//! ProbLP's floating-point error models (paper §3.1.2) assume a *normalized*
+//! representation with `E` exponent bits and `M` mantissa bits, where every
+//! operation introduces at most one relative rounding of magnitude
+//! `ε = 2^-(M+1)` (round to nearest). This module implements such a format
+//! for arbitrary `E`/`M`:
+//!
+//! * round-to-nearest-even on every operation,
+//! * no subnormals: results below the smallest normal magnitude are flushed
+//!   to zero and raise the `underflow` flag (the framework sizes `E` so this
+//!   never happens, §3.1.4),
+//! * results above the largest normal magnitude saturate to infinity and
+//!   raise `overflow`,
+//! * IEEE-754-compatible behaviour otherwise — with `(E, M) = (8, 23)` or
+//!   `(11, 52)` the operations match hardware `f32`/`f64` bit-for-bit on
+//!   normal values (verified by property tests).
+//!
+//! Every operation is implemented as *exact* integer arithmetic on
+//! significands (using [`U256`] intermediates) followed by a single
+//! round-to-nearest-even step, which makes correct rounding straightforward
+//! to verify.
+
+use crate::error::FormatError;
+use crate::flags::Flags;
+use crate::wide::U256;
+
+/// Minimum supported exponent width in bits.
+pub const MIN_EXP_BITS: u32 = 2;
+/// Maximum supported exponent width in bits.
+pub const MAX_EXP_BITS: u32 = 20;
+/// Minimum supported mantissa width in bits.
+pub const MIN_MANT_BITS: u32 = 1;
+/// Maximum supported mantissa width in bits.
+pub const MAX_MANT_BITS: u32 = 118;
+
+/// A normalized floating-point format with `E` exponent bits and `M`
+/// mantissa bits (plus one implicit leading bit and one sign bit).
+///
+/// The exponent encoding follows IEEE 754: bias `2^(E-1) - 1`, biased value
+/// `0` reserved for zero and all-ones reserved for infinity/NaN, giving
+/// normal exponents in `[1 - bias, bias]`.
+///
+/// # Examples
+///
+/// ```
+/// use problp_num::FloatFormat;
+///
+/// let fmt = FloatFormat::new(8, 23)?; // IEEE single precision
+/// assert_eq!(fmt.bias(), 127);
+/// assert_eq!(fmt.min_exp(), -126);
+/// assert_eq!(fmt.max_exp(), 127);
+/// // Per-operation relative error bound ε = 2^-(M+1), paper eq. (6).
+/// assert_eq!(fmt.epsilon(), 2.0_f64.powi(-24));
+/// # Ok::<(), problp_num::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FloatFormat {
+    exp_bits: u32,
+    mant_bits: u32,
+}
+
+impl FloatFormat {
+    /// Creates a floating-point format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::ExpBitsOutOfRange`] or
+    /// [`FormatError::MantBitsOutOfRange`] when a width is outside the
+    /// supported range, and [`FormatError::WidthTooLarge`] when the packed
+    /// encoding (`E + M` bits) would exceed 127 bits.
+    pub fn new(exp_bits: u32, mant_bits: u32) -> Result<Self, FormatError> {
+        if !(MIN_EXP_BITS..=MAX_EXP_BITS).contains(&exp_bits) {
+            return Err(FormatError::ExpBitsOutOfRange {
+                requested: exp_bits,
+                min: MIN_EXP_BITS,
+                max: MAX_EXP_BITS,
+            });
+        }
+        if !(MIN_MANT_BITS..=MAX_MANT_BITS).contains(&mant_bits) {
+            return Err(FormatError::MantBitsOutOfRange {
+                requested: mant_bits,
+                min: MIN_MANT_BITS,
+                max: MAX_MANT_BITS,
+            });
+        }
+        if exp_bits + mant_bits > 127 {
+            return Err(FormatError::WidthTooLarge {
+                requested: exp_bits + mant_bits,
+                max: 127,
+            });
+        }
+        Ok(FloatFormat { exp_bits, mant_bits })
+    }
+
+    /// IEEE 754 single precision, `(E, M) = (8, 23)`.
+    pub fn ieee_single() -> Self {
+        FloatFormat {
+            exp_bits: 8,
+            mant_bits: 23,
+        }
+    }
+
+    /// IEEE 754 double precision, `(E, M) = (11, 52)`.
+    pub fn ieee_double() -> Self {
+        FloatFormat {
+            exp_bits: 11,
+            mant_bits: 52,
+        }
+    }
+
+    /// IEEE 754 half precision, `(E, M) = (5, 10)`.
+    pub fn ieee_half() -> Self {
+        FloatFormat {
+            exp_bits: 5,
+            mant_bits: 10,
+        }
+    }
+
+    /// Number of exponent bits `E`.
+    #[inline]
+    pub const fn exp_bits(&self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Number of explicit mantissa bits `M`.
+    #[inline]
+    pub const fn mant_bits(&self) -> u32 {
+        self.mant_bits
+    }
+
+    /// The exponent bias, `2^(E-1) - 1`.
+    #[inline]
+    pub const fn bias(&self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// The smallest normal exponent, `1 - bias`.
+    #[inline]
+    pub const fn min_exp(&self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// The largest normal exponent, `bias`.
+    #[inline]
+    pub const fn max_exp(&self) -> i32 {
+        self.bias()
+    }
+
+    /// Per-operation relative rounding error bound `ε = 2^-(M+1)`
+    /// (paper eq. 6).
+    pub fn epsilon(&self) -> f64 {
+        (-(self.mant_bits as f64 + 1.0)).exp2()
+    }
+
+    /// The smallest positive normal value, `2^min_exp`.
+    pub fn min_positive(&self) -> f64 {
+        (self.min_exp() as f64).exp2()
+    }
+
+    /// The largest finite value, `(2 - 2^-M) * 2^max_exp`.
+    pub fn max_finite(&self) -> f64 {
+        (2.0 - (-(self.mant_bits as f64)).exp2()) * (self.max_exp() as f64).exp2()
+    }
+
+    /// Width of the packed hardware encoding *without* a sign bit
+    /// (`E + M`); ProbLP datapaths carry only non-negative values.
+    #[inline]
+    pub const fn packed_bits(&self) -> u32 {
+        self.exp_bits + self.mant_bits
+    }
+}
+
+impl std::fmt::Display for FloatFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fl(E={}, M={})", self.exp_bits, self.mant_bits)
+    }
+}
+
+/// Numeric class of an [`LpFloat`] value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Class {
+    Zero,
+    /// A normal value `sig * 2^(exp - M)` with `sig` having exactly `M + 1`
+    /// bits (the top bit is the implicit one).
+    Normal { exp: i32, sig: u128 },
+    Inf,
+    Nan,
+}
+
+/// A low-precision floating-point number in a given [`FloatFormat`].
+///
+/// # Examples
+///
+/// ```
+/// use problp_num::{Flags, FloatFormat, LpFloat};
+///
+/// let fmt = FloatFormat::new(6, 9)?;
+/// let mut flags = Flags::default();
+/// let a = LpFloat::from_f64(0.3, fmt, &mut flags);
+/// let b = LpFloat::from_f64(0.2, fmt, &mut flags);
+/// let sum = a.add(&b, &mut flags);
+/// // Each conversion and the addition round once: three ε-sized errors.
+/// let eps = fmt.epsilon();
+/// assert!((sum.to_f64() - 0.5).abs() / 0.5 <= 3.1 * eps);
+/// # Ok::<(), problp_num::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LpFloat {
+    format: FloatFormat,
+    sign: bool,
+    class: Class,
+}
+
+impl LpFloat {
+    /// Positive zero in the given format.
+    pub fn zero(format: FloatFormat) -> Self {
+        LpFloat {
+            format,
+            sign: false,
+            class: Class::Zero,
+        }
+    }
+
+    /// The value one in the given format (always exactly representable).
+    pub fn one(format: FloatFormat) -> Self {
+        LpFloat {
+            format,
+            sign: false,
+            class: Class::Normal {
+                exp: 0,
+                sig: 1u128 << format.mant_bits,
+            },
+        }
+    }
+
+    /// Positive infinity in the given format.
+    pub fn infinity(format: FloatFormat) -> Self {
+        LpFloat {
+            format,
+            sign: false,
+            class: Class::Inf,
+        }
+    }
+
+    /// A NaN in the given format.
+    pub fn nan(format: FloatFormat) -> Self {
+        LpFloat {
+            format,
+            sign: false,
+            class: Class::Nan,
+        }
+    }
+
+    /// The largest finite value in the given format.
+    pub fn max_finite(format: FloatFormat) -> Self {
+        LpFloat {
+            format,
+            sign: false,
+            class: Class::Normal {
+                exp: format.max_exp(),
+                sig: (1u128 << (format.mant_bits + 1)) - 1,
+            },
+        }
+    }
+
+    /// The smallest positive normal value in the given format.
+    pub fn min_positive(format: FloatFormat) -> Self {
+        LpFloat {
+            format,
+            sign: false,
+            class: Class::Normal {
+                exp: format.min_exp(),
+                sig: 1u128 << format.mant_bits,
+            },
+        }
+    }
+
+    /// Converts an `f64` into the format, rounding to nearest-even.
+    ///
+    /// Values whose rounded magnitude exceeds the format's range become
+    /// infinity (`overflow`); non-zero values below the smallest normal
+    /// magnitude are flushed to zero (`underflow`); rounding raises
+    /// `inexact`.
+    pub fn from_f64(value: f64, format: FloatFormat, flags: &mut Flags) -> Self {
+        if value.is_nan() {
+            return LpFloat::nan(format);
+        }
+        let sign = value.is_sign_negative();
+        if value == 0.0 {
+            return LpFloat {
+                format,
+                sign,
+                class: Class::Zero,
+            };
+        }
+        if value.is_infinite() {
+            return LpFloat {
+                format,
+                sign,
+                class: Class::Inf,
+            };
+        }
+        let bits = value.abs().to_bits();
+        let raw_exp = (bits >> 52) as i32;
+        let raw_mant = bits & ((1u64 << 52) - 1);
+        // Normalize: obtain a 53-bit significand with the top bit set and
+        // the unbiased exponent of the leading bit.
+        let (sig53, exp) = if raw_exp == 0 {
+            // Subnormal f64: value = raw_mant * 2^(-1074).
+            let shift = raw_mant.leading_zeros() - 11;
+            (raw_mant << shift, -1022 - shift as i32)
+        } else {
+            (raw_mant | (1u64 << 52), raw_exp - 1023)
+        };
+        // value = sig53 * 2^(exp - 52): finalize rounds into the format.
+        finalize(format, sign, U256::from_u128(sig53 as u128), exp - 52, false, flags)
+    }
+
+    /// Builds a float from raw parts: `(-1)^sign * sig * 2^(exp - M)` where
+    /// `sig` must have exactly `M + 1` bits (top bit set) and `exp` must be
+    /// within the format's normal range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` is not a normalized `M + 1`-bit significand or `exp`
+    /// is out of range.
+    pub fn from_parts(sign: bool, exp: i32, sig: u128, format: FloatFormat) -> Self {
+        let m = format.mant_bits;
+        assert!(
+            sig >> m == 1,
+            "significand must have exactly M+1 bits with the top bit set"
+        );
+        assert!(
+            (format.min_exp()..=format.max_exp()).contains(&exp),
+            "exponent {exp} outside normal range"
+        );
+        LpFloat {
+            format,
+            sign,
+            class: Class::Normal { exp, sig },
+        }
+    }
+
+    /// The format of this number.
+    #[inline]
+    pub const fn format(&self) -> FloatFormat {
+        self.format
+    }
+
+    /// Returns `true` for zero (of either sign).
+    pub const fn is_zero(&self) -> bool {
+        matches!(self.class, Class::Zero)
+    }
+
+    /// Returns `true` for a normal (finite, non-zero) value.
+    pub const fn is_normal(&self) -> bool {
+        matches!(self.class, Class::Normal { .. })
+    }
+
+    /// Returns `true` for infinity of either sign.
+    pub const fn is_infinite(&self) -> bool {
+        matches!(self.class, Class::Inf)
+    }
+
+    /// Returns `true` for NaN.
+    pub const fn is_nan(&self) -> bool {
+        matches!(self.class, Class::Nan)
+    }
+
+    /// The sign bit (`true` = negative). NaN reports `false`.
+    pub const fn sign(&self) -> bool {
+        self.sign
+    }
+
+    /// The unbiased exponent of a normal value, `None` otherwise.
+    pub const fn exponent(&self) -> Option<i32> {
+        match self.class {
+            Class::Normal { exp, .. } => Some(exp),
+            _ => None,
+        }
+    }
+
+    /// The full `M + 1`-bit significand of a normal value (implicit bit
+    /// included), `None` otherwise.
+    pub const fn significand(&self) -> Option<u128> {
+        match self.class {
+            Class::Normal { sig, .. } => Some(sig),
+            _ => None,
+        }
+    }
+
+    /// The magnitude of this value (sign cleared).
+    pub fn abs(&self) -> Self {
+        LpFloat {
+            sign: false,
+            ..*self
+        }
+    }
+
+    /// The negation of this value.
+    pub fn neg(&self) -> Self {
+        LpFloat {
+            sign: !self.sign && !self.is_nan(),
+            ..*self
+        }
+    }
+
+    /// Converts to `f64` (one extra rounding when `M > 52`; infinity when
+    /// the exponent exceeds the `f64` range).
+    pub fn to_f64(&self) -> f64 {
+        let mag = match self.class {
+            Class::Zero => 0.0,
+            Class::Inf => f64::INFINITY,
+            Class::Nan => return f64::NAN,
+            Class::Normal { exp, sig } => {
+                // Scale in two steps so that intermediate powers of two stay
+                // within f64 range: first bring the significand into [1, 2)
+                // (exact), then apply the exponent.
+                let unit = (sig as f64) * (-(self.format.mant_bits as f64)).exp2();
+                unit * (exp as f64).exp2()
+            }
+        };
+        if self.sign {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// The packed hardware encoding: `E + M` bits, `[exponent | mantissa]`,
+    /// no sign bit (ProbLP datapaths are unsigned). Biased exponent 0 is
+    /// zero, all-ones is infinity/NaN (NaN sets mantissa LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative (cannot be encoded).
+    pub fn to_bits(&self) -> u128 {
+        assert!(
+            !self.sign || self.is_zero(),
+            "negative values have no unsigned hardware encoding"
+        );
+        let m = self.format.mant_bits;
+        let all_ones_exp = (1u128 << self.format.exp_bits) - 1;
+        match self.class {
+            Class::Zero => 0,
+            Class::Inf => all_ones_exp << m,
+            Class::Nan => (all_ones_exp << m) | 1,
+            Class::Normal { exp, sig } => {
+                let biased = (exp + self.format.bias()) as u128;
+                debug_assert!(biased >= 1 && biased < all_ones_exp);
+                let mant = sig & ((1u128 << m) - 1);
+                (biased << m) | mant
+            }
+        }
+    }
+
+    /// Decodes a packed hardware encoding produced by [`LpFloat::to_bits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` does not fit in `E + M` bits.
+    pub fn from_bits(bits: u128, format: FloatFormat) -> Self {
+        let m = format.mant_bits;
+        assert!(
+            format.packed_bits() == 128 || bits < (1u128 << format.packed_bits()),
+            "encoding wider than the format"
+        );
+        let all_ones_exp = (1u128 << format.exp_bits) - 1;
+        let biased = bits >> m;
+        let mant = bits & ((1u128 << m) - 1);
+        let class = if biased == 0 {
+            Class::Zero
+        } else if biased == all_ones_exp {
+            if mant == 0 {
+                Class::Inf
+            } else {
+                Class::Nan
+            }
+        } else {
+            Class::Normal {
+                exp: biased as i32 - format.bias(),
+                sig: mant | (1u128 << m),
+            }
+        };
+        LpFloat {
+            format,
+            sign: false,
+            class,
+        }
+    }
+
+    fn check_format(&self, other: &LpFloat) {
+        assert_eq!(
+            self.format, other.format,
+            "floating-point operands must share a format"
+        );
+    }
+
+    /// Adds two floats with a single round-to-nearest-even step
+    /// (paper eq. 9: one `(1 ± ε)` factor per addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn add(&self, other: &LpFloat, flags: &mut Flags) -> LpFloat {
+        self.check_format(other);
+        let format = self.format;
+        match (&self.class, &other.class) {
+            (Class::Nan, _) | (_, Class::Nan) => return LpFloat::nan(format),
+            (Class::Inf, Class::Inf) => {
+                if self.sign != other.sign {
+                    flags.invalid = true;
+                    return LpFloat::nan(format);
+                }
+                return *self;
+            }
+            (Class::Inf, _) => return *self,
+            (_, Class::Inf) => return *other,
+            (Class::Zero, Class::Zero) => {
+                // IEEE: +0 + -0 = +0 under round-to-nearest.
+                return LpFloat {
+                    format,
+                    sign: self.sign && other.sign,
+                    class: Class::Zero,
+                };
+            }
+            (Class::Zero, _) => return *other,
+            (_, Class::Zero) => return *self,
+            _ => {}
+        }
+        let (ea, sa) = match self.class {
+            Class::Normal { exp, sig } => (exp, sig),
+            _ => unreachable!(),
+        };
+        let (eb, sb) = match other.class {
+            Class::Normal { exp, sig } => (exp, sig),
+            _ => unreachable!(),
+        };
+        // Order by magnitude: (e1, s1) >= (e2, s2).
+        let (sign1, e1, s1, sign2, e2, s2) = if (ea, sa) >= (eb, sb) {
+            (self.sign, ea, sa, other.sign, eb, sb)
+        } else {
+            (other.sign, eb, sb, self.sign, ea, sa)
+        };
+        let d = (e1 - e2) as u32;
+        let m = format.mant_bits;
+        if d >= m + 4 {
+            // The smaller operand is below a quarter-ulp of the larger: the
+            // rounded result is exactly the larger operand (see the module
+            // docs for the proof sketch), but the operation is inexact.
+            flags.inexact = true;
+            return LpFloat {
+                format,
+                sign: sign1,
+                class: Class::Normal { exp: e1, sig: s1 },
+            };
+        }
+        // Exact path: w = s1 * 2^d ± s2 on the 2^(e2 - M) grid.
+        let w1 = U256::from_u128(s1)
+            .checked_shl(d)
+            .expect("aligned significand exceeds 256 bits");
+        let w2 = U256::from_u128(s2);
+        if sign1 == sign2 {
+            let w = w1.checked_add(w2).expect("significand sum exceeds 256 bits");
+            finalize(format, sign1, w, e2 - m as i32, false, flags)
+        } else {
+            let w = w1.checked_sub(w2).expect("magnitude ordering violated");
+            if w.is_zero() {
+                // Exact cancellation: +0 under round-to-nearest.
+                return LpFloat::zero(format);
+            }
+            finalize(format, sign1, w, e2 - m as i32, false, flags)
+        }
+    }
+
+    /// Subtracts `other` from `self` (implemented as `self + (-other)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn sub(&self, other: &LpFloat, flags: &mut Flags) -> LpFloat {
+        self.add(&other.neg(), flags)
+    }
+
+    /// Multiplies two floats with a single round-to-nearest-even step
+    /// (paper eq. 11: one `(1 ± ε)` factor per multiplication).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn mul(&self, other: &LpFloat, flags: &mut Flags) -> LpFloat {
+        self.check_format(other);
+        let format = self.format;
+        let sign = self.sign ^ other.sign;
+        match (&self.class, &other.class) {
+            (Class::Nan, _) | (_, Class::Nan) => return LpFloat::nan(format),
+            (Class::Inf, Class::Zero) | (Class::Zero, Class::Inf) => {
+                flags.invalid = true;
+                return LpFloat::nan(format);
+            }
+            (Class::Inf, _) | (_, Class::Inf) => {
+                return LpFloat {
+                    format,
+                    sign,
+                    class: Class::Inf,
+                };
+            }
+            (Class::Zero, _) | (_, Class::Zero) => {
+                return LpFloat {
+                    format,
+                    sign,
+                    class: Class::Zero,
+                };
+            }
+            _ => {}
+        }
+        let (ea, sa) = match self.class {
+            Class::Normal { exp, sig } => (exp, sig),
+            _ => unreachable!(),
+        };
+        let (eb, sb) = match other.class {
+            Class::Normal { exp, sig } => (exp, sig),
+            _ => unreachable!(),
+        };
+        let m = format.mant_bits as i32;
+        let w = U256::widening_mul(sa, sb);
+        // value = w * 2^(ea - M) * 2^(eb - M) = w * 2^(ea + eb - 2M).
+        finalize(format, sign, w, ea + eb - 2 * m, false, flags)
+    }
+
+    /// Divides `self` by `other` with a single round-to-nearest-even step.
+    ///
+    /// Division is provided for completeness (conditional probabilities take
+    /// a ratio of two AC outputs, paper §3.2.2); the generated hardware does
+    /// not contain dividers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn div(&self, other: &LpFloat, flags: &mut Flags) -> LpFloat {
+        self.check_format(other);
+        let format = self.format;
+        let sign = self.sign ^ other.sign;
+        match (&self.class, &other.class) {
+            (Class::Nan, _) | (_, Class::Nan) => return LpFloat::nan(format),
+            (Class::Inf, Class::Inf) | (Class::Zero, Class::Zero) => {
+                flags.invalid = true;
+                return LpFloat::nan(format);
+            }
+            (Class::Inf, _) => {
+                return LpFloat {
+                    format,
+                    sign,
+                    class: Class::Inf,
+                };
+            }
+            (_, Class::Inf) | (Class::Zero, _) => {
+                return LpFloat {
+                    format,
+                    sign,
+                    class: Class::Zero,
+                };
+            }
+            (_, Class::Zero) => {
+                // Non-zero / zero: IEEE raises divide-by-zero; we fold it
+                // into `invalid` and return infinity.
+                flags.invalid = true;
+                return LpFloat {
+                    format,
+                    sign,
+                    class: Class::Inf,
+                };
+            }
+            _ => {}
+        }
+        let (ea, sa) = match self.class {
+            Class::Normal { exp, sig } => (exp, sig),
+            _ => unreachable!(),
+        };
+        let (eb, sb) = match other.class {
+            Class::Normal { exp, sig } => (exp, sig),
+            _ => unreachable!(),
+        };
+        let m = format.mant_bits;
+        // Long division producing M + 2 quotient bits plus a sticky bit:
+        // q = floor(sa * 2^(M+2) / sb), sticky = remainder != 0.
+        // sa / sb is in [2^-(M+1) ... actually (1/2, 2)), so q has M + 2 or
+        // M + 3 significant bits.
+        let mut rem: u128 = 0;
+        let mut q: u128 = 0;
+        let total = m + 2 + m + 1; // bits of sa << (M+2)
+        for i in (0..total).rev() {
+            rem <<= 1;
+            if i >= m + 2 {
+                // Feed bit (i - (M+2)) of sa.
+                if (sa >> (i - (m + 2))) & 1 == 1 {
+                    rem |= 1;
+                }
+            }
+            q <<= 1;
+            if rem >= sb {
+                rem -= sb;
+                q |= 1;
+            }
+        }
+        let sticky = rem != 0;
+        // value = q~ * 2^(ea - eb - (M+2)) with q~ = q + fraction(sticky).
+        finalize(
+            format,
+            sign,
+            U256::from_u128(q),
+            ea - eb - (m as i32 + 2),
+            sticky,
+            flags,
+        )
+    }
+
+    /// Returns the larger of two floats by numeric value (NaN propagates;
+    /// used by max-product / MPE evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn max(&self, other: &LpFloat) -> LpFloat {
+        self.check_format(other);
+        if self.is_nan() || other.is_nan() {
+            return LpFloat::nan(self.format);
+        }
+        match self.partial_cmp(other) {
+            Some(std::cmp::Ordering::Less) => *other,
+            _ => *self,
+        }
+    }
+
+    /// Returns the smaller of two floats by numeric value (NaN propagates;
+    /// used by min-value analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different formats.
+    pub fn min(&self, other: &LpFloat) -> LpFloat {
+        self.check_format(other);
+        if self.is_nan() || other.is_nan() {
+            return LpFloat::nan(self.format);
+        }
+        match self.partial_cmp(other) {
+            Some(std::cmp::Ordering::Greater) => *other,
+            _ => *self,
+        }
+    }
+
+    /// Re-rounds this value into another format (one rounding step).
+    pub fn convert(&self, target: FloatFormat, flags: &mut Flags) -> LpFloat {
+        match self.class {
+            Class::Zero => LpFloat {
+                format: target,
+                sign: self.sign,
+                class: Class::Zero,
+            },
+            Class::Inf => LpFloat {
+                format: target,
+                sign: self.sign,
+                class: Class::Inf,
+            },
+            Class::Nan => LpFloat::nan(target),
+            Class::Normal { exp, sig } => finalize(
+                target,
+                self.sign,
+                U256::from_u128(sig),
+                exp - self.format.mant_bits as i32,
+                false,
+                flags,
+            ),
+        }
+    }
+}
+
+/// Normalizes and rounds an exact intermediate `(-1)^sign * w * 2^scale`
+/// into `format`, raising flags as needed. This is the single rounding step
+/// shared by every operation.
+fn finalize(
+    format: FloatFormat,
+    sign: bool,
+    w: U256,
+    scale: i32,
+    extra_sticky: bool,
+    flags: &mut Flags,
+) -> LpFloat {
+    debug_assert!(!w.is_zero(), "finalize requires a non-zero magnitude");
+    let m = format.mant_bits;
+    let h = w.bit_len() as i32 - 1; // position of the leading bit
+    // Target significand: M + 1 bits; the leading bit of w has weight
+    // 2^(h + scale), so the result exponent is h + scale.
+    let mut exp = h + scale;
+    let sig = if h as u32 > m {
+        let shift = h as u32 - m;
+        let (rounded, inexact) = w.round_shr_rne(shift, extra_sticky);
+        flags.inexact |= inexact;
+        if rounded == 1u128 << (m + 1) {
+            // Rounding carried out of the significand: renormalize.
+            exp += 1;
+            1u128 << m
+        } else {
+            rounded
+        }
+    } else {
+        // The target grid is at least as fine as w's grid: the value is
+        // exactly representable. A sticky flag would be meaningless here
+        // (it marks value below w's LSB, which is *coarser* than the
+        // rounding position); all callers guarantee `h > m` when passing
+        // one (division quotients always carry M+2 significant bits).
+        debug_assert!(!extra_sticky, "sticky requires h > M");
+        w.to_u128() << (m - h as u32)
+    };
+    if exp > format.max_exp() {
+        flags.overflow = true;
+        flags.inexact = true;
+        return LpFloat {
+            format,
+            sign,
+            class: Class::Inf,
+        };
+    }
+    if exp < format.min_exp() {
+        flags.underflow = true;
+        flags.inexact = true;
+        return LpFloat {
+            format,
+            sign,
+            class: Class::Zero,
+        };
+    }
+    LpFloat {
+        format,
+        sign,
+        class: Class::Normal { exp, sig },
+    }
+}
+
+impl PartialOrd for LpFloat {
+    /// Compares by numeric value (exact, format-independent). NaN compares
+    /// as `None`, like `f64`.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        let key = |v: &LpFloat| -> i32 {
+            // Coarse class ordering by sign and finiteness.
+            match (&v.class, v.sign) {
+                (Class::Inf, true) => -3,
+                (Class::Normal { .. }, true) => -2,
+                (Class::Zero, _) => 0,
+                (Class::Normal { .. }, false) => 2,
+                (Class::Inf, false) => 3,
+                (Class::Nan, _) => unreachable!(),
+            }
+        };
+        let (ka, kb) = (key(self), key(other));
+        if ka != kb {
+            return Some(ka.cmp(&kb));
+        }
+        // Same class; compare magnitudes of normals exactly.
+        if let (Class::Normal { exp: ea, sig: sa }, Class::Normal { exp: eb, sig: sb }) =
+            (&self.class, &other.class)
+        {
+            let ma = self.format.mant_bits;
+            let mb = other.format.mant_bits;
+            let mag = if ea != eb {
+                ea.cmp(eb)
+            } else {
+                // Align significands to a common width for an exact compare.
+                let width = ma.max(mb);
+                let va = U256::from_u128(*sa).checked_shl(width - ma)?;
+                let vb = U256::from_u128(*sb).checked_shl(width - mb)?;
+                va.cmp(&vb)
+            };
+            return Some(if self.sign { mag.reverse() } else { mag });
+        }
+        Some(Ordering::Equal)
+    }
+}
+
+impl std::fmt::Display for LpFloat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(e: u32, m: u32) -> FloatFormat {
+        FloatFormat::new(e, m).unwrap()
+    }
+
+    fn f(x: f64, format: FloatFormat) -> LpFloat {
+        let mut flags = Flags::default();
+        LpFloat::from_f64(x, format, &mut flags)
+    }
+
+    #[test]
+    fn format_validation() {
+        assert!(FloatFormat::new(1, 10).is_err());
+        assert!(FloatFormat::new(21, 10).is_err());
+        assert!(FloatFormat::new(8, 0).is_err());
+        assert!(FloatFormat::new(8, 119).is_err());
+        assert!(FloatFormat::new(8, 23).is_ok());
+        assert!(FloatFormat::new(20, 107).is_ok());
+        assert!(FloatFormat::new(20, 108).is_err()); // packed > 127
+    }
+
+    #[test]
+    fn format_derived_quantities() {
+        let s = FloatFormat::ieee_single();
+        assert_eq!(s.bias(), 127);
+        assert_eq!(s.min_exp(), -126);
+        assert_eq!(s.max_exp(), 127);
+        assert_eq!(s.min_positive(), f64::from(f32::MIN_POSITIVE));
+        assert_eq!(s.max_finite(), f64::from(f32::MAX));
+        let d = FloatFormat::ieee_double();
+        assert_eq!(d.min_positive(), f64::MIN_POSITIVE);
+        assert_eq!(d.max_finite(), f64::MAX);
+    }
+
+    #[test]
+    fn exact_small_values_roundtrip() {
+        let format = fmt(5, 4);
+        for x in [1.0, 0.5, 0.75, 1.5, 2.0, 3.0, 0.0625] {
+            let mut flags = Flags::default();
+            let v = LpFloat::from_f64(x, format, &mut flags);
+            assert_eq!(v.to_f64(), x, "x={x}");
+            assert!(!flags.inexact, "x={x} should be exact");
+        }
+    }
+
+    #[test]
+    fn conversion_rounds_to_nearest_even() {
+        // M = 2: significands 1.00, 1.01, 1.10, 1.11.
+        let format = fmt(5, 2);
+        // 1.125 is halfway between 1.0 (even mantissa .00) and 1.25 (.01):
+        // ties to even -> 1.0.
+        assert_eq!(f(1.125, format).to_f64(), 1.0);
+        // 1.375 is halfway between 1.25 (.01) and 1.5 (.10): ties to even
+        // -> 1.5.
+        assert_eq!(f(1.375, format).to_f64(), 1.5);
+        // Just above halfway rounds up.
+        assert_eq!(f(1.126, format).to_f64(), 1.25);
+    }
+
+    #[test]
+    fn conversion_relative_error_within_epsilon() {
+        let format = fmt(8, 11);
+        let eps = format.epsilon();
+        let mut x = 1e-20;
+        while x < 1e20 {
+            let got = f(x, format).to_f64();
+            let rel = ((got - x) / x).abs();
+            assert!(rel <= eps, "x={x} got={got} rel={rel} eps={eps}");
+            x *= 3.7;
+        }
+    }
+
+    #[test]
+    fn conversion_carry_renormalizes() {
+        // M = 2: 1.984 rounds up to 2.0 (carry into the exponent).
+        let format = fmt(5, 2);
+        assert_eq!(f(1.99, format).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn overflow_and_underflow_flags() {
+        let format = fmt(4, 4); // bias 7, range ~ [2^-6, ~255]
+        let mut flags = Flags::default();
+        let v = LpFloat::from_f64(1e9, format, &mut flags);
+        assert!(v.is_infinite());
+        assert!(flags.overflow);
+        flags.clear();
+        let v = LpFloat::from_f64(1e-9, format, &mut flags);
+        assert!(v.is_zero());
+        assert!(flags.underflow);
+    }
+
+    #[test]
+    fn addition_exact_cases() {
+        let format = fmt(6, 6);
+        let mut flags = Flags::default();
+        let a = f(1.5, format);
+        let b = f(0.25, format);
+        assert_eq!(a.add(&b, &mut flags).to_f64(), 1.75);
+        assert!(!flags.inexact);
+    }
+
+    #[test]
+    fn addition_far_apart_returns_larger() {
+        let format = fmt(8, 8);
+        let mut flags = Flags::default();
+        let a = f(1.0, format);
+        let tiny = f(2e-10, format);
+        let sum = a.add(&tiny, &mut flags);
+        assert_eq!(sum.to_f64(), 1.0);
+        assert!(flags.inexact);
+    }
+
+    #[test]
+    fn subtraction_with_cancellation_is_exact() {
+        // Sterbenz: if a/2 <= b <= 2a, a - b is exact.
+        let format = fmt(6, 5);
+        let mut flags = Flags::default();
+        let a = f(1.75, format);
+        let b = f(1.5, format);
+        let d = a.sub(&b, &mut flags);
+        assert_eq!(d.to_f64(), 0.25);
+        assert!(!flags.inexact);
+    }
+
+    #[test]
+    fn subtraction_to_zero() {
+        let format = fmt(6, 5);
+        let mut flags = Flags::default();
+        let a = f(1.25, format);
+        let d = a.sub(&a, &mut flags);
+        assert!(d.is_zero());
+        assert!(!d.sign(), "exact cancellation gives +0");
+    }
+
+    #[test]
+    fn multiplication_exact_powers_of_two() {
+        let format = fmt(8, 4);
+        let mut flags = Flags::default();
+        let a = f(0.5, format);
+        let b = f(8.0, format);
+        assert_eq!(a.mul(&b, &mut flags).to_f64(), 4.0);
+        assert!(!flags.inexact);
+    }
+
+    #[test]
+    fn multiplication_rounds_once() {
+        let format = fmt(8, 23);
+        let mut flags = Flags::default();
+        let a = f(1.1, format);
+        let b = f(1.3, format);
+        let p = a.mul(&b, &mut flags);
+        let expected = (1.1f32 * 1.3f32) as f64; // hardware single
+        assert_eq!(p.to_f64(), (f32::from_bits((1.1f32).to_bits()) * 1.3f32) as f64);
+        assert_eq!(p.to_f64(), expected);
+    }
+
+    #[test]
+    fn ieee_single_matches_f32_on_simple_values() {
+        let format = FloatFormat::ieee_single();
+        let cases: &[(f64, f64)] = &[
+            (0.1, 0.2),
+            (1.0 / 3.0, 3.0),
+            (123.456, 0.001),
+            (1e10, 1e-10),
+            (5.5, 5.5),
+        ];
+        for &(x, y) in cases {
+            let mut flags = Flags::default();
+            let a = LpFloat::from_f64(x, format, &mut flags);
+            let b = LpFloat::from_f64(y, format, &mut flags);
+            let (xf, yf) = (x as f32, y as f32);
+            assert_eq!(a.to_f64(), xf as f64, "conversion {x}");
+            assert_eq!(
+                a.add(&b, &mut flags).to_f64(),
+                (xf + yf) as f64,
+                "add {x}+{y}"
+            );
+            assert_eq!(
+                a.mul(&b, &mut flags).to_f64(),
+                (xf * yf) as f64,
+                "mul {x}*{y}"
+            );
+            assert_eq!(
+                a.div(&b, &mut flags).to_f64(),
+                (xf / yf) as f64,
+                "div {x}/{y}"
+            );
+            assert_eq!(
+                a.sub(&b, &mut flags).to_f64(),
+                (xf - yf) as f64,
+                "sub {x}-{y}"
+            );
+        }
+    }
+
+    #[test]
+    fn division_rounds_correctly() {
+        let format = fmt(8, 23);
+        let mut flags = Flags::default();
+        let a = f(1.0, format);
+        let b = f(3.0, format);
+        let q = a.div(&b, &mut flags);
+        assert_eq!(q.to_f64(), (1.0f32 / 3.0f32) as f64);
+        assert!(flags.inexact);
+    }
+
+    #[test]
+    fn special_value_propagation() {
+        let format = fmt(6, 6);
+        let mut flags = Flags::default();
+        let inf = LpFloat::infinity(format);
+        let one = LpFloat::one(format);
+        let zero = LpFloat::zero(format);
+        assert!(inf.add(&one, &mut flags).is_infinite());
+        assert!(inf.mul(&zero, &mut flags).is_nan());
+        assert!(flags.invalid);
+        flags.clear();
+        assert!(inf.sub(&inf, &mut flags).is_nan());
+        assert!(flags.invalid);
+        flags.clear();
+        assert!(one.div(&zero, &mut flags).is_infinite());
+        assert!(flags.invalid);
+        assert!(zero.add(&one, &mut flags).to_f64() == 1.0);
+        assert!(LpFloat::nan(format).mul(&one, &mut flags).is_nan());
+    }
+
+    #[test]
+    fn packed_bits_roundtrip() {
+        let format = fmt(6, 9);
+        for x in [0.0, 1.0, 0.3, 1e-4, 250.0] {
+            let v = f(x, format);
+            let packed = v.to_bits();
+            let back = LpFloat::from_bits(packed, format);
+            assert_eq!(back, v, "x={x}");
+        }
+        let inf = LpFloat::infinity(format);
+        assert_eq!(LpFloat::from_bits(inf.to_bits(), format), inf);
+        assert!(LpFloat::from_bits(LpFloat::nan(format).to_bits(), format).is_nan());
+    }
+
+    #[test]
+    fn packed_bits_match_ieee_single() {
+        let format = FloatFormat::ieee_single();
+        for x in [1.0f32, 0.5, std::f32::consts::PI, 1e-20, 2.5e20] {
+            let v = f(x as f64, format);
+            // Our packing has no sign bit; positive f32 bit patterns match.
+            assert_eq!(v.to_bits() as u32, x.to_bits(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn comparison_by_value() {
+        let format = fmt(6, 6);
+        assert!(f(1.0, format) < f(2.0, format));
+        assert!(f(-1.0, format) < f(0.5, format));
+        assert!(f(-1.0, format) > f(-2.0, format));
+        assert!(f(0.0, format) < f(0.5, format));
+        assert_eq!(
+            f(1.5, format).partial_cmp(&f(1.5, format)),
+            Some(std::cmp::Ordering::Equal)
+        );
+        assert!(f(f64::NAN, format).partial_cmp(&f(1.0, format)).is_none());
+    }
+
+    #[test]
+    fn cross_format_comparison_is_exact() {
+        let a = f(1.5, fmt(6, 3));
+        let b = f(1.5, fmt(8, 20));
+        assert_eq!(a.partial_cmp(&b), Some(std::cmp::Ordering::Equal));
+        let c = f(1.25, fmt(8, 20));
+        assert!(a > c);
+    }
+
+    #[test]
+    fn min_max_semantics() {
+        let format = fmt(6, 6);
+        let a = f(0.25, format);
+        let b = f(0.5, format);
+        assert_eq!(a.max(&b), b);
+        assert_eq!(a.min(&b), a);
+        assert!(a.max(&LpFloat::nan(format)).is_nan());
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let wide = fmt(8, 20);
+        let narrow = fmt(8, 4);
+        let mut flags = Flags::default();
+        let v = LpFloat::from_f64(1.23456, wide, &mut flags);
+        let n = v.convert(narrow, &mut flags);
+        assert_eq!(n.format(), narrow);
+        let rel = ((n.to_f64() - v.to_f64()) / v.to_f64()).abs();
+        assert!(rel <= narrow.epsilon());
+    }
+
+    #[test]
+    fn one_and_extremes() {
+        let format = fmt(5, 7);
+        assert_eq!(LpFloat::one(format).to_f64(), 1.0);
+        let max = LpFloat::max_finite(format);
+        let min = LpFloat::min_positive(format);
+        assert_eq!(max.to_f64(), format.max_finite());
+        assert_eq!(min.to_f64(), format.min_positive());
+    }
+
+    #[test]
+    fn subnormal_f64_inputs_are_normalized() {
+        let format = fmt(20, 52);
+        let mut flags = Flags::default();
+        let tiny = f64::MIN_POSITIVE / 4.0; // subnormal f64
+        let v = LpFloat::from_f64(tiny, format, &mut flags);
+        assert_eq!(v.to_f64(), tiny);
+        assert!(!flags.inexact);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a format")]
+    fn mismatched_formats_panic() {
+        let mut flags = Flags::default();
+        let a = f(1.0, fmt(6, 6));
+        let b = f(1.0, fmt(6, 7));
+        let _ = a.add(&b, &mut flags);
+    }
+}

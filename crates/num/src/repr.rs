@@ -1,0 +1,109 @@
+//! The representation choice: fixed point or floating point.
+
+use crate::fixed::FixedFormat;
+use crate::float::FloatFormat;
+
+/// One of the two candidate number representations ProbLP chooses between
+/// (paper Fig. 2, "Selected representation").
+///
+/// # Examples
+///
+/// ```
+/// use problp_num::{FixedFormat, Representation};
+///
+/// let r = Representation::Fixed(FixedFormat::new(1, 15)?);
+/// assert_eq!(r.word_bits(), 16);
+/// assert!(r.is_fixed());
+/// assert_eq!(r.to_string(), "fx(I=1, F=15)");
+/// # Ok::<(), problp_num::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Representation {
+    /// Unsigned fixed point with `(I, F)` bits.
+    Fixed(FixedFormat),
+    /// Normalized floating point with `(E, M)` bits.
+    Float(FloatFormat),
+}
+
+impl Representation {
+    /// The datapath word width in bits: `I + F` for fixed point, `E + M`
+    /// for floating point (ProbLP datapaths carry no sign bit).
+    pub fn word_bits(&self) -> u32 {
+        match self {
+            Representation::Fixed(f) => f.total_bits(),
+            Representation::Float(f) => f.packed_bits(),
+        }
+    }
+
+    /// Returns `true` for a fixed-point representation.
+    pub const fn is_fixed(&self) -> bool {
+        matches!(self, Representation::Fixed(_))
+    }
+
+    /// Returns `true` for a floating-point representation.
+    pub const fn is_float(&self) -> bool {
+        matches!(self, Representation::Float(_))
+    }
+
+    /// The fixed-point format, if this is a fixed-point representation.
+    pub const fn as_fixed(&self) -> Option<FixedFormat> {
+        match self {
+            Representation::Fixed(f) => Some(*f),
+            Representation::Float(_) => None,
+        }
+    }
+
+    /// The floating-point format, if this is a floating-point
+    /// representation.
+    pub const fn as_float(&self) -> Option<FloatFormat> {
+        match self {
+            Representation::Float(f) => Some(*f),
+            Representation::Fixed(_) => None,
+        }
+    }
+}
+
+impl From<FixedFormat> for Representation {
+    fn from(f: FixedFormat) -> Self {
+        Representation::Fixed(f)
+    }
+}
+
+impl From<FloatFormat> for Representation {
+    fn from(f: FloatFormat) -> Self {
+        Representation::Float(f)
+    }
+}
+
+impl std::fmt::Display for Representation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Representation::Fixed(fmt) => write!(f, "{fmt}"),
+            Representation::Float(fmt) => write!(f, "{fmt}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let fx = Representation::Fixed(FixedFormat::new(1, 15).unwrap());
+        let fl = Representation::Float(FloatFormat::new(8, 13).unwrap());
+        assert!(fx.is_fixed() && !fx.is_float());
+        assert!(fl.is_float() && !fl.is_fixed());
+        assert_eq!(fx.word_bits(), 16);
+        assert_eq!(fl.word_bits(), 21);
+        assert!(fx.as_fixed().is_some() && fx.as_float().is_none());
+        assert!(fl.as_float().is_some() && fl.as_fixed().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let f = FixedFormat::new(1, 7).unwrap();
+        let r: Representation = f.into();
+        assert_eq!(r.as_fixed(), Some(f));
+    }
+}

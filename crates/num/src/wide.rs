@@ -1,0 +1,440 @@
+//! Minimal 256-bit unsigned integer arithmetic.
+//!
+//! Low-precision operators are implemented *exactly* (full-width
+//! intermediate results) followed by a single rounding step. The widest
+//! intermediate needed anywhere in ProbLP is the product of two 128-bit
+//! significands, so a small, purpose-built 256-bit integer is sufficient and
+//! keeps the crate dependency-free.
+//!
+//! [`U256`] intentionally implements only the operations the arithmetic
+//! kernels need: widening multiplication, shifts with sticky tracking,
+//! addition/subtraction, bit-length queries and round-to-nearest-even
+//! truncation.
+
+/// An unsigned 256-bit integer, stored as two 128-bit limbs.
+///
+/// # Examples
+///
+/// ```
+/// use problp_num::U256;
+///
+/// let p = U256::widening_mul(u128::MAX, 2);
+/// assert_eq!(p, U256::new(1, u128::MAX - 1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct U256 {
+    hi: u128,
+    lo: u128,
+}
+
+impl U256 {
+    /// The value zero.
+    pub const ZERO: U256 = U256 { hi: 0, lo: 0 };
+
+    /// Creates a 256-bit integer from its high and low 128-bit limbs.
+    #[inline]
+    pub const fn new(hi: u128, lo: u128) -> Self {
+        U256 { hi, lo }
+    }
+
+    /// Creates a 256-bit integer from a 128-bit value.
+    #[inline]
+    pub const fn from_u128(lo: u128) -> Self {
+        U256 { hi: 0, lo }
+    }
+
+    /// Returns the high 128-bit limb.
+    #[inline]
+    pub const fn high(self) -> u128 {
+        self.hi
+    }
+
+    /// Returns the low 128-bit limb.
+    #[inline]
+    pub const fn low(self) -> u128 {
+        self.lo
+    }
+
+    /// Returns `true` if the value is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.hi == 0 && self.lo == 0
+    }
+
+    /// Returns the number of bits required to represent the value
+    /// (0 for zero).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use problp_num::U256;
+    ///
+    /// assert_eq!(U256::ZERO.bit_len(), 0);
+    /// assert_eq!(U256::from_u128(1).bit_len(), 1);
+    /// assert_eq!(U256::new(1, 0).bit_len(), 129);
+    /// ```
+    #[inline]
+    pub const fn bit_len(self) -> u32 {
+        if self.hi != 0 {
+            256 - self.hi.leading_zeros()
+        } else {
+            128 - self.lo.leading_zeros()
+        }
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    #[inline]
+    pub const fn bit(self, i: u32) -> bool {
+        assert!(i < 256, "bit index out of range");
+        if i < 128 {
+            (self.lo >> i) & 1 == 1
+        } else {
+            (self.hi >> (i - 128)) & 1 == 1
+        }
+    }
+
+    /// Full 256-bit product of two 128-bit integers.
+    pub fn widening_mul(a: u128, b: u128) -> U256 {
+        const MASK: u128 = (1u128 << 64) - 1;
+        let (a_hi, a_lo) = (a >> 64, a & MASK);
+        let (b_hi, b_lo) = (b >> 64, b & MASK);
+
+        let ll = a_lo * b_lo; // weight 2^0
+        let lh = a_lo * b_hi; // weight 2^64
+        let hl = a_hi * b_lo; // weight 2^64
+        let hh = a_hi * b_hi; // weight 2^128
+
+        let (mid, mid_carry) = lh.overflowing_add(hl);
+        let (lo, lo_carry) = ll.overflowing_add(mid << 64);
+        let hi = hh
+            .wrapping_add(mid >> 64)
+            .wrapping_add((mid_carry as u128) << 64)
+            .wrapping_add(lo_carry as u128);
+        U256 { hi, lo }
+    }
+
+    /// Checked addition; `None` on overflow past 256 bits.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        let (lo, carry) = self.lo.overflowing_add(rhs.lo);
+        let (hi, c1) = self.hi.overflowing_add(rhs.hi);
+        let (hi, c2) = hi.overflowing_add(carry as u128);
+        if c1 || c2 {
+            None
+        } else {
+            Some(U256 { hi, lo })
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        if rhs > self {
+            return None;
+        }
+        let (lo, borrow) = self.lo.overflowing_sub(rhs.lo);
+        let hi = self.hi - rhs.hi - borrow as u128;
+        Some(U256 { hi, lo })
+    }
+
+    /// Checked left shift; `None` if any set bit would be shifted out.
+    pub fn checked_shl(self, k: u32) -> Option<U256> {
+        if k == 0 {
+            return Some(self);
+        }
+        if k >= 256 {
+            return if self.is_zero() { Some(self) } else { None };
+        }
+        if self.bit_len() + k > 256 {
+            return None;
+        }
+        Some(self.wrapping_shl(k))
+    }
+
+    fn wrapping_shl(self, k: u32) -> U256 {
+        debug_assert!(k < 256);
+        if k == 0 {
+            self
+        } else if k < 128 {
+            U256 {
+                hi: (self.hi << k) | (self.lo >> (128 - k)),
+                lo: self.lo << k,
+            }
+        } else {
+            U256 {
+                hi: self.lo << (k - 128),
+                lo: 0,
+            }
+        }
+    }
+
+    /// Logical right shift (bits shifted out are discarded).
+    ///
+    /// Named like the `Shr` trait method on purpose: unlike `>>` on
+    /// primitives it accepts shifts of 256 and beyond (returning zero).
+    #[allow(clippy::should_implement_trait)]
+    pub fn shr(self, k: u32) -> U256 {
+        if k == 0 {
+            self
+        } else if k >= 256 {
+            U256::ZERO
+        } else if k < 128 {
+            U256 {
+                hi: self.hi >> k,
+                lo: (self.lo >> k) | (self.hi << (128 - k)),
+            }
+        } else {
+            U256 {
+                hi: 0,
+                lo: self.hi >> (k - 128),
+            }
+        }
+    }
+
+    /// The low `k` bits of the value (`k <= 256`).
+    pub fn low_bits(self, k: u32) -> U256 {
+        if k == 0 {
+            U256::ZERO
+        } else if k >= 256 {
+            self
+        } else if k <= 128 {
+            U256 {
+                hi: 0,
+                lo: if k == 128 {
+                    self.lo
+                } else {
+                    self.lo & ((1u128 << k) - 1)
+                },
+            }
+        } else {
+            U256 {
+                hi: self.hi & ((1u128 << (k - 128)) - 1),
+                lo: self.lo,
+            }
+        }
+    }
+
+    /// Converts to `u128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in 128 bits.
+    #[inline]
+    pub fn to_u128(self) -> u128 {
+        assert_eq!(self.hi, 0, "U256 value does not fit in u128");
+        self.lo
+    }
+
+    /// Shifts right by `k` bits, rounding to nearest with ties to even.
+    ///
+    /// `extra_sticky` marks additional value strictly below the LSB of
+    /// `self` (as produced by a previous truncation); it participates in the
+    /// tie-breaking decision. Returns the rounded value and whether any
+    /// precision was lost (`inexact`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rounded result does not fit in 128 bits.
+    pub fn round_shr_rne(self, k: u32, extra_sticky: bool) -> (u128, bool) {
+        if k == 0 {
+            return (self.to_u128(), extra_sticky);
+        }
+        if k >= 256 {
+            // Everything is fractional; value in [0, 1).
+            let half_up = self.bit(255) && k == 256;
+            // For k > 256 the value is < 1/2: round down.
+            let inexact = !self.is_zero() || extra_sticky;
+            if half_up {
+                // Tie or above-half cases with k == 256.
+                let below = !self.low_bits(255).is_zero() || extra_sticky;
+                let up = below; // exactly half rounds to even = 0
+                return (up as u128, inexact);
+            }
+            return (0, inexact);
+        }
+        let q = self.shr(k);
+        let rem = self.low_bits(k);
+        let half = U256::from_u128(1).wrapping_shl(k - 1);
+        let inexact = !rem.is_zero() || extra_sticky;
+        let round_up = match rem.cmp(&half) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => extra_sticky || q.bit(0),
+        };
+        let rounded = if round_up {
+            q.checked_add(U256::from_u128(1))
+                .expect("rounding carry overflowed 256 bits")
+        } else {
+            q
+        };
+        (rounded.to_u128(), inexact)
+    }
+
+    /// Shifts right by `k` bits, rounding half-up (adds half, truncates).
+    ///
+    /// This matches the cheap `(x + (1 << (k - 1))) >> k` hardware idiom
+    /// ProbLP emits for fixed-point multipliers. Returns the rounded value
+    /// and the `inexact` indication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rounded result does not fit in 128 bits.
+    pub fn round_shr_half_up(self, k: u32) -> (u128, bool) {
+        if k == 0 {
+            return (self.to_u128(), false);
+        }
+        let inexact = !self.low_bits(k.min(256)).is_zero();
+        if k >= 257 {
+            // value / 2^k < 2^256 / 2^257 = 1/2: rounds down to zero.
+            return (0, inexact);
+        }
+        if k == 256 {
+            // Rounds up exactly when the value is >= 2^255.
+            return (self.bit(255) as u128, inexact);
+        }
+        let half = U256::from_u128(1).wrapping_shl(k - 1);
+        let sum = self
+            .checked_add(half)
+            .expect("half-up rounding overflowed 256 bits");
+        (sum.shr(k).to_u128(), inexact)
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256::from_u128(v)
+    }
+}
+
+impl std::fmt::Debug for U256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.hi == 0 {
+            write!(f, "U256(0x{:x})", self.lo)
+        } else {
+            write!(f, "U256(0x{:x}_{:032x})", self.hi, self.lo)
+        }
+    }
+}
+
+impl std::fmt::Display for U256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.hi == 0 {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "0x{:x}{:032x}", self.hi, self.lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_mul_small() {
+        assert_eq!(U256::widening_mul(3, 4), U256::from_u128(12));
+        assert_eq!(U256::widening_mul(0, u128::MAX), U256::ZERO);
+    }
+
+    #[test]
+    fn widening_mul_large() {
+        // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+        let p = U256::widening_mul(u128::MAX, u128::MAX);
+        assert_eq!(p, U256::new(u128::MAX - 1, 1));
+    }
+
+    #[test]
+    fn widening_mul_cross_terms() {
+        // (2^64 + 1) * (2^64 + 3) = 2^128 + 4*2^64 + 3
+        let a = (1u128 << 64) + 1;
+        let b = (1u128 << 64) + 3;
+        assert_eq!(U256::widening_mul(a, b), U256::new(1, (4u128 << 64) + 3));
+    }
+
+    #[test]
+    fn bit_len_spans_limbs() {
+        assert_eq!(U256::from_u128(u128::MAX).bit_len(), 128);
+        assert_eq!(U256::new(1, 0).bit_len(), 129);
+        assert_eq!(U256::new(u128::MAX, u128::MAX).bit_len(), 256);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let v = U256::from_u128(0xDEAD_BEEF);
+        for k in [0u32, 1, 63, 64, 127, 128, 200] {
+            let shifted = v.checked_shl(k).unwrap();
+            assert_eq!(shifted.shr(k), v, "k={k}");
+        }
+    }
+
+    #[test]
+    fn checked_shl_detects_loss() {
+        let v = U256::new(1 << 100, 0);
+        assert!(v.checked_shl(28).is_none());
+        assert!(v.checked_shl(27).is_some());
+    }
+
+    #[test]
+    fn sub_and_add() {
+        let a = U256::new(5, 0);
+        let b = U256::from_u128(1);
+        let c = a.checked_sub(b).unwrap();
+        assert_eq!(c, U256::new(4, u128::MAX));
+        assert_eq!(c.checked_add(b).unwrap(), a);
+        assert!(b.checked_sub(a).is_none());
+    }
+
+    #[test]
+    fn rne_rounds_to_even_on_ties() {
+        // 0b101 >> 1 : rem = 1 = half, q = 0b10 (even) -> stays 2
+        assert_eq!(U256::from_u128(0b101).round_shr_rne(1, false), (0b10, true));
+        // 0b111 >> 1 : rem = 1 = half, q = 0b11 (odd) -> rounds up to 4
+        assert_eq!(U256::from_u128(0b111).round_shr_rne(1, false), (0b100, true));
+        // sticky breaks the tie upward
+        assert_eq!(U256::from_u128(0b101).round_shr_rne(1, true), (0b11, true));
+        // exact
+        assert_eq!(U256::from_u128(0b100).round_shr_rne(2, false), (1, false));
+    }
+
+    #[test]
+    fn rne_above_and_below_half() {
+        // rem = 0b01 < half(0b10): down
+        assert_eq!(U256::from_u128(0b1001).round_shr_rne(2, false), (0b10, true));
+        // rem = 0b11 > half: up
+        assert_eq!(U256::from_u128(0b1011).round_shr_rne(2, false), (0b11, true));
+    }
+
+    #[test]
+    fn half_up_matches_hardware_idiom() {
+        // (x + half) >> k
+        for x in 0u128..64 {
+            let (got, _) = U256::from_u128(x).round_shr_half_up(3);
+            assert_eq!(got, (x + 4) >> 3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn low_bits_extracts() {
+        let v = U256::new(0xFF, 0x1234);
+        assert_eq!(v.low_bits(16), U256::from_u128(0x1234));
+        assert_eq!(v.low_bits(130), U256::new(0x3, 0x1234));
+        assert_eq!(v.low_bits(0), U256::ZERO);
+    }
+
+    #[test]
+    fn bit_indexing() {
+        let v = U256::new(0b10, 0b1);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(129));
+        assert!(!v.bit(128));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(U256::new(1, 0) > U256::from_u128(u128::MAX));
+        assert!(U256::new(1, 5) > U256::new(1, 4));
+    }
+}

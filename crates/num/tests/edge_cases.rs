@@ -1,0 +1,191 @@
+//! Edge-case tests for the arithmetic substrate: range boundaries,
+//! rounding at binade edges, saturation behaviour and flag semantics.
+
+use problp_num::{Fixed, FixedFormat, FixedRounding, Flags, FloatFormat, LpFloat};
+
+fn fl(e: u32, m: u32) -> FloatFormat {
+    FloatFormat::new(e, m).unwrap()
+}
+
+fn fx(i: u32, f: u32) -> FixedFormat {
+    FixedFormat::new(i, f).unwrap()
+}
+
+#[test]
+fn float_overflow_happens_exactly_past_max_finite() {
+    let format = fl(4, 3); // bias 7, max exponent 7, max finite (2-2^-3)*2^7 = 240
+    let mut flags = Flags::default();
+    assert_eq!(format.max_finite(), 240.0);
+    let v = LpFloat::from_f64(240.0, format, &mut flags);
+    assert!(v.is_normal());
+    assert!(!flags.overflow);
+    // The rounding boundary: values < 248 round down to 240; >= 248
+    // round up and overflow.
+    let v = LpFloat::from_f64(247.9, format, &mut flags);
+    assert_eq!(v.to_f64(), 240.0);
+    assert!(!flags.overflow);
+    let v = LpFloat::from_f64(248.0, format, &mut flags);
+    assert!(v.is_infinite());
+    assert!(flags.overflow);
+}
+
+#[test]
+fn float_underflow_happens_below_half_min_normal() {
+    let format = fl(4, 3); // min normal 2^-6
+    let min = format.min_positive();
+    let mut flags = Flags::default();
+    let v = LpFloat::from_f64(min, format, &mut flags);
+    assert!(v.is_normal());
+    assert!(!flags.underflow);
+    // Values rounding to below min normal flush to zero.
+    let v = LpFloat::from_f64(min * 0.49, format, &mut flags);
+    assert!(v.is_zero());
+    assert!(flags.underflow);
+}
+
+#[test]
+fn float_addition_can_overflow() {
+    let format = fl(4, 3);
+    let mut flags = Flags::default();
+    let max = LpFloat::max_finite(format);
+    let sum = max.add(&max, &mut flags);
+    assert!(sum.is_infinite());
+    assert!(flags.overflow);
+}
+
+#[test]
+fn float_multiplication_can_underflow() {
+    let format = fl(4, 3);
+    let mut flags = Flags::default();
+    let tiny = LpFloat::min_positive(format);
+    let prod = tiny.mul(&tiny, &mut flags);
+    assert!(prod.is_zero());
+    assert!(flags.underflow);
+}
+
+#[test]
+fn rounding_at_binade_boundary_carries_into_the_exponent() {
+    // 1.111|1 rounds to 10.00 -> 2.0 with exponent bump.
+    let format = fl(5, 3);
+    let mut flags = Flags::default();
+    let v = LpFloat::from_f64(1.9688, format, &mut flags); // just above 1.9375+half ulp
+    assert_eq!(v.to_f64(), 2.0);
+}
+
+#[test]
+fn subtraction_cancellation_normalizes_far_left() {
+    // (1 + 2^-M) - 1 = 2^-M: full cancellation down to one bit.
+    let format = fl(8, 6);
+    let mut flags = Flags::default();
+    let one_plus = LpFloat::from_parts(false, 0, (1 << 6) | 1, format);
+    let one = LpFloat::one(format);
+    let d = one_plus.sub(&one, &mut flags);
+    assert_eq!(d.to_f64(), 2.0_f64.powi(-6));
+    assert!(!flags.inexact, "Sterbenz-range subtraction is exact");
+}
+
+#[test]
+fn fixed_saturation_is_sticky_and_maximal() {
+    let format = fx(2, 6);
+    let mut flags = Flags::default();
+    let big = Fixed::from_f64(3.9, format, &mut flags);
+    let sum = big.add(&big, &mut flags);
+    assert!(flags.overflow);
+    assert_eq!(sum, Fixed::max_value(format));
+    // Flags stay raised.
+    let small = Fixed::from_f64(0.1, format, &mut flags);
+    let _ = small.add(&small, &mut flags);
+    assert!(flags.overflow, "flags are sticky");
+}
+
+#[test]
+fn fixed_mul_rounding_modes_bracket_the_exact_product() {
+    let format = fx(1, 6);
+    let mut flags = Flags::default();
+    for i in 1..60u128 {
+        for j in 1..60u128 {
+            let a = Fixed::from_raw(i, format).unwrap();
+            let b = Fixed::from_raw(j, format).unwrap();
+            let exact = a.to_f64() * b.to_f64();
+            let up = a.mul_with(&b, FixedRounding::HalfUp, &mut flags).to_f64();
+            let tr = a.mul_with(&b, FixedRounding::Truncate, &mut flags).to_f64();
+            assert!(tr <= exact + 1e-12, "truncation is one-sided");
+            assert!(tr <= up, "truncation never exceeds half-up");
+            assert!((up - exact).abs() <= format.conversion_error_bound() + 1e-15);
+        }
+    }
+}
+
+#[test]
+fn one_ulp_steps_are_preserved_by_conversion() {
+    let format = fx(1, 10);
+    let mut flags = Flags::default();
+    for raw in [0u128, 1, 2, 1023, 1024, 2047] {
+        let v = Fixed::from_raw(raw, format).unwrap();
+        let back = Fixed::from_f64(v.to_f64(), format, &mut flags);
+        assert_eq!(back.raw(), raw, "exact grid values roundtrip");
+    }
+    assert!(!flags.inexact);
+}
+
+#[test]
+fn float_formats_at_the_width_limits_work() {
+    // The widest supported float format.
+    let format = fl(20, 107);
+    let mut flags = Flags::default();
+    let a = LpFloat::from_f64(1.0 / 3.0, format, &mut flags);
+    let b = LpFloat::from_f64(3.0, format, &mut flags);
+    let p = a.mul(&b, &mut flags);
+    let rel = (p.to_f64() - 1.0).abs();
+    assert!(rel < 1e-15);
+    // The narrowest: E = 2 gives bias 1 and normal exponents {0, 1}.
+    let format = fl(2, 1);
+    let v = LpFloat::from_f64(1.5, format, &mut flags);
+    assert!(v.is_normal());
+    assert_eq!(v.to_f64(), 1.5); // 1.1 * 2^0
+    // Below the minimum normal magnitude flushes to zero.
+    let mut local = Flags::default();
+    let v = LpFloat::from_f64(0.4, format, &mut local);
+    assert!(v.is_zero());
+    assert!(local.underflow);
+}
+
+#[test]
+fn fixed_formats_at_the_width_limits_work() {
+    let format = fx(1, 126);
+    let mut flags = Flags::default();
+    let a = Fixed::from_f64(0.3, format, &mut flags);
+    let b = Fixed::from_f64(0.2, format, &mut flags);
+    let p = a.mul(&b, &mut flags);
+    assert!((p.to_f64() - 0.06).abs() < 1e-15);
+    let s = a.add(&b, &mut flags);
+    assert!((s.to_f64() - 0.5).abs() < 1e-15);
+    assert!(!flags.overflow);
+}
+
+#[test]
+fn nan_propagates_through_chains() {
+    let format = fl(6, 6);
+    let mut flags = Flags::default();
+    let nan = LpFloat::nan(format);
+    let one = LpFloat::one(format);
+    assert!(nan.add(&one, &mut flags).is_nan());
+    assert!(nan.mul(&one, &mut flags).is_nan());
+    assert!(nan.div(&one, &mut flags).is_nan());
+    assert!(nan.sub(&one, &mut flags).is_nan());
+    assert!(one.max(&nan).is_nan());
+    assert!(one.min(&nan).is_nan());
+}
+
+#[test]
+fn signed_arithmetic_handles_mixed_signs() {
+    let format = fl(8, 10);
+    let mut flags = Flags::default();
+    let a = LpFloat::from_f64(1.5, format, &mut flags);
+    let b = LpFloat::from_f64(-2.25, format, &mut flags);
+    assert_eq!(a.add(&b, &mut flags).to_f64(), -0.75);
+    assert_eq!(a.mul(&b, &mut flags).to_f64(), -3.375);
+    assert_eq!(b.abs().to_f64(), 2.25);
+    assert_eq!(b.neg().to_f64(), 2.25);
+    assert_eq!(a.sub(&b, &mut flags).to_f64(), 3.75);
+}

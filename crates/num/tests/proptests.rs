@@ -1,0 +1,278 @@
+//! Property-based tests for the low-precision arithmetic substrate.
+//!
+//! The central properties:
+//!
+//! * the soft-float matches hardware IEEE 754 bit-for-bit at IEEE widths,
+//! * every operation respects the paper's per-operation error models,
+//! * rounded arithmetic is *monotone* on non-negative values — the property
+//!   that makes ProbLP's max-value analysis (paper §3.1.1) sound.
+
+use proptest::prelude::*;
+use problp_num::{Arith, Fixed, FixedArith, FixedFormat, Flags, FloatFormat, LpFloat, U256};
+
+/// Strategy for f32 values whose magnitude stays well inside the normal
+/// range, so operations never hit subnormals (we flush to zero; IEEE does
+/// not).
+fn normal_f32() -> impl Strategy<Value = f32> {
+    (any::<i8>(), 1.0f32..2.0f32).prop_map(|(e, m)| m * (e as f32 / 4.0).exp2())
+}
+
+/// Strategy for positive probabilities in (0, 1].
+fn probability() -> impl Strategy<Value = f64> {
+    (1e-6f64..=1.0f64).prop_map(|x| x)
+}
+
+fn single(x: f32) -> LpFloat {
+    let mut flags = Flags::default();
+    LpFloat::from_f64(x as f64, FloatFormat::ieee_single(), &mut flags)
+}
+
+proptest! {
+    #[test]
+    fn softfloat_single_conversion_matches_f32(x in any::<f64>()) {
+        prop_assume!(x.is_finite());
+        let hw = x as f32;
+        prop_assume!(hw.is_normal() || hw == 0.0);
+        // Skip doubles that are subnormal-f32-range (we flush to zero).
+        let mut flags = Flags::default();
+        let soft = LpFloat::from_f64(x, FloatFormat::ieee_single(), &mut flags);
+        prop_assert_eq!(soft.to_f64(), hw as f64);
+    }
+
+    #[test]
+    fn softfloat_single_add_matches_f32(a in normal_f32(), b in normal_f32()) {
+        let hw = a + b;
+        prop_assume!(hw.is_normal() || hw == 0.0);
+        let mut flags = Flags::default();
+        let got = single(a).add(&single(b), &mut flags);
+        prop_assert_eq!(got.to_f64(), hw as f64, "a={} b={}", a, b);
+    }
+
+    #[test]
+    fn softfloat_single_sub_matches_f32(a in normal_f32(), b in normal_f32()) {
+        let hw = a - b;
+        prop_assume!(hw.is_normal() || hw == 0.0);
+        let mut flags = Flags::default();
+        let got = single(a).sub(&single(b), &mut flags);
+        prop_assert_eq!(got.to_f64(), hw as f64, "a={} b={}", a, b);
+    }
+
+    #[test]
+    fn softfloat_single_mul_matches_f32(a in normal_f32(), b in normal_f32()) {
+        let hw = a * b;
+        prop_assume!(hw.is_normal() || hw == 0.0);
+        let mut flags = Flags::default();
+        let got = single(a).mul(&single(b), &mut flags);
+        prop_assert_eq!(got.to_f64(), hw as f64, "a={} b={}", a, b);
+    }
+
+    #[test]
+    fn softfloat_single_div_matches_f32(a in normal_f32(), b in normal_f32()) {
+        prop_assume!(b != 0.0);
+        let hw = a / b;
+        prop_assume!(hw.is_normal() || hw == 0.0);
+        let mut flags = Flags::default();
+        let got = single(a).div(&single(b), &mut flags);
+        prop_assert_eq!(got.to_f64(), hw as f64, "a={} b={}", a, b);
+    }
+
+    #[test]
+    fn softfloat_double_roundtrips_f64(x in any::<f64>()) {
+        prop_assume!(x.is_normal() || x == 0.0);
+        let mut flags = Flags::default();
+        let soft = LpFloat::from_f64(x, FloatFormat::ieee_double(), &mut flags);
+        prop_assert_eq!(soft.to_f64(), x);
+        prop_assert!(!flags.inexact);
+    }
+
+    #[test]
+    fn softfloat_double_ops_match_f64(a in 1e-100f64..1e100, b in 1e-100f64..1e100) {
+        let mut flags = Flags::default();
+        let fmt = FloatFormat::ieee_double();
+        let sa = LpFloat::from_f64(a, fmt, &mut flags);
+        let sb = LpFloat::from_f64(b, fmt, &mut flags);
+        prop_assert_eq!(sa.add(&sb, &mut flags).to_f64(), a + b);
+        prop_assert_eq!(sa.mul(&sb, &mut flags).to_f64(), a * b);
+        prop_assert_eq!(sa.div(&sb, &mut flags).to_f64(), a / b);
+        prop_assert_eq!(sa.sub(&sb, &mut flags).to_f64(), a - b);
+    }
+
+    #[test]
+    fn float_ops_obey_epsilon_model(
+        a in probability(),
+        b in probability(),
+        m in 4u32..40,
+    ) {
+        // Paper eqs. (9) and (11): one (1 ± ε) factor per operation on
+        // already-representable inputs.
+        let fmt = FloatFormat::new(10, m).unwrap();
+        let eps = fmt.epsilon();
+        let mut flags = Flags::default();
+        let sa = LpFloat::from_f64(a, fmt, &mut flags);
+        let sb = LpFloat::from_f64(b, fmt, &mut flags);
+        let (ra, rb) = (sa.to_f64(), sb.to_f64());
+
+        let sum = sa.add(&sb, &mut flags).to_f64();
+        let exact_sum = ra + rb;
+        prop_assert!((sum - exact_sum).abs() <= eps * exact_sum.abs() * 1.0000001);
+
+        let prod = sa.mul(&sb, &mut flags).to_f64();
+        let exact_prod = ra * rb;
+        prop_assert!((prod - exact_prod).abs() <= eps * exact_prod.abs() * 1.0000001);
+        prop_assert!(!flags.range_violation());
+    }
+
+    #[test]
+    fn float_conversion_obeys_epsilon_model(x in probability(), m in 1u32..60) {
+        let fmt = FloatFormat::new(10, m).unwrap();
+        let mut flags = Flags::default();
+        let v = LpFloat::from_f64(x, fmt, &mut flags).to_f64();
+        prop_assert!(((v - x) / x).abs() <= fmt.epsilon());
+    }
+
+    #[test]
+    fn fixed_conversion_obeys_half_ulp_model(x in 0.0f64..1.0, f in 1u32..60) {
+        // Paper eq. (2): |Δa| <= 2^-(F+1).
+        let fmt = FixedFormat::new(1, f).unwrap();
+        let mut flags = Flags::default();
+        let v = Fixed::from_f64(x, fmt, &mut flags).to_f64();
+        prop_assert!((v - x).abs() <= fmt.conversion_error_bound());
+    }
+
+    #[test]
+    fn fixed_add_is_exact(a in 0.0f64..0.5, b in 0.0f64..0.5, f in 1u32..50) {
+        // Paper eq. (3): adders add no error of their own.
+        let fmt = FixedFormat::new(1, f).unwrap();
+        let mut flags = Flags::default();
+        let fa = Fixed::from_f64(a, fmt, &mut flags);
+        let fb = Fixed::from_f64(b, fmt, &mut flags);
+        let sum = fa.add(&fb, &mut flags);
+        prop_assert_eq!(sum.raw(), fa.raw() + fb.raw());
+        prop_assert!(!flags.overflow);
+    }
+
+    #[test]
+    fn fixed_mul_obeys_half_ulp_model(a in 0.0f64..1.0, b in 0.0f64..1.0, f in 1u32..50) {
+        // Paper eq. (4): rounding the exact product costs at most 2^-(F+1).
+        let fmt = FixedFormat::new(1, f).unwrap();
+        let mut flags = Flags::default();
+        let fa = Fixed::from_f64(a, fmt, &mut flags);
+        let fb = Fixed::from_f64(b, fmt, &mut flags);
+        let exact = fa.to_f64() * fb.to_f64();
+        let got = fa.mul(&fb, &mut flags).to_f64();
+        prop_assert!((got - exact).abs() <= fmt.conversion_error_bound() * 1.0000001,
+            "a={} b={} exact={} got={}", a, b, exact, got);
+    }
+
+    #[test]
+    fn fixed_ops_are_monotone(
+        a in 0.0f64..0.9,
+        a2 in 0.0f64..0.9,
+        b in 0.0f64..0.9,
+        f in 1u32..40,
+    ) {
+        // Monotonicity of rounded arithmetic on non-negative values is what
+        // makes the all-indicators-one evaluation an upper bound for every
+        // node (paper §3.1.1).
+        let fmt = FixedFormat::new(1, f).unwrap();
+        let mut flags = Flags::default();
+        let (lo, hi) = if a <= a2 { (a, a2) } else { (a2, a) };
+        let flo = Fixed::from_f64(lo, fmt, &mut flags);
+        let fhi = Fixed::from_f64(hi, fmt, &mut flags);
+        let fb = Fixed::from_f64(b, fmt, &mut flags);
+        prop_assert!(flo.add(&fb, &mut flags).raw() <= fhi.add(&fb, &mut flags).raw());
+        prop_assert!(flo.mul(&fb, &mut flags).raw() <= fhi.mul(&fb, &mut flags).raw());
+    }
+
+    #[test]
+    fn float_ops_are_monotone(
+        a in 1e-5f64..1.0,
+        a2 in 1e-5f64..1.0,
+        b in 1e-5f64..1.0,
+        m in 2u32..30,
+    ) {
+        let fmt = FloatFormat::new(10, m).unwrap();
+        let mut flags = Flags::default();
+        let (lo, hi) = if a <= a2 { (a, a2) } else { (a2, a) };
+        let flo = LpFloat::from_f64(lo, fmt, &mut flags);
+        let fhi = LpFloat::from_f64(hi, fmt, &mut flags);
+        let fb = LpFloat::from_f64(b, fmt, &mut flags);
+        let sum_lo = flo.add(&fb, &mut flags);
+        let sum_hi = fhi.add(&fb, &mut flags);
+        prop_assert!(sum_lo <= sum_hi);
+        let prod_lo = flo.mul(&fb, &mut flags);
+        let prod_hi = fhi.mul(&fb, &mut flags);
+        prop_assert!(prod_lo <= prod_hi);
+    }
+
+    #[test]
+    fn float_add_mul_commute(a in probability(), b in probability(), m in 2u32..40) {
+        let fmt = FloatFormat::new(10, m).unwrap();
+        let mut flags = Flags::default();
+        let sa = LpFloat::from_f64(a, fmt, &mut flags);
+        let sb = LpFloat::from_f64(b, fmt, &mut flags);
+        prop_assert_eq!(sa.add(&sb, &mut flags), sb.add(&sa, &mut flags));
+        prop_assert_eq!(sa.mul(&sb, &mut flags), sb.mul(&sa, &mut flags));
+    }
+
+    #[test]
+    fn fixed_add_mul_commute(a in 0.0f64..0.9, b in 0.0f64..0.9, f in 1u32..50) {
+        let fmt = FixedFormat::new(1, f).unwrap();
+        let mut flags = Flags::default();
+        let fa = Fixed::from_f64(a, fmt, &mut flags);
+        let fb = Fixed::from_f64(b, fmt, &mut flags);
+        prop_assert_eq!(fa.add(&fb, &mut flags), fb.add(&fa, &mut flags));
+        prop_assert_eq!(fa.mul(&fb, &mut flags), fb.mul(&fa, &mut flags));
+    }
+
+    #[test]
+    fn float_bits_roundtrip(x in 1e-30f64..1e30, e in 4u32..16, m in 2u32..50) {
+        let fmt = FloatFormat::new(e, m).unwrap();
+        let mut flags = Flags::default();
+        let v = LpFloat::from_f64(x, fmt, &mut flags);
+        prop_assume!(v.is_normal());
+        prop_assert_eq!(LpFloat::from_bits(v.to_bits(), fmt), v);
+    }
+
+    #[test]
+    fn wide_mul_matches_native_on_64bit(a in any::<u64>(), b in any::<u64>()) {
+        let p = U256::widening_mul(a as u128, b as u128);
+        prop_assert_eq!(p.high(), 0);
+        prop_assert_eq!(p.low(), (a as u128) * (b as u128));
+    }
+
+    #[test]
+    fn wide_mul_shift_roundtrip(a in any::<u128>(), k in 0u32..128) {
+        let v = U256::from_u128(a);
+        if let Some(s) = v.checked_shl(k) {
+            prop_assert_eq!(s.shr(k), v);
+        }
+    }
+
+    #[test]
+    fn rne_is_within_half_ulp(x in any::<u128>(), k in 1u32..100) {
+        let (q, inexact) = U256::from_u128(x).round_shr_rne(k, false);
+        // |q * 2^k - x| <= 2^(k-1)
+        let back = U256::from_u128(q).checked_shl(k).unwrap();
+        let diff = if back >= U256::from_u128(x) {
+            back.checked_sub(U256::from_u128(x)).unwrap()
+        } else {
+            U256::from_u128(x).checked_sub(back).unwrap()
+        };
+        let half = U256::from_u128(1).checked_shl(k - 1).unwrap();
+        prop_assert!(diff <= half);
+        prop_assert_eq!(inexact, !U256::from_u128(x).low_bits(k).is_zero());
+    }
+
+    #[test]
+    fn fixed_arith_context_matches_direct_ops(a in 0.0f64..0.9, b in 0.0f64..0.9) {
+        let fmt = FixedFormat::new(1, 12).unwrap();
+        let mut ctx = FixedArith::new(fmt);
+        let va = ctx.from_f64(a);
+        let vb = ctx.from_f64(b);
+        let via_ctx = ctx.add(&va, &vb);
+        let mut flags = Flags::default();
+        let direct = va.add(&vb, &mut flags);
+        prop_assert_eq!(via_ctx, direct);
+    }
+}

@@ -1,0 +1,110 @@
+//! Smartphone activity recognition with low-precision inference hardware.
+//!
+//! ```text
+//! cargo run --release --example activity_recognition
+//! ```
+//!
+//! The scenario of the paper's introduction: a smartphone classifier
+//! evaluates `Pr(Activity | sensors)` and acts only when the probability
+//! clears a threshold (0.60). Tolerating ±0.01 of output error only
+//! affects decisions in the 0.59–0.61 band while enabling much cheaper
+//! hardware.
+//!
+//! This example trains a naive-Bayes activity classifier on the HAR-like
+//! synthetic dataset, runs ProbLP for a conditional query with absolute
+//! tolerance 0.01, and measures how many threshold decisions change.
+
+use problp::bounds::BoundsError;
+use problp::prelude::*;
+
+const THRESHOLD: f64 = 0.60;
+const TEST_INSTANCES: usize = 150;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = problp::data::har_benchmark(42);
+    println!("benchmark: {bench}");
+
+    let circuit = compile(&bench.net)?;
+    let binarized = problp::ac::transform::binarize(&circuit)?;
+    println!("compiled AC: {}\n", binarized.stats());
+
+    let report = Problp::new(&circuit)
+        .query(QueryType::Conditional)
+        .tolerance(Tolerance::Absolute(0.01))
+        .skip_rtl()
+        .run()?;
+    println!("{report}\n");
+
+    // The paper's Table 2 (HAR, cond. prob.): fixed point needs more than
+    // 64 fraction bits, so float must be selected.
+    if let Some(BoundsError::ToleranceUnreachable { max_bits, .. }) = &report.fixed_failure {
+        println!("fixed point needs >{max_bits} fraction bits here -> float selected\n");
+    }
+
+    // Measure the real effect on threshold decisions.
+    let evidences = &bench.test_evidence[..TEST_INSTANCES.min(bench.test_len())];
+    let stats = measure_errors(
+        &binarized,
+        report.selected.repr,
+        QueryType::Conditional,
+        bench.query_var,
+        evidences,
+    )?;
+    println!("observed conditional error: {stats}");
+    assert!(
+        stats.max_abs <= 0.01,
+        "observed error exceeded the guarantee"
+    );
+
+    // Count decision flips around the threshold.
+    let mut exact_ctx = F64Arith::new();
+    let mut flips = 0usize;
+    let mut near_band = 0usize;
+    let classes = bench.net.variable(bench.query_var).arity();
+    for e in evidences {
+        let den = binarized.evaluate(e)?;
+        for s in 0..classes {
+            let mut with_q = e.clone();
+            with_q.observe(bench.query_var, s);
+            let exact = binarized.evaluate(&with_q)? / den;
+            let approx = match report.selected.repr {
+                Representation::Fixed(f) => {
+                    let mut ctx = FixedArith::new(f);
+                    let n = binarized.evaluate_with(&mut ctx, &with_q, Semiring::SumProduct)?;
+                    let d = binarized.evaluate_with(&mut ctx, e, Semiring::SumProduct)?;
+                    ctx.to_f64(&n) / ctx.to_f64(&d)
+                }
+                Representation::Float(f) => {
+                    let mut ctx = FloatArith::new(f);
+                    let n = binarized.evaluate_with(&mut ctx, &with_q, Semiring::SumProduct)?;
+                    let d = binarized.evaluate_with(&mut ctx, e, Semiring::SumProduct)?;
+                    ctx.to_f64(&n) / ctx.to_f64(&d)
+                }
+            };
+            if (exact - THRESHOLD).abs() < 0.01 {
+                near_band += 1;
+            }
+            if (exact >= THRESHOLD) != (approx >= THRESHOLD) {
+                flips += 1;
+            }
+        }
+    }
+    let _ = &mut exact_ctx;
+    println!(
+        "threshold decisions: {} outputs, {} inside the 0.59-0.61 band, {} flipped",
+        evidences.len() * classes,
+        near_band,
+        flips
+    );
+    assert!(
+        flips <= near_band,
+        "flips can only happen inside the tolerance band"
+    );
+    println!(
+        "\nenergy: {:.3} nJ/eval selected vs {:.3} nJ/eval for 32b float ({:.2}x saving)",
+        report.selected.energy.total_nj(),
+        report.baseline_float32_nj,
+        report.saving_vs_float32()
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Patient monitoring on the ALARM network: validating error bounds.
+//!
+//! ```text
+//! cargo run --release --example alarm_monitoring
+//! ```
+//!
+//! The Alarm network (Beinlich et al. 1989) is the paper's standard
+//! mid-size benchmark. This example reproduces the flavour of Figure 5(a)
+//! at example scale: it sweeps fixed-point fraction bits, printing the
+//! analytical bound next to the worst error observed on sampled patient
+//! records — the bound must always dominate.
+
+use problp::bounds::{fixed_query_bound, AcAnalysis};
+use problp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = problp::data::alarm_benchmark(7, 120);
+    println!("benchmark: {bench}");
+
+    let circuit = compile(&bench.net)?;
+    let binarized = problp::ac::transform::binarize(&circuit)?;
+    let analysis = AcAnalysis::new(&binarized)?;
+    println!("compiled AC: {}", binarized.stats());
+    println!(
+        "value range: max {:.3e}, min positive {:.3e}\n",
+        analysis.global_max(),
+        analysis.global_min_positive()
+    );
+
+    println!("{:>5} | {:>12} | {:>12} | {:>12}", "F", "bound", "max obs.", "mean obs.");
+    println!("{}", "-".repeat(52));
+    for frac in [8u32, 12, 16, 20, 24, 28] {
+        let format = FixedFormat::new(1, frac)?;
+        let bound = fixed_query_bound(
+            &binarized,
+            &analysis,
+            format,
+            QueryType::Marginal,
+            Tolerance::Absolute(1.0),
+            LeafErrorModel::WorstCase,
+        )?;
+        let stats = measure_errors(
+            &binarized,
+            Representation::Fixed(format),
+            QueryType::Marginal,
+            bench.query_var,
+            &bench.test_evidence,
+        )?;
+        println!(
+            "{frac:>5} | {bound:>12.3e} | {:>12.3e} | {:>12.3e}",
+            stats.max_abs, stats.mean_abs
+        );
+        assert!(
+            stats.max_abs <= bound,
+            "observed error exceeded the analytical bound"
+        );
+    }
+
+    // A monitoring decision: Pr(HYPOVOLEMIA | sensor readings).
+    let report = Problp::new(&circuit)
+        .query(QueryType::Conditional)
+        .tolerance(Tolerance::Relative(0.01))
+        .skip_rtl()
+        .run()?;
+    println!("\nfor bedside deployment: {report}");
+    Ok(())
+}

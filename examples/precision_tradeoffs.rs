@@ -1,0 +1,50 @@
+//! Precision-energy trade-off exploration.
+//!
+//! ```text
+//! cargo run --release --example precision_tradeoffs
+//! ```
+//!
+//! Sweeps the error tolerance for the UIWADS-like user-verification
+//! benchmark and prints the representations ProbLP chooses, illustrating
+//! the paper's closing remark: "the choice of 0.01 error tolerance is
+//! arbitrary and higher energy-efficiency can be achieved for relaxed
+//! error tolerances".
+
+use problp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = problp::data::uiwads_benchmark(42);
+    let circuit = compile(&bench.net)?;
+    println!("benchmark: {bench}\n");
+
+    println!(
+        "{:>10} | {:>14} | {:>14} | {:>10} | {:>9}",
+        "tolerance", "fixed (I,F)", "float (E,M)", "selected", "nJ/eval"
+    );
+    println!("{}", "-".repeat(72));
+    for tol in [0.1, 0.03, 0.01, 0.003, 1e-3, 1e-4, 1e-6] {
+        let report = Problp::new(&circuit)
+            .query(QueryType::Marginal)
+            .tolerance(Tolerance::Absolute(tol))
+            .skip_rtl()
+            .run()?;
+        let fixed = report
+            .fixed
+            .as_ref()
+            .map(|c| c.repr.to_string())
+            .unwrap_or_else(|| ">64 bits".into());
+        let float = report
+            .float
+            .as_ref()
+            .map(|c| c.repr.to_string())
+            .unwrap_or_else(|| ">64 bits".into());
+        println!(
+            "{tol:>10.0e} | {fixed:>14} | {float:>14} | {:>10} | {:>9.4}",
+            if report.selected.repr.is_fixed() { "fixed" } else { "float" },
+            report.selected.energy.total_nj()
+        );
+    }
+
+    println!("\nrelaxing the tolerance buys energy: every row meets its guarantee.");
+    Ok(())
+}

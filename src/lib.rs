@@ -1,0 +1,66 @@
+//! # ProbLP — a framework for low-precision probabilistic inference
+//!
+//! A from-scratch Rust reproduction of *ProbLP: A framework for
+//! low-precision probabilistic inference* (Shah, Galindez Olascoaga,
+//! Meert, Verhelst — DAC 2019).
+//!
+//! Given an arithmetic circuit compiled from a Bayesian network, a query
+//! type and an error tolerance, ProbLP derives worst-case error bounds
+//! for fixed- and floating-point arithmetic over the whole circuit, sizes
+//! the minimal bit widths, selects the more energy-efficient
+//! representation using TSMC 65 nm operator models, and generates
+//! fully-pipelined custom-precision Verilog.
+//!
+//! This facade crate re-exports the workspace's sub-crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`num`] | `problp-num` | fixed-point / soft-float arithmetic, flags |
+//! | [`bayes`] | `problp-bayes` | Bayesian networks, naive Bayes, ALARM |
+//! | [`ac`] | `problp-ac` | arithmetic circuits, BN→AC compiler |
+//! | [`bounds`] | `problp-bounds` | error analyses and bit-width search |
+//! | [`energy`] | `problp-energy` | Table 1 models, gate-level estimator |
+//! | [`hw`] | `problp-hw` | netlist, pipeline simulator, Verilog |
+//! | [`data`] | `problp-data` | synthetic benchmarks, Alarm test sets |
+//! | [`core`] | `problp-core` | the Fig. 2 pipeline and measurements |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use problp::prelude::*;
+//!
+//! let network = problp::bayes::networks::alarm(7);
+//! let circuit = problp::ac::compile(&network)?;
+//! let report = Problp::new(&circuit)
+//!     .query(QueryType::Marginal)
+//!     .tolerance(Tolerance::Absolute(0.01))
+//!     .run()?;
+//! println!("{report}");
+//! assert!(report.selected.bound <= 0.01);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use problp_ac as ac;
+pub use problp_bayes as bayes;
+pub use problp_bounds as bounds;
+pub use problp_core as core;
+pub use problp_data as data;
+pub use problp_energy as energy;
+pub use problp_hw as hw;
+pub use problp_num as num;
+
+/// The most common imports for working with ProbLP.
+pub mod prelude {
+    pub use problp_ac::{compile, compile_naive_bayes, optimize, AcGraph, Semiring};
+    pub use problp_bayes::{BayesNet, BayesNetBuilder, Evidence, NaiveBayes, VarId};
+    pub use problp_bounds::{LeafErrorModel, QueryType, Tolerance};
+    pub use problp_core::{measure_errors, Problp, Report};
+    pub use problp_hw::{emit_testbench, emit_verilog, Netlist, PipelineSim};
+    pub use problp_num::{
+        Arith, F64Arith, FixedArith, FixedFormat, FixedRounding, FloatArith, FloatFormat,
+        Representation,
+    };
+}

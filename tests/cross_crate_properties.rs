@@ -1,0 +1,162 @@
+//! Cross-crate property tests: for random networks, random formats and
+//! random evidence, the full stack keeps its invariants.
+
+use proptest::prelude::*;
+
+use problp::ac::transform::{binarize, binarize_chain};
+use problp::bounds::{fixed_query_bound, float_query_bound, AcAnalysis};
+use problp::prelude::*;
+
+/// A seeded random network plus one random evidence over it.
+fn net_and_evidence() -> impl Strategy<Value = (u64, Vec<usize>)> {
+    (0u64..200, proptest::collection::vec(0usize..100, 6))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiled_circuits_match_the_enumeration_oracle(
+        (seed, picks) in net_and_evidence()
+    ) {
+        let net = problp::bayes::networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        for (v, p) in picks.iter().enumerate() {
+            // Observe roughly half the variables.
+            if p % 2 == 0 {
+                e.observe(VarId::from_index(v), p % net.variable(VarId::from_index(v)).arity());
+            }
+        }
+        let oracle = net.marginal(&e);
+        let got = ac.evaluate(&e).unwrap();
+        prop_assert!((oracle - got).abs() < 1e-9, "oracle {} vs {}", oracle, got);
+    }
+
+    #[test]
+    fn binarization_shapes_agree((seed, picks) in net_and_evidence()) {
+        let net = problp::bayes::networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let balanced = binarize(&ac).unwrap();
+        let chain = binarize_chain(&ac).unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        if let Some(p) = picks.first() {
+            e.observe(VarId::from_index(0), p % net.variable(VarId::from_index(0)).arity());
+        }
+        let a = balanced.evaluate(&e).unwrap();
+        let b = chain.evaluate(&e).unwrap();
+        prop_assert!((a - b).abs() < 1e-12);
+        // Decomposition shape never changes the operator count (n-1
+        // two-input ops per n-input operator), only the tree depth.
+        let (bs, cs) = (balanced.stats(), chain.stats());
+        prop_assert_eq!(bs.sums, cs.sums);
+        prop_assert_eq!(bs.products, cs.products);
+    }
+
+    #[test]
+    fn fixed_bounds_hold_for_random_nets_and_formats(
+        (seed, picks) in net_and_evidence(),
+        frac in 4u32..24,
+    ) {
+        let net = problp::bayes::networks::random_network(seed, 6, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        let int_bits = problp::bounds::required_int_bits(&analysis, 1.0);
+        let format = FixedFormat::new(int_bits, frac).unwrap();
+        let bound = fixed_query_bound(
+            &ac, &analysis, format,
+            QueryType::Marginal,
+            Tolerance::Absolute(1.0),
+            LeafErrorModel::WorstCase,
+        ).unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        for (v, p) in picks.iter().enumerate() {
+            if p % 3 == 0 {
+                e.observe(VarId::from_index(v), p % net.variable(VarId::from_index(v)).arity());
+            }
+        }
+        let exact = ac.evaluate(&e).unwrap();
+        let mut lp = FixedArith::new(format);
+        let got = ac.evaluate_with(&mut lp, &e, Semiring::SumProduct).unwrap();
+        let err = (lp.to_f64(&got) - exact).abs();
+        prop_assert!(err <= bound + 1e-15, "err {} > bound {}", err, bound);
+        prop_assert!(!lp.flags().range_violation());
+    }
+
+    #[test]
+    fn float_bounds_hold_for_random_nets_and_formats(
+        (seed, picks) in net_and_evidence(),
+        mant in 4u32..24,
+    ) {
+        let net = problp::bayes::networks::random_network(seed, 6, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        let exp_bits = problp::bounds::required_exp_bits(&analysis, 0.5).unwrap();
+        let format = FloatFormat::new(exp_bits, mant).unwrap();
+        let bound = float_query_bound(
+            &ac, &analysis, format,
+            QueryType::Marginal,
+            Tolerance::Relative(1.0),
+        ).unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        for (v, p) in picks.iter().enumerate() {
+            if p % 3 == 1 {
+                e.observe(VarId::from_index(v), p % net.variable(VarId::from_index(v)).arity());
+            }
+        }
+        let exact = ac.evaluate(&e).unwrap();
+        prop_assume!(exact > 0.0);
+        let mut lp = FloatArith::new(format);
+        let got = ac.evaluate_with(&mut lp, &e, Semiring::SumProduct).unwrap();
+        let rel = ((lp.to_f64(&got) - exact) / exact).abs();
+        prop_assert!(rel <= bound, "rel {} > bound {}", rel, bound);
+        prop_assert!(!lp.flags().range_violation());
+    }
+
+    #[test]
+    fn hardware_is_bit_exact_for_random_circuits(
+        (seed, picks) in net_and_evidence(),
+        frac in 6u32..20,
+    ) {
+        let net = problp::bayes::networks::random_network(seed, 5, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        let int_bits = problp::bounds::required_int_bits(&analysis, 1.0);
+        let format = FixedFormat::new(int_bits, frac).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Fixed(format)).unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        for (v, p) in picks.iter().take(5).enumerate() {
+            if p % 2 == 0 {
+                e.observe(VarId::from_index(v), p % net.variable(VarId::from_index(v)).arity());
+            }
+        }
+        let mut sw = FixedArith::new(format);
+        let expect = ac.evaluate_with(&mut sw, &e, Semiring::SumProduct).unwrap();
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        let got = sim.run(&e).unwrap();
+        prop_assert_eq!(got.raw(), expect.raw());
+    }
+
+    #[test]
+    fn max_analysis_dominates_any_evidence(
+        (seed, picks) in net_and_evidence()
+    ) {
+        let net = problp::bayes::networks::random_network(seed, 6, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let analysis = AcAnalysis::new(&ac).unwrap();
+        let mut e = Evidence::empty(net.var_count());
+        for (v, p) in picks.iter().enumerate() {
+            if p % 2 == 1 {
+                e.observe(VarId::from_index(v), p % net.variable(VarId::from_index(v)).arity());
+            }
+        }
+        let mut ctx = F64Arith::new();
+        let values = ac.evaluate_nodes(&mut ctx, &e, Semiring::SumProduct).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert!(v <= analysis.max_values()[i] + 1e-12);
+            if v > 0.0 {
+                prop_assert!(v >= analysis.min_values()[i] - 1e-15);
+            }
+        }
+    }
+}

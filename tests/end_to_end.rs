@@ -1,0 +1,177 @@
+//! Whole-framework integration tests: network → circuit → bounds →
+//! selection → hardware, with empirical validation at every joint.
+
+use problp::ac::transform::binarize;
+use problp::prelude::*;
+
+/// Runs the full pipeline on a network and validates the guarantees.
+fn validate_pipeline(net: &BayesNet, query: QueryType, tolerance: Tolerance) {
+    let ac = compile(net).unwrap();
+    let report = Problp::new(&ac)
+        .query(query)
+        .tolerance(tolerance)
+        .run()
+        .unwrap();
+    // The guarantee holds by construction.
+    assert!(report.selected.bound <= tolerance.value());
+    // The selected representation is the cheaper feasible one.
+    if let (Some(fx), Some(fl)) = (&report.fixed, &report.float) {
+        let min = fx.energy.total_nj().min(fl.energy.total_nj());
+        assert_eq!(report.selected.energy.total_nj(), min);
+    }
+    // Empirically: observed error within bound over single-var evidences.
+    let bin = binarize(&ac).unwrap();
+    let evidences: Vec<Evidence> = (0..net.var_count())
+        .flat_map(|v| {
+            let arity = net.variable(VarId::from_index(v)).arity();
+            (0..arity).map(move |s| {
+                let mut e = Evidence::empty(net.var_count());
+                e.observe(VarId::from_index(v), s);
+                e
+            })
+        })
+        .collect();
+    let query_var = net.roots()[0];
+    let stats =
+        measure_errors(&bin, report.selected.repr, query, query_var, &evidences).unwrap();
+    let observed = match tolerance {
+        Tolerance::Absolute(_) => stats.max_abs,
+        Tolerance::Relative(_) => stats.max_rel,
+    };
+    assert!(
+        observed <= report.selected.bound * (1.0 + 1e-9),
+        "{query:?}/{tolerance:?}: observed {observed} > bound {}",
+        report.selected.bound
+    );
+    assert!(!stats.flags.range_violation(), "bounds require in-range arithmetic");
+    // The hardware matches the software bit-for-bit on a sample query.
+    let nl = Netlist::from_ac(&bin, report.selected.repr).unwrap();
+    let e = &evidences[0];
+    match report.selected.repr {
+        Representation::Fixed(f) => {
+            let mut sw = FixedArith::new(f);
+            let expect = bin.evaluate_with(&mut sw, e, Semiring::SumProduct).unwrap();
+            let mut sim = PipelineSim::new(&nl, FixedArith::new(f));
+            assert_eq!(sim.run(e).unwrap().raw(), expect.raw());
+        }
+        Representation::Float(f) => {
+            let mut sw = FloatArith::new(f);
+            let expect = bin.evaluate_with(&mut sw, e, Semiring::SumProduct).unwrap();
+            let mut sim = PipelineSim::new(&nl, FloatArith::new(f));
+            assert_eq!(sim.run(e).unwrap(), expect);
+        }
+    }
+}
+
+#[test]
+fn sprinkler_marginal_absolute() {
+    validate_pipeline(
+        &problp::bayes::networks::sprinkler(),
+        QueryType::Marginal,
+        Tolerance::Absolute(0.01),
+    );
+}
+
+#[test]
+fn sprinkler_marginal_relative() {
+    validate_pipeline(
+        &problp::bayes::networks::sprinkler(),
+        QueryType::Marginal,
+        Tolerance::Relative(0.05),
+    );
+}
+
+#[test]
+fn asia_marginal_absolute() {
+    validate_pipeline(
+        &problp::bayes::networks::asia(),
+        QueryType::Marginal,
+        Tolerance::Absolute(0.01),
+    );
+}
+
+#[test]
+fn student_conditional_relative() {
+    validate_pipeline(
+        &problp::bayes::networks::student(),
+        QueryType::Conditional,
+        Tolerance::Relative(0.01),
+    );
+}
+
+#[test]
+fn student_conditional_absolute() {
+    validate_pipeline(
+        &problp::bayes::networks::student(),
+        QueryType::Conditional,
+        Tolerance::Absolute(0.01),
+    );
+}
+
+#[test]
+fn figure1_mpe_absolute() {
+    validate_pipeline(
+        &problp::bayes::networks::figure1(),
+        QueryType::Mpe,
+        Tolerance::Absolute(0.01),
+    );
+}
+
+#[test]
+fn random_networks_survive_the_pipeline() {
+    for seed in 0..4 {
+        let net = problp::bayes::networks::random_network(seed, 6, 2, 3);
+        validate_pipeline(&net, QueryType::Marginal, Tolerance::Absolute(0.02));
+    }
+}
+
+#[test]
+fn classifier_benchmark_end_to_end() {
+    // UIWADS (the smallest classifier benchmark) through the whole stack.
+    let bench = problp::data::uiwads_benchmark(3);
+    let ac = compile(&bench.net).unwrap();
+    let report = Problp::new(&ac)
+        .query(QueryType::Conditional)
+        .tolerance(Tolerance::Relative(0.01))
+        .skip_rtl()
+        .run()
+        .unwrap();
+    assert!(report.selected.repr.is_float(), "conditional+relative needs float");
+    let bin = binarize(&ac).unwrap();
+    let stats = measure_errors(
+        &bin,
+        report.selected.repr,
+        QueryType::Conditional,
+        bench.query_var,
+        &bench.test_evidence[..50],
+    )
+    .unwrap();
+    assert!(stats.max_rel <= report.selected.bound);
+    assert!(!stats.flags.range_violation());
+}
+
+#[test]
+fn alarm_through_the_pipeline() {
+    let bench = problp::data::alarm_benchmark(7, 25);
+    let ac = compile(&bench.net).unwrap();
+    let report = Problp::new(&ac)
+        .query(QueryType::Marginal)
+        .tolerance(Tolerance::Absolute(0.01))
+        .skip_rtl()
+        .run()
+        .unwrap();
+    // Table 2's Alarm row: fixed point wins, with I = 1.
+    assert!(report.selected.repr.is_fixed());
+    assert_eq!(report.selected.repr.as_fixed().unwrap().int_bits(), 1);
+    let bin = binarize(&ac).unwrap();
+    let stats = measure_errors(
+        &bin,
+        report.selected.repr,
+        QueryType::Marginal,
+        bench.query_var,
+        &bench.test_evidence,
+    )
+    .unwrap();
+    assert!(stats.max_abs <= report.selected.bound);
+    assert!(stats.max_abs <= 0.01, "tolerance respected on the test set");
+}

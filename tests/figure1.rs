@@ -1,0 +1,148 @@
+//! End-to-end reproduction of the paper's running example (Figures 1, 3
+//! and 4): the `A → {B, C}` network, its compiled AC, the error
+//! propagation through it, and its conversion to pipelined hardware.
+
+use problp::prelude::*;
+use problp::ac::transform::binarize;
+use problp::bounds::{fixed_error_bound, AcAnalysis};
+
+fn figure1_network() -> BayesNet {
+    problp::bayes::networks::figure1()
+}
+
+#[test]
+fn evidence_indicators_follow_the_paper() {
+    // Paper §2: e = {A = a1, C = c3} sets λ_a2 = λ_c1 = λ_c2 = 0 and the
+    // rest to 1 (0-based here: A=0, C=2).
+    let net = figure1_network();
+    let mut e = Evidence::empty(3);
+    let a = net.find("A").unwrap();
+    let c = net.find("C").unwrap();
+    e.observe(a, 0);
+    e.observe(c, 2);
+    assert_eq!(e.indicator(a, 0), 1.0);
+    assert_eq!(e.indicator(a, 1), 0.0);
+    assert_eq!(e.indicator(c, 0), 0.0);
+    assert_eq!(e.indicator(c, 1), 0.0);
+    assert_eq!(e.indicator(c, 2), 1.0);
+    // B unobserved: both indicators 1.
+    let b = net.find("B").unwrap();
+    assert_eq!(e.indicator(b, 0), 1.0);
+    assert_eq!(e.indicator(b, 1), 1.0);
+}
+
+#[test]
+fn compiled_circuit_computes_the_network_polynomial() {
+    let net = figure1_network();
+    let ac = compile(&net).unwrap();
+    // Upward pass with the paper's evidence.
+    let mut e = Evidence::empty(3);
+    e.observe(net.find("A").unwrap(), 0);
+    e.observe(net.find("C").unwrap(), 2);
+    let pr = ac.evaluate(&e).unwrap();
+    assert!((pr - 0.6 * 0.2).abs() < 1e-12);
+    // The oracle agrees on every query.
+    for v in 0..3 {
+        let var = VarId::from_index(v);
+        for s in 0..net.variable(var).arity() {
+            let mut e = Evidence::empty(3);
+            e.observe(var, s);
+            assert!((ac.evaluate(&e).unwrap() - net.marginal(&e)).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn error_propagation_matches_hand_calculation() {
+    // Figure 3's flavour on the real Figure 1 circuit: the root bound is
+    // reproducible by running the recursion by hand over node bounds.
+    let net = figure1_network();
+    let ac = binarize(&compile(&net).unwrap()).unwrap();
+    let analysis = AcAnalysis::new(&ac).unwrap();
+    let format = FixedFormat::new(1, 8).unwrap();
+    let bound = fixed_error_bound(
+        &ac,
+        &analysis,
+        format,
+        LeafErrorModel::WorstCase,
+    )
+    .unwrap();
+    // Manual recursion over the same graph.
+    let u = format.conversion_error_bound();
+    let mut manual = vec![0.0f64; ac.len()];
+    for (i, node) in ac.nodes().iter().enumerate() {
+        use problp::ac::AcNode;
+        manual[i] = match node {
+            AcNode::Indicator { .. } => 0.0,
+            AcNode::Param { .. } => u,
+            AcNode::Sum(c) => manual[c[0].index()] + manual[c[1].index()],
+            AcNode::Product(c) => {
+                let (x, y) = (c[0].index(), c[1].index());
+                analysis.max_values()[x] * manual[y]
+                    + analysis.max_values()[y] * manual[x]
+                    + manual[x] * manual[y]
+                    + u
+            }
+        };
+    }
+    let root = ac.root().unwrap().index();
+    assert_eq!(bound.root_bound(), manual[root]);
+}
+
+#[test]
+fn hardware_conversion_matches_figure4_structure() {
+    // Binary decomposition + balancing registers, validated by the
+    // cycle-accurate simulator.
+    let net = figure1_network();
+    let ac = binarize(&compile(&net).unwrap()).unwrap();
+    assert!(ac.is_binary());
+    let format = FixedFormat::new(1, 10).unwrap();
+    let nl = Netlist::from_ac(&ac, Representation::Fixed(format)).unwrap();
+    let stats = nl.stats();
+    assert_eq!(stats.adds + stats.muls, ac.stats().sums + ac.stats().products);
+    // Pipeline registers appear wherever path timings mismatch.
+    assert!(stats.balance_regs > 0, "figure-1 circuit has skewed paths");
+    // The pipelined hardware is bit-exact with software evaluation.
+    let mut e = Evidence::empty(3);
+    e.observe(net.find("A").unwrap(), 1);
+    let mut sw = FixedArith::new(format);
+    let expect = ac.evaluate_with(&mut sw, &e, Semiring::SumProduct).unwrap();
+    let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+    let got = sim.run(&e).unwrap();
+    assert_eq!(got.raw(), expect.raw());
+}
+
+#[test]
+fn full_pipeline_on_the_figure1_circuit() {
+    let net = figure1_network();
+    let ac = compile(&net).unwrap();
+    let report = Problp::new(&ac)
+        .query(QueryType::Marginal)
+        .tolerance(Tolerance::Absolute(0.01))
+        .run()
+        .unwrap();
+    assert!(report.selected.bound <= 0.01);
+    assert!(report.hardware.verilog.contains("problp_ac_top"));
+    // Verify the guarantee empirically on all single-variable evidences.
+    let bin = binarize(&ac).unwrap();
+    let evidences: Vec<Evidence> = (0..3)
+        .flat_map(|v| {
+            let arity = net.variable(VarId::from_index(v)).arity();
+            (0..arity).map(move |s| {
+                let mut e = Evidence::empty(3);
+                e.observe(VarId::from_index(v), s);
+                e
+            })
+        })
+        .collect();
+    let stats = measure_errors(
+        &bin,
+        report.selected.repr,
+        QueryType::Marginal,
+        VarId::from_index(0),
+        &evidences,
+    )
+    .unwrap();
+    assert!(stats.max_abs <= report.selected.bound);
+    assert!(!stats.flags.range_violation());
+}

@@ -1,0 +1,241 @@
+//! Tests pinning the paper's headline claims (the "shapes" of its
+//! evaluation section), at test-suite scale.
+
+use problp::ac::transform::binarize;
+use problp::bounds::{
+    fixed_query_bound, float_query_bound, optimize_fixed, optimize_float, AcAnalysis,
+    BoundsError,
+};
+use problp::prelude::*;
+
+/// Claim (§3.2.2 / Table 2): fixed point cannot serve relative-error
+/// conditional queries; ProbLP always chooses float there.
+#[test]
+fn conditional_relative_always_selects_float() {
+    for net in [
+        problp::bayes::networks::sprinkler(),
+        problp::bayes::networks::student(),
+        problp::bayes::networks::asia(),
+    ] {
+        let ac = compile(&net).unwrap();
+        let report = Problp::new(&ac)
+            .query(QueryType::Conditional)
+            .tolerance(Tolerance::Relative(0.01))
+            .skip_rtl()
+            .run()
+            .unwrap();
+        assert!(report.selected.repr.is_float());
+        assert_eq!(
+            report.fixed_failure,
+            Some(BoundsError::FixedUnsupportedForQuery)
+        );
+    }
+}
+
+/// Claim (Table 2, HAR rows): relative-error and conditional queries on
+/// classifier circuits with tiny outputs push fixed point beyond 64
+/// fraction bits (reported as `>64`), while float stays cheap.
+#[test]
+fn tiny_outputs_break_fixed_point() {
+    let bench = problp::data::uiwads_benchmark(3);
+    let ac = binarize(&compile(&bench.net).unwrap()).unwrap();
+    let analysis = AcAnalysis::new(&ac).unwrap();
+    // min Pr(e) is small for 6 observed features.
+    assert!(analysis.root_min_positive() < 1e-4);
+    let fixed = optimize_fixed(
+        &ac,
+        &analysis,
+        QueryType::Conditional,
+        Tolerance::Absolute(0.01),
+        LeafErrorModel::WorstCase,
+        64,
+    );
+    let float = optimize_float(
+        &ac,
+        &analysis,
+        QueryType::Conditional,
+        Tolerance::Absolute(0.01),
+        64,
+    )
+    .unwrap();
+    // Fixed needs far more bits than float, if it is feasible at all.
+    match fixed {
+        Err(BoundsError::ToleranceUnreachable { .. }) => {}
+        Ok(choice) => assert!(
+            choice.format.frac_bits() > float.format.mant_bits() + 8,
+            "fixed {} vs float {}",
+            choice.format,
+            float.format
+        ),
+        Err(other) => panic!("unexpected failure {other:?}"),
+    }
+}
+
+/// Claim (§3.1.3): the fixed-point bound constant depends on the circuit,
+/// and grows with circuit size.
+#[test]
+fn bounds_grow_with_circuit_size() {
+    let small = binarize(&compile(&problp::bayes::networks::figure1()).unwrap()).unwrap();
+    let big = binarize(&compile(&problp::bayes::networks::alarm(7)).unwrap()).unwrap();
+    let f = FixedFormat::new(1, 16).unwrap();
+    let b_small = fixed_query_bound(
+        &small,
+        &AcAnalysis::new(&small).unwrap(),
+        f,
+        QueryType::Marginal,
+        Tolerance::Absolute(1.0),
+        LeafErrorModel::WorstCase,
+    )
+    .unwrap();
+    let b_big = fixed_query_bound(
+        &big,
+        &AcAnalysis::new(&big).unwrap(),
+        f,
+        QueryType::Marginal,
+        Tolerance::Absolute(1.0),
+        LeafErrorModel::WorstCase,
+    )
+    .unwrap();
+    assert!(b_big > 10.0 * b_small);
+}
+
+/// Claim (Fig. 5): analytical bounds dominate the observed max error for
+/// every bit width, for both representations.
+#[test]
+fn bounds_dominate_observed_errors_on_alarm() {
+    let bench = problp::data::alarm_benchmark(7, 30);
+    let ac = binarize(&compile(&bench.net).unwrap()).unwrap();
+    let analysis = AcAnalysis::new(&ac).unwrap();
+    for frac in [8u32, 16, 24] {
+        let format = FixedFormat::new(1, frac).unwrap();
+        let bound = fixed_query_bound(
+            &ac,
+            &analysis,
+            format,
+            QueryType::Marginal,
+            Tolerance::Absolute(1.0),
+            LeafErrorModel::WorstCase,
+        )
+        .unwrap();
+        let stats = measure_errors(
+            &ac,
+            Representation::Fixed(format),
+            QueryType::Marginal,
+            bench.query_var,
+            &bench.test_evidence,
+        )
+        .unwrap();
+        assert!(
+            stats.max_abs <= bound,
+            "F={frac}: observed {} > bound {bound}",
+            stats.max_abs
+        );
+    }
+    for mant in [8u32, 16, 24] {
+        let format = FloatFormat::new(9, mant).unwrap();
+        let bound = float_query_bound(
+            &ac,
+            &analysis,
+            format,
+            QueryType::Marginal,
+            Tolerance::Relative(1.0),
+        )
+        .unwrap();
+        let stats = measure_errors(
+            &ac,
+            Representation::Float(format),
+            QueryType::Marginal,
+            bench.query_var,
+            &bench.test_evidence,
+        )
+        .unwrap();
+        assert!(
+            stats.max_rel <= bound,
+            "M={mant}: observed {} > bound {bound}",
+            stats.max_rel
+        );
+        assert!(!stats.flags.range_violation());
+    }
+}
+
+/// Claim (Table 2): the chosen low-precision representation costs
+/// substantially less energy than a 32-bit float datapath.
+#[test]
+fn low_precision_beats_float32_energy() {
+    for net in [
+        problp::bayes::networks::asia(),
+        problp::bayes::networks::alarm(7),
+    ] {
+        let ac = compile(&net).unwrap();
+        let report = Problp::new(&ac)
+            .query(QueryType::Marginal)
+            .tolerance(Tolerance::Absolute(0.01))
+            .skip_rtl()
+            .run()
+            .unwrap();
+        assert!(
+            report.saving_vs_float32() > 1.5,
+            "saving only {:.2}x",
+            report.saving_vs_float32()
+        );
+    }
+}
+
+/// Claim (Table 2): the paper's benchmark ordering HAR > UniMiB > UIWADS
+/// in circuit size and therefore in energy.
+#[test]
+fn benchmark_energy_ordering() {
+    let energies: Vec<f64> = [
+        problp::data::har_benchmark(1),
+        problp::data::unimib_benchmark(1),
+        problp::data::uiwads_benchmark(1),
+    ]
+    .iter()
+    .map(|bench| {
+        let ac = compile(&bench.net).unwrap();
+        Problp::new(&ac)
+            .query(QueryType::Marginal)
+            .tolerance(Tolerance::Absolute(0.01))
+            .skip_rtl()
+            .run()
+            .unwrap()
+            .selected
+            .energy
+            .total_nj()
+    })
+    .collect();
+    assert!(energies[0] > energies[1], "HAR > UNIMIB");
+    assert!(energies[1] > energies[2], "UNIMIB > UIWADS");
+}
+
+/// Claim (§3.1.4): exponent bits are sized so no overflow or underflow
+/// occurs anywhere in the circuit — and one bit less would violate it.
+#[test]
+fn exponent_sizing_is_tight_on_alarm() {
+    let bench = problp::data::alarm_benchmark(7, 10);
+    let ac = binarize(&compile(&bench.net).unwrap()).unwrap();
+    let report = Problp::new(&ac)
+        .query(QueryType::Conditional)
+        .tolerance(Tolerance::Relative(0.01))
+        .skip_rtl()
+        .run()
+        .unwrap();
+    let format = report.selected.repr.as_float().unwrap();
+    // Running the whole test set raises no range flags.
+    let stats = measure_errors(
+        &ac,
+        report.selected.repr,
+        QueryType::Conditional,
+        bench.query_var,
+        &bench.test_evidence,
+    )
+    .unwrap();
+    assert!(!stats.flags.range_violation());
+    // One exponent bit less cannot cover the value range the min/max
+    // analyses proved reachable (tightness of the sizing).
+    let analysis = AcAnalysis::new(&ac).unwrap();
+    let narrower = FloatFormat::new(format.exp_bits() - 1, format.mant_bits()).unwrap();
+    let covers = analysis.global_min_positive() >= narrower.min_positive()
+        && analysis.global_max() <= narrower.max_finite();
+    assert!(!covers, "E-1 should not cover alarm's value range");
+}

@@ -1,0 +1,117 @@
+//! End-user workflow test: the path the `problp` CLI takes, exercised
+//! through the public API — text network in, report + RTL + testbench
+//! out.
+
+use problp::prelude::*;
+
+const NETWORK_TEXT: &str = "\
+# a tiny monitoring model
+network monitor
+variable Fault 2
+variable SensorA 3
+variable SensorB 2
+cpt Fault | : 0.95 0.05
+cpt SensorA | Fault : 0.7 0.2 0.1 0.1 0.3 0.6
+cpt SensorB | Fault : 0.9 0.1 0.2 0.8
+";
+
+#[test]
+fn text_network_to_hardware_and_back() {
+    // Parse.
+    let net = problp::bayes::io::from_text(NETWORK_TEXT).unwrap();
+    assert_eq!(net.var_count(), 3);
+    assert_eq!(net.find("Fault").map(|v| v.index()), Some(0));
+
+    // Compile and run the framework.
+    let circuit = compile(&net).unwrap();
+    let report = Problp::new(&circuit)
+        .query(QueryType::Conditional)
+        .tolerance(Tolerance::Relative(0.02))
+        .run()
+        .unwrap();
+    assert!(report.selected.repr.is_float());
+    assert!(report.selected.bound <= 0.02);
+    assert!(report.hardware.verilog.contains("module problp_ac_top"));
+
+    // Serialize the network back: the roundtrip is exact.
+    let text = problp::bayes::io::to_text(&net, "monitor");
+    let back = problp::bayes::io::from_text(&text).unwrap();
+    assert_eq!(back, net);
+
+    // Emit a testbench over a few vectors and check it references the
+    // hardware's latency.
+    let bin = problp::ac::transform::binarize(&circuit).unwrap();
+    let nl = Netlist::from_ac(&bin, report.selected.repr).unwrap();
+    let vectors = vec![Evidence::empty(3), {
+        let mut e = Evidence::empty(3);
+        e.observe(net.find("SensorA").unwrap(), 2);
+        e
+    }];
+    let tb = emit_testbench(&nl, &vectors).unwrap();
+    assert!(tb.contains("module problp_ac_tb"));
+    assert!(tb.contains(&format!("latency {} cycles", nl.pipeline_depth())));
+
+    // Diagnostic query: a high sensor reading raises the fault posterior.
+    let fault = net.find("Fault").unwrap();
+    let mut e = Evidence::empty(3);
+    e.observe(net.find("SensorA").unwrap(), 2);
+    e.observe(net.find("SensorB").unwrap(), 1);
+    let posterior = net.conditional(fault, 1, &e);
+    assert!(posterior > 0.5, "posterior {posterior}");
+    // The compiled circuit agrees via the differential pass.
+    let row = bin.posterior_marginal(fault, &e).unwrap();
+    assert!((row[1] - posterior).abs() < 1e-9);
+}
+
+#[test]
+fn csv_dataset_to_classifier_hardware() {
+    // Generate, export, re-import, train, compile, select.
+    let ds = problp::data::uiwads_like(9);
+    let csv = problp::data::csv::to_csv(&ds);
+    let back = problp::data::csv::from_csv(&csv).unwrap();
+    assert_eq!(back, ds);
+    let (train, test) = back.split(0.6);
+    let nb = NaiveBayes::fit(&train, 1.0).unwrap();
+    assert!(nb.accuracy(&test) > 0.7);
+    let circuit = compile_naive_bayes(&nb).unwrap();
+    let report = Problp::new(&circuit)
+        .query(QueryType::Marginal)
+        .tolerance(Tolerance::Absolute(0.01))
+        .skip_rtl()
+        .run()
+        .unwrap();
+    assert!(report.selected.repr.is_fixed(), "Table 2's UIWADS row");
+}
+
+#[test]
+fn optimized_pipeline_keeps_its_guarantee_end_to_end() {
+    let net = problp::bayes::networks::asia();
+    let circuit = compile(&net).unwrap();
+    let report = Problp::new(&circuit)
+        .optimize_circuit(true)
+        .query(QueryType::Marginal)
+        .tolerance(Tolerance::Absolute(0.01))
+        .skip_rtl()
+        .run()
+        .unwrap();
+    // Measure on the optimized, binarized circuit (what the HW implements).
+    let (opt, _) = problp::ac::optimize(&circuit).unwrap();
+    let bin = problp::ac::transform::binarize(&opt).unwrap();
+    let evidences: Vec<Evidence> = (0..net.var_count())
+        .map(|v| {
+            let mut e = Evidence::empty(net.var_count());
+            e.observe(VarId::from_index(v), 1);
+            e
+        })
+        .collect();
+    let stats = measure_errors(
+        &bin,
+        report.selected.repr,
+        QueryType::Marginal,
+        net.find("LungCancer").unwrap(),
+        &evidences,
+    )
+    .unwrap();
+    assert!(stats.max_abs <= report.selected.bound);
+    assert!(stats.max_abs <= 0.01);
+}
