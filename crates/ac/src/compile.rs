@@ -71,11 +71,7 @@ fn for_each_assignment(vars: &[usize], arities: &[usize], mut visit: impl FnMut(
 
 /// Multiplies a set of factors symbolically: one n-ary product node per
 /// entry of the union table.
-fn multiply_all(
-    g: &mut AcGraph,
-    factors: &[Factor],
-    arities: &[usize],
-) -> Result<Factor, AcError> {
+fn multiply_all(g: &mut AcGraph, factors: &[Factor], arities: &[usize]) -> Result<Factor, AcError> {
     debug_assert!(!factors.is_empty());
     if factors.len() == 1 {
         return Ok(factors[0].clone());
@@ -132,12 +128,7 @@ fn sum_out(
         .iter()
         .position(|&v| v == var)
         .expect("var present in factor");
-    let rest: Vec<usize> = factor
-        .vars
-        .iter()
-        .copied()
-        .filter(|&v| v != var)
-        .collect();
+    let rest: Vec<usize> = factor.vars.iter().copied().filter(|&v| v != var).collect();
     let mut entries = Vec::with_capacity(Factor::table_size(&rest, arities));
     let mut result: Result<(), AcError> = Ok(());
     for_each_assignment(&rest, arities, |assignment| {
@@ -278,9 +269,8 @@ pub fn compile(net: &BayesNet) -> Result<AcGraph, AcError> {
 
     // Eliminate every variable in min-degree order.
     for var in min_degree_order(net) {
-        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) = factors
-            .into_iter()
-            .partition(|f| f.vars.contains(&var));
+        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.vars.contains(&var));
         factors = rest;
         debug_assert!(!mentioning.is_empty(), "every variable appears somewhere");
         let product = multiply_all(&mut g, &mentioning, &arities)?;
@@ -427,7 +417,11 @@ mod tests {
 
     #[test]
     fn mpe_matches_enumeration() {
-        for net in [networks::figure1(), networks::sprinkler(), networks::student()] {
+        for net in [
+            networks::figure1(),
+            networks::sprinkler(),
+            networks::student(),
+        ] {
             let ac = compile(&net).unwrap();
             let e = Evidence::empty(net.var_count());
             let (_, oracle) = net.mpe(&e);

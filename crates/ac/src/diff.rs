@@ -66,9 +66,7 @@ impl AcGraph {
                 AcNode::Param { value } => *value,
                 AcNode::Indicator { var, state } => evidence.indicator(*var, *state),
                 AcNode::Sum(children) => children.iter().map(|c| values[c.index()]).sum(),
-                AcNode::Product(children) => {
-                    children.iter().map(|c| values[c.index()]).product()
-                }
+                AcNode::Product(children) => children.iter().map(|c| values[c.index()]).product(),
             };
         }
         // Downward pass in reverse topological (= reverse arena) order.
@@ -91,8 +89,7 @@ impl AcGraph {
                     // zeros without dividing: with two or more zero
                     // children every sibling product is zero; with exactly
                     // one, only the zero child gets the non-zero product.
-                    let zero_count =
-                        children.iter().filter(|c| values[c.index()] == 0.0).count();
+                    let zero_count = children.iter().filter(|c| values[c.index()] == 0.0).count();
                     match zero_count {
                         0 => {
                             for c in children {
@@ -154,11 +151,8 @@ impl AcGraph {
     /// ```
     pub fn joint_marginals(&self, evidence: &Evidence) -> Result<Vec<Vec<f64>>, AcError> {
         let diff = self.differentiate(evidence)?;
-        let mut marginals: Vec<Vec<f64>> = self
-            .var_arities()
-            .iter()
-            .map(|&a| vec![0.0; a])
-            .collect();
+        let mut marginals: Vec<Vec<f64>> =
+            self.var_arities().iter().map(|&a| vec![0.0; a]).collect();
         for (i, node) in self.nodes().iter().enumerate() {
             if let AcNode::Indicator { var, state } = node {
                 marginals[var.index()][*state] = diff.derivatives()[i];
@@ -179,11 +173,7 @@ impl AcGraph {
     ///
     /// Panics if `var` is observed in `evidence` (its derivative row then
     /// means `Pr(x, e − X)`, not `Pr(x, e)`) or if `Pr(e)` is zero.
-    pub fn posterior_marginal(
-        &self,
-        var: VarId,
-        evidence: &Evidence,
-    ) -> Result<Vec<f64>, AcError> {
+    pub fn posterior_marginal(&self, var: VarId, evidence: &Evidence) -> Result<Vec<f64>, AcError> {
         assert!(
             evidence.state(var).is_none(),
             "posterior_marginal requires an unobserved variable"
@@ -283,7 +273,10 @@ mod tests {
         // Root derivative is one; indicator derivatives are polynomial
         // coefficients, all finite and non-negative.
         assert_eq!(diff.derivatives()[ac.root().unwrap().index()], 1.0);
-        assert!(diff.derivatives().iter().all(|d| d.is_finite() && *d >= 0.0));
+        assert!(diff
+            .derivatives()
+            .iter()
+            .all(|d| d.is_finite() && *d >= 0.0));
     }
 
     #[test]
@@ -394,7 +387,11 @@ mod tests {
                 use crate::graph::AcNode;
                 let id = match node {
                     AcNode::Param { value } => {
-                        let v = if i == s_entry.node.index() { value + h } else { *value };
+                        let v = if i == s_entry.node.index() {
+                            value + h
+                        } else {
+                            *value
+                        };
                         // Bypass hash-consing collisions by using a tiny
                         // unique offset for the perturbed leaf only.
                         g2.param(v).unwrap()

@@ -54,13 +54,19 @@ impl std::fmt::Display for AcError {
                 write!(f, "child id {child} does not reference an earlier node")
             }
             AcError::VariableOutOfRange { var, var_count } => {
-                write!(f, "variable {var} outside circuit scope of {var_count} variables")
+                write!(
+                    f,
+                    "variable {var} outside circuit scope of {var_count} variables"
+                )
             }
             AcError::StateOutOfRange { var, state, arity } => {
                 write!(f, "state {state} of variable {var} exceeds arity {arity}")
             }
             AcError::InvalidParameter { value } => {
-                write!(f, "parameter value {value} is not a finite non-negative number")
+                write!(
+                    f,
+                    "parameter value {value} is not a finite non-negative number"
+                )
             }
             AcError::MissingRoot => write!(f, "the circuit has no root node"),
             AcError::EvidenceLengthMismatch { evidence, circuit } => write!(

@@ -57,9 +57,7 @@ impl AcGraph {
         for node in self.nodes() {
             let value = match node {
                 AcNode::Param { value } => ctx.from_f64(*value),
-                AcNode::Indicator { var, state } => {
-                    ctx.from_f64(evidence.indicator(*var, *state))
-                }
+                AcNode::Indicator { var, state } => ctx.from_f64(evidence.indicator(*var, *state)),
                 AcNode::Product(children) => {
                     let mut it = children.iter();
                     let first = it.next().expect("validated operator");

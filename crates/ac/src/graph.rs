@@ -365,9 +365,7 @@ impl AcGraph {
     /// Returns `true` if every operator has at most two inputs (hardware
     /// form, see [`crate::transform::binarize`]).
     pub fn is_binary(&self) -> bool {
-        self.nodes
-            .iter()
-            .all(|n| n.children().len() <= 2)
+        self.nodes.iter().all(|n| n.children().len() <= 2)
     }
 
     /// Computes aggregate statistics.

@@ -218,9 +218,7 @@ mod tests {
 
     fn equivalent_on_all_single_evidences(a: &AcGraph, b: &AcGraph, net: &problp_bayes::BayesNet) {
         let empty = Evidence::empty(net.var_count());
-        assert!(
-            (a.evaluate(&empty).unwrap() - b.evaluate(&empty).unwrap()).abs() < 1e-12
-        );
+        assert!((a.evaluate(&empty).unwrap() - b.evaluate(&empty).unwrap()).abs() < 1e-12);
         for v in 0..net.var_count() {
             for s in 0..net.variable(VarId::from_index(v)).arity() {
                 let mut e = Evidence::empty(net.var_count());

@@ -242,10 +242,7 @@ mod tests {
         assert_eq!(balanced.stats().sums, chain.stats().sums);
         // Same value either way.
         let e = Evidence::empty(1);
-        assert_eq!(
-            balanced.evaluate(&e).unwrap(),
-            chain.evaluate(&e).unwrap()
-        );
+        assert_eq!(balanced.evaluate(&e).unwrap(), chain.evaluate(&e).unwrap());
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl std::fmt::Display for BayesError {
                 write!(f, "cpt references undeclared variable {var}")
             }
             BayesError::ArityMismatch { var } => {
-                write!(f, "cpt arities for {var} disagree with variable declarations")
+                write!(
+                    f,
+                    "cpt arities for {var} disagree with variable declarations"
+                )
             }
             BayesError::InvalidDataset { reason } => write!(f, "invalid dataset: {reason}"),
         }

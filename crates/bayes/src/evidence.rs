@@ -103,10 +103,7 @@ impl Evidence {
 
 impl std::fmt::Display for Evidence {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let obs: Vec<String> = self
-            .iter()
-            .map(|(v, s)| format!("{v}={s}"))
-            .collect();
+        let obs: Vec<String> = self.iter().map(|(v, s)| format!("{v}={s}")).collect();
         write!(f, "{{{}}}", obs.join(", "))
     }
 }

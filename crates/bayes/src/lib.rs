@@ -23,17 +23,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod cpt;
 mod dataset;
 mod error;
 mod evidence;
+pub mod io;
 mod naive_bayes;
 mod network;
-pub mod io;
 pub mod networks;
 pub mod rngutil;
 mod variable;
 
+pub use batch::{single_variable_evidences, EvidenceBatch, UNOBSERVED};
 pub use cpt::Cpt;
 pub use dataset::LabeledDataset;
 pub use error::BayesError;

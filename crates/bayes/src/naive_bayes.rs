@@ -129,7 +129,11 @@ impl NaiveBayes {
     ///
     /// Panics if `features` has the wrong length or out-of-range states.
     pub fn posterior(&self, features: &[usize], cls: usize) -> f64 {
-        assert_eq!(features.len(), self.feature_vars.len(), "wrong feature count");
+        assert_eq!(
+            features.len(),
+            self.feature_vars.len(),
+            "wrong feature count"
+        );
         let c = self.net.variable(self.class_var).arity();
         let mut joint = vec![0.0f64; c];
         for (k, j_entry) in joint.iter_mut().enumerate() {

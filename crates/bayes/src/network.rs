@@ -424,9 +424,7 @@ mod tests {
         // Pr(A=0 | C=1) by hand:
         let num: f64 = [0, 1]
             .iter()
-            .map(|&b| {
-                net.joint_probability(&[0, b, 1])
-            })
+            .map(|&b| net.joint_probability(&[0, b, 1]))
             .sum();
         let den: f64 = [0usize, 1]
             .iter()

@@ -39,7 +39,8 @@ pub fn sprinkler() -> BayesNet {
     b.cpt(cloudy, [], [0.5, 0.5]).expect("valid cpt");
     b.cpt(sprinkler, [cloudy], [0.5, 0.5, 0.9, 0.1])
         .expect("valid cpt");
-    b.cpt(rain, [cloudy], [0.8, 0.2, 0.2, 0.8]).expect("valid cpt");
+    b.cpt(rain, [cloudy], [0.8, 0.2, 0.2, 0.8])
+        .expect("valid cpt");
     b.cpt(
         wet,
         [sprinkler, rain],
@@ -62,10 +63,13 @@ pub fn asia() -> BayesNet {
     let xray = b.variable("XRay", 2);
     let dysp = b.variable("Dyspnoea", 2);
     b.cpt(visit, [], [0.99, 0.01]).expect("valid cpt");
-    b.cpt(tub, [visit], [0.99, 0.01, 0.95, 0.05]).expect("valid cpt");
+    b.cpt(tub, [visit], [0.99, 0.01, 0.95, 0.05])
+        .expect("valid cpt");
     b.cpt(smoke, [], [0.5, 0.5]).expect("valid cpt");
-    b.cpt(lung, [smoke], [0.99, 0.01, 0.9, 0.1]).expect("valid cpt");
-    b.cpt(bronc, [smoke], [0.7, 0.3, 0.4, 0.6]).expect("valid cpt");
+    b.cpt(lung, [smoke], [0.99, 0.01, 0.9, 0.1])
+        .expect("valid cpt");
+    b.cpt(bronc, [smoke], [0.7, 0.3, 0.4, 0.6])
+        .expect("valid cpt");
     // Either = Tuberculosis OR LungCancer (deterministic).
     b.cpt(
         either,
@@ -73,7 +77,8 @@ pub fn asia() -> BayesNet {
         [1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0],
     )
     .expect("valid cpt");
-    b.cpt(xray, [either], [0.95, 0.05, 0.02, 0.98]).expect("valid cpt");
+    b.cpt(xray, [either], [0.95, 0.05, 0.02, 0.98])
+        .expect("valid cpt");
     b.cpt(
         dysp,
         [bronc, either],
@@ -105,7 +110,8 @@ pub fn student() -> BayesNet {
         ],
     )
     .expect("valid cpt");
-    b.cpt(sat, [intel], [0.95, 0.05, 0.2, 0.8]).expect("valid cpt");
+    b.cpt(sat, [intel], [0.95, 0.05, 0.2, 0.8])
+        .expect("valid cpt");
     b.cpt(letter, [grade], [0.1, 0.9, 0.4, 0.6, 0.99, 0.01])
         .expect("valid cpt");
     b.build().expect("student network is valid")
@@ -133,8 +139,10 @@ pub fn earthquake() -> BayesNet {
         ],
     )
     .expect("valid cpt");
-    b.cpt(john, [alarm], [0.95, 0.05, 0.1, 0.9]).expect("valid cpt");
-    b.cpt(mary, [alarm], [0.99, 0.01, 0.3, 0.7]).expect("valid cpt");
+    b.cpt(john, [alarm], [0.95, 0.05, 0.1, 0.9])
+        .expect("valid cpt");
+    b.cpt(mary, [alarm], [0.99, 0.01, 0.3, 0.7])
+        .expect("valid cpt");
     b.build().expect("earthquake network is valid")
 }
 
@@ -160,8 +168,10 @@ pub fn cancer() -> BayesNet {
         ],
     )
     .expect("valid cpt");
-    b.cpt(xray, [cancer], [0.8, 0.2, 0.1, 0.9]).expect("valid cpt");
-    b.cpt(dysp, [cancer], [0.7, 0.3, 0.35, 0.65]).expect("valid cpt");
+    b.cpt(xray, [cancer], [0.8, 0.2, 0.1, 0.9])
+        .expect("valid cpt");
+    b.cpt(dysp, [cancer], [0.7, 0.3, 0.35, 0.65])
+        .expect("valid cpt");
     b.build().expect("cancer network is valid")
 }
 
@@ -249,7 +259,12 @@ pub fn alarm(seed: u64) -> BayesNet {
 /// # Panics
 ///
 /// Panics if `var_count == 0`, `max_arity < 2`.
-pub fn random_network(seed: u64, var_count: usize, max_parents: usize, max_arity: usize) -> BayesNet {
+pub fn random_network(
+    seed: u64,
+    var_count: usize,
+    max_parents: usize,
+    max_arity: usize,
+) -> BayesNet {
     assert!(var_count > 0, "need at least one variable");
     assert!(max_arity >= 2, "arity must be at least 2");
     let mut rng = StdRng::seed_from_u64(seed);

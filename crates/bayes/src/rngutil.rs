@@ -25,7 +25,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `std_dev` is negative or not finite.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    assert!(std_dev >= 0.0 && std_dev.is_finite(), "invalid std deviation");
+    assert!(
+        std_dev >= 0.0 && std_dev.is_finite(),
+        "invalid std deviation"
+    );
     mean + std_dev * standard_normal(rng)
 }
 
@@ -36,7 +39,10 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
 ///
 /// Panics if `shape` is not positive and finite.
 pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
-    assert!(shape > 0.0 && shape.is_finite(), "gamma shape must be positive");
+    assert!(
+        shape > 0.0 && shape.is_finite(),
+        "gamma shape must be positive"
+    );
     if shape < 1.0 {
         // Gamma(a) = Gamma(a + 1) * U^(1/a).
         let u: f64 = loop {

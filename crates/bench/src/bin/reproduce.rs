@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Subcommands: `table1`, `fig5a`, `fig5b`, `table2`, `ablations`,
-//! `accuracy`, `missing`, `all`.
+//! `accuracy`, `missing`, `throughput`, `all`.
 //! Options: `--instances N` (test instances per benchmark, default 300;
 //! the paper uses 1000 for Alarm), `--write-experiments` (rewrite
 //! `EXPERIMENTS.md` from the measured results).
@@ -39,9 +39,7 @@ fn parse_args() -> Options {
             }
             "--write-experiments" => opts.write_experiments = true,
             "table1" | "fig5a" | "fig5b" | "table2" | "ablations" | "accuracy" | "missing"
-            | "all" => {
-                opts.command = arg
-            }
+            | "throughput" | "all" => opts.command = arg,
             other => die(&format!("unknown argument {other}")),
         }
     }
@@ -50,7 +48,7 @@ fn parse_args() -> Options {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|all] [--instances N] [--write-experiments]");
+    eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|throughput|all] [--instances N] [--write-experiments]");
     std::process::exit(2);
 }
 
@@ -64,7 +62,9 @@ fn main() {
     if matches!(opts.command.as_str(), "table1" | "all") {
         let t = table1();
         println!("{t}");
-        sections.push(format!("## Table 1 — operator energy models\n\n```text\n{t}```\n"));
+        sections.push(format!(
+            "## Table 1 — operator energy models\n\n```text\n{t}```\n"
+        ));
     }
 
     let need_alarm = matches!(opts.command.as_str(), "fig5a" | "fig5b" | "all");
@@ -118,15 +118,15 @@ fn main() {
         let rows = table2(opts.instances);
         let t = render_table2(&rows);
         println!("{t}");
-        sections.push(format!("## Table 2 — overall performance\n\n```text\n{t}```\n"));
+        sections.push(format!(
+            "## Table 2 — overall performance\n\n```text\n{t}```\n"
+        ));
     }
 
     if matches!(opts.command.as_str(), "accuracy" | "all") {
         let t = problp_bench::accuracy_report(opts.instances);
         println!("{t}");
-        sections.push(format!(
-            "## Classification impact\n\n```text\n{t}```\n"
-        ));
+        sections.push(format!("## Classification impact\n\n```text\n{t}```\n"));
     }
 
     if matches!(opts.command.as_str(), "missing" | "all") {
@@ -135,10 +135,20 @@ fn main() {
         sections.push(format!("## Missing-data robustness\n\n```text\n{t}```\n"));
     }
 
+    if matches!(opts.command.as_str(), "throughput" | "all") {
+        let t = problp_bench::throughput_report(0);
+        println!("{t}");
+        sections.push(format!(
+            "## Engine throughput — batched vs scalar evaluation\n\n```text\n{t}```\n"
+        ));
+    }
+
     if matches!(opts.command.as_str(), "ablations" | "all") {
         let t = problp_bench::ablation_report();
         println!("{t}");
-        sections.push(format!("## Ablations — design choices\n\n```text\n{t}```\n"));
+        sections.push(format!(
+            "## Ablations — design choices\n\n```text\n{t}```\n"
+        ));
     }
 
     if opts.write_experiments {

@@ -41,7 +41,15 @@ pub fn table1() -> String {
     out.push_str("  fitted model (paper)                 | this repo's gate-level estimate\n");
     out.push_str(&format!(
         "{:>6} | {:>10} | {:>10} | {:>10} | {:>10} || {:>9} | {:>9} | {:>9} | {:>9}\n",
-        "bits", "fx add", "fx mul", "fl add", "fl mul", "g fx add", "g fx mul", "g fl add", "g fl mul"
+        "bits",
+        "fx add",
+        "fx mul",
+        "fl add",
+        "fl mul",
+        "g fx add",
+        "g fx mul",
+        "g fl add",
+        "g fl mul"
     ));
     out.push_str(&format!("{}\n", "-".repeat(118)));
     for bits in [8u32, 12, 16, 20, 24, 32] {
@@ -90,8 +98,7 @@ pub struct AlarmFixture {
 /// paper uses 1000).
 pub fn alarm_fixture(instances: usize) -> AlarmFixture {
     let bench = problp_data::alarm_benchmark(SEED, instances);
-    let ac = binarize(&compile(&bench.net).expect("alarm compiles"))
-        .expect("alarm binarizes");
+    let ac = binarize(&compile(&bench.net).expect("alarm compiles")).expect("alarm binarizes");
     let analysis = AcAnalysis::new(&ac).expect("alarm analyzes");
     AlarmFixture {
         bench,
@@ -252,24 +259,20 @@ pub fn benchmark_by_name(name: &str, instances: usize) -> Benchmark {
     bench
 }
 
-/// Runs one Table 2 row end to end.
+/// Runs one Table 2 row end to end. The observed-error measurement rides
+/// inside the pipeline ([`Problp::measure_on`]), which bulk-evaluates the
+/// test set through the batched execution engine.
 pub fn table2_row(bench: &Benchmark, query: QueryType, tolerance: Tolerance) -> Table2Row {
     let raw = compile(&bench.net).expect("benchmark compiles");
     let report = Problp::new(&raw)
         .query(query)
         .tolerance(tolerance)
         .skip_rtl()
+        .measure_on(bench.query_var, &bench.test_evidence)
         .run()
         .expect("at least one representation is feasible");
     let bin = binarize(&raw).expect("benchmark binarizes");
-    let stats = measure_errors(
-        &bin,
-        report.selected.repr,
-        query,
-        bench.query_var,
-        &bench.test_evidence,
-    )
-    .expect("measurement runs");
+    let stats = report.observed.expect("measurement requested");
     let max_observed = match tolerance {
         Tolerance::Absolute(_) => stats.max_abs,
         Tolerance::Relative(_) => stats.max_rel,
@@ -331,7 +334,14 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     );
     out.push_str(&format!(
         "{:>7} | {:>11} | {:>12} | {:>20} | {:>20} | {:>10} | {:>11} | {:>9}\n",
-        "AC", "query", "tolerance", "opt fx I,F (nJ)", "opt fl E,M (nJ)", "max obs.", "gate (nJ)", "32b (nJ)"
+        "AC",
+        "query",
+        "tolerance",
+        "opt fx I,F (nJ)",
+        "opt fl E,M (nJ)",
+        "max obs.",
+        "gate (nJ)",
+        "32b (nJ)"
     ));
     out.push_str(&format!("{}\n", "-".repeat(122)));
     for r in rows {
@@ -467,9 +477,7 @@ pub fn classification_impact(bench: &Benchmark, tolerance: f64) -> AccuracyImpac
 /// benchmarks.
 pub fn accuracy_report(instances: usize) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Classification impact of the selected low-precision representation (tol 0.01)\n",
-    );
+    out.push_str("Classification impact of the selected low-precision representation (tol 0.01)\n");
     out.push_str(&format!(
         "{:>8} | {:>10} | {:>10} | {:>10} | instances\n",
         "dataset", "exact acc", "lp acc", "agreement"
@@ -585,6 +593,128 @@ pub fn missing_data_report(instances: usize, tolerance: f64) -> String {
     out
 }
 
+/// One row of the bulk-inference throughput study.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ThroughputPoint {
+    /// Evidence instances per engine sweep.
+    pub batch: usize,
+    /// Scalar tree-walk evaluations per second.
+    pub scalar_eps: f64,
+    /// Single-lane tape evaluations per second.
+    pub tape_eps: f64,
+    /// Batched multi-threaded engine evaluations per second.
+    pub batched_eps: f64,
+}
+
+impl ThroughputPoint {
+    /// Speedup of the batched engine over the scalar tree-walk.
+    pub fn speedup(&self) -> f64 {
+        self.batched_eps / self.scalar_eps
+    }
+}
+
+/// Runs `f` repeatedly for at least ~0.2 s and returns its rate in calls
+/// per second, scaled by `evals_per_call`.
+fn rate_of(mut f: impl FnMut(), evals_per_call: usize) -> f64 {
+    use std::time::Instant;
+    // Warm caches and the branch predictor.
+    f();
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed().as_secs_f64() < 0.2 {
+        f();
+        calls += 1;
+    }
+    calls as f64 * evals_per_call as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures bulk marginal-inference throughput on the Alarm circuit:
+/// scalar tree-walk vs single-lane tape vs the batched multi-threaded
+/// engine, at the given batch sizes. `threads = 0` uses all cores.
+pub fn throughput_points(batch_sizes: &[usize], threads: usize) -> Vec<ThroughputPoint> {
+    use problp_ac::Semiring;
+    use problp_bayes::{Evidence, EvidenceBatch};
+    use problp_engine::Engine;
+    use problp_num::F64Arith;
+
+    let net = problp_bayes::networks::alarm(SEED);
+    let ac = binarize(&compile(&net).expect("alarm compiles")).expect("alarm binarizes");
+    let mut engine = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new())
+        .expect("alarm compiles to a tape");
+    if threads > 0 {
+        engine = engine.with_threads(threads);
+    }
+
+    // Cycle through the single-variable evidences, the same pool the
+    // error sweeps draw from.
+    let pool = problp_bayes::single_variable_evidences(ac.var_arities());
+
+    batch_sizes
+        .iter()
+        .map(|&batch_size| {
+            let instances: Vec<Evidence> = (0..batch_size)
+                .map(|i| pool[i % pool.len()].clone())
+                .collect();
+            let mut batch = EvidenceBatch::new(net.var_count());
+            for e in &instances {
+                batch.push(e);
+            }
+            let scalar_eps = rate_of(
+                || {
+                    for e in &instances {
+                        std::hint::black_box(ac.evaluate(e).expect("evaluates"));
+                    }
+                },
+                batch_size,
+            );
+            let tape_eps = rate_of(
+                || {
+                    for e in &instances {
+                        std::hint::black_box(engine.evaluate_one(e).expect("evaluates"));
+                    }
+                },
+                batch_size,
+            );
+            let batched_eps = rate_of(
+                || {
+                    std::hint::black_box(engine.evaluate_batch(&batch).expect("evaluates"));
+                },
+                batch_size,
+            );
+            ThroughputPoint {
+                batch: batch_size,
+                scalar_eps,
+                tape_eps,
+                batched_eps,
+            }
+        })
+        .collect()
+}
+
+/// Renders the throughput study (the execution-engine counterpart of the
+/// criterion bench `engine_throughput`).
+pub fn throughput_report(threads: usize) -> String {
+    let points = throughput_points(&[1, 64, 1024], threads);
+    let mut out = String::new();
+    out.push_str("Bulk inference throughput on Alarm (marginal, f64, evals/s)\n");
+    out.push_str(&format!(
+        "{:>6} | {:>12} | {:>12} | {:>14} | speedup vs scalar\n",
+        "batch", "tree-walk", "tape x1", "batched tape"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(72)));
+    for p in &points {
+        out.push_str(&format!(
+            "{:>6} | {:>12.0} | {:>12.0} | {:>14.0} | {:>12.1}x\n",
+            p.batch,
+            p.scalar_eps,
+            p.tape_eps,
+            p.batched_eps,
+            p.speedup()
+        ));
+    }
+    out
+}
+
 /// Renders the design-choice ablation study promised in `DESIGN.md`:
 /// decomposition shape, multiplier rounding mode, leaf-error model and
 /// the optimisation pass, each evaluated on the Alarm circuit.
@@ -669,10 +799,7 @@ pub fn ablation_report() -> String {
     // 4. Optimisation pass. Alarm's Dirichlet CPTs have nothing to fold,
     // so this ablation uses Asia, whose deterministic OR gate does.
     let asia = compile(&problp_bayes::networks::asia()).expect("asia compiles");
-    let plain = Problp::new(&asia)
-        .skip_rtl()
-        .run()
-        .expect("pipeline runs");
+    let plain = Problp::new(&asia).skip_rtl().run().expect("pipeline runs");
     let opt = Problp::new(&asia)
         .optimize_circuit(true)
         .skip_rtl()
@@ -722,7 +849,10 @@ mod tests {
         let row = table2_row(&bench, QueryType::Marginal, Tolerance::Absolute(0.01));
         assert!(row.fixed.is_ok());
         assert!(row.float.is_ok());
-        assert!(row.selected_fixed, "UIWADS marg/abs selects fixed (Table 2)");
+        assert!(
+            row.selected_fixed,
+            "UIWADS marg/abs selects fixed (Table 2)"
+        );
         assert!(row.max_observed <= 0.01);
         assert!(row.gate_level_nj > 0.0);
         let rendered = render_table2(&[row]);

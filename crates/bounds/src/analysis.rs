@@ -206,7 +206,10 @@ mod tests {
         let a = AcAnalysis::new(&ac).unwrap();
         assert!(a.global_max().is_finite());
         assert!(a.global_min_positive() > 0.0);
-        assert!(a.global_min_positive() < 1e-3, "alarm has small node values");
+        assert!(
+            a.global_min_positive() < 1e-3,
+            "alarm has small node values"
+        );
     }
 
     #[test]

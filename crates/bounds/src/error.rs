@@ -41,7 +41,10 @@ impl std::fmt::Display for BoundsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BoundsError::NotBinary => {
-                write!(f, "error analyses require a binarized circuit (two-input operators)")
+                write!(
+                    f,
+                    "error analyses require a binarized circuit (two-input operators)"
+                )
             }
             BoundsError::MissingRoot => write!(f, "the circuit has no root node"),
             BoundsError::AnalysisMismatch { analysis, circuit } => write!(

@@ -127,13 +127,12 @@ pub fn fixed_error_bound_with_rounding(
                     (scaled.round() - scaled).abs() * ulp
                 }
             },
-            AcNode::Sum(children) => {
-                children.iter().map(|c| bounds[c.index()]).sum::<f64>()
-            }
+            AcNode::Sum(children) => children.iter().map(|c| bounds[c.index()]).sum::<f64>(),
             AcNode::Product(children) => {
                 debug_assert!(children.len() == 2);
                 let (a, b) = (children[0].index(), children[1].index());
-                max_values[a] * bounds[b] + max_values[b] * bounds[a]
+                max_values[a] * bounds[b]
+                    + max_values[b] * bounds[a]
                     + bounds[a] * bounds[b]
                     + per_op
             }
@@ -218,9 +217,7 @@ mod tests {
                     e.observe(VarId::from_index(v), s);
                     let exact = ac.evaluate(&e).unwrap();
                     let mut lp = FixedArith::new(format);
-                    let got = ac
-                        .evaluate_with(&mut lp, &e, Semiring::SumProduct)
-                        .unwrap();
+                    let got = ac.evaluate_with(&mut lp, &e, Semiring::SumProduct).unwrap();
                     let err = (lp.to_f64(&got) - exact).abs();
                     assert!(
                         err <= bound.root_bound() + 1e-15,
@@ -245,7 +242,9 @@ mod tests {
             .evaluate_nodes(&mut exact_ctx, &e, Semiring::SumProduct)
             .unwrap();
         let mut lp = FixedArith::new(format);
-        let got = ac.evaluate_nodes(&mut lp, &e, Semiring::SumProduct).unwrap();
+        let got = ac
+            .evaluate_nodes(&mut lp, &e, Semiring::SumProduct)
+            .unwrap();
         for i in 0..ac.len() {
             let err = (lp.to_f64(&got[i]) - exact[i]).abs();
             assert!(
@@ -335,13 +334,17 @@ mod tests {
         let (net, ac, analysis) = fixture();
         let format = FixedFormat::new(1, 10).unwrap();
         let up = fixed_error_bound_with_rounding(
-            &ac, &analysis, format,
+            &ac,
+            &analysis,
+            format,
             LeafErrorModel::WorstCase,
             FixedRounding::HalfUp,
         )
         .unwrap();
         let trunc = fixed_error_bound_with_rounding(
-            &ac, &analysis, format,
+            &ac,
+            &analysis,
+            format,
             LeafErrorModel::WorstCase,
             FixedRounding::Truncate,
         )
@@ -356,7 +359,11 @@ mod tests {
             let mut lp = problp_num::FixedArith::with_rounding(format, FixedRounding::Truncate);
             let got = ac.evaluate_with(&mut lp, &e, Semiring::SumProduct).unwrap();
             let err = (lp.to_f64(&got) - exact).abs();
-            assert!(err <= trunc.root_bound(), "v={v}: {err} > {}", trunc.root_bound());
+            assert!(
+                err <= trunc.root_bound(),
+                "v={v}: {err} > {}",
+                trunc.root_bound()
+            );
         }
     }
 

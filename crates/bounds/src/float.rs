@@ -212,9 +212,7 @@ mod tests {
                         continue;
                     }
                     let mut lp = FloatArith::new(format);
-                    let got = ac
-                        .evaluate_with(&mut lp, &e, Semiring::SumProduct)
-                        .unwrap();
+                    let got = ac.evaluate_with(&mut lp, &e, Semiring::SumProduct).unwrap();
                     let rel = ((lp.to_f64(&got) - exact) / exact).abs();
                     assert!(
                         rel <= delta,
@@ -302,8 +300,8 @@ mod tests {
         let ac = compile(&networks::sprinkler()).unwrap();
         if !ac.is_binary() {
             let analysis = AcAnalysis::new(&ac).unwrap();
-            let err = float_error_bound(&ac, &analysis, FloatFormat::new(8, 8).unwrap())
-                .unwrap_err();
+            let err =
+                float_error_bound(&ac, &analysis, FloatFormat::new(8, 8).unwrap()).unwrap_err();
             assert_eq!(err, BoundsError::NotBinary);
         }
     }

@@ -140,9 +140,7 @@ pub fn float_query_bound(
             Ok(analysis.root_max() * eval.relative_bound())
         }
         // Single evaluation, relative: δ directly.
-        (QueryType::Marginal | QueryType::Mpe, Tolerance::Relative(_)) => {
-            Ok(eval.relative_bound())
-        }
+        (QueryType::Marginal | QueryType::Mpe, Tolerance::Relative(_)) => Ok(eval.relative_bound()),
         // Conditional: the ratio bound (eq. 17); for the absolute metric
         // Pr(q|e) <= 1 scales it.
         (QueryType::Conditional, Tolerance::Relative(_)) => Ok(eval.ratio_relative_bound()),
@@ -153,8 +151,8 @@ pub fn float_query_bound(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use problp_ac::transform::binarize;
     use problp_ac::compile;
+    use problp_ac::transform::binarize;
     use problp_bayes::networks;
 
     fn fixture() -> (AcGraph, AcAnalysis) {
@@ -183,14 +181,18 @@ mod tests {
         let (ac, a) = fixture();
         let f = FixedFormat::new(1, 16).unwrap();
         let abs = fixed_query_bound(
-            &ac, &a, f,
+            &ac,
+            &a,
+            f,
             QueryType::Marginal,
             Tolerance::Absolute(0.01),
             LeafErrorModel::WorstCase,
         )
         .unwrap();
         let rel = fixed_query_bound(
-            &ac, &a, f,
+            &ac,
+            &a,
+            f,
             QueryType::Marginal,
             Tolerance::Relative(0.01),
             LeafErrorModel::WorstCase,
@@ -199,7 +201,9 @@ mod tests {
         // min Pr < 1 inflates the relative bound.
         assert!(rel > abs);
         let cond_abs = fixed_query_bound(
-            &ac, &a, f,
+            &ac,
+            &a,
+            f,
             QueryType::Conditional,
             Tolerance::Absolute(0.01),
             LeafErrorModel::WorstCase,
@@ -213,10 +217,11 @@ mod tests {
         let (ac, a) = fixture();
         let f = FloatFormat::new(10, 16).unwrap();
         let marg_rel =
-            float_query_bound(&ac, &a, f, QueryType::Marginal, Tolerance::Relative(0.01))
-                .unwrap();
+            float_query_bound(&ac, &a, f, QueryType::Marginal, Tolerance::Relative(0.01)).unwrap();
         let cond_rel = float_query_bound(
-            &ac, &a, f,
+            &ac,
+            &a,
+            f,
             QueryType::Conditional,
             Tolerance::Relative(0.01),
         )
@@ -231,14 +236,18 @@ mod tests {
         let (ac, a) = fixture();
         let ffx = FixedFormat::new(1, 12).unwrap();
         let marg = fixed_query_bound(
-            &ac, &a, ffx,
+            &ac,
+            &a,
+            ffx,
             QueryType::Marginal,
             Tolerance::Absolute(0.01),
             LeafErrorModel::WorstCase,
         )
         .unwrap();
         let mpe = fixed_query_bound(
-            &ac, &a, ffx,
+            &ac,
+            &a,
+            ffx,
             QueryType::Mpe,
             Tolerance::Absolute(0.01),
             LeafErrorModel::WorstCase,

@@ -97,8 +97,8 @@ pub fn optimize_fixed(
         last_bound = bound;
         if bound <= tolerance.value() {
             let int_bits = required_int_bits(analysis, bound);
-            let format = FixedFormat::new(int_bits, frac)
-                .map_err(|_| BoundsError::RangeUnrepresentable)?;
+            let format =
+                FixedFormat::new(int_bits, frac).map_err(|_| BoundsError::RangeUnrepresentable)?;
             return Ok(FixedChoice { format, bound });
         }
     }
@@ -130,14 +130,14 @@ pub fn optimize_float(
     for mant in 2..=max_mant_bits {
         // Exponent bits do not influence the error bound; probe with the
         // widest exponent.
-        let probe = FloatFormat::new(problp_num::MAX_EXP_BITS, mant)
-            .expect("probe format is valid");
+        let probe =
+            FloatFormat::new(problp_num::MAX_EXP_BITS, mant).expect("probe format is valid");
         let bound = float_query_bound(ac, analysis, probe, query, tolerance)?;
         last_bound = bound;
         if bound <= tolerance.value() {
             let exp_bits = required_exp_bits(analysis, bound)?;
-            let format = FloatFormat::new(exp_bits, mant)
-                .map_err(|_| BoundsError::RangeUnrepresentable)?;
+            let format =
+                FloatFormat::new(exp_bits, mant).map_err(|_| BoundsError::RangeUnrepresentable)?;
             return Ok(FloatChoice { format, bound });
         }
     }
@@ -150,10 +150,10 @@ pub fn optimize_float(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::fixed_query_bound as fqb;
     use problp_ac::compile;
     use problp_ac::transform::binarize;
     use problp_bayes::networks;
-    use crate::query::fixed_query_bound as fqb;
 
     fn fixture() -> (AcGraph, AcAnalysis) {
         let ac = binarize(&compile(&networks::student()).unwrap()).unwrap();
@@ -166,7 +166,8 @@ mod tests {
         let (ac, a) = fixture();
         let tol = Tolerance::Absolute(0.01);
         let choice = optimize_fixed(
-            &ac, &a,
+            &ac,
+            &a,
             QueryType::Marginal,
             tol,
             LeafErrorModel::WorstCase,
@@ -178,7 +179,8 @@ mod tests {
         if choice.format.frac_bits() > 2 {
             let narrower = FixedFormat::new(1, choice.format.frac_bits() - 1).unwrap();
             let bound = fqb(
-                &ac, &a,
+                &ac,
+                &a,
                 narrower,
                 QueryType::Marginal,
                 tol,
@@ -203,7 +205,8 @@ mod tests {
     fn tighter_tolerances_need_more_bits() {
         let (ac, a) = fixture();
         let loose = optimize_fixed(
-            &ac, &a,
+            &ac,
+            &a,
             QueryType::Marginal,
             Tolerance::Absolute(0.01),
             LeafErrorModel::WorstCase,
@@ -211,7 +214,8 @@ mod tests {
         )
         .unwrap();
         let tight = optimize_fixed(
-            &ac, &a,
+            &ac,
+            &a,
             QueryType::Marginal,
             Tolerance::Absolute(1e-6),
             LeafErrorModel::WorstCase,
@@ -225,7 +229,8 @@ mod tests {
     fn conditional_relative_fixed_is_rejected() {
         let (ac, a) = fixture();
         let err = optimize_fixed(
-            &ac, &a,
+            &ac,
+            &a,
             QueryType::Conditional,
             Tolerance::Relative(0.01),
             LeafErrorModel::WorstCase,
@@ -239,7 +244,8 @@ mod tests {
     fn unreachable_tolerance_reports_the_cap() {
         let (ac, a) = fixture();
         let err = optimize_fixed(
-            &ac, &a,
+            &ac,
+            &a,
             QueryType::Marginal,
             Tolerance::Absolute(1e-30),
             LeafErrorModel::WorstCase,
@@ -263,7 +269,8 @@ mod tests {
         let (ac, a) = fixture();
         assert!(matches!(
             optimize_fixed(
-                &ac, &a,
+                &ac,
+                &a,
                 QueryType::Marginal,
                 Tolerance::Absolute(0.0),
                 LeafErrorModel::WorstCase,
@@ -285,7 +292,8 @@ mod tests {
         let ac = binarize(&compile(&networks::alarm(7)).unwrap()).unwrap();
         let a = AcAnalysis::new(&ac).unwrap();
         let choice = optimize_fixed(
-            &ac, &a,
+            &ac,
+            &a,
             QueryType::Marginal,
             Tolerance::Absolute(0.01),
             LeafErrorModel::WorstCase,
@@ -305,9 +313,14 @@ mod tests {
         // Paper Table 2: Alarm, cond. rel 0.01 -> E=8, M=13.
         let ac = binarize(&compile(&networks::alarm(7)).unwrap()).unwrap();
         let a = AcAnalysis::new(&ac).unwrap();
-        let choice =
-            optimize_float(&ac, &a, QueryType::Conditional, Tolerance::Relative(0.01), 64)
-                .unwrap();
+        let choice = optimize_float(
+            &ac,
+            &a,
+            QueryType::Conditional,
+            Tolerance::Relative(0.01),
+            64,
+        )
+        .unwrap();
         assert!(
             (8..=24).contains(&choice.format.mant_bits()),
             "M={} outside expected territory",

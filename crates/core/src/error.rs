@@ -2,6 +2,7 @@
 
 use problp_ac::AcError;
 use problp_bounds::BoundsError;
+use problp_engine::EngineError;
 use problp_hw::HwError;
 
 /// Errors produced by the ProbLP pipeline.
@@ -14,6 +15,8 @@ pub enum CoreError {
     Bounds(BoundsError),
     /// Hardware generation failed.
     Hardware(HwError),
+    /// Batched execution (tape compilation or evaluation) failed.
+    Engine(EngineError),
     /// Neither fixed nor floating point can meet the requirements.
     NoFeasibleRepresentation {
         /// Why fixed point failed.
@@ -29,6 +32,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
             CoreError::Bounds(e) => write!(f, "bounds error: {e}"),
             CoreError::Hardware(e) => write!(f, "hardware error: {e}"),
+            CoreError::Engine(e) => write!(f, "engine error: {e}"),
             CoreError::NoFeasibleRepresentation { fixed, float } => write!(
                 f,
                 "no feasible representation: fixed failed ({fixed}); float failed ({float})"
@@ -43,6 +47,7 @@ impl std::error::Error for CoreError {
             CoreError::Circuit(e) => Some(e),
             CoreError::Bounds(e) => Some(e),
             CoreError::Hardware(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
             CoreError::NoFeasibleRepresentation { .. } => None,
         }
     }
@@ -63,6 +68,12 @@ impl From<BoundsError> for CoreError {
 impl From<HwError> for CoreError {
     fn from(e: HwError) -> Self {
         CoreError::Hardware(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
     }
 }
 

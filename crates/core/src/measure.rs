@@ -1,15 +1,21 @@
 //! Test-set error measurement (the `Max error observed on test-set`
 //! column of Table 2 and the observed curves of Fig. 5).
 //!
-//! For every test evidence the circuit is evaluated once in exact `f64`
-//! and once in the low-precision representation; conditional queries run
-//! two evaluations each (numerator and denominator) with the final ratio
-//! taken outside the AC (paper §3.2.2).
+//! Bulk evaluation routes through the batched execution engine
+//! (`problp-engine`): the whole test set is packed into one columnar
+//! [`EvidenceBatch`] and evaluated per tape sweep, once in exact `f64`
+//! and once in the low-precision representation. Conditional queries run
+//! one denominator batch plus one numerator batch per query state, with
+//! the final ratio taken outside the AC (paper §3.2.2). Tape evaluation
+//! is bit-identical to the scalar tree-walk this module used before the
+//! engine existed (pinned by `problp-engine`'s property tests), so the
+//! reported statistics are unchanged — just measured much faster.
 
-use problp_ac::{AcGraph, Semiring};
-use problp_bayes::{Evidence, VarId};
+use problp_ac::{AcError, AcGraph, Semiring};
+use problp_bayes::{Evidence, EvidenceBatch, VarId};
 use problp_bounds::QueryType;
-use problp_num::{Arith, F64Arith, Flags, FixedArith, FloatArith, Representation};
+use problp_engine::{Engine, EngineError, Tape};
+use problp_num::{Arith, F64Arith, FixedArith, Flags, FloatArith, Representation};
 
 use crate::error::CoreError;
 
@@ -85,46 +91,62 @@ impl Accumulator {
     }
 }
 
-/// Evaluates one query in an arbitrary arithmetic, mirroring how the
-/// deployed hardware would serve it.
-fn query_outputs<A: Arith>(
-    ac: &AcGraph,
-    ctx: &mut A,
+/// Runs the exact and low-precision engines over the batch and feeds the
+/// accumulator, mirroring how the deployed hardware would serve the
+/// queries in bulk.
+fn measure_batched<A>(
+    tape: &Tape,
+    lp_ctx: A,
     query: QueryType,
     query_var: VarId,
     query_states: usize,
-    evidence: &Evidence,
-) -> Result<Vec<f64>, CoreError> {
+    batch: &EvidenceBatch,
+) -> Result<ErrorStats, CoreError>
+where
+    A: Arith + Clone + Send + Sync,
+    A::Value: Clone + Send + Sync,
+{
+    let exact_engine = Engine::new(tape.clone(), F64Arith::new());
+    let lp_engine = Engine::new(tape.clone(), lp_ctx);
+    let mut acc = Accumulator::new();
+    let mut flags = Flags::new();
     match query {
-        QueryType::Marginal => {
-            let v = ac.evaluate_with(ctx, evidence, Semiring::SumProduct)?;
-            Ok(vec![ctx.to_f64(&v)])
-        }
-        QueryType::Mpe => {
-            let v = ac.evaluate_with(ctx, evidence, Semiring::MaxProduct)?;
-            Ok(vec![ctx.to_f64(&v)])
+        QueryType::Marginal | QueryType::Mpe => {
+            let exact = exact_engine.evaluate_batch(batch)?;
+            let lp = lp_engine.evaluate_batch(batch)?;
+            flags.merge(lp.flags);
+            for (x, a) in exact.values.iter().zip(lp_engine.to_f64s(&lp.values)) {
+                if x.is_finite() && a.is_finite() {
+                    acc.record(*x, a);
+                }
+            }
         }
         QueryType::Conditional => {
-            // Pr(q = s | e) for every state s: numerators Pr(q = s, e)
-            // over the shared denominator Pr(e); the ratio is taken
-            // outside the AC (paper §3.2.2, footnote 2).
-            let den = {
-                let v = ac.evaluate_with(ctx, evidence, Semiring::SumProduct)?;
-                ctx.to_f64(&v)
-            };
-            let mut outs = Vec::with_capacity(query_states);
+            // Pr(q = s | e) for every state s: one numerator batch
+            // Pr(q = s, e) per state over the shared denominator batch
+            // Pr(e); the ratio is taken outside the AC (paper §3.2.2,
+            // footnote 2).
+            let den_exact = exact_engine.evaluate_batch(batch)?;
+            let den_lp = lp_engine.evaluate_batch(batch)?;
+            flags.merge(den_lp.flags);
+            let den_lp = lp_engine.to_f64s(&den_lp.values);
             for s in 0..query_states {
-                let mut with_q = evidence.clone();
-                with_q.observe(query_var, s);
-                let num = {
-                    let v = ac.evaluate_with(ctx, &with_q, Semiring::SumProduct)?;
-                    ctx.to_f64(&v)
-                };
-                outs.push(num / den);
+                let with_q = batch.with_observed(query_var, s);
+                let num_exact = exact_engine.evaluate_batch(&with_q)?;
+                let num_lp = lp_engine.evaluate_batch(&with_q)?;
+                flags.merge(num_lp.flags);
+                let num_lp = lp_engine.to_f64s(&num_lp.values);
+                for lane in 0..batch.lanes() {
+                    let x = num_exact.values[lane] / den_exact.values[lane];
+                    let a = num_lp[lane] / den_lp[lane];
+                    if x.is_finite() && a.is_finite() {
+                        acc.record(x, a);
+                    }
+                }
             }
-            Ok(outs)
         }
     }
+    Ok(acc.finish(flags))
 }
 
 /// Measures observed low-precision errors of `query` over a test set.
@@ -168,37 +190,44 @@ pub fn measure_errors(
     test_evidence: &[Evidence],
 ) -> Result<ErrorStats, CoreError> {
     let query_states = ac.var_arities()[query_var.index()];
-    let mut acc = Accumulator::new();
-    let mut exact_ctx = F64Arith::new();
+    for e in test_evidence {
+        if e.len() != ac.var_count() {
+            return Err(AcError::EvidenceLengthMismatch {
+                evidence: e.len(),
+                circuit: ac.var_count(),
+            }
+            .into());
+        }
+    }
+    let batch = EvidenceBatch::from_evidences(ac.var_count(), test_evidence)
+        .expect("lengths checked above");
+    let semiring = match query {
+        QueryType::Mpe => Semiring::MaxProduct,
+        QueryType::Marginal | QueryType::Conditional => Semiring::SumProduct,
+    };
+    // Keep the pre-engine error contract: circuit-level failures (missing
+    // root, invalid children) still surface as `CoreError::Circuit`.
+    let tape = Tape::compile(ac, semiring).map_err(|e| match e {
+        EngineError::Circuit(ac_err) => CoreError::Circuit(ac_err),
+        other => CoreError::Engine(other),
+    })?;
     match repr {
-        Representation::Fixed(format) => {
-            let mut lp = FixedArith::new(format);
-            for e in test_evidence {
-                let exact =
-                    query_outputs(ac, &mut exact_ctx, query, query_var, query_states, e)?;
-                let approx = query_outputs(ac, &mut lp, query, query_var, query_states, e)?;
-                for (x, a) in exact.iter().zip(&approx) {
-                    if x.is_finite() && a.is_finite() {
-                        acc.record(*x, *a);
-                    }
-                }
-            }
-            Ok(acc.finish(lp.flags()))
-        }
-        Representation::Float(format) => {
-            let mut lp = FloatArith::new(format);
-            for e in test_evidence {
-                let exact =
-                    query_outputs(ac, &mut exact_ctx, query, query_var, query_states, e)?;
-                let approx = query_outputs(ac, &mut lp, query, query_var, query_states, e)?;
-                for (x, a) in exact.iter().zip(&approx) {
-                    if x.is_finite() && a.is_finite() {
-                        acc.record(*x, *a);
-                    }
-                }
-            }
-            Ok(acc.finish(lp.flags()))
-        }
+        Representation::Fixed(format) => measure_batched(
+            &tape,
+            FixedArith::new(format),
+            query,
+            query_var,
+            query_states,
+            &batch,
+        ),
+        Representation::Float(format) => measure_batched(
+            &tape,
+            FloatArith::new(format),
+            query,
+            query_var,
+            query_states,
+            &batch,
+        ),
     }
 }
 
@@ -313,6 +342,24 @@ mod tests {
         .unwrap();
         assert_eq!(stats.count, 1);
         assert!(stats.max_abs < 1e-2);
+    }
+
+    #[test]
+    fn circuit_errors_keep_the_pre_engine_contract() {
+        // A rootless graph must still surface as CoreError::Circuit.
+        let g = problp_ac::AcGraph::new(vec![2]);
+        let err = measure_errors(
+            &g,
+            Representation::Fixed(FixedFormat::new(1, 8).unwrap()),
+            QueryType::Marginal,
+            VarId::from_index(0),
+            &[Evidence::empty(1)],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::CoreError::Circuit(problp_ac::AcError::MissingRoot)
+        ));
     }
 
     #[test]

@@ -11,15 +11,17 @@
 //! ```
 
 use problp_ac::{transform, AcGraph, AcStats};
+use problp_bayes::{Evidence, VarId};
 use problp_bounds::{
-    optimize_fixed, optimize_float, AcAnalysis, BoundsError, LeafErrorModel, QueryType,
-    Tolerance, DEFAULT_MAX_PRECISION_BITS,
+    optimize_fixed, optimize_float, AcAnalysis, BoundsError, LeafErrorModel, QueryType, Tolerance,
+    DEFAULT_MAX_PRECISION_BITS,
 };
 use problp_energy::{fixed_ac_energy, float_ac_energy, AcEnergy, CellLibrary, Tsmc65Model};
 use problp_hw::{emit_verilog, HwStats, Netlist};
 use problp_num::{FloatFormat, Representation};
 
 use crate::error::CoreError;
+use crate::measure::{measure_errors, ErrorStats};
 
 /// One candidate representation with its guaranteed bound and predicted
 /// energy.
@@ -82,6 +84,11 @@ pub struct Report {
     pub baseline_float32_nj: f64,
     /// The generated hardware.
     pub hardware: HardwareReport,
+    /// Observed low-precision errors of the selected representation over
+    /// the test set handed to [`Problp::measure_on`], measured in bulk
+    /// through the batched execution engine. `None` when no test set was
+    /// provided.
+    pub observed: Option<ErrorStats>,
 }
 
 impl Report {
@@ -117,7 +124,11 @@ impl std::fmt::Display for Report {
             f,
             "  hardware: {} ({:.3} nJ/eval gate-level)",
             self.hardware.stats, self.hardware.gate_level_nj
-        )
+        )?;
+        if let Some(observed) = &self.observed {
+            write!(f, "\n  observed: {observed}")?;
+        }
+        Ok(())
     }
 }
 
@@ -152,6 +163,7 @@ pub struct Problp<'a> {
     cell_library: CellLibrary,
     emit_rtl: bool,
     optimize_circuit: bool,
+    measurement: Option<(VarId, &'a [Evidence])>,
 }
 
 impl<'a> Problp<'a> {
@@ -168,6 +180,7 @@ impl<'a> Problp<'a> {
             cell_library: CellLibrary::default(),
             emit_rtl: true,
             optimize_circuit: false,
+            measurement: None,
         }
     }
 
@@ -213,6 +226,16 @@ impl<'a> Problp<'a> {
     /// an ablation — see `DESIGN.md`).
     pub fn optimize_circuit(mut self, enable: bool) -> Self {
         self.optimize_circuit = enable;
+        self
+    }
+
+    /// Requests an empirical validation pass: after selecting the
+    /// representation, measure its observed errors over `test_evidence`
+    /// (for conditional queries, `query_var` is the queried variable).
+    /// The bulk evaluation runs through the batched execution engine; the
+    /// result lands in [`Report::observed`].
+    pub fn measure_on(mut self, query_var: VarId, test_evidence: &'a [Evidence]) -> Self {
+        self.measurement = Some((query_var, test_evidence));
         self
     }
 
@@ -301,6 +324,19 @@ impl<'a> Problp<'a> {
 
         let baseline = float_ac_energy(&bin, FloatFormat::ieee_single(), &model);
 
+        // Empirical half, on request: bulk-evaluate the test set through
+        // the batched engine against the selected representation.
+        let observed = match self.measurement {
+            Some((query_var, test_evidence)) => Some(measure_errors(
+                &bin,
+                selected.repr,
+                self.query,
+                query_var,
+                test_evidence,
+            )?),
+            None => None,
+        };
+
         Ok(Report {
             query: self.query,
             tolerance: self.tolerance,
@@ -316,6 +352,7 @@ impl<'a> Problp<'a> {
                 verilog,
                 gate_level_nj,
             },
+            observed,
         })
     }
 }
@@ -399,6 +436,33 @@ mod tests {
             report.hardware.gate_level_nj,
             report.selected.energy.total_nj()
         );
+    }
+
+    #[test]
+    fn measure_on_attaches_engine_backed_observations() {
+        let net = networks::student();
+        let ac = compile(&net).unwrap();
+        let mut evidences = vec![Evidence::empty(net.var_count())];
+        for v in 0..net.var_count() {
+            let mut e = Evidence::empty(net.var_count());
+            e.observe(VarId::from_index(v), 0);
+            evidences.push(e);
+        }
+        let report = Problp::new(&ac)
+            .query(QueryType::Marginal)
+            .tolerance(Tolerance::Absolute(0.01))
+            .skip_rtl()
+            .measure_on(VarId::from_index(0), &evidences)
+            .run()
+            .unwrap();
+        let observed = report.observed.expect("measurement requested");
+        assert_eq!(observed.count, evidences.len());
+        // The paper's guarantee, empirically: observed within the bound.
+        assert!(observed.max_abs <= report.selected.bound);
+        assert!(!observed.flags.range_violation());
+        // Without the request, the field stays empty.
+        let plain = Problp::new(&ac).skip_rtl().run().unwrap();
+        assert!(plain.observed.is_none());
     }
 
     #[test]

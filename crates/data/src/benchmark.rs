@@ -129,15 +129,9 @@ mod tests {
 
     #[test]
     fn classifier_benchmarks_have_consistent_shapes() {
-        for bench in [
-            uiwads_benchmark(3),
-            unimib_benchmark(3),
-        ] {
+        for bench in [uiwads_benchmark(3), unimib_benchmark(3)] {
             assert!(bench.test_len() > 100);
-            assert_eq!(
-                bench.test_labels.as_ref().unwrap().len(),
-                bench.test_len()
-            );
+            assert_eq!(bench.test_labels.as_ref().unwrap().len(), bench.test_len());
             // Evidence observes exactly the feature variables.
             for e in bench.test_evidence.iter().take(20) {
                 assert_eq!(e.observed_count(), bench.evidence_vars.len());
@@ -152,7 +146,10 @@ mod tests {
         assert_eq!(bench.test_len(), 50);
         assert_eq!(bench.net.var_count(), 37);
         assert_eq!(bench.evidence_vars.len(), bench.net.leaves().len());
-        assert!(bench.evidence_vars.len() >= 8, "alarm has many leaf sensors");
+        assert!(
+            bench.evidence_vars.len() >= 8,
+            "alarm has many leaf sensors"
+        );
         for e in &bench.test_evidence {
             assert_eq!(e.observed_count(), bench.evidence_vars.len());
             assert_eq!(e.state(bench.query_var), None);
@@ -182,8 +179,7 @@ mod tests {
         let har = har_benchmark(1);
         let unimib = unimib_benchmark(1);
         let uiwads = uiwads_benchmark(1);
-        let params =
-            |b: &Benchmark| b.net.parameter_count();
+        let params = |b: &Benchmark| b.net.parameter_count();
         assert!(params(&har) > 4 * params(&unimib));
         assert!(params(&unimib) > 2 * params(&uiwads));
     }

@@ -120,8 +120,8 @@ pub fn from_csv(text: &str) -> Result<LabeledDataset, BayesError> {
             })
             .collect()
     });
-    let class_arity = class_arity
-        .unwrap_or_else(|| labels.iter().map(|&l| l + 1).max().unwrap_or(2).max(2));
+    let class_arity =
+        class_arity.unwrap_or_else(|| labels.iter().map(|&l| l + 1).max().unwrap_or(2).max(2));
     LabeledDataset::new(features, labels, feature_arities, class_arity)
 }
 

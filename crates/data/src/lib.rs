@@ -33,6 +33,4 @@ mod generator;
 pub use benchmark::{
     alarm_benchmark, har_benchmark, uiwads_benchmark, unimib_benchmark, Benchmark,
 };
-pub use generator::{
-    har_like, synthetic_sensor_dataset, uiwads_like, unimib_like, SensorSpec,
-};
+pub use generator::{har_like, synthetic_sensor_dataset, uiwads_like, unimib_like, SensorSpec};

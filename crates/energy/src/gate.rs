@@ -74,7 +74,8 @@ impl CellLibrary {
         let m1 = (format.mant_bits() + 1) as f64;
         let e = format.exp_bits() as f64;
         let levels = m1.log2().ceil();
-        let mantissa_cells = m1 * (self.mux2_fj * (2.0 * levels + 2.0) // two shifters + swap
+        let mantissa_cells = m1
+            * (self.mux2_fj * (2.0 * levels + 2.0) // two shifters + swap
             + 2.0 * self.fa_fj                                        // add + round
             + self.mux2_fj * 2.0); // LZC tree approximation
         let exponent_cells = e * 3.0 * self.fa_fj; // compare, difference, adjust
@@ -142,9 +143,15 @@ mod tests {
         let model = Tsmc65Model;
         for m in [10u32, 13, 16, 23] {
             let add_ratio = lib.float_add_fj(fl(m)) / model.float_add_fj(fl(m));
-            assert!((0.5..=1.7).contains(&add_ratio), "M={m}: add ratio {add_ratio:.2}");
+            assert!(
+                (0.5..=1.7).contains(&add_ratio),
+                "M={m}: add ratio {add_ratio:.2}"
+            );
             let mul_ratio = lib.float_mul_fj(fl(m)) / model.float_mul_fj(fl(m));
-            assert!((0.5..=1.7).contains(&mul_ratio), "M={m}: mul ratio {mul_ratio:.2}");
+            assert!(
+                (0.5..=1.7).contains(&mul_ratio),
+                "M={m}: mul ratio {mul_ratio:.2}"
+            );
         }
     }
 

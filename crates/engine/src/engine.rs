@@ -1,0 +1,595 @@
+//! The batched, multi-threaded tape evaluator.
+//!
+//! # Lane sharding and the SoA register file
+//!
+//! [`Engine::evaluate_batch`] processes N evidence instances ("lanes")
+//! per tape sweep. Lanes are split into contiguous shards, one per worker
+//! thread (`std::thread::scope`, no dependencies); each worker owns a
+//! structure-of-arrays register file laid out `[register][lane]`:
+//!
+//! ```text
+//! regs: | r0 lane0 .. r0 laneB | r1 lane0 .. r1 laneB | ...
+//! ```
+//!
+//! so every instruction becomes a tight loop over one destination row and
+//! up to two source rows — contiguous streams the compiler can vectorize
+//! and the prefetcher can follow. Workers further tile their shard into
+//! blocks of [`Engine::chunk`] lanes so the whole register file stays
+//! cache-resident regardless of batch size. Parameter constants are
+//! converted via [`Arith::from_f64`] once at engine construction and
+//! broadcast into their pinned rows once per shard.
+//!
+//! Flag capture comes in two grades: [`Engine::evaluate_batch`] returns
+//! the sticky [`Flags`] aggregated over the whole batch (what
+//! `measure_errors` needs), while [`Engine::evaluate_batch_flagged`]
+//! re-runs lane-major with a fresh context per lane and reports
+//! per-lane flags — the input the fixed/float range analyses need to
+//! pinpoint which instance violated a format's range.
+
+use problp_ac::{AcGraph, Semiring};
+use problp_bayes::{Evidence, EvidenceBatch, VarId};
+use problp_num::{Arith, Flags};
+
+use crate::error::EngineError;
+use crate::tape::{Instr, Tape};
+
+/// Target byte size of one worker's SoA register file: small enough to
+/// stay L2-resident, large enough to amortise the per-block overhead.
+const TARGET_REGFILE_BYTES: usize = 512 * 1024;
+
+/// Picks the default lane-block size for a register file of `num_regs`
+/// values of `value_bytes` each.
+fn default_chunk(num_regs: usize, value_bytes: usize) -> usize {
+    (TARGET_REGFILE_BYTES / (num_regs.max(1) * value_bytes.max(1))).clamp(16, 1024)
+}
+
+/// Below this many lanes per thread, sharding costs more than it saves.
+const MIN_LANES_PER_THREAD: usize = 32;
+
+/// The result of a batch evaluation.
+#[derive(Clone, Debug)]
+pub struct BatchResult<V> {
+    /// The root value of each lane, in batch order.
+    pub values: Vec<V>,
+    /// Sticky flags aggregated across every lane and the engine's
+    /// parameter conversions.
+    pub flags: Flags,
+}
+
+/// The result of a flag-capturing batch evaluation.
+#[derive(Clone, Debug)]
+pub struct FlaggedBatchResult<V> {
+    /// The root value of each lane, in batch order.
+    pub values: Vec<V>,
+    /// The sticky flags each individual lane raised (parameter-conversion
+    /// flags included), in batch order.
+    pub lane_flags: Vec<Flags>,
+    /// The OR of `lane_flags`.
+    pub flags: Flags,
+}
+
+/// A compiled circuit bound to a number system, ready for bulk
+/// evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, Semiring};
+/// use problp_bayes::{networks, Evidence, EvidenceBatch};
+/// use problp_engine::Engine;
+/// use problp_num::F64Arith;
+///
+/// let net = networks::sprinkler();
+/// let ac = compile(&net)?;
+/// let engine = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new())?;
+///
+/// let batch = EvidenceBatch::from_evidences(
+///     net.var_count(),
+///     &[Evidence::empty(net.var_count())],
+/// )?;
+/// let result = engine.evaluate_batch(&batch)?;
+/// assert!((result.values[0] - 1.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine<A: Arith> {
+    tape: Tape,
+    ctx: A,
+    /// Parameter constants pre-converted into the engine's number system;
+    /// `consts[p]` is broadcast into register row `p` before each sweep.
+    consts: Vec<A::Value>,
+    /// Flags raised converting the constants (merged into every result).
+    const_flags: Flags,
+    zero: A::Value,
+    one: A::Value,
+    threads: usize,
+    chunk: usize,
+}
+
+impl<A> Engine<A>
+where
+    A: Arith + Clone + Send + Sync,
+    A::Value: Clone + Send + Sync,
+{
+    /// Builds an engine from a compiled tape and an arithmetic context.
+    ///
+    /// Parameter constants are converted through `ctx` here, once, rather
+    /// than per evaluation as the scalar tree-walk does.
+    pub fn new(tape: Tape, mut ctx: A) -> Self {
+        ctx.clear_flags();
+        let consts: Vec<A::Value> = tape.params().iter().map(|&p| ctx.from_f64(p)).collect();
+        let const_flags = ctx.flags();
+        let zero = ctx.zero();
+        let one = ctx.one();
+        ctx.clear_flags();
+        let chunk = default_chunk(tape.num_regs(), std::mem::size_of::<A::Value>());
+        Engine {
+            tape,
+            ctx,
+            consts,
+            const_flags,
+            zero,
+            one,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            chunk,
+        }
+    }
+
+    /// Compiles `ac` under `semiring` and builds an engine in one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Circuit`] for invalid circuits.
+    pub fn from_graph(ac: &AcGraph, semiring: Semiring, ctx: A) -> Result<Self, EngineError> {
+        Ok(Engine::new(Tape::compile(ac, semiring)?, ctx))
+    }
+
+    /// Caps the number of worker threads (default: all available cores;
+    /// `1` forces single-threaded evaluation).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the lane-block size of the SoA register file. The default is
+    /// sized so the register file stays cache-resident
+    /// (`~512 KiB / (registers x value size)`, clamped to 16..=1024).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// The compiled tape backing this engine.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Converts engine values back to `f64` for inspection.
+    pub fn to_f64s(&self, values: &[A::Value]) -> Vec<f64> {
+        values.iter().map(|v| self.ctx.to_f64(v)).collect()
+    }
+
+    fn check_batch(&self, batch: &EvidenceBatch) -> Result<(), EngineError> {
+        if batch.var_count() != self.tape.var_count() {
+            return Err(EngineError::BatchLengthMismatch {
+                batch: batch.var_count(),
+                circuit: self.tape.var_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// How many shards to use for `lanes` lanes.
+    fn shard_count(&self, lanes: usize) -> usize {
+        self.threads
+            .min(lanes.div_ceil(MIN_LANES_PER_THREAD))
+            .max(1)
+    }
+
+    /// Evaluates every lane of the batch, returning root values in batch
+    /// order plus the aggregated sticky flags.
+    ///
+    /// Lanes are sharded across worker threads; results are independent
+    /// of the thread count and of the chunk size (each lane's value is
+    /// computed by exactly the same instruction sequence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BatchLengthMismatch`] if the batch ranges
+    /// over a different number of variables than the compiled circuit.
+    pub fn evaluate_batch(
+        &self,
+        batch: &EvidenceBatch,
+    ) -> Result<BatchResult<A::Value>, EngineError> {
+        self.check_batch(batch)?;
+        let lanes = batch.lanes();
+        let mut values: Vec<A::Value> = vec![self.zero.clone(); lanes];
+        let mut flags = self.const_flags;
+        if lanes == 0 {
+            return Ok(BatchResult { values, flags });
+        }
+
+        let shards = self.shard_count(lanes);
+        if shards <= 1 {
+            flags.merge(self.sweep_range(batch, 0, &mut values));
+        } else {
+            let per = lanes.div_ceil(shards);
+            let mut slices: Vec<(usize, &mut [A::Value])> = Vec::with_capacity(shards);
+            let mut rest = values.as_mut_slice();
+            let mut start = 0;
+            while !rest.is_empty() {
+                let take = per.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                slices.push((start, head));
+                start += take;
+                rest = tail;
+            }
+            let shard_flags = std::thread::scope(|scope| {
+                let handles: Vec<_> = slices
+                    .into_iter()
+                    .map(|(start, out)| scope.spawn(move || self.sweep_range(batch, start, out)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for f in shard_flags {
+                flags.merge(f);
+            }
+        }
+        Ok(BatchResult { values, flags })
+    }
+
+    /// Like [`Engine::evaluate_batch`], but captures the sticky flags of
+    /// every lane individually (fresh context per lane) — the per-instance
+    /// range-violation report the fixed/float analyses consume.
+    ///
+    /// This runs lane-major (no SoA inner loop), so prefer
+    /// [`Engine::evaluate_batch`] when aggregate flags suffice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::evaluate_batch`].
+    pub fn evaluate_batch_flagged(
+        &self,
+        batch: &EvidenceBatch,
+    ) -> Result<FlaggedBatchResult<A::Value>, EngineError> {
+        self.check_batch(batch)?;
+        let lanes = batch.lanes();
+        let mut values: Vec<A::Value> = vec![self.zero.clone(); lanes];
+        let mut lane_flags: Vec<Flags> = vec![Flags::new(); lanes];
+        if lanes > 0 {
+            let shards = self.shard_count(lanes);
+            let per = lanes.div_ceil(shards);
+            std::thread::scope(|scope| {
+                let value_chunks = values.chunks_mut(per);
+                let flag_chunks = lane_flags.chunks_mut(per);
+                for (i, (vals, flgs)) in value_chunks.zip(flag_chunks).enumerate() {
+                    scope.spawn(move || self.sweep_lane_major(batch, i * per, vals, flgs));
+                }
+            });
+        }
+        let mut flags = Flags::new();
+        for f in &lane_flags {
+            flags.merge(*f);
+        }
+        Ok(FlaggedBatchResult {
+            values,
+            lane_flags,
+            flags,
+        })
+    }
+
+    /// Evaluates a single evidence instance on the scalar tape path (no
+    /// threads, no SoA blocking): the latency-oriented little sibling of
+    /// [`Engine::evaluate_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BatchLengthMismatch`] on an evidence length
+    /// mismatch.
+    pub fn evaluate_one(&self, evidence: &Evidence) -> Result<(A::Value, Flags), EngineError> {
+        if evidence.len() != self.tape.var_count() {
+            return Err(EngineError::BatchLengthMismatch {
+                batch: evidence.len(),
+                circuit: self.tape.var_count(),
+            });
+        }
+        let mut ctx = self.ctx.clone();
+        ctx.clear_flags();
+        let mut regs: Vec<A::Value> = vec![self.zero.clone(); self.tape.num_regs()];
+        regs[..self.consts.len()].clone_from_slice(&self.consts);
+        for instr in self.tape.instrs() {
+            match *instr {
+                Instr::LoadIndicator { dst, slot } => {
+                    let (var, state) = self.tape.slot(slot);
+                    let observed = evidence.state(VarId::from_index(var as usize));
+                    regs[dst as usize] = match observed {
+                        Some(s) if s != state as usize => self.zero.clone(),
+                        _ => self.one.clone(),
+                    };
+                }
+                Instr::Add { dst, lhs, rhs } => {
+                    regs[dst as usize] = ctx.add(&regs[lhs as usize], &regs[rhs as usize]);
+                }
+                Instr::Mul { dst, lhs, rhs } => {
+                    regs[dst as usize] = ctx.mul(&regs[lhs as usize], &regs[rhs as usize]);
+                }
+                Instr::Max { dst, lhs, rhs } => {
+                    regs[dst as usize] = ctx.max(&regs[lhs as usize], &regs[rhs as usize]);
+                }
+                Instr::MinNz { dst, lhs, rhs } => {
+                    regs[dst as usize] = min_nz(&mut ctx, &regs[lhs as usize], &regs[rhs as usize]);
+                }
+            }
+        }
+        let mut flags = ctx.flags();
+        flags.merge(self.const_flags);
+        Ok((regs[self.tape.root_reg() as usize].clone(), flags))
+    }
+
+    /// SoA sweep of the contiguous lane range starting at `start`, writing
+    /// root values into `out` (whose length determines the range) and
+    /// returning the shard's sticky flags.
+    fn sweep_range(&self, batch: &EvidenceBatch, start: usize, out: &mut [A::Value]) -> Flags {
+        let mut ctx = self.ctx.clone();
+        ctx.clear_flags();
+        let num_regs = self.tape.num_regs();
+        let chunk = self.chunk.min(out.len().max(1));
+        let mut regs: Vec<A::Value> = vec![self.zero.clone(); num_regs * chunk];
+        // Pinned parameter rows are written once: no instruction ever uses
+        // them as a destination.
+        for (p, c) in self.consts.iter().enumerate() {
+            for slot in &mut regs[p * chunk..p * chunk + chunk] {
+                *slot = c.clone();
+            }
+        }
+        let mut done = 0;
+        while done < out.len() {
+            let n = chunk.min(out.len() - done);
+            let base = start + done;
+            for instr in self.tape.instrs() {
+                match *instr {
+                    Instr::LoadIndicator { dst, slot } => {
+                        let (var, state) = self.tape.slot(slot);
+                        let col = batch.column(VarId::from_index(var as usize));
+                        let d = dst as usize * chunk;
+                        for l in 0..n {
+                            let observed = col[base + l];
+                            regs[d + l] = if observed >= 0 && observed != state as i32 {
+                                self.zero.clone()
+                            } else {
+                                self.one.clone()
+                            };
+                        }
+                    }
+                    Instr::Add { dst, lhs, rhs } => {
+                        let (d, a, b) = (
+                            dst as usize * chunk,
+                            lhs as usize * chunk,
+                            rhs as usize * chunk,
+                        );
+                        for l in 0..n {
+                            let v = ctx.add(&regs[a + l], &regs[b + l]);
+                            regs[d + l] = v;
+                        }
+                    }
+                    Instr::Mul { dst, lhs, rhs } => {
+                        let (d, a, b) = (
+                            dst as usize * chunk,
+                            lhs as usize * chunk,
+                            rhs as usize * chunk,
+                        );
+                        for l in 0..n {
+                            let v = ctx.mul(&regs[a + l], &regs[b + l]);
+                            regs[d + l] = v;
+                        }
+                    }
+                    Instr::Max { dst, lhs, rhs } => {
+                        let (d, a, b) = (
+                            dst as usize * chunk,
+                            lhs as usize * chunk,
+                            rhs as usize * chunk,
+                        );
+                        for l in 0..n {
+                            let v = ctx.max(&regs[a + l], &regs[b + l]);
+                            regs[d + l] = v;
+                        }
+                    }
+                    Instr::MinNz { dst, lhs, rhs } => {
+                        let (d, a, b) = (
+                            dst as usize * chunk,
+                            lhs as usize * chunk,
+                            rhs as usize * chunk,
+                        );
+                        for l in 0..n {
+                            let v = min_nz(&mut ctx, &regs[a + l], &regs[b + l]);
+                            regs[d + l] = v;
+                        }
+                    }
+                }
+            }
+            let root = self.tape.root_reg() as usize * chunk;
+            out[done..done + n].clone_from_slice(&regs[root..root + n]);
+            done += n;
+        }
+        ctx.flags()
+    }
+
+    /// Lane-major sweep used by [`Engine::evaluate_batch_flagged`]: one
+    /// scalar register file, cleared flags per lane.
+    fn sweep_lane_major(
+        &self,
+        batch: &EvidenceBatch,
+        start: usize,
+        out: &mut [A::Value],
+        flags_out: &mut [Flags],
+    ) {
+        let mut ctx = self.ctx.clone();
+        let mut regs: Vec<A::Value> = vec![self.zero.clone(); self.tape.num_regs()];
+        regs[..self.consts.len()].clone_from_slice(&self.consts);
+        for (i, (out_v, out_f)) in out.iter_mut().zip(flags_out.iter_mut()).enumerate() {
+            let lane = start + i;
+            ctx.clear_flags();
+            for instr in self.tape.instrs() {
+                match *instr {
+                    Instr::LoadIndicator { dst, slot } => {
+                        let (var, state) = self.tape.slot(slot);
+                        let observed = batch.column(VarId::from_index(var as usize))[lane];
+                        regs[dst as usize] = if observed >= 0 && observed != state as i32 {
+                            self.zero.clone()
+                        } else {
+                            self.one.clone()
+                        };
+                    }
+                    Instr::Add { dst, lhs, rhs } => {
+                        regs[dst as usize] = ctx.add(&regs[lhs as usize], &regs[rhs as usize]);
+                    }
+                    Instr::Mul { dst, lhs, rhs } => {
+                        regs[dst as usize] = ctx.mul(&regs[lhs as usize], &regs[rhs as usize]);
+                    }
+                    Instr::Max { dst, lhs, rhs } => {
+                        regs[dst as usize] = ctx.max(&regs[lhs as usize], &regs[rhs as usize]);
+                    }
+                    Instr::MinNz { dst, lhs, rhs } => {
+                        regs[dst as usize] =
+                            min_nz(&mut ctx, &regs[lhs as usize], &regs[rhs as usize]);
+                    }
+                }
+            }
+            *out_v = regs[self.tape.root_reg() as usize].clone();
+            let mut f = ctx.flags();
+            f.merge(self.const_flags);
+            *out_f = f;
+        }
+    }
+}
+
+/// Min over non-zero operands, zero only if both are zero — the binary
+/// fold step of the min-value-analysis sum (paper §3.1.4). Matches the
+/// scalar evaluator's skip-zero fold bit for bit.
+#[inline]
+fn min_nz<A: Arith>(ctx: &mut A, a: &A::Value, b: &A::Value) -> A::Value {
+    if ctx.to_f64(a) == 0.0 {
+        b.clone()
+    } else if ctx.to_f64(b) == 0.0 {
+        a.clone()
+    } else {
+        ctx.min(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_bayes::networks;
+    use problp_num::{F64Arith, FixedArith, FixedFormat};
+
+    fn sprinkler_engine() -> (problp_bayes::BayesNet, Engine<F64Arith>) {
+        let net = networks::sprinkler();
+        let ac = problp_ac::compile(&net).unwrap();
+        let engine = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new()).unwrap();
+        (net, engine)
+    }
+
+    fn single_var_evidences(net: &problp_bayes::BayesNet) -> Vec<Evidence> {
+        let mut out = vec![Evidence::empty(net.var_count())];
+        for v in 0..net.var_count() {
+            for s in 0..net.variable(VarId::from_index(v)).arity() {
+                let mut e = Evidence::empty(net.var_count());
+                e.observe(VarId::from_index(v), s);
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn batch_matches_scalar_tree_walk_bit_for_bit() {
+        let (net, engine) = sprinkler_engine();
+        let evidences = single_var_evidences(&net);
+        let ac = problp_ac::compile(&net).unwrap();
+        let batch = EvidenceBatch::from_evidences(net.var_count(), &evidences).unwrap();
+        let result = engine.evaluate_batch(&batch).unwrap();
+        for (e, got) in evidences.iter().zip(&result.values) {
+            let want = ac.evaluate(e).unwrap();
+            assert_eq!(want.to_bits(), got.to_bits(), "evidence {e}");
+        }
+    }
+
+    #[test]
+    fn results_are_independent_of_threads_and_chunks() {
+        let (net, engine) = sprinkler_engine();
+        let evidences: Vec<Evidence> = (0..200).flat_map(|_| single_var_evidences(&net)).collect();
+        let batch = EvidenceBatch::from_evidences(net.var_count(), &evidences).unwrap();
+        let reference = engine
+            .clone()
+            .with_threads(1)
+            .evaluate_batch(&batch)
+            .unwrap();
+        for threads in [2, 3, 8] {
+            for chunk in [1, 7, 64] {
+                let got = engine
+                    .clone()
+                    .with_threads(threads)
+                    .with_chunk(chunk)
+                    .evaluate_batch(&batch)
+                    .unwrap();
+                assert_eq!(
+                    reference.values, got.values,
+                    "threads={threads} chunk={chunk}"
+                );
+                assert_eq!(reference.flags, got.flags);
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_one_matches_the_batch_path() {
+        let (net, engine) = sprinkler_engine();
+        for e in single_var_evidences(&net) {
+            let batch =
+                EvidenceBatch::from_evidences(net.var_count(), std::slice::from_ref(&e)).unwrap();
+            let batched = engine.evaluate_batch(&batch).unwrap();
+            let (single, _) = engine.evaluate_one(&e).unwrap();
+            assert_eq!(single.to_bits(), batched.values[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn flagged_evaluation_reports_per_lane_flags() {
+        let net = networks::sprinkler();
+        let ac = problp_ac::compile(&net).unwrap();
+        // A deliberately tiny format: conversions are inexact.
+        let format = FixedFormat::new(1, 4).unwrap();
+        let engine =
+            Engine::from_graph(&ac, Semiring::SumProduct, FixedArith::new(format)).unwrap();
+        let batch =
+            EvidenceBatch::from_evidences(net.var_count(), &single_var_evidences(&net)).unwrap();
+        let flagged = engine.evaluate_batch_flagged(&batch).unwrap();
+        assert_eq!(flagged.lane_flags.len(), batch.lanes());
+        assert!(flagged.flags.inexact, "4 fraction bits cannot be exact");
+        // Aggregate equals the OR of the lanes.
+        let agg = engine.evaluate_batch(&batch).unwrap();
+        assert_eq!(agg.flags, flagged.flags);
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let (net, engine) = sprinkler_engine();
+        let batch = EvidenceBatch::new(net.var_count());
+        let result = engine.evaluate_batch(&batch).unwrap();
+        assert!(result.values.is_empty());
+    }
+
+    #[test]
+    fn batch_length_mismatch_is_reported() {
+        let (_, engine) = sprinkler_engine();
+        let batch = EvidenceBatch::new(2);
+        assert!(matches!(
+            engine.evaluate_batch(&batch).unwrap_err(),
+            EngineError::BatchLengthMismatch { .. }
+        ));
+    }
+}

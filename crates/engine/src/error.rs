@@ -1,0 +1,61 @@
+//! Error types for the execution engine.
+
+use problp_ac::AcError;
+
+/// Errors produced by tape compilation and batch evaluation.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The source circuit was invalid (no root, bad children, ...).
+    Circuit(AcError),
+    /// The evidence batch ranges over the wrong number of variables.
+    BatchLengthMismatch {
+        /// Variables in the batch.
+        batch: usize,
+        /// Variables in the compiled circuit.
+        circuit: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Circuit(e) => write!(f, "circuit error: {e}"),
+            EngineError::BatchLengthMismatch { batch, circuit } => write!(
+                f,
+                "evidence batch ranges over {batch} variables but the circuit has {circuit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Circuit(e) => Some(e),
+            EngineError::BatchLengthMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<AcError> for EngineError {
+    fn from(e: AcError) -> Self {
+        EngineError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = AcError::MissingRoot.into();
+        assert!(matches!(e, EngineError::Circuit(_)));
+        let e = EngineError::BatchLengthMismatch {
+            batch: 3,
+            circuit: 5,
+        };
+        assert!(e.to_string().contains("3 variables"));
+    }
+}

@@ -1,0 +1,423 @@
+//! The tape compiler: `AcGraph` → flat, register-allocated instruction
+//! stream.
+//!
+//! # Tape layout
+//!
+//! Compilation first runs the circuit through [`problp_ac::optimize`]
+//! (dead-node elimination, constant folding, common-subexpression
+//! sharing: every transformation is value-preserving, bit for bit, on the
+//! non-negative values ACs compute), then linearizes the surviving DAG
+//! into one contiguous `Vec<Instr>` of *binary* three-address operations:
+//!
+//! * n-ary sums and products are lowered to left-to-right accumulator
+//!   chains — exactly the fold order of the scalar tree-walk in
+//!   `problp-ac`, so tape results are bit-identical to
+//!   [`AcGraph::evaluate_nodes`];
+//! * the [`Semiring`] is baked in at compile time: sum nodes lower to
+//!   [`Instr::Add`], [`Instr::Max`] or [`Instr::MinNz`];
+//! * parameter leaves are hoisted out of the instruction stream entirely:
+//!   each distinct constant gets one pinned register (`0..param_count`),
+//!   pre-filled once per evaluation block instead of re-converted per
+//!   node visit;
+//! * indicator leaves become [`Instr::LoadIndicator`] reads of a resolved
+//!   `(variable, state)` slot, so evaluation never touches a hash map.
+//!
+//! Registers above the pinned params are allocated with a last-use free
+//! list, so the register file stays far smaller than the node count —
+//! this is what makes the structure-of-arrays batch layout of
+//! [`crate::Engine`] fit in cache.
+
+use problp_ac::{optimize, AcGraph, AcNode, Semiring};
+use problp_bayes::VarId;
+
+use crate::error::EngineError;
+
+/// One tape instruction. `dst`, `lhs` and `rhs` are register indices.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// `reg[dst] = indicator(slot)`: 1 unless the lane's evidence
+    /// contradicts the slot's `(variable, state)`.
+    LoadIndicator {
+        /// Destination register.
+        dst: u32,
+        /// Index into the tape's indicator slot table.
+        slot: u32,
+    },
+    /// `reg[dst] = reg[lhs] + reg[rhs]`.
+    Add {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+    },
+    /// `reg[dst] = reg[lhs] * reg[rhs]`.
+    Mul {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+    },
+    /// `reg[dst] = max(reg[lhs], reg[rhs])` (max-product sums).
+    Max {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+    },
+    /// `reg[dst] = min over non-zero of (reg[lhs], reg[rhs])`, zero only
+    /// if both are zero (min-value-analysis sums, paper §3.1.4).
+    MinNz {
+        /// Destination register.
+        dst: u32,
+        /// Left operand register.
+        lhs: u32,
+        /// Right operand register.
+        rhs: u32,
+    },
+}
+
+/// Aggregate statistics of a compiled tape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TapeStats {
+    /// Nodes in the source circuit (before optimisation).
+    pub source_nodes: usize,
+    /// Nodes surviving optimisation (dead/duplicate nodes elided).
+    pub live_nodes: usize,
+    /// Instructions on the tape.
+    pub instrs: usize,
+    /// Total registers (pinned parameter registers included).
+    pub registers: usize,
+    /// Distinct parameter constants (pinned registers).
+    pub params: usize,
+    /// Distinct indicator slots.
+    pub indicators: usize,
+}
+
+impl std::fmt::Display for TapeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} instrs over {} regs ({} params, {} indicators; {} of {} nodes live)",
+            self.instrs,
+            self.registers,
+            self.params,
+            self.indicators,
+            self.live_nodes,
+            self.source_nodes
+        )
+    }
+}
+
+/// A compiled, register-allocated execution tape.
+///
+/// The tape is number-system agnostic: parameter constants are stored as
+/// `f64` and converted once per [`crate::Engine`] via
+/// [`problp_num::Arith::from_f64`], so one tape can back engines of every
+/// representation.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, Semiring};
+/// use problp_bayes::networks;
+/// use problp_engine::Tape;
+///
+/// let ac = compile(&networks::sprinkler())?;
+/// let tape = Tape::compile(&ac, Semiring::SumProduct)?;
+/// assert!(tape.stats().registers <= ac.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tape {
+    semiring: Semiring,
+    var_count: usize,
+    /// Distinct parameter constants; constant `p` lives in register `p`.
+    params: Vec<f64>,
+    /// Indicator slots as `(variable index, state)`.
+    indicators: Vec<(u32, u32)>,
+    instrs: Vec<Instr>,
+    num_regs: u32,
+    root_reg: u32,
+    source_nodes: usize,
+    live_nodes: usize,
+}
+
+/// Last-use register allocator state during compilation.
+struct RegAlloc {
+    /// Next fresh register index.
+    next: u32,
+    /// Registers whose value is dead and can be reused.
+    free: Vec<u32>,
+}
+
+impl RegAlloc {
+    fn alloc(&mut self) -> u32 {
+        self.free.pop().unwrap_or_else(|| {
+            let r = self.next;
+            self.next += 1;
+            r
+        })
+    }
+}
+
+impl Tape {
+    /// Compiles a circuit into a tape under the given semiring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Circuit`] if the circuit has no root or is
+    /// otherwise invalid.
+    pub fn compile(ac: &AcGraph, semiring: Semiring) -> Result<Self, EngineError> {
+        let (opt, _) = optimize(ac)?;
+        let root = opt.root().expect("optimize always sets a root");
+        let nodes = opt.nodes();
+
+        // Liveness: the arena index of each node's last consumer. The root
+        // is pinned alive forever.
+        let mut last_use = vec![0usize; nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            for c in node.children() {
+                last_use[c.index()] = i;
+            }
+        }
+        last_use[root.index()] = usize::MAX;
+
+        // Pass 1: pinned parameter registers. AcGraph hash-conses params,
+        // so each distinct constant appears exactly once.
+        let mut params = Vec::new();
+        for node in nodes {
+            if let AcNode::Param { value } = node {
+                params.push(*value);
+            }
+        }
+
+        let mut tape = Tape {
+            semiring,
+            var_count: opt.var_count(),
+            indicators: Vec::new(),
+            instrs: Vec::new(),
+            num_regs: params.len() as u32,
+            root_reg: 0,
+            source_nodes: ac.len(),
+            live_nodes: nodes.len(),
+            params,
+        };
+        let mut alloc = RegAlloc {
+            next: tape.num_regs,
+            free: Vec::new(),
+        };
+
+        // Pass 2: linearize. `reg_of[i]` is the register holding node i's
+        // value while the node is live.
+        let mut reg_of = vec![u32::MAX; nodes.len()];
+        let mut next_param = 0u32;
+        for (i, node) in nodes.iter().enumerate() {
+            let dst = match node {
+                AcNode::Param { .. } => {
+                    let r = next_param;
+                    next_param += 1;
+                    r
+                }
+                AcNode::Indicator { var, state } => {
+                    let slot = tape.indicators.len() as u32;
+                    tape.indicators.push((var.index() as u32, *state as u32));
+                    let dst = alloc.alloc();
+                    tape.instrs.push(Instr::LoadIndicator { dst, slot });
+                    dst
+                }
+                AcNode::Sum(children) | AcNode::Product(children) => {
+                    debug_assert!(children.len() >= 2, "optimize elides unary operators");
+                    let make = |dst: u32, lhs: u32, rhs: u32| match (node, semiring) {
+                        (AcNode::Product(_), _) => Instr::Mul { dst, lhs, rhs },
+                        (_, Semiring::SumProduct) => Instr::Add { dst, lhs, rhs },
+                        (_, Semiring::MaxProduct) => Instr::Max { dst, lhs, rhs },
+                        (_, Semiring::MinProduct) => Instr::MinNz { dst, lhs, rhs },
+                    };
+                    // Left-to-right accumulator chain, matching the scalar
+                    // evaluator's fold order bit for bit.
+                    let dst = alloc.alloc();
+                    let mut acc = reg_of[children[0].index()];
+                    for c in &children[1..] {
+                        tape.instrs.push(make(dst, acc, reg_of[c.index()]));
+                        acc = dst;
+                    }
+                    dst
+                }
+            };
+            reg_of[i] = dst;
+
+            // Free the registers of children that die at this node (never
+            // pinned param registers, never the root).
+            for c in node.children() {
+                let ci = c.index();
+                if last_use[ci] == i
+                    && reg_of[ci] != u32::MAX
+                    && !matches!(nodes[ci], AcNode::Param { .. })
+                {
+                    alloc.free.push(reg_of[ci]);
+                    reg_of[ci] = u32::MAX;
+                }
+            }
+        }
+
+        tape.num_regs = alloc.next;
+        // Always valid: param registers are never freed, and the root's
+        // last_use is pinned to usize::MAX.
+        tape.root_reg = reg_of[root.index()];
+        debug_assert_ne!(tape.root_reg, u32::MAX, "root register stays live");
+        Ok(tape)
+    }
+
+    /// The semiring this tape was compiled for.
+    pub fn semiring(&self) -> Semiring {
+        self.semiring
+    }
+
+    /// Number of variables the compiled circuit ranges over.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// The distinct parameter constants; constant `p` is pre-loaded into
+    /// register `p`.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// The indicator slot table as `(variable, state)` pairs.
+    pub fn indicator_slots(&self) -> impl Iterator<Item = (VarId, usize)> + '_ {
+        self.indicators
+            .iter()
+            .map(|&(v, s)| (VarId::from_index(v as usize), s as usize))
+    }
+
+    /// The instruction stream.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Total number of registers (pinned parameter registers included).
+    pub fn num_regs(&self) -> usize {
+        self.num_regs as usize
+    }
+
+    /// The register holding the root value after a sweep.
+    pub fn root_reg(&self) -> u32 {
+        self.root_reg
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> TapeStats {
+        TapeStats {
+            source_nodes: self.source_nodes,
+            live_nodes: self.live_nodes,
+            instrs: self.instrs.len(),
+            registers: self.num_regs as usize,
+            params: self.params.len(),
+            indicators: self.indicators.len(),
+        }
+    }
+
+    /// Raw access for the evaluator: `(var, state)` of a slot index.
+    #[inline]
+    pub(crate) fn slot(&self, slot: u32) -> (u32, u32) {
+        self.indicators[slot as usize]
+    }
+}
+
+impl std::fmt::Display for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tape({}, {:?})", self.stats(), self.semiring)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_bayes::Evidence;
+    use problp_num::{Arith, F64Arith};
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    /// λ_{a0}·0.3 + λ_{a1}·0.7.
+    fn tiny() -> AcGraph {
+        let mut g = AcGraph::new(vec![2]);
+        let a0 = g.indicator(v(0), 0).unwrap();
+        let a1 = g.indicator(v(0), 1).unwrap();
+        let t0 = g.param(0.3).unwrap();
+        let t1 = g.param(0.7).unwrap();
+        let p0 = g.product(vec![a0, t0]).unwrap();
+        let p1 = g.product(vec![a1, t1]).unwrap();
+        let root = g.sum(vec![p0, p1]).unwrap();
+        g.set_root(root);
+        g
+    }
+
+    #[test]
+    fn compiles_the_tiny_circuit() {
+        let tape = Tape::compile(&tiny(), Semiring::SumProduct).unwrap();
+        let st = tape.stats();
+        assert_eq!(st.params, 2);
+        assert_eq!(st.indicators, 2);
+        // 2 loads + 2 muls + 1 add.
+        assert_eq!(st.instrs, 5);
+        assert!(st.registers < 7, "liveness reuses registers: {st}");
+    }
+
+    #[test]
+    fn semiring_selects_the_sum_lowering() {
+        for (semiring, pat) in [
+            (Semiring::SumProduct, "Add"),
+            (Semiring::MaxProduct, "Max"),
+            (Semiring::MinProduct, "MinNz"),
+        ] {
+            let tape = Tape::compile(&tiny(), semiring).unwrap();
+            let found = tape
+                .instrs()
+                .iter()
+                .any(|i| format!("{i:?}").starts_with(pat));
+            assert!(found, "{semiring:?} lowers sums to {pat}");
+        }
+    }
+
+    #[test]
+    fn dead_nodes_are_elided() {
+        let mut g = tiny();
+        // An unreachable extra parameter.
+        let _ = g.param(0.123).unwrap();
+        let tape = Tape::compile(&g, Semiring::SumProduct).unwrap();
+        assert_eq!(tape.stats().params, 2, "dead param elided");
+        assert!(tape.stats().live_nodes < g.len());
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let g = AcGraph::new(vec![2]);
+        assert!(matches!(
+            Tape::compile(&g, Semiring::SumProduct).unwrap_err(),
+            EngineError::Circuit(_)
+        ));
+    }
+
+    #[test]
+    fn constant_root_compiles() {
+        let mut g = AcGraph::new(vec![2]);
+        let p = g.param(0.25).unwrap();
+        g.set_root(p);
+        let tape = Tape::compile(&g, Semiring::SumProduct).unwrap();
+        assert_eq!(tape.instrs().len(), 0);
+        assert_eq!(tape.root_reg(), 0);
+        // Sanity: the engine-side contract — params live in regs [0, P).
+        let mut ctx = F64Arith::new();
+        assert_eq!(ctx.from_f64(tape.params()[tape.root_reg() as usize]), 0.25);
+        let _ = Evidence::empty(2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests for the execution engine: tape evaluation is
+//! bit-identical to the scalar tree-walk, and batch results are
+//! independent of how lanes are sharded.
+
+use proptest::prelude::*;
+
+use problp_ac::{compile, transform::binarize, Semiring};
+use problp_bayes::{networks, Evidence, EvidenceBatch, VarId};
+use problp_engine::{Engine, Tape};
+use problp_num::{Arith, F64Arith, FixedArith, FixedFormat, FloatArith, FloatFormat};
+
+/// A random network's seed plus per-variable observation picks.
+fn net_and_picks() -> impl Strategy<Value = (u64, Vec<usize>)> {
+    (0u64..500, proptest::collection::vec(0usize..100, 7))
+}
+
+/// Builds evidence observing roughly half the variables, like the
+/// cross-crate suite does.
+fn evidence_from_picks(net: &problp_bayes::BayesNet, picks: &[usize]) -> Evidence {
+    let mut e = Evidence::empty(net.var_count());
+    for (v, p) in picks.iter().enumerate().take(net.var_count()) {
+        if p % 2 == 0 {
+            let var = VarId::from_index(v);
+            e.observe(var, p % net.variable(var).arity());
+        }
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: for every semiring, evaluating the compiled
+    /// tape under `F64Arith` returns the root value of
+    /// `AcGraph::evaluate_nodes` bit for bit — the `optimize` pass and
+    /// the binary-chain lowering change no bits.
+    #[test]
+    fn tape_is_bit_identical_to_evaluate_nodes((seed, picks) in net_and_picks()) {
+        let net = networks::random_network(seed, 7, 3, 3);
+        let ac = compile(&net).unwrap();
+        let e = evidence_from_picks(&net, &picks);
+        for semiring in [Semiring::SumProduct, Semiring::MaxProduct, Semiring::MinProduct] {
+            let mut ctx = F64Arith::new();
+            let scalar = {
+                let values = ac.evaluate_nodes(&mut ctx, &e, semiring).unwrap();
+                values[ac.root().unwrap().index()]
+            };
+            let engine = Engine::from_graph(&ac, semiring, F64Arith::new()).unwrap();
+            let (tape_value, _) = engine.evaluate_one(&e).unwrap();
+            prop_assert_eq!(
+                scalar.to_bits(),
+                tape_value.to_bits(),
+                "semiring {:?}: scalar {} vs tape {}",
+                semiring, scalar, tape_value
+            );
+        }
+    }
+
+    /// The same holds on binarized circuits (the hardware form the
+    /// pipeline measures on).
+    #[test]
+    fn tape_is_bit_identical_on_binarized_circuits((seed, picks) in net_and_picks()) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let e = evidence_from_picks(&net, &picks);
+        let scalar = ac.evaluate(&e).unwrap();
+        let engine = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new()).unwrap();
+        let (tape_value, _) = engine.evaluate_one(&e).unwrap();
+        prop_assert_eq!(scalar.to_bits(), tape_value.to_bits());
+    }
+
+    /// Low-precision contexts run the identical operation sequence, so
+    /// the tape matches the scalar walk there too (raw bit compare),
+    /// for every semiring.
+    #[test]
+    fn tape_matches_scalar_walk_under_low_precision(
+        (seed, picks) in net_and_picks(),
+        frac in 6u32..20,
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let e = evidence_from_picks(&net, &picks);
+        for semiring in [Semiring::SumProduct, Semiring::MaxProduct, Semiring::MinProduct] {
+            let format = FixedFormat::new(1, frac).unwrap();
+            let mut fx = FixedArith::new(format);
+            let scalar = ac.evaluate_with(&mut fx, &e, semiring).unwrap();
+            let scalar = fx.to_f64(&scalar);
+            let engine = Engine::from_graph(&ac, semiring, FixedArith::new(format)).unwrap();
+            let (v, _) = engine.evaluate_one(&e).unwrap();
+            prop_assert_eq!(scalar.to_bits(), v.to_f64().to_bits(), "fixed, {:?}", semiring);
+
+            let format = FloatFormat::new(8, frac).unwrap();
+            let mut fl = FloatArith::new(format);
+            let scalar = ac.evaluate_with(&mut fl, &e, semiring).unwrap();
+            let scalar = fl.to_f64(&scalar);
+            let engine = Engine::from_graph(&ac, semiring, FloatArith::new(format)).unwrap();
+            let (v, _) = engine.evaluate_one(&e).unwrap();
+            prop_assert_eq!(scalar.to_bits(), v.to_f64().to_bits(), "float, {:?}", semiring);
+        }
+    }
+
+    /// Deterministic CPTs (Asia's OR gate) make `optimize` fold 0/1
+    /// constants; those folds must change no bits in any arithmetic or
+    /// semiring either.
+    #[test]
+    fn constant_folding_preserves_bits_on_deterministic_networks(
+        picks in proptest::collection::vec(0usize..100, 8),
+        frac in 6u32..20,
+    ) {
+        let net = networks::asia();
+        let ac = compile(&net).unwrap();
+        let e = evidence_from_picks(&net, &picks);
+        for semiring in [Semiring::SumProduct, Semiring::MaxProduct, Semiring::MinProduct] {
+            let mut ctx = F64Arith::new();
+            let values = ac.evaluate_nodes(&mut ctx, &e, semiring).unwrap();
+            let scalar = values[ac.root().unwrap().index()];
+            let engine = Engine::from_graph(&ac, semiring, F64Arith::new()).unwrap();
+            let (v, _) = engine.evaluate_one(&e).unwrap();
+            prop_assert_eq!(scalar.to_bits(), v.to_bits(), "f64, {:?}", semiring);
+
+            let format = FixedFormat::new(1, frac).unwrap();
+            let mut fx = FixedArith::new(format);
+            let scalar = ac.evaluate_with(&mut fx, &e, semiring).unwrap();
+            let scalar = fx.to_f64(&scalar);
+            let engine = Engine::from_graph(&ac, semiring, FixedArith::new(format)).unwrap();
+            let (v, _) = engine.evaluate_one(&e).unwrap();
+            prop_assert_eq!(scalar.to_bits(), v.to_f64().to_bits(), "fixed, {:?}", semiring);
+        }
+    }
+
+    /// Sharded batch evaluation returns exactly the same values whatever
+    /// the thread count or lane-block size.
+    #[test]
+    fn batches_are_independent_of_sharding(
+        seed in 0u64..200,
+        lanes in 1usize..300,
+        threads in 1usize..9,
+        chunk in 1usize..80,
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        // Lanes cycle through every single-variable observation.
+        let mut batch = EvidenceBatch::new(net.var_count());
+        for i in 0..lanes {
+            let mut e = Evidence::empty(net.var_count());
+            let var = VarId::from_index(i % net.var_count());
+            e.observe(var, i % net.variable(var).arity());
+            batch.push(&e);
+        }
+        let engine = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new()).unwrap();
+        let reference = engine.clone().with_threads(1).with_chunk(256)
+            .evaluate_batch(&batch).unwrap();
+        let sharded = engine.with_threads(threads).with_chunk(chunk)
+            .evaluate_batch(&batch).unwrap();
+        prop_assert_eq!(&reference.values, &sharded.values);
+        prop_assert_eq!(reference.flags, sharded.flags);
+        // And every lane agrees with the single-evidence path.
+        for lane in 0..lanes.min(5) {
+            let (one, _) = engine_eval_one(&ac, &batch, lane);
+            prop_assert_eq!(one.to_bits(), sharded.values[lane].to_bits());
+        }
+    }
+}
+
+/// Helper: evaluate one reconstructed lane through a fresh engine.
+fn engine_eval_one(
+    ac: &problp_ac::AcGraph,
+    batch: &EvidenceBatch,
+    lane: usize,
+) -> (f64, problp_num::Flags) {
+    let engine = Engine::from_graph(ac, Semiring::SumProduct, F64Arith::new()).unwrap();
+    engine.evaluate_one(&batch.evidence(lane)).unwrap()
+}
+
+/// Batch results also agree with `measure`-style per-lane flag capture.
+#[test]
+fn flagged_and_plain_batches_agree() {
+    let net = networks::alarm(7);
+    let ac = compile(&net).unwrap();
+    let tape = Tape::compile(&ac, Semiring::SumProduct).unwrap();
+    let format = FixedFormat::new(1, 12).unwrap();
+    let engine = Engine::new(tape, FixedArith::new(format));
+    let mut batch = EvidenceBatch::new(net.var_count());
+    for v in 0..net.var_count() {
+        let mut e = Evidence::empty(net.var_count());
+        e.observe(VarId::from_index(v), 0);
+        batch.push(&e);
+    }
+    let plain = engine.evaluate_batch(&batch).unwrap();
+    let flagged = engine.evaluate_batch_flagged(&batch).unwrap();
+    assert_eq!(plain.values.len(), flagged.values.len());
+    for (a, b) in plain.values.iter().zip(&flagged.values) {
+        assert_eq!(a, b);
+    }
+    assert_eq!(plain.flags, flagged.flags);
+    assert_eq!(flagged.lane_flags.len(), batch.lanes());
+}

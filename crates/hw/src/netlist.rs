@@ -116,7 +116,11 @@ impl std::fmt::Display for HwStats {
         write!(
             f,
             "{} adds + {} muls @ {} bits, {} stages, {} output regs, {} balance regs",
-            self.adds, self.muls, self.word_bits, self.pipeline_depth, self.output_regs,
+            self.adds,
+            self.muls,
+            self.word_bits,
+            self.pipeline_depth,
+            self.output_regs,
             self.balance_regs
         )
     }
@@ -278,8 +282,7 @@ impl Netlist {
                         HwOp::Mul => stats.muls += 1,
                     }
                     stats.output_regs += 1;
-                    stats.balance_regs += (cell.stage - 1 - self.cells[a.index()].stage)
-                        as usize
+                    stats.balance_regs += (cell.stage - 1 - self.cells[a.index()].stage) as usize
                         + (cell.stage - 1 - self.cells[b.index()].stage) as usize;
                 }
             }
@@ -363,11 +366,8 @@ mod tests {
         let ac = binarize(&compile(&networks::figure1()).unwrap()).unwrap();
         let fx = Netlist::from_ac(&ac, fixed_repr()).unwrap();
         assert_eq!(fx.stats().word_bits, 12);
-        let fl = Netlist::from_ac(
-            &ac,
-            Representation::Float(FloatFormat::new(8, 13).unwrap()),
-        )
-        .unwrap();
+        let fl =
+            Netlist::from_ac(&ac, Representation::Float(FloatFormat::new(8, 13).unwrap())).unwrap();
         assert_eq!(fl.stats().word_bits, 21);
     }
 
@@ -385,11 +385,8 @@ mod tests {
     #[test]
     fn fraction_free_fixed_is_rejected() {
         let ac = binarize(&compile(&networks::figure1()).unwrap()).unwrap();
-        let err = Netlist::from_ac(
-            &ac,
-            Representation::Fixed(FixedFormat::new(4, 0).unwrap()),
-        )
-        .unwrap_err();
+        let err = Netlist::from_ac(&ac, Representation::Fixed(FixedFormat::new(4, 0).unwrap()))
+            .unwrap_err();
         assert!(matches!(err, HwError::UnsupportedFormat { .. }));
     }
 

@@ -66,8 +66,7 @@ impl std::fmt::Display for ScheduleStats {
         write!(
             f,
             "{} instructions ({} adds, {} muls), {} registers, {} constants @ {} bits",
-            self.instructions, self.adds, self.muls, self.registers, self.constants,
-            self.word_bits
+            self.instructions, self.adds, self.muls, self.registers, self.constants, self.word_bits
         )
     }
 }
@@ -245,11 +244,7 @@ impl Schedule {
                 netlist: self.var_count,
             });
         }
-        let consts: Vec<A::Value> = self
-            .constants
-            .iter()
-            .map(|&v| ctx.from_f64(v))
-            .collect();
+        let consts: Vec<A::Value> = self.constants.iter().map(|&v| ctx.from_f64(v)).collect();
         let ins: Vec<A::Value> = self
             .inputs
             .iter()
@@ -384,11 +379,8 @@ mod tests {
         let mut g = problp_ac::AcGraph::new(vec![2]);
         let p = g.param(0.75).unwrap();
         g.set_root(p);
-        let nl = Netlist::from_ac(
-            &g,
-            Representation::Fixed(FixedFormat::new(1, 8).unwrap()),
-        )
-        .unwrap();
+        let nl =
+            Netlist::from_ac(&g, Representation::Fixed(FixedFormat::new(1, 8).unwrap())).unwrap();
         let schedule = Schedule::from_netlist(&nl).unwrap();
         assert_eq!(schedule.stats().instructions, 0);
         let mut ctx = FixedArith::new(FixedFormat::new(1, 8).unwrap());

@@ -86,7 +86,8 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
                 }
                 CellKind::Op { a, b, .. } => {
                     for (slot, operand) in [a, b].into_iter().enumerate() {
-                        let delay = netlist.edge_delay(*operand, crate::netlist::CellId::from_index(i));
+                        let delay =
+                            netlist.edge_delay(*operand, crate::netlist::CellId::from_index(i));
                         if delay > 0 {
                             fifo_of[i][slot] = fifos.len();
                             fifos.push(VecDeque::from(vec![None; delay as usize]));
@@ -123,8 +124,9 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
         let netlist = self.netlist;
         match &netlist.cells()[index].kind {
             CellKind::Constant { .. } => self.constants[index].clone(),
-            CellKind::Input { var, state } => inputs
-                .map(|e| self.ctx.from_f64(e.indicator(*var, *state))),
+            CellKind::Input { var, state } => {
+                inputs.map(|e| self.ctx.from_f64(e.indicator(*var, *state)))
+            }
             CellKind::Op { .. } => unreachable!("leaf_value on an operator"),
         }
     }

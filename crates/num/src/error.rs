@@ -46,13 +46,24 @@ impl std::fmt::Display for FormatError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FormatError::WidthTooLarge { requested, max } => {
-                write!(f, "total width of {requested} bits exceeds the supported maximum of {max}")
+                write!(
+                    f,
+                    "total width of {requested} bits exceeds the supported maximum of {max}"
+                )
             }
             FormatError::WidthZero => write!(f, "total width must be at least one bit"),
-            FormatError::ExpBitsOutOfRange { requested, min, max } => {
+            FormatError::ExpBitsOutOfRange {
+                requested,
+                min,
+                max,
+            } => {
                 write!(f, "exponent width of {requested} bits is outside the supported range {min}..={max}")
             }
-            FormatError::MantBitsOutOfRange { requested, min, max } => {
+            FormatError::MantBitsOutOfRange {
+                requested,
+                min,
+                max,
+            } => {
                 write!(f, "mantissa width of {requested} bits is outside the supported range {min}..={max}")
             }
         }

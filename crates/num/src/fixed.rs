@@ -91,7 +91,10 @@ impl FixedFormat {
                 max: MAX_FIXED_WIDTH,
             });
         }
-        Ok(FixedFormat { int_bits, frac_bits })
+        Ok(FixedFormat {
+            int_bits,
+            frac_bits,
+        })
     }
 
     /// Number of integer bits `I`.

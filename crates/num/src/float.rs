@@ -90,7 +90,10 @@ impl FloatFormat {
                 max: 127,
             });
         }
-        Ok(FloatFormat { exp_bits, mant_bits })
+        Ok(FloatFormat {
+            exp_bits,
+            mant_bits,
+        })
     }
 
     /// IEEE 754 single precision, `(E, M) = (8, 23)`.
@@ -183,7 +186,10 @@ enum Class {
     Zero,
     /// A normal value `sig * 2^(exp - M)` with `sig` having exactly `M + 1`
     /// bits (the top bit is the implicit one).
-    Normal { exp: i32, sig: u128 },
+    Normal {
+        exp: i32,
+        sig: u128,
+    },
     Inf,
     Nan,
 }
@@ -314,7 +320,14 @@ impl LpFloat {
             (raw_mant | (1u64 << 52), raw_exp - 1023)
         };
         // value = sig53 * 2^(exp - 52): finalize rounds into the format.
-        finalize(format, sign, U256::from_u128(sig53 as u128), exp - 52, false, flags)
+        finalize(
+            format,
+            sign,
+            U256::from_u128(sig53 as u128),
+            exp - 52,
+            false,
+            flags,
+        )
     }
 
     /// Builds a float from raw parts: `(-1)^sign * sig * 2^(exp - M)` where
@@ -562,7 +575,9 @@ impl LpFloat {
             .expect("aligned significand exceeds 256 bits");
         let w2 = U256::from_u128(s2);
         if sign1 == sign2 {
-            let w = w1.checked_add(w2).expect("significand sum exceeds 256 bits");
+            let w = w1
+                .checked_add(w2)
+                .expect("significand sum exceeds 256 bits");
             finalize(format, sign1, w, e2 - m as i32, false, flags)
         } else {
             let w = w1.checked_sub(w2).expect("magnitude ordering violated");
@@ -790,8 +805,8 @@ fn finalize(
     debug_assert!(!w.is_zero(), "finalize requires a non-zero magnitude");
     let m = format.mant_bits;
     let h = w.bit_len() as i32 - 1; // position of the leading bit
-    // Target significand: M + 1 bits; the leading bit of w has weight
-    // 2^(h + scale), so the result exponent is h + scale.
+                                    // Target significand: M + 1 bits; the leading bit of w has weight
+                                    // 2^(h + scale), so the result exponent is h + scale.
     let mut exp = h + scale;
     let sig = if h as u32 > m {
         let shift = h as u32 - m;
@@ -1044,7 +1059,10 @@ mod tests {
         let b = f(1.3, format);
         let p = a.mul(&b, &mut flags);
         let expected = (1.1f32 * 1.3f32) as f64; // hardware single
-        assert_eq!(p.to_f64(), (f32::from_bits((1.1f32).to_bits()) * 1.3f32) as f64);
+        assert_eq!(
+            p.to_f64(),
+            (f32::from_bits((1.1f32).to_bits()) * 1.3f32) as f64
+        );
         assert_eq!(p.to_f64(), expected);
     }
 

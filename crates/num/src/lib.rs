@@ -64,8 +64,6 @@ pub use arith::{Arith, F64Arith, FixedArith, FloatArith};
 pub use error::FormatError;
 pub use fixed::{Fixed, FixedFormat, FixedRounding, MAX_FIXED_WIDTH};
 pub use flags::Flags;
-pub use float::{
-    FloatFormat, LpFloat, MAX_EXP_BITS, MAX_MANT_BITS, MIN_EXP_BITS, MIN_MANT_BITS,
-};
+pub use float::{FloatFormat, LpFloat, MAX_EXP_BITS, MAX_MANT_BITS, MIN_EXP_BITS, MIN_MANT_BITS};
 pub use repr::Representation;
 pub use wide::U256;

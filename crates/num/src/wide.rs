@@ -391,7 +391,10 @@ mod tests {
         // 0b101 >> 1 : rem = 1 = half, q = 0b10 (even) -> stays 2
         assert_eq!(U256::from_u128(0b101).round_shr_rne(1, false), (0b10, true));
         // 0b111 >> 1 : rem = 1 = half, q = 0b11 (odd) -> rounds up to 4
-        assert_eq!(U256::from_u128(0b111).round_shr_rne(1, false), (0b100, true));
+        assert_eq!(
+            U256::from_u128(0b111).round_shr_rne(1, false),
+            (0b100, true)
+        );
         // sticky breaks the tie upward
         assert_eq!(U256::from_u128(0b101).round_shr_rne(1, true), (0b11, true));
         // exact
@@ -401,9 +404,15 @@ mod tests {
     #[test]
     fn rne_above_and_below_half() {
         // rem = 0b01 < half(0b10): down
-        assert_eq!(U256::from_u128(0b1001).round_shr_rne(2, false), (0b10, true));
+        assert_eq!(
+            U256::from_u128(0b1001).round_shr_rne(2, false),
+            (0b10, true)
+        );
         // rem = 0b11 > half: up
-        assert_eq!(U256::from_u128(0b1011).round_shr_rne(2, false), (0b11, true));
+        assert_eq!(
+            U256::from_u128(0b1011).round_shr_rne(2, false),
+            (0b11, true)
+        );
     }
 
     #[test]

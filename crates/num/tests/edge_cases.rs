@@ -143,7 +143,7 @@ fn float_formats_at_the_width_limits_work() {
     let v = LpFloat::from_f64(1.5, format, &mut flags);
     assert!(v.is_normal());
     assert_eq!(v.to_f64(), 1.5); // 1.1 * 2^0
-    // Below the minimum normal magnitude flushes to zero.
+                                 // Below the minimum normal magnitude flushes to zero.
     let mut local = Flags::default();
     let v = LpFloat::from_f64(0.4, format, &mut local);
     assert!(v.is_zero());

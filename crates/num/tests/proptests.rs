@@ -7,8 +7,8 @@
 //! * rounded arithmetic is *monotone* on non-negative values — the property
 //!   that makes ProbLP's max-value analysis (paper §3.1.1) sound.
 
-use proptest::prelude::*;
 use problp_num::{Arith, Fixed, FixedArith, FixedFormat, Flags, FloatFormat, LpFloat, U256};
+use proptest::prelude::*;
 
 /// Strategy for f32 values whose magnitude stays well inside the normal
 /// range, so operations never hit subnormals (we flush to zero; IEEE does

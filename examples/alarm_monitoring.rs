@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         analysis.global_min_positive()
     );
 
-    println!("{:>5} | {:>12} | {:>12} | {:>12}", "F", "bound", "max obs.", "mean obs.");
+    println!(
+        "{:>5} | {:>12} | {:>12} | {:>12}",
+        "F", "bound", "max obs.", "mean obs."
+    );
     println!("{}", "-".repeat(52));
     for frac in [8u32, 12, 16, 20, 24, 28] {
         let format = FixedFormat::new(1, frac)?;

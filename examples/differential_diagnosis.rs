@@ -26,7 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One upward + one downward pass: marginals for every variable.
     println!("{:>14} | {:>10} | oracle", "variable", "Pr(yes|e)");
     println!("{}", "-".repeat(42));
-    for name in ["Tuberculosis", "LungCancer", "Bronchitis", "Either", "VisitAsia"] {
+    for name in [
+        "Tuberculosis",
+        "LungCancer",
+        "Bronchitis",
+        "Either",
+        "VisitAsia",
+    ] {
         let var = net.find(name).unwrap();
         let row = circuit.posterior_marginal(var, &e)?;
         let oracle = net.conditional(var, 1, &e);
@@ -39,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nmost probable explanation (joint probability {p:.5}):");
     for (v, &state) in assignment.iter().enumerate() {
         let var = net.variable(VarId::from_index(v));
-        println!("  {:>14} = {}", var.name(), if state == 1 { "yes" } else { "no" });
+        println!(
+            "  {:>14} = {}",
+            var.name(),
+            if state == 1 { "yes" } else { "no" }
+        );
     }
     let (oracle_assignment, oracle_p) = net.mpe(&e);
     assert_eq!(assignment, oracle_assignment);
@@ -51,8 +61,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|&v| e.state(VarId::from_index(v)).is_none())
         .map(|v| net.variable(VarId::from_index(v)).arity())
         .sum();
-    println!(
-        "\ncost: 2 passes instead of {n_queries} separate evaluations for all marginals"
-    );
+    println!("\ncost: 2 passes instead of {n_queries} separate evaluations for all marginals");
     Ok(())
 }

@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hw.raw(),
             hw.to_f64(),
             sw.raw(),
-            if hw.raw() == sw.raw() { "bit-exact" } else { "MISMATCH" }
+            if hw.raw() == sw.raw() {
+                "bit-exact"
+            } else {
+                "MISMATCH"
+            }
         );
         assert_eq!(hw.raw(), sw.raw());
     }
@@ -63,9 +67,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rtl = emit_verilog(&netlist);
     let path = "problp_ac_top.v";
     std::fs::write(path, &rtl)?;
-    println!(
-        "\nwrote {} lines of Verilog to {path}",
-        rtl.lines().count()
-    );
+    println!("\nwrote {} lines of Verilog to {path}", rtl.lines().count());
     Ok(())
 }

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap_or_else(|| ">64 bits".into());
         println!(
             "{tol:>10.0e} | {fixed:>14} | {float:>14} | {:>10} | {:>9.4}",
-            if report.selected.repr.is_fixed() { "fixed" } else { "float" },
+            if report.selected.repr.is_fixed() {
+                "fixed"
+            } else {
+                "float"
+            },
             report.selected.energy.total_nj()
         );
     }

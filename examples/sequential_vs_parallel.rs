@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ctx = FixedArith::new(format);
     let sequential_out = schedule.execute(&mut ctx, &e)?;
     assert_eq!(parallel_out.raw(), sequential_out.raw());
-    println!("both architectures agree bit-for-bit: Pr(e) = {:.6}\n", parallel_out.to_f64());
+    println!(
+        "both architectures agree bit-for-bit: Pr(e) = {:.6}\n",
+        parallel_out.to_f64()
+    );
 
     // Throughput.
     println!("architecture      | cycles/result | registers (words)");
@@ -58,17 +61,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parallel_reg_fj = lib.register_fj(hw.register_bits());
     // Sequential: per instruction two register-file reads and one write
     // (approximated as flop accesses of one word each).
-    let seq_reg_fj =
-        lib.register_fj(3 * seq.instructions * seq.word_bits as usize);
-    println!("\nenergy per evaluation (operators identical at {:.2} nJ):", op_fj * 1e-6);
+    let seq_reg_fj = lib.register_fj(3 * seq.instructions * seq.word_bits as usize);
+    println!(
+        "\nenergy per evaluation (operators identical at {:.2} nJ):",
+        op_fj * 1e-6
+    );
     println!(
         "  parallel register energy:   {:.3} nJ",
         parallel_reg_fj * 1e-6
     );
-    println!(
-        "  sequential register energy: {:.3} nJ",
-        seq_reg_fj * 1e-6
-    );
+    println!("  sequential register energy: {:.3} nJ", seq_reg_fj * 1e-6);
     println!(
         "\nthe parallel datapath produces {}x more results per cycle at {:.1}x the register count",
         seq.instructions,

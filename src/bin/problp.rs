@@ -2,13 +2,17 @@
 //! file and emit the report, the Verilog and a self-checking testbench.
 //!
 //! ```text
-//! problp info    --network model.bn
-//! problp run     --network model.bn --query marginal --tolerance abs:0.01 \
-//!                --out-dir build/
-//! problp export  --network model.bn --dot circuit.dot
+//! problp info       --network model.bn
+//! problp run        --network model.bn --query marginal --tolerance abs:0.01 \
+//!                   --out-dir build/
+//! problp export     --network model.bn --dot circuit.dot
+//! problp throughput --network model.bn --batch 1024 --threads 0
 //! ```
 //!
 //! Networks use the plain-text `.bn` format of [`problp::bayes::io`].
+//! `throughput` measures bulk-inference rates: the scalar tree-walk
+//! versus the batched execution engine (`problp::engine`) at the given
+//! batch size (`--threads 0` = all cores).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,10 +31,11 @@ struct RunArgs {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  problp info   --network FILE [--optimize]
-  problp run    --network FILE [--query marginal|conditional|mpe]
-                [--tolerance abs:X|rel:X] [--out-dir DIR] [--optimize]
-  problp export --network FILE --dot FILE"
+  problp info       --network FILE [--optimize]
+  problp run        --network FILE [--query marginal|conditional|mpe]
+                    [--tolerance abs:X|rel:X] [--out-dir DIR] [--optimize]
+  problp export     --network FILE --dot FILE
+  problp throughput --network FILE [--batch N] [--threads N] [--optimize]"
     );
     ExitCode::from(2)
 }
@@ -71,10 +76,24 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from(".");
     let mut dot: Option<PathBuf> = None;
     let mut optimize = false;
+    let mut batch = 1024usize;
+    let mut threads = 0usize;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--network" => network = it.next().map(PathBuf::from),
+            "--batch" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                batch = n;
+            }
+            "--threads" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                threads = n;
+            }
             "--query" => {
                 let Some(q) = it.next().and_then(|s| parse_query(s)) else {
                     return usage();
@@ -146,6 +165,13 @@ fn main() -> ExitCode {
             println!("wrote {}", dot_path.display());
             ExitCode::SUCCESS
         }
+        "throughput" => match throughput(&circuit, batch, threads) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "run" => {
             let run = RunArgs {
                 network: network_path,
@@ -164,6 +190,60 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+/// Measures bulk-inference throughput of the circuit: the scalar
+/// tree-walk versus the batched execution engine, over `batch` evidence
+/// instances cycling through the single-variable observations.
+fn throughput(
+    circuit: &AcGraph,
+    batch: usize,
+    threads: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use problp::engine::Engine;
+    use std::time::Instant;
+
+    let var_count = circuit.var_count();
+    let pool = problp::bayes::single_variable_evidences(circuit.var_arities());
+    let instances: Vec<Evidence> = (0..batch.max(1))
+        .map(|i| pool[i % pool.len()].clone())
+        .collect();
+    let mut evidence_batch = problp::bayes::EvidenceBatch::new(var_count);
+    for e in &instances {
+        evidence_batch.push(e);
+    }
+
+    let mut engine = Engine::from_graph(circuit, Semiring::SumProduct, F64Arith::new())?;
+    if threads > 0 {
+        engine = engine.with_threads(threads);
+    }
+    println!("tape: {}", engine.tape());
+
+    let rate = |mut f: Box<dyn FnMut() + '_>| {
+        f();
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed().as_secs_f64() < 0.3 {
+            f();
+            calls += 1;
+        }
+        calls as f64 * instances.len() as f64 / start.elapsed().as_secs_f64()
+    };
+
+    let scalar = rate(Box::new(|| {
+        for e in &instances {
+            std::hint::black_box(circuit.evaluate(e).expect("evaluates"));
+        }
+    }));
+    let batched = rate(Box::new(|| {
+        std::hint::black_box(engine.evaluate_batch(&evidence_batch).expect("evaluates"));
+    }));
+    println!("scalar tree-walk: {scalar:>12.0} evals/s");
+    println!(
+        "batched engine:   {batched:>12.0} evals/s  ({:.1}x)",
+        batched / scalar
+    );
+    Ok(())
 }
 
 fn execute(

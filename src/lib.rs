@@ -19,6 +19,7 @@
 //! | [`bayes`] | `problp-bayes` | Bayesian networks, naive Bayes, ALARM |
 //! | [`ac`] | `problp-ac` | arithmetic circuits, BN→AC compiler |
 //! | [`bounds`] | `problp-bounds` | error analyses and bit-width search |
+//! | [`engine`] | `problp-engine` | batched multi-threaded AC execution (tape compiler + SoA evaluator) |
 //! | [`energy`] | `problp-energy` | Table 1 models, gate-level estimator |
 //! | [`hw`] | `problp-hw` | netlist, pipeline simulator, Verilog |
 //! | [`data`] | `problp-data` | synthetic benchmarks, Alarm test sets |
@@ -49,15 +50,17 @@ pub use problp_bounds as bounds;
 pub use problp_core as core;
 pub use problp_data as data;
 pub use problp_energy as energy;
+pub use problp_engine as engine;
 pub use problp_hw as hw;
 pub use problp_num as num;
 
 /// The most common imports for working with ProbLP.
 pub mod prelude {
     pub use problp_ac::{compile, compile_naive_bayes, optimize, AcGraph, Semiring};
-    pub use problp_bayes::{BayesNet, BayesNetBuilder, Evidence, NaiveBayes, VarId};
+    pub use problp_bayes::{BayesNet, BayesNetBuilder, Evidence, EvidenceBatch, NaiveBayes, VarId};
     pub use problp_bounds::{LeafErrorModel, QueryType, Tolerance};
     pub use problp_core::{measure_errors, Problp, Report};
+    pub use problp_engine::{Engine, Tape};
     pub use problp_hw::{emit_testbench, emit_verilog, Netlist, PipelineSim};
     pub use problp_num::{
         Arith, F64Arith, FixedArith, FixedFormat, FixedRounding, FloatArith, FloatFormat,

@@ -32,8 +32,7 @@ fn validate_pipeline(net: &BayesNet, query: QueryType, tolerance: Tolerance) {
         })
         .collect();
     let query_var = net.roots()[0];
-    let stats =
-        measure_errors(&bin, report.selected.repr, query, query_var, &evidences).unwrap();
+    let stats = measure_errors(&bin, report.selected.repr, query, query_var, &evidences).unwrap();
     let observed = match tolerance {
         Tolerance::Absolute(_) => stats.max_abs,
         Tolerance::Relative(_) => stats.max_rel,
@@ -43,7 +42,10 @@ fn validate_pipeline(net: &BayesNet, query: QueryType, tolerance: Tolerance) {
         "{query:?}/{tolerance:?}: observed {observed} > bound {}",
         report.selected.bound
     );
-    assert!(!stats.flags.range_violation(), "bounds require in-range arithmetic");
+    assert!(
+        !stats.flags.range_violation(),
+        "bounds require in-range arithmetic"
+    );
     // The hardware matches the software bit-for-bit on a sample query.
     let nl = Netlist::from_ac(&bin, report.selected.repr).unwrap();
     let e = &evidences[0];
@@ -136,7 +138,10 @@ fn classifier_benchmark_end_to_end() {
         .skip_rtl()
         .run()
         .unwrap();
-    assert!(report.selected.repr.is_float(), "conditional+relative needs float");
+    assert!(
+        report.selected.repr.is_float(),
+        "conditional+relative needs float"
+    );
     let bin = binarize(&ac).unwrap();
     let stats = measure_errors(
         &bin,

@@ -2,9 +2,9 @@
 //! and 4): the `A → {B, C}` network, its compiled AC, the error
 //! propagation through it, and its conversion to pipelined hardware.
 
-use problp::prelude::*;
 use problp::ac::transform::binarize;
 use problp::bounds::{fixed_error_bound, AcAnalysis};
+use problp::prelude::*;
 
 fn figure1_network() -> BayesNet {
     problp::bayes::networks::figure1()
@@ -60,13 +60,7 @@ fn error_propagation_matches_hand_calculation() {
     let ac = binarize(&compile(&net).unwrap()).unwrap();
     let analysis = AcAnalysis::new(&ac).unwrap();
     let format = FixedFormat::new(1, 8).unwrap();
-    let bound = fixed_error_bound(
-        &ac,
-        &analysis,
-        format,
-        LeafErrorModel::WorstCase,
-    )
-    .unwrap();
+    let bound = fixed_error_bound(&ac, &analysis, format, LeafErrorModel::WorstCase).unwrap();
     // Manual recursion over the same graph.
     let u = format.conversion_error_bound();
     let mut manual = vec![0.0f64; ac.len()];
@@ -99,7 +93,10 @@ fn hardware_conversion_matches_figure4_structure() {
     let format = FixedFormat::new(1, 10).unwrap();
     let nl = Netlist::from_ac(&ac, Representation::Fixed(format)).unwrap();
     let stats = nl.stats();
-    assert_eq!(stats.adds + stats.muls, ac.stats().sums + ac.stats().products);
+    assert_eq!(
+        stats.adds + stats.muls,
+        ac.stats().sums + ac.stats().products
+    );
     // Pipeline registers appear wherever path timings mismatch.
     assert!(stats.balance_regs > 0, "figure-1 circuit has skewed paths");
     // The pipelined hardware is bit-exact with software evaluation.

@@ -3,8 +3,7 @@
 
 use problp::ac::transform::binarize;
 use problp::bounds::{
-    fixed_query_bound, float_query_bound, optimize_fixed, optimize_float, AcAnalysis,
-    BoundsError,
+    fixed_query_bound, float_query_bound, optimize_fixed, optimize_float, AcAnalysis, BoundsError,
 };
 use problp::prelude::*;
 

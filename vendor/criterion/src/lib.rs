@@ -1,0 +1,184 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored shim implements the subset of the criterion API the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`]. Benches are still `harness = false` binaries run
+//! with `cargo bench`.
+//!
+//! Measurement model: each benchmark is warmed up for ~100 ms, then sampled
+//! in batches sized to last ~20 ms each until ~600 ms of measurement has
+//! accumulated; the reported figure is the median batch mean with min/max
+//! spread. That is cruder than real criterion's bootstrap analysis but
+//! stable enough to compare order-of-magnitude throughput claims.
+//! Set `CRITERION_QUICK=1` to cut the times by 10x (used in CI smoke runs).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        let scale = if quick { 10 } else { 1 };
+        Criterion {
+            warmup: Duration::from_millis(100 / scale),
+            measurement: Duration::from_millis(600 / scale),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one function. The closure receives a [`Bencher`] and
+    /// must call [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(id, &bencher.samples);
+        self
+    }
+
+    /// Compatibility no-op (real criterion tunes sample counts).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrinks or stretches the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+}
+
+/// Runs the measured closure; created by [`Criterion::bench_function`].
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing per-iteration timings (ns).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup, and estimate the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        // Size batches to ~20 ms so Instant overhead is negligible.
+        let batch = ((0.02 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            self.samples.push(elapsed * 1e9 / batch as f64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} \u{00b5}s", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<50} no samples (Bencher::iter never called?)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        format_ns(min),
+        format_ns(median),
+        format_ns(max)
+    );
+}
+
+/// Declares a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` of a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert_eq!(format_ns(1.5), "1.50 ns");
+        assert_eq!(format_ns(1500.0), "1.50 \u{00b5}s");
+        assert_eq!(format_ns(1.5e6), "1.50 ms");
+        assert_eq!(format_ns(1.5e9), "1.50 s");
+    }
+}

@@ -1,0 +1,156 @@
+//! The case runner behind the [`proptest!`](crate::proptest) macro.
+
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected cases (`prop_assume!` / filters) before
+    /// the test errors out as too-sparse.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            max_global_rejects: cases.saturating_mul(64).max(1024),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than real proptest's 256 to keep the offline
+    /// suite fast; tests needing more set `with_cases` explicitly.
+    fn default() -> Self {
+        ProptestConfig::with_cases(64)
+    }
+}
+
+/// Why a test case did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!`; it is regenerated.
+    Reject(String),
+    /// An assertion failed; the test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Creates a rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a of the test name, XORed with the
+/// optional `PROPTEST_SEED` environment variable.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(extra) = s.parse::<u64>() {
+            h ^= extra;
+        }
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` successes (panicking on the first
+/// failure) — the engine behind [`proptest!`](crate::proptest).
+///
+/// The closure returns the debug rendering of the generated inputs plus
+/// the case outcome, so failures can report what was generated.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let seed = seed_for(name);
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut successes = 0u32;
+    let mut rejects = 0u32;
+    let mut case_index = 0u64;
+    while successes < config.cases {
+        case_index += 1;
+        // Catch panics so unwrap-style failures still report their inputs.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        match result {
+            Ok((_, Ok(()))) => successes += 1,
+            Ok((_, Err(TestCaseError::Reject(_)))) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejects} rejects for {successes} successes; seed {seed})"
+                    );
+                }
+            }
+            Ok((inputs, Err(TestCaseError::Fail(message)))) => {
+                panic!(
+                    "proptest '{name}' failed at case #{case_index} (seed {seed}):\n\
+                     {message}\n  inputs: {inputs}\n  (no shrinking in offline shim; \
+                     rerun with PROPTEST_SEED={seed} to reproduce)"
+                );
+            }
+            Err(panic_payload) => {
+                eprintln!(
+                    "proptest '{name}' panicked at case #{case_index} (seed {seed}); \
+                     rerun with PROPTEST_SEED={seed} to reproduce"
+                );
+                std::panic::resume_unwind(panic_payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        let mut count = 0;
+        run_cases(&ProptestConfig::with_cases(10), "t", |_| {
+            count += 1;
+            (String::new(), Ok(()))
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_successes() {
+        let mut total = 0;
+        run_cases(&ProptestConfig::with_cases(5), "t", |rng| {
+            total += 1;
+            use rand::Rng;
+            if rng.random::<f64>() < 0.5 {
+                (String::new(), Err(TestCaseError::reject("skip")))
+            } else {
+                (String::new(), Ok(()))
+            }
+        });
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_the_message() {
+        run_cases(&ProptestConfig::with_cases(5), "t", |_| {
+            (String::from("()"), Err(TestCaseError::fail("boom")))
+        });
+    }
+}
