@@ -15,6 +15,30 @@ use crate::variable::VarId;
 /// The column value marking an unobserved (marginalized) variable.
 pub const UNOBSERVED: i32 = -1;
 
+/// What a serving layer is asked to compute for every lane of an
+/// [`EvidenceBatch`] — the descriptor `problp-engine`'s
+/// `Engine::evaluate_query` dispatches on.
+///
+/// The three kinds mirror the paper's query taxonomy (§3.2): marginal
+/// `Pr(e)`, most probable explanation `max_x Pr(x, e)` with its argmax,
+/// and the conditional posterior `Pr(q = s | e)` over every state `s`
+/// of a query variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchQuery {
+    /// The probability of each lane's evidence, `Pr(e)`.
+    Marginal,
+    /// The most probable completion of each lane's evidence and its
+    /// joint probability, `argmax/max_x Pr(x, e)`.
+    Mpe,
+    /// The posterior `Pr(q = s | e)` for every state `s` of `query_var`,
+    /// served as one joint (numerator) lane per state over a shared
+    /// marginal (denominator) lane.
+    Conditional {
+        /// The query variable `q` (left unobserved in the batch).
+        query_var: VarId,
+    },
+}
+
 /// N evidence instances in structure-of-arrays (columnar) layout.
 ///
 /// Lane `l` of the batch is one evidence instance; `column(var)[l]` is its
@@ -203,6 +227,19 @@ impl EvidenceBatch {
         e
     }
 
+    /// Observes `var` to `state` in every lane, in place — how a serving
+    /// loop steps one working copy through the numerator batches of a
+    /// conditional query without recloning per state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn observe_all(&mut self, var: VarId, state: usize) {
+        for s in &mut self.columns[var.index()] {
+            *s = state as i32;
+        }
+    }
+
     /// A copy of the batch with `var` observed to `state` in every lane —
     /// the numerator batches of conditional queries, `Pr(q = s, e)`.
     ///
@@ -211,9 +248,7 @@ impl EvidenceBatch {
     /// Panics if `var` is out of range.
     pub fn with_observed(&self, var: VarId, state: usize) -> Self {
         let mut out = self.clone();
-        for s in &mut out.columns[var.index()] {
-            *s = state as i32;
-        }
+        out.observe_all(var, state);
         out
     }
 }

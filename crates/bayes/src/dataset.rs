@@ -142,6 +142,19 @@ impl LabeledDataset {
         (&self.features[i], self.labels[i])
     }
 
+    /// A copy keeping only the first `n` instances (all of them when `n`
+    /// exceeds the length, and at least one so the dataset stays valid) —
+    /// how the experiment harness caps test-set sizes.
+    pub fn truncated(&self, n: usize) -> LabeledDataset {
+        let n = n.clamp(1, self.len());
+        LabeledDataset {
+            features: self.features[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            feature_arities: self.feature_arities.clone(),
+            class_arity: self.class_arity,
+        }
+    }
+
     /// Splits into `(train, test)` with the first `ratio` fraction used for
     /// training (the paper trains on 60 % of each dataset).
     ///

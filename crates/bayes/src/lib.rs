@@ -35,7 +35,7 @@ pub mod networks;
 pub mod rngutil;
 mod variable;
 
-pub use batch::{single_variable_evidences, EvidenceBatch, UNOBSERVED};
+pub use batch::{single_variable_evidences, BatchQuery, EvidenceBatch, UNOBSERVED};
 pub use cpt::Cpt;
 pub use dataset::LabeledDataset;
 pub use error::BayesError;

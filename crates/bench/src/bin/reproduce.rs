@@ -127,6 +127,11 @@ fn main() {
         let t = problp_bench::accuracy_report(opts.instances);
         println!("{t}");
         sections.push(format!("## Classification impact\n\n```text\n{t}```\n"));
+        let t = problp_bench::accuracy_study_report(&["HAR", "UNIMIB", "UIWADS"], opts.instances);
+        println!("{t}");
+        sections.push(format!(
+            "## Per-precision classifier accuracy (engine-served)\n\n```text\n{t}```\n"
+        ));
     }
 
     if matches!(opts.command.as_str(), "missing" | "all") {

@@ -256,6 +256,14 @@ pub fn benchmark_by_name(name: &str, instances: usize) -> Benchmark {
     if let Some(labels) = &mut bench.test_labels {
         labels.truncate(instances);
     }
+    // Keep the dataset aligned row-for-row with the truncated evidence
+    // (`truncated` never returns an empty dataset, so drop it instead
+    // when nothing is left).
+    let kept = bench.test_evidence.len();
+    bench.test_dataset = match bench.test_dataset.take() {
+        Some(ds) if kept > 0 => Some(ds.truncated(kept)),
+        _ => None,
+    };
     bench
 }
 
@@ -490,6 +498,176 @@ pub fn accuracy_report(instances: usize) -> String {
             "{name:>8} | {:>10.4} | {:>10.4} | {:>10.4} | {}\n",
             impact.exact_accuracy, impact.lp_accuracy, impact.agreement, impact.instances
         ));
+    }
+    out
+}
+
+/// One row of the per-precision classifier accuracy study: how one
+/// number format serves the benchmark's test set.
+#[derive(Clone, Debug)]
+pub struct AccuracyRow {
+    /// The representation (or `"f64"` for the exact reference).
+    pub repr: String,
+    /// Classification accuracy of the engine-served predictions.
+    pub accuracy: f64,
+    /// Fraction of instances predicted identically to exact `f64`.
+    pub agreement: f64,
+    /// Whether any lane raised a range violation (overflow/underflow) —
+    /// formats ProbLP's bit-sizing would have rejected.
+    pub range_violation: bool,
+}
+
+/// The per-precision classifier accuracy study of one benchmark.
+#[derive(Clone, Debug)]
+pub struct AccuracyStudy {
+    /// Benchmark name.
+    pub name: String,
+    /// Evaluated test instances.
+    pub instances: usize,
+    /// Accuracy with exact `f64` inference (the `repr = "f64"` row's
+    /// baseline; its agreement is 1 by definition).
+    pub exact_accuracy: f64,
+    /// One row per evaluated representation, fixed then float.
+    pub rows: Vec<AccuracyRow>,
+}
+
+/// Runs the end-to-end batched serving path on a classifier benchmark:
+/// the labeled test split is packed into one columnar batch
+/// ([`problp_bayes::EvidenceBatch::from_dataset`]), and for each precision the engine
+/// serves the class posterior of every instance as joint/marginal lane
+/// pairs ([`problp_engine::Engine::conditional_batch`]); the per-lane
+/// joint argmax is the prediction. This is the classifier-accuracy
+/// counterpart of Table 2: where the table reports worst-case *error*
+/// per selected format, this reports downstream *accuracy* per format.
+///
+/// # Panics
+///
+/// Panics if the benchmark is not a classifier benchmark (no
+/// `test_dataset`), or a format is invalid.
+pub fn accuracy_study(bench: &Benchmark, frac_bits: &[u32], mant_bits: &[u32]) -> AccuracyStudy {
+    use problp_ac::Semiring;
+    use problp_bayes::EvidenceBatch;
+    use problp_engine::{Engine, Tape};
+    use problp_num::{Arith, F64Arith, FixedArith, FloatArith};
+
+    let ds = bench
+        .test_dataset
+        .as_ref()
+        .expect("accuracy study needs a classifier benchmark with a test dataset");
+    let ac = compile(&bench.net).expect("benchmark compiles");
+    let batch = EvidenceBatch::from_dataset(ds, &bench.evidence_vars, bench.net.var_count())
+        .expect("dataset matches the benchmark's evidence variables");
+    let labels = ds.labels();
+
+    // The tape is number-system agnostic: compile once, bind each
+    // precision to a clone (the pattern `measure_errors` uses).
+    let tape = Tape::compile(&ac, Semiring::SumProduct).expect("benchmark compiles to a tape");
+    let exact_engine = Engine::new(tape.clone(), F64Arith::new());
+    let exact = exact_engine
+        .conditional_batch(&batch, bench.query_var)
+        .expect("serves");
+    let accuracy_of = |preds: &[usize]| {
+        preds.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / labels.len() as f64
+    };
+    let agreement_of = |preds: &[usize]| {
+        preds
+            .iter()
+            .zip(&exact.predictions)
+            .filter(|(p, e)| p == e)
+            .count() as f64
+            / labels.len() as f64
+    };
+
+    fn serve<A>(
+        tape: &Tape,
+        batch: &problp_bayes::EvidenceBatch,
+        query_var: problp_bayes::VarId,
+        ctx: A,
+    ) -> (Vec<usize>, bool)
+    where
+        A: Arith + Clone + Send + Sync,
+        A::Value: Clone + Send + Sync,
+    {
+        let engine = Engine::new(tape.clone(), ctx);
+        let r = engine.conditional_batch(batch, query_var).expect("serves");
+        (r.predictions, r.flags.range_violation())
+    }
+
+    let mut rows = Vec::new();
+    let mut record = |repr: String, (predictions, range_violation): (Vec<usize>, bool)| {
+        rows.push(AccuracyRow {
+            repr,
+            accuracy: accuracy_of(&predictions),
+            agreement: agreement_of(&predictions),
+            range_violation,
+        });
+    };
+    for &f in frac_bits {
+        let format = FixedFormat::new(1, f).expect("valid fixed format");
+        let ctx = FixedArith::new(format);
+        record(
+            format!("fx 1,{f}"),
+            serve(&tape, &batch, bench.query_var, ctx),
+        );
+    }
+    for &m in mant_bits {
+        let format = FloatFormat::new(8, m).expect("valid float format");
+        let ctx = FloatArith::new(format);
+        record(
+            format!("fl 8,{m}"),
+            serve(&tape, &batch, bench.query_var, ctx),
+        );
+    }
+    AccuracyStudy {
+        name: bench.name.clone(),
+        instances: labels.len(),
+        exact_accuracy: accuracy_of(&exact.predictions),
+        rows,
+    }
+}
+
+/// The default precision grid of the accuracy study (fraction and
+/// mantissa bits).
+pub const ACCURACY_BITS: [u32; 6] = [4, 6, 8, 12, 16, 24];
+
+/// Renders one accuracy study as a text table.
+pub fn render_accuracy_study(study: &AccuracyStudy) -> String {
+    let mut out = format!(
+        "{}: per-precision classifier accuracy ({} engine-served test instances)\n",
+        study.name, study.instances
+    );
+    out.push_str(&format!(
+        "{:>8} | {:>10} | {:>12} | range violation\n",
+        "repr", "accuracy", "vs f64"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(54)));
+    out.push_str(&format!(
+        "{:>8} | {:>10.4} | {:>12.4} | no\n",
+        "f64", study.exact_accuracy, 1.0
+    ));
+    for r in &study.rows {
+        out.push_str(&format!(
+            "{:>8} | {:>10.4} | {:>12.4} | {}\n",
+            r.repr,
+            r.accuracy,
+            r.agreement,
+            if r.range_violation { "YES" } else { "no" }
+        ));
+    }
+    out
+}
+
+/// Runs and renders the accuracy study for the three classifier
+/// benchmarks on the default precision grid — the `problp accuracy`
+/// subcommand and the `reproduce accuracy` section.
+pub fn accuracy_study_report(names: &[&str], instances: usize) -> String {
+    let instances = instances.max(1);
+    let mut out = String::new();
+    for name in names {
+        let bench = benchmark_by_name(name, instances);
+        let study = accuracy_study(&bench, &ACCURACY_BITS, &ACCURACY_BITS);
+        out.push_str(&render_accuracy_study(&study));
+        out.push('\n');
     }
     out
 }
@@ -858,6 +1036,27 @@ mod tests {
         let rendered = render_table2(&[row]);
         assert!(rendered.contains("UIWADS"));
         assert!(rendered.contains('*'));
+    }
+
+    #[test]
+    fn accuracy_study_runs_end_to_end_through_the_engine() {
+        let bench = benchmark_by_name("UIWADS", 40);
+        let study = accuracy_study(&bench, &[4, 12], &[12]);
+        assert_eq!(study.instances, 40);
+        assert_eq!(study.rows.len(), 3);
+        // A float format with enough mantissa serves the same
+        // predictions as exact f64 (fixed point underflows the tiny
+        // joint probabilities long before the posteriors are wrong —
+        // exactly the effect the study makes visible).
+        let fine = study.rows.iter().find(|r| r.repr == "fl 8,12").unwrap();
+        assert!(fine.agreement >= 0.95, "agreement {}", fine.agreement);
+        assert!((fine.accuracy - study.exact_accuracy).abs() <= 0.05);
+        let coarse = study.rows.iter().find(|r| r.repr == "fx 1,4").unwrap();
+        assert!(coarse.agreement <= fine.agreement + 1e-12);
+        let rendered = render_accuracy_study(&study);
+        assert!(rendered.contains("UIWADS"));
+        assert!(rendered.contains("fx 1,4"));
+        assert!(rendered.contains("f64"));
     }
 
     #[test]

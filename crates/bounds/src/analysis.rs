@@ -11,9 +11,17 @@
 //! * the `a_max`/`b_max` terms of the fixed-point multiplier model (eq. 5),
 //! * integer-bit sizing (overflow) and exponent-bit sizing (overflow and
 //!   underflow).
+//!
+//! Both evaluations run on the execution engine's **full-values tape**
+//! (`problp-engine`, [`Tape::compile_full`]): every node keeps a stable
+//! register, so one engine sweep returns the whole per-node value vector
+//! — bit-identical to the scalar tree-walk the analyses used before the
+//! engine existed ([`AcAnalysis::new_scalar`] keeps that reference
+//! implementation, and the test suite pins the two against each other).
 
 use problp_ac::{AcGraph, Semiring};
 use problp_bayes::Evidence;
+use problp_engine::{Engine, Tape};
 use problp_num::F64Arith;
 
 use crate::error::BoundsError;
@@ -45,13 +53,37 @@ pub struct AcAnalysis {
 }
 
 impl AcAnalysis {
-    /// Runs both analyses on a circuit.
+    /// Runs both analyses on a circuit, evaluating through the execution
+    /// engine's full-values tape (one sweep per semiring; bit-identical
+    /// to [`AcAnalysis::new_scalar`]).
     ///
     /// # Errors
     ///
     /// Returns [`BoundsError::MissingRoot`] for rootless circuits.
     pub fn new(ac: &AcGraph) -> Result<Self, BoundsError> {
-        let root = ac.root().ok_or(BoundsError::MissingRoot)?;
+        let all_ones = Evidence::empty(ac.var_count());
+        let sweep = |semiring: Semiring| -> Result<Vec<f64>, BoundsError> {
+            let tape = Tape::compile_full(ac, semiring).map_err(|_| BoundsError::MissingRoot)?;
+            let engine = Engine::new(tape, F64Arith::new());
+            let (values, _) = engine
+                .evaluate_nodes_one(&all_ones)
+                .map_err(|_| BoundsError::MissingRoot)?;
+            Ok(values)
+        };
+        let max_values = sweep(Semiring::SumProduct)?;
+        let min_values = sweep(Semiring::MinProduct)?;
+        Self::from_values(ac, max_values, min_values)
+    }
+
+    /// Runs both analyses on the scalar tree-walk
+    /// ([`AcGraph::evaluate_nodes`]) — the pre-engine reference
+    /// implementation, kept so the engine-backed path can be pinned
+    /// bit-identical against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundsError::MissingRoot`] for rootless circuits.
+    pub fn new_scalar(ac: &AcGraph) -> Result<Self, BoundsError> {
         let all_ones = Evidence::empty(ac.var_count());
         let mut ctx = F64Arith::new();
         let max_values = ac
@@ -60,6 +92,16 @@ impl AcAnalysis {
         let min_values = ac
             .evaluate_nodes(&mut ctx, &all_ones, Semiring::MinProduct)
             .map_err(|_| BoundsError::MissingRoot)?;
+        Self::from_values(ac, max_values, min_values)
+    }
+
+    /// Aggregates the two per-node vectors into an analysis.
+    fn from_values(
+        ac: &AcGraph,
+        max_values: Vec<f64>,
+        min_values: Vec<f64>,
+    ) -> Result<Self, BoundsError> {
+        let root = ac.root().ok_or(BoundsError::MissingRoot)?;
         let reachable = ac.reachable();
         let mut global_max = 0.0f64;
         let mut global_min_positive = f64::INFINITY;
@@ -216,5 +258,50 @@ mod tests {
     fn rootless_circuit_is_rejected() {
         let g = AcGraph::new(vec![2]);
         assert_eq!(AcAnalysis::new(&g).unwrap_err(), BoundsError::MissingRoot);
+        assert_eq!(
+            AcAnalysis::new_scalar(&g).unwrap_err(),
+            BoundsError::MissingRoot
+        );
+    }
+
+    /// The tentpole contract: the engine-backed analysis (full-values
+    /// tape) is bit-identical to the scalar tree-walk, on the standard
+    /// networks, on binarized forms, and across a sweep of random
+    /// circuits.
+    #[test]
+    fn engine_backed_analysis_is_bit_identical_to_scalar() {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let mut circuits: Vec<AcGraph> = Vec::new();
+        for net in [
+            networks::figure1(),
+            networks::sprinkler(),
+            networks::student(),
+            networks::asia(),
+            networks::alarm(7),
+        ] {
+            let raw = compile(&net).unwrap();
+            circuits.push(binarize(&raw).unwrap());
+            circuits.push(raw);
+        }
+        for seed in 0..24 {
+            let net = networks::random_network(seed, 7, 3, 3);
+            circuits.push(compile(&net).unwrap());
+        }
+        for ac in &circuits {
+            let engine = AcAnalysis::new(ac).unwrap();
+            let scalar = AcAnalysis::new_scalar(ac).unwrap();
+            assert_eq!(bits(engine.max_values()), bits(scalar.max_values()));
+            assert_eq!(bits(engine.min_values()), bits(scalar.min_values()));
+            assert_eq!(engine.root_max().to_bits(), scalar.root_max().to_bits());
+            assert_eq!(
+                engine.root_min_positive().to_bits(),
+                scalar.root_min_positive().to_bits()
+            );
+            assert_eq!(engine.global_max().to_bits(), scalar.global_max().to_bits());
+            assert_eq!(
+                engine.global_min_positive().to_bits(),
+                scalar.global_min_positive().to_bits()
+            );
+        }
     }
 }

@@ -122,23 +122,18 @@ where
             }
         }
         QueryType::Conditional => {
-            // Pr(q = s | e) for every state s: one numerator batch
-            // Pr(q = s, e) per state over the shared denominator batch
-            // Pr(e); the ratio is taken outside the AC (paper §3.2.2,
-            // footnote 2).
-            let den_exact = exact_engine.evaluate_batch(batch)?;
-            let den_lp = lp_engine.evaluate_batch(batch)?;
-            flags.merge(den_lp.flags);
-            let den_lp = lp_engine.to_f64s(&den_lp.values);
+            // Pr(q = s | e) for every state s, served as joint/marginal
+            // lane pairs by the engine's conditional path: one numerator
+            // batch Pr(q = s, e) per state over the shared denominator
+            // batch Pr(e); the ratio is taken outside the AC (paper
+            // §3.2.2, footnote 2).
+            let exact = exact_engine.conditional_batch(batch, query_var)?;
+            let lp = lp_engine.conditional_batch(batch, query_var)?;
+            flags.merge(lp.flags);
             for s in 0..query_states {
-                let with_q = batch.with_observed(query_var, s);
-                let num_exact = exact_engine.evaluate_batch(&with_q)?;
-                let num_lp = lp_engine.evaluate_batch(&with_q)?;
-                flags.merge(num_lp.flags);
-                let num_lp = lp_engine.to_f64s(&num_lp.values);
                 for lane in 0..batch.lanes() {
-                    let x = num_exact.values[lane] / den_exact.values[lane];
-                    let a = num_lp[lane] / den_lp[lane];
+                    let x = exact.posteriors[lane][s];
+                    let a = lp.posteriors[lane][s];
                     if x.is_finite() && a.is_finite() {
                         acc.record(x, a);
                     }

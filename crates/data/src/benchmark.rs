@@ -28,6 +28,11 @@ pub struct Benchmark {
     pub test_evidence: Vec<Evidence>,
     /// Test-set labels (states of `query_var`), when known.
     pub test_labels: Option<Vec<usize>>,
+    /// The raw labeled test split, for classifier benchmarks — row `i`
+    /// corresponds to `test_evidence[i]`/`test_labels[i]`. This is the
+    /// input `EvidenceBatch::from_dataset` packs for the engine-served
+    /// accuracy studies in `problp-bench`.
+    pub test_dataset: Option<problp_bayes::LabeledDataset>,
 }
 
 impl Benchmark {
@@ -75,6 +80,7 @@ fn classifier_benchmark(name: &str, dataset: &LabeledDataset) -> Benchmark {
         evidence_vars,
         test_evidence,
         test_labels: Some(labels),
+        test_dataset: Some(test),
     }
 }
 
@@ -120,6 +126,7 @@ pub fn alarm_benchmark(seed: u64, instances: usize) -> Benchmark {
         evidence_vars: leaves,
         test_evidence,
         test_labels: Some(labels),
+        test_dataset: None,
     }
 }
 
@@ -153,6 +160,19 @@ mod tests {
         for e in &bench.test_evidence {
             assert_eq!(e.observed_count(), bench.evidence_vars.len());
             assert_eq!(e.state(bench.query_var), None);
+        }
+    }
+
+    #[test]
+    fn classifier_test_dataset_aligns_with_the_evidences() {
+        let bench = uiwads_benchmark(5);
+        let ds = bench.test_dataset.as_ref().expect("classifier dataset");
+        assert_eq!(ds.len(), bench.test_len());
+        assert_eq!(ds.labels(), &bench.test_labels.clone().unwrap()[..]);
+        for (i, row) in ds.features().iter().enumerate().take(25) {
+            for (j, &fv) in bench.evidence_vars.iter().enumerate() {
+                assert_eq!(bench.test_evidence[i].state(fv), Some(row[j]));
+            }
         }
     }
 

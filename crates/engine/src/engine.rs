@@ -31,7 +31,7 @@ use problp_bayes::{Evidence, EvidenceBatch, VarId};
 use problp_num::{Arith, Flags};
 
 use crate::error::EngineError;
-use crate::tape::{Instr, Tape};
+use crate::tape::{Instr, Tape, TapeMode};
 
 /// Target byte size of one worker's SoA register file: small enough to
 /// stay L2-resident, large enough to amortise the per-block overhead.
@@ -93,16 +93,17 @@ pub struct FlaggedBatchResult<V> {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Engine<A: Arith> {
-    tape: Tape,
-    ctx: A,
+    pub(crate) tape: Tape,
+    pub(crate) ctx: A,
     /// Parameter constants pre-converted into the engine's number system;
-    /// `consts[p]` is broadcast into register row `p` before each sweep.
-    consts: Vec<A::Value>,
+    /// `consts[p]` is broadcast into register row `param_regs[p]` before
+    /// each sweep.
+    pub(crate) consts: Vec<A::Value>,
     /// Flags raised converting the constants (merged into every result).
-    const_flags: Flags,
-    zero: A::Value,
-    one: A::Value,
-    threads: usize,
+    pub(crate) const_flags: Flags,
+    pub(crate) zero: A::Value,
+    pub(crate) one: A::Value,
+    pub(crate) threads: usize,
     chunk: usize,
 }
 
@@ -144,6 +145,18 @@ where
         Ok(Engine::new(Tape::compile(ac, semiring)?, ctx))
     }
 
+    /// Like [`Engine::from_graph`], but on a **full-values** tape
+    /// ([`Tape::compile_full`]): register `i` holds source node `i`'s
+    /// value after a sweep, which [`Engine::evaluate_nodes_one`] and
+    /// [`Engine::mpe_batch`] require.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Circuit`] for invalid circuits.
+    pub fn from_graph_full(ac: &AcGraph, semiring: Semiring, ctx: A) -> Result<Self, EngineError> {
+        Ok(Engine::new(Tape::compile_full(ac, semiring)?, ctx))
+    }
+
     /// Caps the number of worker threads (default: all available cores;
     /// `1` forces single-threaded evaluation).
     pub fn with_threads(mut self, threads: usize) -> Self {
@@ -169,7 +182,7 @@ where
         values.iter().map(|v| self.ctx.to_f64(v)).collect()
     }
 
-    fn check_batch(&self, batch: &EvidenceBatch) -> Result<(), EngineError> {
+    pub(crate) fn check_batch(&self, batch: &EvidenceBatch) -> Result<(), EngineError> {
         if batch.var_count() != self.tape.var_count() {
             return Err(EngineError::BatchLengthMismatch {
                 batch: batch.var_count(),
@@ -180,7 +193,7 @@ where
     }
 
     /// How many shards to use for `lanes` lanes.
-    fn shard_count(&self, lanes: usize) -> usize {
+    pub(crate) fn shard_count(&self, lanes: usize) -> usize {
         self.threads
             .min(lanes.div_ceil(MIN_LANES_PER_THREAD))
             .max(1)
@@ -298,16 +311,87 @@ where
         }
         let mut ctx = self.ctx.clone();
         ctx.clear_flags();
+        let mut regs = self.fresh_regs();
+        self.run_instrs(&mut ctx, &mut regs, |var| {
+            evidence
+                .state(VarId::from_index(var as usize))
+                .map_or(-1, |s| s as i32)
+        });
+        let mut flags = ctx.flags();
+        flags.merge(self.const_flags);
+        Ok((regs[self.tape.root_reg() as usize].clone(), flags))
+    }
+
+    /// Evaluates a single evidence instance on a **full-values** tape,
+    /// returning the value of *every* circuit node: `values[i]` is source
+    /// node `i`'s value, bit-identical to
+    /// [`problp_ac::AcGraph::evaluate_nodes`] under the same arithmetic
+    /// and semiring. This is the engine entry point of the max/min value
+    /// analyses (`problp_bounds::AcAnalysis`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NeedsFullValues`] unless the engine was
+    /// built from [`Tape::compile_full`], and
+    /// [`EngineError::BatchLengthMismatch`] on an evidence length
+    /// mismatch.
+    pub fn evaluate_nodes_one(
+        &self,
+        evidence: &Evidence,
+    ) -> Result<(Vec<A::Value>, Flags), EngineError> {
+        if self.tape.mode() != TapeMode::Full {
+            return Err(EngineError::NeedsFullValues);
+        }
+        if evidence.len() != self.tape.var_count() {
+            return Err(EngineError::BatchLengthMismatch {
+                batch: evidence.len(),
+                circuit: self.tape.var_count(),
+            });
+        }
+        let mut ctx = self.ctx.clone();
+        ctx.clear_flags();
+        let mut regs = self.fresh_regs();
+        self.run_instrs(&mut ctx, &mut regs, |var| {
+            evidence
+                .state(VarId::from_index(var as usize))
+                .map_or(-1, |s| s as i32)
+        });
+        let mut flags = ctx.flags();
+        flags.merge(self.const_flags);
+        Ok((regs, flags))
+    }
+
+    /// A zero-filled scalar register file with the parameter constants
+    /// broadcast into their pinned registers.
+    pub(crate) fn fresh_regs(&self) -> Vec<A::Value> {
         let mut regs: Vec<A::Value> = vec![self.zero.clone(); self.tape.num_regs()];
-        regs[..self.consts.len()].clone_from_slice(&self.consts);
+        for (c, &r) in self.consts.iter().zip(self.tape.param_regs()) {
+            regs[r as usize] = c.clone();
+        }
+        regs
+    }
+
+    /// Runs the instruction stream once over a scalar register file.
+    /// `observed(var)` returns the evidence state of `var` or a negative
+    /// value when the variable is unobserved (the [`UNOBSERVED`] column
+    /// convention of [`EvidenceBatch`]).
+    ///
+    /// [`UNOBSERVED`]: problp_bayes::UNOBSERVED
+    pub(crate) fn run_instrs(
+        &self,
+        ctx: &mut A,
+        regs: &mut [A::Value],
+        observed: impl Fn(u32) -> i32,
+    ) {
         for instr in self.tape.instrs() {
             match *instr {
                 Instr::LoadIndicator { dst, slot } => {
                     let (var, state) = self.tape.slot(slot);
-                    let observed = evidence.state(VarId::from_index(var as usize));
-                    regs[dst as usize] = match observed {
-                        Some(s) if s != state as usize => self.zero.clone(),
-                        _ => self.one.clone(),
+                    let o = observed(var);
+                    regs[dst as usize] = if o >= 0 && o != state as i32 {
+                        self.zero.clone()
+                    } else {
+                        self.one.clone()
                     };
                 }
                 Instr::Add { dst, lhs, rhs } => {
@@ -320,13 +404,10 @@ where
                     regs[dst as usize] = ctx.max(&regs[lhs as usize], &regs[rhs as usize]);
                 }
                 Instr::MinNz { dst, lhs, rhs } => {
-                    regs[dst as usize] = min_nz(&mut ctx, &regs[lhs as usize], &regs[rhs as usize]);
+                    regs[dst as usize] = min_nz(ctx, &regs[lhs as usize], &regs[rhs as usize]);
                 }
             }
         }
-        let mut flags = ctx.flags();
-        flags.merge(self.const_flags);
-        Ok((regs[self.tape.root_reg() as usize].clone(), flags))
     }
 
     /// SoA sweep of the contiguous lane range starting at `start`, writing
@@ -340,7 +421,8 @@ where
         let mut regs: Vec<A::Value> = vec![self.zero.clone(); num_regs * chunk];
         // Pinned parameter rows are written once: no instruction ever uses
         // them as a destination.
-        for (p, c) in self.consts.iter().enumerate() {
+        for (c, &p) in self.consts.iter().zip(self.tape.param_regs()) {
+            let p = p as usize;
             for slot in &mut regs[p * chunk..p * chunk + chunk] {
                 *slot = c.clone();
             }
@@ -427,37 +509,13 @@ where
         flags_out: &mut [Flags],
     ) {
         let mut ctx = self.ctx.clone();
-        let mut regs: Vec<A::Value> = vec![self.zero.clone(); self.tape.num_regs()];
-        regs[..self.consts.len()].clone_from_slice(&self.consts);
+        let mut regs = self.fresh_regs();
         for (i, (out_v, out_f)) in out.iter_mut().zip(flags_out.iter_mut()).enumerate() {
             let lane = start + i;
             ctx.clear_flags();
-            for instr in self.tape.instrs() {
-                match *instr {
-                    Instr::LoadIndicator { dst, slot } => {
-                        let (var, state) = self.tape.slot(slot);
-                        let observed = batch.column(VarId::from_index(var as usize))[lane];
-                        regs[dst as usize] = if observed >= 0 && observed != state as i32 {
-                            self.zero.clone()
-                        } else {
-                            self.one.clone()
-                        };
-                    }
-                    Instr::Add { dst, lhs, rhs } => {
-                        regs[dst as usize] = ctx.add(&regs[lhs as usize], &regs[rhs as usize]);
-                    }
-                    Instr::Mul { dst, lhs, rhs } => {
-                        regs[dst as usize] = ctx.mul(&regs[lhs as usize], &regs[rhs as usize]);
-                    }
-                    Instr::Max { dst, lhs, rhs } => {
-                        regs[dst as usize] = ctx.max(&regs[lhs as usize], &regs[rhs as usize]);
-                    }
-                    Instr::MinNz { dst, lhs, rhs } => {
-                        regs[dst as usize] =
-                            min_nz(&mut ctx, &regs[lhs as usize], &regs[rhs as usize]);
-                    }
-                }
-            }
+            self.run_instrs(&mut ctx, &mut regs, |var| {
+                batch.column(VarId::from_index(var as usize))[lane]
+            });
             *out_v = regs[self.tape.root_reg() as usize].clone();
             let mut f = ctx.flags();
             f.merge(self.const_flags);

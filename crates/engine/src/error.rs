@@ -1,6 +1,6 @@
 //! Error types for the execution engine.
 
-use problp_ac::AcError;
+use problp_ac::{AcError, Semiring};
 
 /// Errors produced by tape compilation and batch evaluation.
 #[derive(Clone, PartialEq, Debug)]
@@ -15,6 +15,24 @@ pub enum EngineError {
         /// Variables in the compiled circuit.
         circuit: usize,
     },
+    /// The operation reads per-node values and needs a full-values tape
+    /// (`Tape::compile_full` / `Engine::from_graph_full`).
+    NeedsFullValues,
+    /// The operation needs a tape compiled under a different semiring.
+    SemiringMismatch {
+        /// The semiring the operation requires.
+        expected: Semiring,
+        /// The semiring the tape was compiled for.
+        actual: Semiring,
+    },
+    /// The query variable is outside the compiled circuit's variable
+    /// range.
+    QueryVarOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// Variables in the compiled circuit.
+        vars: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -25,6 +43,19 @@ impl std::fmt::Display for EngineError {
                 f,
                 "evidence batch ranges over {batch} variables but the circuit has {circuit}"
             ),
+            EngineError::NeedsFullValues => write!(
+                f,
+                "operation reads per-node values and needs a full-values tape \
+                 (compile with Tape::compile_full)"
+            ),
+            EngineError::SemiringMismatch { expected, actual } => write!(
+                f,
+                "operation needs a {expected:?} tape but this one was compiled for {actual:?}"
+            ),
+            EngineError::QueryVarOutOfRange { var, vars } => write!(
+                f,
+                "query variable {var} out of range for a circuit over {vars} variables"
+            ),
         }
     }
 }
@@ -33,7 +64,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Circuit(e) => Some(e),
-            EngineError::BatchLengthMismatch { .. } => None,
+            _ => None,
         }
     }
 }

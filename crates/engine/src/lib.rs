@@ -24,7 +24,18 @@
 //!    ([`Engine::evaluate_batch`]) or per lane
 //!    ([`Engine::evaluate_batch_flagged`]).
 //!
-//! See the module docs of [`tape`] (tape layout) and the engine source
+//! 3. Beyond marginals, the engine serves the paper's other two query
+//!    kinds in bulk ([`query`], dispatched by [`Engine::evaluate_query`]
+//!    on a [`problp_bayes::BatchQuery`] descriptor): **MPE** decoding
+//!    via max-product argmax traceback on a *full-values* tape
+//!    ([`Tape::compile_full`]: no register reuse, one stable slot per
+//!    node) with exact verification, and **conditional** posteriors as
+//!    joint/marginal lane pairs. The full-values mode also gives the
+//!    max/min value analyses of `problp-bounds` per-node vectors that
+//!    are bit-identical to the scalar walk.
+//!
+//! See the module docs of [`tape`] (tape layout, tape modes), [`query`]
+//! (MPE traceback, conditional lane pairs) and the engine source
 //! (`engine.rs`, lane sharding) for the representation details, and
 //! `problp-bench`'s `engine_throughput` bench for the measured speedups
 //! over the scalar tree-walk.
@@ -59,8 +70,10 @@
 
 mod engine;
 mod error;
+pub mod query;
 pub mod tape;
 
 pub use engine::{BatchResult, Engine, FlaggedBatchResult};
 pub use error::EngineError;
-pub use tape::{Instr, Tape, TapeStats};
+pub use query::{ConditionalBatchResult, MpeBatchResult, QueryBatchResult};
+pub use tape::{Instr, Tape, TapeMode, TapeStats};

@@ -26,11 +26,39 @@
 //! list, so the register file stays far smaller than the node count —
 //! this is what makes the structure-of-arrays batch layout of
 //! [`crate::Engine`] fit in cache.
+//!
+//! # Tape modes
+//!
+//! [`Tape::compile`] produces the **compact** mode described above: the
+//! throughput configuration, where only the root value survives a sweep.
+//! [`Tape::compile_full`] produces the **full-values** mode instead: the
+//! optimisation pass and the register allocator are both skipped, and
+//! register `i` simply holds source node `i`'s value after a sweep —
+//! exactly the per-node value vector of
+//! [`problp_ac::AcGraph::evaluate_nodes`], bit for bit. The full mode is
+//! what lets the max/min value analyses of `problp-bounds` and the MPE
+//! argmax traceback run on the engine; see [`TapeMode`].
 
-use problp_ac::{optimize, AcGraph, AcNode, Semiring};
+use problp_ac::{optimize, AcError, AcGraph, AcNode, Semiring};
 use problp_bayes::VarId;
 
 use crate::error::EngineError;
+
+/// How a tape assigns output registers to circuit nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TapeMode {
+    /// Registers are reused once a node's value is dead ([`Tape::compile`]).
+    /// Smallest register file, highest batch throughput; only the root
+    /// value is addressable after a sweep.
+    #[default]
+    Compact,
+    /// Every source node keeps a stable output slot: register `i` holds
+    /// node `i`'s value after a sweep ([`Tape::compile_full`]). Required
+    /// by per-node consumers — the max/min value analyses of
+    /// `problp-bounds` and the MPE argmax traceback of
+    /// [`crate::Engine::mpe_batch`].
+    Full,
+}
 
 /// One tape instruction. `dst`, `lhs` and `rhs` are register indices.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -135,10 +163,15 @@ impl std::fmt::Display for TapeStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Tape {
+    mode: TapeMode,
     semiring: Semiring,
-    var_count: usize,
-    /// Distinct parameter constants; constant `p` lives in register `p`.
+    /// Arity of each circuit variable (index order).
+    var_arities: Vec<usize>,
+    /// Parameter constants; `params[p]` lives in register `param_regs[p]`.
     params: Vec<f64>,
+    /// Register of each parameter constant (`0..params.len()` in compact
+    /// mode, the param node's own index in full-values mode).
+    param_regs: Vec<u32>,
     /// Indicator slots as `(variable index, state)`.
     indicators: Vec<(u32, u32)>,
     instrs: Vec<Instr>,
@@ -197,9 +230,11 @@ impl Tape {
             }
         }
 
+        let param_regs: Vec<u32> = (0..params.len() as u32).collect();
         let mut tape = Tape {
+            mode: TapeMode::Compact,
             semiring,
-            var_count: opt.var_count(),
+            var_arities: opt.var_arities().to_vec(),
             indicators: Vec::new(),
             instrs: Vec::new(),
             num_regs: params.len() as u32,
@@ -207,6 +242,7 @@ impl Tape {
             source_nodes: ac.len(),
             live_nodes: nodes.len(),
             params,
+            param_regs,
         };
         let mut alloc = RegAlloc {
             next: tape.num_regs,
@@ -274,6 +310,93 @@ impl Tape {
         Ok(tape)
     }
 
+    /// Compiles a circuit into a **full-values** tape: no optimisation
+    /// pass, no register reuse — register `i` holds source node `i`'s
+    /// value after a sweep, in the node order (and therefore the exact
+    /// fold order) of [`AcGraph::evaluate_nodes`], bit for bit.
+    ///
+    /// This is the mode the max/min value analyses
+    /// (`problp_bounds::AcAnalysis`) and the MPE argmax traceback
+    /// ([`crate::Engine::mpe_batch`]) require; for plain batch throughput
+    /// prefer [`Tape::compile`], whose register file is far smaller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Circuit`] if the circuit has no root.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use problp_ac::{compile, Semiring};
+    /// use problp_bayes::networks;
+    /// use problp_engine::{Tape, TapeMode};
+    ///
+    /// let ac = compile(&networks::sprinkler())?;
+    /// let tape = Tape::compile_full(&ac, Semiring::SumProduct)?;
+    /// assert_eq!(tape.mode(), TapeMode::Full);
+    /// // One stable register per source node.
+    /// assert_eq!(tape.num_regs(), ac.len());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn compile_full(ac: &AcGraph, semiring: Semiring) -> Result<Self, EngineError> {
+        let root = ac
+            .root()
+            .ok_or(EngineError::Circuit(AcError::MissingRoot))?;
+        let nodes = ac.nodes();
+        let mut tape = Tape {
+            mode: TapeMode::Full,
+            semiring,
+            var_arities: ac.var_arities().to_vec(),
+            params: Vec::new(),
+            param_regs: Vec::new(),
+            indicators: Vec::new(),
+            instrs: Vec::new(),
+            num_regs: nodes.len() as u32,
+            root_reg: root.index() as u32,
+            source_nodes: nodes.len(),
+            live_nodes: nodes.len(),
+        };
+        for (i, node) in nodes.iter().enumerate() {
+            let dst = i as u32;
+            match node {
+                AcNode::Param { value } => {
+                    tape.params.push(*value);
+                    tape.param_regs.push(dst);
+                }
+                AcNode::Indicator { var, state } => {
+                    let slot = tape.indicators.len() as u32;
+                    tape.indicators.push((var.index() as u32, *state as u32));
+                    tape.instrs.push(Instr::LoadIndicator { dst, slot });
+                }
+                AcNode::Sum(children) | AcNode::Product(children) => {
+                    let is_product = matches!(node, AcNode::Product(_));
+                    let make = |dst: u32, lhs: u32, rhs: u32| match (is_product, semiring) {
+                        (true, _) => Instr::Mul { dst, lhs, rhs },
+                        (false, Semiring::SumProduct) => Instr::Add { dst, lhs, rhs },
+                        (false, Semiring::MaxProduct) => Instr::Max { dst, lhs, rhs },
+                        (false, Semiring::MinProduct) => Instr::MinNz { dst, lhs, rhs },
+                    };
+                    // Same left-to-right accumulator chain as the compact
+                    // mode. `AcGraph::sum`/`product` elide unary
+                    // operators at construction, so every chain has at
+                    // least one binary step writing `dst`.
+                    debug_assert!(children.len() >= 2, "constructors elide unary operators");
+                    let mut acc = children[0].index() as u32;
+                    for c in &children[1..] {
+                        tape.instrs.push(make(dst, acc, c.index() as u32));
+                        acc = dst;
+                    }
+                }
+            }
+        }
+        Ok(tape)
+    }
+
+    /// The register-assignment mode this tape was compiled in.
+    pub fn mode(&self) -> TapeMode {
+        self.mode
+    }
+
     /// The semiring this tape was compiled for.
     pub fn semiring(&self) -> Semiring {
         self.semiring
@@ -281,13 +404,24 @@ impl Tape {
 
     /// Number of variables the compiled circuit ranges over.
     pub fn var_count(&self) -> usize {
-        self.var_count
+        self.var_arities.len()
     }
 
-    /// The distinct parameter constants; constant `p` is pre-loaded into
-    /// register `p`.
+    /// Arity of each circuit variable, in variable-index order.
+    pub fn var_arities(&self) -> &[usize] {
+        &self.var_arities
+    }
+
+    /// The parameter constants; `params()[p]` is pre-loaded into register
+    /// `param_regs()[p]` before every sweep.
     pub fn params(&self) -> &[f64] {
         &self.params
+    }
+
+    /// The pinned register of each parameter constant (`0..params` in
+    /// compact mode, the param node's own index in full-values mode).
+    pub fn param_regs(&self) -> &[u32] {
+        &self.param_regs
     }
 
     /// The indicator slot table as `(variable, state)` pairs.
@@ -405,6 +539,35 @@ mod tests {
             Tape::compile(&g, Semiring::SumProduct).unwrap_err(),
             EngineError::Circuit(_)
         ));
+        assert!(matches!(
+            Tape::compile_full(&g, Semiring::SumProduct).unwrap_err(),
+            EngineError::Circuit(_)
+        ));
+    }
+
+    #[test]
+    fn full_mode_assigns_one_register_per_node() {
+        let g = tiny();
+        let tape = Tape::compile_full(&g, Semiring::SumProduct).unwrap();
+        assert_eq!(tape.mode(), TapeMode::Full);
+        assert_eq!(tape.num_regs(), g.len());
+        assert_eq!(tape.root_reg() as usize, g.root().unwrap().index());
+        // Param registers are the param nodes' own indices.
+        for (&r, &p) in tape.param_regs().iter().zip(tape.params()) {
+            assert!(matches!(g.nodes()[r as usize], AcNode::Param { value } if value == p));
+        }
+        // Every non-param node's register is written by exactly one
+        // destination chain.
+        assert_eq!(tape.stats().live_nodes, g.len());
+    }
+
+    #[test]
+    fn full_mode_keeps_dead_nodes() {
+        let mut g = tiny();
+        let _ = g.param(0.123).unwrap();
+        let tape = Tape::compile_full(&g, Semiring::SumProduct).unwrap();
+        assert_eq!(tape.stats().params, 3, "dead params keep their slot");
+        assert_eq!(tape.num_regs(), g.len());
     }
 
     #[test]

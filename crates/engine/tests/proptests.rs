@@ -1,6 +1,7 @@
-//! Property tests for the execution engine: tape evaluation is
-//! bit-identical to the scalar tree-walk, and batch results are
-//! independent of how lanes are sharded.
+//! Property tests for the execution engine: tape evaluation (compact
+//! and full-values modes) is bit-identical to the scalar tree-walk,
+//! batch results are independent of how lanes are sharded, and the
+//! batched MPE/conditional serving paths agree with the scalar oracles.
 
 use proptest::prelude::*;
 
@@ -125,6 +126,140 @@ proptest! {
             let engine = Engine::from_graph(&ac, semiring, FixedArith::new(format)).unwrap();
             let (v, _) = engine.evaluate_one(&e).unwrap();
             prop_assert_eq!(scalar.to_bits(), v.to_f64().to_bits(), "fixed, {:?}", semiring);
+        }
+    }
+
+    /// The full-values tape returns the value of *every* node
+    /// bit-identically to `AcGraph::evaluate_nodes`, for every semiring
+    /// and every arithmetic — the contract the engine-backed
+    /// `AcAnalysis` in `problp-bounds` rests on.
+    #[test]
+    fn full_tape_node_values_match_evaluate_nodes(
+        (seed, picks) in net_and_picks(),
+        frac in 6u32..20,
+    ) {
+        let net = networks::random_network(seed, 7, 3, 3);
+        let ac = compile(&net).unwrap();
+        let e = evidence_from_picks(&net, &picks);
+        for semiring in [Semiring::SumProduct, Semiring::MaxProduct, Semiring::MinProduct] {
+            // Exact f64.
+            let mut ctx = F64Arith::new();
+            let scalar = ac.evaluate_nodes(&mut ctx, &e, semiring).unwrap();
+            let engine = Engine::from_graph_full(&ac, semiring, F64Arith::new()).unwrap();
+            let (tape, _) = engine.evaluate_nodes_one(&e).unwrap();
+            prop_assert_eq!(scalar.len(), tape.len());
+            for (i, (s, t)) in scalar.iter().zip(&tape).enumerate() {
+                prop_assert_eq!(s.to_bits(), t.to_bits(), "f64 {:?} node {}", semiring, i);
+            }
+
+            // Fixed point.
+            let format = FixedFormat::new(1, frac).unwrap();
+            let mut fx = FixedArith::new(format);
+            let scalar = ac.evaluate_nodes(&mut fx, &e, semiring).unwrap();
+            let engine = Engine::from_graph_full(&ac, semiring, FixedArith::new(format)).unwrap();
+            let (tape, _) = engine.evaluate_nodes_one(&e).unwrap();
+            for (i, (s, t)) in scalar.iter().zip(&tape).enumerate() {
+                prop_assert_eq!(
+                    fx.to_f64(s).to_bits(),
+                    fx.to_f64(t).to_bits(),
+                    "fixed {:?} node {}", semiring, i
+                );
+            }
+
+            // Floating point.
+            let format = FloatFormat::new(8, frac).unwrap();
+            let mut fl = FloatArith::new(format);
+            let scalar = ac.evaluate_nodes(&mut fl, &e, semiring).unwrap();
+            let engine = Engine::from_graph_full(&ac, semiring, FloatArith::new(format)).unwrap();
+            let (tape, _) = engine.evaluate_nodes_one(&e).unwrap();
+            for (i, (s, t)) in scalar.iter().zip(&tape).enumerate() {
+                prop_assert_eq!(
+                    fl.to_f64(s).to_bits(),
+                    fl.to_f64(t).to_bits(),
+                    "float {:?} node {}", semiring, i
+                );
+            }
+        }
+    }
+
+    /// Full-values batch evaluation (root values) agrees with the
+    /// compact tape, so the mode only changes register layout, never
+    /// results.
+    #[test]
+    fn full_and_compact_tapes_agree_on_roots((seed, picks) in net_and_picks()) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let e = evidence_from_picks(&net, &picks);
+        let mut batch = EvidenceBatch::new(net.var_count());
+        for _ in 0..3 {
+            batch.push(&e);
+        }
+        for semiring in [Semiring::SumProduct, Semiring::MaxProduct, Semiring::MinProduct] {
+            let compact = Engine::from_graph(&ac, semiring, F64Arith::new()).unwrap();
+            let full = Engine::from_graph_full(&ac, semiring, F64Arith::new()).unwrap();
+            let a = compact.evaluate_batch(&batch).unwrap();
+            let b = full.evaluate_batch(&batch).unwrap();
+            for (x, y) in a.values.iter().zip(&b.values) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{:?}", semiring);
+            }
+        }
+    }
+
+    /// Batched MPE decoding matches the scalar sequential-conditioning
+    /// decoder: identical max-product values (bit for bit) and decoded
+    /// assignments that achieve them.
+    #[test]
+    fn mpe_batch_matches_the_scalar_decoder_on_random_networks(
+        seed in 0u64..120,
+        picks in proptest::collection::vec(0usize..100, 6),
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let e = evidence_from_picks(&net, &picks);
+        let evidences = [Evidence::empty(net.var_count()), e];
+        let batch = EvidenceBatch::from_evidences(net.var_count(), &evidences).unwrap();
+        let engine = Engine::from_graph_full(&ac, Semiring::MaxProduct, F64Arith::new()).unwrap();
+        let mpe = engine.mpe_batch(&batch).unwrap();
+        for (lane, e) in evidences.iter().enumerate() {
+            let (_, oracle_value) = ac.mpe_assignment(e).unwrap();
+            prop_assert_eq!(mpe.values[lane].to_bits(), oracle_value.to_bits(), "lane {}", lane);
+            let joint = net.joint_probability(&mpe.assignments[lane]);
+            prop_assert!((joint - oracle_value).abs() <= 1e-12 * oracle_value.max(1.0));
+            for (var, s) in e.iter() {
+                prop_assert_eq!(mpe.assignments[lane][var.index()], s);
+            }
+        }
+    }
+
+    /// Batched conditional serving matches the scalar per-state
+    /// evaluation bit for bit (the ratio is the same f64 division).
+    #[test]
+    fn conditional_batch_matches_scalar_ratios(
+        seed in 0u64..120,
+        picks in proptest::collection::vec(0usize..100, 6),
+        qv in 0usize..6,
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let query_var = VarId::from_index(qv % net.var_count());
+        let mut e = evidence_from_picks(&net, &picks);
+        e.forget(query_var);
+        let batch = EvidenceBatch::from_evidences(
+            net.var_count(),
+            std::slice::from_ref(&e),
+        ).unwrap();
+        let engine = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new()).unwrap();
+        let cond = engine.conditional_batch(&batch, query_var).unwrap();
+        let den = ac.evaluate(&e).unwrap();
+        for s in 0..net.variable(query_var).arity() {
+            let mut with_q = e.clone();
+            with_q.observe(query_var, s);
+            let num = ac.evaluate(&with_q).unwrap();
+            prop_assert_eq!(
+                cond.posteriors[0][s].to_bits(),
+                (num / den).to_bits(),
+                "state {}", s
+            );
         }
     }
 

@@ -8,6 +8,10 @@
 //! circuit, asks ProbLP for hardware that answers marginal queries within
 //! an absolute error of 0.01, and prints the resulting report plus the
 //! head of the generated Verilog.
+//!
+//! The same flow (and the batched-serving counterpart) is a runnable
+//! doctest on the `problp` facade — see the crate-level docs of
+//! `src/lib.rs`, exercised by `cargo test`.
 
 use problp::prelude::*;
 

@@ -6,13 +6,19 @@
 //! problp run        --network model.bn --query marginal --tolerance abs:0.01 \
 //!                   --out-dir build/
 //! problp export     --network model.bn --dot circuit.dot
-//! problp throughput --network model.bn --batch 1024 --threads 0
+//! problp throughput --network model.bn --batch 1024 --threads 0 \
+//!                   --query marginal|mpe|conditional [--query-var NAME]
+//! problp accuracy   [--dataset HAR|UNIMIB|UIWADS] [--instances 300]
 //! ```
 //!
 //! Networks use the plain-text `.bn` format of [`problp::bayes::io`].
-//! `throughput` measures bulk-inference rates: the scalar tree-walk
+//! `throughput` measures bulk-inference rates — the scalar tree-walk
 //! versus the batched execution engine (`problp::engine`) at the given
-//! batch size (`--threads 0` = all cores).
+//! batch size (`--threads 0` = all cores) — for all three query kinds:
+//! marginal sweeps, MPE decoding (max-product argmax traceback) and
+//! conditional posteriors (joint/marginal lane pairs). `accuracy` runs
+//! the engine-served per-precision classifier accuracy study of
+//! `problp::bench` on the synthetic sensing datasets.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,7 +41,9 @@ fn usage() -> ExitCode {
   problp run        --network FILE [--query marginal|conditional|mpe]
                     [--tolerance abs:X|rel:X] [--out-dir DIR] [--optimize]
   problp export     --network FILE --dot FILE
-  problp throughput --network FILE [--batch N] [--threads N] [--optimize]"
+  problp throughput --network FILE [--batch N] [--threads N] [--optimize]
+                    [--query marginal|mpe|conditional] [--query-var NAME]
+  problp accuracy   [--dataset HAR|UNIMIB|UIWADS] [--instances N]"
     );
     ExitCode::from(2)
 }
@@ -72,12 +80,15 @@ fn main() -> ExitCode {
     };
     let mut network: Option<PathBuf> = None;
     let mut query = QueryType::Marginal;
+    let mut query_var: Option<String> = None;
     let mut tolerance = Tolerance::Absolute(0.01);
     let mut out_dir = PathBuf::from(".");
     let mut dot: Option<PathBuf> = None;
     let mut optimize = false;
     let mut batch = 1024usize;
     let mut threads = 0usize;
+    let mut dataset: Option<String> = None;
+    let mut instances = 300usize;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -94,11 +105,29 @@ fn main() -> ExitCode {
                 };
                 threads = n;
             }
+            "--instances" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                instances = n;
+            }
             "--query" => {
                 let Some(q) = it.next().and_then(|s| parse_query(s)) else {
                     return usage();
                 };
                 query = q;
+            }
+            "--query-var" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                query_var = Some(v.clone());
+            }
+            "--dataset" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                dataset = Some(v.clone());
             }
             "--tolerance" => {
                 let Some(t) = it.next().and_then(|s| parse_tolerance(s)) else {
@@ -112,6 +141,28 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+
+    // `accuracy` runs on the packaged classifier benchmarks, no network
+    // file involved.
+    if command == "accuracy" {
+        let names: Vec<&str> = match &dataset {
+            Some(d) => vec![d.as_str()],
+            None => vec!["HAR", "UNIMIB", "UIWADS"],
+        };
+        if let Some(bad) = names
+            .iter()
+            .find(|n| !matches!(**n, "HAR" | "UNIMIB" | "UIWADS"))
+        {
+            eprintln!("error: unknown dataset {bad} (expected HAR, UNIMIB or UIWADS)");
+            return ExitCode::FAILURE;
+        }
+        print!(
+            "{}",
+            problp::bench::accuracy_study_report(&names, instances)
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let Some(network_path) = network else {
         return usage();
     };
@@ -165,13 +216,15 @@ fn main() -> ExitCode {
             println!("wrote {}", dot_path.display());
             ExitCode::SUCCESS
         }
-        "throughput" => match throughput(&circuit, batch, threads) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+        "throughput" => {
+            match throughput(&net, &circuit, query, query_var.as_deref(), batch, threads) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         "run" => {
             let run = RunArgs {
                 network: network_path,
@@ -192,16 +245,34 @@ fn main() -> ExitCode {
     }
 }
 
-/// Measures bulk-inference throughput of the circuit: the scalar
-/// tree-walk versus the batched execution engine, over `batch` evidence
-/// instances cycling through the single-variable observations.
+/// Runs `f` repeatedly for at least ~0.3 s and returns its rate in units
+/// of `per_call` outputs per second.
+fn rate_of(mut f: impl FnMut(), per_call: usize) -> f64 {
+    use std::time::Instant;
+    f();
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed().as_secs_f64() < 0.3 {
+        f();
+        calls += 1;
+    }
+    calls as f64 * per_call as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures bulk-inference throughput of the circuit — the scalar
+/// tree-walk versus the batched execution engine — over `batch` evidence
+/// instances cycling through the single-variable observations, for the
+/// requested query kind (marginal sweeps, MPE decoding, or conditional
+/// posteriors on `query_var`, defaulting to the network's first root).
 fn throughput(
+    net: &BayesNet,
     circuit: &AcGraph,
+    query: QueryType,
+    query_var: Option<&str>,
     batch: usize,
     threads: usize,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use problp::engine::Engine;
-    use std::time::Instant;
 
     let var_count = circuit.var_count();
     let pool = problp::bayes::single_variable_evidences(circuit.var_arities());
@@ -212,35 +283,113 @@ fn throughput(
     for e in &instances {
         evidence_batch.push(e);
     }
-
-    let mut engine = Engine::from_graph(circuit, Semiring::SumProduct, F64Arith::new())?;
-    if threads > 0 {
-        engine = engine.with_threads(threads);
-    }
-    println!("tape: {}", engine.tape());
-
-    let rate = |mut f: Box<dyn FnMut() + '_>| {
-        f();
-        let start = Instant::now();
-        let mut calls = 0u64;
-        while start.elapsed().as_secs_f64() < 0.3 {
-            f();
-            calls += 1;
+    let n = instances.len();
+    let cap_threads = |mut engine: Engine<F64Arith>| {
+        if threads > 0 {
+            engine = engine.with_threads(threads);
         }
-        calls as f64 * instances.len() as f64 / start.elapsed().as_secs_f64()
+        engine
     };
 
-    let scalar = rate(Box::new(|| {
-        for e in &instances {
-            std::hint::black_box(circuit.evaluate(e).expect("evaluates"));
+    let (label, scalar, batched) = match query {
+        QueryType::Marginal => {
+            let engine = cap_threads(Engine::from_graph(
+                circuit,
+                Semiring::SumProduct,
+                F64Arith::new(),
+            )?);
+            println!("tape: {}", engine.tape());
+            let scalar = rate_of(
+                || {
+                    for e in &instances {
+                        std::hint::black_box(circuit.evaluate(e).expect("evaluates"));
+                    }
+                },
+                n,
+            );
+            let batched = rate_of(
+                || {
+                    std::hint::black_box(engine.evaluate_batch(&evidence_batch).expect("serves"));
+                },
+                n,
+            );
+            ("marginals", scalar, batched)
         }
-    }));
-    let batched = rate(Box::new(|| {
-        std::hint::black_box(engine.evaluate_batch(&evidence_batch).expect("evaluates"));
-    }));
-    println!("scalar tree-walk: {scalar:>12.0} evals/s");
+        QueryType::Mpe => {
+            let engine = cap_threads(Engine::from_graph_full(
+                circuit,
+                Semiring::MaxProduct,
+                F64Arith::new(),
+            )?);
+            println!("tape: {}", engine.tape());
+            // The scalar decoder needs Σ arity evaluations per instance;
+            // time it on a prefix so huge batches stay responsive.
+            let prefix = &instances[..n.min(64)];
+            let scalar = rate_of(
+                || {
+                    for e in prefix {
+                        std::hint::black_box(circuit.mpe_assignment(e).expect("decodes"));
+                    }
+                },
+                prefix.len(),
+            );
+            let batched = rate_of(
+                || {
+                    std::hint::black_box(engine.mpe_batch(&evidence_batch).expect("decodes"));
+                },
+                n,
+            );
+            ("MPE decodes", scalar, batched)
+        }
+        QueryType::Conditional => {
+            let qv = match query_var {
+                Some(name) => net
+                    .find(name)
+                    .ok_or_else(|| format!("no variable named {name}"))?,
+                None => net.roots().first().copied().unwrap_or(VarId::from_index(0)),
+            };
+            let states = net.variable(qv).arity();
+            println!(
+                "query variable: {} ({} states)",
+                net.variable(qv).name(),
+                states
+            );
+            let engine = cap_threads(Engine::from_graph(
+                circuit,
+                Semiring::SumProduct,
+                F64Arith::new(),
+            )?);
+            println!("tape: {}", engine.tape());
+            let scalar = rate_of(
+                || {
+                    for e in &instances {
+                        let den = circuit.evaluate(e).expect("evaluates");
+                        for s in 0..states {
+                            let mut with_q = e.clone();
+                            with_q.observe(qv, s);
+                            let num = circuit.evaluate(&with_q).expect("evaluates");
+                            std::hint::black_box(num / den);
+                        }
+                    }
+                },
+                n,
+            );
+            let batched = rate_of(
+                || {
+                    std::hint::black_box(
+                        engine
+                            .conditional_batch(&evidence_batch, qv)
+                            .expect("serves"),
+                    );
+                },
+                n,
+            );
+            ("conditional queries", scalar, batched)
+        }
+    };
+    println!("scalar tree-walk: {scalar:>12.0} {label}/s");
     println!(
-        "batched engine:   {batched:>12.0} evals/s  ({:.1}x)",
+        "batched engine:   {batched:>12.0} {label}/s  ({:.1}x)",
         batched / scalar
     );
     Ok(())

@@ -7,7 +7,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// A length specification for [`vec`]: a fixed `usize` or a range.
+/// A length specification for [`vec()`]: a fixed `usize` or a range.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     min: usize,
@@ -50,7 +50,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Clone, Copy, Debug)]
 pub struct VecStrategy<S> {
     element: S,
