@@ -251,6 +251,49 @@ impl EvidenceBatch {
         out.observe_all(var, state);
         out
     }
+
+    /// Appends every lane of `other`, in order — the inverse of
+    /// [`EvidenceBatch::split_off`], reassembling split batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidDataset`] if the batches range over
+    /// different numbers of variables.
+    pub fn merge(&mut self, other: &EvidenceBatch) -> Result<(), BayesError> {
+        if other.var_count != self.var_count {
+            return Err(BayesError::InvalidDataset {
+                reason: format!(
+                    "cannot merge a batch over {} variables into one over {}",
+                    other.var_count, self.var_count
+                ),
+            });
+        }
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.extend_from_slice(src);
+        }
+        self.lanes += other.lanes;
+        Ok(())
+    }
+
+    /// Splits the batch in two at `at`: `self` keeps lanes `..at` in
+    /// place (no copying), the returned batch holds lanes `at..` — the
+    /// admission queue's cut when a coalescing group exceeds the
+    /// dispatch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > lanes`.
+    pub fn split_off(&mut self, at: usize) -> EvidenceBatch {
+        assert!(at <= self.lanes, "split point out of range");
+        let columns = self.columns.iter_mut().map(|c| c.split_off(at)).collect();
+        let tail = EvidenceBatch {
+            var_count: self.var_count,
+            lanes: self.lanes - at,
+            columns,
+        };
+        self.lanes = at;
+        tail
+    }
 }
 
 /// The canonical bulk-workload evidence pool: the empty evidence plus
@@ -330,6 +373,38 @@ mod tests {
         assert_eq!(forced.column(v(0)), &[1, 1]);
         // Original untouched.
         assert_eq!(batch.column(v(0)), &[UNOBSERVED, 0]);
+    }
+
+    #[test]
+    fn split_off_cuts_in_place() {
+        let mut batch = EvidenceBatch::new(2);
+        for i in 0..5 {
+            let mut e = Evidence::empty(2);
+            e.observe(v(0), i % 2);
+            batch.push(&e);
+        }
+        let original = batch.clone();
+        let tail = batch.split_off(2);
+        assert_eq!(batch.lanes(), 2);
+        assert_eq!(tail.lanes(), 3);
+        let mut rebuilt = batch.clone();
+        rebuilt.merge(&tail).unwrap();
+        assert_eq!(rebuilt, original);
+        // Degenerate cuts.
+        let mut b = original.clone();
+        assert_eq!(b.split_off(5).lanes(), 0);
+        assert_eq!(b, original);
+        let mut b = original.clone();
+        let all = b.split_off(0);
+        assert_eq!(b.lanes(), 0);
+        assert_eq!(all, original);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_variable_counts() {
+        let mut batch = EvidenceBatch::new(2);
+        let err = batch.merge(&EvidenceBatch::new(3)).unwrap_err();
+        assert!(matches!(err, BayesError::InvalidDataset { .. }));
     }
 
     #[test]

@@ -997,9 +997,206 @@ pub fn ablation_report() -> String {
     out
 }
 
+/// One model's share of a mixed-tenant serving study.
+#[derive(Clone, Debug)]
+pub struct ServingModelRow {
+    /// Model id in the pool.
+    pub model: String,
+    /// Variables in the network.
+    pub vars: usize,
+    /// Requests of the trace that targeted this model.
+    pub requests: usize,
+}
+
+/// The result of [`serving_study`]: a mixed-tenant trace replayed
+/// scalar (per-request tree-walk) and through the sharded serving layer.
+#[derive(Clone, Debug)]
+pub struct ServingStudy {
+    /// Per-model request shares.
+    pub models: Vec<ServingModelRow>,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Answers that reproduced the per-request evaluation bit for bit.
+    pub identical: usize,
+    /// Wall time of the scalar replay, seconds.
+    pub scalar_secs: f64,
+    /// Wall time of the pooled serving pass, seconds.
+    pub served_secs: f64,
+}
+
+impl ServingStudy {
+    /// Scalar-replay wall time over pooled wall time.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_secs / self.served_secs
+    }
+}
+
+/// Runs the mixed-workload serving study: Alarm + Asia + Sprinkler
+/// hosted in one [`problp_engine::CircuitPool`], a seeded trace mixing
+/// models and query kinds (marginal / MPE / conditional) coalesced by
+/// the admission queue, checked bit-identical against per-request
+/// evaluation and timed against the scalar tree-walk replay.
+pub fn serving_study(requests: usize, seed: u64) -> ServingStudy {
+    use problp_bayes::{networks, BatchQuery};
+    use problp_engine::{CircuitPool, ServeConfig, ServeRequest, Server};
+    use problp_num::F64Arith;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::{Duration, Instant};
+
+    let tenants = [
+        ("alarm".to_string(), networks::alarm(seed)),
+        ("asia".to_string(), networks::asia()),
+        ("sprinkler".to_string(), networks::sprinkler()),
+    ];
+    let circuits: Vec<AcGraph> = tenants
+        .iter()
+        .map(|(_, net)| compile(net).expect("benchmark network compiles"))
+        .collect();
+    let pools: Vec<Vec<problp_bayes::Evidence>> = circuits
+        .iter()
+        .map(|ac| problp_bayes::single_variable_evidences(ac.var_arities()))
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace: Vec<(usize, ServeRequest)> = (0..requests.max(1))
+        .map(|_| {
+            let t = rng.random_range(0..tenants.len());
+            let (name, net) = &tenants[t];
+            let query = match rng.random_range(0..3u32) {
+                0 => BatchQuery::Marginal,
+                1 => BatchQuery::Mpe,
+                _ => BatchQuery::Conditional {
+                    query_var: net.roots()[0],
+                },
+            };
+            let pool = &pools[t];
+            let evidence = pool[rng.random_range(0..pool.len())].clone();
+            (
+                t,
+                ServeRequest {
+                    model: name.clone(),
+                    evidence,
+                    query,
+                },
+            )
+        })
+        .collect();
+
+    // Scalar replay: each request alone, on the tree-walk.
+    let scalar_start = Instant::now();
+    for (t, req) in &trace {
+        let ac = &circuits[*t];
+        match req.query {
+            BatchQuery::Marginal => {
+                std::hint::black_box(ac.evaluate(&req.evidence).expect("evaluates"));
+            }
+            BatchQuery::Mpe => {
+                std::hint::black_box(ac.mpe_assignment(&req.evidence).expect("decodes"));
+            }
+            BatchQuery::Conditional { query_var } => {
+                let den = ac.evaluate(&req.evidence).expect("evaluates");
+                for s in 0..ac.var_arities()[query_var.index()] {
+                    let mut with_q = req.evidence.clone();
+                    with_q.observe(query_var, s);
+                    std::hint::black_box(ac.evaluate(&with_q).expect("evaluates") / den);
+                }
+            }
+        }
+    }
+    let scalar_secs = scalar_start.elapsed().as_secs_f64();
+
+    // Pooled serving through the admission queue.
+    let mut pool = CircuitPool::new(F64Arith::new());
+    for ((name, _), ac) in tenants.iter().zip(&circuits) {
+        pool.register(name, ac).expect("registers");
+    }
+    let server = Server::start(
+        pool,
+        ServeConfig {
+            max_batch: 32,
+            max_wait: Duration::from_micros(500),
+            workers: 4,
+        },
+    );
+    let requests_only: Vec<ServeRequest> = trace.iter().map(|(_, r)| r.clone()).collect();
+    let served_start = Instant::now();
+    let served = server.serve_all(&requests_only);
+    let served_secs = served_start.elapsed().as_secs_f64();
+    // Payload comparison: sticky flags are batch-scope by design.
+    let identical = requests_only
+        .iter()
+        .zip(&served)
+        .filter(|(req, got)| problp_engine::lane_answer_eq(&server.pool().serve_one(req), got))
+        .count();
+    server.shutdown();
+
+    let models = tenants
+        .iter()
+        .map(|(name, net)| ServingModelRow {
+            model: name.clone(),
+            vars: net.var_count(),
+            requests: trace.iter().filter(|(_, r)| &r.model == name).count(),
+        })
+        .collect();
+    ServingStudy {
+        models,
+        requests: trace.len(),
+        identical,
+        scalar_secs,
+        served_secs,
+    }
+}
+
+/// Renders the serving study as a text table.
+pub fn serving_report(requests: usize, seed: u64) -> String {
+    let study = serving_study(requests, seed);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Sharded multi-circuit serving: {} mixed requests (marginal/MPE/conditional) over {} models\n",
+        study.requests,
+        study.models.len()
+    ));
+    out.push_str(&format!(
+        "{:>10} | {:>5} | {:>8}\n{}\n",
+        "model",
+        "vars",
+        "requests",
+        "-".repeat(30)
+    ));
+    for m in &study.models {
+        out.push_str(&format!(
+            "{:>10} | {:>5} | {:>8}\n",
+            m.model, m.vars, m.requests
+        ));
+    }
+    out.push_str(&format!(
+        "\nbit-identical to per-request evaluation: {}/{}\n",
+        study.identical, study.requests
+    ));
+    out.push_str(&format!(
+        "scalar replay {:>8.2} ms | pooled serving {:>8.2} ms | speedup {:.1}x\n",
+        study.scalar_secs * 1e3,
+        study.served_secs * 1e3,
+        study.speedup()
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serving_study_is_bit_identical_and_reports() {
+        let study = serving_study(90, SEED);
+        assert_eq!(study.requests, 90);
+        assert_eq!(study.identical, study.requests);
+        assert_eq!(study.models.len(), 3);
+        let report = serving_report(60, SEED);
+        assert!(report.contains("alarm"));
+        assert!(report.contains("bit-identical to per-request evaluation: 60/60"));
+    }
 
     #[test]
     fn table1_contains_the_fitted_coefficients() {

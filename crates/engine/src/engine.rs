@@ -157,10 +157,15 @@ where
         Ok(Engine::new(Tape::compile_full(ac, semiring)?, ctx))
     }
 
-    /// Caps the number of worker threads (default: all available cores;
-    /// `1` forces single-threaded evaluation).
+    /// Caps the number of worker threads. `0` restores the default (all
+    /// available cores — the CLI's `--threads 0` convention); `1` forces
+    /// single-threaded evaluation.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
         self
     }
 
@@ -209,7 +214,9 @@ where
     /// # Errors
     ///
     /// Returns [`EngineError::BatchLengthMismatch`] if the batch ranges
-    /// over a different number of variables than the compiled circuit.
+    /// over a different number of variables than the compiled circuit,
+    /// and [`EngineError::WorkerPanic`] if a shard worker panicked (the
+    /// engine itself stays usable).
     pub fn evaluate_batch(
         &self,
         batch: &EvidenceBatch,
@@ -237,17 +244,16 @@ where
                 start += take;
                 rest = tail;
             }
-            let shard_flags = std::thread::scope(|scope| {
+            let joined = std::thread::scope(|scope| {
                 let handles: Vec<_> = slices
                     .into_iter()
                     .map(|(start, out)| scope.spawn(move || self.sweep_range(batch, start, out)))
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("engine worker panicked"))
-                    .collect::<Vec<_>>()
+                // Join every handle before leaving the scope so one
+                // panicking shard cannot re-panic the scope exit.
+                handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
             });
-            for f in shard_flags {
+            for f in crate::error::collect_worker_results(joined)? {
                 flags.merge(f);
             }
         }
@@ -275,13 +281,19 @@ where
         if lanes > 0 {
             let shards = self.shard_count(lanes);
             let per = lanes.div_ceil(shards);
-            std::thread::scope(|scope| {
+            let joined = std::thread::scope(|scope| {
                 let value_chunks = values.chunks_mut(per);
                 let flag_chunks = lane_flags.chunks_mut(per);
-                for (i, (vals, flgs)) in value_chunks.zip(flag_chunks).enumerate() {
-                    scope.spawn(move || self.sweep_lane_major(batch, i * per, vals, flgs));
-                }
+                let handles: Vec<_> = value_chunks
+                    .zip(flag_chunks)
+                    .enumerate()
+                    .map(|(i, (vals, flgs))| {
+                        scope.spawn(move || self.sweep_lane_major(batch, i * per, vals, flgs))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
             });
+            crate::error::collect_worker_results(joined)?;
         }
         let mut flags = Flags::new();
         for f in &lane_flags {

@@ -33,6 +33,14 @@ pub enum EngineError {
         /// Variables in the compiled circuit.
         vars: usize,
     },
+    /// A shard worker panicked during a batched evaluation. The batch's
+    /// results are lost, but the engine itself is untouched and can keep
+    /// serving — a serving layer should fail the affected requests, not
+    /// the process.
+    WorkerPanic {
+        /// The panic payload, rendered to a string when possible.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -56,6 +64,9 @@ impl std::fmt::Display for EngineError {
                 f,
                 "query variable {var} out of range for a circuit over {vars} variables"
             ),
+            EngineError::WorkerPanic { message } => {
+                write!(f, "a batch evaluation worker panicked: {message}")
+            }
         }
     }
 }
@@ -75,6 +86,39 @@ impl From<AcError> for EngineError {
     }
 }
 
+/// Renders a panic payload (as returned by [`std::thread::JoinHandle::join`]
+/// or [`std::panic::catch_unwind`]) into a human-readable message.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Folds a list of shard join results into either the merged worker
+/// outputs or the first panic, surfaced as [`EngineError::WorkerPanic`].
+/// Every handle must already be joined (so no panic is left to tear down
+/// a [`std::thread::scope`]) before this runs.
+pub(crate) fn collect_worker_results<T>(
+    joined: Vec<std::thread::Result<T>>,
+) -> Result<Vec<T>, EngineError> {
+    let mut out = Vec::with_capacity(joined.len());
+    let mut panic: Option<String> = None;
+    for r in joined {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => panic = panic.or(Some(panic_message(p))),
+        }
+    }
+    match panic {
+        Some(message) => Err(EngineError::WorkerPanic { message }),
+        None => Ok(out),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +132,31 @@ mod tests {
             circuit: 5,
         };
         assert!(e.to_string().contains("3 variables"));
+        let e = EngineError::WorkerPanic {
+            message: "boom".to_string(),
+        };
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        assert_eq!(panic_message(Box::new("str panic")), "str panic");
+        assert_eq!(
+            panic_message(Box::new("owned panic".to_string())),
+            "owned panic"
+        );
+        assert_eq!(panic_message(Box::new(42u32)), "opaque panic payload");
+    }
+
+    #[test]
+    fn worker_results_surface_the_first_panic() {
+        let joined: Vec<std::thread::Result<u32>> =
+            vec![Ok(1), Err(Box::new("first")), Err(Box::new("second"))];
+        match collect_worker_results(joined) {
+            Err(EngineError::WorkerPanic { message }) => assert_eq!(message, "first"),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        let ok: Vec<std::thread::Result<u32>> = vec![Ok(1), Ok(2)];
+        assert_eq!(collect_worker_results(ok).unwrap(), vec![1, 2]);
     }
 }

@@ -71,9 +71,14 @@
 mod engine;
 mod error;
 pub mod query;
+pub mod serve;
 pub mod tape;
 
 pub use engine::{BatchResult, Engine, FlaggedBatchResult};
 pub use error::EngineError;
-pub use query::{ConditionalBatchResult, MpeBatchResult, QueryBatchResult};
+pub use query::{ConditionalBatchResult, ConditionalLaneStatus, MpeBatchResult, QueryBatchResult};
+pub use serve::{
+    lane_answer_eq, CircuitPool, LaneResult, ServeConfig, ServeError, ServeRequest, ServeResponse,
+    Server, Ticket,
+};
 pub use tape::{Instr, Tape, TapeMode, TapeStats};

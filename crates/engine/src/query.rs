@@ -50,6 +50,29 @@ pub struct MpeBatchResult<V> {
     pub flags: Flags,
 }
 
+/// Per-lane outcome of a batched conditional query: whether the
+/// posterior ratio was well defined.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConditionalLaneStatus {
+    /// The lane's marginal `Pr(e)` was non-zero; its posteriors are
+    /// meaningful.
+    Ok,
+    /// The lane's marginal `Pr(e)` evaluated to exactly zero — the
+    /// evidence is impossible under the model (or underflowed to zero in
+    /// a low-precision format), so no posterior exists. The lane's
+    /// posteriors are deliberately `NaN` and its prediction is
+    /// meaningless; a serving layer should fail this lane, not the
+    /// batch.
+    ImpossibleEvidence,
+}
+
+impl ConditionalLaneStatus {
+    /// `true` for [`ConditionalLaneStatus::Ok`].
+    pub fn is_ok(self) -> bool {
+        self == ConditionalLaneStatus::Ok
+    }
+}
+
 /// The result of a batched conditional query
 /// ([`Engine::conditional_batch`]).
 #[derive(Clone, Debug)]
@@ -59,12 +82,18 @@ pub struct ConditionalBatchResult<V> {
     /// The numerators, `joints[s][lane] = Pr(q = s, e)`.
     pub joints: Vec<Vec<V>>,
     /// The posteriors, `posteriors[lane][s] = Pr(q = s | e)` — the ratio
-    /// is taken outside the circuit, in `f64` (paper §3.2.2).
+    /// is taken outside the circuit, in `f64` (paper §3.2.2). All-`NaN`
+    /// for lanes whose status is
+    /// [`ConditionalLaneStatus::ImpossibleEvidence`].
     pub posteriors: Vec<Vec<f64>>,
     /// The argmax state of each lane's joints: the classifier
     /// prediction (numerators share a denominator, so the joint argmax
-    /// is the posterior argmax).
+    /// is the posterior argmax). Meaningless for impossible-evidence
+    /// lanes.
     pub predictions: Vec<usize>,
+    /// Per-lane validity: [`ConditionalLaneStatus::ImpossibleEvidence`]
+    /// marks lanes whose marginal was exactly zero.
+    pub lane_status: Vec<ConditionalLaneStatus>,
     /// Sticky flags aggregated across the marginal and every joint
     /// batch.
     pub flags: Flags,
@@ -198,8 +227,9 @@ where
     /// Returns [`EngineError::SemiringMismatch`] unless the tape was
     /// compiled for [`Semiring::MaxProduct`],
     /// [`EngineError::NeedsFullValues`] unless it is a full-values tape,
-    /// and [`EngineError::BatchLengthMismatch`] on a batch shape
-    /// mismatch.
+    /// [`EngineError::BatchLengthMismatch`] on a batch shape mismatch,
+    /// and [`EngineError::WorkerPanic`] if a shard worker panicked (the
+    /// engine stays usable).
     ///
     /// # Examples
     ///
@@ -253,7 +283,7 @@ where
         // Phase 1 (sharded): per-lane full sweep + traceback.
         let ops = trace_table(&self.tape);
         let per = lanes.div_ceil(self.shard_count(lanes));
-        let shard_flags: Vec<Flags> = std::thread::scope(|scope| {
+        let shard_flags = std::thread::scope(|scope| {
             let work = values
                 .chunks_mut(per)
                 .zip(assignments.chunks_mut(per))
@@ -287,12 +317,11 @@ where
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("mpe worker panicked"))
-                .collect()
+            // Join every handle before leaving the scope so one panicking
+            // shard cannot re-panic the scope exit.
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
         });
-        for f in shard_flags {
+        for f in crate::error::collect_worker_results(shard_flags)? {
             flags.merge(f);
         }
 
@@ -382,6 +411,12 @@ where
     /// Any observation of `query_var` in the batch is overridden by the
     /// per-state clamping; leave the query variable unobserved.
     ///
+    /// Lanes whose marginal `Pr(e)` is exactly zero (impossible
+    /// evidence) are marked
+    /// [`ConditionalLaneStatus::ImpossibleEvidence`] in `lane_status`,
+    /// with all-`NaN` posteriors — the division is never performed, so
+    /// no silent `inf`/`NaN` reaches the predictions unannounced.
+    ///
     /// # Errors
     ///
     /// Returns [`EngineError::SemiringMismatch`] unless the tape was
@@ -445,8 +480,18 @@ where
         }
         let mut posteriors = vec![vec![0.0f64; states]; lanes];
         let mut predictions = vec![0usize; lanes];
+        let mut lane_status = vec![ConditionalLaneStatus::Ok; lanes];
         for lane in 0..lanes {
             let den = self.ctx.to_f64(&marginals.values[lane]);
+            if den == 0.0 {
+                // Impossible (or fully underflowed) evidence: there is no
+                // posterior. Mark the lane instead of letting `0/0` or
+                // `x/0` leak NaN/inf into downstream predictions
+                // unannounced.
+                lane_status[lane] = ConditionalLaneStatus::ImpossibleEvidence;
+                posteriors[lane].fill(f64::NAN);
+                continue;
+            }
             let mut best = f64::NEG_INFINITY;
             for (s, joint) in joints.iter().enumerate() {
                 let num = self.ctx.to_f64(&joint[lane]);
@@ -462,6 +507,7 @@ where
             joints,
             posteriors,
             predictions,
+            lane_status,
             flags,
         })
     }

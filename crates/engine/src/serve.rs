@@ -1,0 +1,1075 @@
+//! Sharded multi-circuit serving: one process, many compiled tapes.
+//!
+//! Everything below `serve` evaluates **one pre-formed batch on one
+//! tape**. This module is the first cross-request, cross-model layer —
+//! the ROADMAP's "sharded multi-circuit serving" item:
+//!
+//! ```text
+//!            requests (model id, Evidence, BatchQuery)
+//!                │ submit / serve_all
+//!                ▼
+//!        ┌──────────────────┐   per-(model, query) groups
+//!        │  admission queue │   coalesced under max_batch / max_wait
+//!        └──────────────────┘
+//!                │ ripe group → EvidenceBatch
+//!                ▼
+//!        ┌──────────────────┐   N dispatcher workers, each evaluating
+//!        │    dispatcher    │   one coalesced batch at a time through
+//!        └──────────────────┘   Engine::evaluate_query
+//!                │ per-lane split
+//!                ▼
+//!        ┌──────────────────┐   model-per-tenant CircuitPool:
+//!        │   CircuitPool    │   SumProduct tape (marginal/conditional)
+//!        └──────────────────┘   + MaxProduct full tape (MPE) per model
+//!                │
+//!                ▼
+//!          tickets (one per request, Result per lane)
+//! ```
+//!
+//! * [`CircuitPool`] hosts the compiled tapes, keyed by model id
+//!   (model-per-tenant): registering a model compiles a
+//!   [`Semiring::SumProduct`] tape for marginal/conditional lanes and a
+//!   full-values [`Semiring::MaxProduct`] tape for MPE decoding.
+//! * [`Server`] owns the admission queue and the dispatcher shards.
+//!   [`Server::submit`] enqueues one [`ServeRequest`] and returns a
+//!   [`Ticket`]; requests to the same `(model, query)` group are
+//!   coalesced into one [`EvidenceBatch`] once `max_batch` lanes are
+//!   waiting or the oldest has waited `max_wait`, evaluated by a worker,
+//!   and routed back lane by lane.
+//!
+//! Coalescing never changes answers: every engine lane is computed by
+//! the same instruction sequence regardless of which other lanes share
+//! its batch, so a coalesced answer's payload (values, assignments,
+//! posteriors) is bit-identical to serving the request alone
+//! (`tests/serve.rs` pins this per model, per query kind and per
+//! arithmetic via [`ServeResponse::answer_eq`]). The one batch-scope
+//! field is the sticky-flag set, which is aggregated over the coalesced
+//! batch and therefore a superset of the request's own flags.
+//!
+//! Failure isolation is per request, not per process: an unknown model
+//! or mismatched evidence is rejected at admission, an impossible
+//! conditional lane fails only its own ticket
+//! ([`ServeError::ImpossibleEvidence`]), and a panic inside an
+//! evaluation is caught and returned as
+//! [`EngineError::WorkerPanic`] to the requests of that one batch while
+//! the dispatcher keeps serving.
+//!
+//! # Examples
+//!
+//! ```
+//! use problp_ac::compile;
+//! use problp_bayes::{networks, BatchQuery, Evidence};
+//! use problp_engine::{CircuitPool, ServeConfig, ServeRequest, Server};
+//! use problp_num::F64Arith;
+//!
+//! let mut pool = CircuitPool::new(F64Arith::new());
+//! for (name, net) in [("sprinkler", networks::sprinkler()), ("asia", networks::asia())] {
+//!     pool.register(name, &compile(&net)?)?;
+//! }
+//! let server = Server::start(pool, ServeConfig::default());
+//!
+//! let net = networks::sprinkler();
+//! let ticket = server.submit(ServeRequest {
+//!     model: "sprinkler".to_string(),
+//!     evidence: Evidence::empty(net.var_count()),
+//!     query: BatchQuery::Marginal,
+//! })?;
+//! match ticket.wait()? {
+//!     problp_engine::ServeResponse::Marginal { value, .. } => {
+//!         assert!((value - 1.0).abs() < 1e-12)
+//!     }
+//!     other => panic!("expected a marginal, got {other:?}"),
+//! }
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use problp_ac::{AcGraph, Semiring};
+use problp_bayes::{BatchQuery, Evidence, EvidenceBatch};
+use problp_num::{Arith, Flags};
+
+use crate::engine::Engine;
+use crate::error::{panic_message, EngineError};
+use crate::query::{ConditionalLaneStatus, QueryBatchResult};
+
+/// Errors of the serving layer. Admission errors ([`ServeError::UnknownModel`],
+/// length mismatches) are returned by [`Server::submit`] directly; everything
+/// else arrives through the request's [`Ticket`].
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request named a model the pool does not host.
+    UnknownModel {
+        /// The unknown model id.
+        model: String,
+    },
+    /// The underlying engine rejected or lost the coalesced batch; a
+    /// panic inside one evaluation arrives here as
+    /// [`EngineError::WorkerPanic`].
+    Engine(EngineError),
+    /// A conditional request whose evidence has probability zero under
+    /// its model: no posterior exists
+    /// ([`ConditionalLaneStatus::ImpossibleEvidence`]).
+    ImpossibleEvidence,
+    /// The server is shutting down (or has shut down) and no longer
+    /// admits requests.
+    ShutDown,
+    /// The response channel was dropped before a result arrived — the
+    /// serving process is tearing down.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel { model } => {
+                write!(f, "no model named {model:?} is registered in the pool")
+            }
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::ImpossibleEvidence => write!(
+                f,
+                "the evidence has probability zero under the model: no posterior exists"
+            ),
+            ServeError::ShutDown => write!(f, "the server is shut down"),
+            ServeError::Disconnected => write!(f, "the response channel was dropped"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// One serving request: which model, which evidence, which query.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ServeRequest {
+    /// The model id the request targets (as registered in the pool).
+    pub model: String,
+    /// The request's evidence instance.
+    pub evidence: Evidence,
+    /// What to compute for it.
+    pub query: BatchQuery,
+}
+
+/// One serving answer, mirroring the request's [`BatchQuery`] kind.
+///
+/// `flags` are **batch-scope**: the sticky flags of the whole coalesced
+/// batch the request was served in (like [`crate::BatchResult::flags`]),
+/// so they are a superset of the flags the request would raise alone —
+/// batch mates can contribute `inexact`/`underflow` bits. The answer
+/// payloads (values, assignments, posteriors) are coalescing-invariant;
+/// compare them with [`ServeResponse::answer_eq`], which ignores flags.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ServeResponse<V> {
+    /// `Pr(e)` under the model.
+    Marginal {
+        /// The marginal value.
+        value: V,
+        /// Batch-aggregated sticky flags.
+        flags: Flags,
+    },
+    /// The most probable completion of the evidence and its joint value.
+    Mpe {
+        /// One state per variable.
+        assignment: Vec<usize>,
+        /// `max_x Pr(x, e)`.
+        value: V,
+        /// Batch-aggregated sticky flags.
+        flags: Flags,
+    },
+    /// The posterior over the query variable's states.
+    Conditional {
+        /// `posteriors[s] = Pr(q = s | e)`.
+        posteriors: Vec<f64>,
+        /// The argmax state — the classifier decision.
+        prediction: usize,
+        /// Batch-aggregated sticky flags.
+        flags: Flags,
+    },
+}
+
+impl<V: PartialEq> ServeResponse<V> {
+    /// Answer-payload equality, ignoring `flags`: two servings of the
+    /// same request in different coalesced batches always agree on the
+    /// payload (posteriors bit for bit), but their batch-scope flags may
+    /// differ with the batch composition. This is the
+    /// "coalescing never changes answers" relation the serve property
+    /// tests pin.
+    pub fn answer_eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                ServeResponse::Marginal { value: a, .. },
+                ServeResponse::Marginal { value: b, .. },
+            ) => a == b,
+            (
+                ServeResponse::Mpe {
+                    assignment: aa,
+                    value: av,
+                    ..
+                },
+                ServeResponse::Mpe {
+                    assignment: ba,
+                    value: bv,
+                    ..
+                },
+            ) => aa == ba && av == bv,
+            (
+                ServeResponse::Conditional {
+                    posteriors: ap,
+                    prediction: apred,
+                    ..
+                },
+                ServeResponse::Conditional {
+                    posteriors: bp,
+                    prediction: bpred,
+                    ..
+                },
+            ) => {
+                apred == bpred
+                    && ap.len() == bp.len()
+                    && ap.iter().zip(bp).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The per-request result type routed back through a [`Ticket`].
+pub type LaneResult<V> = Result<ServeResponse<V>, ServeError>;
+
+/// Answer-payload equality of two per-request results: `Ok` sides
+/// compare via [`ServeResponse::answer_eq`] (flags ignored — they are
+/// batch-scope), `Err` sides via `==`.
+pub fn lane_answer_eq<V: PartialEq>(a: &LaneResult<V>, b: &LaneResult<V>) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => x.answer_eq(y),
+        (Err(x), Err(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Admission and dispatch policy of a [`Server`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServeConfig {
+    /// Coalesce at most this many requests into one engine batch.
+    pub max_batch: usize,
+    /// Dispatch a non-full group once its oldest request has waited this
+    /// long.
+    pub max_wait: Duration,
+    /// Dispatcher worker threads (each evaluates one coalesced batch at
+    /// a time). Threads *inside* each engine evaluation are a pool
+    /// property instead ([`CircuitPool::with_engine_threads`], default
+    /// 1): parallelism comes from the dispatcher shards.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(500),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+        }
+    }
+}
+
+/// One hosted model: the engines serving its three query kinds.
+struct Tenant<A: Arith> {
+    /// `SumProduct` compact tape: marginal and conditional lanes.
+    sum: Engine<A>,
+    /// `MaxProduct` full-values tape: MPE decoding.
+    mpe: Engine<A>,
+    /// Variables of the model (admission-time shape check).
+    var_count: usize,
+}
+
+/// Hosts many compiled circuits keyed by model id (model-per-tenant),
+/// all bound to one arithmetic context type.
+///
+/// Registering a model compiles both tapes it can be served from; the
+/// pool is then immutable at serving time and shared across dispatcher
+/// shards.
+pub struct CircuitPool<A: Arith> {
+    ctx: A,
+    engine_threads: usize,
+    tenants: HashMap<String, Arc<Tenant<A>>>,
+}
+
+impl<A> CircuitPool<A>
+where
+    A: Arith + Clone + Send + Sync,
+    A::Value: Clone + Send + Sync,
+{
+    /// Creates an empty pool evaluating in `ctx`'s number system.
+    pub fn new(ctx: A) -> Self {
+        CircuitPool {
+            ctx,
+            engine_threads: 1,
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// Sets the thread cap of every engine registered *after* this call
+    /// (`0` = all cores). The default of 1 keeps engine evaluations
+    /// single-threaded so the dispatcher shards stay the unit of
+    /// parallelism.
+    pub fn with_engine_threads(mut self, threads: usize) -> Self {
+        self.engine_threads = threads;
+        self
+    }
+
+    /// Compiles `ac` under both serving semirings and hosts it as
+    /// `model`. Re-registering an id replaces the previous circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Circuit`] if the circuit is invalid.
+    pub fn register(&mut self, model: &str, ac: &AcGraph) -> Result<(), EngineError> {
+        let sum = Engine::from_graph(ac, Semiring::SumProduct, self.ctx.clone())?
+            .with_threads(self.engine_threads);
+        let mpe = Engine::from_graph_full(ac, Semiring::MaxProduct, self.ctx.clone())?
+            .with_threads(self.engine_threads);
+        let var_count = ac.var_count();
+        self.tenants.insert(
+            model.to_string(),
+            Arc::new(Tenant {
+                sum,
+                mpe,
+                var_count,
+            }),
+        );
+        Ok(())
+    }
+
+    /// The hosted model ids, sorted.
+    pub fn models(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of hosted models.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// `true` when no model is hosted.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Looks up a tenant, as a [`ServeError`] on miss.
+    fn tenant(&self, model: &str) -> Result<&Arc<Tenant<A>>, ServeError> {
+        self.tenants
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel {
+                model: model.to_string(),
+            })
+    }
+
+    /// Admission-time request validation: the model must exist and the
+    /// evidence must range over its variables.
+    fn admit(&self, req: &ServeRequest) -> Result<(), ServeError> {
+        let tenant = self.tenant(&req.model)?;
+        if req.evidence.len() != tenant.var_count {
+            return Err(ServeError::Engine(EngineError::BatchLengthMismatch {
+                batch: req.evidence.len(),
+                circuit: tenant.var_count,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Serves one request directly, as a single-lane batch — the
+    /// per-request reference path the coalesced answers are pinned
+    /// bit-identical to, and the scalar baseline of `serve-sim`.
+    pub fn serve_one(&self, req: &ServeRequest) -> LaneResult<A::Value> {
+        self.admit(req)?;
+        let tenant = self.tenant(&req.model)?;
+        let mut batch = EvidenceBatch::new(tenant.var_count);
+        batch.push(&req.evidence);
+        self.evaluate_group(tenant, req.query, &batch)
+            .pop()
+            .expect("one lane in, one result out")
+    }
+
+    /// Evaluates one coalesced `(model, query)` group and splits the
+    /// result back into per-lane answers. A batch-level engine error is
+    /// replicated to every lane; conditional lanes with impossible
+    /// evidence fail individually.
+    fn evaluate_group(
+        &self,
+        tenant: &Tenant<A>,
+        query: BatchQuery,
+        batch: &EvidenceBatch,
+    ) -> Vec<LaneResult<A::Value>> {
+        let engine = match query {
+            BatchQuery::Mpe => &tenant.mpe,
+            _ => &tenant.sum,
+        };
+        match engine.evaluate_query(batch, query) {
+            Err(e) => vec![Err(ServeError::Engine(e)); batch.lanes()],
+            Ok(QueryBatchResult::Marginal(r)) => {
+                let flags = r.flags;
+                r.values
+                    .into_iter()
+                    .map(|value| Ok(ServeResponse::Marginal { value, flags }))
+                    .collect()
+            }
+            Ok(QueryBatchResult::Mpe(r)) => {
+                let flags = r.flags;
+                r.assignments
+                    .into_iter()
+                    .zip(r.values)
+                    .map(|(assignment, value)| {
+                        Ok(ServeResponse::Mpe {
+                            assignment,
+                            value,
+                            flags,
+                        })
+                    })
+                    .collect()
+            }
+            Ok(QueryBatchResult::Conditional(r)) => {
+                let flags = r.flags;
+                r.posteriors
+                    .into_iter()
+                    .zip(r.predictions)
+                    .zip(r.lane_status)
+                    .map(|((posteriors, prediction), status)| match status {
+                        ConditionalLaneStatus::Ok => Ok(ServeResponse::Conditional {
+                            posteriors,
+                            prediction,
+                            flags,
+                        }),
+                        ConditionalLaneStatus::ImpossibleEvidence => {
+                            Err(ServeError::ImpossibleEvidence)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The routing half of one admitted request: when it arrived and where
+/// its result goes. The evidence half lives in the group's columnar
+/// batch, lane `i` belonging to `waiters[i]`.
+struct Waiter<V> {
+    enqueued: Instant,
+    tx: mpsc::Sender<(Instant, LaneResult<V>)>,
+}
+
+/// The pending requests of one `(model, query)` coalescing group,
+/// already in columnar form: admission pushes straight into the
+/// [`EvidenceBatch`] the dispatcher will sweep, and an over-full group
+/// is cut at `max_batch` with one [`EvidenceBatch::split_off`] (the
+/// head leaves zero-copy; only the tail lanes move).
+struct Group<V> {
+    model: String,
+    query: BatchQuery,
+    batch: EvidenceBatch,
+    waiters: Vec<Waiter<V>>,
+}
+
+/// The admission queue proper.
+struct QueueState<V> {
+    groups: Vec<Group<V>>,
+    shutdown: bool,
+}
+
+/// State shared between the submitting side and the dispatcher shards.
+struct Shared<A: Arith> {
+    pool: CircuitPool<A>,
+    config: ServeConfig,
+    queue: Mutex<QueueState<A::Value>>,
+    ready: Condvar,
+}
+
+/// One coalesced unit of dispatcher work: the batch to sweep and the
+/// per-lane reply channels.
+struct Job<V> {
+    model: String,
+    query: BatchQuery,
+    batch: EvidenceBatch,
+    waiters: Vec<Waiter<V>>,
+}
+
+/// The receipt for one submitted request: redeem it with
+/// [`Ticket::wait`] for the request's result.
+pub struct Ticket<V> {
+    rx: mpsc::Receiver<(Instant, LaneResult<V>)>,
+}
+
+impl<V> Ticket<V> {
+    /// Like [`Ticket::wait`], but also returns the instant the
+    /// dispatcher finished the request — so a caller measuring latency
+    /// sees completion time, not the (possibly much later) moment it
+    /// got around to draining the ticket.
+    pub fn wait_timed(self) -> (LaneResult<V>, Instant) {
+        match self.rx.recv() {
+            Ok((completed, result)) => (result, completed),
+            Err(_) => (Err(ServeError::Disconnected), Instant::now()),
+        }
+    }
+
+    /// Blocks until the request's result arrives.
+    pub fn wait(self) -> LaneResult<V> {
+        self.wait_timed().0
+    }
+}
+
+/// A running serving instance: a [`CircuitPool`] behind an admission
+/// queue and a shard of dispatcher workers.
+///
+/// Dropping the server (or calling [`Server::shutdown`]) stops
+/// admission, flushes every queued request through the dispatchers and
+/// joins the worker threads — no ticket is left hanging.
+pub struct Server<A: Arith> {
+    shared: Arc<Shared<A>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<A> Server<A>
+where
+    A: Arith + Clone + Send + Sync + 'static,
+    A::Value: Clone + Send + Sync + 'static,
+{
+    /// Starts `config.workers` dispatcher shards over `pool`.
+    pub fn start(pool: CircuitPool<A>, config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            pool,
+            config,
+            queue: Mutex::new(QueueState {
+                groups: Vec::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// The hosted pool (for direct [`CircuitPool::serve_one`] replays
+    /// against the same engines).
+    pub fn pool(&self) -> &CircuitPool<A> {
+        &self.shared.pool
+    }
+
+    /// Admits one request into the coalescing queue.
+    ///
+    /// # Errors
+    ///
+    /// Rejects at admission: [`ServeError::UnknownModel`] /
+    /// [`EngineError::BatchLengthMismatch`] for malformed requests and
+    /// [`ServeError::ShutDown`] after shutdown. Per-request serving
+    /// failures arrive through the [`Ticket`] instead.
+    pub fn submit(&self, req: ServeRequest) -> Result<Ticket<A::Value>, ServeError> {
+        self.shared.pool.admit(&req)?;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = lock_queue(&self.shared.queue);
+            if q.shutdown {
+                return Err(ServeError::ShutDown);
+            }
+            let waiter = Waiter {
+                enqueued: Instant::now(),
+                tx,
+            };
+            match q
+                .groups
+                .iter_mut()
+                .find(|g| g.model == req.model && g.query == req.query)
+            {
+                Some(g) => {
+                    g.batch.push(&req.evidence);
+                    g.waiters.push(waiter);
+                }
+                None => {
+                    let mut batch = EvidenceBatch::new(req.evidence.len());
+                    batch.push(&req.evidence);
+                    q.groups.push(Group {
+                        model: req.model,
+                        query: req.query,
+                        batch,
+                        waiters: vec![waiter],
+                    });
+                }
+            }
+        }
+        self.shared.ready.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a whole trace and waits for every answer, in request
+    /// order. Admission errors land in the corresponding slot.
+    pub fn serve_all(&self, requests: &[ServeRequest]) -> Vec<LaneResult<A::Value>> {
+        let tickets: Vec<Result<Ticket<A::Value>, ServeError>> =
+            requests.iter().map(|r| self.submit(r.clone())).collect();
+        tickets
+            .into_iter()
+            .map(|t| match t {
+                Ok(ticket) => ticket.wait(),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// Stops admission, drains the queue and joins the dispatchers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl<A: Arith> Server<A> {
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = lock_queue(&self.shared.queue);
+            q.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for w in self.workers.drain(..) {
+            // A worker that somehow panicked has nothing left to flush;
+            // the remaining workers still drain the queue.
+            let _ = w.join();
+        }
+    }
+}
+
+impl<A: Arith> Drop for Server<A> {
+    fn drop(&mut self) {
+        // Idempotent: after an explicit `shutdown()` the worker list is
+        // already drained and this is a no-op.
+        self.shutdown_inner();
+    }
+}
+
+/// Locks the queue, recovering from poisoning: queue state is plain data
+/// (no invariants spanning the panic point), and serving must outlive a
+/// panicked worker.
+fn lock_queue<V>(queue: &Mutex<QueueState<V>>) -> MutexGuard<'_, QueueState<V>> {
+    queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Pops a dispatchable job: a group with `max_batch` lanes waiting, one
+/// whose oldest request has waited `max_wait`, or — when `flush` — any
+/// non-empty group. Among dispatchable groups the one with the oldest
+/// head-of-line request wins, so a continuously-full tenant cannot
+/// starve a timed-out group behind it.
+fn take_job<V>(q: &mut QueueState<V>, config: &ServeConfig, flush: bool) -> Option<Job<V>> {
+    let max_batch = config.max_batch.max(1);
+    let now = Instant::now();
+    let idx = q
+        .groups
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| {
+            !g.waiters.is_empty()
+                && (flush
+                    || g.waiters.len() >= max_batch
+                    || now.duration_since(g.waiters[0].enqueued) >= config.max_wait)
+        })
+        .min_by_key(|(_, g)| g.waiters[0].enqueued)
+        .map(|(i, _)| i)?;
+    let group = &mut q.groups[idx];
+    if group.waiters.len() <= max_batch {
+        let group = q.groups.remove(idx);
+        return Some(Job {
+            model: group.model,
+            query: group.query,
+            batch: group.batch,
+            waiters: group.waiters,
+        });
+    }
+    // Over-full group: one two-way cut — the head `max_batch` lanes
+    // leave as the job's batch, only the tail lanes are moved, and the
+    // queue mutex is held for a single O(tail) pass.
+    let waiters: Vec<Waiter<V>> = group.waiters.drain(..max_batch).collect();
+    let tail = group.batch.split_off(max_batch);
+    let head = std::mem::replace(&mut group.batch, tail);
+    Some(Job {
+        model: group.model.clone(),
+        query: group.query,
+        batch: head,
+        waiters,
+    })
+}
+
+/// The next instant at which some group's oldest request hits
+/// `max_wait`.
+fn next_deadline<V>(q: &QueueState<V>, config: &ServeConfig) -> Option<Instant> {
+    q.groups
+        .iter()
+        .filter_map(|g| g.waiters.first().map(|w| w.enqueued + config.max_wait))
+        .min()
+}
+
+/// One dispatcher shard: wait for a ripe group, coalesce it, evaluate,
+/// route the per-lane results, repeat. Returns when the queue is shut
+/// down and drained.
+fn worker_loop<A>(shared: &Shared<A>)
+where
+    A: Arith + Clone + Send + Sync,
+    A::Value: Clone + Send + Sync,
+{
+    loop {
+        let job = {
+            let mut q = lock_queue(&shared.queue);
+            loop {
+                let flush = q.shutdown;
+                if let Some(job) = take_job(&mut q, &shared.config, flush) {
+                    // More work may be ripe; make sure an idle shard
+                    // looks, since our notify was consumed by this pop.
+                    if !q.groups.is_empty() {
+                        shared.ready.notify_one();
+                    }
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                // With pending groups, sleep until the earliest
+                // max_wait deadline; on an empty queue, block until a
+                // submit (or shutdown) notifies — no idle polling.
+                q = match next_deadline(&q, &shared.config) {
+                    Some(deadline) => {
+                        let wait = deadline
+                            .saturating_duration_since(Instant::now())
+                            .max(Duration::from_micros(50));
+                        shared
+                            .ready
+                            .wait_timeout(q, wait)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .0
+                    }
+                    None => shared
+                        .ready
+                        .wait(q)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()),
+                };
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+        dispatch(shared, job);
+    }
+}
+
+/// Evaluates one job's coalesced batch and sends each lane's result to
+/// its ticket. A panic inside the evaluation fails this batch's
+/// requests and nothing else.
+fn dispatch<A>(shared: &Shared<A>, job: Job<A::Value>)
+where
+    A: Arith + Clone + Send + Sync,
+    A::Value: Clone + Send + Sync,
+{
+    let Ok(tenant) = shared.pool.tenant(&job.model) else {
+        // Admission checked the model; reaching this means the pool
+        // changed shape, which it cannot — but fail the requests rather
+        // than panic the dispatcher.
+        let now = Instant::now();
+        for w in &job.waiters {
+            let _ = w.tx.send((
+                now,
+                Err(ServeError::UnknownModel {
+                    model: job.model.clone(),
+                }),
+            ));
+        }
+        return;
+    };
+    let results = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        shared.pool.evaluate_group(tenant, job.query, &job.batch)
+    }));
+    let completed = Instant::now();
+    match results {
+        Ok(per_lane) => {
+            for (w, r) in job.waiters.iter().zip(per_lane) {
+                let _ = w.tx.send((completed, r));
+            }
+        }
+        Err(payload) => {
+            let message = panic_message(payload);
+            for w in &job.waiters {
+                let _ = w.tx.send((
+                    completed,
+                    Err(ServeError::Engine(EngineError::WorkerPanic {
+                        message: message.clone(),
+                    })),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::compile;
+    use problp_bayes::{networks, VarId};
+    use problp_num::F64Arith;
+
+    fn two_model_pool() -> CircuitPool<F64Arith> {
+        let mut pool = CircuitPool::new(F64Arith::new());
+        pool.register("sprinkler", &compile(&networks::sprinkler()).unwrap())
+            .unwrap();
+        pool.register("asia", &compile(&networks::asia()).unwrap())
+            .unwrap();
+        pool
+    }
+
+    #[test]
+    fn pool_hosts_models_by_id() {
+        let pool = two_model_pool();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.models(), vec!["asia", "sprinkler"]);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn admission_rejects_unknown_models_and_bad_shapes() {
+        let pool = two_model_pool();
+        let server = Server::start(pool, ServeConfig::default());
+        let missing = server.submit(ServeRequest {
+            model: "nonesuch".to_string(),
+            evidence: Evidence::empty(4),
+            query: BatchQuery::Marginal,
+        });
+        assert!(matches!(missing, Err(ServeError::UnknownModel { .. })));
+        let ragged = server.submit(ServeRequest {
+            model: "sprinkler".to_string(),
+            evidence: Evidence::empty(99),
+            query: BatchQuery::Marginal,
+        });
+        assert!(matches!(
+            ragged,
+            Err(ServeError::Engine(EngineError::BatchLengthMismatch { .. }))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let pool = two_model_pool();
+        let server = Server::start(pool, ServeConfig::default());
+        {
+            let mut q = lock_queue(&server.shared.queue);
+            q.shutdown = true;
+        }
+        let late = server.submit(ServeRequest {
+            model: "sprinkler".to_string(),
+            evidence: Evidence::empty(4),
+            query: BatchQuery::Marginal,
+        });
+        assert!(matches!(late, Err(ServeError::ShutDown)));
+    }
+
+    #[test]
+    fn mixed_tenant_trace_is_bit_identical_to_serve_one() {
+        let pool = two_model_pool();
+        // Tight batching limits so the trace actually coalesces.
+        let config = ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+            workers: 3,
+        };
+        let server = Server::start(pool, config);
+        let nets = [
+            ("sprinkler", networks::sprinkler()),
+            ("asia", networks::asia()),
+        ];
+        let mut requests = Vec::new();
+        for (i, (name, net)) in nets.iter().cycle().take(60).enumerate() {
+            let pool_evs = problp_bayes::single_variable_evidences(
+                &(0..net.var_count())
+                    .map(|v| net.variable(VarId::from_index(v)).arity())
+                    .collect::<Vec<_>>(),
+            );
+            let evidence = pool_evs[i % pool_evs.len()].clone();
+            let query = match i % 3 {
+                0 => BatchQuery::Marginal,
+                1 => BatchQuery::Mpe,
+                _ => BatchQuery::Conditional {
+                    query_var: net.roots()[0],
+                },
+            };
+            requests.push(ServeRequest {
+                model: name.to_string(),
+                evidence,
+                query,
+            });
+        }
+        let served = server.serve_all(&requests);
+        for (req, got) in requests.iter().zip(&served) {
+            let alone = server.pool().serve_one(req);
+            assert!(
+                lane_answer_eq(&alone, got),
+                "request {req:?}: {alone:?} vs {got:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn impossible_conditional_evidence_fails_only_its_own_ticket() {
+        let net = networks::sprinkler();
+        let pool = two_model_pool();
+        let server = Server::start(
+            pool,
+            ServeConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(100),
+                workers: 1,
+            },
+        );
+        // Pr(Sprinkler=0, Rain=0, WetGrass=1) = 0 in the sprinkler CPTs.
+        let mut impossible = Evidence::empty(net.var_count());
+        impossible.observe(net.find("Sprinkler").unwrap(), 0);
+        impossible.observe(net.find("Rain").unwrap(), 0);
+        impossible.observe(net.find("WetGrass").unwrap(), 1);
+        let query = BatchQuery::Conditional {
+            query_var: net.find("Cloudy").unwrap(),
+        };
+        let requests = vec![
+            ServeRequest {
+                model: "sprinkler".to_string(),
+                evidence: Evidence::empty(net.var_count()),
+                query,
+            },
+            ServeRequest {
+                model: "sprinkler".to_string(),
+                evidence: impossible,
+                query,
+            },
+        ];
+        let served = server.serve_all(&requests);
+        assert!(matches!(served[0], Ok(ServeResponse::Conditional { .. })));
+        assert_eq!(served[1], Err(ServeError::ImpossibleEvidence));
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_scope_flags_do_not_break_answer_equality() {
+        use problp_num::{FixedArith, FixedFormat};
+
+        // A 12-variable chain of dyadic CPTs: every parameter is exact
+        // in fixed(1,10), so const conversion raises nothing. The empty
+        // evidence evaluates to exactly 1.0 (clean flags) while a fully
+        // observed lane hits 2^-12, which underflows the format — two
+        // lanes of the same (model, query) group with *different*
+        // sticky flags. Coalescing them must still reproduce each
+        // answer payload bit for bit.
+        let mut b = problp_bayes::BayesNetBuilder::new();
+        let mut prev = b.variable("X0", 2);
+        b.cpt(prev, [], [0.5, 0.5]).unwrap();
+        for i in 1..12 {
+            let v = b.variable(format!("X{i}"), 2);
+            b.cpt(v, [prev], [0.5, 0.5, 0.5, 0.5]).unwrap();
+            prev = v;
+        }
+        let net = b.build().unwrap();
+        let ac = compile(&net).unwrap();
+        let mut pool = CircuitPool::new(FixedArith::new(FixedFormat::new(1, 10).unwrap()));
+        pool.register("chain", &ac).unwrap();
+        let server = Server::start(
+            pool,
+            ServeConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(50),
+                workers: 1,
+            },
+        );
+        let clean = ServeRequest {
+            model: "chain".to_string(),
+            evidence: Evidence::empty(12),
+            query: BatchQuery::Marginal,
+        };
+        let noisy = ServeRequest {
+            model: "chain".to_string(),
+            evidence: Evidence::from_assignment(&[0; 12]),
+            query: BatchQuery::Marginal,
+        };
+        let served = server.serve_all(&[clean.clone(), noisy.clone()]);
+        for (req, got) in [clean, noisy].iter().zip(&served) {
+            let alone = server.pool().serve_one(req);
+            assert!(lane_answer_eq(&alone, got), "{req:?}: {alone:?} vs {got:?}");
+        }
+        // The lanes really do disagree on flags: alone, the empty
+        // evidence is flag-clean while the observed lane is not.
+        match server.pool().serve_one(&ServeRequest {
+            model: "chain".to_string(),
+            evidence: Evidence::empty(12),
+            query: BatchQuery::Marginal,
+        }) {
+            Ok(ServeResponse::Marginal { flags, .. }) => {
+                assert!(!flags.any(), "empty evidence is exact: {flags:?}")
+            }
+            other => panic!("expected a marginal, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_flushes_pending_tickets() {
+        let pool = two_model_pool();
+        // A huge max_wait: only shutdown's flush can dispatch the lone
+        // request below before the batch fills.
+        let server = Server::start(
+            pool,
+            ServeConfig {
+                max_batch: 1024,
+                max_wait: Duration::from_secs(3600),
+                workers: 1,
+            },
+        );
+        let ticket = server
+            .submit(ServeRequest {
+                model: "asia".to_string(),
+                evidence: Evidence::empty(8),
+                query: BatchQuery::Marginal,
+            })
+            .unwrap();
+        drop(server);
+        assert!(matches!(ticket.wait(), Ok(ServeResponse::Marginal { .. })));
+    }
+
+    #[test]
+    fn serve_errors_display() {
+        let e = ServeError::UnknownModel {
+            model: "m".to_string(),
+        };
+        assert!(e.to_string().contains("m"));
+        assert!(ServeError::ImpossibleEvidence
+            .to_string()
+            .contains("probability zero"));
+        let e: ServeError = EngineError::NeedsFullValues.into();
+        assert!(matches!(e, ServeError::Engine(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

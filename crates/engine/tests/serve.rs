@@ -1,0 +1,145 @@
+//! Property tests for the serving layer: answers coalesced by the
+//! admission queue are bit-identical to serving each request alone —
+//! per model, per query kind, and per arithmetic — under arbitrary
+//! batching policies.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use problp_ac::compile;
+use problp_bayes::{networks, BatchQuery, Evidence, VarId};
+use problp_engine::{
+    lane_answer_eq, CircuitPool, ServeConfig, ServeRequest, ServeResponse, Server,
+};
+use problp_num::{Arith, F64Arith, FixedArith, FixedFormat};
+
+/// Builds evidence for `net` from per-variable picks (odd picks leave
+/// the variable unobserved).
+fn evidence_from_picks(net: &problp_bayes::BayesNet, picks: &[usize]) -> Evidence {
+    let mut e = Evidence::empty(net.var_count());
+    for (v, p) in picks.iter().enumerate().take(net.var_count()) {
+        if p % 2 == 0 {
+            let var = VarId::from_index(v);
+            e.observe(var, (p / 2) % net.variable(var).arity());
+        }
+    }
+    e
+}
+
+/// One trace entry: (model pick, query pick, evidence picks).
+type TracePick = (usize, usize, Vec<usize>);
+
+/// The two fixed tenants plus per-request picks, and a batching policy
+/// (max_batch, dispatcher workers).
+fn trace_strategy() -> impl Strategy<Value = (Vec<TracePick>, usize, usize)> {
+    (
+        proptest::collection::vec(
+            (
+                0usize..2,
+                0usize..3,
+                proptest::collection::vec(0usize..12, 8),
+            ),
+            1..40,
+        ),
+        1usize..9, // max_batch
+        1usize..4, // dispatcher workers
+    )
+}
+
+/// Runs one trace through a server over `pool`'s arithmetic and checks
+/// every coalesced answer against the request served alone.
+fn check_trace<A>(
+    ctx: A,
+    trace: &[TracePick],
+    max_batch: usize,
+    workers: usize,
+) -> Result<(), TestCaseError>
+where
+    A: Arith + Clone + Send + Sync + 'static,
+    A::Value: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static,
+{
+    let tenants = [
+        ("sprinkler", networks::sprinkler()),
+        ("asia", networks::asia()),
+    ];
+    let mut pool = CircuitPool::new(ctx);
+    for (name, net) in &tenants {
+        pool.register(name, &compile(net).unwrap()).unwrap();
+    }
+    let server = Server::start(
+        pool,
+        ServeConfig {
+            max_batch,
+            max_wait: Duration::from_micros(100),
+            workers,
+        },
+    );
+    let requests: Vec<ServeRequest> = trace
+        .iter()
+        .map(|(m, q, picks)| {
+            let (name, net) = &tenants[m % 2];
+            let query = match q % 3 {
+                0 => BatchQuery::Marginal,
+                1 => BatchQuery::Mpe,
+                _ => BatchQuery::Conditional {
+                    query_var: net.roots()[0],
+                },
+            };
+            ServeRequest {
+                model: name.to_string(),
+                evidence: evidence_from_picks(net, picks),
+                query,
+            }
+        })
+        .collect();
+    let served = server.serve_all(&requests);
+    for (i, (req, got)) in requests.iter().zip(&served).enumerate() {
+        let alone = server.pool().serve_one(req);
+        // Payload equality — flags are batch-scope by design, so they
+        // are excluded from the coalescing invariant.
+        prop_assert!(
+            lane_answer_eq(&alone, got),
+            "request {} ({:?}): {:?} vs {:?}",
+            i,
+            req.query,
+            alone,
+            got
+        );
+        // Bit-identical, not just PartialEq-equal: pin the f64 payloads.
+        if let (
+            Ok(ServeResponse::Conditional { posteriors: a, .. }),
+            Ok(ServeResponse::Conditional { posteriors: b, .. }),
+        ) = (&alone, got)
+        {
+            for (x, y) in a.iter().zip(b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+    server.shutdown();
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Coalesced f64 serving is bit-identical to per-request serving,
+    /// for every model, query kind, batching policy and shard count.
+    #[test]
+    fn coalesced_answers_match_per_request_answers_f64(
+        (trace, max_batch, workers) in trace_strategy()
+    ) {
+        check_trace(F64Arith::new(), &trace, max_batch, workers)?;
+    }
+
+    /// The same under low-precision fixed point: coalescing commutes
+    /// with the arithmetic, bit for bit.
+    #[test]
+    fn coalesced_answers_match_per_request_answers_fixed(
+        (trace, max_batch, workers) in trace_strategy()
+    ) {
+        let format = FixedFormat::new(1, 10).unwrap();
+        check_trace(FixedArith::new(format), &trace, max_batch, workers)?;
+    }
+}

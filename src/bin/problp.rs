@@ -9,6 +9,8 @@
 //! problp throughput --network model.bn --batch 1024 --threads 0 \
 //!                   --query marginal|mpe|conditional [--query-var NAME]
 //! problp accuracy   [--dataset HAR|UNIMIB|UIWADS] [--instances 300]
+//! problp serve-sim  --models sprinkler,asia [--requests 512] [--max-batch 32]
+//!                   [--max-wait-us 500] [--workers 4] [--seed 7]
 //! ```
 //!
 //! Networks use the plain-text `.bn` format of [`problp::bayes::io`].
@@ -18,7 +20,15 @@
 //! marginal sweeps, MPE decoding (max-product argmax traceback) and
 //! conditional posteriors (joint/marginal lane pairs). `accuracy` runs
 //! the engine-served per-precision classifier accuracy study of
-//! `problp::bench` on the synthetic sensing datasets.
+//! `problp::bench` on the synthetic sensing datasets. `serve-sim`
+//! replays a seeded mixed-tenant request trace through the sharded
+//! multi-circuit serving layer (`problp::engine::serve`: a
+//! `CircuitPool` behind an admission queue and dispatcher shards),
+//! verifies every answer bit-identical against per-request evaluation,
+//! and reports latency percentiles plus the batched-vs-scalar speedup.
+//! `--models` takes built-in network names
+//! (`figure1|sprinkler|asia|student|earthquake|cancer|alarm`) or `.bn`
+//! paths, comma-separated.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,7 +53,9 @@ fn usage() -> ExitCode {
   problp export     --network FILE --dot FILE
   problp throughput --network FILE [--batch N] [--threads N] [--optimize]
                     [--query marginal|mpe|conditional] [--query-var NAME]
-  problp accuracy   [--dataset HAR|UNIMIB|UIWADS] [--instances N]"
+  problp accuracy   [--dataset HAR|UNIMIB|UIWADS] [--instances N]
+  problp serve-sim  --models NAME|FILE[,NAME|FILE...] [--requests N]
+                    [--max-batch N] [--max-wait-us N] [--workers N] [--seed N]"
     );
     ExitCode::from(2)
 }
@@ -89,10 +101,52 @@ fn main() -> ExitCode {
     let mut threads = 0usize;
     let mut dataset: Option<String> = None;
     let mut instances = 300usize;
+    let mut models: Option<String> = None;
+    let mut requests = 512usize;
+    let mut max_batch = 32usize;
+    let mut max_wait_us = 500u64;
+    let mut workers = 4usize;
+    let mut seed = 7u64;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--network" => network = it.next().map(PathBuf::from),
+            "--models" => {
+                let Some(m) = it.next() else {
+                    return usage();
+                };
+                models = Some(m.clone());
+            }
+            "--requests" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                requests = n;
+            }
+            "--max-batch" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                max_batch = n;
+            }
+            "--max-wait-us" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                max_wait_us = n;
+            }
+            "--workers" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                workers = n;
+            }
+            "--seed" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                seed = n;
+            }
             "--batch" => {
                 let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
                     return usage();
@@ -140,6 +194,29 @@ fn main() -> ExitCode {
             "--optimize" => optimize = true,
             _ => return usage(),
         }
+    }
+
+    // `serve-sim` hosts many models at once; it has its own loading
+    // path (built-in names or .bn files) instead of `--network`.
+    if command == "serve-sim" {
+        let Some(models) = models else {
+            return usage();
+        };
+        let sim = ServeSimArgs {
+            models,
+            requests,
+            max_batch,
+            max_wait_us,
+            workers,
+            seed,
+        };
+        return match serve_sim(&sim) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     // `accuracy` runs on the packaged classifier benchmarks, no network
@@ -392,6 +469,326 @@ fn throughput(
         "batched engine:   {batched:>12.0} {label}/s  ({:.1}x)",
         batched / scalar
     );
+    Ok(())
+}
+
+struct ServeSimArgs {
+    /// Comma-separated built-in network names or `.bn` paths.
+    models: String,
+    requests: usize,
+    max_batch: usize,
+    max_wait_us: u64,
+    workers: usize,
+    seed: u64,
+}
+
+/// A tiny deterministic xorshift64* stream — the trace mixer (the CLI
+/// binary carries no RNG dependency).
+struct TraceRng(u64);
+
+impl TraceRng {
+    fn new(seed: u64) -> Self {
+        TraceRng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Resolves one `--models` entry: a built-in network name or a `.bn`
+/// file path.
+fn load_model(spec: &str, seed: u64) -> Result<(String, BayesNet), String> {
+    use problp::bayes::networks;
+    let net = match spec {
+        "figure1" => Some(networks::figure1()),
+        "sprinkler" => Some(networks::sprinkler()),
+        "asia" => Some(networks::asia()),
+        "student" => Some(networks::student()),
+        "earthquake" => Some(networks::earthquake()),
+        "cancer" => Some(networks::cancer()),
+        "alarm" => Some(networks::alarm(seed)),
+        _ => None,
+    };
+    if let Some(net) = net {
+        return Ok((spec.to_string(), net));
+    }
+    let path = PathBuf::from(spec);
+    let net = load_network(&path)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| spec.to_string());
+    Ok((name, net))
+}
+
+/// The p-th percentile of an ascending-sorted latency list.
+fn percentile(sorted_us: &[u128], p: f64) -> u128 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// The scalar (per-request, tree-walk) answer a served response must
+/// reproduce bit for bit, plus its prediction for conditionals.
+enum ScalarReply {
+    Marginal(f64),
+    Mpe(f64),
+    Conditional {
+        posteriors: Vec<f64>,
+        prediction: usize,
+    },
+    Impossible,
+}
+
+/// Replays a mixed-tenant trace through the sharded serving layer
+/// (`problp::engine::serve`), checks every answer bit-identical to
+/// per-request evaluation, and reports latency percentiles plus the
+/// batched-vs-scalar speedup.
+fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use problp::engine::{CircuitPool, ServeConfig, ServeRequest, ServeResponse, Server};
+    use std::time::{Duration, Instant};
+
+    let mut tenants: Vec<(String, BayesNet, AcGraph)> = Vec::new();
+    for spec in args.models.split(',').filter(|s| !s.is_empty()) {
+        let (name, net) = load_model(spec.trim(), args.seed)?;
+        let ac = compile(&net)?;
+        tenants.push((name, net, ac));
+    }
+    if tenants.len() < 2 {
+        return Err("serve-sim needs at least two models (--models a,b)".into());
+    }
+
+    // The seeded mixed-tenant trace: random model, random query kind,
+    // random instance from the model's canonical evidence pool.
+    let pools: Vec<Vec<Evidence>> = tenants
+        .iter()
+        .map(|(_, _, ac)| problp::bayes::single_variable_evidences(ac.var_arities()))
+        .collect();
+    let mut rng = TraceRng::new(args.seed);
+    let trace: Vec<(usize, ServeRequest)> = (0..args.requests.max(1))
+        .map(|_| {
+            let t = rng.below(tenants.len());
+            let (name, net, _) = &tenants[t];
+            let query = match rng.below(3) {
+                0 => BatchQuery::Marginal,
+                1 => BatchQuery::Mpe,
+                _ => BatchQuery::Conditional {
+                    query_var: net.roots().first().copied().unwrap_or(VarId::from_index(0)),
+                },
+            };
+            let evidence = pools[t][rng.below(pools[t].len())].clone();
+            (
+                t,
+                ServeRequest {
+                    model: name.clone(),
+                    evidence,
+                    query,
+                },
+            )
+        })
+        .collect();
+
+    println!(
+        "serve-sim: {} models, {} requests (seed {})",
+        tenants.len(),
+        trace.len(),
+        args.seed
+    );
+    for (name, net, _) in &tenants {
+        let share = trace.iter().filter(|(_, r)| &r.model == name).count();
+        println!(
+            "  model {name}: {} variables, {share} requests",
+            net.var_count()
+        );
+    }
+    println!(
+        "  policy: max_batch {}, max_wait {}us, workers {}, engine threads 1",
+        args.max_batch, args.max_wait_us, args.workers
+    );
+
+    // Scalar replay: every request answered alone by the per-instance
+    // tree-walk (the paper's software baseline) — also the bit-identity
+    // reference for the pooled answers.
+    let scalar_start = Instant::now();
+    let scalar: Vec<ScalarReply> = trace
+        .iter()
+        .map(|(t, req)| {
+            let ac = &tenants[*t].2;
+            let e = &req.evidence;
+            match req.query {
+                BatchQuery::Marginal => Ok(ScalarReply::Marginal(ac.evaluate(e)?)),
+                BatchQuery::Mpe => {
+                    let (_, value) = ac.mpe_assignment(e)?;
+                    Ok(ScalarReply::Mpe(value))
+                }
+                BatchQuery::Conditional { query_var } => {
+                    let den = ac.evaluate(e)?;
+                    if den == 0.0 {
+                        return Ok(ScalarReply::Impossible);
+                    }
+                    let states = ac.var_arities()[query_var.index()];
+                    let mut posteriors = Vec::with_capacity(states);
+                    let mut prediction = 0usize;
+                    let mut best = f64::NEG_INFINITY;
+                    for s in 0..states {
+                        let mut with_q = e.clone();
+                        with_q.observe(query_var, s);
+                        let num = ac.evaluate(&with_q)?;
+                        posteriors.push(num / den);
+                        if num > best {
+                            best = num;
+                            prediction = s;
+                        }
+                    }
+                    Ok(ScalarReply::Conditional {
+                        posteriors,
+                        prediction,
+                    })
+                }
+            }
+        })
+        .collect::<Result<_, problp::ac::AcError>>()?;
+    let scalar_total = scalar_start.elapsed();
+
+    // Pooled serving: admission queue + dispatcher shards over the
+    // multi-model CircuitPool.
+    let mut pool = CircuitPool::new(F64Arith::new());
+    for (name, _, ac) in &tenants {
+        pool.register(name, ac)?;
+    }
+    let server = Server::start(
+        pool,
+        ServeConfig {
+            max_batch: args.max_batch.max(1),
+            max_wait: Duration::from_micros(args.max_wait_us),
+            workers: args.workers.max(1),
+        },
+    );
+    let served_start = Instant::now();
+    let submitted: Vec<_> = trace
+        .iter()
+        .map(|(_, req)| (Instant::now(), server.submit(req.clone())))
+        .collect();
+    let mut latencies_us: Vec<u128> = Vec::with_capacity(submitted.len());
+    let mut served = Vec::with_capacity(submitted.len());
+    for (enqueued, ticket) in submitted {
+        // Latency is submit → dispatcher completion (the timestamp the
+        // ticket carries), not submit → whenever this drain loop gets
+        // around to the ticket.
+        let (reply, completed) = match ticket {
+            Ok(t) => t.wait_timed(),
+            Err(e) => (Err(e), Instant::now()),
+        };
+        latencies_us.push(completed.saturating_duration_since(enqueued).as_micros());
+        served.push(reply);
+    }
+    let served_total = served_start.elapsed();
+
+    // Bit-identity: the coalesced answer must reproduce the scalar reply
+    // exactly — value bits, posterior bits, predictions — and the typed
+    // impossible-evidence lanes must line up.
+    let mut mismatches = 0usize;
+    for (i, ((t, req), (reply, want))) in trace.iter().zip(served.iter().zip(&scalar)).enumerate() {
+        let ac = &tenants[*t].2;
+        let ok = match (reply, want) {
+            (Ok(ServeResponse::Marginal { value, .. }), ScalarReply::Marginal(w)) => {
+                value.to_bits() == w.to_bits()
+            }
+            (
+                Ok(ServeResponse::Mpe {
+                    value, assignment, ..
+                }),
+                ScalarReply::Mpe(w),
+            ) => {
+                // The decoded assignment must achieve the max-product
+                // value exactly (ties may pick a different argmax than
+                // the scalar decoder, but never a different value) and
+                // respect the request's evidence.
+                value.to_bits() == w.to_bits()
+                    && assignment.len() == req.evidence.len()
+                    && ac
+                        .evaluate(&Evidence::from_assignment(assignment))
+                        .is_ok_and(|joint| joint.to_bits() == w.to_bits())
+                    && req
+                        .evidence
+                        .iter()
+                        .all(|(var, s)| assignment[var.index()] == s)
+            }
+            (
+                Ok(ServeResponse::Conditional {
+                    posteriors,
+                    prediction,
+                    ..
+                }),
+                ScalarReply::Conditional {
+                    posteriors: wp,
+                    prediction: wpred,
+                },
+            ) => {
+                prediction == wpred
+                    && posteriors.len() == wp.len()
+                    && posteriors
+                        .iter()
+                        .zip(wp)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+            }
+            (Err(problp::engine::ServeError::ImpossibleEvidence), ScalarReply::Impossible) => true,
+            _ => false,
+        };
+        // The pooled answer must also match the same request served
+        // alone through the pool (coalescing-independence; flags are
+        // batch-scope, so the payload comparison is the right one).
+        let alone = server.pool().serve_one(req);
+        if !ok || !problp::engine::lane_answer_eq(&alone, reply) {
+            mismatches += 1;
+            if mismatches <= 3 {
+                eprintln!("mismatch at request {i}: {req:?}");
+            }
+        }
+    }
+    server.shutdown();
+
+    println!(
+        "\n  verification: {}/{} served answers bit-identical to per-request evaluation",
+        served.len() - mismatches,
+        served.len()
+    );
+    latencies_us.sort_unstable();
+    println!(
+        "  latency (sojourn): p50 {}us  p90 {}us  p99 {}us  max {}us",
+        percentile(&latencies_us, 50.0),
+        percentile(&latencies_us, 90.0),
+        percentile(&latencies_us, 99.0),
+        latencies_us.last().copied().unwrap_or(0)
+    );
+    let n = trace.len() as f64;
+    println!(
+        "  scalar replay:   {:>9.2} ms total  ({:>10.0} req/s)",
+        scalar_total.as_secs_f64() * 1e3,
+        n / scalar_total.as_secs_f64()
+    );
+    println!(
+        "  pooled serving:  {:>9.2} ms total  ({:>10.0} req/s)",
+        served_total.as_secs_f64() * 1e3,
+        n / served_total.as_secs_f64()
+    );
+    println!(
+        "  speedup: {:.2}x",
+        scalar_total.as_secs_f64() / served_total.as_secs_f64()
+    );
+    if mismatches > 0 {
+        return Err(format!("{mismatches} served answers diverged from scalar replay").into());
+    }
     Ok(())
 }
 
