@@ -154,6 +154,11 @@ fn main() {
         sections.push(format!(
             "## Sharded multi-circuit serving — mixed-tenant workload\n\n```text\n{t}```\n"
         ));
+        let t = problp_bench::qos_report(256, SEED);
+        println!("{t}");
+        sections.push(format!(
+            "## QoS serving policy — hot-tenant quota + priority lanes + adaptive wait\n\n```text\n{t}```\n"
+        ));
     }
 
     if matches!(opts.command.as_str(), "ablations" | "all") {

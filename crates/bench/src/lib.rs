@@ -1031,20 +1031,19 @@ impl ServingStudy {
     }
 }
 
-/// Runs the mixed-workload serving study: Alarm + Asia + Sprinkler
-/// hosted in one [`problp_engine::CircuitPool`], a seeded trace mixing
-/// models and query kinds (marginal / MPE / conditional) coalesced by
-/// the admission queue, checked bit-identical against per-request
-/// evaluation and timed against the scalar tree-walk replay.
-pub fn serving_study(requests: usize, seed: u64) -> ServingStudy {
-    use problp_bayes::{networks, BatchQuery};
-    use problp_engine::{CircuitPool, ServeConfig, ServeRequest, Server};
-    use problp_num::F64Arith;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    use std::time::{Duration, Instant};
-
-    let tenants = [
+/// The serving studies' shared fixture — the three tenants
+/// (Alarm + Asia + Sprinkler) as (name, network) pairs, their compiled
+/// circuits, and the per-model canonical evidence pools.
+#[allow(clippy::type_complexity)]
+fn serving_fixture(
+    seed: u64,
+) -> (
+    Vec<(String, problp_bayes::BayesNet)>,
+    Vec<AcGraph>,
+    Vec<Vec<problp_bayes::Evidence>>,
+) {
+    use problp_bayes::networks;
+    let tenants = vec![
         ("alarm".to_string(), networks::alarm(seed)),
         ("asia".to_string(), networks::asia()),
         ("sprinkler".to_string(), networks::sprinkler()),
@@ -1053,23 +1052,62 @@ pub fn serving_study(requests: usize, seed: u64) -> ServingStudy {
         .iter()
         .map(|(_, net)| compile(net).expect("benchmark network compiles"))
         .collect();
-    let pools: Vec<Vec<problp_bayes::Evidence>> = circuits
+    let pools = circuits
         .iter()
         .map(|ac| problp_bayes::single_variable_evidences(ac.var_arities()))
         .collect();
+    (tenants, circuits, pools)
+}
+
+/// One random query kind for `net` in the serving studies' canonical
+/// marginal/MPE/conditional mix.
+fn pick_query(
+    rng: &mut rand::rngs::StdRng,
+    net: &problp_bayes::BayesNet,
+) -> problp_bayes::BatchQuery {
+    use problp_bayes::BatchQuery;
+    use rand::Rng;
+    match rng.random_range(0..3u32) {
+        0 => BatchQuery::Marginal,
+        1 => BatchQuery::Mpe,
+        _ => BatchQuery::Conditional {
+            query_var: net.roots()[0],
+        },
+    }
+}
+
+/// The p-th percentile (nearest rank) of an ascending-sorted sample of
+/// microsecond latencies. Shared by the serving studies and the
+/// `serve-sim` CLI report.
+pub fn percentile_us(sorted_us: &[u128], p: f64) -> u128 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Runs the mixed-workload serving study: Alarm + Asia + Sprinkler
+/// hosted in one [`problp_engine::CircuitPool`], a seeded trace mixing
+/// models and query kinds (marginal / MPE / conditional) coalesced by
+/// the admission queue, checked bit-identical against per-request
+/// evaluation and timed against the scalar tree-walk replay.
+pub fn serving_study(requests: usize, seed: u64) -> ServingStudy {
+    use problp_bayes::BatchQuery;
+    use problp_engine::{CircuitPool, ServeConfig, ServeRequest, Server};
+    use problp_num::F64Arith;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::{Duration, Instant};
+
+    let (tenants, circuits, pools) = serving_fixture(seed);
 
     let mut rng = StdRng::seed_from_u64(seed);
     let trace: Vec<(usize, ServeRequest)> = (0..requests.max(1))
         .map(|_| {
             let t = rng.random_range(0..tenants.len());
             let (name, net) = &tenants[t];
-            let query = match rng.random_range(0..3u32) {
-                0 => BatchQuery::Marginal,
-                1 => BatchQuery::Mpe,
-                _ => BatchQuery::Conditional {
-                    query_var: net.roots()[0],
-                },
-            };
+            let query = pick_query(&mut rng, net);
             let pool = &pools[t];
             let evidence = pool[rng.random_range(0..pool.len())].clone();
             (
@@ -1078,6 +1116,7 @@ pub fn serving_study(requests: usize, seed: u64) -> ServingStudy {
                     model: name.clone(),
                     evidence,
                     query,
+                    priority: problp_engine::Priority::Interactive,
                 },
             )
         })
@@ -1117,11 +1156,14 @@ pub fn serving_study(requests: usize, seed: u64) -> ServingStudy {
             max_batch: 32,
             max_wait: Duration::from_micros(500),
             workers: 4,
+            ..ServeConfig::default()
         },
     );
     let requests_only: Vec<ServeRequest> = trace.iter().map(|(_, r)| r.clone()).collect();
     let served_start = Instant::now();
-    let served = server.serve_all(&requests_only);
+    // Deadline-bounded drain: a wedged dispatcher fails the study
+    // (typed `ServeError::Timeout` slots) instead of hanging it.
+    let served = server.serve_all_deadline(&requests_only, Duration::from_secs(30));
     let served_secs = served_start.elapsed().as_secs_f64();
     // Payload comparison: sticky flags are batch-scope by design.
     let identical = requests_only
@@ -1183,6 +1225,222 @@ pub fn serving_report(requests: usize, seed: u64) -> String {
     out
 }
 
+/// One priority class's share of a [`qos_study`] trace.
+#[derive(Clone, Debug)]
+pub struct QosClassRow {
+    /// The priority class ("interactive" / "batch").
+    pub class: String,
+    /// Requests of the trace in this class.
+    pub requests: usize,
+    /// Of those, requests admitted past the tenant quota.
+    pub admitted: usize,
+    /// Median sojourn latency of the admitted requests, microseconds.
+    pub p50_us: u128,
+    /// Tail sojourn latency of the admitted requests, microseconds.
+    pub p99_us: u128,
+}
+
+/// The result of [`qos_study`]: a hot-tenant + mixed-priority trace
+/// served under the full QoS policy (per-tenant quota, priority lanes,
+/// adaptive max_wait), with per-class latency and quota accounting.
+#[derive(Clone, Debug)]
+pub struct QosStudy {
+    /// Requests in the trace.
+    pub requests: usize,
+    /// The per-tenant lane quota the study ran under.
+    pub quota: usize,
+    /// Requests admitted (the rest were quota-rejected).
+    pub admitted: usize,
+    /// Requests rejected with `ServeError::QuotaExceeded` — all from
+    /// the hot tenant, by construction.
+    pub quota_rejected: usize,
+    /// Of the rejections, how many hit the hot tenant (must be all).
+    pub hot_tenant_rejected: usize,
+    /// Admitted answers that reproduced per-request evaluation bit for
+    /// bit.
+    pub identical: usize,
+    /// Per-priority-class latency rows.
+    pub classes: Vec<QosClassRow>,
+}
+
+/// Runs the QoS serving study: Alarm as a *hot tenant* flooding the
+/// [`problp_engine::Priority::Interactive`] lane, Asia + Sprinkler as
+/// background [`problp_engine::Priority::Batch`] traffic, served under
+/// a per-tenant quota, priority lanes with aging, and the adaptive
+/// coalescing wait. Checks that every admitted answer is bit-identical
+/// to per-request evaluation, that quota rejections hit only the hot
+/// tenant, and reports per-class latency percentiles.
+pub fn qos_study(requests: usize, seed: u64) -> QosStudy {
+    use problp_engine::{CircuitPool, Priority, ServeConfig, ServeError, ServeRequest, Server};
+    use problp_num::F64Arith;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::time::{Duration, Instant};
+
+    let (tenants, circuits, evidence_pools) = serving_fixture(seed);
+
+    // ~70% of the trace hammers Alarm on the Interactive lane (the hot
+    // tenant); the rest is Batch-priority background traffic on the
+    // small models.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace: Vec<ServeRequest> = (0..requests.max(1))
+        .map(|_| {
+            let hot = rng.random_range(0..10u32) < 7;
+            let t = if hot {
+                0
+            } else {
+                1 + rng.random_range(0..2usize)
+            };
+            let (name, net) = &tenants[t];
+            let query = pick_query(&mut rng, net);
+            let pool = &evidence_pools[t];
+            ServeRequest {
+                model: name.clone(),
+                evidence: pool[rng.random_range(0..pool.len())].clone(),
+                query,
+                priority: if hot {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                },
+            }
+        })
+        .collect();
+
+    let mut pool = CircuitPool::new(F64Arith::new());
+    for ((name, _), ac) in tenants.iter().zip(&circuits) {
+        pool.register(name, ac).expect("registers");
+    }
+    // A quota above each background tenant's *total* trace share (~15%
+    // per model) but far below the hot tenant's ~70% flood: only the
+    // hot tenant can ever trip it, regardless of drain timing.
+    let quota = (requests.max(1) / 4).max(8);
+    let server = Server::start(
+        pool,
+        ServeConfig {
+            max_batch: 16,
+            max_wait: Duration::from_micros(300),
+            workers: 2,
+            tenant_quota: quota,
+            priority_aging: Duration::from_millis(2),
+            adaptive_wait: true,
+        },
+    );
+
+    // Submit the whole trace up front (the burst that makes the quota
+    // bite), then drain with a deadline so a wedged dispatcher can
+    // never hang the study.
+    let mut quota_rejected = 0usize;
+    let mut hot_tenant_rejected = 0usize;
+    let submitted: Vec<(Instant, Result<_, ServeError>)> = trace
+        .iter()
+        .map(|req| (Instant::now(), server.submit(req.clone())))
+        .collect();
+    let mut outcomes = Vec::with_capacity(submitted.len());
+    // One shared drain budget: a wedged dispatcher fails the study in
+    // ~30s total, not 30s per ticket.
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    for (enqueued, ticket) in submitted {
+        match ticket {
+            Ok(t) => {
+                let (reply, completed) =
+                    t.wait_deadline_timed(drain_deadline.saturating_duration_since(Instant::now()));
+                let sojourn_us = completed.saturating_duration_since(enqueued).as_micros();
+                outcomes.push(Some((reply, sojourn_us)));
+            }
+            Err(ServeError::QuotaExceeded { model, .. }) => {
+                quota_rejected += 1;
+                if model == "alarm" {
+                    hot_tenant_rejected += 1;
+                }
+                outcomes.push(None);
+            }
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+
+    let identical = trace
+        .iter()
+        .zip(&outcomes)
+        .filter(|(req, outcome)| match outcome {
+            Some((reply, _)) => problp_engine::lane_answer_eq(&server.pool().serve_one(req), reply),
+            None => false,
+        })
+        .count();
+
+    let classes = [Priority::Interactive, Priority::Batch]
+        .iter()
+        .map(|class| {
+            let mut latencies: Vec<u128> = trace
+                .iter()
+                .zip(&outcomes)
+                .filter(|(req, o)| req.priority == *class && o.is_some())
+                .map(|(_, o)| o.as_ref().expect("filtered Some").1)
+                .collect();
+            latencies.sort_unstable();
+            QosClassRow {
+                class: class.to_string(),
+                requests: trace.iter().filter(|r| r.priority == *class).count(),
+                admitted: latencies.len(),
+                p50_us: percentile_us(&latencies, 50.0),
+                p99_us: percentile_us(&latencies, 99.0),
+            }
+        })
+        .collect();
+    server.shutdown();
+
+    let admitted = outcomes.iter().filter(|o| o.is_some()).count();
+    QosStudy {
+        requests: trace.len(),
+        quota,
+        admitted,
+        quota_rejected,
+        hot_tenant_rejected,
+        identical,
+        classes,
+    }
+}
+
+/// Renders the QoS study as a text table.
+pub fn qos_report(requests: usize, seed: u64) -> String {
+    let study = qos_study(requests, seed);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "QoS serving policy: {} requests — hot Interactive tenant (alarm) vs Batch background \
+         (asia, sprinkler)\npolicy: tenant_quota {}, priority aging 2ms, adaptive max_wait on\n\n",
+        study.requests, study.quota
+    ));
+    out.push_str(&format!(
+        "{:>12} | {:>8} | {:>8} | {:>9} | {:>9}\n{}\n",
+        "class",
+        "requests",
+        "admitted",
+        "p50 (us)",
+        "p99 (us)",
+        "-".repeat(60)
+    ));
+    for c in &study.classes {
+        out.push_str(&format!(
+            "{:>12} | {:>8} | {:>8} | {:>9} | {:>9}\n",
+            c.class, c.requests, c.admitted, c.p50_us, c.p99_us
+        ));
+    }
+    out.push_str(&format!(
+        "\nquota rejects: {} (all on the hot tenant: {})\n",
+        study.quota_rejected,
+        if study.quota_rejected == study.hot_tenant_rejected {
+            "yes"
+        } else {
+            "NO"
+        }
+    ));
+    out.push_str(&format!(
+        "bit-identical to per-request evaluation: {}/{} admitted\n",
+        study.identical, study.admitted
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1196,6 +1454,32 @@ mod tests {
         let report = serving_report(60, SEED);
         assert!(report.contains("alarm"));
         assert!(report.contains("bit-identical to per-request evaluation: 60/60"));
+    }
+
+    #[test]
+    fn qos_study_rejects_only_the_hot_tenant_and_stays_bit_identical() {
+        let study = qos_study(200, SEED);
+        assert_eq!(study.requests, 200);
+        assert_eq!(study.quota, 50);
+        // Quota pressure comes from the burst-submitted hot tenant —
+        // and from it alone (the quota sits above each background
+        // tenant's total trace share).
+        assert!(study.quota_rejected > 0, "the hot tenant never hit quota");
+        assert_eq!(study.quota_rejected, study.hot_tenant_rejected);
+        assert_eq!(study.admitted + study.quota_rejected, study.requests);
+        // The policy may reorder and reject, never change an answer.
+        assert_eq!(study.identical, study.admitted);
+        assert_eq!(study.classes.len(), 2);
+        let interactive = &study.classes[0];
+        let batch = &study.classes[1];
+        assert_eq!(interactive.class, "interactive");
+        assert_eq!(batch.class, "batch");
+        // Background Batch traffic is never quota-rejected.
+        assert_eq!(batch.admitted, batch.requests);
+        let report = qos_report(120, SEED);
+        assert!(report.contains("interactive"));
+        assert!(report.contains("quota rejects"));
+        assert!(report.contains("all on the hot tenant: yes"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use problp_ac::{AcGraph, Semiring};
 use problp_bayes::{Evidence, EvidenceBatch, VarId};
 use problp_num::{Arith, Flags};
 
-use crate::error::EngineError;
+use crate::error::{panic_message, EngineError};
 use crate::tape::{Instr, Tape, TapeMode};
 
 /// Target byte size of one worker's SoA register file: small enough to
@@ -231,7 +231,17 @@ where
 
         let shards = self.shard_count(lanes);
         if shards <= 1 {
-            flags.merge(self.sweep_range(batch, 0, &mut values));
+            // The inline fast path honors the same WorkerPanic contract
+            // as the sharded one: a panicking arithmetic must not take
+            // down the caller's thread (values are discarded on error,
+            // the engine itself holds no mutable state).
+            let swept = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.sweep_range(batch, 0, &mut values)
+            }))
+            .map_err(|payload| EngineError::WorkerPanic {
+                message: panic_message(payload),
+            })?;
+            flags.merge(swept);
         } else {
             let per = lanes.div_ceil(shards);
             let mut slices: Vec<(usize, &mut [A::Value])> = Vec::with_capacity(shards);

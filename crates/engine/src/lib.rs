@@ -78,7 +78,7 @@ pub use engine::{BatchResult, Engine, FlaggedBatchResult};
 pub use error::EngineError;
 pub use query::{ConditionalBatchResult, ConditionalLaneStatus, MpeBatchResult, QueryBatchResult};
 pub use serve::{
-    lane_answer_eq, CircuitPool, LaneResult, ServeConfig, ServeError, ServeRequest, ServeResponse,
-    Server, Ticket,
+    lane_answer_eq, CircuitPool, LaneResult, Priority, ServeConfig, ServeError, ServeRequest,
+    ServeResponse, Server, Ticket,
 };
 pub use tape::{Instr, Tape, TapeMode, TapeStats};

@@ -1,18 +1,21 @@
-//! Sharded multi-circuit serving: one process, many compiled tapes.
+//! Sharded multi-circuit serving: one process, many compiled tapes,
+//! behind a QoS-aware admission queue.
 //!
 //! Everything below `serve` evaluates **one pre-formed batch on one
 //! tape**. This module is the first cross-request, cross-model layer —
-//! the ROADMAP's "sharded multi-circuit serving" item:
+//! the ROADMAP's "sharded multi-circuit serving" item, plus its serving
+//! *policy*: per-tenant quotas, priority lanes and an adaptive
+//! coalescing wait:
 //!
 //! ```text
-//!            requests (model id, Evidence, BatchQuery)
-//!                │ submit / serve_all
-//!                ▼
-//!        ┌──────────────────┐   per-(model, query) groups
-//!        │  admission queue │   coalesced under max_batch / max_wait
-//!        └──────────────────┘
+//!            requests (model id, Evidence, BatchQuery, Priority)
+//!                │ submit / serve_all      ── over-quota tenants are
+//!                ▼                            rejected here
+//!        ┌──────────────────┐   per-(model, query, priority) groups
+//!        │  admission queue │   coalesced under max_batch and an
+//!        └──────────────────┘   adaptive (EWMA-driven) max_wait
 //!                │ ripe group → EvidenceBatch
-//!                ▼
+//!                ▼               (Interactive first, aged groups win)
 //!        ┌──────────────────┐   N dispatcher workers, each evaluating
 //!        │    dispatcher    │   one coalesced batch at a time through
 //!        └──────────────────┘   Engine::evaluate_query
@@ -32,10 +35,39 @@
 //!   full-values [`Semiring::MaxProduct`] tape for MPE decoding.
 //! * [`Server`] owns the admission queue and the dispatcher shards.
 //!   [`Server::submit`] enqueues one [`ServeRequest`] and returns a
-//!   [`Ticket`]; requests to the same `(model, query)` group are
-//!   coalesced into one [`EvidenceBatch`] once `max_batch` lanes are
-//!   waiting or the oldest has waited `max_wait`, evaluated by a worker,
-//!   and routed back lane by lane.
+//!   [`Ticket`]; requests to the same `(model, query, priority)` group
+//!   are coalesced into one [`EvidenceBatch`] once `max_batch` lanes are
+//!   waiting or the oldest has waited the group's effective wait,
+//!   evaluated by a worker, and routed back lane by lane.
+//!
+//! # Scheduling policy
+//!
+//! Dispatch order and admission are governed by [`ServeConfig`]:
+//!
+//! * **Per-tenant quotas** ([`ServeConfig::tenant_quota`]): each model
+//!   may hold at most this many lanes queued + in flight; the next
+//!   request beyond the cap is rejected at [`Server::submit`] with
+//!   [`ServeError::QuotaExceeded`], so one hot tenant cannot consume
+//!   the whole queue.
+//! * **Priority lanes** ([`ServeRequest::priority`]): among ripe
+//!   groups, [`Priority::Interactive`] dispatches before
+//!   [`Priority::Batch`]; ties break toward the oldest head-of-line
+//!   request. A `Batch` group whose head has waited
+//!   [`ServeConfig::priority_aging`] is *promoted* to the interactive
+//!   rank, so a continuously-full high-priority tenant can delay a
+//!   low-priority group by at most the aging bound (plus the
+//!   evaluation already on the dispatcher).
+//! * **Adaptive max_wait** ([`ServeConfig::adaptive_wait`]): each
+//!   `(model, query, priority)` stream keeps an arrival-interval EWMA;
+//!   a group's effective coalescing wait is
+//!   `min(max_wait, ewma_interval × max_batch)` — the expected time to
+//!   fill a batch. A hot stream therefore waits ~no longer than its
+//!   batch needs to fill (toward zero), while an idle stream grows
+//!   back to the configured `max_wait` cap.
+//!
+//! None of the policy knobs changes any answer — they only reorder,
+//! reject, or re-time dispatch (`tests/serve.rs` pins bit-identity to
+//! [`CircuitPool::serve_one`] under every policy combination).
 //!
 //! Coalescing never changes answers: every engine lane is computed by
 //! the same instruction sequence regardless of which other lanes share
@@ -59,7 +91,7 @@
 //! ```
 //! use problp_ac::compile;
 //! use problp_bayes::{networks, BatchQuery, Evidence};
-//! use problp_engine::{CircuitPool, ServeConfig, ServeRequest, Server};
+//! use problp_engine::{CircuitPool, Priority, ServeConfig, ServeRequest, Server};
 //! use problp_num::F64Arith;
 //!
 //! let mut pool = CircuitPool::new(F64Arith::new());
@@ -73,6 +105,7 @@
 //!     model: "sprinkler".to_string(),
 //!     evidence: Evidence::empty(net.var_count()),
 //!     query: BatchQuery::Marginal,
+//!     priority: Priority::Interactive,
 //! })?;
 //! match ticket.wait()? {
 //!     problp_engine::ServeResponse::Marginal { value, .. } => {
@@ -109,6 +142,33 @@ pub enum ServeError {
         /// The unknown model id.
         model: String,
     },
+    /// The model already holds its full quota of queued + in-flight
+    /// lanes ([`ServeConfig::tenant_quota`]); the request was rejected
+    /// at admission so other tenants keep their share of the queue.
+    QuotaExceeded {
+        /// The over-quota model id.
+        model: String,
+        /// The configured per-tenant lane cap.
+        quota: usize,
+    },
+    /// A [`Ticket::wait_deadline`] expired before the dispatcher
+    /// delivered a result. The request itself is still in flight — the
+    /// ticket can be waited on again.
+    Timeout {
+        /// How long the caller was willing to wait.
+        waited: Duration,
+    },
+    /// Internal invariant breach: an evaluated group produced fewer
+    /// result lanes than it has waiting requests. The unmatched
+    /// requests receive this error instead of hanging on their tickets
+    /// forever (matched lanes keep their answers: lane `i` belongs to
+    /// waiter `i` by construction).
+    LaneCountMismatch {
+        /// Result lanes the group was owed.
+        expected: usize,
+        /// Result lanes the evaluation actually produced.
+        got: usize,
+    },
     /// The underlying engine rejected or lost the coalesced batch; a
     /// panic inside one evaluation arrives here as
     /// [`EngineError::WorkerPanic`].
@@ -131,6 +191,17 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownModel { model } => {
                 write!(f, "no model named {model:?} is registered in the pool")
             }
+            ServeError::QuotaExceeded { model, quota } => write!(
+                f,
+                "model {model:?} already holds its quota of {quota} queued + in-flight lanes"
+            ),
+            ServeError::Timeout { waited } => {
+                write!(f, "no result arrived within {waited:?}")
+            }
+            ServeError::LaneCountMismatch { expected, got } => write!(
+                f,
+                "internal error: a group of {expected} requests produced {got} result lanes"
+            ),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::ImpossibleEvidence => write!(
                 f,
@@ -157,7 +228,40 @@ impl From<EngineError> for ServeError {
     }
 }
 
-/// One serving request: which model, which evidence, which query.
+/// The priority class of a [`ServeRequest`]: which lane of the
+/// admission queue it coalesces in, and how soon the dispatcher picks
+/// that lane.
+///
+/// Among ripe groups, `Interactive` dispatches before `Batch`; a
+/// `Batch` group whose head-of-line request has waited
+/// [`ServeConfig::priority_aging`] is promoted to the interactive rank,
+/// bounding how long a saturating interactive tenant can starve it.
+/// Priority never changes an answer, only when it is computed.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic: dispatched first. The default.
+    #[default]
+    Interactive,
+    /// Throughput traffic: dispatched when no interactive group is
+    /// ripe, or once it has aged past [`ServeConfig::priority_aging`].
+    Batch,
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::Interactive => write!(f, "interactive"),
+            Priority::Batch => write!(f, "batch"),
+        }
+    }
+}
+
+/// One serving request: which model, which evidence, which query, and
+/// which priority lane it rides in.
+///
+/// Requests with the same `(model, query, priority)` are coalesced into
+/// one engine batch; `priority` picks the queue lane (see [`Priority`])
+/// and never changes the answer.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ServeRequest {
     /// The model id the request targets (as registered in the pool).
@@ -166,6 +270,8 @@ pub struct ServeRequest {
     pub evidence: Evidence,
     /// What to compute for it.
     pub query: BatchQuery,
+    /// The priority lane ([`Priority::Interactive`] by default).
+    pub priority: Priority,
 }
 
 /// One serving answer, mirroring the request's [`BatchQuery`] kind.
@@ -266,18 +372,47 @@ pub fn lane_answer_eq<V: PartialEq>(a: &LaneResult<V>, b: &LaneResult<V>) -> boo
 }
 
 /// Admission and dispatch policy of a [`Server`].
+///
+/// # Scheduling order
+///
+/// A group (all queued requests of one `(model, query, priority)`) is
+/// **ripe** once it holds `max_batch` lanes or its head-of-line request
+/// has waited the group's *effective wait* — `max_wait`, or, with
+/// `adaptive_wait`, `min(max_wait, arrival-interval EWMA × max_batch)`
+/// so a hot stream stops paying the coalescing wait its batch does not
+/// need. Among ripe groups a free dispatcher picks by
+/// `(priority rank, oldest head)`: [`Priority::Interactive`] before
+/// [`Priority::Batch`], except that a group whose head has waited
+/// `priority_aging` competes at the interactive rank (anti-starvation).
+/// Admission itself is capped per tenant by `tenant_quota`. None of
+/// these knobs changes any answer — only when (or whether) a request is
+/// served.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ServeConfig {
     /// Coalesce at most this many requests into one engine batch.
     pub max_batch: usize,
     /// Dispatch a non-full group once its oldest request has waited this
-    /// long.
+    /// long (the cap of the effective wait when `adaptive_wait` is on).
     pub max_wait: Duration,
     /// Dispatcher worker threads (each evaluates one coalesced batch at
     /// a time). Threads *inside* each engine evaluation are a pool
     /// property instead ([`CircuitPool::with_engine_threads`], default
     /// 1): parallelism comes from the dispatcher shards.
     pub workers: usize,
+    /// Per-tenant admission quota: at most this many lanes queued +
+    /// in flight per model; the request beyond the cap is rejected with
+    /// [`ServeError::QuotaExceeded`]. `0` (the default) disables the
+    /// quota.
+    pub tenant_quota: usize,
+    /// The anti-starvation bound of the priority lanes: a
+    /// [`Priority::Batch`] group whose head-of-line request has waited
+    /// this long is promoted to the interactive dispatch rank.
+    pub priority_aging: Duration,
+    /// Shrink the coalescing wait of hot streams: when `true`, a
+    /// group's effective wait is `min(max_wait, EWMA × max_batch)`
+    /// (the expected time to fill its batch) instead of the flat
+    /// `max_wait`. Off by default.
+    pub adaptive_wait: bool,
 }
 
 impl Default for ServeConfig {
@@ -286,6 +421,9 @@ impl Default for ServeConfig {
             max_batch: 64,
             max_wait: Duration::from_micros(500),
             workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            tenant_quota: 0,
+            priority_aging: Duration::from_millis(20),
+            adaptive_wait: false,
         }
     }
 }
@@ -405,9 +543,23 @@ where
         let tenant = self.tenant(&req.model)?;
         let mut batch = EvidenceBatch::new(tenant.var_count);
         batch.push(&req.evidence);
-        self.evaluate_group(tenant, req.query, &batch)
-            .pop()
-            .expect("one lane in, one result out")
+        // Panic-proof like the dispatcher path: any panic inside the
+        // evaluation (engine fast paths included) becomes a typed
+        // WorkerPanic instead of unwinding the caller's thread.
+        let mut results = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.evaluate_group(tenant, req.query, &batch)
+        }))
+        .map_err(|payload| {
+            ServeError::Engine(EngineError::WorkerPanic {
+                message: panic_message(payload),
+            })
+        })?;
+        // One lane in must mean one result out; if an engine ever breaks
+        // that, surface a typed internal error instead of panicking.
+        match (results.len(), results.pop()) {
+            (1, Some(result)) => result,
+            (got, _) => Err(ServeError::LaneCountMismatch { expected: 1, got }),
+        }
     }
 
     /// Evaluates one coalesced `(model, query)` group and splits the
@@ -477,22 +629,102 @@ struct Waiter<V> {
     tx: mpsc::Sender<(Instant, LaneResult<V>)>,
 }
 
-/// The pending requests of one `(model, query)` coalescing group,
-/// already in columnar form: admission pushes straight into the
+/// The pending requests of one `(model, query, priority)` coalescing
+/// group, already in columnar form: admission pushes straight into the
 /// [`EvidenceBatch`] the dispatcher will sweep, and an over-full group
 /// is cut at `max_batch` with one [`EvidenceBatch::split_off`] (the
 /// head leaves zero-copy; only the tail lanes move).
 struct Group<V> {
     model: String,
     query: BatchQuery,
+    priority: Priority,
     batch: EvidenceBatch,
     waiters: Vec<Waiter<V>>,
 }
 
-/// The admission queue proper.
+/// The arrival-rate tracker of one `(model, query, priority)` request
+/// stream, persisting across the stream's coalescing groups: an EWMA of
+/// the inter-arrival interval, driving the adaptive effective wait.
+struct ArrivalStats {
+    model: String,
+    query: BatchQuery,
+    priority: Priority,
+    /// When the stream's latest request arrived.
+    last: Instant,
+    /// EWMA of the inter-arrival interval, microseconds.
+    ewma_us: f64,
+}
+
+/// EWMA smoothing factor of the arrival-interval tracker: new intervals
+/// get this weight, history the rest. At 0.25, four hot arrivals erase
+/// ~70% of an idle spell's memory.
+const ARRIVAL_EWMA_ALPHA: f64 = 0.25;
+
+impl ArrivalStats {
+    /// Folds one arrival into the EWMA. Intervals are clamped to
+    /// `max_wait` so a long idle gap counts as "fully idle" once
+    /// instead of pinning the average high for many arrivals.
+    fn note(&mut self, now: Instant, max_wait: Duration) {
+        let cap_us = max_wait.as_secs_f64() * 1e6;
+        let interval_us =
+            (now.saturating_duration_since(self.last).as_secs_f64() * 1e6).min(cap_us.max(1.0));
+        self.ewma_us = ARRIVAL_EWMA_ALPHA * interval_us + (1.0 - ARRIVAL_EWMA_ALPHA) * self.ewma_us;
+        self.last = now;
+    }
+}
+
+/// The admission queue proper, plus the QoS bookkeeping that must stay
+/// consistent with it under one lock: per-tenant lane counts (queued +
+/// in flight, for quotas) and per-stream arrival EWMAs (for the
+/// adaptive wait).
 struct QueueState<V> {
     groups: Vec<Group<V>>,
+    /// Lanes queued + in flight per model id; the quota denominator.
+    tenant_lanes: HashMap<String, usize>,
+    /// Per-stream arrival trackers (linear scan: streams are few —
+    /// models × query kinds × priority classes).
+    arrivals: Vec<ArrivalStats>,
     shutdown: bool,
+}
+
+impl<V> QueueState<V> {
+    /// Records one arrival on the `(model, query, priority)` stream,
+    /// folding it into the stream's interval EWMA.
+    fn note_arrival(
+        &mut self,
+        model: &str,
+        query: BatchQuery,
+        priority: Priority,
+        now: Instant,
+        max_wait: Duration,
+    ) {
+        match self
+            .arrivals
+            .iter_mut()
+            .find(|s| s.model == model && s.query == query && s.priority == priority)
+        {
+            Some(s) => s.note(now, max_wait),
+            None => {
+                // First arrival: start at the cap (treat the stream as
+                // idle) and let heat shrink the wait from there.
+                self.arrivals.push(ArrivalStats {
+                    model: model.to_string(),
+                    query,
+                    priority,
+                    last: now,
+                    ewma_us: (max_wait.as_secs_f64() * 1e6).max(1.0),
+                });
+            }
+        }
+    }
+
+    /// The arrival-interval EWMA of a group's stream, if tracked.
+    fn arrival_ewma_us(&self, g: &Group<V>) -> Option<f64> {
+        self.arrivals
+            .iter()
+            .find(|s| s.model == g.model && s.query == g.query && s.priority == g.priority)
+            .map(|s| s.ewma_us)
+    }
 }
 
 /// State shared between the submitting side and the dispatcher shards.
@@ -514,6 +746,7 @@ struct Job<V> {
 
 /// The receipt for one submitted request: redeem it with
 /// [`Ticket::wait`] for the request's result.
+#[derive(Debug)]
 pub struct Ticket<V> {
     rx: mpsc::Receiver<(Instant, LaneResult<V>)>,
 }
@@ -533,6 +766,30 @@ impl<V> Ticket<V> {
     /// Blocks until the request's result arrives.
     pub fn wait(self) -> LaneResult<V> {
         self.wait_timed().0
+    }
+
+    /// Like [`Ticket::wait_deadline`], but also returns the instant the
+    /// dispatcher finished the request (see [`Ticket::wait_timed`]).
+    pub fn wait_deadline_timed(&self, deadline: Duration) -> (LaneResult<V>, Instant) {
+        match self.rx.recv_timeout(deadline) {
+            Ok((completed, result)) => (result, completed),
+            Err(mpsc::RecvTimeoutError::Timeout) => (
+                Err(ServeError::Timeout { waited: deadline }),
+                Instant::now(),
+            ),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                (Err(ServeError::Disconnected), Instant::now())
+            }
+        }
+    }
+
+    /// Blocks until the request's result arrives or `deadline` elapses,
+    /// whichever is first — so a caller can never hang forever on a
+    /// wedged dispatcher. On [`ServeError::Timeout`] the request is
+    /// still in flight and the ticket (taken by reference) can be
+    /// waited on again.
+    pub fn wait_deadline(&self, deadline: Duration) -> LaneResult<V> {
+        self.wait_deadline_timed(deadline).0
     }
 }
 
@@ -559,6 +816,8 @@ where
             config,
             queue: Mutex::new(QueueState {
                 groups: Vec::new(),
+                tenant_lanes: HashMap::new(),
+                arrivals: Vec::new(),
                 shutdown: false,
             }),
             ready: Condvar::new(),
@@ -583,26 +842,47 @@ where
     /// # Errors
     ///
     /// Rejects at admission: [`ServeError::UnknownModel`] /
-    /// [`EngineError::BatchLengthMismatch`] for malformed requests and
+    /// [`EngineError::BatchLengthMismatch`] for malformed requests,
+    /// [`ServeError::QuotaExceeded`] when the model already holds
+    /// [`ServeConfig::tenant_quota`] lanes queued + in flight, and
     /// [`ServeError::ShutDown`] after shutdown. Per-request serving
     /// failures arrive through the [`Ticket`] instead.
     pub fn submit(&self, req: ServeRequest) -> Result<Ticket<A::Value>, ServeError> {
         self.shared.pool.admit(&req)?;
+        let config = &self.shared.config;
         let (tx, rx) = mpsc::channel();
         {
             let mut q = lock_queue(&self.shared.queue);
             if q.shutdown {
                 return Err(ServeError::ShutDown);
             }
-            let waiter = Waiter {
-                enqueued: Instant::now(),
-                tx,
-            };
-            match q
-                .groups
-                .iter_mut()
-                .find(|g| g.model == req.model && g.query == req.query)
-            {
+            // The quota and EWMA books are only kept when their policy
+            // is on: with the default config, submit does no extra work
+            // under the admission lock.
+            let now = Instant::now();
+            if config.tenant_quota > 0 {
+                // One lookup, and the key is only cloned on a tenant's
+                // first lane — this runs under the admission lock.
+                match q.tenant_lanes.get_mut(&req.model) {
+                    Some(n) if *n >= config.tenant_quota => {
+                        return Err(ServeError::QuotaExceeded {
+                            model: req.model,
+                            quota: config.tenant_quota,
+                        });
+                    }
+                    Some(n) => *n += 1,
+                    None => {
+                        q.tenant_lanes.insert(req.model.clone(), 1);
+                    }
+                }
+            }
+            if config.adaptive_wait {
+                q.note_arrival(&req.model, req.query, req.priority, now, config.max_wait);
+            }
+            let waiter = Waiter { enqueued: now, tx };
+            match q.groups.iter_mut().find(|g| {
+                g.model == req.model && g.query == req.query && g.priority == req.priority
+            }) {
                 Some(g) => {
                     g.batch.push(&req.evidence);
                     g.waiters.push(waiter);
@@ -613,6 +893,7 @@ where
                     q.groups.push(Group {
                         model: req.model,
                         query: req.query,
+                        priority: req.priority,
                         batch,
                         waiters: vec![waiter],
                     });
@@ -632,6 +913,31 @@ where
             .into_iter()
             .map(|t| match t {
                 Ok(ticket) => ticket.wait(),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// Like [`Server::serve_all`], but the whole drain shares one
+    /// `deadline` budget ([`Ticket::wait_deadline`] with the remaining
+    /// budget per ticket): a wedged dispatcher yields typed
+    /// [`ServeError::Timeout`] slots within roughly `deadline` overall
+    /// instead of blocking the caller forever (or for one deadline per
+    /// request).
+    pub fn serve_all_deadline(
+        &self,
+        requests: &[ServeRequest],
+        deadline: Duration,
+    ) -> Vec<LaneResult<A::Value>> {
+        let tickets: Vec<Result<Ticket<A::Value>, ServeError>> =
+            requests.iter().map(|r| self.submit(r.clone())).collect();
+        let overall = Instant::now() + deadline;
+        tickets
+            .into_iter()
+            .map(|t| match t {
+                Ok(ticket) => {
+                    ticket.wait_deadline(overall.saturating_duration_since(Instant::now()))
+                }
                 Err(e) => Err(e),
             })
             .collect()
@@ -675,10 +981,45 @@ fn lock_queue<V>(queue: &Mutex<QueueState<V>>) -> MutexGuard<'_, QueueState<V>> 
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// The effective coalescing wait of one group: the flat `max_wait`, or
+/// — under the adaptive policy — the expected time for the group's
+/// stream to fill a `max_batch` batch (`EWMA interval × max_batch`),
+/// capped at `max_wait`. A hot stream therefore dispatches almost
+/// immediately (its batch fills anyway), while an idle one keeps the
+/// full coalescing window.
+fn effective_wait<V>(q: &QueueState<V>, config: &ServeConfig, g: &Group<V>) -> Duration {
+    if !config.adaptive_wait {
+        return config.max_wait;
+    }
+    let Some(ewma_us) = q.arrival_ewma_us(g) else {
+        return config.max_wait;
+    };
+    let fill_us = ewma_us * config.max_batch.max(1) as f64;
+    config
+        .max_wait
+        .min(Duration::from_micros(fill_us.max(0.0) as u64))
+}
+
+/// The dispatch rank of a ripe group: its priority class, except that a
+/// group whose head-of-line request has waited `priority_aging` is
+/// promoted to the top class — the anti-starvation bound that keeps a
+/// continuously-full [`Priority::Interactive`] tenant from delaying a
+/// [`Priority::Batch`] group indefinitely.
+fn dispatch_rank<V>(g: &Group<V>, now: Instant, config: &ServeConfig) -> Priority {
+    let head = g.waiters[0].enqueued;
+    if now.saturating_duration_since(head) >= config.priority_aging {
+        Priority::Interactive
+    } else {
+        g.priority
+    }
+}
+
 /// Pops a dispatchable job: a group with `max_batch` lanes waiting, one
-/// whose oldest request has waited `max_wait`, or — when `flush` — any
-/// non-empty group. Among dispatchable groups the one with the oldest
-/// head-of-line request wins, so a continuously-full tenant cannot
+/// whose oldest request has waited its effective wait (see
+/// [`effective_wait`]), or — when `flush` — any non-empty group. Among
+/// dispatchable groups the highest [`dispatch_rank`] wins
+/// (Interactive before Batch, aged groups promoted), ties broken by the
+/// oldest head-of-line request — so a continuously-full tenant cannot
 /// starve a timed-out group behind it.
 fn take_job<V>(q: &mut QueueState<V>, config: &ServeConfig, flush: bool) -> Option<Job<V>> {
     let max_batch = config.max_batch.max(1);
@@ -691,9 +1032,9 @@ fn take_job<V>(q: &mut QueueState<V>, config: &ServeConfig, flush: bool) -> Opti
             !g.waiters.is_empty()
                 && (flush
                     || g.waiters.len() >= max_batch
-                    || now.duration_since(g.waiters[0].enqueued) >= config.max_wait)
+                    || now.duration_since(g.waiters[0].enqueued) >= effective_wait(q, config, g))
         })
-        .min_by_key(|(_, g)| g.waiters[0].enqueued)
+        .min_by_key(|(_, g)| (dispatch_rank(g, now, config), g.waiters[0].enqueued))
         .map(|(i, _)| i)?;
     let group = &mut q.groups[idx];
     if group.waiters.len() <= max_batch {
@@ -719,12 +1060,16 @@ fn take_job<V>(q: &mut QueueState<V>, config: &ServeConfig, flush: bool) -> Opti
     })
 }
 
-/// The next instant at which some group's oldest request hits
-/// `max_wait`.
+/// The next instant at which some group's oldest request hits its
+/// effective wait.
 fn next_deadline<V>(q: &QueueState<V>, config: &ServeConfig) -> Option<Instant> {
     q.groups
         .iter()
-        .filter_map(|g| g.waiters.first().map(|w| w.enqueued + config.max_wait))
+        .filter_map(|g| {
+            g.waiters
+                .first()
+                .map(|w| w.enqueued + effective_wait(q, config, g))
+        })
         .min()
 }
 
@@ -780,9 +1125,29 @@ where
     }
 }
 
+/// Releases a finished job's lanes from its tenant's quota budget.
+/// Runs *before* the results are sent, so by the time a ticket
+/// resolves, the tenant's quota headroom is already restored. A no-op
+/// (no lock taken) when quotas are off — no books are kept then.
+fn release_tenant_lanes<A: Arith>(shared: &Shared<A>, model: &str, lanes: usize) {
+    if shared.config.tenant_quota == 0 {
+        return;
+    }
+    let mut q = lock_queue(&shared.queue);
+    if let Some(n) = q.tenant_lanes.get_mut(model) {
+        *n = n.saturating_sub(lanes);
+        if *n == 0 {
+            q.tenant_lanes.remove(model);
+        }
+    }
+}
+
 /// Evaluates one job's coalesced batch and sends each lane's result to
 /// its ticket. A panic inside the evaluation fails this batch's
-/// requests and nothing else.
+/// requests and nothing else; a lane-count mismatch (the evaluation
+/// returning fewer results than the job has waiters) fails the
+/// unmatched waiters with [`ServeError::LaneCountMismatch`] instead of
+/// leaving their tickets hanging until shutdown.
 fn dispatch<A>(shared: &Shared<A>, job: Job<A::Value>)
 where
     A: Arith + Clone + Send + Sync,
@@ -792,6 +1157,7 @@ where
         // Admission checked the model; reaching this means the pool
         // changed shape, which it cannot — but fail the requests rather
         // than panic the dispatcher.
+        release_tenant_lanes(shared, &job.model, job.waiters.len());
         let now = Instant::now();
         for w in &job.waiters {
             let _ = w.tx.send((
@@ -807,9 +1173,19 @@ where
         shared.pool.evaluate_group(tenant, job.query, &job.batch)
     }));
     let completed = Instant::now();
+    release_tenant_lanes(shared, &job.model, job.waiters.len());
     match results {
         Ok(per_lane) => {
-            for (w, r) in job.waiters.iter().zip(per_lane) {
+            // Every waiter gets an answer: lane i belongs to waiter i,
+            // and any waiter beyond the produced lanes gets a typed
+            // internal error rather than a silent ticket hang.
+            let expected = job.waiters.len();
+            let got = per_lane.len();
+            let mut lanes = per_lane.into_iter();
+            for w in &job.waiters {
+                let r = lanes
+                    .next()
+                    .unwrap_or(Err(ServeError::LaneCountMismatch { expected, got }));
                 let _ = w.tx.send((completed, r));
             }
         }
@@ -859,12 +1235,14 @@ mod tests {
             model: "nonesuch".to_string(),
             evidence: Evidence::empty(4),
             query: BatchQuery::Marginal,
+            priority: Priority::Interactive,
         });
         assert!(matches!(missing, Err(ServeError::UnknownModel { .. })));
         let ragged = server.submit(ServeRequest {
             model: "sprinkler".to_string(),
             evidence: Evidence::empty(99),
             query: BatchQuery::Marginal,
+            priority: Priority::Batch,
         });
         assert!(matches!(
             ragged,
@@ -885,6 +1263,7 @@ mod tests {
             model: "sprinkler".to_string(),
             evidence: Evidence::empty(4),
             query: BatchQuery::Marginal,
+            priority: Priority::Interactive,
         });
         assert!(matches!(late, Err(ServeError::ShutDown)));
     }
@@ -897,6 +1276,7 @@ mod tests {
             max_batch: 8,
             max_wait: Duration::from_micros(200),
             workers: 3,
+            ..ServeConfig::default()
         };
         let server = Server::start(pool, config);
         let nets = [
@@ -922,6 +1302,12 @@ mod tests {
                 model: name.to_string(),
                 evidence,
                 query,
+                // Mix the lanes: priority must never change an answer.
+                priority: if i % 2 == 0 {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                },
             });
         }
         let served = server.serve_all(&requests);
@@ -945,6 +1331,7 @@ mod tests {
                 max_batch: 4,
                 max_wait: Duration::from_micros(100),
                 workers: 1,
+                ..ServeConfig::default()
             },
         );
         // Pr(Sprinkler=0, Rain=0, WetGrass=1) = 0 in the sprinkler CPTs.
@@ -960,11 +1347,13 @@ mod tests {
                 model: "sprinkler".to_string(),
                 evidence: Evidence::empty(net.var_count()),
                 query,
+                priority: Priority::Interactive,
             },
             ServeRequest {
                 model: "sprinkler".to_string(),
                 evidence: impossible,
                 query,
+                priority: Priority::Interactive,
             },
         ];
         let served = server.serve_all(&requests);
@@ -1002,17 +1391,20 @@ mod tests {
                 max_batch: 8,
                 max_wait: Duration::from_millis(50),
                 workers: 1,
+                ..ServeConfig::default()
             },
         );
         let clean = ServeRequest {
             model: "chain".to_string(),
             evidence: Evidence::empty(12),
             query: BatchQuery::Marginal,
+            priority: Priority::Interactive,
         };
         let noisy = ServeRequest {
             model: "chain".to_string(),
             evidence: Evidence::from_assignment(&[0; 12]),
             query: BatchQuery::Marginal,
+            priority: Priority::Interactive,
         };
         let served = server.serve_all(&[clean.clone(), noisy.clone()]);
         for (req, got) in [clean, noisy].iter().zip(&served) {
@@ -1025,6 +1417,7 @@ mod tests {
             model: "chain".to_string(),
             evidence: Evidence::empty(12),
             query: BatchQuery::Marginal,
+            priority: Priority::Interactive,
         }) {
             Ok(ServeResponse::Marginal { flags, .. }) => {
                 assert!(!flags.any(), "empty evidence is exact: {flags:?}")
@@ -1045,6 +1438,7 @@ mod tests {
                 max_batch: 1024,
                 max_wait: Duration::from_secs(3600),
                 workers: 1,
+                ..ServeConfig::default()
             },
         );
         let ticket = server
@@ -1052,6 +1446,7 @@ mod tests {
                 model: "asia".to_string(),
                 evidence: Evidence::empty(8),
                 query: BatchQuery::Marginal,
+                priority: Priority::Batch,
             })
             .unwrap();
         drop(server);
@@ -1071,5 +1466,310 @@ mod tests {
         assert!(matches!(e, ServeError::Engine(_)));
         use std::error::Error;
         assert!(e.source().is_some());
+        let e = ServeError::QuotaExceeded {
+            model: "hot".to_string(),
+            quota: 8,
+        };
+        assert!(e.to_string().contains("hot") && e.to_string().contains('8'));
+        let e = ServeError::Timeout {
+            waited: Duration::from_millis(5),
+        };
+        assert!(e.to_string().contains("5ms"));
+        let e = ServeError::LaneCountMismatch {
+            expected: 3,
+            got: 1,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('1'));
+    }
+
+    fn marginal(model: &str, vars: usize, priority: Priority) -> ServeRequest {
+        ServeRequest {
+            model: model.to_string(),
+            evidence: Evidence::empty(vars),
+            query: BatchQuery::Marginal,
+            priority,
+        }
+    }
+
+    #[test]
+    fn quota_rejects_only_the_hot_tenant() {
+        let pool = two_model_pool();
+        // Nothing dispatches before shutdown: quota pressure builds.
+        let server = Server::start(
+            pool,
+            ServeConfig {
+                max_batch: 1024,
+                max_wait: Duration::from_secs(3600),
+                workers: 1,
+                tenant_quota: 3,
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<_> = (0..3)
+            .map(|_| {
+                server
+                    .submit(marginal("sprinkler", 4, Priority::Interactive))
+                    .unwrap()
+            })
+            .collect();
+        // The 4th sprinkler lane is over quota — on any priority lane.
+        for priority in [Priority::Interactive, Priority::Batch] {
+            match server.submit(marginal("sprinkler", 4, priority)) {
+                Err(ServeError::QuotaExceeded { model, quota }) => {
+                    assert_eq!(model, "sprinkler");
+                    assert_eq!(quota, 3);
+                }
+                other => panic!("expected QuotaExceeded, got {other:?}"),
+            }
+        }
+        // The other tenant is untouched by sprinkler's saturation.
+        let asia = server.submit(marginal("asia", 8, Priority::Interactive));
+        assert!(asia.is_ok());
+        // The queued lanes are still answered on shutdown's flush.
+        server.shutdown();
+        for t in tickets {
+            assert!(matches!(t.wait(), Ok(ServeResponse::Marginal { .. })));
+        }
+    }
+
+    #[test]
+    fn quota_lanes_are_released_once_served() {
+        let pool = two_model_pool();
+        let server = Server::start(
+            pool,
+            ServeConfig {
+                max_batch: 2,
+                max_wait: Duration::from_micros(50),
+                workers: 1,
+                tenant_quota: 2,
+                ..ServeConfig::default()
+            },
+        );
+        for round in 0..4 {
+            let t1 = server
+                .submit(marginal("sprinkler", 4, Priority::Interactive))
+                .unwrap();
+            // The released quota must be visible by the time a ticket
+            // resolves: serve rounds never wedge on stale accounting.
+            assert!(
+                matches!(t1.wait(), Ok(ServeResponse::Marginal { .. })),
+                "round {round}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn wait_deadline_times_out_and_can_retry() {
+        let pool = two_model_pool();
+        // A huge max_wait and an unfillable batch: nothing dispatches
+        // until shutdown, so the first deadline must expire.
+        let server = Server::start(
+            pool,
+            ServeConfig {
+                max_batch: 1024,
+                max_wait: Duration::from_secs(3600),
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let ticket = server
+            .submit(marginal("asia", 8, Priority::Interactive))
+            .unwrap();
+        match ticket.wait_deadline(Duration::from_millis(10)) {
+            Err(ServeError::Timeout { waited }) => {
+                assert_eq!(waited, Duration::from_millis(10));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        // The request is still live: after the flush, the same ticket
+        // (waited by reference) resolves normally.
+        server.shutdown();
+        assert!(matches!(
+            ticket.wait_deadline(Duration::from_secs(5)),
+            Ok(ServeResponse::Marginal { .. })
+        ));
+    }
+
+    /// Regression for the silent ticket hang: a job whose evaluation
+    /// returns fewer lanes than it has waiters must fail the unmatched
+    /// waiters with a typed error, not strand them until shutdown.
+    #[test]
+    fn dispatch_fails_unmatched_waiters_instead_of_hanging() {
+        let net = networks::sprinkler();
+        let shared = Arc::new(Shared {
+            pool: two_model_pool(),
+            config: ServeConfig::default(),
+            queue: Mutex::new(QueueState {
+                groups: Vec::new(),
+                tenant_lanes: HashMap::new(),
+                arrivals: Vec::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        // A 1-lane batch owing 2 waiters: evaluate_group will produce
+        // one result for two tickets.
+        let mut batch = EvidenceBatch::new(net.var_count());
+        batch.push(&Evidence::empty(net.var_count()));
+        let (tx_a, rx_a) = mpsc::channel();
+        let (tx_b, rx_b) = mpsc::channel();
+        let now = Instant::now();
+        dispatch(
+            &shared,
+            Job {
+                model: "sprinkler".to_string(),
+                query: BatchQuery::Marginal,
+                batch,
+                waiters: vec![
+                    Waiter {
+                        enqueued: now,
+                        tx: tx_a,
+                    },
+                    Waiter {
+                        enqueued: now,
+                        tx: tx_b,
+                    },
+                ],
+            },
+        );
+        // Waiter 0 owns lane 0; waiter 1 has no lane and must get the
+        // typed mismatch error immediately.
+        let (_, first) = rx_a.recv().expect("lane 0 answered");
+        assert!(matches!(first, Ok(ServeResponse::Marginal { .. })));
+        let (_, second) = rx_b
+            .recv_timeout(Duration::from_secs(5))
+            .expect("unmatched waiter answered, not hung");
+        assert_eq!(
+            second,
+            Err(ServeError::LaneCountMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn priority_orders_ripe_groups_and_aging_promotes() {
+        // Pure scheduling-order check on take_job, no server involved.
+        let mk_group = |model: &str, priority, head: Instant| Group::<f64> {
+            model: model.to_string(),
+            query: BatchQuery::Marginal,
+            priority,
+            batch: {
+                let mut b = EvidenceBatch::new(4);
+                b.push(&Evidence::empty(4));
+                b
+            },
+            waiters: vec![Waiter {
+                enqueued: head,
+                tx: mpsc::channel().0,
+            }],
+        };
+        let config = ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(1),
+            priority_aging: Duration::from_secs(3600),
+            ..ServeConfig::default()
+        };
+        let now = Instant::now();
+        let long_ago = now - Duration::from_millis(50);
+        let longer_ago = now - Duration::from_millis(80);
+        // An older Batch head loses to a younger (but ripe) Interactive
+        // head while unaged...
+        let mut q = QueueState {
+            groups: vec![
+                mk_group("batch-tenant", Priority::Batch, longer_ago),
+                mk_group("live-tenant", Priority::Interactive, long_ago),
+            ],
+            tenant_lanes: HashMap::new(),
+            arrivals: Vec::new(),
+            shutdown: false,
+        };
+        let job = take_job(&mut q, &config, false).expect("both groups ripe");
+        assert_eq!(job.model, "live-tenant");
+        // ...but once its head exceeds the aging bound, the Batch group
+        // is promoted and its older head wins.
+        let aged = ServeConfig {
+            priority_aging: Duration::from_millis(60),
+            ..config
+        };
+        let mut q = QueueState {
+            groups: vec![
+                mk_group("batch-tenant", Priority::Batch, longer_ago),
+                mk_group("live-tenant", Priority::Interactive, long_ago),
+            ],
+            tenant_lanes: HashMap::new(),
+            arrivals: Vec::new(),
+            shutdown: false,
+        };
+        let job = take_job(&mut q, &aged, false).expect("both groups ripe");
+        assert_eq!(job.model, "batch-tenant");
+    }
+
+    #[test]
+    fn adaptive_wait_shrinks_when_hot_and_caps_when_idle() {
+        let config = ServeConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(10),
+            adaptive_wait: true,
+            ..ServeConfig::default()
+        };
+        let mut q: QueueState<f64> = QueueState {
+            groups: Vec::new(),
+            tenant_lanes: HashMap::new(),
+            arrivals: Vec::new(),
+            shutdown: false,
+        };
+        let g = Group::<f64> {
+            model: "m".to_string(),
+            query: BatchQuery::Marginal,
+            priority: Priority::Interactive,
+            batch: EvidenceBatch::new(4),
+            waiters: Vec::new(),
+        };
+        // Untracked stream: the flat cap.
+        assert_eq!(effective_wait(&q, &config, &g), config.max_wait);
+        // First arrival starts at the cap (idle assumption)...
+        let t0 = Instant::now();
+        q.note_arrival(
+            "m",
+            BatchQuery::Marginal,
+            Priority::Interactive,
+            t0,
+            config.max_wait,
+        );
+        assert_eq!(effective_wait(&q, &config, &g), config.max_wait);
+        // ...then a burst of back-to-back arrivals drives the EWMA (and
+        // with it the effective wait) down hard.
+        for i in 1..=40u64 {
+            q.note_arrival(
+                "m",
+                BatchQuery::Marginal,
+                Priority::Interactive,
+                t0 + Duration::from_micros(i * 5),
+                config.max_wait,
+            );
+        }
+        let hot = effective_wait(&q, &config, &g);
+        assert!(
+            hot < config.max_wait / 10,
+            "hot stream still waits {hot:?} of {:?}",
+            config.max_wait
+        );
+        // An idle spell (clamped to one max_wait per arrival) grows the
+        // wait back toward the cap.
+        let mut t = t0 + Duration::from_secs(60);
+        for _ in 0..40 {
+            q.note_arrival(
+                "m",
+                BatchQuery::Marginal,
+                Priority::Interactive,
+                t,
+                config.max_wait,
+            );
+            t += Duration::from_secs(1);
+        }
+        assert_eq!(effective_wait(&q, &config, &g), config.max_wait);
     }
 }

@@ -79,6 +79,49 @@ fn evaluate_batch_surfaces_worker_panics_as_errors() {
 }
 
 #[test]
+fn evaluate_batch_surfaces_panics_on_the_single_shard_path_too() {
+    let net = networks::sprinkler();
+    let ac = compile(&net).unwrap();
+    // One lane, one thread: the inline (no thread scope) fast path.
+    let engine = Engine::from_graph(&ac, Semiring::SumProduct, PanicArith)
+        .unwrap()
+        .with_threads(1);
+    let batch = wide_batch(&net, 1);
+    match engine.evaluate_batch(&batch) {
+        Err(EngineError::WorkerPanic { message }) => {
+            assert!(message.contains("injected arithmetic fault"), "{message}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+}
+
+/// The per-request reference path must be panic-proof end to end: a
+/// panicking tenant yields a typed error from `serve_one`, never a
+/// crash of the caller's thread (serve_one runs the engine inline, on
+/// the single-shard path).
+#[test]
+fn serve_one_surfaces_worker_panics_as_errors() {
+    use problp_engine::{CircuitPool, Priority, ServeError, ServeRequest};
+
+    let net = networks::sprinkler();
+    let ac = compile(&net).unwrap();
+    let mut pool = CircuitPool::new(PanicArith);
+    pool.register("bad", &ac).unwrap();
+    let result = pool.serve_one(&ServeRequest {
+        model: "bad".to_string(),
+        evidence: Evidence::empty(net.var_count()),
+        query: BatchQuery::Marginal,
+        priority: Priority::Interactive,
+    });
+    match result {
+        Err(ServeError::Engine(EngineError::WorkerPanic { message })) => {
+            assert!(message.contains("injected arithmetic fault"), "{message}");
+        }
+        other => panic!("expected a WorkerPanic serve error, got {other:?}"),
+    }
+}
+
+#[test]
 fn evaluate_batch_flagged_surfaces_worker_panics_as_errors() {
     let net = networks::sprinkler();
     let ac = compile(&net).unwrap();
@@ -194,7 +237,7 @@ fn zero_threads_means_all_cores_and_never_divides_by_zero() {
 
 #[test]
 fn serving_layer_isolates_a_panicking_tenant() {
-    use problp_engine::{CircuitPool, ServeConfig, ServeError, ServeRequest, Server};
+    use problp_engine::{CircuitPool, Priority, ServeConfig, ServeError, ServeRequest, Server};
     use std::time::Duration;
 
     // Every request to this tenant panics mid-evaluation; the point is
@@ -210,6 +253,7 @@ fn serving_layer_isolates_a_panicking_tenant() {
             max_batch: 4,
             max_wait: Duration::from_micros(100),
             workers: 2,
+            ..ServeConfig::default()
         },
     );
     for _ in 0..3 {
@@ -218,6 +262,7 @@ fn serving_layer_isolates_a_panicking_tenant() {
                 model: "bad".to_string(),
                 evidence: Evidence::empty(net.var_count()),
                 query: BatchQuery::Marginal,
+                priority: Priority::Interactive,
             })
             .unwrap();
         match ticket.wait() {

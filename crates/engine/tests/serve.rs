@@ -1,16 +1,20 @@
 //! Property tests for the serving layer: answers coalesced by the
 //! admission queue are bit-identical to serving each request alone —
-//! per model, per query kind, and per arithmetic — under arbitrary
-//! batching policies.
+//! per model, per query kind, per arithmetic, and under **every QoS
+//! policy combination** (per-tenant quotas, priority lanes, adaptive
+//! max_wait). Policy knobs may reorder or reject work, never change an
+//! answer. Plus a deterministic anti-starvation check: a saturating
+//! Interactive tenant cannot delay a Batch group past the aging bound.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 
 use problp_ac::compile;
 use problp_bayes::{networks, BatchQuery, Evidence, VarId};
 use problp_engine::{
-    lane_answer_eq, CircuitPool, ServeConfig, ServeRequest, ServeResponse, Server,
+    lane_answer_eq, CircuitPool, Priority, ServeConfig, ServeError, ServeRequest, ServeResponse,
+    Server,
 };
 use problp_num::{Arith, F64Arith, FixedArith, FixedFormat};
 
@@ -27,34 +31,60 @@ fn evidence_from_picks(net: &problp_bayes::BayesNet, picks: &[usize]) -> Evidenc
     e
 }
 
-/// One trace entry: (model pick, query pick, evidence picks).
-type TracePick = (usize, usize, Vec<usize>);
+/// One trace entry: (model pick, query pick, priority pick, evidence
+/// picks).
+type TracePick = (usize, usize, usize, Vec<usize>);
 
-/// The two fixed tenants plus per-request picks, and a batching policy
-/// (max_batch, dispatcher workers).
-fn trace_strategy() -> impl Strategy<Value = (Vec<TracePick>, usize, usize)> {
+/// The full policy surface the scheduler can be configured with:
+/// batching, sharding, quotas, aging, and the adaptive wait.
+#[derive(Clone, Copy, Debug)]
+struct PolicyPick {
+    max_batch: usize,
+    workers: usize,
+    /// 0 = quota off (the strategy also generates tight quotas that
+    /// reject most of a burst).
+    tenant_quota: usize,
+    aging_us: u64,
+    adaptive_wait: bool,
+}
+
+/// The two fixed tenants plus per-request picks, under an arbitrary
+/// QoS policy.
+fn trace_strategy() -> impl Strategy<Value = (Vec<TracePick>, PolicyPick)> {
     (
         proptest::collection::vec(
             (
                 0usize..2,
                 0usize..3,
+                0usize..2,
                 proptest::collection::vec(0usize..12, 8),
             ),
             1..40,
         ),
-        1usize..9, // max_batch
-        1usize..4, // dispatcher workers
+        (
+            1usize..9,     // max_batch
+            1usize..4,     // dispatcher workers
+            0usize..3,     // quota pick: 0 = off, else quota = pick * 5
+            0u64..3,       // aging pick
+            any::<bool>(), // adaptive max_wait
+        )
+            .prop_map(
+                |(max_batch, workers, quota, aging, adaptive_wait)| PolicyPick {
+                    max_batch,
+                    workers,
+                    tenant_quota: quota * 5,
+                    aging_us: [200, 2_000, 50_000][aging as usize],
+                    adaptive_wait,
+                },
+            ),
     )
 }
 
 /// Runs one trace through a server over `pool`'s arithmetic and checks
-/// every coalesced answer against the request served alone.
-fn check_trace<A>(
-    ctx: A,
-    trace: &[TracePick],
-    max_batch: usize,
-    workers: usize,
-) -> Result<(), TestCaseError>
+/// every coalesced answer against the request served alone. Quota
+/// rejections are a policy outcome, not an answer: they must be typed
+/// [`ServeError::QuotaExceeded`] and only occur when a quota is set.
+fn check_trace<A>(ctx: A, trace: &[TracePick], policy: PolicyPick) -> Result<(), TestCaseError>
 where
     A: Arith + Clone + Send + Sync + 'static,
     A::Value: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static,
@@ -70,14 +100,17 @@ where
     let server = Server::start(
         pool,
         ServeConfig {
-            max_batch,
+            max_batch: policy.max_batch,
             max_wait: Duration::from_micros(100),
-            workers,
+            workers: policy.workers,
+            tenant_quota: policy.tenant_quota,
+            priority_aging: Duration::from_micros(policy.aging_us),
+            adaptive_wait: policy.adaptive_wait,
         },
     );
     let requests: Vec<ServeRequest> = trace
         .iter()
-        .map(|(m, q, picks)| {
+        .map(|(m, q, p, picks)| {
             let (name, net) = &tenants[m % 2];
             let query = match q % 3 {
                 0 => BatchQuery::Marginal,
@@ -90,11 +123,24 @@ where
                 model: name.to_string(),
                 evidence: evidence_from_picks(net, picks),
                 query,
+                priority: if p % 2 == 0 {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                },
             }
         })
         .collect();
     let served = server.serve_all(&requests);
     for (i, (req, got)) in requests.iter().zip(&served).enumerate() {
+        // A quota rejection is the only admissible policy-induced
+        // "non-answer", and only with a quota configured.
+        if let Err(ServeError::QuotaExceeded { model, quota }) = got {
+            prop_assert!(policy.tenant_quota > 0, "quota reject without a quota");
+            prop_assert_eq!(*quota, policy.tenant_quota);
+            prop_assert_eq!(model, &req.model);
+            continue;
+        }
         let alone = server.pool().serve_one(req);
         // Payload equality — flags are batch-scope by design, so they
         // are excluded from the coalescing invariant.
@@ -125,21 +171,100 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Coalesced f64 serving is bit-identical to per-request serving,
-    /// for every model, query kind, batching policy and shard count.
+    /// for every model, query kind, priority mix and QoS policy
+    /// (quota × aging × adaptive-wait × batching × shard count).
     #[test]
     fn coalesced_answers_match_per_request_answers_f64(
-        (trace, max_batch, workers) in trace_strategy()
+        (trace, policy) in trace_strategy()
     ) {
-        check_trace(F64Arith::new(), &trace, max_batch, workers)?;
+        check_trace(F64Arith::new(), &trace, policy)?;
     }
 
-    /// The same under low-precision fixed point: coalescing commutes
-    /// with the arithmetic, bit for bit.
+    /// The same under low-precision fixed point: coalescing and the
+    /// scheduling policy commute with the arithmetic, bit for bit.
     #[test]
     fn coalesced_answers_match_per_request_answers_fixed(
-        (trace, max_batch, workers) in trace_strategy()
+        (trace, policy) in trace_strategy()
     ) {
         let format = FixedFormat::new(1, 10).unwrap();
-        check_trace(FixedArith::new(format), &trace, max_batch, workers)?;
+        check_trace(FixedArith::new(format), &trace, policy)?;
     }
+}
+
+/// Deterministic anti-starvation check: one dispatcher, an Interactive
+/// tenant kept continuously full by a feeder thread, and a single Batch
+/// request submitted mid-flood. Without the aging promotion the Batch
+/// group would only dispatch after the flood ends; with it, the request
+/// must complete within (roughly) the aging bound while the flood is
+/// still running.
+#[test]
+fn saturating_interactive_tenant_cannot_starve_batch_past_aging() {
+    let mut pool = CircuitPool::new(F64Arith::new());
+    pool.register("sprinkler", &compile(&networks::sprinkler()).unwrap())
+        .unwrap();
+    pool.register("asia", &compile(&networks::asia()).unwrap())
+        .unwrap();
+    let server = std::sync::Arc::new(Server::start(
+        pool,
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(100),
+            workers: 1,
+            // The quota keeps the flood's queue depth bounded (the
+            // feeder outruns the single dispatcher by orders of
+            // magnitude) while leaving the Interactive lane
+            // continuously full — the exact starvation scenario.
+            tenant_quota: 64,
+            priority_aging: Duration::from_millis(5),
+            ..ServeConfig::default()
+        },
+    ));
+
+    // Feeder: saturate the Interactive lane of "sprinkler" for the
+    // whole test window (tickets deliberately dropped).
+    let flood_end = Instant::now() + Duration::from_millis(800);
+    let feeder = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || {
+            let evidence = Evidence::empty(4);
+            while Instant::now() < flood_end {
+                let _ = server.submit(ServeRequest {
+                    model: "sprinkler".to_string(),
+                    evidence: evidence.clone(),
+                    query: BatchQuery::Marginal,
+                    priority: Priority::Interactive,
+                });
+            }
+        })
+    };
+
+    // Let the flood establish itself, then submit the one Batch request.
+    std::thread::sleep(Duration::from_millis(50));
+    let submitted = Instant::now();
+    let ticket = server
+        .submit(ServeRequest {
+            model: "asia".to_string(),
+            evidence: Evidence::empty(8),
+            query: BatchQuery::Marginal,
+            priority: Priority::Batch,
+        })
+        .unwrap();
+    let (result, completed) = ticket.wait_deadline_timed(Duration::from_secs(10));
+    assert!(
+        matches!(result, Ok(ServeResponse::Marginal { .. })),
+        "batch request failed: {result:?}"
+    );
+    // Served while the flood was still running — not after it drained —
+    // and within a generous multiple of the 5ms aging bound (CI-safe
+    // margin; without aging this is the full 750ms flood + drain).
+    assert!(
+        completed < flood_end,
+        "batch request only completed after the flood ended"
+    );
+    let delay = completed.saturating_duration_since(submitted);
+    assert!(
+        delay < Duration::from_millis(400),
+        "batch request delayed {delay:?}, aging bound is 5ms"
+    );
+    feeder.join().unwrap();
 }

@@ -11,6 +11,8 @@
 //! problp accuracy   [--dataset HAR|UNIMIB|UIWADS] [--instances 300]
 //! problp serve-sim  --models sprinkler,asia [--requests 512] [--max-batch 32]
 //!                   [--max-wait-us 500] [--workers 4] [--seed 7]
+//!                   [--tenant-quota 0] [--batch-share 0] [--aging-us 20000]
+//!                   [--adaptive-wait]
 //! ```
 //!
 //! Networks use the plain-text `.bn` format of [`problp::bayes::io`].
@@ -24,8 +26,14 @@
 //! replays a seeded mixed-tenant request trace through the sharded
 //! multi-circuit serving layer (`problp::engine::serve`: a
 //! `CircuitPool` behind an admission queue and dispatcher shards),
-//! verifies every answer bit-identical against per-request evaluation,
-//! and reports latency percentiles plus the batched-vs-scalar speedup.
+//! verifies every admitted answer bit-identical against per-request
+//! evaluation, and reports per-priority-class latency percentiles,
+//! quota-reject counts and the batched-vs-scalar speedup. The QoS
+//! policy knobs mirror `ServeConfig`: `--tenant-quota` caps each
+//! model's queued + in-flight lanes (0 = off), `--batch-share` routes
+//! that percentage of the trace to the `Batch` priority lane,
+//! `--aging-us` is the anti-starvation promotion bound, and
+//! `--adaptive-wait` shrinks the coalescing wait of hot streams.
 //! `--models` takes built-in network names
 //! (`figure1|sprinkler|asia|student|earthquake|cancer|alarm`) or `.bn`
 //! paths, comma-separated.
@@ -55,7 +63,9 @@ fn usage() -> ExitCode {
                     [--query marginal|mpe|conditional] [--query-var NAME]
   problp accuracy   [--dataset HAR|UNIMIB|UIWADS] [--instances N]
   problp serve-sim  --models NAME|FILE[,NAME|FILE...] [--requests N]
-                    [--max-batch N] [--max-wait-us N] [--workers N] [--seed N]"
+                    [--max-batch N] [--max-wait-us N] [--workers N] [--seed N]
+                    [--tenant-quota N] [--batch-share PCT] [--aging-us N]
+                    [--adaptive-wait]"
     );
     ExitCode::from(2)
 }
@@ -107,6 +117,10 @@ fn main() -> ExitCode {
     let mut max_wait_us = 500u64;
     let mut workers = 4usize;
     let mut seed = 7u64;
+    let mut tenant_quota = 0usize;
+    let mut batch_share = 0u64;
+    let mut aging_us = 20_000u64;
+    let mut adaptive_wait = false;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -147,6 +161,28 @@ fn main() -> ExitCode {
                 };
                 seed = n;
             }
+            "--tenant-quota" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                tenant_quota = n;
+            }
+            "--batch-share" => {
+                let Some(n) = it.next().and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                if n > 100 {
+                    return usage();
+                }
+                batch_share = n;
+            }
+            "--aging-us" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                aging_us = n;
+            }
+            "--adaptive-wait" => adaptive_wait = true,
             "--batch" => {
                 let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
                     return usage();
@@ -209,6 +245,10 @@ fn main() -> ExitCode {
             max_wait_us,
             workers,
             seed,
+            tenant_quota,
+            batch_share,
+            aging_us,
+            adaptive_wait,
         };
         return match serve_sim(&sim) {
             Ok(()) => ExitCode::SUCCESS,
@@ -480,6 +520,14 @@ struct ServeSimArgs {
     max_wait_us: u64,
     workers: usize,
     seed: u64,
+    /// Per-model cap on queued + in-flight lanes (0 = no quota).
+    tenant_quota: usize,
+    /// Percentage of the trace routed to the `Batch` priority lane.
+    batch_share: u64,
+    /// Anti-starvation promotion bound of the priority lanes, µs.
+    aging_us: u64,
+    /// Shrink the coalescing wait of hot streams (EWMA-driven).
+    adaptive_wait: bool,
 }
 
 /// A tiny deterministic xorshift64* stream — the trace mixer (the CLI
@@ -529,14 +577,7 @@ fn load_model(spec: &str, seed: u64) -> Result<(String, BayesNet), String> {
     Ok((name, net))
 }
 
-/// The p-th percentile of an ascending-sorted latency list.
-fn percentile(sorted_us: &[u128], p: f64) -> u128 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
-    sorted_us[idx.min(sorted_us.len() - 1)]
-}
+use problp::bench::percentile_us as percentile;
 
 /// The scalar (per-request, tree-walk) answer a served response must
 /// reproduce bit for bit, plus its prediction for conditionals.
@@ -551,16 +592,29 @@ enum ScalarReply {
 }
 
 /// Replays a mixed-tenant trace through the sharded serving layer
-/// (`problp::engine::serve`), checks every answer bit-identical to
-/// per-request evaluation, and reports latency percentiles plus the
+/// (`problp::engine::serve`) under the configured QoS policy, checks
+/// every admitted answer bit-identical to per-request evaluation, and
+/// reports per-class latency percentiles, quota rejects and the
 /// batched-vs-scalar speedup.
 fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
-    use problp::engine::{CircuitPool, ServeConfig, ServeRequest, ServeResponse, Server};
+    use problp::engine::{
+        CircuitPool, Priority, ServeConfig, ServeError, ServeRequest, ServeResponse, Server,
+    };
     use std::time::{Duration, Instant};
 
     let mut tenants: Vec<(String, BayesNet, AcGraph)> = Vec::new();
     for spec in args.models.split(',').filter(|s| !s.is_empty()) {
         let (name, net) = load_model(spec.trim(), args.seed)?;
+        // The pool is keyed by name (last registration wins), so a
+        // colliding name would silently serve one tenant's trace on the
+        // other's circuit — reject it up front instead.
+        if tenants.iter().any(|(n, _, _)| n == &name) {
+            return Err(format!(
+                "duplicate model name {name:?} in --models (built-in names and .bn file \
+                 stems must be unique)"
+            )
+            .into());
+        }
         let ac = compile(&net)?;
         tenants.push((name, net, ac));
     }
@@ -587,12 +641,18 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
                 },
             };
             let evidence = pools[t][rng.below(pools[t].len())].clone();
+            let priority = if (rng.below(100) as u64) < args.batch_share {
+                Priority::Batch
+            } else {
+                Priority::Interactive
+            };
             (
                 t,
                 ServeRequest {
                     model: name.clone(),
                     evidence,
                     query,
+                    priority,
                 },
             )
         })
@@ -615,17 +675,28 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         "  policy: max_batch {}, max_wait {}us, workers {}, engine threads 1",
         args.max_batch, args.max_wait_us, args.workers
     );
+    println!(
+        "  qos: tenant_quota {} ({}), batch share {}%, aging {}us, adaptive wait {}",
+        args.tenant_quota,
+        if args.tenant_quota == 0 { "off" } else { "on" },
+        args.batch_share,
+        args.aging_us,
+        if args.adaptive_wait { "on" } else { "off" }
+    );
 
     // Scalar replay: every request answered alone by the per-instance
     // tree-walk (the paper's software baseline) — also the bit-identity
-    // reference for the pooled answers.
+    // reference for the pooled answers. Per-request timings let the
+    // speedup compare like with like when a quota rejects part of the
+    // trace.
     let scalar_start = Instant::now();
-    let scalar: Vec<ScalarReply> = trace
+    let scalar: Vec<(ScalarReply, Duration)> = trace
         .iter()
         .map(|(t, req)| {
+            let req_start = Instant::now();
             let ac = &tenants[*t].2;
             let e = &req.evidence;
-            match req.query {
+            let reply = match req.query {
                 BatchQuery::Marginal => Ok(ScalarReply::Marginal(ac.evaluate(e)?)),
                 BatchQuery::Mpe => {
                     let (_, value) = ac.mpe_assignment(e)?;
@@ -634,7 +705,7 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
                 BatchQuery::Conditional { query_var } => {
                     let den = ac.evaluate(e)?;
                     if den == 0.0 {
-                        return Ok(ScalarReply::Impossible);
+                        return Ok((ScalarReply::Impossible, req_start.elapsed()));
                     }
                     let states = ac.var_arities()[query_var.index()];
                     let mut posteriors = Vec::with_capacity(states);
@@ -655,7 +726,8 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
                         prediction,
                     })
                 }
-            }
+            };
+            reply.map(|r| (r, req_start.elapsed()))
         })
         .collect::<Result<_, problp::ac::AcError>>()?;
     let scalar_total = scalar_start.elapsed();
@@ -672,6 +744,9 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
             max_batch: args.max_batch.max(1),
             max_wait: Duration::from_micros(args.max_wait_us),
             workers: args.workers.max(1),
+            tenant_quota: args.tenant_quota,
+            priority_aging: Duration::from_micros(args.aging_us),
+            adaptive_wait: args.adaptive_wait,
         },
     );
     let served_start = Instant::now();
@@ -679,18 +754,36 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|(_, req)| (Instant::now(), server.submit(req.clone())))
         .collect();
-    let mut latencies_us: Vec<u128> = Vec::with_capacity(submitted.len());
-    let mut served = Vec::with_capacity(submitted.len());
-    for (enqueued, ticket) in submitted {
+    let mut quota_rejects = 0usize;
+    let mut latencies_us: Vec<(Priority, u128)> = Vec::with_capacity(submitted.len());
+    // One slot per trace entry: `None` marks a quota-rejected request
+    // (a policy outcome, excluded from the bit-identity denominator).
+    let mut served: Vec<Option<problp::engine::LaneResult<f64>>> =
+        Vec::with_capacity(submitted.len());
+    // One shared drain budget: a wedged dispatcher fails the sim in
+    // ~30s total, not 30s per ticket.
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    for ((enqueued, ticket), (_, req)) in submitted.into_iter().zip(&trace) {
         // Latency is submit → dispatcher completion (the timestamp the
         // ticket carries), not submit → whenever this drain loop gets
-        // around to the ticket.
-        let (reply, completed) = match ticket {
-            Ok(t) => t.wait_timed(),
-            Err(e) => (Err(e), Instant::now()),
-        };
-        latencies_us.push(completed.saturating_duration_since(enqueued).as_micros());
-        served.push(reply);
+        // around to the ticket. The deadline means a wedged dispatcher
+        // fails the sim instead of hanging it.
+        match ticket {
+            Ok(t) => {
+                let (reply, completed) =
+                    t.wait_deadline_timed(drain_deadline.saturating_duration_since(Instant::now()));
+                latencies_us.push((
+                    req.priority,
+                    completed.saturating_duration_since(enqueued).as_micros(),
+                ));
+                served.push(Some(reply));
+            }
+            Err(ServeError::QuotaExceeded { .. }) => {
+                quota_rejects += 1;
+                served.push(None);
+            }
+            Err(e) => return Err(format!("admission failed: {e}").into()),
+        }
     }
     let served_total = served_start.elapsed();
 
@@ -698,7 +791,12 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
     // exactly — value bits, posterior bits, predictions — and the typed
     // impossible-evidence lanes must line up.
     let mut mismatches = 0usize;
-    for (i, ((t, req), (reply, want))) in trace.iter().zip(served.iter().zip(&scalar)).enumerate() {
+    for (i, ((t, req), (outcome, (want, _)))) in
+        trace.iter().zip(served.iter().zip(&scalar)).enumerate()
+    {
+        let Some(reply) = outcome else {
+            continue; // quota-rejected at admission, counted above
+        };
         let ac = &tenants[*t].2;
         let ok = match (reply, want) {
             (Ok(ServeResponse::Marginal { value, .. }), ScalarReply::Marginal(w)) => {
@@ -758,19 +856,49 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
     server.shutdown();
 
+    let admitted = trace.len() - quota_rejects;
     println!(
-        "\n  verification: {}/{} served answers bit-identical to per-request evaluation",
-        served.len() - mismatches,
-        served.len()
+        "\n  verification: {}/{} admitted answers bit-identical to per-request evaluation",
+        admitted - mismatches,
+        admitted
     );
-    latencies_us.sort_unstable();
+    if args.tenant_quota > 0 {
+        println!(
+            "  quota rejects: {quota_rejects}/{} (tenant_quota {})",
+            trace.len(),
+            args.tenant_quota
+        );
+    }
+    // Overall sojourn percentiles, then per priority class when the
+    // trace actually mixes classes.
+    let mut all: Vec<u128> = latencies_us.iter().map(|(_, us)| *us).collect();
+    all.sort_unstable();
     println!(
         "  latency (sojourn): p50 {}us  p90 {}us  p99 {}us  max {}us",
-        percentile(&latencies_us, 50.0),
-        percentile(&latencies_us, 90.0),
-        percentile(&latencies_us, 99.0),
-        latencies_us.last().copied().unwrap_or(0)
+        percentile(&all, 50.0),
+        percentile(&all, 90.0),
+        percentile(&all, 99.0),
+        all.last().copied().unwrap_or(0)
     );
+    for class in [Priority::Interactive, Priority::Batch] {
+        let mut lane: Vec<u128> = latencies_us
+            .iter()
+            .filter(|(p, _)| *p == class)
+            .map(|(_, us)| *us)
+            .collect();
+        if lane.is_empty() || lane.len() == all.len() {
+            continue; // single-class trace: the overall line covers it
+        }
+        lane.sort_unstable();
+        println!(
+            "  latency ({class}): p50 {}us  p90 {}us  p99 {}us  max {}us  ({} requests)",
+            percentile(&lane, 50.0),
+            percentile(&lane, 90.0),
+            percentile(&lane, 99.0),
+            lane.last().copied().unwrap_or(0),
+            lane.len()
+        );
+    }
     let n = trace.len() as f64;
     println!(
         "  scalar replay:   {:>9.2} ms total  ({:>10.0} req/s)",
@@ -778,16 +906,33 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         n / scalar_total.as_secs_f64()
     );
     println!(
-        "  pooled serving:  {:>9.2} ms total  ({:>10.0} req/s)",
+        "  pooled serving:  {:>9.2} ms total  ({:>10.0} req/s over {admitted} admitted)",
         served_total.as_secs_f64() * 1e3,
-        n / served_total.as_secs_f64()
+        admitted as f64 / served_total.as_secs_f64()
     );
+    // Like for like: the scalar side of the speedup only counts the
+    // requests the pooled side actually served (quota rejects are
+    // work the scalar baseline would also not have done).
+    let scalar_admitted: Duration = served
+        .iter()
+        .zip(&scalar)
+        .filter(|(outcome, _)| outcome.is_some())
+        .map(|(_, (_, d))| *d)
+        .sum();
     println!(
-        "  speedup: {:.2}x",
-        scalar_total.as_secs_f64() / served_total.as_secs_f64()
+        "  speedup: {:.2}x{}",
+        scalar_admitted.as_secs_f64() / served_total.as_secs_f64(),
+        if quota_rejects > 0 {
+            " (over the admitted requests)"
+        } else {
+            ""
+        }
     );
     if mismatches > 0 {
         return Err(format!("{mismatches} served answers diverged from scalar replay").into());
+    }
+    if quota_rejects > 0 && args.tenant_quota == 0 {
+        return Err("quota rejects without a configured quota".into());
     }
     Ok(())
 }

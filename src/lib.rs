@@ -132,7 +132,8 @@ pub mod prelude {
     pub use problp_bounds::{LeafErrorModel, QueryType, Tolerance};
     pub use problp_core::{measure_errors, Problp, Report};
     pub use problp_engine::{
-        CircuitPool, Engine, ServeConfig, ServeRequest, ServeResponse, Server, Tape, TapeMode,
+        CircuitPool, Engine, Priority, ServeConfig, ServeRequest, ServeResponse, Server, Tape,
+        TapeMode,
     };
     pub use problp_hw::{emit_testbench, emit_verilog, Netlist, PipelineSim};
     pub use problp_num::{
