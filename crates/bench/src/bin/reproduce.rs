@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Subcommands: `table1`, `fig5a`, `fig5b`, `table2`, `ablations`,
-//! `accuracy`, `missing`, `throughput`, `serving`, `all`.
+//! `accuracy`, `missing`, `throughput`, `serving`, `conformance`, `all`.
 //! Options: `--instances N` (test instances per benchmark, default 300;
 //! the paper uses 1000 for Alarm), `--write-experiments` (rewrite
 //! `EXPERIMENTS.md` from the measured results).
@@ -39,7 +39,7 @@ fn parse_args() -> Options {
             }
             "--write-experiments" => opts.write_experiments = true,
             "table1" | "fig5a" | "fig5b" | "table2" | "ablations" | "accuracy" | "missing"
-            | "throughput" | "serving" | "all" => opts.command = arg,
+            | "throughput" | "serving" | "conformance" | "all" => opts.command = arg,
             other => die(&format!("unknown argument {other}")),
         }
     }
@@ -48,7 +48,7 @@ fn parse_args() -> Options {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|throughput|serving|all] [--instances N] [--write-experiments]");
+    eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|throughput|serving|conformance|all] [--instances N] [--write-experiments]");
     std::process::exit(2);
 }
 
@@ -158,6 +158,14 @@ fn main() {
         println!("{t}");
         sections.push(format!(
             "## QoS serving policy — hot-tenant quota + priority lanes + adaptive wait\n\n```text\n{t}```\n"
+        ));
+    }
+
+    if matches!(opts.command.as_str(), "conformance" | "all") {
+        let t = problp_bench::conformance_report(256, SEED);
+        println!("{t}");
+        sections.push(format!(
+            "## Differential conformance — engine vs hardware backends\n\n```text\n{t}```\n"
         ));
     }
 

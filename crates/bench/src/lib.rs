@@ -1441,9 +1441,49 @@ pub fn qos_report(requests: usize, seed: u64) -> String {
     out
 }
 
+/// The conformance study: the differential cross-check of
+/// `problp-conformance` over the standing benchmark mix — sprinkler,
+/// asia and student plus two seeded random networks — at `batch` lanes
+/// per case, all three arithmetics and semirings.
+///
+/// # Panics
+///
+/// Panics if any backend fails to build or evaluate (every model in the
+/// mix is supported by every backend).
+pub fn conformance_study(batch: usize, seed: u64) -> problp_conformance::ConformanceReport {
+    use problp_bayes::networks;
+    let mut models = vec![
+        ("sprinkler".to_string(), networks::sprinkler()),
+        ("asia".to_string(), networks::asia()),
+        ("student".to_string(), networks::student()),
+    ];
+    models.extend(problp_conformance::random_models(seed, 2));
+    let config = problp_conformance::ConformanceConfig {
+        batch,
+        seed,
+        ..problp_conformance::ConformanceConfig::default()
+    };
+    problp_conformance::run_conformance(&models, &config).expect("all backends evaluate")
+}
+
+/// Renders [`conformance_study`] with its verdict (the `reproduce
+/// conformance` section).
+pub fn conformance_report(batch: usize, seed: u64) -> String {
+    let report = conformance_study(batch, seed);
+    format!("Differential conformance — tape engine vs cycle-accurate hardware\n\n{report}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn conformance_study_passes_on_the_benchmark_mix() {
+        let report = conformance_study(16, SEED);
+        assert!(report.all_match(), "divergence:\n{report}");
+        let text = conformance_report(16, SEED);
+        assert!(text.contains("verdict: PASS"));
+    }
 
     #[test]
     fn serving_study_is_bit_identical_and_reports() {

@@ -1,0 +1,199 @@
+//! Report types: per-backend verdicts, work/throughput stats and the
+//! rendered conformance matrix.
+
+use std::time::Duration;
+
+use problp_ac::Semiring;
+
+use crate::spec::{semiring_name, ArithSpec, BackendKind};
+
+/// One backend's run within a case.
+#[derive(Clone, Debug)]
+pub struct BackendRun {
+    /// Which backend produced this stream.
+    pub backend: BackendKind,
+    /// Lanes whose bit pattern diverged from the scalar reference
+    /// (always 0 for the reference itself).
+    pub mismatched_lanes: usize,
+    /// The first diverging lane, if any.
+    pub first_mismatch: Option<usize>,
+    /// Wall-clock time of the evaluation (excluding backend
+    /// construction).
+    pub wall: Duration,
+    /// The backend's work in its own cost model: clock cycles for the
+    /// pipeline (`lanes + depth - 1` when streaming), ALU cycles
+    /// (instructions × lanes) for the schedule, tape instructions ×
+    /// lanes for the engine modes, operator applications × lanes for the
+    /// scalar walk.
+    pub work: u64,
+}
+
+impl BackendRun {
+    /// Measured lane throughput, lanes per second.
+    pub fn lanes_per_sec(&self, lanes: usize) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            lanes as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One `(model, arithmetic, semiring)` case.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// The model's display name.
+    pub model: String,
+    /// The arithmetic the case ran in.
+    pub arith: ArithSpec,
+    /// The semiring the case ran in.
+    pub semiring: Semiring,
+    /// Evidence lanes evaluated.
+    pub lanes: usize,
+    /// Per-backend verdicts, scalar reference first. Hardware backends
+    /// appear only in sum-product cases.
+    pub backends: Vec<BackendRun>,
+}
+
+impl CaseReport {
+    /// Returns `true` if every backend matched the reference bit for bit.
+    pub fn all_match(&self) -> bool {
+        self.backends.iter().all(|b| b.mismatched_lanes == 0)
+    }
+}
+
+/// The outcome of a full conformance run.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// The evidence/model seed of the run.
+    pub seed: u64,
+    /// Lanes per case the run was configured for.
+    pub lanes_per_case: usize,
+    /// Every `(model, arithmetic, semiring)` case.
+    pub cases: Vec<CaseReport>,
+}
+
+impl ConformanceReport {
+    /// Returns `true` if every backend of every case was bit-identical
+    /// to the scalar reference.
+    pub fn all_match(&self) -> bool {
+        self.cases.iter().all(CaseReport::all_match)
+    }
+
+    /// Total diverging lanes across all cases and backends.
+    pub fn total_mismatches(&self) -> usize {
+        self.cases
+            .iter()
+            .flat_map(|c| &c.backends)
+            .map(|b| b.mismatched_lanes)
+            .sum()
+    }
+
+    /// Total compared result streams (backends × cases, reference
+    /// excluded).
+    pub fn compared_streams(&self) -> usize {
+        self.cases
+            .iter()
+            .map(|c| c.backends.len().saturating_sub(1))
+            .sum()
+    }
+}
+
+/// Renders a throughput figure compactly (`12.3M`, `456k`, `789`).
+fn si(rate: f64) -> String {
+    if !rate.is_finite() {
+        return "-".to_string();
+    }
+    if rate >= 1e6 {
+        format!("{:.1}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+impl std::fmt::Display for ConformanceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "differential conformance: {} cases, {} lanes each (seed {})",
+            self.cases.len(),
+            self.lanes_per_case,
+            self.seed
+        )?;
+        writeln!(
+            f,
+            "backends: scalar reference vs tape, tape-full, schedule, pipeline \
+             (hardware joins sum-product cases)"
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "{:<14} {:<12} {:<12} {:>7}  {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
+            "model",
+            "arith",
+            "semiring",
+            "lanes",
+            "tape",
+            "tape-full",
+            "schedule",
+            "pipeline",
+            "pipe cyc",
+            "tape lane/s"
+        )?;
+        for case in &self.cases {
+            let cell = |kind: BackendKind| -> String {
+                match case.backends.iter().find(|b| b.backend == kind) {
+                    None => "-".to_string(),
+                    Some(b) if b.mismatched_lanes == 0 => "ok".to_string(),
+                    Some(b) => format!(
+                        "X({} @{})",
+                        b.mismatched_lanes,
+                        b.first_mismatch.unwrap_or(0)
+                    ),
+                }
+            };
+            let pipe_cycles = case
+                .backends
+                .iter()
+                .find(|b| b.backend == BackendKind::Pipeline)
+                .map_or("-".to_string(), |b| b.work.to_string());
+            let tape_rate = case
+                .backends
+                .iter()
+                .find(|b| b.backend == BackendKind::TapeCompact)
+                .map_or("-".to_string(), |b| si(b.lanes_per_sec(case.lanes)));
+            writeln!(
+                f,
+                "{:<14} {:<12} {:<12} {:>7}  {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
+                case.model,
+                case.arith.to_string(),
+                semiring_name(case.semiring),
+                case.lanes,
+                cell(BackendKind::TapeCompact),
+                cell(BackendKind::TapeFull),
+                cell(BackendKind::Schedule),
+                cell(BackendKind::Pipeline),
+                pipe_cycles,
+                tape_rate
+            )?;
+        }
+        writeln!(f)?;
+        if self.all_match() {
+            writeln!(
+                f,
+                "verdict: PASS — {} result streams bit-identical to the scalar reference",
+                self.compared_streams()
+            )
+        } else {
+            writeln!(
+                f,
+                "verdict: FAIL — {} diverging lanes across {} result streams",
+                self.total_mismatches(),
+                self.compared_streams()
+            )
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration tests of the differential harness: green on real models,
+//! red under fault injection, deterministic under a fixed seed.
+
+use problp_bayes::networks;
+use problp_conformance::{
+    random_batch, random_models, run_conformance, ArithSpec, BackendKind, ConformanceConfig,
+    ConformanceReport,
+};
+
+fn small_models() -> Vec<(String, problp_bayes::BayesNet)> {
+    vec![
+        ("sprinkler".to_string(), networks::sprinkler()),
+        ("asia".to_string(), networks::asia()),
+    ]
+}
+
+fn small_config() -> ConformanceConfig {
+    ConformanceConfig {
+        batch: 24,
+        ..ConformanceConfig::default()
+    }
+}
+
+#[test]
+fn named_models_are_bit_identical_across_all_backends() {
+    let report = run_conformance(&small_models(), &small_config()).unwrap();
+    assert!(report.all_match(), "unexpected divergence:\n{report}");
+    // 2 models × 3 ariths × 3 semirings cases; hardware joins only the
+    // sum-product third.
+    assert_eq!(report.cases.len(), 18);
+    let hw_cases = report
+        .cases
+        .iter()
+        .filter(|c| {
+            c.backends
+                .iter()
+                .any(|b| b.backend == BackendKind::Pipeline)
+        })
+        .count();
+    assert_eq!(hw_cases, 6);
+    assert_eq!(report.total_mismatches(), 0);
+}
+
+#[test]
+fn random_models_are_bit_identical_across_all_backends() {
+    let models = random_models(41, 3);
+    let report = run_conformance(&models, &small_config()).unwrap();
+    assert!(report.all_match(), "unexpected divergence:\n{report}");
+}
+
+#[test]
+fn fault_injection_turns_the_verdict_red() {
+    // A harness that cannot detect a corrupted backend proves nothing:
+    // flipping one bit of lane 0 in any stream must flip the verdict.
+    let models = vec![("sprinkler".to_string(), networks::sprinkler())];
+    for backend in [
+        BackendKind::TapeCompact,
+        BackendKind::TapeFull,
+        BackendKind::Schedule,
+        BackendKind::Pipeline,
+    ] {
+        let config = ConformanceConfig {
+            batch: 8,
+            inject_fault: Some(backend),
+            ..ConformanceConfig::default()
+        };
+        let report = run_conformance(&models, &config).unwrap();
+        assert!(
+            !report.all_match(),
+            "injected fault in {backend} went undetected"
+        );
+        let diverged: Vec<_> = report
+            .cases
+            .iter()
+            .flat_map(|c| &c.backends)
+            .filter(|b| b.mismatched_lanes > 0)
+            .collect();
+        assert!(diverged.iter().all(|b| b.backend == backend));
+        assert!(diverged.iter().all(|b| b.first_mismatch == Some(0)));
+    }
+}
+
+#[test]
+fn corrupting_the_reference_flags_every_other_stream() {
+    let models = vec![("figure1".to_string(), networks::figure1())];
+    let config = ConformanceConfig {
+        batch: 8,
+        inject_fault: Some(BackendKind::Scalar),
+        ..ConformanceConfig::default()
+    };
+    let report = run_conformance(&models, &config).unwrap();
+    assert!(!report.all_match());
+    // Every compared stream disagrees with the perturbed reference.
+    for case in &report.cases {
+        for b in case
+            .backends
+            .iter()
+            .filter(|b| b.backend != BackendKind::Scalar)
+        {
+            assert!(b.mismatched_lanes > 0, "{} should diverge", b.backend);
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_under_a_fixed_seed() {
+    let verdicts = |report: &ConformanceReport| -> Vec<(String, usize)> {
+        report
+            .cases
+            .iter()
+            .map(|c| {
+                (
+                    format!("{}/{}/{:?}", c.model, c.arith, c.semiring),
+                    c.backends.iter().map(|b| b.mismatched_lanes).sum(),
+                )
+            })
+            .collect()
+    };
+    let a = run_conformance(&small_models(), &small_config()).unwrap();
+    let b = run_conformance(&small_models(), &small_config()).unwrap();
+    assert_eq!(verdicts(&a), verdicts(&b));
+
+    let net = networks::asia();
+    assert_eq!(random_batch(&net, 32, 9), random_batch(&net, 32, 9));
+    assert_ne!(random_batch(&net, 32, 9), random_batch(&net, 32, 10));
+}
+
+#[test]
+fn single_arith_single_semiring_configs_narrow_the_matrix() {
+    let config = ConformanceConfig {
+        batch: 8,
+        ariths: vec![ArithSpec::parse("fixed:1.11").unwrap()],
+        semirings: vec![problp_ac::Semiring::SumProduct],
+        ..ConformanceConfig::default()
+    };
+    let report = run_conformance(&small_models(), &config).unwrap();
+    assert_eq!(report.cases.len(), 2);
+    assert!(report.all_match(), "{report}");
+    // Sum-product cases carry all five streams.
+    assert!(report.cases.iter().all(|c| c.backends.len() == 5));
+}
+
+#[test]
+fn report_rendering_names_the_verdict() {
+    let report = run_conformance(
+        &[("sprinkler".to_string(), networks::sprinkler())],
+        &ConformanceConfig {
+            batch: 4,
+            ..ConformanceConfig::default()
+        },
+    )
+    .unwrap();
+    let text = report.to_string();
+    assert!(text.contains("verdict: PASS"), "{text}");
+    assert!(text.contains("pipeline"), "{text}");
+    assert!(text.contains("sum-product"), "{text}");
+}

@@ -182,6 +182,14 @@ where
         &self.tape
     }
 
+    /// The engine's arithmetic context (a reference hook for differential
+    /// harnesses that need to convert or compare engine values — e.g.
+    /// `problp-conformance`'s bit-identity checks against the scalar
+    /// evaluator and the hardware simulators).
+    pub fn context(&self) -> &A {
+        &self.ctx
+    }
+
     /// Converts engine values back to `f64` for inspection.
     pub fn to_f64s(&self, values: &[A::Value]) -> Vec<f64> {
         values.iter().map(|v| self.ctx.to_f64(v)).collect()

@@ -1708,6 +1708,42 @@ mod tests {
     }
 
     #[test]
+    fn aging_promotes_at_the_exact_boundary() {
+        // Regression: promotion must kick in at `waited == priority_aging`
+        // (the comparison is `>=`), not only strictly beyond it. A `>`
+        // would let a Batch group whose head has waited exactly the aging
+        // bound keep losing to Interactive traffic for another beat.
+        let aging = Duration::from_millis(20);
+        let config = ServeConfig {
+            priority_aging: aging,
+            ..ServeConfig::default()
+        };
+        let now = Instant::now();
+        let group_with_head = |head: Instant| Group::<f64> {
+            model: "m".to_string(),
+            query: BatchQuery::Marginal,
+            priority: Priority::Batch,
+            batch: EvidenceBatch::new(4),
+            waiters: vec![Waiter {
+                enqueued: head,
+                tx: mpsc::channel().0,
+            }],
+        };
+        // One tick short of the bound: still Batch rank.
+        let young = group_with_head(now - (aging - Duration::from_nanos(1)));
+        assert_eq!(dispatch_rank(&young, now, &config), Priority::Batch);
+        // Exactly at the bound: promoted.
+        let boundary = group_with_head(now - aging);
+        assert_eq!(
+            dispatch_rank(&boundary, now, &config),
+            Priority::Interactive
+        );
+        // And beyond it, of course.
+        let aged = group_with_head(now - aging - Duration::from_millis(1));
+        assert_eq!(dispatch_rank(&aged, now, &config), Priority::Interactive);
+    }
+
+    #[test]
     fn adaptive_wait_shrinks_when_hot_and_caps_when_idle() {
         let config = ServeConfig {
             max_batch: 16,

@@ -17,6 +17,26 @@ pub enum HwError {
         /// Variables in the netlist.
         netlist: usize,
     },
+    /// An evidence batch ranges over a different number of variables than
+    /// the netlist (the batched-driver analogue of
+    /// [`HwError::EvidenceLengthMismatch`]).
+    BatchLengthMismatch {
+        /// Variables per lane in the batch.
+        batch: usize,
+        /// Variables in the netlist.
+        netlist: usize,
+    },
+    /// The evidence observes a state with no matching indicator input
+    /// slot (`state >= arity`): every indicator of that variable would
+    /// read 0 and the datapath would compute a silent, meaningless zero.
+    MissingInputSlot {
+        /// The observed variable's index.
+        var: usize,
+        /// The observed (out-of-range) state.
+        state: usize,
+        /// The variable's arity (valid states are `0..arity`).
+        arity: usize,
+    },
     /// The fixed-point format has no fraction bits; the emitted multiplier
     /// rounding idiom requires `F >= 1`.
     UnsupportedFormat {
@@ -35,6 +55,15 @@ impl std::fmt::Display for HwError {
             HwError::EvidenceLengthMismatch { evidence, netlist } => write!(
                 f,
                 "evidence over {evidence} variables but the netlist has {netlist}"
+            ),
+            HwError::BatchLengthMismatch { batch, netlist } => write!(
+                f,
+                "evidence batch over {batch} variables but the netlist has {netlist}"
+            ),
+            HwError::MissingInputSlot { var, state, arity } => write!(
+                f,
+                "evidence observes variable {var} in state {state} but the datapath only \
+                 has indicator slots for states 0..{arity}"
             ),
             HwError::UnsupportedFormat { reason } => write!(f, "unsupported format: {reason}"),
         }

@@ -13,7 +13,7 @@
 //! register energy for single-cycle throughput, while the schedule takes
 //! one cycle per operator but needs only `max-liveness` registers.
 
-use problp_num::Arith;
+use problp_num::{Arith, Flags};
 
 use crate::error::HwError;
 use crate::netlist::{CellKind, HwOp, Netlist};
@@ -107,7 +107,9 @@ pub struct Schedule {
     /// Where the final result lives (register, constant or input for
     /// degenerate circuits).
     output: Operand,
-    var_count: usize,
+    /// Arities of the variables the indicator input words range over
+    /// (used to reject observations with no input slot).
+    var_arities: Vec<usize>,
 }
 
 impl Schedule {
@@ -183,7 +185,7 @@ impl Schedule {
             inputs,
             register_count: next_reg as usize,
             output,
-            var_count: netlist.var_arities().len(),
+            var_arities: netlist.var_arities().to_vec(),
         })
     }
 
@@ -232,24 +234,67 @@ impl Schedule {
     ///
     /// # Errors
     ///
-    /// Returns [`HwError::EvidenceLengthMismatch`] on a shape mismatch.
+    /// Returns [`HwError::EvidenceLengthMismatch`] on a shape mismatch
+    /// and [`HwError::MissingInputSlot`] when the evidence observes a
+    /// state the ALU has no indicator input word for.
     pub fn execute<A: Arith>(
         &self,
         ctx: &mut A,
         evidence: &problp_bayes::Evidence,
     ) -> Result<A::Value, HwError> {
-        if evidence.len() != self.var_count {
+        self.execute_flagged(ctx, evidence).map(|(v, _)| v)
+    }
+
+    /// Like [`Schedule::execute`], but also returns the hardware-level
+    /// status flags of this execution: `underflow` is raised when a
+    /// multiply of two non-zero operands produced zero (the lane silently
+    /// fell below the representation's resolution). The arithmetic
+    /// context's own sticky rounding/overflow flags accumulate on `ctx`
+    /// as usual and are *not* included.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Schedule::execute`].
+    pub fn execute_flagged<A: Arith>(
+        &self,
+        ctx: &mut A,
+        evidence: &problp_bayes::Evidence,
+    ) -> Result<(A::Value, Flags), HwError> {
+        if evidence.len() != self.var_arities.len() {
             return Err(HwError::EvidenceLengthMismatch {
                 evidence: evidence.len(),
-                netlist: self.var_count,
+                netlist: self.var_arities.len(),
             });
         }
+        for (var, state) in evidence.iter() {
+            let arity = self.var_arities[var.index()];
+            if state >= arity {
+                return Err(HwError::MissingInputSlot {
+                    var: var.index(),
+                    state,
+                    arity,
+                });
+            }
+        }
         let consts: Vec<A::Value> = self.constants.iter().map(|&v| ctx.from_f64(v)).collect();
+        Ok(self.execute_inner(ctx, evidence, &consts))
+    }
+
+    /// The instruction loop after input validation, with the constant ROM
+    /// already converted (so batched callers convert it once, not per
+    /// lane). Returns the result and the hardware-level flags.
+    fn execute_inner<A: Arith>(
+        &self,
+        ctx: &mut A,
+        evidence: &problp_bayes::Evidence,
+        consts: &[A::Value],
+    ) -> (A::Value, Flags) {
         let ins: Vec<A::Value> = self
             .inputs
             .iter()
             .map(|&(var, state)| ctx.from_f64(evidence.indicator(var, state)))
             .collect();
+        let mut hw_flags = Flags::new();
         let mut regs: Vec<Option<A::Value>> = vec![None; self.register_count];
         let fetch = |regs: &[Option<A::Value>],
                      consts: &[A::Value],
@@ -265,15 +310,60 @@ impl Schedule {
             }
         };
         for inst in &self.instructions {
-            let a = fetch(&regs, &consts, &ins, inst.a);
-            let b = fetch(&regs, &consts, &ins, inst.b);
+            let a = fetch(&regs, consts, &ins, inst.a);
+            let b = fetch(&regs, consts, &ins, inst.b);
             let v = match inst.op {
                 HwOp::Add => ctx.add(&a, &b),
-                HwOp::Mul => ctx.mul(&a, &b),
+                HwOp::Mul => {
+                    let v = ctx.mul(&a, &b);
+                    if ctx.to_f64(&v) == 0.0 && ctx.to_f64(&a) != 0.0 && ctx.to_f64(&b) != 0.0 {
+                        hw_flags.underflow = true;
+                    }
+                    v
+                }
             };
             regs[inst.dst as usize] = Some(v);
         }
-        Ok(fetch(&regs, &consts, &ins, self.output))
+        (fetch(&regs, consts, &ins, self.output), hw_flags)
+    }
+
+    /// Executes the schedule once per lane of `batch`, in lane order —
+    /// the sequential accelerator's counterpart of
+    /// [`crate::PipelineSim::run_batch`] (one evaluation costs
+    /// `instructions` cycles, so a batch costs `lanes × instructions`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::BatchLengthMismatch`] if the batch ranges over
+    /// a different number of variables than the netlist, and
+    /// [`HwError::MissingInputSlot`] if any lane observes a state with no
+    /// indicator input word.
+    pub fn execute_batch<A: Arith>(
+        &self,
+        ctx: &mut A,
+        batch: &problp_bayes::EvidenceBatch,
+    ) -> Result<Vec<A::Value>, HwError> {
+        if batch.var_count() != self.var_arities.len() {
+            return Err(HwError::BatchLengthMismatch {
+                batch: batch.var_count(),
+                netlist: self.var_arities.len(),
+            });
+        }
+        for (var, &arity) in self.var_arities.iter().enumerate() {
+            let col = batch.column(problp_bayes::VarId::from_index(var));
+            if let Some(&bad) = col.iter().find(|&&s| s >= arity as i32) {
+                return Err(HwError::MissingInputSlot {
+                    var,
+                    state: bad as usize,
+                    arity,
+                });
+            }
+        }
+        // The constant ROM is converted once for the whole batch.
+        let consts: Vec<A::Value> = self.constants.iter().map(|&v| ctx.from_f64(v)).collect();
+        Ok((0..batch.lanes())
+            .map(|lane| self.execute_inner(ctx, &batch.evidence(lane), &consts).0)
+            .collect())
     }
 }
 

@@ -18,11 +18,41 @@
 
 use std::collections::VecDeque;
 
-use problp_bayes::Evidence;
-use problp_num::Arith;
+use problp_bayes::{Evidence, EvidenceBatch};
+use problp_num::{Arith, Flags};
 
 use crate::error::HwError;
 use crate::netlist::{CellKind, HwOp, Netlist};
+
+/// One cycle's input vector: either a scalar [`Evidence`] or one lane of
+/// a columnar [`EvidenceBatch`] (the batched driver feeds the pipeline
+/// straight from the batch's columns, no per-lane materialisation).
+#[derive(Clone, Copy)]
+enum LaneInput<'a> {
+    Evidence(&'a Evidence),
+    BatchLane(&'a EvidenceBatch, usize),
+}
+
+impl LaneInput<'_> {
+    /// The indicator value `λ_{var = state}` this input presents.
+    fn indicator(&self, var: problp_bayes::VarId, state: usize) -> f64 {
+        match self {
+            LaneInput::Evidence(e) => e.indicator(var, state),
+            LaneInput::BatchLane(b, lane) => b.indicator(*lane, var, state),
+        }
+    }
+}
+
+/// Checks one observation against the netlist's indicator slots: a state
+/// outside `0..arity` has no slot, so every indicator of that variable
+/// would read 0 and the datapath would emit a silent zero.
+fn check_slot(var: usize, state: usize, arities: &[usize]) -> Result<(), HwError> {
+    let arity = arities[var];
+    if state >= arity {
+        return Err(HwError::MissingInputSlot { var, state, arity });
+    }
+    Ok(())
+}
 
 /// A running simulation of a [`Netlist`] in the arithmetic `A`.
 ///
@@ -64,6 +94,9 @@ pub struct PipelineSim<'n, A: Arith> {
     /// Pre-converted constant leaf values.
     constants: Vec<Option<A::Value>>,
     cycle: u64,
+    /// Hardware-level sticky flags (multiplier underflow-to-zero), kept
+    /// separate from the arithmetic context's own rounding flags.
+    hw_flags: Flags,
 }
 
 impl<'n, A: Arith> PipelineSim<'n, A> {
@@ -105,6 +138,7 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
             fifo_of,
             constants,
             cycle: 0,
+            hw_flags: Flags::new(),
         }
     }
 
@@ -118,14 +152,25 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
         self.cycle
     }
 
+    /// The sticky status flags of the simulation so far: the arithmetic
+    /// context's rounding/overflow flags merged with the hardware-level
+    /// flags the simulator raises itself (`underflow` when a multiplier
+    /// with two non-zero operands produced a zero — a lane silently
+    /// vanishing below the representation's resolution).
+    pub fn flags(&self) -> Flags {
+        let mut f = self.ctx.flags();
+        f.merge(self.hw_flags);
+        f
+    }
+
     /// The current value of a leaf for this cycle's input vector (`None`
     /// for a bubble).
-    fn leaf_value(&mut self, index: usize, inputs: Option<&Evidence>) -> Option<A::Value> {
+    fn leaf_value(&mut self, index: usize, inputs: Option<LaneInput<'_>>) -> Option<A::Value> {
         let netlist = self.netlist;
         match &netlist.cells()[index].kind {
             CellKind::Constant { .. } => self.constants[index].clone(),
             CellKind::Input { var, state } => {
-                inputs.map(|e| self.ctx.from_f64(e.indicator(*var, *state)))
+                inputs.map(|lane| self.ctx.from_f64(lane.indicator(*var, *state)))
             }
             CellKind::Op { .. } => unreachable!("leaf_value on an operator"),
         }
@@ -134,7 +179,7 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
     /// The value a cell presents to its consumers during this cycle
     /// (before the clock edge): leaves present this cycle's input,
     /// operators present their output register.
-    fn present(&mut self, index: usize, inputs: Option<&Evidence>) -> Option<A::Value> {
+    fn present(&mut self, index: usize, inputs: Option<LaneInput<'_>>) -> Option<A::Value> {
         let netlist = self.netlist;
         match &netlist.cells()[index].kind {
             CellKind::Op { .. } => self.regs[index].clone(),
@@ -149,7 +194,8 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
     /// # Errors
     ///
     /// Returns [`HwError::EvidenceLengthMismatch`] if the evidence shape
-    /// disagrees with the netlist.
+    /// disagrees with the netlist, and [`HwError::MissingInputSlot`] if
+    /// it observes a state outside its variable's indicator slots.
     pub fn step(&mut self, inputs: Option<&Evidence>) -> Result<Option<A::Value>, HwError> {
         if let Some(e) = inputs {
             if e.len() != self.netlist.var_arities().len() {
@@ -158,7 +204,16 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
                     netlist: self.netlist.var_arities().len(),
                 });
             }
+            for (var, state) in e.iter() {
+                check_slot(var.index(), state, self.netlist.var_arities())?;
+            }
         }
+        self.step_lane(inputs.map(LaneInput::Evidence))
+    }
+
+    /// [`PipelineSim::step`] after input validation: inputs here are
+    /// already known to match the netlist's shape and slots.
+    fn step_lane(&mut self, inputs: Option<LaneInput<'_>>) -> Result<Option<A::Value>, HwError> {
         let netlist = self.netlist;
         let n = netlist.cells().len();
         // Phase 1: read all present values (pre-edge state).
@@ -185,7 +240,21 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
                 next_regs[i] = match (va, vb) {
                     (Some(x), Some(y)) => Some(match op {
                         HwOp::Add => self.ctx.add(&x, &y),
-                        HwOp::Mul => self.ctx.mul(&x, &y),
+                        HwOp::Mul => {
+                            let v = self.ctx.mul(&x, &y);
+                            // A multiplier whose two non-zero operands
+                            // produce zero has silently dropped the lane
+                            // below the representation's resolution —
+                            // surface it as a sticky underflow instead of
+                            // letting the zero propagate unremarked.
+                            if self.ctx.to_f64(&v) == 0.0
+                                && self.ctx.to_f64(&x) != 0.0
+                                && self.ctx.to_f64(&y) != 0.0
+                            {
+                                self.hw_flags.underflow = true;
+                            }
+                            v
+                        }
                     }),
                     _ => None,
                 };
@@ -214,6 +283,57 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
             last = self.step(None)?;
         }
         Ok(last.expect("result must be valid after pipeline_depth cycles"))
+    }
+
+    /// Streams a whole [`EvidenceBatch`] through the pipeline at full
+    /// throughput — one lane issued per cycle, results collected in lane
+    /// order as they emerge `pipeline_depth` cycles later — and returns
+    /// the per-lane outputs.
+    ///
+    /// This is the batched driver of the differential conformance harness
+    /// (`problp-conformance`): where [`PipelineSim::run`] drains the
+    /// pipeline between inputs (`depth` cycles per lane), `run_batch`
+    /// exploits the design's streaming throughput and finishes `lanes`
+    /// results in `lanes + depth - 1` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::BatchLengthMismatch`] if the batch ranges over
+    /// a different number of variables than the netlist, and
+    /// [`HwError::MissingInputSlot`] if any lane observes a state with no
+    /// indicator input slot.
+    pub fn run_batch(&mut self, batch: &EvidenceBatch) -> Result<Vec<A::Value>, HwError> {
+        let arities = self.netlist.var_arities();
+        if batch.var_count() != arities.len() {
+            return Err(HwError::BatchLengthMismatch {
+                batch: batch.var_count(),
+                netlist: arities.len(),
+            });
+        }
+        for (var, &arity) in arities.iter().enumerate() {
+            let col = batch.column(problp_bayes::VarId::from_index(var));
+            if let Some(&bad) = col.iter().find(|&&s| s >= arity as i32) {
+                return Err(HwError::MissingInputSlot {
+                    var,
+                    state: bad as usize,
+                    arity,
+                });
+            }
+        }
+        let lanes = batch.lanes();
+        if lanes == 0 {
+            return Ok(Vec::new());
+        }
+        let depth = self.netlist.pipeline_depth().max(1) as usize;
+        let mut out = Vec::with_capacity(lanes);
+        for cycle in 1..=(lanes + depth - 1) {
+            let inputs = (cycle <= lanes).then(|| LaneInput::BatchLane(batch, cycle - 1));
+            let o = self.step_lane(inputs)?;
+            if cycle >= depth {
+                out.push(o.expect("result must be valid pipeline_depth cycles after its input"));
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -349,6 +469,52 @@ mod tests {
         assert!(matches!(
             sim.step(Some(&bad)).unwrap_err(),
             HwError::EvidenceLengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn run_batch_streams_one_lane_per_cycle() {
+        use problp_bayes::EvidenceBatch;
+        let net = networks::sprinkler();
+        let (ac, nl, format) = fixed_setup(&net, 11);
+        let evidences: Vec<Evidence> = (0..9)
+            .map(|k| {
+                let mut e = Evidence::empty(net.var_count());
+                e.observe(VarId::from_index(k % 4), k % 2);
+                e
+            })
+            .collect();
+        let batch = EvidenceBatch::from_evidences(net.var_count(), &evidences).unwrap();
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        let before = sim.cycle();
+        let got = sim.run_batch(&batch).unwrap();
+        // Full streaming throughput: lanes + depth - 1 cycles total.
+        assert_eq!(
+            sim.cycle() - before,
+            batch.lanes() as u64 + u64::from(nl.pipeline_depth()) - 1
+        );
+        assert_eq!(got.len(), evidences.len());
+        for (e, v) in evidences.iter().zip(&got) {
+            let mut sw = FixedArith::new(format);
+            let expect = ac.evaluate_with(&mut sw, e, Semiring::SumProduct).unwrap();
+            assert_eq!(v.raw(), expect.raw(), "lane {e}");
+        }
+        // And an empty batch is a no-op.
+        assert!(sim
+            .run_batch(&EvidenceBatch::new(net.var_count()))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn run_batch_checks_batch_shape() {
+        use problp_bayes::EvidenceBatch;
+        let net = networks::figure1();
+        let (_, nl, format) = fixed_setup(&net, 9);
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        assert!(matches!(
+            sim.run_batch(&EvidenceBatch::new(17)).unwrap_err(),
+            HwError::BatchLengthMismatch { .. }
         ));
     }
 

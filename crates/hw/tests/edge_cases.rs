@@ -1,0 +1,153 @@
+//! Edge-case behaviour of the hardware layer: malformed inputs surface
+//! typed [`HwError`]s and resolution loss surfaces sticky flags — never
+//! silent zeros.
+
+use problp_ac::{compile, transform::binarize};
+use problp_bayes::{networks, Evidence, EvidenceBatch, VarId};
+use problp_hw::{HwError, Netlist, PipelineSim, Schedule};
+use problp_num::{Arith, FixedArith, FixedFormat, Representation};
+
+fn sprinkler_netlist(frac: u32) -> (Netlist, FixedFormat) {
+    let ac = binarize(&compile(&networks::sprinkler()).unwrap()).unwrap();
+    let format = FixedFormat::new(1, frac).unwrap();
+    let nl = Netlist::from_ac(&ac, Representation::Fixed(format)).unwrap();
+    (nl, format)
+}
+
+#[test]
+fn empty_evidence_is_a_typed_shape_error() {
+    // Evidence over zero variables cannot drive a real datapath: both
+    // executors reject it with the typed length mismatch instead of
+    // treating every indicator as unobserved.
+    let (nl, format) = sprinkler_netlist(11);
+    let empty = Evidence::empty(0);
+    let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+    assert!(matches!(
+        sim.step(Some(&empty)).unwrap_err(),
+        HwError::EvidenceLengthMismatch { evidence: 0, .. }
+    ));
+    let schedule = Schedule::from_netlist(&nl).unwrap();
+    let mut ctx = FixedArith::new(format);
+    assert!(matches!(
+        schedule.execute(&mut ctx, &empty).unwrap_err(),
+        HwError::EvidenceLengthMismatch { evidence: 0, .. }
+    ));
+}
+
+#[test]
+fn missing_input_slot_is_a_typed_error_not_a_silent_zero() {
+    // Observing a state outside a variable's arity means no indicator
+    // slot matches: every λ of that variable would read 0 and the
+    // datapath would compute Pr = 0 without complaint. All three entry
+    // points reject it instead.
+    let (nl, format) = sprinkler_netlist(11);
+    let var_count = nl.var_arities().len();
+    let mut bad = Evidence::empty(var_count);
+    bad.observe(VarId::from_index(0), 5); // sprinkler variables are binary
+
+    let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+    assert!(matches!(
+        sim.step(Some(&bad)).unwrap_err(),
+        HwError::MissingInputSlot {
+            var: 0,
+            state: 5,
+            arity: 2
+        }
+    ));
+
+    let schedule = Schedule::from_netlist(&nl).unwrap();
+    let mut ctx = FixedArith::new(format);
+    assert!(matches!(
+        schedule.execute(&mut ctx, &bad).unwrap_err(),
+        HwError::MissingInputSlot { state: 5, .. }
+    ));
+
+    let mut batch = EvidenceBatch::new(var_count);
+    batch.push(&Evidence::empty(var_count));
+    batch.push(&bad);
+    let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+    assert!(matches!(
+        sim.run_batch(&batch).unwrap_err(),
+        HwError::MissingInputSlot { state: 5, .. }
+    ));
+    let mut ctx = FixedArith::new(format);
+    assert!(matches!(
+        schedule.execute_batch(&mut ctx, &batch).unwrap_err(),
+        HwError::MissingInputSlot { state: 5, .. }
+    ));
+}
+
+/// A two-parameter product circuit whose fixed-point product rounds to
+/// zero at `F = 4`: 0.06 and 0.05 both quantise to raw 1 (one ulp,
+/// 0.0625) and `1 × 1` rounds to raw 0.
+fn underflowing_product() -> problp_ac::AcGraph {
+    let mut g = problp_ac::AcGraph::new(vec![2]);
+    let a = g.param(0.06).unwrap();
+    let b = g.param(0.05).unwrap();
+    let p = g.product(vec![a, b]).unwrap();
+    g.set_root(p);
+    g
+}
+
+#[test]
+fn fixed_underflow_to_zero_raises_flags_in_the_pipeline() {
+    let g = underflowing_product();
+    let format = FixedFormat::new(1, 4).unwrap();
+    let nl = Netlist::from_ac(&g, Representation::Fixed(format)).unwrap();
+    let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+    let out = sim.run(&Evidence::empty(1)).unwrap();
+    // The zero result is real, but it must not be silent.
+    assert_eq!(out.raw(), 0);
+    assert!(
+        sim.flags().underflow,
+        "non-zero × non-zero -> zero must raise underflow"
+    );
+}
+
+#[test]
+fn fixed_underflow_to_zero_raises_flags_in_the_schedule() {
+    let g = underflowing_product();
+    let format = FixedFormat::new(1, 4).unwrap();
+    let nl = Netlist::from_ac(&g, Representation::Fixed(format)).unwrap();
+    let schedule = Schedule::from_netlist(&nl).unwrap();
+    let mut ctx = FixedArith::new(format);
+    let (out, hw_flags) = schedule
+        .execute_flagged(&mut ctx, &Evidence::empty(1))
+        .unwrap();
+    assert_eq!(ctx.to_f64(&out), 0.0);
+    assert!(hw_flags.underflow);
+}
+
+#[test]
+fn clean_lanes_leave_the_underflow_flag_clear() {
+    // A healthy evaluation at a comfortable width: zero results only
+    // come from zero indicators, so no underflow is reported.
+    let (nl, format) = sprinkler_netlist(11);
+    let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+    let mut e = Evidence::empty(nl.var_arities().len());
+    e.observe(VarId::from_index(0), 1);
+    let _ = sim.run(&e).unwrap();
+    assert!(!sim.flags().underflow);
+
+    let schedule = Schedule::from_netlist(&nl).unwrap();
+    let mut ctx = FixedArith::new(format);
+    let (_, hw_flags) = schedule.execute_flagged(&mut ctx, &e).unwrap();
+    assert!(!hw_flags.underflow);
+}
+
+#[test]
+fn batch_shape_mismatch_is_typed_for_both_executors() {
+    let (nl, format) = sprinkler_netlist(11);
+    let schedule = Schedule::from_netlist(&nl).unwrap();
+    let bad = EvidenceBatch::new(nl.var_arities().len() + 3);
+    let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+    assert!(matches!(
+        sim.run_batch(&bad).unwrap_err(),
+        HwError::BatchLengthMismatch { .. }
+    ));
+    let mut ctx = FixedArith::new(format);
+    assert!(matches!(
+        schedule.execute_batch(&mut ctx, &bad).unwrap_err(),
+        HwError::BatchLengthMismatch { .. }
+    ));
+}

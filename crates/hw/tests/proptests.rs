@@ -6,9 +6,9 @@
 use proptest::prelude::*;
 
 use problp_ac::{compile, transform::binarize, Semiring};
-use problp_bayes::{networks, Evidence, VarId};
+use problp_bayes::{networks, Evidence, EvidenceBatch, VarId};
 use problp_hw::{CellKind, Netlist, PipelineSim, Schedule};
-use problp_num::{FixedArith, FixedFormat, FloatArith, FloatFormat, Representation};
+use problp_num::{F64Arith, FixedArith, FixedFormat, FloatArith, FloatFormat, Representation};
 
 fn evidence_from(net: &problp_bayes::BayesNet, picks: &[usize]) -> Evidence {
     let mut e = Evidence::empty(net.var_count());
@@ -133,6 +133,76 @@ proptest! {
         }
         prop_assert_eq!(outputs[depth - 1].as_ref().unwrap().raw(), expect(&ea));
         prop_assert_eq!(outputs[depth].as_ref().unwrap().raw(), expect(&eb));
+    }
+
+    #[test]
+    fn pipeline_matches_schedule_across_all_representations(
+        seed in 0u64..200,
+        picks in proptest::collection::vec(0usize..100, 6),
+        frac in 6u32..24,
+        mant in 4u32..20,
+    ) {
+        // The two executors must agree bit for bit in every arithmetic the
+        // framework chooses between: exact f64, low-precision fixed point
+        // and low-precision floating point — on the same random netlist.
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let e = evidence_from(&net, &picks);
+        let fixed_fmt = FixedFormat::new(2, frac).unwrap();
+        let float_fmt = FloatFormat::new(8, mant).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Fixed(fixed_fmt)).unwrap();
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+
+        let mut pipe = PipelineSim::new(&nl, F64Arith::new());
+        let parallel = pipe.run(&e).unwrap();
+        let mut ctx = F64Arith::new();
+        let sequential = schedule.execute(&mut ctx, &e).unwrap();
+        prop_assert_eq!(parallel.to_bits(), sequential.to_bits());
+
+        let mut pipe = PipelineSim::new(&nl, FixedArith::new(fixed_fmt));
+        let parallel = pipe.run(&e).unwrap();
+        let mut ctx = FixedArith::new(fixed_fmt);
+        let sequential = schedule.execute(&mut ctx, &e).unwrap();
+        prop_assert_eq!(parallel.raw(), sequential.raw());
+
+        let mut pipe = PipelineSim::new(&nl, FloatArith::new(float_fmt));
+        let parallel = pipe.run(&e).unwrap();
+        let mut ctx = FloatArith::new(float_fmt);
+        let sequential = schedule.execute(&mut ctx, &e).unwrap();
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn batched_drivers_match_the_lane_at_a_time_paths(
+        seed in 0u64..100,
+        picks in proptest::collection::vec(0usize..100, 24),
+        frac in 6u32..20,
+    ) {
+        // run_batch (one lane per cycle, streaming) and execute_batch
+        // must reproduce the drain-between-lanes results exactly, in
+        // lane order.
+        let net = networks::random_network(seed, 5, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let format = FixedFormat::new(2, frac).unwrap();
+        let nl = Netlist::from_ac(&ac, Representation::Fixed(format)).unwrap();
+        let schedule = Schedule::from_netlist(&nl).unwrap();
+        let evidences: Vec<Evidence> = picks
+            .chunks(6)
+            .map(|c| evidence_from(&net, c))
+            .collect();
+        let batch = EvidenceBatch::from_evidences(net.var_count(), &evidences).unwrap();
+
+        let mut sim = PipelineSim::new(&nl, FixedArith::new(format));
+        let streamed = sim.run_batch(&batch).unwrap();
+        let mut ctx = FixedArith::new(format);
+        let sequential = schedule.execute_batch(&mut ctx, &batch).unwrap();
+        prop_assert_eq!(streamed.len(), evidences.len());
+        for (lane, e) in evidences.iter().enumerate() {
+            let mut fresh = PipelineSim::new(&nl, FixedArith::new(format));
+            let drained = fresh.run(e).unwrap();
+            prop_assert_eq!(streamed[lane].raw(), drained.raw(), "lane {}", lane);
+            prop_assert_eq!(sequential[lane].raw(), drained.raw(), "lane {}", lane);
+        }
     }
 
     #[test]

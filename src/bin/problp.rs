@@ -13,6 +13,9 @@
 //!                   [--max-wait-us 500] [--workers 4] [--seed 7]
 //!                   [--tenant-quota 0] [--batch-share 0] [--aging-us 20000]
 //!                   [--adaptive-wait]
+//! problp conformance [--models alarm,asia] [--random 2] [--batch 256]
+//!                   [--seed 7] [--repr f64,fixed:2.14,float:8.13]
+//!                   [--inject-fault scalar|tape|tape-full|schedule|pipeline]
 //! ```
 //!
 //! Networks use the plain-text `.bn` format of [`problp::bayes::io`].
@@ -37,6 +40,17 @@
 //! `--models` takes built-in network names
 //! (`figure1|sprinkler|asia|student|earthquake|cancer|alarm`) or `.bn`
 //! paths, comma-separated.
+//!
+//! `conformance` runs the differential cross-check of
+//! `problp::conformance`: the same seeded evidence batch is evaluated on
+//! the scalar tree-walk, the compact and full-values engine tapes, the
+//! sequential ALU schedule and the cycle-accurate pipelined datapath
+//! (streaming one lane per cycle), and every stream must be
+//! bit-identical per arithmetic (`--repr`) and semiring. Without
+//! `--models` it checks `sprinkler,asia` plus `--random` seeded random
+//! networks (default 2). The exit code is non-zero on any divergence;
+//! `--inject-fault` deliberately corrupts one backend's stream to prove
+//! the harness detects it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -65,7 +79,11 @@ fn usage() -> ExitCode {
   problp serve-sim  --models NAME|FILE[,NAME|FILE...] [--requests N]
                     [--max-batch N] [--max-wait-us N] [--workers N] [--seed N]
                     [--tenant-quota N] [--batch-share PCT] [--aging-us N]
-                    [--adaptive-wait]"
+                    [--adaptive-wait]
+  problp conformance [--models NAME|FILE[,...]] [--random N] [--batch N]
+                    [--seed N] [--repr LIST] [--inject-fault BACKEND]
+                    (LIST entries: f64 | fixed:I.F | float:E.M;
+                     BACKEND: scalar|tape|tape-full|schedule|pipeline)"
     );
     ExitCode::from(2)
 }
@@ -107,7 +125,8 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from(".");
     let mut dot: Option<PathBuf> = None;
     let mut optimize = false;
-    let mut batch = 1024usize;
+    // `--batch`: throughput defaults to 1024 lanes, conformance to 256.
+    let mut batch: Option<usize> = None;
     let mut threads = 0usize;
     let mut dataset: Option<String> = None;
     let mut instances = 300usize;
@@ -121,6 +140,9 @@ fn main() -> ExitCode {
     let mut batch_share = 0u64;
     let mut aging_us = 20_000u64;
     let mut adaptive_wait = false;
+    let mut random: Option<usize> = None;
+    let mut repr: Option<String> = None;
+    let mut inject_fault: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -183,11 +205,29 @@ fn main() -> ExitCode {
                 aging_us = n;
             }
             "--adaptive-wait" => adaptive_wait = true,
+            "--random" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                random = Some(n);
+            }
+            "--repr" => {
+                let Some(r) = it.next() else {
+                    return usage();
+                };
+                repr = Some(r.clone());
+            }
+            "--inject-fault" => {
+                let Some(b) = it.next() else {
+                    return usage();
+                };
+                inject_fault = Some(b.clone());
+            }
             "--batch" => {
                 let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
                     return usage();
                 };
-                batch = n;
+                batch = Some(n);
             }
             "--threads" => {
                 let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
@@ -251,6 +291,26 @@ fn main() -> ExitCode {
             adaptive_wait,
         };
         return match serve_sim(&sim) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // `conformance` hosts many models too (named, file-based or
+    // generated), so it shares serve-sim's loading path.
+    if command == "conformance" {
+        let args = ConformanceArgs {
+            models,
+            random,
+            batch: batch.unwrap_or(256),
+            seed,
+            repr,
+            inject_fault,
+        };
+        return match conformance(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -334,7 +394,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "throughput" => {
-            match throughput(&net, &circuit, query, query_var.as_deref(), batch, threads) {
+            match throughput(
+                &net,
+                &circuit,
+                query,
+                query_var.as_deref(),
+                batch.unwrap_or(1024),
+                threads,
+            ) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -551,6 +618,24 @@ impl TraceRng {
     }
 }
 
+/// Resolves a whole comma-separated `--models` list, rejecting duplicate
+/// names up front (both `serve-sim`'s pool and the conformance report
+/// are keyed by name, so a collision would silently merge two tenants).
+fn load_models(spec: &str, seed: u64) -> Result<Vec<(String, BayesNet)>, String> {
+    let mut models: Vec<(String, BayesNet)> = Vec::new();
+    for entry in spec.split(',').filter(|s| !s.is_empty()) {
+        let (name, net) = load_model(entry.trim(), seed)?;
+        if models.iter().any(|(n, _)| n == &name) {
+            return Err(format!(
+                "duplicate model name {name:?} in --models (built-in names and .bn file \
+                 stems must be unique)"
+            ));
+        }
+        models.push((name, net));
+    }
+    Ok(models)
+}
+
 /// Resolves one `--models` entry: a built-in network name or a `.bn`
 /// file path.
 fn load_model(spec: &str, seed: u64) -> Result<(String, BayesNet), String> {
@@ -603,18 +688,7 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
     use std::time::{Duration, Instant};
 
     let mut tenants: Vec<(String, BayesNet, AcGraph)> = Vec::new();
-    for spec in args.models.split(',').filter(|s| !s.is_empty()) {
-        let (name, net) = load_model(spec.trim(), args.seed)?;
-        // The pool is keyed by name (last registration wins), so a
-        // colliding name would silently serve one tenant's trace on the
-        // other's circuit — reject it up front instead.
-        if tenants.iter().any(|(n, _, _)| n == &name) {
-            return Err(format!(
-                "duplicate model name {name:?} in --models (built-in names and .bn file \
-                 stems must be unique)"
-            )
-            .into());
-        }
+    for (name, net) in load_models(&args.models, args.seed)? {
         let ac = compile(&net)?;
         tenants.push((name, net, ac));
     }
@@ -935,6 +1009,93 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         return Err("quota rejects without a configured quota".into());
     }
     Ok(())
+}
+
+struct ConformanceArgs {
+    /// Comma-separated built-in network names or `.bn` paths (`None`
+    /// defaults to `sprinkler,asia`).
+    models: Option<String>,
+    /// Seeded random networks to append (`None` = 2 when no `--models`
+    /// given, else 0).
+    random: Option<usize>,
+    batch: usize,
+    seed: u64,
+    /// Comma-separated arithmetics (`f64 | fixed:I.F | float:E.M`);
+    /// `None` = all three defaults.
+    repr: Option<String>,
+    /// Corrupt this backend's stream (harness self-test).
+    inject_fault: Option<String>,
+}
+
+/// Runs the differential conformance cross-check of
+/// `problp::conformance` and fails (non-zero exit) on any backend
+/// diverging from the scalar reference.
+fn conformance(args: &ConformanceArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use problp::conformance::{
+        random_models, run_conformance, ArithSpec, BackendKind, ConformanceConfig,
+    };
+
+    let mut models: Vec<(String, BayesNet)> = match &args.models {
+        Some(spec) => load_models(spec, args.seed)?,
+        None => Vec::new(),
+    };
+    let random = args.random.unwrap_or(if models.is_empty() { 2 } else { 0 });
+    if models.is_empty() && random == 0 {
+        return Err("conformance needs at least one model (--models or --random)".into());
+    }
+    if models.is_empty() {
+        models.push((
+            "sprinkler".to_string(),
+            problp::bayes::networks::sprinkler(),
+        ));
+        models.push(("asia".to_string(), problp::bayes::networks::asia()));
+    }
+    models.extend(random_models(args.seed, random));
+
+    let mut config = ConformanceConfig {
+        batch: args.batch.max(1),
+        seed: args.seed,
+        ..ConformanceConfig::default()
+    };
+    if let Some(spec) = &args.repr {
+        let mut ariths = Vec::new();
+        for entry in spec.split(',').filter(|s| !s.is_empty()) {
+            let Some(a) = ArithSpec::parse(entry.trim()) else {
+                return Err(format!(
+                    "bad --repr entry {entry:?} (expected f64, fixed:I.F or float:E.M)"
+                )
+                .into());
+            };
+            ariths.push(a);
+        }
+        if ariths.is_empty() {
+            return Err("--repr lists no arithmetics".into());
+        }
+        config.ariths = ariths;
+    }
+    if let Some(backend) = &args.inject_fault {
+        let Some(b) = BackendKind::parse(backend) else {
+            return Err(format!(
+                "bad --inject-fault backend {backend:?} (expected one of \
+                 scalar, tape, tape-full, schedule, pipeline)"
+            )
+            .into());
+        };
+        config.inject_fault = Some(b);
+        eprintln!("injecting a fault into the {b} stream (harness self-test)");
+    }
+
+    let report = run_conformance(&models, &config)?;
+    print!("{report}");
+    if report.all_match() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} result lanes diverged from the scalar reference",
+            report.total_mismatches()
+        )
+        .into())
+    }
 }
 
 fn execute(

@@ -20,6 +20,7 @@
 //! | [`ac`] | `problp-ac` | arithmetic circuits, BN→AC compiler |
 //! | [`bounds`] | `problp-bounds` | error analyses and bit-width search |
 //! | [`engine`] | `problp-engine` | batched multi-threaded AC execution (tape compiler + SoA evaluator, marginal/MPE/conditional serving) |
+//! | [`conformance`] | `problp-conformance` | differential cross-check: scalar vs tape vs schedule vs pipeline, bit for bit |
 //! | [`energy`] | `problp-energy` | Table 1 models, gate-level estimator |
 //! | [`hw`] | `problp-hw` | netlist, pipeline simulator, Verilog |
 //! | [`data`] | `problp-data` | synthetic benchmarks, Alarm test sets |
@@ -116,6 +117,7 @@ pub use problp_ac as ac;
 pub use problp_bayes as bayes;
 pub use problp_bench as bench;
 pub use problp_bounds as bounds;
+pub use problp_conformance as conformance;
 pub use problp_core as core;
 pub use problp_data as data;
 pub use problp_energy as energy;
@@ -130,6 +132,7 @@ pub mod prelude {
         BatchQuery, BayesNet, BayesNetBuilder, Evidence, EvidenceBatch, NaiveBayes, VarId,
     };
     pub use problp_bounds::{LeafErrorModel, QueryType, Tolerance};
+    pub use problp_conformance::{run_conformance, ConformanceConfig, ConformanceReport};
     pub use problp_core::{measure_errors, Problp, Report};
     pub use problp_engine::{
         CircuitPool, Engine, Priority, ServeConfig, ServeRequest, ServeResponse, Server, Tape,
