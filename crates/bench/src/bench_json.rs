@@ -1,0 +1,356 @@
+//! The machine-readable perf trajectory: `BENCH_<scenario>.json` files
+//! emitted by `reproduce` and `serve-sim`, so every future PR can diff
+//! its serving performance against this one's instead of eyeballing
+//! stdout tables.
+//!
+//! One file per scenario, schema [`BENCH_SCHEMA`]. The required keys —
+//! enforced by [`validate_bench_json`], which CI runs on every emitted
+//! file — are:
+//!
+//! | key | type | meaning |
+//! |-----|------|---------|
+//! | `schema` | string | exactly `"problp-bench/v1"` |
+//! | `scenario` | string | which study produced the file |
+//! | `requests` | number | requests (or lanes) the study drove |
+//! | `throughput_rps` | number | requests per second end to end |
+//! | `latency_us` | object | `p50`/`p90`/`p99`/`max` sojourn, µs (each a number, or null with no sample) |
+//! | `rejects` | number | typed admission rejects |
+//!
+//! Everything else (`extra` fields like speedups, quota settings,
+//! per-backend work stats) is scenario-specific and additive — readers
+//! must ignore keys they do not know.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use problp_telemetry::{HistogramSnapshot, JsonValue};
+
+/// The schema tag every `BENCH_*.json` carries; bump on breaking
+/// changes to the required keys.
+pub const BENCH_SCHEMA: &str = "problp-bench/v1";
+
+/// One benchmark scenario's machine-readable result.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Scenario name — becomes the `BENCH_<scenario>.json` file name,
+    /// so keep it `snake_case`.
+    pub scenario: String,
+    /// Requests (or lanes) the scenario drove.
+    pub requests: u64,
+    /// End-to-end requests per second.
+    pub throughput_rps: f64,
+    /// The sojourn-latency histogram the percentiles are derived from
+    /// (`None` for scenarios without a latency dimension).
+    pub latency: Option<HistogramSnapshot>,
+    /// Typed admission rejects (quota, unknown model, ...).
+    pub rejects: u64,
+    /// Scenario-specific additions, appended to the JSON object as-is.
+    pub extra: Vec<(String, JsonValue)>,
+}
+
+impl BenchRecord {
+    /// The canonical file name: `BENCH_<scenario>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.scenario)
+    }
+
+    /// The record as a JSON document with the schema's required keys
+    /// first and `extra` appended.
+    pub fn to_json(&self) -> JsonValue {
+        let quant = |p: f64| -> JsonValue {
+            self.latency
+                .as_ref()
+                .and_then(|h| h.quantile(p))
+                .map_or(JsonValue::Null, JsonValue::from)
+        };
+        let latency = JsonValue::Object(vec![
+            ("p50".to_string(), quant(50.0)),
+            ("p90".to_string(), quant(90.0)),
+            ("p99".to_string(), quant(99.0)),
+            (
+                "max".to_string(),
+                self.latency
+                    .as_ref()
+                    .filter(|h| h.count > 0)
+                    .map_or(JsonValue::Null, |h| JsonValue::from(h.max)),
+            ),
+        ]);
+        let mut fields = vec![
+            ("schema".to_string(), JsonValue::from(BENCH_SCHEMA)),
+            (
+                "scenario".to_string(),
+                JsonValue::from(self.scenario.as_str()),
+            ),
+            ("requests".to_string(), JsonValue::from(self.requests)),
+            (
+                "throughput_rps".to_string(),
+                JsonValue::from(self.throughput_rps),
+            ),
+            ("latency_us".to_string(), latency),
+            ("rejects".to_string(), JsonValue::from(self.rejects)),
+        ];
+        fields.extend(self.extra.iter().cloned());
+        JsonValue::Object(fields)
+    }
+
+    /// Writes `BENCH_<scenario>.json` (pretty-printed) into `dir` and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error on failure.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json().render_pretty())?;
+        Ok(path)
+    }
+}
+
+/// Checks that `text` parses as JSON and carries every required
+/// `problp-bench/v1` key with the right type; the error string names
+/// the first violation.
+///
+/// # Errors
+///
+/// Returns a description of the first missing/mistyped key, or the
+/// parse error.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string key \"schema\"")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {BENCH_SCHEMA:?}"));
+    }
+    doc.get("scenario")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string key \"scenario\"")?;
+    for key in ["requests", "throughput_rps", "rejects"] {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("missing numeric key {key:?}"))?;
+    }
+    let latency = doc
+        .get("latency_us")
+        .ok_or("missing object key \"latency_us\"")?;
+    for key in ["p50", "p90", "p99", "max"] {
+        match latency.get(key) {
+            Some(JsonValue::Number(_)) | Some(JsonValue::Null) => {}
+            Some(other) => {
+                return Err(format!(
+                    "latency_us.{key} must be a number or null, got {other:?}"
+                ))
+            }
+            None => return Err(format!("missing latency_us key {key:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// [`BenchRecord`] for the mixed-tenant serving study
+/// (`BENCH_serving.json`): throughput of the pooled pass, sojourn
+/// percentiles from the study's histogram, and the scalar-replay
+/// comparison as extras.
+pub fn serving_bench_record(study: &crate::ServingStudy) -> BenchRecord {
+    BenchRecord {
+        scenario: "serving".to_string(),
+        requests: study.requests as u64,
+        throughput_rps: if study.served_secs > 0.0 {
+            study.requests as f64 / study.served_secs
+        } else {
+            0.0
+        },
+        latency: Some(study.sojourn.clone()),
+        rejects: 0,
+        extra: vec![
+            ("identical".to_string(), JsonValue::from(study.identical)),
+            (
+                "scalar_secs".to_string(),
+                JsonValue::from(study.scalar_secs),
+            ),
+            (
+                "served_secs".to_string(),
+                JsonValue::from(study.served_secs),
+            ),
+            ("speedup".to_string(), JsonValue::from(study.speedup())),
+            ("models".to_string(), JsonValue::from(study.models.len())),
+        ],
+    }
+}
+
+/// [`BenchRecord`] for the QoS study (`BENCH_qos.json`): the quota
+/// rejects are the record's `rejects`, with the policy settings and
+/// per-class percentiles as extras.
+pub fn qos_bench_record(study: &crate::QosStudy) -> BenchRecord {
+    let classes = study
+        .classes
+        .iter()
+        .map(|c| {
+            JsonValue::Object(vec![
+                ("class".to_string(), JsonValue::from(c.class.as_str())),
+                ("requests".to_string(), JsonValue::from(c.requests)),
+                ("admitted".to_string(), JsonValue::from(c.admitted)),
+                (
+                    "p50_us".to_string(),
+                    c.p50_us
+                        .map_or(JsonValue::Null, |v| JsonValue::from(v as u64)),
+                ),
+                (
+                    "p99_us".to_string(),
+                    c.p99_us
+                        .map_or(JsonValue::Null, |v| JsonValue::from(v as u64)),
+                ),
+            ])
+        })
+        .collect();
+    BenchRecord {
+        scenario: "qos".to_string(),
+        requests: study.requests as u64,
+        // The QoS study measures policy behavior, not wall time; its
+        // throughput dimension is admitted share instead.
+        throughput_rps: 0.0,
+        latency: Some(study.sojourn.clone()),
+        rejects: study.quota_rejected as u64,
+        extra: vec![
+            ("quota".to_string(), JsonValue::from(study.quota)),
+            ("admitted".to_string(), JsonValue::from(study.admitted)),
+            ("identical".to_string(), JsonValue::from(study.identical)),
+            (
+                "hot_tenant_rejected".to_string(),
+                JsonValue::from(study.hot_tenant_rejected),
+            ),
+            ("classes".to_string(), JsonValue::Array(classes)),
+        ],
+    }
+}
+
+/// [`BenchRecord`] for the differential conformance study
+/// (`BENCH_conformance.json`): total compared lanes as `requests`, and
+/// per-backend work/wall stats aggregated over the cases as extras.
+pub fn conformance_bench_record(report: &problp_conformance::ConformanceReport) -> BenchRecord {
+    // Aggregate per backend over every (model, arith, semiring) case.
+    let mut backends: Vec<(String, u64, f64, usize)> = Vec::new();
+    let mut total_lanes = 0usize;
+    for case in &report.cases {
+        for run in &case.backends {
+            total_lanes += case.lanes;
+            let name = format!("{}", run.backend);
+            match backends.iter_mut().find(|(n, ..)| *n == name) {
+                Some((_, work, wall, lanes)) => {
+                    *work += run.work;
+                    *wall += run.wall.as_secs_f64();
+                    *lanes += case.lanes;
+                }
+                None => backends.push((name, run.work, run.wall.as_secs_f64(), case.lanes)),
+            }
+        }
+    }
+    let backend_rows = backends
+        .iter()
+        .map(|(name, work, wall, lanes)| {
+            JsonValue::Object(vec![
+                ("backend".to_string(), JsonValue::from(name.as_str())),
+                ("work".to_string(), JsonValue::from(*work)),
+                ("wall_secs".to_string(), JsonValue::from(*wall)),
+                ("lanes".to_string(), JsonValue::from(*lanes)),
+                (
+                    "lanes_per_sec".to_string(),
+                    if *wall > 0.0 {
+                        JsonValue::from(*lanes as f64 / *wall)
+                    } else {
+                        JsonValue::Null
+                    },
+                ),
+            ])
+        })
+        .collect();
+    BenchRecord {
+        scenario: "conformance".to_string(),
+        requests: total_lanes as u64,
+        throughput_rps: 0.0,
+        latency: None,
+        rejects: 0,
+        extra: vec![
+            ("seed".to_string(), JsonValue::from(report.seed)),
+            (
+                "lanes_per_case".to_string(),
+                JsonValue::from(report.lanes_per_case),
+            ),
+            ("cases".to_string(), JsonValue::from(report.cases.len())),
+            (
+                "mismatches".to_string(),
+                JsonValue::from(report.total_mismatches()),
+            ),
+            ("all_match".to_string(), JsonValue::Bool(report.all_match())),
+            ("backends".to_string(), JsonValue::Array(backend_rows)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SEED;
+
+    #[test]
+    fn serving_record_round_trips_and_validates() {
+        let study = crate::serving_study(40, SEED);
+        let record = serving_bench_record(&study);
+        assert_eq!(record.file_name(), "BENCH_serving.json");
+        let text = record.to_json().render_pretty();
+        validate_bench_json(&text).expect("emitted record validates");
+        let doc = JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(BENCH_SCHEMA)
+        );
+        assert_eq!(doc.get("requests").and_then(JsonValue::as_f64), Some(40.0));
+        // 40 served requests → the histogram saw them all, so the
+        // percentiles are real numbers.
+        assert!(doc
+            .get("latency_us")
+            .and_then(|l| l.get("p50"))
+            .and_then(JsonValue::as_f64)
+            .is_some());
+    }
+
+    #[test]
+    fn qos_and_conformance_records_validate() {
+        let qos = qos_bench_record(&crate::qos_study(80, SEED));
+        validate_bench_json(&qos.to_json().render()).expect("qos record validates");
+        assert!(qos.rejects > 0, "the QoS study must exercise the quota");
+        let conf = conformance_bench_record(&crate::conformance_study(8, SEED));
+        let text = conf.to_json().render_pretty();
+        validate_bench_json(&text).expect("conformance record validates");
+        let doc = JsonValue::parse(&text).unwrap();
+        assert_eq!(doc.get("all_match"), Some(&JsonValue::Bool(true)));
+        assert!(
+            doc.get("backends")
+                .and_then(JsonValue::as_array)
+                .is_some_and(|b| b.len() >= 3),
+            "expected scalar/tape/schedule/pipeline backend rows"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_missing_and_mistyped_keys() {
+        assert!(validate_bench_json("not json").is_err());
+        assert!(validate_bench_json("{}").unwrap_err().contains("schema"));
+        let wrong_schema = r#"{"schema": "problp-bench/v0"}"#;
+        assert!(validate_bench_json(wrong_schema)
+            .unwrap_err()
+            .contains("v0"));
+        let no_latency = r#"{"schema": "problp-bench/v1", "scenario": "x",
+            "requests": 1, "throughput_rps": 2.0, "rejects": 0}"#;
+        assert!(validate_bench_json(no_latency)
+            .unwrap_err()
+            .contains("latency_us"));
+        let bad_percentile = r#"{"schema": "problp-bench/v1", "scenario": "x",
+            "requests": 1, "throughput_rps": 2.0, "rejects": 0,
+            "latency_us": {"p50": "fast", "p90": 1, "p99": 2, "max": 3}}"#;
+        assert!(validate_bench_json(bad_percentile)
+            .unwrap_err()
+            .contains("p50"));
+    }
+}

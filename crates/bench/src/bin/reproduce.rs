@@ -7,19 +7,26 @@
 //! ```
 //!
 //! Subcommands: `table1`, `fig5a`, `fig5b`, `table2`, `ablations`,
-//! `accuracy`, `missing`, `throughput`, `serving`, `conformance`, `all`.
+//! `accuracy`, `missing`, `throughput`, `serving`, `conformance`, `all`,
+//! plus `check-bench FILE...` (validate emitted `BENCH_*.json` files).
 //! Options: `--instances N` (test instances per benchmark, default 300;
 //! the paper uses 1000 for Alarm), `--write-experiments` (rewrite
-//! `EXPERIMENTS.md` from the measured results).
+//! `EXPERIMENTS.md` from the measured results). The `serving` and
+//! `conformance` sections also write machine-readable
+//! `BENCH_serving.json` / `BENCH_qos.json` / `BENCH_conformance.json`
+//! perf records into the working directory.
 
 use problp_bench::{
-    alarm_fixture, figure5a, figure5b, render_sweep, render_table2, table1, table2, SEED,
+    alarm_fixture, conformance_bench_record, figure5a, figure5b, qos_bench_record,
+    render_conformance_report, render_qos_report, render_serving_report, render_sweep,
+    render_table2, serving_bench_record, table1, table2, validate_bench_json, BenchRecord, SEED,
 };
 
 struct Options {
     command: String,
     instances: usize,
     write_experiments: bool,
+    check_files: Vec<String>,
 }
 
 fn parse_args() -> Options {
@@ -28,6 +35,7 @@ fn parse_args() -> Options {
         command: "all".to_string(),
         instances: 300,
         write_experiments: false,
+        check_files: Vec::new(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,6 +46,13 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| die("--instances needs a number"));
             }
             "--write-experiments" => opts.write_experiments = true,
+            "check-bench" => {
+                opts.command = arg;
+                opts.check_files = args.by_ref().collect();
+                if opts.check_files.is_empty() {
+                    die("check-bench needs at least one BENCH_*.json path");
+                }
+            }
             "table1" | "fig5a" | "fig5b" | "table2" | "ablations" | "accuracy" | "missing"
             | "throughput" | "serving" | "conformance" | "all" => opts.command = arg,
             other => die(&format!("unknown argument {other}")),
@@ -49,7 +64,29 @@ fn parse_args() -> Options {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|throughput|serving|conformance|all] [--instances N] [--write-experiments]");
+    eprintln!("       reproduce check-bench FILE...");
     std::process::exit(2);
+}
+
+/// Validates `BENCH_*.json` files against the `problp-bench/v1` schema;
+/// exits non-zero on the first invalid file.
+fn check_bench(paths: &[String]) {
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+        match validate_bench_json(&text) {
+            Ok(()) => println!("{path}: ok"),
+            Err(e) => die(&format!("{path}: {e}")),
+        }
+    }
+}
+
+/// Writes one `BENCH_<scenario>.json` into the working directory.
+fn emit_bench(record: &BenchRecord) {
+    match record.write_to(std::path::Path::new(".")) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", record.file_name()),
+    }
 }
 
 /// The sweep grid of Figure 5 (the paper sweeps 8..=40).
@@ -57,6 +94,10 @@ const SWEEP_BITS: [u32; 9] = [8, 12, 16, 20, 24, 28, 32, 36, 40];
 
 fn main() {
     let opts = parse_args();
+    if opts.command == "check-bench" {
+        check_bench(&opts.check_files);
+        return;
+    }
     let mut sections: Vec<String> = Vec::new();
 
     if matches!(opts.command.as_str(), "table1" | "all") {
@@ -149,24 +190,30 @@ fn main() {
     }
 
     if matches!(opts.command.as_str(), "serving" | "all") {
-        let t = problp_bench::serving_report(512, SEED);
+        let study = problp_bench::serving_study(512, SEED);
+        let t = render_serving_report(&study);
         println!("{t}");
         sections.push(format!(
             "## Sharded multi-circuit serving — mixed-tenant workload\n\n```text\n{t}```\n"
         ));
-        let t = problp_bench::qos_report(256, SEED);
+        emit_bench(&serving_bench_record(&study));
+        let study = problp_bench::qos_study(256, SEED);
+        let t = render_qos_report(&study);
         println!("{t}");
         sections.push(format!(
             "## QoS serving policy — hot-tenant quota + priority lanes + adaptive wait\n\n```text\n{t}```\n"
         ));
+        emit_bench(&qos_bench_record(&study));
     }
 
     if matches!(opts.command.as_str(), "conformance" | "all") {
-        let t = problp_bench::conformance_report(256, SEED);
+        let study = problp_bench::conformance_study(256, SEED);
+        let t = render_conformance_report(&study);
         println!("{t}");
         sections.push(format!(
             "## Differential conformance — engine vs hardware backends\n\n```text\n{t}```\n"
         ));
+        emit_bench(&conformance_bench_record(&study));
     }
 
     if matches!(opts.command.as_str(), "ablations" | "all") {

@@ -16,6 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_json;
+
+pub use bench_json::{
+    conformance_bench_record, qos_bench_record, serving_bench_record, validate_bench_json,
+    BenchRecord, BENCH_SCHEMA,
+};
+
 use problp_ac::{compile, transform::binarize, AcGraph};
 use problp_bounds::{
     fixed_query_bound, float_query_bound, AcAnalysis, BoundsError, LeafErrorModel, QueryType,
@@ -1022,6 +1029,10 @@ pub struct ServingStudy {
     pub scalar_secs: f64,
     /// Wall time of the pooled serving pass, seconds.
     pub served_secs: f64,
+    /// Per-request sojourn latencies (submit → dispatcher completion)
+    /// of the pooled pass, as a fixed-bucket histogram — the source of
+    /// the `BENCH_serving.json` percentiles.
+    pub sojourn: problp_telemetry::HistogramSnapshot,
 }
 
 impl ServingStudy {
@@ -1079,12 +1090,20 @@ fn pick_query(
 /// The p-th percentile (nearest rank) of an ascending-sorted sample of
 /// microsecond latencies. Shared by the serving studies and the
 /// `serve-sim` CLI report.
-pub fn percentile_us(sorted_us: &[u128], p: f64) -> u128 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
-    sorted_us[idx.min(sorted_us.len() - 1)]
+///
+/// Edge behavior is explicit rather than silent: an empty sample has no
+/// percentile (`None`, not a fake `0`), `p` is clamped to `[0, 100]`
+/// (so `p = 100` — and anything above — is exactly the last element,
+/// never out of bounds), and a non-finite `p` reads as `0`.
+pub fn percentile_us(sorted_us: &[u128], p: f64) -> Option<u128> {
+    let last = sorted_us.len().checked_sub(1)?;
+    let p = if p.is_finite() {
+        p.clamp(0.0, 100.0)
+    } else {
+        0.0
+    };
+    let idx = ((p / 100.0) * last as f64).round() as usize;
+    Some(sorted_us[idx.min(last)])
 }
 
 /// Runs the mixed-workload serving study: Alarm + Asia + Sprinkler
@@ -1160,10 +1179,29 @@ pub fn serving_study(requests: usize, seed: u64) -> ServingStudy {
         },
     );
     let requests_only: Vec<ServeRequest> = trace.iter().map(|(_, r)| r.clone()).collect();
+    let sojourn = problp_telemetry::Histogram::new(problp_telemetry::default_latency_buckets_us());
     let served_start = Instant::now();
-    // Deadline-bounded drain: a wedged dispatcher fails the study
-    // (typed `ServeError::Timeout` slots) instead of hanging it.
-    let served = server.serve_all_deadline(&requests_only, Duration::from_secs(30));
+    // Submit the whole trace, then drain with one shared deadline
+    // budget: a wedged dispatcher fails the study (typed
+    // `ServeError::Timeout` slots) instead of hanging it, and each
+    // ticket's completion timestamp feeds the sojourn histogram.
+    let submitted: Vec<(Instant, _)> = requests_only
+        .iter()
+        .map(|r| (Instant::now(), server.submit(r.clone())))
+        .collect();
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    let served: Vec<_> = submitted
+        .into_iter()
+        .map(|(enqueued, ticket)| match ticket {
+            Ok(t) => {
+                let (reply, completed) =
+                    t.wait_deadline_timed(drain_deadline.saturating_duration_since(Instant::now()));
+                sojourn.observe_duration(completed.saturating_duration_since(enqueued));
+                reply
+            }
+            Err(e) => Err(e),
+        })
+        .collect();
     let served_secs = served_start.elapsed().as_secs_f64();
     // Payload comparison: sticky flags are batch-scope by design.
     let identical = requests_only
@@ -1187,12 +1225,18 @@ pub fn serving_study(requests: usize, seed: u64) -> ServingStudy {
         identical,
         scalar_secs,
         served_secs,
+        sojourn: sojourn.snapshot(),
     }
 }
 
-/// Renders the serving study as a text table.
+/// Runs [`serving_study`] and renders it as a text table.
 pub fn serving_report(requests: usize, seed: u64) -> String {
-    let study = serving_study(requests, seed);
+    render_serving_report(&serving_study(requests, seed))
+}
+
+/// Renders an already-run serving study as a text table (so callers can
+/// reuse the same study for `BENCH_serving.json`).
+pub fn render_serving_report(study: &ServingStudy) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Sharded multi-circuit serving: {} mixed requests (marginal/MPE/conditional) over {} models\n",
@@ -1222,6 +1266,19 @@ pub fn serving_report(requests: usize, seed: u64) -> String {
         study.served_secs * 1e3,
         study.speedup()
     ));
+    let fmt_q = |p: f64| {
+        study
+            .sojourn
+            .quantile(p)
+            .map_or_else(|| "-".to_string(), |us| us.to_string())
+    };
+    out.push_str(&format!(
+        "sojourn latency (us): p50 {} | p90 {} | p99 {} | max {}\n",
+        fmt_q(50.0),
+        fmt_q(90.0),
+        fmt_q(99.0),
+        study.sojourn.max
+    ));
     out
 }
 
@@ -1234,10 +1291,12 @@ pub struct QosClassRow {
     pub requests: usize,
     /// Of those, requests admitted past the tenant quota.
     pub admitted: usize,
-    /// Median sojourn latency of the admitted requests, microseconds.
-    pub p50_us: u128,
-    /// Tail sojourn latency of the admitted requests, microseconds.
-    pub p99_us: u128,
+    /// Median sojourn latency of the admitted requests, microseconds
+    /// (`None` when the class admitted nothing).
+    pub p50_us: Option<u128>,
+    /// Tail sojourn latency of the admitted requests, microseconds
+    /// (`None` when the class admitted nothing).
+    pub p99_us: Option<u128>,
 }
 
 /// The result of [`qos_study`]: a hot-tenant + mixed-priority trace
@@ -1261,6 +1320,9 @@ pub struct QosStudy {
     pub identical: usize,
     /// Per-priority-class latency rows.
     pub classes: Vec<QosClassRow>,
+    /// All admitted requests' sojourn latencies as one fixed-bucket
+    /// histogram — the source of the `BENCH_qos.json` percentiles.
+    pub sojourn: problp_telemetry::HistogramSnapshot,
 }
 
 /// Runs the QoS serving study: Alarm as a *hot tenant* flooding the
@@ -1337,6 +1399,7 @@ pub fn qos_study(requests: usize, seed: u64) -> QosStudy {
         .map(|req| (Instant::now(), server.submit(req.clone())))
         .collect();
     let mut outcomes = Vec::with_capacity(submitted.len());
+    let sojourn = problp_telemetry::Histogram::new(problp_telemetry::default_latency_buckets_us());
     // One shared drain budget: a wedged dispatcher fails the study in
     // ~30s total, not 30s per ticket.
     let drain_deadline = Instant::now() + Duration::from_secs(30);
@@ -1345,7 +1408,9 @@ pub fn qos_study(requests: usize, seed: u64) -> QosStudy {
             Ok(t) => {
                 let (reply, completed) =
                     t.wait_deadline_timed(drain_deadline.saturating_duration_since(Instant::now()));
-                let sojourn_us = completed.saturating_duration_since(enqueued).as_micros();
+                let waited = completed.saturating_duration_since(enqueued);
+                sojourn.observe_duration(waited);
+                let sojourn_us = waited.as_micros();
                 outcomes.push(Some((reply, sojourn_us)));
             }
             Err(ServeError::QuotaExceeded { model, .. }) => {
@@ -1398,12 +1463,18 @@ pub fn qos_study(requests: usize, seed: u64) -> QosStudy {
         hot_tenant_rejected,
         identical,
         classes,
+        sojourn: sojourn.snapshot(),
     }
 }
 
-/// Renders the QoS study as a text table.
+/// Runs [`qos_study`] and renders it as a text table.
 pub fn qos_report(requests: usize, seed: u64) -> String {
-    let study = qos_study(requests, seed);
+    render_qos_report(&qos_study(requests, seed))
+}
+
+/// Renders an already-run QoS study as a text table (so callers can
+/// reuse the same study for `BENCH_qos.json`).
+pub fn render_qos_report(study: &QosStudy) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "QoS serving policy: {} requests — hot Interactive tenant (alarm) vs Batch background \
@@ -1419,10 +1490,15 @@ pub fn qos_report(requests: usize, seed: u64) -> String {
         "p99 (us)",
         "-".repeat(60)
     ));
+    let fmt_us = |p: Option<u128>| p.map_or_else(|| "-".to_string(), |us| us.to_string());
     for c in &study.classes {
         out.push_str(&format!(
             "{:>12} | {:>8} | {:>8} | {:>9} | {:>9}\n",
-            c.class, c.requests, c.admitted, c.p50_us, c.p99_us
+            c.class,
+            c.requests,
+            c.admitted,
+            fmt_us(c.p50_us),
+            fmt_us(c.p99_us)
         ));
     }
     out.push_str(&format!(
@@ -1469,7 +1545,12 @@ pub fn conformance_study(batch: usize, seed: u64) -> problp_conformance::Conform
 /// Renders [`conformance_study`] with its verdict (the `reproduce
 /// conformance` section).
 pub fn conformance_report(batch: usize, seed: u64) -> String {
-    let report = conformance_study(batch, seed);
+    render_conformance_report(&conformance_study(batch, seed))
+}
+
+/// Renders an already-run conformance study (so callers can reuse the
+/// same study for `BENCH_conformance.json`).
+pub fn render_conformance_report(report: &problp_conformance::ConformanceReport) -> String {
     format!("Differential conformance — tape engine vs cycle-accurate hardware\n\n{report}")
 }
 

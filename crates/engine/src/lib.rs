@@ -79,6 +79,6 @@ pub use error::EngineError;
 pub use query::{ConditionalBatchResult, ConditionalLaneStatus, MpeBatchResult, QueryBatchResult};
 pub use serve::{
     lane_answer_eq, CircuitPool, LaneResult, Priority, ServeConfig, ServeError, ServeRequest,
-    ServeResponse, Server, Ticket,
+    ServeResponse, Server, ServerStats, Ticket,
 };
 pub use tape::{Instr, Tape, TapeMode, TapeStats};

@@ -126,6 +126,10 @@ use std::time::{Duration, Instant};
 use problp_ac::{AcGraph, Semiring};
 use problp_bayes::{BatchQuery, Evidence, EvidenceBatch};
 use problp_num::{Arith, Flags};
+use problp_telemetry::{
+    default_latency_buckets_us, default_size_buckets, metric_names, Counter, Gauge, HealthFn,
+    HealthStatus, Histogram, MetricsRegistry,
+};
 
 use crate::engine::Engine;
 use crate::error::{panic_message, EngineError};
@@ -727,19 +731,261 @@ impl<V> QueueState<V> {
     }
 }
 
+/// The query kinds as stable metric-label names (`query` label of the
+/// sojourn and evaluate histograms).
+fn query_kind_name(query: BatchQuery) -> &'static str {
+    match query {
+        BatchQuery::Marginal => "marginal",
+        BatchQuery::Mpe => "mpe",
+        BatchQuery::Conditional { .. } => "conditional",
+    }
+}
+
+/// Index of a query kind into the precreated per-kind handle arrays.
+fn query_kind_idx(query: BatchQuery) -> usize {
+    match query {
+        BatchQuery::Marginal => 0,
+        BatchQuery::Mpe => 1,
+        BatchQuery::Conditional { .. } => 2,
+    }
+}
+
+/// The priority classes as stable metric-label names.
+fn priority_name(priority: Priority) -> &'static str {
+    match priority {
+        Priority::Interactive => "interactive",
+        Priority::Batch => "batch",
+    }
+}
+
+const QUERY_KINDS: [BatchQuery; 3] = [
+    BatchQuery::Marginal,
+    BatchQuery::Mpe,
+    BatchQuery::Conditional {
+        // The query_var is irrelevant here: these are label templates,
+        // and all conditional queries share one label.
+        query_var: problp_bayes::VarId::from_index(0),
+    },
+];
+const PRIORITIES: [Priority; 2] = [Priority::Interactive, Priority::Batch];
+
+/// Every metric handle the serving hot paths touch, precreated at
+/// server start so submit/dispatch never pay the registry's
+/// registration lock — each update is a bare atomic op. The catalog
+/// (names, labels, semantics) is documented in
+/// [`problp_telemetry::metric_names`].
+struct ServeMetrics {
+    registry: Arc<MetricsRegistry>,
+    requests: Counter,
+    admitted: Counter,
+    rejected_unknown_model: Counter,
+    rejected_bad_shape: Counter,
+    rejected_quota: Counter,
+    rejected_shutdown: Counter,
+    queue_depth: Gauge,
+    group_lanes: Histogram,
+    effective_wait_us: Histogram,
+    aging_promotions: Counter,
+    dispatches: Counter,
+    /// `[query kind][priority]` sojourn histograms.
+    sojourn_us: [[Histogram; 2]; 3],
+    /// Per-query-kind engine evaluate wall time.
+    evaluate_us: [Histogram; 3],
+    tape_instrs: Counter,
+    /// overflow, underflow, inexact, invalid.
+    flag_raises: [Counter; 4],
+    live_workers: Gauge,
+    /// Per-model occupancy gauges, created on a tenant's first lane
+    /// (only when quotas are on — mirrors the quota books).
+    tenant_lanes: Mutex<HashMap<String, Gauge>>,
+}
+
+impl ServeMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let sojourn_us = QUERY_KINDS.map(|q| {
+            PRIORITIES.map(|p| {
+                registry.histogram_with(
+                    metric_names::SERVE_SOJOURN_US,
+                    &[
+                        ("query", query_kind_name(q)),
+                        ("priority", priority_name(p)),
+                    ],
+                    "enqueue-to-completion sojourn per lane, microseconds",
+                    default_latency_buckets_us(),
+                )
+            })
+        });
+        let evaluate_us = QUERY_KINDS.map(|q| {
+            registry.histogram_with(
+                metric_names::ENGINE_EVALUATE_US,
+                &[("query", query_kind_name(q))],
+                "engine evaluate wall time per dispatched group, microseconds",
+                default_latency_buckets_us(),
+            )
+        });
+        let flag_raises = ["overflow", "underflow", "inexact", "invalid"].map(|flag| {
+            registry.counter_with(
+                metric_names::ENGINE_FLAG_RAISES_TOTAL,
+                &[("flag", flag)],
+                "dispatched groups whose evaluation raised the sticky flag",
+            )
+        });
+        ServeMetrics {
+            requests: registry.counter(
+                metric_names::SERVE_REQUESTS_TOTAL,
+                "lanes submitted, admitted or not",
+            ),
+            admitted: registry.counter(
+                metric_names::SERVE_ADMITTED_TOTAL,
+                "lanes that passed admission and were queued",
+            ),
+            rejected_unknown_model: registry.counter_with(
+                metric_names::SERVE_REJECTED_TOTAL,
+                &[("kind", "unknown_model")],
+                "typed admission rejects by ServeError kind",
+            ),
+            rejected_bad_shape: registry.counter_with(
+                metric_names::SERVE_REJECTED_TOTAL,
+                &[("kind", "bad_shape")],
+                "typed admission rejects by ServeError kind",
+            ),
+            rejected_quota: registry.counter_with(
+                metric_names::SERVE_REJECTED_TOTAL,
+                &[("kind", "quota")],
+                "typed admission rejects by ServeError kind",
+            ),
+            rejected_shutdown: registry.counter_with(
+                metric_names::SERVE_REJECTED_TOTAL,
+                &[("kind", "shutdown")],
+                "typed admission rejects by ServeError kind",
+            ),
+            queue_depth: registry.gauge(
+                metric_names::SERVE_QUEUE_DEPTH,
+                "coalescing groups currently waiting for dispatch",
+            ),
+            group_lanes: registry.histogram(
+                metric_names::SERVE_GROUP_LANES,
+                "lanes per dispatched group",
+                default_size_buckets(),
+            ),
+            effective_wait_us: registry.histogram(
+                metric_names::SERVE_EFFECTIVE_WAIT_US,
+                "adaptive coalescing wait applied per dispatched group, microseconds",
+                default_latency_buckets_us(),
+            ),
+            aging_promotions: registry.counter(
+                metric_names::SERVE_AGING_PROMOTIONS_TOTAL,
+                "batch groups dispatched at the interactive rank via priority aging",
+            ),
+            dispatches: registry.counter(
+                metric_names::SERVE_DISPATCHES_TOTAL,
+                "dispatched groups (one engine evaluate each)",
+            ),
+            sojourn_us,
+            evaluate_us,
+            tape_instrs: registry.counter(
+                metric_names::ENGINE_TAPE_INSTRS_TOTAL,
+                "tape instructions executed (instructions x lanes per group)",
+            ),
+            flag_raises,
+            live_workers: registry.gauge(
+                "problp_serve_live_workers",
+                "dispatcher worker threads currently running",
+            ),
+            tenant_lanes: Mutex::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    /// The per-model occupancy gauge, created on first use.
+    fn tenant_gauge(&self, model: &str) -> Gauge {
+        let mut map = self
+            .tenant_lanes
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match map.get(model) {
+            Some(g) => g.clone(),
+            None => {
+                let g = self.registry.gauge_with(
+                    metric_names::SERVE_TENANT_LANES,
+                    &[("model", model)],
+                    "lanes queued + in flight per tenant (quota occupancy)",
+                );
+                map.insert(model.to_string(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// Folds a dispatched group's batch-scope sticky flags into the
+    /// per-flag raise counters.
+    fn note_flags(&self, flags: Flags) {
+        for (raised, counter) in [
+            flags.overflow,
+            flags.underflow,
+            flags.inexact,
+            flags.invalid,
+        ]
+        .into_iter()
+        .zip(&self.flag_raises)
+        {
+            if raised {
+                counter.inc();
+            }
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`Server`]'s own counters
+/// ([`Server::stats`]): what tests and the `/healthz`/`/statz` sidecar
+/// read instead of parsing `serve-sim` stdout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServerStats {
+    /// Lanes submitted, admitted or not.
+    pub requests: u64,
+    /// Lanes that passed admission and were queued.
+    pub admitted: u64,
+    /// Rejects with [`ServeError::UnknownModel`].
+    pub rejected_unknown_model: u64,
+    /// Rejects with a shape mismatch ([`EngineError::BatchLengthMismatch`]).
+    pub rejected_bad_shape: u64,
+    /// Rejects with [`ServeError::QuotaExceeded`].
+    pub rejected_quota: u64,
+    /// Rejects with [`ServeError::ShutDown`].
+    pub rejected_shutdown: u64,
+    /// Dispatched groups (one engine evaluate each).
+    pub dispatches: u64,
+    /// Coalescing groups waiting right now.
+    pub queue_depth: i64,
+    /// The deepest the queue has ever been.
+    pub queue_depth_high_water: i64,
+    /// Lanes queued + in flight per model, sorted by model id (the
+    /// quota denominator; empty when quotas are off — no books are kept
+    /// then).
+    pub tenant_lanes: Vec<(String, usize)>,
+    /// Dispatcher worker threads currently alive.
+    pub live_workers: i64,
+    /// The hosted model ids, sorted.
+    pub models: Vec<String>,
+}
+
 /// State shared between the submitting side and the dispatcher shards.
 struct Shared<A: Arith> {
     pool: CircuitPool<A>,
     config: ServeConfig,
     queue: Mutex<QueueState<A::Value>>,
     ready: Condvar,
+    metrics: ServeMetrics,
 }
 
 /// One coalesced unit of dispatcher work: the batch to sweep and the
-/// per-lane reply channels.
+/// per-lane reply channels. `priority` rides along only to label the
+/// sojourn histograms — scheduling already happened.
 struct Job<V> {
     model: String,
     query: BatchQuery,
+    priority: Priority,
     batch: EvidenceBatch,
     waiters: Vec<Waiter<V>>,
 }
@@ -809,8 +1055,23 @@ where
     A: Arith + Clone + Send + Sync + 'static,
     A::Value: Clone + Send + Sync + 'static,
 {
-    /// Starts `config.workers` dispatcher shards over `pool`.
+    /// Starts `config.workers` dispatcher shards over `pool`, recording
+    /// metrics into a private registry (read it back via
+    /// [`Server::metrics`] / [`Server::stats`]).
     pub fn start(pool: CircuitPool<A>, config: ServeConfig) -> Self {
+        Self::start_instrumented(pool, config, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Like [`Server::start`], but records into a caller-supplied
+    /// [`MetricsRegistry`] — the hook for sharing one registry between
+    /// the server, a [`problp_telemetry::Tracer`] and a
+    /// [`problp_telemetry::Sidecar`]. (A separate constructor because
+    /// [`ServeConfig`] is `Copy` and cannot carry an `Arc`.)
+    pub fn start_instrumented(
+        pool: CircuitPool<A>,
+        config: ServeConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             pool,
             config,
@@ -821,6 +1082,7 @@ where
                 shutdown: false,
             }),
             ready: Condvar::new(),
+            metrics: ServeMetrics::new(registry),
         });
         let workers = (0..config.workers.max(1))
             .map(|_| {
@@ -829,6 +1091,64 @@ where
             })
             .collect();
         Server { shared, workers }
+    }
+
+    /// The registry this server records into: render it, serve it from
+    /// a sidecar, or attach more instruments to it.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics.registry)
+    }
+
+    /// A point-in-time snapshot of the server's own counters — the
+    /// programmatic alternative to scraping `/metrics`.
+    pub fn stats(&self) -> ServerStats {
+        let m = &self.shared.metrics;
+        let mut tenant_lanes: Vec<(String, usize)> = {
+            let q = lock_queue(&self.shared.queue);
+            q.tenant_lanes
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        };
+        tenant_lanes.sort();
+        ServerStats {
+            requests: m.requests.get(),
+            admitted: m.admitted.get(),
+            rejected_unknown_model: m.rejected_unknown_model.get(),
+            rejected_bad_shape: m.rejected_bad_shape.get(),
+            rejected_quota: m.rejected_quota.get(),
+            rejected_shutdown: m.rejected_shutdown.get(),
+            dispatches: m.dispatches.get(),
+            queue_depth: m.queue_depth.get(),
+            queue_depth_high_water: m.queue_depth.high_water(),
+            tenant_lanes,
+            live_workers: m.live_workers.get(),
+            models: self.shared.pool.models(),
+        }
+    }
+
+    /// A `/healthz` callback for a [`problp_telemetry::Sidecar`]:
+    /// healthy while at least one dispatcher worker is alive and the
+    /// server is not shut down, with the hosted models, live worker
+    /// count and queue depth as detail lines. The closure holds its own
+    /// `Arc` on the server internals, so it outlives this handle.
+    pub fn health_fn(&self) -> HealthFn {
+        let shared = Arc::clone(&self.shared);
+        Box::new(move || {
+            let shut = lock_queue(&shared.queue).shutdown;
+            let workers = shared.metrics.live_workers.get();
+            HealthStatus {
+                healthy: workers > 0 && !shut,
+                detail: vec![
+                    ("models".to_string(), shared.pool.models().join(",")),
+                    ("workers_alive".to_string(), workers.to_string()),
+                    (
+                        "queue_depth".to_string(),
+                        shared.metrics.queue_depth.get().to_string(),
+                    ),
+                ],
+            }
+        })
     }
 
     /// The hosted pool (for direct [`CircuitPool::serve_one`] replays
@@ -848,12 +1168,23 @@ where
     /// [`ServeError::ShutDown`] after shutdown. Per-request serving
     /// failures arrive through the [`Ticket`] instead.
     pub fn submit(&self, req: ServeRequest) -> Result<Ticket<A::Value>, ServeError> {
-        self.shared.pool.admit(&req)?;
+        let metrics = &self.shared.metrics;
+        metrics.requests.inc();
+        if let Err(e) = self.shared.pool.admit(&req) {
+            match &e {
+                ServeError::UnknownModel { .. } => metrics.rejected_unknown_model.inc(),
+                // The only other admission failure is the evidence
+                // shape mismatch.
+                _ => metrics.rejected_bad_shape.inc(),
+            }
+            return Err(e);
+        }
         let config = &self.shared.config;
         let (tx, rx) = mpsc::channel();
         {
             let mut q = lock_queue(&self.shared.queue);
             if q.shutdown {
+                metrics.rejected_shutdown.inc();
                 return Err(ServeError::ShutDown);
             }
             // The quota and EWMA books are only kept when their policy
@@ -865,14 +1196,19 @@ where
                 // first lane — this runs under the admission lock.
                 match q.tenant_lanes.get_mut(&req.model) {
                     Some(n) if *n >= config.tenant_quota => {
+                        metrics.rejected_quota.inc();
                         return Err(ServeError::QuotaExceeded {
                             model: req.model,
                             quota: config.tenant_quota,
                         });
                     }
-                    Some(n) => *n += 1,
+                    Some(n) => {
+                        *n += 1;
+                        metrics.tenant_gauge(&req.model).set(*n as i64);
+                    }
                     None => {
                         q.tenant_lanes.insert(req.model.clone(), 1);
+                        metrics.tenant_gauge(&req.model).set(1);
                     }
                 }
             }
@@ -899,6 +1235,8 @@ where
                     });
                 }
             }
+            metrics.admitted.inc();
+            metrics.queue_depth.set(q.groups.len() as i64);
         }
         self.shared.ready.notify_one();
         Ok(Ticket { rx })
@@ -1021,7 +1359,12 @@ fn dispatch_rank<V>(g: &Group<V>, now: Instant, config: &ServeConfig) -> Priorit
 /// (Interactive before Batch, aged groups promoted), ties broken by the
 /// oldest head-of-line request — so a continuously-full tenant cannot
 /// starve a timed-out group behind it.
-fn take_job<V>(q: &mut QueueState<V>, config: &ServeConfig, flush: bool) -> Option<Job<V>> {
+fn take_job<V>(
+    q: &mut QueueState<V>,
+    config: &ServeConfig,
+    flush: bool,
+    metrics: &ServeMetrics,
+) -> Option<Job<V>> {
     let max_batch = config.max_batch.max(1);
     let now = Instant::now();
     let idx = q
@@ -1036,28 +1379,46 @@ fn take_job<V>(q: &mut QueueState<V>, config: &ServeConfig, flush: bool) -> Opti
         })
         .min_by_key(|(_, g)| (dispatch_rank(g, now, config), g.waiters[0].enqueued))
         .map(|(i, _)| i)?;
+    {
+        // Coalescing observations for the picked group, before it is
+        // consumed: how long it was allowed to wait, and whether aging
+        // promoted it past its nominal class.
+        let g = &q.groups[idx];
+        metrics
+            .effective_wait_us
+            .observe_duration(effective_wait(q, config, g));
+        if g.priority == Priority::Batch && dispatch_rank(g, now, config) == Priority::Interactive {
+            metrics.aging_promotions.inc();
+        }
+    }
     let group = &mut q.groups[idx];
-    if group.waiters.len() <= max_batch {
+    let job = if group.waiters.len() <= max_batch {
         let group = q.groups.remove(idx);
-        return Some(Job {
+        Job {
             model: group.model,
             query: group.query,
+            priority: group.priority,
             batch: group.batch,
             waiters: group.waiters,
-        });
-    }
-    // Over-full group: one two-way cut — the head `max_batch` lanes
-    // leave as the job's batch, only the tail lanes are moved, and the
-    // queue mutex is held for a single O(tail) pass.
-    let waiters: Vec<Waiter<V>> = group.waiters.drain(..max_batch).collect();
-    let tail = group.batch.split_off(max_batch);
-    let head = std::mem::replace(&mut group.batch, tail);
-    Some(Job {
-        model: group.model.clone(),
-        query: group.query,
-        batch: head,
-        waiters,
-    })
+        }
+    } else {
+        // Over-full group: one two-way cut — the head `max_batch` lanes
+        // leave as the job's batch, only the tail lanes are moved, and
+        // the queue mutex is held for a single O(tail) pass.
+        let waiters: Vec<Waiter<V>> = group.waiters.drain(..max_batch).collect();
+        let tail = group.batch.split_off(max_batch);
+        let head = std::mem::replace(&mut group.batch, tail);
+        Job {
+            model: group.model.clone(),
+            query: group.query,
+            priority: group.priority,
+            batch: head,
+            waiters,
+        }
+    };
+    metrics.group_lanes.observe(job.waiters.len() as u64);
+    metrics.queue_depth.set(q.groups.len() as i64);
+    Some(job)
 }
 
 /// The next instant at which some group's oldest request hits its
@@ -1081,12 +1442,24 @@ where
     A: Arith + Clone + Send + Sync,
     A::Value: Clone + Send + Sync,
 {
+    // Liveness bookkeeping is a drop guard so a panicking evaluation
+    // that somehow unwinds past the dispatch catch still decrements the
+    // live-worker gauge (and `/healthz` turns red when all shards die).
+    struct WorkerAlive(Gauge);
+    impl Drop for WorkerAlive {
+        fn drop(&mut self) {
+            self.0.add(-1);
+        }
+    }
+    let metrics = &shared.metrics;
+    metrics.live_workers.add(1);
+    let _alive = WorkerAlive(metrics.live_workers.clone());
     loop {
         let job = {
             let mut q = lock_queue(&shared.queue);
             loop {
                 let flush = q.shutdown;
-                if let Some(job) = take_job(&mut q, &shared.config, flush) {
+                if let Some(job) = take_job(&mut q, &shared.config, flush, metrics) {
                     // More work may be ripe; make sure an idle shard
                     // looks, since our notify was consumed by this pop.
                     if !q.groups.is_empty() {
@@ -1136,6 +1509,7 @@ fn release_tenant_lanes<A: Arith>(shared: &Shared<A>, model: &str, lanes: usize)
     let mut q = lock_queue(&shared.queue);
     if let Some(n) = q.tenant_lanes.get_mut(model) {
         *n = n.saturating_sub(lanes);
+        shared.metrics.tenant_gauge(model).set(*n as i64);
         if *n == 0 {
             q.tenant_lanes.remove(model);
         }
@@ -1153,6 +1527,7 @@ where
     A: Arith + Clone + Send + Sync,
     A::Value: Clone + Send + Sync,
 {
+    let metrics = &shared.metrics;
     let Ok(tenant) = shared.pool.tenant(&job.model) else {
         // Admission checked the model; reaching this means the pool
         // changed shape, which it cannot — but fail the requests rather
@@ -1169,13 +1544,38 @@ where
         }
         return;
     };
+    metrics.dispatches.inc();
+    // The whole batch sweeps the query's tape once: every lane executes
+    // every instruction.
+    let tape_len = match job.query {
+        BatchQuery::Mpe => tenant.mpe.tape().instrs().len(),
+        _ => tenant.sum.tape().instrs().len(),
+    };
+    metrics
+        .tape_instrs
+        .add(tape_len as u64 * job.batch.lanes() as u64);
+    let started = Instant::now();
     let results = std::panic::catch_unwind(AssertUnwindSafe(|| {
         shared.pool.evaluate_group(tenant, job.query, &job.batch)
     }));
     let completed = Instant::now();
+    metrics.evaluate_us[query_kind_idx(job.query)]
+        .observe_duration(completed.saturating_duration_since(started));
     release_tenant_lanes(shared, &job.model, job.waiters.len());
     match results {
         Ok(per_lane) => {
+            // The flags are batch-scope (identical across the group's
+            // Ok lanes); fold the first one into the raise counters.
+            if let Some(flags) = per_lane.iter().find_map(|r| match r {
+                Ok(ServeResponse::Marginal { flags, .. })
+                | Ok(ServeResponse::Mpe { flags, .. })
+                | Ok(ServeResponse::Conditional { flags, .. }) => Some(*flags),
+                Err(_) => None,
+            }) {
+                metrics.note_flags(flags);
+            }
+            let sojourn = &metrics.sojourn_us[query_kind_idx(job.query)]
+                [(job.priority == Priority::Batch) as usize];
             // Every waiter gets an answer: lane i belongs to waiter i,
             // and any waiter beyond the produced lanes gets a typed
             // internal error rather than a silent ticket hang.
@@ -1183,6 +1583,7 @@ where
             let got = per_lane.len();
             let mut lanes = per_lane.into_iter();
             for w in &job.waiters {
+                sojourn.observe_duration(completed.saturating_duration_since(w.enqueued));
                 let r = lanes
                     .next()
                     .unwrap_or(Err(ServeError::LaneCountMismatch { expected, got }));
@@ -1607,6 +2008,7 @@ mod tests {
                 shutdown: false,
             }),
             ready: Condvar::new(),
+            metrics: ServeMetrics::new(Arc::new(MetricsRegistry::new())),
         });
         // A 1-lane batch owing 2 waiters: evaluate_group will produce
         // one result for two tickets.
@@ -1620,6 +2022,7 @@ mod tests {
             Job {
                 model: "sprinkler".to_string(),
                 query: BatchQuery::Marginal,
+                priority: Priority::Interactive,
                 batch,
                 waiters: vec![
                     Waiter {
@@ -1686,7 +2089,8 @@ mod tests {
             arrivals: Vec::new(),
             shutdown: false,
         };
-        let job = take_job(&mut q, &config, false).expect("both groups ripe");
+        let metrics = ServeMetrics::new(Arc::new(MetricsRegistry::new()));
+        let job = take_job(&mut q, &config, false, &metrics).expect("both groups ripe");
         assert_eq!(job.model, "live-tenant");
         // ...but once its head exceeds the aging bound, the Batch group
         // is promoted and its older head wins.
@@ -1703,8 +2107,12 @@ mod tests {
             arrivals: Vec::new(),
             shutdown: false,
         };
-        let job = take_job(&mut q, &aged, false).expect("both groups ripe");
+        let job = take_job(&mut q, &aged, false, &metrics).expect("both groups ripe");
         assert_eq!(job.model, "batch-tenant");
+        // The coalescing observations moved with the two pops: two
+        // 1-lane groups and one aging promotion (the second pop).
+        assert_eq!(metrics.group_lanes.snapshot().count, 2);
+        assert_eq!(metrics.aging_promotions.get(), 1);
     }
 
     #[test]

@@ -97,6 +97,11 @@ pub struct PipelineSim<'n, A: Arith> {
     /// Hardware-level sticky flags (multiplier underflow-to-zero), kept
     /// separate from the arithmetic context's own rounding flags.
     hw_flags: Flags,
+    /// How many multiplier underflow-to-zero events occurred — the
+    /// sticky `hw_flags.underflow` bit says *whether* a lane vanished,
+    /// this counts *how often* (the telemetry layer exports it as an
+    /// event counter).
+    underflow_events: u64,
 }
 
 impl<'n, A: Arith> PipelineSim<'n, A> {
@@ -139,6 +144,7 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
             constants,
             cycle: 0,
             hw_flags: Flags::new(),
+            underflow_events: 0,
         }
     }
 
@@ -161,6 +167,14 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
         let mut f = self.ctx.flags();
         f.merge(self.hw_flags);
         f
+    }
+
+    /// How many multiplier underflow-to-zero events the simulation has
+    /// raised so far — the event count behind the sticky
+    /// `underflow` bit of [`PipelineSim::flags`], so telemetry can
+    /// export a rate rather than a single latched bit.
+    pub fn underflow_events(&self) -> u64 {
+        self.underflow_events
     }
 
     /// The current value of a leaf for this cycle's input vector (`None`
@@ -252,6 +266,7 @@ impl<'n, A: Arith> PipelineSim<'n, A> {
                                 && self.ctx.to_f64(&y) != 0.0
                             {
                                 self.hw_flags.underflow = true;
+                                self.underflow_events += 1;
                             }
                             v
                         }

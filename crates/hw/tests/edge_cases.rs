@@ -102,6 +102,12 @@ fn fixed_underflow_to_zero_raises_flags_in_the_pipeline() {
         sim.flags().underflow,
         "non-zero × non-zero -> zero must raise underflow"
     );
+    // And the event counter counts occurrences, not just the sticky
+    // bit: two runs through the one underflowing multiplier → two
+    // events (the telemetry layer exports this as a rate).
+    assert_eq!(sim.underflow_events(), 1);
+    let _ = sim.run(&Evidence::empty(1)).unwrap();
+    assert_eq!(sim.underflow_events(), 2);
 }
 
 #[test]

@@ -1,0 +1,261 @@
+//! A minimal HTTP/1.1 sidecar on `std::net::TcpListener` exposing the
+//! registry: `GET /metrics` (Prometheus text), `GET /healthz`
+//! (liveness + detail lines, 200/503) and `GET /statz` (JSON snapshot).
+//!
+//! One accept thread handles connections serially — scrape traffic is
+//! a request every few seconds, not a load-bearing path — with read and
+//! write timeouts so a stuck client cannot wedge the exporter. The
+//! listener is non-blocking and polls a shutdown flag so
+//! [`Sidecar::shutdown`] returns promptly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::json::JsonValue;
+use crate::registry::MetricsRegistry;
+
+/// What `/healthz` reports. Produced by the health callback on every
+/// request, so liveness reflects the serving stack *now*, not at
+/// startup.
+#[derive(Clone, Debug)]
+pub struct HealthStatus {
+    /// Overall liveness; `false` renders a 503.
+    pub healthy: bool,
+    /// Free-form key/value detail lines (worker counts, pool models).
+    pub detail: Vec<(String, String)>,
+}
+
+impl HealthStatus {
+    /// A healthy status with no detail.
+    pub fn ok() -> Self {
+        HealthStatus {
+            healthy: true,
+            detail: Vec::new(),
+        }
+    }
+}
+
+/// The health callback type: invoked per `/healthz` / `/statz` request.
+pub type HealthFn = Box<dyn Fn() -> HealthStatus + Send + Sync>;
+
+/// A running metrics sidecar; shuts down when dropped.
+pub struct Sidecar {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl Sidecar {
+    /// Binds `addr` (use port 0 for an OS-assigned port, then
+    /// [`Sidecar::local_addr`]) and starts serving `registry` and
+    /// `health` on a background thread.
+    pub fn start(
+        addr: &str,
+        registry: Arc<MetricsRegistry>,
+        health: HealthFn,
+    ) -> std::io::Result<Sidecar> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("problp-metrics-sidecar".to_string())
+            .spawn(move || serve_loop(listener, registry, health, stop_flag))?;
+        Ok(Sidecar {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Sidecar {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_loop(
+    listener: TcpListener,
+    registry: Arc<MetricsRegistry>,
+    health: HealthFn,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serial handling is fine for scrape traffic; timeouts
+                // below bound how long one client can hold the loop.
+                let _ = handle_connection(stream, &registry, &health);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &MetricsRegistry,
+    health: &HealthFn,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; we only route on the request line.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = stream;
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+    }
+    match path {
+        "/metrics" => {
+            let body = registry.render_prometheus();
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => {
+            let status = health();
+            let mut body = String::new();
+            body.push_str(if status.healthy {
+                "ok\n"
+            } else {
+                "unhealthy\n"
+            });
+            for (k, v) in &status.detail {
+                body.push_str(&format!("{k}: {v}\n"));
+            }
+            let (code, reason) = if status.healthy {
+                (200, "OK")
+            } else {
+                (503, "Service Unavailable")
+            };
+            respond(
+                &mut stream,
+                code,
+                reason,
+                "text/plain; charset=utf-8",
+                &body,
+            )
+        }
+        "/statz" => {
+            let status = health();
+            let doc = JsonValue::Object(vec![
+                ("healthy".to_string(), JsonValue::Bool(status.healthy)),
+                (
+                    "detail".to_string(),
+                    JsonValue::Object(
+                        status
+                            .detail
+                            .iter()
+                            .map(|(k, v)| (k.clone(), JsonValue::from(v.as_str())))
+                            .collect(),
+                    ),
+                ),
+                ("metrics".to_string(), registry.render_json()),
+            ]);
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                "application/json; charset=utf-8",
+                &doc.render(),
+            )
+        }
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "unknown path; try /metrics, /healthz or /statz\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A tiny scrape client for tests and the serve-sim self-check: issues
+/// `GET path` against `addr` and returns `(status_code, body)`.
+pub fn http_get(addr: &std::net::SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    // Skip headers.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    use std::io::Read;
+    reader.read_to_string(&mut body)?;
+    Ok((code, body))
+}

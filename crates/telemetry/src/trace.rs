@@ -1,0 +1,136 @@
+//! Lightweight span tracing: scoped timers that feed per-stage elapsed
+//! histograms in a [`MetricsRegistry`], plus a bounded ring buffer of
+//! recent slow spans for post-hoc "what was slow" questions without a
+//! full tracing dependency.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::registry::{default_latency_buckets_us, Histogram, MetricsRegistry};
+
+/// How many slow spans [`Tracer`] retains; older entries are evicted
+/// first.
+pub const SLOW_RING_CAPACITY: usize = 64;
+
+/// A retained record of a span that exceeded the tracer's slow
+/// threshold.
+#[derive(Clone, Debug)]
+pub struct SlowTrace {
+    /// The pipeline stage the span measured.
+    pub stage: String,
+    /// How long the span ran.
+    pub elapsed: Duration,
+    /// When the span ended.
+    pub ended_at: Instant,
+}
+
+struct TracerInner {
+    registry: Arc<MetricsRegistry>,
+    slow_threshold: Duration,
+    slow: Mutex<VecDeque<SlowTrace>>,
+}
+
+/// Hands out [`Span`]s and aggregates their elapsed times into
+/// `problp_stage_elapsed_us{stage=...}` histograms. Spans longer than
+/// the slow threshold are additionally kept in a small ring buffer
+/// ([`Tracer::recent_slow`]).
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    /// Creates a tracer recording into `registry`, retaining spans
+    /// slower than `slow_threshold`.
+    pub fn new(registry: Arc<MetricsRegistry>, slow_threshold: Duration) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                registry,
+                slow_threshold,
+                slow: Mutex::new(VecDeque::with_capacity(SLOW_RING_CAPACITY)),
+            }),
+        }
+    }
+
+    /// Starts timing `stage`; the elapsed time is recorded when the
+    /// returned [`Span`] drops.
+    pub fn span(&self, stage: &str) -> Span {
+        Span::enter(self, stage)
+    }
+
+    /// The retained slow spans, oldest first.
+    pub fn recent_slow(&self) -> Vec<SlowTrace> {
+        let ring = self
+            .inner
+            .slow
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        ring.iter().cloned().collect()
+    }
+
+    fn histogram_for(&self, stage: &str) -> Histogram {
+        self.inner.registry.histogram_with(
+            "problp_stage_elapsed_us",
+            &[("stage", stage)],
+            "Elapsed wall time per traced pipeline stage, microseconds",
+            default_latency_buckets_us(),
+        )
+    }
+
+    fn record(&self, stage: &str, elapsed: Duration, hist: &Histogram) {
+        hist.observe_duration(elapsed);
+        if elapsed >= self.inner.slow_threshold {
+            let mut ring = self
+                .inner
+                .slow
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if ring.len() == SLOW_RING_CAPACITY {
+                ring.pop_front();
+            }
+            ring.push_back(SlowTrace {
+                stage: stage.to_string(),
+                elapsed,
+                ended_at: Instant::now(),
+            });
+        }
+    }
+}
+
+/// A scoped timer for one pipeline stage. Records its elapsed time into
+/// the owning [`Tracer`] on drop, so early returns and panics are still
+/// measured.
+pub struct Span {
+    tracer: Tracer,
+    stage: String,
+    hist: Histogram,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts timing `stage` on `tracer`.
+    pub fn enter(tracer: &Tracer, stage: &str) -> Span {
+        // Resolve the histogram up front so Drop's hot path is a pure
+        // atomic observe (registration locks once per stage name).
+        let hist = tracer.histogram_for(stage);
+        Span {
+            tracer: tracer.clone(),
+            stage: stage.to_string(),
+            hist,
+            started: Instant::now(),
+        }
+    }
+
+    /// The elapsed time so far, without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        self.tracer.record(&self.stage, elapsed, &self.hist);
+    }
+}

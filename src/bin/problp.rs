@@ -12,7 +12,8 @@
 //! problp serve-sim  --models sprinkler,asia [--requests 512] [--max-batch 32]
 //!                   [--max-wait-us 500] [--workers 4] [--seed 7]
 //!                   [--tenant-quota 0] [--batch-share 0] [--aging-us 20000]
-//!                   [--adaptive-wait]
+//!                   [--adaptive-wait] [--metrics-addr 127.0.0.1:0]
+//!                   [--linger-ms 0] [--bench-json FILE]
 //! problp conformance [--models alarm,asia] [--random 2] [--batch 256]
 //!                   [--seed 7] [--repr f64,fixed:2.14,float:8.13]
 //!                   [--inject-fault scalar|tape|tape-full|schedule|pipeline]
@@ -40,6 +41,17 @@
 //! `--models` takes built-in network names
 //! (`figure1|sprinkler|asia|student|earthquake|cancer|alarm`) or `.bn`
 //! paths, comma-separated.
+//!
+//! With `--metrics-addr HOST:PORT` (port 0 picks a free port),
+//! `serve-sim` also starts the `problp::telemetry` observability
+//! sidecar on that address — `/metrics` (Prometheus text),
+//! `/healthz`, `/statz` (JSON) — backed by the server's live metric
+//! registry, scrapes it once itself mid-trace as a self-check, and
+//! prints the bound address so external scrapers can follow.
+//! `--linger-ms N` keeps the sidecar (and the server) up for N extra
+//! milliseconds after the trace completes, and `--bench-json FILE`
+//! writes the run's machine-readable `problp-bench/v1` perf record
+//! (validated by `reproduce check-bench`).
 //!
 //! `conformance` runs the differential cross-check of
 //! `problp::conformance`: the same seeded evidence batch is evaluated on
@@ -79,7 +91,8 @@ fn usage() -> ExitCode {
   problp serve-sim  --models NAME|FILE[,NAME|FILE...] [--requests N]
                     [--max-batch N] [--max-wait-us N] [--workers N] [--seed N]
                     [--tenant-quota N] [--batch-share PCT] [--aging-us N]
-                    [--adaptive-wait]
+                    [--adaptive-wait] [--metrics-addr HOST:PORT]
+                    [--linger-ms N] [--bench-json FILE]
   problp conformance [--models NAME|FILE[,...]] [--random N] [--batch N]
                     [--seed N] [--repr LIST] [--inject-fault BACKEND]
                     (LIST entries: f64 | fixed:I.F | float:E.M;
@@ -140,6 +153,9 @@ fn main() -> ExitCode {
     let mut batch_share = 0u64;
     let mut aging_us = 20_000u64;
     let mut adaptive_wait = false;
+    let mut metrics_addr: Option<String> = None;
+    let mut linger_ms = 0u64;
+    let mut bench_json: Option<PathBuf> = None;
     let mut random: Option<usize> = None;
     let mut repr: Option<String> = None;
     let mut inject_fault: Option<String> = None;
@@ -205,6 +221,24 @@ fn main() -> ExitCode {
                 aging_us = n;
             }
             "--adaptive-wait" => adaptive_wait = true,
+            "--metrics-addr" => {
+                let Some(a) = it.next() else {
+                    return usage();
+                };
+                metrics_addr = Some(a.clone());
+            }
+            "--linger-ms" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                linger_ms = n;
+            }
+            "--bench-json" => {
+                let Some(p) = it.next() else {
+                    return usage();
+                };
+                bench_json = Some(PathBuf::from(p));
+            }
             "--random" => {
                 let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
                     return usage();
@@ -289,6 +323,9 @@ fn main() -> ExitCode {
             batch_share,
             aging_us,
             adaptive_wait,
+            metrics_addr,
+            linger_ms,
+            bench_json,
         };
         return match serve_sim(&sim) {
             Ok(()) => ExitCode::SUCCESS,
@@ -595,6 +632,12 @@ struct ServeSimArgs {
     aging_us: u64,
     /// Shrink the coalescing wait of hot streams (EWMA-driven).
     adaptive_wait: bool,
+    /// Bind the `/metrics` + `/healthz` sidecar here (port 0 = any).
+    metrics_addr: Option<String>,
+    /// Keep the sidecar and server alive this long after the trace.
+    linger_ms: u64,
+    /// Write the run's `problp-bench/v1` perf record here.
+    bench_json: Option<PathBuf>,
 }
 
 /// A tiny deterministic xorshift64* stream — the trace mixer (the CLI
@@ -664,6 +707,12 @@ fn load_model(spec: &str, seed: u64) -> Result<(String, BayesNet), String> {
 
 use problp::bench::percentile_us as percentile;
 
+/// Renders an `Option<u128>` microseconds percentile for the latency
+/// lines (`-` when the lane is empty).
+fn fmt_us(p: Option<u128>) -> String {
+    p.map_or_else(|| "-".to_string(), |us| us.to_string())
+}
+
 /// The scalar (per-request, tree-walk) answer a served response must
 /// reproduce bit for bit, plus its prediction for conditionals.
 enum ScalarReply {
@@ -685,6 +734,8 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
     use problp::engine::{
         CircuitPool, Priority, ServeConfig, ServeError, ServeRequest, ServeResponse, Server,
     };
+    use problp::telemetry::{http_get, metric_names, MetricsRegistry, Sidecar};
+    use std::sync::Arc;
     use std::time::{Duration, Instant};
 
     let mut tenants: Vec<(String, BayesNet, AcGraph)> = Vec::new();
@@ -812,7 +863,8 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
     for (name, _, ac) in &tenants {
         pool.register(name, ac)?;
     }
-    let server = Server::start(
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = Server::start_instrumented(
         pool,
         ServeConfig {
             max_batch: args.max_batch.max(1),
@@ -822,13 +874,38 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
             priority_aging: Duration::from_micros(args.aging_us),
             adaptive_wait: args.adaptive_wait,
         },
+        Arc::clone(&registry),
     );
+    // The observability sidecar scrapes the same registry the server
+    // writes to; port 0 picks a free port, printed for external
+    // scrapers (and the CI smoke test).
+    let sidecar = match &args.metrics_addr {
+        Some(addr) => {
+            let s = Sidecar::start(addr, Arc::clone(&registry), server.health_fn())
+                .map_err(|e| format!("cannot bind metrics sidecar on {addr}: {e}"))?;
+            println!("  metrics sidecar: http://{}/metrics", s.local_addr());
+            Some(s)
+        }
+        None => None,
+    };
     let served_start = Instant::now();
     let submitted: Vec<_> = trace
         .iter()
         .map(|(_, req)| (Instant::now(), server.submit(req.clone())))
         .collect();
+    // Self-check while the trace is in flight: the sidecar must report
+    // healthy (workers alive, not shut down) mid-run.
+    if let Some(s) = &sidecar {
+        let (status, body) = http_get(&s.local_addr(), "/healthz")
+            .map_err(|e| format!("mid-trace /healthz scrape failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("mid-trace /healthz returned {status}: {}", body.trim()).into());
+        }
+        println!("  mid-trace /healthz: {status} ok");
+    }
     let mut quota_rejects = 0usize;
+    let sojourn =
+        problp::telemetry::Histogram::new(problp::telemetry::default_latency_buckets_us());
     let mut latencies_us: Vec<(Priority, u128)> = Vec::with_capacity(submitted.len());
     // One slot per trace entry: `None` marks a quota-rejected request
     // (a policy outcome, excluded from the bit-identity denominator).
@@ -846,10 +923,9 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
             Ok(t) => {
                 let (reply, completed) =
                     t.wait_deadline_timed(drain_deadline.saturating_duration_since(Instant::now()));
-                latencies_us.push((
-                    req.priority,
-                    completed.saturating_duration_since(enqueued).as_micros(),
-                ));
+                let waited = completed.saturating_duration_since(enqueued);
+                sojourn.observe_duration(waited);
+                latencies_us.push((req.priority, waited.as_micros()));
                 served.push(Some(reply));
             }
             Err(ServeError::QuotaExceeded { .. }) => {
@@ -928,7 +1004,25 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    server.shutdown();
+    // The server's own counters must agree with the CLI's bookkeeping:
+    // the stats snapshot is the authoritative record (the sidecar and
+    // tests read the same atomics), the local counts are the check.
+    let stats = server.stats();
+    if stats.requests != trace.len() as u64 {
+        return Err(format!(
+            "server counted {} requests, the trace submitted {}",
+            stats.requests,
+            trace.len()
+        )
+        .into());
+    }
+    if stats.rejected_quota != quota_rejects as u64 {
+        return Err(format!(
+            "server counted {} quota rejects, admission returned {quota_rejects}",
+            stats.rejected_quota
+        )
+        .into());
+    }
 
     let admitted = trace.len() - quota_rejects;
     println!(
@@ -943,15 +1037,19 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
             args.tenant_quota
         );
     }
+    println!(
+        "  server stats: {} admitted, {} dispatches, queue-depth high water {}, {} workers live",
+        stats.admitted, stats.dispatches, stats.queue_depth_high_water, stats.live_workers
+    );
     // Overall sojourn percentiles, then per priority class when the
     // trace actually mixes classes.
     let mut all: Vec<u128> = latencies_us.iter().map(|(_, us)| *us).collect();
     all.sort_unstable();
     println!(
         "  latency (sojourn): p50 {}us  p90 {}us  p99 {}us  max {}us",
-        percentile(&all, 50.0),
-        percentile(&all, 90.0),
-        percentile(&all, 99.0),
+        fmt_us(percentile(&all, 50.0)),
+        fmt_us(percentile(&all, 90.0)),
+        fmt_us(percentile(&all, 99.0)),
         all.last().copied().unwrap_or(0)
     );
     for class in [Priority::Interactive, Priority::Batch] {
@@ -966,9 +1064,9 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         lane.sort_unstable();
         println!(
             "  latency ({class}): p50 {}us  p90 {}us  p99 {}us  max {}us  ({} requests)",
-            percentile(&lane, 50.0),
-            percentile(&lane, 90.0),
-            percentile(&lane, 99.0),
+            fmt_us(percentile(&lane, 50.0)),
+            fmt_us(percentile(&lane, 90.0)),
+            fmt_us(percentile(&lane, 99.0)),
             lane.last().copied().unwrap_or(0),
             lane.len()
         );
@@ -1008,6 +1106,78 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
     if quota_rejects > 0 && args.tenant_quota == 0 {
         return Err("quota rejects without a configured quota".into());
     }
+
+    // Final self-scrape: the Prometheus rendering must carry the series
+    // the run produced — the request counter at the trace size, the
+    // queue-depth gauge and the typed reject counters.
+    if let Some(s) = &sidecar {
+        let (status, body) = http_get(&s.local_addr(), "/metrics")
+            .map_err(|e| format!("/metrics scrape failed: {e}"))?;
+        if status != 200 {
+            return Err(format!("/metrics returned {status}").into());
+        }
+        let want_counter = format!("{} {}", metric_names::SERVE_REQUESTS_TOTAL, trace.len());
+        for needle in [
+            want_counter.as_str(),
+            metric_names::SERVE_QUEUE_DEPTH,
+            metric_names::SERVE_REJECTED_TOTAL,
+            metric_names::SERVE_SOJOURN_US,
+        ] {
+            if !body.contains(needle) {
+                return Err(format!("/metrics scrape is missing {needle:?}").into());
+            }
+        }
+        println!(
+            "  /metrics self-check: {} bytes, all expected series present",
+            body.len()
+        );
+    }
+
+    // The machine-readable perf record (`reproduce check-bench` format).
+    if let Some(path) = &args.bench_json {
+        let record = problp::bench::BenchRecord {
+            scenario: "serve_sim".to_string(),
+            requests: trace.len() as u64,
+            throughput_rps: admitted as f64 / served_total.as_secs_f64(),
+            latency: Some(sojourn.snapshot()),
+            rejects: quota_rejects as u64,
+            extra: vec![
+                (
+                    "models".to_string(),
+                    problp::telemetry::JsonValue::from(tenants.len()),
+                ),
+                (
+                    "workers".to_string(),
+                    problp::telemetry::JsonValue::from(args.workers.max(1)),
+                ),
+                (
+                    "identical".to_string(),
+                    problp::telemetry::JsonValue::from(admitted - mismatches),
+                ),
+                (
+                    "scalar_secs".to_string(),
+                    problp::telemetry::JsonValue::from(scalar_total.as_secs_f64()),
+                ),
+                (
+                    "served_secs".to_string(),
+                    problp::telemetry::JsonValue::from(served_total.as_secs_f64()),
+                ),
+            ],
+        };
+        let text = record.to_json().render_pretty();
+        problp::bench::validate_bench_json(&text)
+            .map_err(|e| format!("emitted bench record is invalid: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("  wrote {}", path.display());
+    }
+
+    // Keep the sidecar (and the healthy server behind it) up for
+    // external scrapers before tearing down.
+    if args.linger_ms > 0 {
+        std::thread::sleep(Duration::from_millis(args.linger_ms));
+    }
+    server.shutdown();
+    drop(sidecar);
     Ok(())
 }
 

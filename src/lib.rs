@@ -26,6 +26,7 @@
 //! | [`data`] | `problp-data` | synthetic benchmarks, Alarm test sets |
 //! | [`core`] | `problp-core` | the Fig. 2 pipeline and measurements |
 //! | [`bench`](mod@bench) | `problp-bench` | tables/figures harness, accuracy studies |
+//! | [`telemetry`] | `problp-telemetry` | metrics registry, span tracing, `/metrics` sidecar |
 //!
 //! # Quickstart
 //!
@@ -124,6 +125,7 @@ pub use problp_energy as energy;
 pub use problp_engine as engine;
 pub use problp_hw as hw;
 pub use problp_num as num;
+pub use problp_telemetry as telemetry;
 
 /// The most common imports for working with ProbLP.
 pub mod prelude {
@@ -135,8 +137,8 @@ pub mod prelude {
     pub use problp_conformance::{run_conformance, ConformanceConfig, ConformanceReport};
     pub use problp_core::{measure_errors, Problp, Report};
     pub use problp_engine::{
-        CircuitPool, Engine, Priority, ServeConfig, ServeRequest, ServeResponse, Server, Tape,
-        TapeMode,
+        CircuitPool, Engine, Priority, ServeConfig, ServeRequest, ServeResponse, Server,
+        ServerStats, Tape, TapeMode,
     };
     pub use problp_hw::{emit_testbench, emit_verilog, Netlist, PipelineSim};
     pub use problp_num::{
