@@ -288,6 +288,57 @@ pub fn conformance_bench_record(report: &problp_conformance::ConformanceReport) 
     }
 }
 
+/// [`BenchRecord`] for the evaluator-kernel study (`BENCH_kernels.json`):
+/// lanes per sweep as `requests`, the fused f64 rate as the headline
+/// throughput, per-arithmetic rates and speedups plus the fusion
+/// statistics as extras.
+pub fn kernels_bench_record(study: &crate::KernelStudy) -> BenchRecord {
+    let rows = study
+        .rows
+        .iter()
+        .map(|r| {
+            JsonValue::Object(vec![
+                ("arith".to_string(), JsonValue::from(r.arith)),
+                ("scalar_eps".to_string(), JsonValue::from(r.scalar_eps)),
+                ("simd_eps".to_string(), JsonValue::from(r.simd_eps)),
+                ("fused_eps".to_string(), JsonValue::from(r.fused_eps)),
+                (
+                    "simd_speedup".to_string(),
+                    JsonValue::from(r.simd_speedup()),
+                ),
+                (
+                    "fused_speedup".to_string(),
+                    JsonValue::from(r.fused_speedup()),
+                ),
+            ])
+        })
+        .collect();
+    let headline = study.rows.first();
+    BenchRecord {
+        scenario: "kernels".to_string(),
+        requests: study.batch as u64,
+        throughput_rps: headline.map_or(0.0, |r| r.fused_eps),
+        latency: None,
+        rejects: 0,
+        extra: vec![
+            ("batch".to_string(), JsonValue::from(study.batch)),
+            ("threads".to_string(), JsonValue::from(1u64)),
+            ("identical".to_string(), JsonValue::Bool(study.identical)),
+            ("rows".to_string(), JsonValue::Array(rows)),
+            (
+                "source_instrs".to_string(),
+                JsonValue::from(study.fuse.source_instrs),
+            ),
+            (
+                "fused_instrs".to_string(),
+                JsonValue::from(study.fuse.fused_instrs),
+            ),
+            ("mul_accs".to_string(), JsonValue::from(study.fuse.mul_accs)),
+            ("reduces".to_string(), JsonValue::from(study.fuse.reduces)),
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +382,28 @@ mod tests {
                 .is_some_and(|b| b.len() >= 3),
             "expected scalar/tape/schedule/pipeline backend rows"
         );
+    }
+
+    #[test]
+    fn kernels_record_validates_and_carries_fusion_stats() {
+        let study = crate::kernel_study(64);
+        let record = kernels_bench_record(&study);
+        assert_eq!(record.file_name(), "BENCH_kernels.json");
+        let text = record.to_json().render_pretty();
+        validate_bench_json(&text).expect("kernels record validates");
+        let doc = JsonValue::parse(&text).unwrap();
+        assert_eq!(doc.get("identical"), Some(&JsonValue::Bool(true)));
+        assert!(
+            doc.get("mul_accs")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0)
+                > 0.0,
+            "the Alarm tape must fuse MulAccs"
+        );
+        assert!(doc
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .is_some_and(|r| r.len() == 2));
     }
 
     #[test]

@@ -7,19 +7,21 @@
 //! ```
 //!
 //! Subcommands: `table1`, `fig5a`, `fig5b`, `table2`, `ablations`,
-//! `accuracy`, `missing`, `throughput`, `serving`, `conformance`, `all`,
-//! plus `check-bench FILE...` (validate emitted `BENCH_*.json` files).
-//! Options: `--instances N` (test instances per benchmark, default 300;
-//! the paper uses 1000 for Alarm), `--write-experiments` (rewrite
-//! `EXPERIMENTS.md` from the measured results). The `serving` and
-//! `conformance` sections also write machine-readable
-//! `BENCH_serving.json` / `BENCH_qos.json` / `BENCH_conformance.json`
-//! perf records into the working directory.
+//! `accuracy`, `missing`, `throughput`, `kernels`, `serving`,
+//! `conformance`, `all`, plus `check-bench FILE...` (validate emitted
+//! `BENCH_*.json` files). Options: `--instances N` (test instances per
+//! benchmark, default 300; the paper uses 1000 for Alarm),
+//! `--write-experiments` (rewrite `EXPERIMENTS.md` from the measured
+//! results). The `kernels`, `serving` and `conformance` sections also
+//! write machine-readable `BENCH_kernels.json` / `BENCH_serving.json` /
+//! `BENCH_qos.json` / `BENCH_conformance.json` perf records into the
+//! working directory.
 
 use problp_bench::{
-    alarm_fixture, conformance_bench_record, figure5a, figure5b, qos_bench_record,
-    render_conformance_report, render_qos_report, render_serving_report, render_sweep,
-    render_table2, serving_bench_record, table1, table2, validate_bench_json, BenchRecord, SEED,
+    alarm_fixture, conformance_bench_record, figure5a, figure5b, kernels_bench_record,
+    qos_bench_record, render_conformance_report, render_kernel_study, render_qos_report,
+    render_serving_report, render_sweep, render_table2, serving_bench_record, table1, table2,
+    validate_bench_json, BenchRecord, SEED,
 };
 
 struct Options {
@@ -54,7 +56,7 @@ fn parse_args() -> Options {
                 }
             }
             "table1" | "fig5a" | "fig5b" | "table2" | "ablations" | "accuracy" | "missing"
-            | "throughput" | "serving" | "conformance" | "all" => opts.command = arg,
+            | "throughput" | "kernels" | "serving" | "conformance" | "all" => opts.command = arg,
             other => die(&format!("unknown argument {other}")),
         }
     }
@@ -63,7 +65,7 @@ fn parse_args() -> Options {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|throughput|serving|conformance|all] [--instances N] [--write-experiments]");
+    eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|throughput|kernels|serving|conformance|all] [--instances N] [--write-experiments]");
     eprintln!("       reproduce check-bench FILE...");
     std::process::exit(2);
 }
@@ -187,6 +189,16 @@ fn main() {
         sections.push(format!(
             "## Engine throughput — batched vs scalar evaluation\n\n```text\n{t}```\n"
         ));
+    }
+
+    if matches!(opts.command.as_str(), "kernels" | "all") {
+        let study = problp_bench::kernel_study(1024);
+        let t = render_kernel_study(&study);
+        println!("{t}");
+        sections.push(format!(
+            "## Evaluator kernels — scalar vs SIMD vs fused tape\n\n```text\n{t}```\n"
+        ));
+        emit_bench(&kernels_bench_record(&study));
     }
 
     if matches!(opts.command.as_str(), "serving" | "all") {

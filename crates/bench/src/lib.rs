@@ -19,8 +19,8 @@
 pub mod bench_json;
 
 pub use bench_json::{
-    conformance_bench_record, qos_bench_record, serving_bench_record, validate_bench_json,
-    BenchRecord, BENCH_SCHEMA,
+    conformance_bench_record, kernels_bench_record, qos_bench_record, serving_bench_record,
+    validate_bench_json, BenchRecord, BENCH_SCHEMA,
 };
 
 use problp_ac::{compile, transform::binarize, AcGraph};
@@ -554,8 +554,8 @@ pub struct AccuracyStudy {
 pub fn accuracy_study(bench: &Benchmark, frac_bits: &[u32], mant_bits: &[u32]) -> AccuracyStudy {
     use problp_ac::Semiring;
     use problp_bayes::EvidenceBatch;
-    use problp_engine::{Engine, Tape};
-    use problp_num::{Arith, F64Arith, FixedArith, FloatArith};
+    use problp_engine::{Engine, KernelSet, Tape};
+    use problp_num::{F64Arith, FixedArith, FloatArith};
 
     let ds = bench
         .test_dataset
@@ -592,7 +592,7 @@ pub fn accuracy_study(bench: &Benchmark, frac_bits: &[u32], mant_bits: &[u32]) -
         ctx: A,
     ) -> (Vec<usize>, bool)
     where
-        A: Arith + Clone + Send + Sync,
+        A: KernelSet + Clone + Send + Sync,
         A::Value: Clone + Send + Sync,
     {
         let engine = Engine::new(tape.clone(), ctx);
@@ -897,6 +897,178 @@ pub fn throughput_report(threads: usize) -> String {
             p.speedup()
         ));
     }
+    out
+}
+
+/// One arithmetic's row of the evaluator-kernel study ([`kernel_study`]):
+/// the same batched sweep, single-threaded, under each [`problp_engine::KernelKind`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct KernelStudyRow {
+    /// Arithmetic label (`f64` or `fixed:I.F`).
+    pub arith: &'static str,
+    /// Scalar-kernel batched engine evaluations per second.
+    pub scalar_eps: f64,
+    /// SIMD lane-chunked kernel evaluations per second.
+    pub simd_eps: f64,
+    /// Fused superinstruction (SIMD-backed) evaluations per second.
+    pub fused_eps: f64,
+}
+
+impl KernelStudyRow {
+    /// Speedup of the SIMD kernels over the scalar tape walk.
+    pub fn simd_speedup(&self) -> f64 {
+        self.simd_eps / self.scalar_eps
+    }
+
+    /// Speedup of the fused stream over the scalar tape walk.
+    pub fn fused_speedup(&self) -> f64 {
+        self.fused_eps / self.scalar_eps
+    }
+}
+
+/// The evaluator-kernel study: single-core Alarm marginal sweeps at one
+/// batch size, scalar vs SIMD vs fused kernels per arithmetic, with the
+/// fusion statistics and an in-run bit-identity cross-check.
+#[derive(Clone, Debug)]
+pub struct KernelStudy {
+    /// Evidence lanes per sweep.
+    pub batch: usize,
+    /// One row per arithmetic.
+    pub rows: Vec<KernelStudyRow>,
+    /// `true` when every kernel's results matched the scalar walk bit
+    /// for bit during the study itself.
+    pub identical: bool,
+    /// The compact tape's fusion statistics.
+    pub fuse: problp_engine::FuseStats,
+}
+
+/// Measures the evaluator kernels on the Alarm circuit: batched
+/// marginals at `batch_size` lanes on a single engine thread, under f64
+/// and the paper's fixed-point serving format, for each
+/// [`problp_engine::KernelKind`]. Every fast-path sweep is cross-checked
+/// bit for bit against the scalar kernel while being timed.
+pub fn kernel_study(batch_size: usize) -> KernelStudy {
+    use problp_ac::Semiring;
+    use problp_bayes::{Evidence, EvidenceBatch};
+    use problp_engine::{Engine, KernelKind};
+    use problp_num::{F64Arith, FixedArith};
+
+    let net = problp_bayes::networks::alarm(SEED);
+    // The raw (non-binarized) circuit: the tape lowers k-ary nodes to
+    // contiguous accumulator chains itself, which is exactly the shape
+    // `Tape::fuse` collapses into Reduce superinstructions. Binarizing
+    // first would split those chains into separate registers and hide
+    // the fusion win the study exists to measure.
+    let ac = compile(&net).expect("alarm compiles");
+    let pool = problp_bayes::single_variable_evidences(ac.var_arities());
+    let instances: Vec<Evidence> = (0..batch_size.max(1))
+        .map(|i| pool[i % pool.len()].clone())
+        .collect();
+    let mut batch = EvidenceBatch::new(net.var_count());
+    for e in &instances {
+        batch.push(e);
+    }
+
+    // One engine per kernel, built outside the timed region (so the
+    // fusion pass is setup cost, exactly as in a serving deployment),
+    // each timed on the same batch. The result bit streams double as an
+    // in-run cross-check against the scalar kernel.
+    fn measure_row<A>(
+        arith: &'static str,
+        base: &Engine<A>,
+        batch: &problp_bayes::EvidenceBatch,
+        identical: &mut bool,
+    ) -> KernelStudyRow
+    where
+        A: problp_engine::KernelSet + Clone + Send + Sync,
+        A::Value: Clone + Send + Sync,
+    {
+        use problp_engine::KernelKind;
+        let bits = |e: &Engine<A>| -> Vec<u64> {
+            e.evaluate_batch(batch)
+                .expect("evaluates")
+                .values
+                .iter()
+                .map(|v| e.context().to_f64(v).to_bits())
+                .collect()
+        };
+        let engines: Vec<Engine<A>> = KernelKind::ALL
+            .iter()
+            .map(|&k| base.clone().with_kernel(k))
+            .collect();
+        let reference = bits(&engines[0]);
+        let mut rates = [0.0f64; 3];
+        for (i, e) in engines.iter().enumerate() {
+            *identical &= bits(e) == reference;
+            let start = std::time::Instant::now();
+            let mut sweeps = 0u64;
+            while start.elapsed().as_secs_f64() < 0.2 {
+                std::hint::black_box(e.evaluate_batch(batch).expect("evaluates"));
+                sweeps += 1;
+            }
+            rates[i] = sweeps as f64 * batch.lanes() as f64 / start.elapsed().as_secs_f64();
+        }
+        KernelStudyRow {
+            arith,
+            scalar_eps: rates[0],
+            simd_eps: rates[1],
+            fused_eps: rates[2],
+        }
+    }
+
+    let mut identical = true;
+    let f64_engine = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new())
+        .expect("alarm compiles to a tape")
+        .with_threads(1);
+    let fuse = f64_engine
+        .clone()
+        .with_kernel(KernelKind::Fused)
+        .fuse_stats()
+        .expect("fused engine exposes stats");
+    let f64_row = measure_row("f64", &f64_engine, &batch, &mut identical);
+
+    let format = FixedFormat::new(2, 14).expect("valid format");
+    let fixed_engine = Engine::from_graph(&ac, Semiring::SumProduct, FixedArith::new(format))
+        .expect("alarm compiles to a tape")
+        .with_threads(1);
+    let fixed_row = measure_row("fixed:2.14", &fixed_engine, &batch, &mut identical);
+
+    KernelStudy {
+        batch: batch_size,
+        rows: vec![f64_row, fixed_row],
+        identical,
+        fuse,
+    }
+}
+
+/// Renders the evaluator-kernel study as a text table.
+pub fn render_kernel_study(study: &KernelStudy) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Evaluator kernels on Alarm (marginal, batch {}, 1 engine thread, evals/s)\n",
+        study.batch
+    ));
+    out.push_str(&format!(
+        "{:>11} | {:>12} | {:>12} | {:>12} | {:>7} | {:>7}\n",
+        "arith", "scalar tape", "simd", "fused", "simd x", "fused x"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(78)));
+    for r in &study.rows {
+        out.push_str(&format!(
+            "{:>11} | {:>12.0} | {:>12.0} | {:>12.0} | {:>6.1}x | {:>6.1}x\n",
+            r.arith,
+            r.scalar_eps,
+            r.simd_eps,
+            r.fused_eps,
+            r.simd_speedup(),
+            r.fused_speedup()
+        ));
+    }
+    out.push_str(&format!("fusion: {}\n", study.fuse));
+    out.push_str(&format!(
+        "bit-identity cross-check: {}\n",
+        if study.identical { "ok" } else { "FAILED" }
+    ));
     out
 }
 

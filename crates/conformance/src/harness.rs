@@ -9,11 +9,9 @@ use rand::{Rng, SeedableRng};
 
 use problp_ac::{compile, transform::binarize, AcGraph, Semiring};
 use problp_bayes::{BayesNet, Evidence, EvidenceBatch, VarId};
-use problp_engine::Engine;
+use problp_engine::{Engine, KernelKind, KernelSet};
 use problp_hw::{Netlist, PipelineSim, Schedule};
-use problp_num::{
-    Arith, F64Arith, FixedArith, FixedFormat, FloatArith, FloatFormat, Representation,
-};
+use problp_num::{F64Arith, FixedArith, FixedFormat, FloatArith, FloatFormat, Representation};
 
 use crate::report::{BackendRun, CaseReport, ConformanceReport};
 use crate::spec::{ArithSpec, BackendKind, ConformanceConfig, ConformanceError};
@@ -177,7 +175,7 @@ fn run_case<A>(
     ctx: A,
 ) -> Result<CaseReport, ConformanceError>
 where
-    A: Arith + Clone + Send + Sync,
+    A: KernelSet + Clone + Send + Sync,
     A::Value: Clone + Send + Sync,
 {
     let lanes = batch.lanes();
@@ -262,6 +260,58 @@ where
         wall,
         work: full.tape().stats().instrs as u64 * lanes as u64,
     });
+
+    // Fused superinstruction streams: the compact tape gets MulAcc +
+    // Reduce, the full-values tape chain collapse only — both must
+    // reproduce the scalar reference bit for bit, flags included.
+    for (kind, base) in [
+        (BackendKind::FusedCompact, &engine),
+        (BackendKind::FusedFull, &full),
+    ] {
+        let fused_engine = base.clone().with_kernel(KernelKind::Fused);
+        let start = Instant::now();
+        let result = fused_engine.evaluate_batch(batch)?;
+        let wall = start.elapsed();
+        let mut bits: Vec<u64> = result
+            .values
+            .iter()
+            .map(|v| fused_engine.context().to_f64(v).to_bits())
+            .collect();
+        maybe_inject(&mut bits, kind, config);
+        let (mismatched, first) = diff(&reference, &bits);
+        let fused_instrs = fused_engine
+            .fused_tape()
+            .map_or(0, |f| f.instrs().len() as u64);
+        backends.push(BackendRun {
+            backend: kind,
+            mismatched_lanes: mismatched,
+            first_mismatch: first,
+            wall,
+            work: fused_instrs * lanes as u64,
+        });
+    }
+
+    // SIMD lane-chunked kernels over the unfused compact tape.
+    {
+        let simd_engine = engine.clone().with_kernel(KernelKind::Simd);
+        let start = Instant::now();
+        let result = simd_engine.evaluate_batch(batch)?;
+        let wall = start.elapsed();
+        let mut bits: Vec<u64> = result
+            .values
+            .iter()
+            .map(|v| simd_engine.context().to_f64(v).to_bits())
+            .collect();
+        maybe_inject(&mut bits, BackendKind::SimdCompact, config);
+        let (mismatched, first) = diff(&reference, &bits);
+        backends.push(BackendRun {
+            backend: BackendKind::SimdCompact,
+            mismatched_lanes: mismatched,
+            first_mismatch: first,
+            wall,
+            work: simd_engine.tape().stats().instrs as u64 * lanes as u64,
+        });
+    }
 
     // The hardware executors implement the sum/product datapath only.
     if semiring == Semiring::SumProduct {

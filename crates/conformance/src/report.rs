@@ -125,19 +125,23 @@ impl std::fmt::Display for ConformanceReport {
         )?;
         writeln!(
             f,
-            "backends: scalar reference vs tape, tape-full, schedule, pipeline \
+            "backends: scalar reference vs tape, tape-full, fused-compact, \
+             fused-full, simd-compact, schedule, pipeline \
              (hardware joins sum-product cases)"
         )?;
         writeln!(f)?;
         writeln!(
             f,
-            "{:<14} {:<12} {:<12} {:>7}  {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
+            "{:<14} {:<12} {:<12} {:>7}  {:<10} {:<10} {:<10} {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
             "model",
             "arith",
             "semiring",
             "lanes",
             "tape",
             "tape-full",
+            "fused",
+            "fused-full",
+            "simd",
             "schedule",
             "pipeline",
             "pipe cyc",
@@ -167,13 +171,16 @@ impl std::fmt::Display for ConformanceReport {
                 .map_or("-".to_string(), |b| si(b.lanes_per_sec(case.lanes)));
             writeln!(
                 f,
-                "{:<14} {:<12} {:<12} {:>7}  {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
+                "{:<14} {:<12} {:<12} {:>7}  {:<10} {:<10} {:<10} {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
                 case.model,
                 case.arith.to_string(),
                 semiring_name(case.semiring),
                 case.lanes,
                 cell(BackendKind::TapeCompact),
                 cell(BackendKind::TapeFull),
+                cell(BackendKind::FusedCompact),
+                cell(BackendKind::FusedFull),
+                cell(BackendKind::SimdCompact),
                 cell(BackendKind::Schedule),
                 cell(BackendKind::Pipeline),
                 pipe_cycles,

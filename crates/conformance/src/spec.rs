@@ -48,7 +48,7 @@ impl std::fmt::Display for ArithSpec {
     }
 }
 
-/// One of the five result streams the harness compares.
+/// One of the eight result streams the harness compares.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BackendKind {
     /// The scalar tree-walk reference, [`problp_ac::AcGraph::evaluate_nodes`].
@@ -57,6 +57,15 @@ pub enum BackendKind {
     TapeCompact,
     /// The full-values execution tape, [`problp_engine::Tape::compile_full`].
     TapeFull,
+    /// The compact tape through the fused superinstruction stream
+    /// ([`problp_engine::Tape::fuse`], `MulAcc` + `Reduce` enabled).
+    FusedCompact,
+    /// The full-values tape through the fused stream (chain collapse
+    /// only — `MulAcc` is compact-mode-only by construction).
+    FusedFull,
+    /// The compact tape through the SIMD lane-chunked kernels
+    /// ([`problp_engine::KernelKind::Simd`]).
+    SimdCompact,
     /// The sequential ALU schedule, [`problp_hw::Schedule`].
     Schedule,
     /// The cycle-accurate pipelined datapath, [`problp_hw::PipelineSim`].
@@ -65,10 +74,13 @@ pub enum BackendKind {
 
 impl BackendKind {
     /// Every backend, in report order (the reference first).
-    pub const ALL: [BackendKind; 5] = [
+    pub const ALL: [BackendKind; 8] = [
         BackendKind::Scalar,
         BackendKind::TapeCompact,
         BackendKind::TapeFull,
+        BackendKind::FusedCompact,
+        BackendKind::FusedFull,
+        BackendKind::SimdCompact,
         BackendKind::Schedule,
         BackendKind::Pipeline,
     ];
@@ -79,6 +91,9 @@ impl BackendKind {
             BackendKind::Scalar => "scalar",
             BackendKind::TapeCompact => "tape",
             BackendKind::TapeFull => "tape-full",
+            BackendKind::FusedCompact => "fused-compact",
+            BackendKind::FusedFull => "fused-full",
+            BackendKind::SimdCompact => "simd-compact",
             BackendKind::Schedule => "schedule",
             BackendKind::Pipeline => "pipeline",
         }

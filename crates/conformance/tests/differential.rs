@@ -56,6 +56,9 @@ fn fault_injection_turns_the_verdict_red() {
     for backend in [
         BackendKind::TapeCompact,
         BackendKind::TapeFull,
+        BackendKind::FusedCompact,
+        BackendKind::FusedFull,
+        BackendKind::SimdCompact,
         BackendKind::Schedule,
         BackendKind::Pipeline,
     ] {
@@ -136,8 +139,8 @@ fn single_arith_single_semiring_configs_narrow_the_matrix() {
     let report = run_conformance(&small_models(), &config).unwrap();
     assert_eq!(report.cases.len(), 2);
     assert!(report.all_match(), "{report}");
-    // Sum-product cases carry all five streams.
-    assert!(report.cases.iter().all(|c| c.backends.len() == 5));
+    // Sum-product cases carry all eight streams.
+    assert!(report.cases.iter().all(|c| c.backends.len() == 8));
 }
 
 #[test]

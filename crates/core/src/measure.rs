@@ -14,8 +14,8 @@
 use problp_ac::{AcError, AcGraph, Semiring};
 use problp_bayes::{Evidence, EvidenceBatch, VarId};
 use problp_bounds::QueryType;
-use problp_engine::{Engine, EngineError, Tape};
-use problp_num::{Arith, F64Arith, FixedArith, Flags, FloatArith, Representation};
+use problp_engine::{Engine, EngineError, KernelSet, Tape};
+use problp_num::{F64Arith, FixedArith, Flags, FloatArith, Representation};
 
 use crate::error::CoreError;
 
@@ -103,7 +103,7 @@ fn measure_batched<A>(
     batch: &EvidenceBatch,
 ) -> Result<ErrorStats, CoreError>
 where
-    A: Arith + Clone + Send + Sync,
+    A: KernelSet + Clone + Send + Sync,
     A::Value: Clone + Send + Sync,
 {
     let exact_engine = Engine::new(tape.clone(), F64Arith::new());

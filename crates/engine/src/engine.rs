@@ -31,6 +31,8 @@ use problp_bayes::{Evidence, EvidenceBatch, VarId};
 use problp_num::{Arith, Flags};
 
 use crate::error::{panic_message, EngineError};
+use crate::fuse::{BinOp, FuseStats, FusedInstr, FusedTape};
+use crate::kernels::{min_nz, KernelKind, KernelSet};
 use crate::tape::{Instr, Tape, TapeMode};
 
 /// Target byte size of one worker's SoA register file: small enough to
@@ -105,11 +107,16 @@ pub struct Engine<A: Arith> {
     pub(crate) one: A::Value,
     pub(crate) threads: usize,
     chunk: usize,
+    /// Which evaluator core batch sweeps dispatch through.
+    kernel: KernelKind,
+    /// The fused superinstruction stream, present iff `kernel` is
+    /// [`KernelKind::Fused`].
+    fused: Option<FusedTape>,
 }
 
 impl<A> Engine<A>
 where
-    A: Arith + Clone + Send + Sync,
+    A: KernelSet + Clone + Send + Sync,
     A::Value: Clone + Send + Sync,
 {
     /// Builds an engine from a compiled tape and an arithmetic context.
@@ -133,6 +140,8 @@ where
             one,
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             chunk,
+            kernel: KernelKind::Scalar,
+            fused: None,
         }
     }
 
@@ -175,6 +184,43 @@ where
     pub fn with_chunk(mut self, chunk: usize) -> Self {
         self.chunk = chunk.max(1);
         self
+    }
+
+    /// Selects the evaluator core batch sweeps run through (see
+    /// [`KernelKind`] and the [`crate::kernels`] module docs). The
+    /// default is [`KernelKind::Scalar`] — the reference path every other
+    /// kernel is proven bit-identical to. [`KernelKind::Fused`] runs the
+    /// tape through the peephole fuser ([`Tape::fuse`]) here, once.
+    ///
+    /// The scalar single-instance paths ([`Engine::evaluate_one`],
+    /// [`Engine::evaluate_nodes_one`]) and the per-lane flag capture
+    /// ([`Engine::evaluate_batch_flagged`]) always run the reference
+    /// instruction stream regardless of this setting.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self.fused = match kernel {
+            KernelKind::Fused => Some(self.tape.fuse()),
+            _ => None,
+        };
+        self
+    }
+
+    /// The evaluator core selected by [`Engine::with_kernel`].
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// The fused superinstruction stream, when the engine runs the
+    /// [`KernelKind::Fused`] core.
+    pub fn fused_tape(&self) -> Option<&FusedTape> {
+        self.fused.as_ref()
+    }
+
+    /// Statistics of the fusion pass, when the engine runs the
+    /// [`KernelKind::Fused`] core (feeds the
+    /// `problp_engine_fused_instrs_total` serving counter).
+    pub fn fuse_stats(&self) -> Option<FuseStats> {
+        self.fused.as_ref().map(|f| f.stats())
     }
 
     /// The compiled tape backing this engine.
@@ -461,72 +507,199 @@ where
         while done < out.len() {
             let n = chunk.min(out.len() - done);
             let base = start + done;
-            for instr in self.tape.instrs() {
-                match *instr {
-                    Instr::LoadIndicator { dst, slot } => {
-                        let (var, state) = self.tape.slot(slot);
-                        let col = batch.column(VarId::from_index(var as usize));
-                        let d = dst as usize * chunk;
-                        for l in 0..n {
-                            let observed = col[base + l];
-                            regs[d + l] = if observed >= 0 && observed != state as i32 {
-                                self.zero.clone()
-                            } else {
-                                self.one.clone()
-                            };
-                        }
-                    }
-                    Instr::Add { dst, lhs, rhs } => {
-                        let (d, a, b) = (
-                            dst as usize * chunk,
-                            lhs as usize * chunk,
-                            rhs as usize * chunk,
-                        );
-                        for l in 0..n {
-                            let v = ctx.add(&regs[a + l], &regs[b + l]);
-                            regs[d + l] = v;
-                        }
-                    }
-                    Instr::Mul { dst, lhs, rhs } => {
-                        let (d, a, b) = (
-                            dst as usize * chunk,
-                            lhs as usize * chunk,
-                            rhs as usize * chunk,
-                        );
-                        for l in 0..n {
-                            let v = ctx.mul(&regs[a + l], &regs[b + l]);
-                            regs[d + l] = v;
-                        }
-                    }
-                    Instr::Max { dst, lhs, rhs } => {
-                        let (d, a, b) = (
-                            dst as usize * chunk,
-                            lhs as usize * chunk,
-                            rhs as usize * chunk,
-                        );
-                        for l in 0..n {
-                            let v = ctx.max(&regs[a + l], &regs[b + l]);
-                            regs[d + l] = v;
-                        }
-                    }
-                    Instr::MinNz { dst, lhs, rhs } => {
-                        let (d, a, b) = (
-                            dst as usize * chunk,
-                            lhs as usize * chunk,
-                            rhs as usize * chunk,
-                        );
-                        for l in 0..n {
-                            let v = min_nz(&mut ctx, &regs[a + l], &regs[b + l]);
-                            regs[d + l] = v;
-                        }
-                    }
+            match (self.kernel, &self.fused) {
+                (KernelKind::Fused, Some(fused)) => {
+                    self.sweep_chunk_fused(&mut ctx, batch, fused, &mut regs, chunk, base, n);
                 }
+                (KernelKind::Simd, _) => {
+                    self.sweep_chunk_simd(&mut ctx, batch, &mut regs, chunk, base, n);
+                }
+                _ => self.sweep_chunk_scalar(&mut ctx, batch, &mut regs, chunk, base, n),
             }
             let root = self.tape.root_reg() as usize * chunk;
             out[done..done + n].clone_from_slice(&regs[root..root + n]);
             done += n;
         }
         ctx.flags()
+    }
+
+    /// Broadcasts one indicator slot into its destination row.
+    #[allow(clippy::too_many_arguments)]
+    fn load_indicator_chunk(
+        &self,
+        batch: &EvidenceBatch,
+        regs: &mut [A::Value],
+        chunk: usize,
+        dst: u32,
+        slot: u32,
+        base: usize,
+        n: usize,
+    ) {
+        let (var, state) = self.tape.slot(slot);
+        let col = batch.column(VarId::from_index(var as usize));
+        let d = dst as usize * chunk;
+        for l in 0..n {
+            let observed = col[base + l];
+            regs[d + l] = if observed >= 0 && observed != state as i32 {
+                self.zero.clone()
+            } else {
+                self.one.clone()
+            };
+        }
+    }
+
+    /// One lane block through the reference scalar core: per-instruction
+    /// loops through the `Arith` context, exactly the semantics every
+    /// other kernel is proven bit-identical to.
+    fn sweep_chunk_scalar(
+        &self,
+        ctx: &mut A,
+        batch: &EvidenceBatch,
+        regs: &mut [A::Value],
+        chunk: usize,
+        base: usize,
+        n: usize,
+    ) {
+        for instr in self.tape.instrs() {
+            match *instr {
+                Instr::LoadIndicator { dst, slot } => {
+                    self.load_indicator_chunk(batch, regs, chunk, dst, slot, base, n);
+                }
+                Instr::Add { dst, lhs, rhs } => {
+                    let (d, a, b) = (
+                        dst as usize * chunk,
+                        lhs as usize * chunk,
+                        rhs as usize * chunk,
+                    );
+                    for l in 0..n {
+                        let v = ctx.add(&regs[a + l], &regs[b + l]);
+                        regs[d + l] = v;
+                    }
+                }
+                Instr::Mul { dst, lhs, rhs } => {
+                    let (d, a, b) = (
+                        dst as usize * chunk,
+                        lhs as usize * chunk,
+                        rhs as usize * chunk,
+                    );
+                    for l in 0..n {
+                        let v = ctx.mul(&regs[a + l], &regs[b + l]);
+                        regs[d + l] = v;
+                    }
+                }
+                Instr::Max { dst, lhs, rhs } => {
+                    let (d, a, b) = (
+                        dst as usize * chunk,
+                        lhs as usize * chunk,
+                        rhs as usize * chunk,
+                    );
+                    for l in 0..n {
+                        let v = ctx.max(&regs[a + l], &regs[b + l]);
+                        regs[d + l] = v;
+                    }
+                }
+                Instr::MinNz { dst, lhs, rhs } => {
+                    let (d, a, b) = (
+                        dst as usize * chunk,
+                        lhs as usize * chunk,
+                        rhs as usize * chunk,
+                    );
+                    for l in 0..n {
+                        let v = min_nz(ctx, &regs[a + l], &regs[b + l]);
+                        regs[d + l] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One lane block through the lane-chunked vector kernels on the
+    /// unfused tape ([`KernelKind::Simd`]).
+    fn sweep_chunk_simd(
+        &self,
+        ctx: &mut A,
+        batch: &EvidenceBatch,
+        regs: &mut [A::Value],
+        chunk: usize,
+        base: usize,
+        n: usize,
+    ) {
+        for instr in self.tape.instrs() {
+            if let Instr::LoadIndicator { dst, slot } = *instr {
+                self.load_indicator_chunk(batch, regs, chunk, dst, slot, base, n);
+            } else {
+                let (op, dst, lhs, rhs) =
+                    BinOp::decode(*instr).expect("non-indicator instructions are binary");
+                ctx.bin_rows(
+                    op,
+                    regs,
+                    dst as usize * chunk,
+                    lhs as usize * chunk,
+                    rhs as usize * chunk,
+                    n,
+                );
+            }
+        }
+    }
+
+    /// One lane block through the fused superinstruction stream
+    /// ([`KernelKind::Fused`]): one kernel dispatch per fused op.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_chunk_fused(
+        &self,
+        ctx: &mut A,
+        batch: &EvidenceBatch,
+        fused: &FusedTape,
+        regs: &mut [A::Value],
+        chunk: usize,
+        base: usize,
+        n: usize,
+    ) {
+        for instr in fused.instrs() {
+            match *instr {
+                FusedInstr::LoadIndicator { dst, slot } => {
+                    self.load_indicator_chunk(batch, regs, chunk, dst, slot, base, n);
+                }
+                FusedInstr::Bin { op, dst, lhs, rhs } => {
+                    ctx.bin_rows(
+                        op,
+                        regs,
+                        dst as usize * chunk,
+                        lhs as usize * chunk,
+                        rhs as usize * chunk,
+                        n,
+                    );
+                }
+                FusedInstr::MulAcc { op, dst, acc, a, b } => {
+                    ctx.mul_acc_rows(
+                        op,
+                        regs,
+                        dst as usize * chunk,
+                        acc as usize * chunk,
+                        a as usize * chunk,
+                        b as usize * chunk,
+                        n,
+                    );
+                }
+                FusedInstr::Reduce {
+                    op,
+                    dst,
+                    first,
+                    lo,
+                    hi,
+                } => {
+                    ctx.reduce_rows(
+                        op,
+                        regs,
+                        chunk,
+                        dst as usize * chunk,
+                        first as usize * chunk,
+                        fused.operands(lo, hi),
+                        n,
+                    );
+                }
+            }
+        }
     }
 
     /// Lane-major sweep used by [`Engine::evaluate_batch_flagged`]: one
@@ -551,20 +724,6 @@ where
             f.merge(self.const_flags);
             *out_f = f;
         }
-    }
-}
-
-/// Min over non-zero operands, zero only if both are zero — the binary
-/// fold step of the min-value-analysis sum (paper §3.1.4). Matches the
-/// scalar evaluator's skip-zero fold bit for bit.
-#[inline]
-fn min_nz<A: Arith>(ctx: &mut A, a: &A::Value, b: &A::Value) -> A::Value {
-    if ctx.to_f64(a) == 0.0 {
-        b.clone()
-    } else if ctx.to_f64(b) == 0.0 {
-        a.clone()
-    } else {
-        ctx.min(a, b)
     }
 }
 

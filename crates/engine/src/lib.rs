@@ -34,11 +34,26 @@
 //!    max/min value analyses of `problp-bounds` per-node vectors that
 //!    are bit-identical to the scalar walk.
 //!
-//! See the module docs of [`tape`] (tape layout, tape modes), [`query`]
-//! (MPE traceback, conditional lane pairs) and the engine source
-//! (`engine.rs`, lane sharding) for the representation details, and
-//! `problp-bench`'s `engine_throughput` bench for the measured speedups
-//! over the scalar tree-walk.
+//! 4. Batch sweeps dispatch through one of three evaluator cores
+//!    ([`kernels`], selected by [`Engine::with_kernel`]): the reference
+//!    **scalar** per-instruction loops, **SIMD** lane-chunked row
+//!    kernels ([`KernelSet`], [`LANE_WIDTH`]-wide chunks, no
+//!    intrinsics), and the **fused** superinstruction stream
+//!    ([`Tape::fuse`] collapses accumulator chains to
+//!    [`FusedInstr::Reduce`] and multiply-into-consumer pairs to
+//!    [`FusedInstr::MulAcc`] — same fold order, two roundings, never an
+//!    FMA). Every kernel is pinned bit-identical to the scalar walk by
+//!    `tests/kernels.rs` and by the `problp-conformance` differential
+//!    matrix.
+//!
+//! See the module docs of [`tape`] (tape layout, tape modes), [`fuse`]
+//! (the peephole rules and their bit-identity argument), [`kernels`]
+//! (the dispatch model and the per-arithmetic vectorization table),
+//! [`query`] (MPE traceback, conditional lane pairs) and the engine
+//! source (`engine.rs`, lane sharding) for the representation details,
+//! and `problp-bench`'s `engine_throughput` bench plus the
+//! `reproduce kernels` study for the measured speedups over the scalar
+//! tree-walk.
 //!
 //! # Examples
 //!
@@ -70,12 +85,16 @@
 
 mod engine;
 mod error;
+pub mod fuse;
+pub mod kernels;
 pub mod query;
 pub mod serve;
 pub mod tape;
 
 pub use engine::{BatchResult, Engine, FlaggedBatchResult};
 pub use error::EngineError;
+pub use fuse::{BinOp, FuseStats, FusedInstr, FusedTape};
+pub use kernels::{KernelKind, KernelSet, LANE_WIDTH};
 pub use query::{ConditionalBatchResult, ConditionalLaneStatus, MpeBatchResult, QueryBatchResult};
 pub use serve::{
     lane_answer_eq, CircuitPool, LaneResult, Priority, ServeConfig, ServeError, ServeRequest,

@@ -29,10 +29,11 @@
 
 use problp_ac::Semiring;
 use problp_bayes::{BatchQuery, Evidence, EvidenceBatch, VarId};
-use problp_num::{Arith, Flags};
+use problp_num::Flags;
 
 use crate::engine::{BatchResult, Engine};
 use crate::error::EngineError;
+use crate::kernels::KernelSet;
 use crate::tape::{Instr, Tape, TapeMode};
 
 /// The result of a batched MPE decode ([`Engine::mpe_batch`]).
@@ -214,7 +215,7 @@ fn traceback(
 
 impl<A> Engine<A>
 where
-    A: Arith + Clone + Send + Sync,
+    A: KernelSet + Clone + Send + Sync,
     A::Value: Clone + Send + Sync,
 {
     /// Decodes the most probable explanation of every lane: the
@@ -539,7 +540,7 @@ mod tests {
     use super::*;
     use problp_ac::compile;
     use problp_bayes::networks;
-    use problp_num::{F64Arith, FixedArith, FixedFormat};
+    use problp_num::{Arith, F64Arith, FixedArith, FixedFormat};
 
     /// The canonical workload pool: empty evidence plus every
     /// single-variable observation.

@@ -133,6 +133,7 @@ use problp_telemetry::{
 
 use crate::engine::Engine;
 use crate::error::{panic_message, EngineError};
+use crate::kernels::{KernelKind, KernelSet};
 use crate::query::{ConditionalLaneStatus, QueryBatchResult};
 
 /// Errors of the serving layer. Admission errors ([`ServeError::UnknownModel`],
@@ -451,12 +452,13 @@ struct Tenant<A: Arith> {
 pub struct CircuitPool<A: Arith> {
     ctx: A,
     engine_threads: usize,
+    kernel: KernelKind,
     tenants: HashMap<String, Arc<Tenant<A>>>,
 }
 
 impl<A> CircuitPool<A>
 where
-    A: Arith + Clone + Send + Sync,
+    A: KernelSet + Clone + Send + Sync,
     A::Value: Clone + Send + Sync,
 {
     /// Creates an empty pool evaluating in `ctx`'s number system.
@@ -464,6 +466,7 @@ where
         CircuitPool {
             ctx,
             engine_threads: 1,
+            kernel: KernelKind::Scalar,
             tenants: HashMap::new(),
         }
     }
@@ -477,6 +480,21 @@ where
         self
     }
 
+    /// Selects the evaluator core ([`crate::KernelKind`]) of every engine
+    /// registered *after* this call. Coalesced answers stay pinned
+    /// bit-identical to [`CircuitPool::serve_one`] under every kernel —
+    /// both paths evaluate through the same tenant engines — and the
+    /// `tests/serve.rs` proptest sweep exercises the whole matrix.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The evaluator core newly registered engines will run.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
     /// Compiles `ac` under both serving semirings and hosts it as
     /// `model`. Re-registering an id replaces the previous circuit.
     ///
@@ -485,9 +503,11 @@ where
     /// Returns [`EngineError::Circuit`] if the circuit is invalid.
     pub fn register(&mut self, model: &str, ac: &AcGraph) -> Result<(), EngineError> {
         let sum = Engine::from_graph(ac, Semiring::SumProduct, self.ctx.clone())?
-            .with_threads(self.engine_threads);
+            .with_threads(self.engine_threads)
+            .with_kernel(self.kernel);
         let mpe = Engine::from_graph_full(ac, Semiring::MaxProduct, self.ctx.clone())?
-            .with_threads(self.engine_threads);
+            .with_threads(self.engine_threads)
+            .with_kernel(self.kernel);
         let var_count = ac.var_count();
         self.tenants.insert(
             model.to_string(),
@@ -792,6 +812,10 @@ struct ServeMetrics {
     /// Per-query-kind engine evaluate wall time.
     evaluate_us: [Histogram; 3],
     tape_instrs: Counter,
+    fused_instrs: Counter,
+    /// Dispatched groups by evaluator core: scalar, simd, fused
+    /// ([`crate::KernelKind::ALL`] order).
+    kernel_dispatches: [Counter; 3],
     /// overflow, underflow, inexact, invalid.
     flag_raises: [Counter; 4],
     live_workers: Gauge,
@@ -887,6 +911,17 @@ impl ServeMetrics {
                 metric_names::ENGINE_TAPE_INSTRS_TOTAL,
                 "tape instructions executed (instructions x lanes per group)",
             ),
+            fused_instrs: registry.counter(
+                metric_names::ENGINE_FUSED_INSTRS_TOTAL,
+                "fused superinstructions executed (fused instructions x lanes per group)",
+            ),
+            kernel_dispatches: KernelKind::ALL.map(|k| {
+                registry.counter_with(
+                    metric_names::ENGINE_KERNEL_DISPATCHES_TOTAL,
+                    &[("kernel", k.name())],
+                    "dispatched groups by evaluator core",
+                )
+            }),
             flag_raises,
             live_workers: registry.gauge(
                 "problp_serve_live_workers",
@@ -1052,7 +1087,7 @@ pub struct Server<A: Arith> {
 
 impl<A> Server<A>
 where
-    A: Arith + Clone + Send + Sync + 'static,
+    A: KernelSet + Clone + Send + Sync + 'static,
     A::Value: Clone + Send + Sync + 'static,
 {
     /// Starts `config.workers` dispatcher shards over `pool`, recording
@@ -1439,7 +1474,7 @@ fn next_deadline<V>(q: &QueueState<V>, config: &ServeConfig) -> Option<Instant> 
 /// down and drained.
 fn worker_loop<A>(shared: &Shared<A>)
 where
-    A: Arith + Clone + Send + Sync,
+    A: KernelSet + Clone + Send + Sync,
     A::Value: Clone + Send + Sync,
 {
     // Liveness bookkeeping is a drop guard so a panicking evaluation
@@ -1524,7 +1559,7 @@ fn release_tenant_lanes<A: Arith>(shared: &Shared<A>, model: &str, lanes: usize)
 /// leaving their tickets hanging until shutdown.
 fn dispatch<A>(shared: &Shared<A>, job: Job<A::Value>)
 where
-    A: Arith + Clone + Send + Sync,
+    A: KernelSet + Clone + Send + Sync,
     A::Value: Clone + Send + Sync,
 {
     let metrics = &shared.metrics;
@@ -1547,13 +1582,24 @@ where
     metrics.dispatches.inc();
     // The whole batch sweeps the query's tape once: every lane executes
     // every instruction.
-    let tape_len = match job.query {
-        BatchQuery::Mpe => tenant.mpe.tape().instrs().len(),
-        _ => tenant.sum.tape().instrs().len(),
+    let engine = match job.query {
+        BatchQuery::Mpe => &tenant.mpe,
+        _ => &tenant.sum,
     };
+    let lanes = job.batch.lanes() as u64;
     metrics
         .tape_instrs
-        .add(tape_len as u64 * job.batch.lanes() as u64);
+        .add(engine.tape().instrs().len() as u64 * lanes);
+    if let Some(fused) = engine.fused_tape() {
+        metrics
+            .fused_instrs
+            .add(fused.instrs().len() as u64 * lanes);
+    }
+    let kernel_idx = KernelKind::ALL
+        .iter()
+        .position(|k| *k == engine.kernel())
+        .unwrap_or(0);
+    metrics.kernel_dispatches[kernel_idx].inc();
     let started = Instant::now();
     let results = std::panic::catch_unwind(AssertUnwindSafe(|| {
         shared.pool.evaluate_group(tenant, job.query, &job.batch)

@@ -46,6 +46,10 @@ impl Arith for PanicArith {
     fn clear_flags(&mut self) {}
 }
 
+// Scalar-default kernels only: the fault must fire through the same
+// per-instruction path the reference evaluator uses.
+impl problp_engine::KernelSet for PanicArith {}
+
 /// A batch big enough that `evaluate_batch` actually shards across
 /// worker threads (MIN_LANES_PER_THREAD is 32).
 fn wide_batch(net: &problp_bayes::BayesNet, lanes: usize) -> EvidenceBatch {

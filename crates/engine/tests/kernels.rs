@@ -1,0 +1,331 @@
+//! Kernel-dispatch conformance tests: the SIMD lane-chunked kernels and
+//! the fused superinstruction stream must be bit-identical to the scalar
+//! tape walk — same values, same sticky flags, per lane — for every
+//! semiring, every arithmetic, every chunk size and every remainder
+//! lane count. The scalar walk stays the reference; these tests are the
+//! license for the fast paths to exist.
+
+use proptest::prelude::*;
+
+use problp_ac::{compile, transform::binarize, Semiring};
+use problp_bayes::{networks, Evidence, EvidenceBatch, VarId};
+use problp_engine::{Engine, FusedInstr, FusedTape, KernelKind, Tape, LANE_WIDTH};
+use problp_num::{F64Arith, FixedArith, FixedFormat, Flags};
+
+const SEMIRINGS: [Semiring; 3] = [
+    Semiring::SumProduct,
+    Semiring::MaxProduct,
+    Semiring::MinProduct,
+];
+
+/// A random network's seed plus per-variable observation picks.
+fn net_and_picks() -> impl Strategy<Value = (u64, Vec<usize>)> {
+    (0u64..500, proptest::collection::vec(0usize..100, 7))
+}
+
+/// Builds a batch whose lanes cycle through single-variable
+/// observations plus an empty-evidence lane, so remainder lanes carry
+/// distinct values (a clobbered or skipped tail lane cannot hide).
+fn varied_batch(net: &problp_bayes::BayesNet, lanes: usize) -> EvidenceBatch {
+    let mut batch = EvidenceBatch::new(net.var_count());
+    for i in 0..lanes {
+        let mut e = Evidence::empty(net.var_count());
+        if i % 3 != 0 {
+            let var = VarId::from_index(i % net.var_count());
+            e.observe(var, i % net.variable(var).arity());
+        }
+        batch.push(&e);
+    }
+    batch
+}
+
+/// Structurally validates a fused stream against its source tape: every
+/// register read must have been written earlier in the stream (or be a
+/// pinned parameter register), the root register must be written, and
+/// no instruction may read a register the fuser elided. This is the
+/// "no clobbered registers" half of the fusion contract — value
+/// identity is pinned separately by the evaluation properties.
+fn assert_fused_stream_well_formed(tape: &Tape, fused: &FusedTape) {
+    let mut written = vec![false; tape.num_regs()];
+    for &p in tape.param_regs() {
+        written[p as usize] = true;
+    }
+    let read = |reg: u32, written: &[bool], what: &str, idx: usize| {
+        assert!(
+            written[reg as usize],
+            "fused instr {idx} reads {what} r{reg} before any write"
+        );
+    };
+    for (idx, instr) in fused.instrs().iter().enumerate() {
+        match *instr {
+            FusedInstr::LoadIndicator { dst, slot } => {
+                assert!((slot as usize) < tape.indicator_slots().count());
+                written[dst as usize] = true;
+            }
+            FusedInstr::Bin { dst, lhs, rhs, .. } => {
+                read(lhs, &written, "lhs", idx);
+                read(rhs, &written, "rhs", idx);
+                written[dst as usize] = true;
+            }
+            FusedInstr::MulAcc { dst, acc, a, b, .. } => {
+                read(acc, &written, "acc", idx);
+                read(a, &written, "a", idx);
+                read(b, &written, "b", idx);
+                written[dst as usize] = true;
+            }
+            FusedInstr::Reduce {
+                dst, first, lo, hi, ..
+            } => {
+                read(first, &written, "first", idx);
+                for &r in fused.operands(lo, hi) {
+                    read(r, &written, "operand", idx);
+                }
+                written[dst as usize] = true;
+            }
+        }
+    }
+    assert!(
+        written[tape.root_reg() as usize],
+        "fused stream never writes the root register"
+    );
+    let stats = fused.stats();
+    assert_eq!(stats.fused_instrs, fused.instrs().len());
+    assert!(stats.fused_instrs <= stats.source_instrs);
+}
+
+/// Asserts that `flagged` per-lane flags OR together into the aggregate
+/// — the sticky-flag contract `evaluate_batch_flagged` documents.
+fn assert_lane_flags_consistent(flags: Flags, lane_flags: &[Flags]) {
+    let mut merged = Flags::new();
+    for &f in lane_flags {
+        merged.merge(f);
+    }
+    assert_eq!(merged, flags, "aggregate flags != OR of per-lane flags");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The headline property: on random circuits, the SIMD and fused
+    /// kernels return the scalar walk's f64 values bit for bit, with
+    /// identical sticky flags, for every semiring.
+    #[test]
+    fn simd_and_fused_match_scalar_f64(
+        (seed, _picks) in net_and_picks(),
+        lanes in 1usize..130,
+    ) {
+        let net = networks::random_network(seed, 7, 3, 3);
+        let ac = compile(&net).unwrap();
+        let batch = varied_batch(&net, lanes);
+        for semiring in SEMIRINGS {
+            let engine = Engine::from_graph(&ac, semiring, F64Arith::new()).unwrap();
+            let reference = engine.evaluate_batch(&batch).unwrap();
+            for kernel in [KernelKind::Simd, KernelKind::Fused] {
+                let fast = engine.clone().with_kernel(kernel);
+                let got = fast.evaluate_batch(&batch).unwrap();
+                prop_assert_eq!(got.flags, reference.flags);
+                for (lane, (r, g)) in reference.values.iter().zip(&got.values).enumerate() {
+                    prop_assert_eq!(
+                        r.to_bits(), g.to_bits(),
+                        "{:?} {:?} lane {}: scalar {} vs {}",
+                        kernel, semiring, lane, r, g
+                    );
+                }
+            }
+        }
+    }
+
+    /// The same under fixed-point arithmetic, where the u128 fast path
+    /// replaces the wide-integer reference multiply: values and
+    /// *per-lane* sticky flags (inexact, overflow) are identical.
+    #[test]
+    fn simd_and_fused_match_scalar_fixed(
+        (seed, _picks) in net_and_picks(),
+        lanes in 1usize..80,
+        frac in 6u32..20,
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = compile(&net).unwrap();
+        let batch = varied_batch(&net, lanes);
+        let format = FixedFormat::new(1, frac).unwrap();
+        for semiring in SEMIRINGS {
+            let engine = Engine::from_graph(&ac, semiring, FixedArith::new(format)).unwrap();
+            let reference = engine.evaluate_batch_flagged(&batch).unwrap();
+            for kernel in [KernelKind::Simd, KernelKind::Fused] {
+                let fast = engine.clone().with_kernel(kernel);
+                let got = fast.evaluate_batch_flagged(&batch).unwrap();
+                prop_assert_eq!(got.flags, reference.flags, "{:?} {:?}", kernel, semiring);
+                prop_assert_eq!(&got.lane_flags, &reference.lane_flags);
+                for (lane, (r, g)) in reference.values.iter().zip(&got.values).enumerate() {
+                    prop_assert_eq!(
+                        r.to_f64().to_bits(), g.to_f64().to_bits(),
+                        "{:?} {:?} lane {}", kernel, semiring, lane
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fusion on full-values tapes must keep every register's final
+    /// write (`MulAcc` is compact-only), and the fused stream stays
+    /// structurally sound on both modes: no read of an unwritten or
+    /// elided register, root always written.
+    #[test]
+    fn fused_streams_are_well_formed_and_full_mode_keeps_registers(
+        seed in 0u64..500,
+    ) {
+        let net = networks::random_network(seed, 7, 3, 3);
+        let ac = compile(&net).unwrap();
+        for semiring in SEMIRINGS {
+            let compact = Tape::compile(&ac, semiring).unwrap();
+            let fused = compact.fuse();
+            assert_fused_stream_well_formed(&compact, &fused);
+
+            let full = Tape::compile_full(&ac, semiring).unwrap();
+            let fused_full = full.fuse();
+            assert_fused_stream_well_formed(&full, &fused_full);
+            prop_assert_eq!(fused_full.stats().mul_accs, 0, "MulAcc must be compact-only");
+        }
+    }
+
+    /// Results are independent of the lane-chunk size for every kernel:
+    /// chunk 1 (every lane is a remainder), 3 (odd), 8 (exactly one
+    /// SIMD chunk) and 1024 (whole batch in one chunk) agree bit for
+    /// bit, flags included.
+    #[test]
+    fn chunk_size_never_changes_results(
+        seed in 0u64..200,
+        lanes in 1usize..100,
+    ) {
+        let net = networks::random_network(seed, 6, 2, 3);
+        let ac = binarize(&compile(&net).unwrap()).unwrap();
+        let batch = varied_batch(&net, lanes);
+        let engine = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new()).unwrap();
+        let reference = engine.evaluate_batch(&batch).unwrap();
+        for kernel in KernelKind::ALL {
+            for chunk in [1usize, 3, LANE_WIDTH, 1024] {
+                let e = engine.clone().with_kernel(kernel).with_chunk(chunk).with_threads(1);
+                let got = e.evaluate_batch(&batch).unwrap();
+                prop_assert_eq!(got.flags, reference.flags);
+                for (r, g) in reference.values.iter().zip(&got.values) {
+                    prop_assert_eq!(
+                        r.to_bits(), g.to_bits(),
+                        "{:?} chunk {}", kernel, chunk
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Remainder-lane regression: lane counts that leave 1, `LANE_WIDTH`-1
+/// or `LANE_WIDTH`+1 lanes (and primes that never divide the width)
+/// must produce the same per-lane values *and* per-lane sticky flags as
+/// the scalar walk — the scalar tail after the vector body covers
+/// exactly the right lanes.
+#[test]
+fn remainder_lanes_match_scalar_values_and_flags() {
+    let net = networks::alarm(7);
+    let ac = compile(&net).unwrap();
+    let format = FixedFormat::new(1, 10).unwrap();
+    for lanes in [1, LANE_WIDTH - 1, LANE_WIDTH, LANE_WIDTH + 1, 13, 31, 97] {
+        let batch = varied_batch(&net, lanes);
+        for semiring in SEMIRINGS {
+            // Fixed point: inexact is sticky per lane.
+            let engine = Engine::from_graph(&ac, semiring, FixedArith::new(format)).unwrap();
+            let reference = engine.evaluate_batch_flagged(&batch).unwrap();
+            assert_lane_flags_consistent(reference.flags, &reference.lane_flags);
+            for kernel in [KernelKind::Simd, KernelKind::Fused] {
+                let fast = engine.clone().with_kernel(kernel);
+                let got = fast.evaluate_batch_flagged(&batch).unwrap();
+                assert_eq!(
+                    got.lane_flags, reference.lane_flags,
+                    "{kernel:?} {semiring:?}"
+                );
+                assert_eq!(got.flags, reference.flags);
+                for (lane, (r, g)) in reference.values.iter().zip(&got.values).enumerate() {
+                    assert_eq!(
+                        r.to_f64().to_bits(),
+                        g.to_f64().to_bits(),
+                        "{kernel:?} {semiring:?} lanes {lanes} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+    // The low-precision format actually exercises the sticky path: at
+    // 10 fractional bits the Alarm CPTs cannot all be exact.
+    let engine = Engine::from_graph(&ac, Semiring::SumProduct, FixedArith::new(format))
+        .unwrap()
+        .with_kernel(KernelKind::Simd);
+    let got = engine.evaluate_batch(&varied_batch(&net, 97)).unwrap();
+    assert!(got.flags.inexact, "regression batch never went inexact");
+}
+
+/// The fused engine on a real circuit actually fuses something — the
+/// throughput claim rests on superinstructions existing, so an
+/// accidentally-empty pass must fail loudly here, not in the bench.
+#[test]
+fn fusion_finds_superinstructions_on_alarm() {
+    let net = networks::alarm(7);
+    let ac = compile(&net).unwrap();
+    let engine = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new())
+        .unwrap()
+        .with_kernel(KernelKind::Fused);
+    let stats = engine.fuse_stats().expect("fused engine exposes stats");
+    assert!(stats.mul_accs > 0, "no MulAcc fused on alarm: {stats}");
+    assert!(stats.reduces > 0, "no Reduce fused on alarm: {stats}");
+    assert!(stats.fused_instrs < stats.source_instrs);
+    // Scalar and SIMD engines report no fused tape.
+    let scalar = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new()).unwrap();
+    assert!(scalar.fused_tape().is_none());
+    assert_eq!(scalar.kernel(), KernelKind::Scalar);
+}
+
+/// MPE and conditional serving agree across kernels: the scalar
+/// traceback is the oracle, and the kernel only touches the batched
+/// value sweeps feeding it.
+#[test]
+fn queries_agree_across_kernels() {
+    let net = networks::asia();
+    let ac = compile(&net).unwrap();
+    let batch = varied_batch(&net, 11);
+    let query_var = VarId::from_index(1);
+    let mut cond_batch = EvidenceBatch::new(net.var_count());
+    for lane in 0..batch.lanes() {
+        let mut e = batch.evidence(lane);
+        e.forget(query_var);
+        cond_batch.push(&e);
+    }
+
+    let mpe_ref = Engine::from_graph_full(&ac, Semiring::MaxProduct, F64Arith::new())
+        .unwrap()
+        .mpe_batch(&batch)
+        .unwrap();
+    let cond_ref = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new())
+        .unwrap()
+        .conditional_batch(&cond_batch, query_var)
+        .unwrap();
+    for kernel in [KernelKind::Simd, KernelKind::Fused] {
+        let mpe = Engine::from_graph_full(&ac, Semiring::MaxProduct, F64Arith::new())
+            .unwrap()
+            .with_kernel(kernel)
+            .mpe_batch(&batch)
+            .unwrap();
+        assert_eq!(mpe.assignments, mpe_ref.assignments, "{kernel:?}");
+        for (a, b) in mpe.values.iter().zip(&mpe_ref.values) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?}");
+        }
+        let cond = Engine::from_graph(&ac, Semiring::SumProduct, F64Arith::new())
+            .unwrap()
+            .with_kernel(kernel)
+            .conditional_batch(&cond_batch, query_var)
+            .unwrap();
+        assert_eq!(cond.predictions, cond_ref.predictions, "{kernel:?}");
+        for (p, q) in cond.posteriors.iter().zip(&cond_ref.posteriors) {
+            for (a, b) in p.iter().zip(q) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?}");
+            }
+        }
+    }
+}

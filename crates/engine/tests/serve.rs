@@ -13,10 +13,10 @@ use proptest::prelude::*;
 use problp_ac::compile;
 use problp_bayes::{networks, BatchQuery, Evidence, VarId};
 use problp_engine::{
-    lane_answer_eq, CircuitPool, Priority, ServeConfig, ServeError, ServeRequest, ServeResponse,
-    Server,
+    lane_answer_eq, CircuitPool, KernelKind, KernelSet, Priority, ServeConfig, ServeError,
+    ServeRequest, ServeResponse, Server,
 };
-use problp_num::{Arith, F64Arith, FixedArith, FixedFormat};
+use problp_num::{F64Arith, FixedArith, FixedFormat};
 
 /// Builds evidence for `net` from per-variable picks (odd picks leave
 /// the variable unobserved).
@@ -36,7 +36,8 @@ fn evidence_from_picks(net: &problp_bayes::BayesNet, picks: &[usize]) -> Evidenc
 type TracePick = (usize, usize, usize, Vec<usize>);
 
 /// The full policy surface the scheduler can be configured with:
-/// batching, sharding, quotas, aging, and the adaptive wait.
+/// batching, sharding, quotas, aging, the adaptive wait, and which
+/// evaluator kernel the pool's engines dispatch to.
 #[derive(Clone, Copy, Debug)]
 struct PolicyPick {
     max_batch: usize,
@@ -46,6 +47,10 @@ struct PolicyPick {
     tenant_quota: usize,
     aging_us: u64,
     adaptive_wait: bool,
+    /// Evaluator kernel for the pool's engines. The coalescing
+    /// invariant must hold under every kernel (and `tests/kernels.rs`
+    /// pins each kernel to the scalar walk, closing the loop).
+    kernel: KernelKind,
 }
 
 /// The two fixed tenants plus per-request picks, under an arbitrary
@@ -67,14 +72,16 @@ fn trace_strategy() -> impl Strategy<Value = (Vec<TracePick>, PolicyPick)> {
             0usize..3,     // quota pick: 0 = off, else quota = pick * 5
             0u64..3,       // aging pick
             any::<bool>(), // adaptive max_wait
+            0usize..3,     // kernel pick: scalar | simd | fused
         )
             .prop_map(
-                |(max_batch, workers, quota, aging, adaptive_wait)| PolicyPick {
+                |(max_batch, workers, quota, aging, adaptive_wait, kernel)| PolicyPick {
                     max_batch,
                     workers,
                     tenant_quota: quota * 5,
                     aging_us: [200, 2_000, 50_000][aging as usize],
                     adaptive_wait,
+                    kernel: KernelKind::ALL[kernel],
                 },
             ),
     )
@@ -86,14 +93,14 @@ fn trace_strategy() -> impl Strategy<Value = (Vec<TracePick>, PolicyPick)> {
 /// [`ServeError::QuotaExceeded`] and only occur when a quota is set.
 fn check_trace<A>(ctx: A, trace: &[TracePick], policy: PolicyPick) -> Result<(), TestCaseError>
 where
-    A: Arith + Clone + Send + Sync + 'static,
+    A: KernelSet + Clone + Send + Sync + 'static,
     A::Value: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static,
 {
     let tenants = [
         ("sprinkler", networks::sprinkler()),
         ("asia", networks::asia()),
     ];
-    let mut pool = CircuitPool::new(ctx);
+    let mut pool = CircuitPool::new(ctx).with_kernel(policy.kernel);
     for (name, net) in &tenants {
         pool.register(name, &compile(net).unwrap()).unwrap();
     }

@@ -67,6 +67,16 @@ pub trait Arith {
 
     /// Clears the accumulated flags.
     fn clear_flags(&mut self);
+
+    /// Merges externally-computed sticky flags into this context.
+    ///
+    /// Vectorized kernel implementations (`problp-engine`'s lane-chunked
+    /// fast paths) accumulate per-chunk flags out of band and fold them
+    /// back through this hook. Contexts that never raise flags keep the
+    /// default no-op.
+    fn merge_flags(&mut self, flags: Flags) {
+        let _ = flags;
+    }
 }
 
 /// Exact double-precision arithmetic: the reference ("ideal") evaluation.
@@ -204,6 +214,10 @@ impl Arith for FixedArith {
     fn clear_flags(&mut self) {
         self.flags.clear();
     }
+
+    fn merge_flags(&mut self, flags: Flags) {
+        self.flags.merge(flags);
+    }
 }
 
 /// Low-precision floating-point arithmetic context.
@@ -269,6 +283,10 @@ impl Arith for FloatArith {
 
     fn clear_flags(&mut self) {
         self.flags.clear();
+    }
+
+    fn merge_flags(&mut self, flags: Flags) {
+        self.flags.merge(flags);
     }
 }
 

@@ -8,6 +8,7 @@
 //! problp export     --network model.bn --dot circuit.dot
 //! problp throughput --network model.bn --batch 1024 --threads 0 \
 //!                   --query marginal|mpe|conditional [--query-var NAME]
+//!                   [--kernel scalar|simd|fused]
 //! problp accuracy   [--dataset HAR|UNIMIB|UIWADS] [--instances 300]
 //! problp serve-sim  --models sprinkler,asia [--requests 512] [--max-batch 32]
 //!                   [--max-wait-us 500] [--workers 4] [--seed 7]
@@ -16,7 +17,8 @@
 //!                   [--linger-ms 0] [--bench-json FILE]
 //! problp conformance [--models alarm,asia] [--random 2] [--batch 256]
 //!                   [--seed 7] [--repr f64,fixed:2.14,float:8.13]
-//!                   [--inject-fault scalar|tape|tape-full|schedule|pipeline]
+//!                   [--inject-fault scalar|tape|tape-full|fused-compact|
+//!                    fused-full|simd-compact|schedule|pipeline]
 //! ```
 //!
 //! Networks use the plain-text `.bn` format of [`problp::bayes::io`].
@@ -24,7 +26,11 @@
 //! versus the batched execution engine (`problp::engine`) at the given
 //! batch size (`--threads 0` = all cores) — for all three query kinds:
 //! marginal sweeps, MPE decoding (max-product argmax traceback) and
-//! conditional posteriors (joint/marginal lane pairs). `accuracy` runs
+//! conditional posteriors (joint/marginal lane pairs). `--kernel`
+//! selects the engine's evaluator core: the scalar reference walk, the
+//! SIMD lane-chunked kernels, or the fused superinstruction stream
+//! (all three bit-identical; see `problp::engine::KernelKind`).
+//! `accuracy` runs
 //! the engine-served per-precision classifier accuracy study of
 //! `problp::bench` on the synthetic sensing datasets. `serve-sim`
 //! replays a seeded mixed-tenant request trace through the sharded
@@ -56,7 +62,9 @@
 //! `conformance` runs the differential cross-check of
 //! `problp::conformance`: the same seeded evidence batch is evaluated on
 //! the scalar tree-walk, the compact and full-values engine tapes, the
-//! sequential ALU schedule and the cycle-accurate pipelined datapath
+//! fused superinstruction streams of both tape modes, the SIMD
+//! lane-chunked kernels, the sequential ALU schedule and the
+//! cycle-accurate pipelined datapath
 //! (streaming one lane per cycle), and every stream must be
 //! bit-identical per arithmetic (`--repr`) and semiring. Without
 //! `--models` it checks `sprinkler,asia` plus `--random` seeded random
@@ -87,6 +95,7 @@ fn usage() -> ExitCode {
   problp export     --network FILE --dot FILE
   problp throughput --network FILE [--batch N] [--threads N] [--optimize]
                     [--query marginal|mpe|conditional] [--query-var NAME]
+                    [--kernel scalar|simd|fused]
   problp accuracy   [--dataset HAR|UNIMIB|UIWADS] [--instances N]
   problp serve-sim  --models NAME|FILE[,NAME|FILE...] [--requests N]
                     [--max-batch N] [--max-wait-us N] [--workers N] [--seed N]
@@ -96,7 +105,8 @@ fn usage() -> ExitCode {
   problp conformance [--models NAME|FILE[,...]] [--random N] [--batch N]
                     [--seed N] [--repr LIST] [--inject-fault BACKEND]
                     (LIST entries: f64 | fixed:I.F | float:E.M;
-                     BACKEND: scalar|tape|tape-full|schedule|pipeline)"
+                     BACKEND: scalar|tape|tape-full|fused-compact|
+                     fused-full|simd-compact|schedule|pipeline)"
     );
     ExitCode::from(2)
 }
@@ -159,6 +169,7 @@ fn main() -> ExitCode {
     let mut random: Option<usize> = None;
     let mut repr: Option<String> = None;
     let mut inject_fault: Option<String> = None;
+    let mut kernel = problp::engine::KernelKind::Scalar;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -256,6 +267,12 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 inject_fault = Some(b.clone());
+            }
+            "--kernel" => {
+                let Some(k) = it.next().and_then(|s| problp::engine::KernelKind::parse(s)) else {
+                    return usage();
+                };
+                kernel = k;
             }
             "--batch" => {
                 let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
@@ -438,6 +455,7 @@ fn main() -> ExitCode {
                 query_var.as_deref(),
                 batch.unwrap_or(1024),
                 threads,
+                kernel,
             ) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
@@ -485,6 +503,9 @@ fn rate_of(mut f: impl FnMut(), per_call: usize) -> f64 {
 /// instances cycling through the single-variable observations, for the
 /// requested query kind (marginal sweeps, MPE decoding, or conditional
 /// posteriors on `query_var`, defaulting to the network's first root).
+/// `kernel` selects the engine's evaluator core (scalar, SIMD
+/// lane-chunked, or fused superinstructions — all bit-identical).
+#[allow(clippy::too_many_arguments)]
 fn throughput(
     net: &BayesNet,
     circuit: &AcGraph,
@@ -492,6 +513,7 @@ fn throughput(
     query_var: Option<&str>,
     batch: usize,
     threads: usize,
+    kernel: problp::engine::KernelKind,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use problp::engine::Engine;
 
@@ -509,8 +531,13 @@ fn throughput(
         if threads > 0 {
             engine = engine.with_threads(threads);
         }
+        engine = engine.with_kernel(kernel);
+        if let Some(stats) = engine.fuse_stats() {
+            println!("fusion: {stats}");
+        }
         engine
     };
+    println!("kernel: {kernel}");
 
     let (label, scalar, batched) = match query {
         QueryType::Marginal => {
@@ -1245,9 +1272,10 @@ fn conformance(args: &ConformanceArgs) -> Result<(), Box<dyn std::error::Error>>
     }
     if let Some(backend) = &args.inject_fault {
         let Some(b) = BackendKind::parse(backend) else {
+            let names: Vec<&str> = BackendKind::ALL.iter().map(|b| b.name()).collect();
             return Err(format!(
-                "bad --inject-fault backend {backend:?} (expected one of \
-                 scalar, tape, tape-full, schedule, pipeline)"
+                "bad --inject-fault backend {backend:?} (expected one of {})",
+                names.join(", ")
             )
             .into());
         };
