@@ -288,6 +288,73 @@ pub fn conformance_bench_record(report: &problp_conformance::ConformanceReport) 
     }
 }
 
+/// [`BenchRecord`] for the static-analysis study (`BENCH_verify.json`):
+/// analyzed tape instructions as `requests`, the aggregate
+/// instructions-per-second of verification + analysis as the headline
+/// throughput, per-model verdicts and minimal formats as extras.
+pub fn verify_bench_record(study: &crate::VerifyStudy) -> BenchRecord {
+    let rows = study
+        .rows
+        .iter()
+        .map(|r| {
+            JsonValue::Object(vec![
+                ("model".to_string(), JsonValue::from(r.model.as_str())),
+                ("instrs".to_string(), JsonValue::from(r.instrs)),
+                (
+                    "verify_us".to_string(),
+                    JsonValue::from(r.verifier_wall.as_secs_f64() * 1e6),
+                ),
+                (
+                    "analyze_us".to_string(),
+                    JsonValue::from(r.analysis_wall.as_secs_f64() * 1e6),
+                ),
+                ("safe_formats".to_string(), JsonValue::from(r.safe_formats)),
+                (
+                    "minimal_fixed".to_string(),
+                    JsonValue::from(
+                        format!(
+                            "fixed:{}.{}",
+                            r.minimal_format.int_bits(),
+                            r.minimal_format.frac_bits()
+                        )
+                        .as_str(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let total_instrs: usize = study.rows.iter().map(|r| r.instrs).sum();
+    let total_wall: f64 = study
+        .rows
+        .iter()
+        .map(|r| r.verifier_wall.as_secs_f64() + r.analysis_wall.as_secs_f64())
+        .sum();
+    BenchRecord {
+        scenario: "verify".to_string(),
+        requests: total_instrs as u64,
+        throughput_rps: if total_wall > 0.0 {
+            total_instrs as f64 / total_wall
+        } else {
+            0.0
+        },
+        latency: None,
+        rejects: 0,
+        extra: vec![
+            (
+                "formats".to_string(),
+                JsonValue::Array(
+                    study
+                        .specs
+                        .iter()
+                        .map(|s| JsonValue::from(s.to_string().as_str()))
+                        .collect(),
+                ),
+            ),
+            ("models".to_string(), JsonValue::Array(rows)),
+        ],
+    }
+}
+
 /// [`BenchRecord`] for the evaluator-kernel study (`BENCH_kernels.json`):
 /// lanes per sweep as `requests`, the fused f64 rate as the headline
 /// throughput, per-arithmetic rates and speedups plus the fusion

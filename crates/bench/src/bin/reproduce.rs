@@ -21,7 +21,7 @@ use problp_bench::{
     alarm_fixture, conformance_bench_record, figure5a, figure5b, kernels_bench_record,
     qos_bench_record, render_conformance_report, render_kernel_study, render_qos_report,
     render_serving_report, render_sweep, render_table2, serving_bench_record, table1, table2,
-    validate_bench_json, BenchRecord, SEED,
+    validate_bench_json, verify_bench_record, BenchRecord, SEED,
 };
 
 struct Options {
@@ -56,7 +56,9 @@ fn parse_args() -> Options {
                 }
             }
             "table1" | "fig5a" | "fig5b" | "table2" | "ablations" | "accuracy" | "missing"
-            | "throughput" | "kernels" | "serving" | "conformance" | "all" => opts.command = arg,
+            | "throughput" | "kernels" | "serving" | "conformance" | "verify" | "all" => {
+                opts.command = arg
+            }
             other => die(&format!("unknown argument {other}")),
         }
     }
@@ -65,7 +67,7 @@ fn parse_args() -> Options {
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|throughput|kernels|serving|conformance|all] [--instances N] [--write-experiments]");
+    eprintln!("usage: reproduce [table1|fig5a|fig5b|table2|ablations|accuracy|missing|throughput|kernels|serving|conformance|verify|all] [--instances N] [--write-experiments]");
     eprintln!("       reproduce check-bench FILE...");
     std::process::exit(2);
 }
@@ -226,6 +228,16 @@ fn main() {
             "## Differential conformance — engine vs hardware backends\n\n```text\n{t}```\n"
         ));
         emit_bench(&conformance_bench_record(&study));
+    }
+
+    if matches!(opts.command.as_str(), "verify" | "all") {
+        let study = problp_bench::verify_study();
+        let t = problp_bench::render_verify_study(&study);
+        println!("{t}");
+        sections.push(format!(
+            "## Static analysis — tape verifier + range analysis\n\n```text\n{t}```\n"
+        ));
+        emit_bench(&verify_bench_record(&study));
     }
 
     if matches!(opts.command.as_str(), "ablations" | "all") {

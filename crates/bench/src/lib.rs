@@ -20,7 +20,7 @@ pub mod bench_json;
 
 pub use bench_json::{
     conformance_bench_record, kernels_bench_record, qos_bench_record, serving_bench_record,
-    validate_bench_json, BenchRecord, BENCH_SCHEMA,
+    validate_bench_json, verify_bench_record, BenchRecord, BENCH_SCHEMA,
 };
 
 use problp_ac::{compile, transform::binarize, AcGraph};
@@ -1726,6 +1726,127 @@ pub fn render_conformance_report(report: &problp_conformance::ConformanceReport)
     format!("Differential conformance — tape engine vs cycle-accurate hardware\n\n{report}")
 }
 
+/// One model's row in the static-analysis study: verifier and
+/// range-analysis wall time, per-format safety verdicts and the derived
+/// minimal fixed format.
+#[derive(Clone, Debug)]
+pub struct VerifyStudyRow {
+    /// The model's display name.
+    pub model: String,
+    /// Compact-tape instructions the analyses covered.
+    pub instrs: usize,
+    /// Wall time of the Layer-1 structural verification (tape + fused
+    /// stream equivalence).
+    pub verifier_wall: std::time::Duration,
+    /// Wall time of the range analysis summed over every audited format.
+    pub analysis_wall: std::time::Duration,
+    /// Of the audited formats, how many the analysis proved fully safe.
+    pub safe_formats: usize,
+    /// The minimal safe fixed format the analysis derives for the model.
+    pub minimal_format: problp_num::FixedFormat,
+}
+
+/// The static-analysis study: every builtin network through the
+/// verifier and the range analysis.
+#[derive(Clone, Debug)]
+pub struct VerifyStudy {
+    /// The formats each model was audited against.
+    pub specs: Vec<problp_num::ArithSpec>,
+    /// Per-model results.
+    pub rows: Vec<VerifyStudyRow>,
+}
+
+/// Runs the verifier + range analysis over the builtin model zoo for
+/// the serving formats (the `reproduce verify` section): static safety
+/// as a measured, reproducible artifact rather than a claim.
+pub fn verify_study() -> VerifyStudy {
+    use problp_bayes::networks;
+    let specs: Vec<problp_num::ArithSpec> = ["f64", "fixed:2.14", "fixed:8.24", "float:8.23"]
+        .iter()
+        .map(|s| problp_num::ArithSpec::parse(s).expect("audit specs parse"))
+        .collect();
+    let models = [
+        ("figure1".to_string(), networks::figure1()),
+        ("sprinkler".to_string(), networks::sprinkler()),
+        ("asia".to_string(), networks::asia()),
+        ("student".to_string(), networks::student()),
+        ("earthquake".to_string(), networks::earthquake()),
+        ("cancer".to_string(), networks::cancer()),
+        ("alarm".to_string(), networks::alarm(SEED)),
+    ];
+    let mut rows = Vec::new();
+    for (model, net) in models {
+        let ac = problp_ac::compile(&net).expect("builtin networks compile");
+        let tape = problp_engine::Tape::compile(&ac, problp_ac::Semiring::SumProduct)
+            .expect("builtin networks tape-compile");
+
+        let start = std::time::Instant::now();
+        tape.verify().expect("fresh tapes verify");
+        tape.verify_fused(&tape.fuse())
+            .expect("fused streams verify");
+        let verifier_wall = start.elapsed();
+
+        let start = std::time::Instant::now();
+        let safe_formats = specs
+            .iter()
+            .filter(|spec| {
+                problp_verify::analyze(&tape, **spec)
+                    .expect("verified tapes analyze")
+                    .all_safe()
+            })
+            .count();
+        let minimal_format = problp_verify::minimal_fixed_format(&tape)
+            .expect("verified tapes analyze")
+            .format;
+        let analysis_wall = start.elapsed();
+
+        rows.push(VerifyStudyRow {
+            model,
+            instrs: tape.instrs().len(),
+            verifier_wall,
+            analysis_wall,
+            safe_formats,
+            minimal_format,
+        });
+    }
+    VerifyStudy { specs, rows }
+}
+
+/// Renders [`verify_study`] as the `reproduce verify` table.
+pub fn render_verify_study(study: &VerifyStudy) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Static analysis — tape verifier + fixed-point range analysis"
+    );
+    let specs: Vec<String> = study.specs.iter().map(|s| s.to_string()).collect();
+    let _ = writeln!(out, "audited formats: {}\n", specs.join(", "));
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>12} {:>12} {:>11} {:>12}",
+        "model", "instrs", "verify", "analyze", "safe fmts", "minimal fx"
+    );
+    for row in &study.rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>10.1}µs {:>10.1}µs {:>9}/{} {:>12}",
+            row.model,
+            row.instrs,
+            row.verifier_wall.as_secs_f64() * 1e6,
+            row.analysis_wall.as_secs_f64() * 1e6,
+            row.safe_formats,
+            study.specs.len(),
+            format!(
+                "fixed:{}.{}",
+                row.minimal_format.int_bits(),
+                row.minimal_format.frac_bits()
+            ),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1736,6 +1857,24 @@ mod tests {
         assert!(report.all_match(), "divergence:\n{report}");
         let text = conformance_report(16, SEED);
         assert!(text.contains("verdict: PASS"));
+    }
+
+    #[test]
+    fn verify_study_covers_the_model_zoo_and_emits_a_valid_record() {
+        let study = verify_study();
+        assert_eq!(study.rows.len(), 7);
+        assert_eq!(study.specs.len(), 4);
+        for row in &study.rows {
+            // f64 is always provably safe, so at least one format passes.
+            assert!(row.safe_formats >= 1, "{}", row.model);
+            assert!(row.instrs > 0);
+        }
+        let text = render_verify_study(&study);
+        assert!(text.contains("alarm"));
+        assert!(text.contains("minimal fx"));
+        let record = verify_bench_record(&study);
+        assert!(validate_bench_json(&record.to_json().render_pretty()).is_ok());
+        assert_eq!(record.scenario, "verify");
     }
 
     #[test]

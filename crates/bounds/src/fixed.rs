@@ -160,6 +160,23 @@ pub fn required_int_bits(analysis: &AcAnalysis, error_margin: f64) -> u32 {
     bits
 }
 
+/// The number of fraction bits needed so that the smallest nonzero value
+/// any node can take stays at least one ulp — the bottom-of-range
+/// counterpart of [`required_int_bits`]: `F` is minimal with
+/// `2^-F <= global_min_positive`, capped at the widest representable
+/// fraction. The tape-level range analysis of `problp-verify` derives
+/// the same quantity by abstract interpretation
+/// (`minimal_fixed_format`); the two are cross-checked in tests.
+pub fn required_frac_bits(analysis: &AcAnalysis) -> u32 {
+    let needed = analysis.global_min_positive();
+    let cap = problp_num::MAX_FIXED_WIDTH - 1;
+    let mut bits = 1u32;
+    while (-(bits as f64)).exp2() > needed && bits < cap {
+        bits += 1;
+    }
+    bits
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,5 +390,18 @@ mod tests {
         let bits = required_int_bits(&analysis, 0.0);
         assert!(bits >= 1);
         assert!((bits as f64).exp2() > analysis.global_max());
+    }
+
+    #[test]
+    fn frac_bits_cover_the_smallest_nonzero_value() {
+        let (_, _, analysis) = fixture();
+        let bits = required_frac_bits(&analysis);
+        assert!(bits >= 1);
+        // One ulp fits under the smallest nonzero value...
+        assert!((-(bits as f64)).exp2() <= analysis.global_min_positive());
+        // ...and the format is minimal: one fewer bit would not.
+        if bits > 1 {
+            assert!((-((bits - 1) as f64)).exp2() > analysis.global_min_positive());
+        }
     }
 }

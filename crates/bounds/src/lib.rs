@@ -54,8 +54,8 @@ mod search;
 pub use analysis::AcAnalysis;
 pub use error::BoundsError;
 pub use fixed::{
-    fixed_error_bound, fixed_error_bound_with_rounding, required_int_bits, FixedErrorBound,
-    LeafErrorModel,
+    fixed_error_bound, fixed_error_bound_with_rounding, required_frac_bits, required_int_bits,
+    FixedErrorBound, LeafErrorModel,
 };
 pub use float::{float_error_bound, required_exp_bits, FloatErrorBound};
 pub use query::{fixed_query_bound, float_query_bound, QueryType, Tolerance};

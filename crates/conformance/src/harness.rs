@@ -11,7 +11,9 @@ use problp_ac::{compile, transform::binarize, AcGraph, Semiring};
 use problp_bayes::{BayesNet, Evidence, EvidenceBatch, VarId};
 use problp_engine::{Engine, KernelKind, KernelSet};
 use problp_hw::{Netlist, PipelineSim, Schedule};
-use problp_num::{F64Arith, FixedArith, FixedFormat, FloatArith, FloatFormat, Representation};
+use problp_num::{
+    F64Arith, FixedArith, FixedFormat, Flags, FloatArith, FloatFormat, Representation,
+};
 
 use crate::report::{BackendRun, CaseReport, ConformanceReport};
 use crate::spec::{ArithSpec, BackendKind, ConformanceConfig, ConformanceError};
@@ -151,6 +153,13 @@ fn maybe_inject(bits: &mut [u64], backend: BackendKind, config: &ConformanceConf
     }
 }
 
+/// Whether a backend counts as having raised a runtime range flag:
+/// its sticky `overflow`/`underflow` bits, or the test-only flag fault
+/// that proves the static/runtime cross-check goes red.
+fn range_flag(flags: Flags, backend: BackendKind, config: &ConformanceConfig) -> bool {
+    flags.range_violation() || config.inject_flag_fault == Some(backend)
+}
+
 /// Compares one backend's stream against the reference bits.
 fn diff(reference: &[u64], got: &[u64]) -> (usize, Option<usize>) {
     let mismatched = reference.iter().zip(got).filter(|(a, b)| a != b).count()
@@ -186,10 +195,12 @@ where
     // Scalar reference: one tree-walk per lane.
     let start = Instant::now();
     let mut reference: Vec<u64> = Vec::with_capacity(lanes);
+    let mut scalar_flags = Flags::default();
     for lane in 0..lanes {
         let mut c = ctx.clone();
         c.clear_flags();
         let v = bin.evaluate_with(&mut c, &batch.evidence(lane), semiring)?;
+        scalar_flags.merge(c.flags());
         reference.push(c.to_f64(&v).to_bits());
     }
     let scalar_wall = start.elapsed();
@@ -200,10 +211,16 @@ where
         first_mismatch: None,
         wall: scalar_wall,
         work: scalar_ops * lanes as u64,
+        range_flag: range_flag(scalar_flags, BackendKind::Scalar, config),
     });
 
-    // Compact tape: the serving engine's production path.
+    // Compact tape: the serving engine's production path. Its tape is
+    // also what the static range analysis reads for the flag
+    // cross-check — the verdicts hold for every backend because all of
+    // them compute the same operations in the same format.
     let engine = Engine::from_graph(bin, semiring, ctx.clone())?;
+    let static_report = problp_verify::analyze(engine.tape(), arith)?;
+    let static_safe = config.force_static_safe || static_report.all_safe();
     let start = Instant::now();
     let result = engine.evaluate_batch(batch)?;
     let wall = start.elapsed();
@@ -220,6 +237,7 @@ where
         first_mismatch: first,
         wall,
         work: engine.tape().stats().instrs as u64 * lanes as u64,
+        range_flag: range_flag(result.flags, BackendKind::TapeCompact, config),
     });
 
     // Full-values tape: root bits on every lane, whole node vectors on a
@@ -229,6 +247,7 @@ where
     let start = Instant::now();
     let result = full.evaluate_batch(batch)?;
     let wall = start.elapsed();
+    let full_flags = result.flags;
     let mut bits: Vec<u64> = result
         .values
         .iter()
@@ -259,6 +278,7 @@ where
         first_mismatch: first,
         wall,
         work: full.tape().stats().instrs as u64 * lanes as u64,
+        range_flag: range_flag(full_flags, BackendKind::TapeFull, config),
     });
 
     // Fused superinstruction streams: the compact tape gets MulAcc +
@@ -288,6 +308,7 @@ where
             first_mismatch: first,
             wall,
             work: fused_instrs * lanes as u64,
+            range_flag: range_flag(result.flags, kind, config),
         });
     }
 
@@ -310,6 +331,7 @@ where
             first_mismatch: first,
             wall,
             work: simd_engine.tape().stats().instrs as u64 * lanes as u64,
+            range_flag: range_flag(result.flags, BackendKind::SimdCompact, config),
         });
     }
 
@@ -332,6 +354,7 @@ where
             first_mismatch: first,
             wall,
             work: schedule.stats().instructions as u64 * lanes as u64,
+            range_flag: range_flag(c.flags(), BackendKind::Schedule, config),
         });
 
         let mut fresh = ctx.clone();
@@ -353,6 +376,7 @@ where
             first_mismatch: first,
             wall,
             work: sim.cycle() - cycles_before,
+            range_flag: range_flag(sim.context().flags(), BackendKind::Pipeline, config),
         });
     }
 
@@ -362,5 +386,8 @@ where
         semiring,
         lanes,
         backends,
+        static_safe,
+        static_may_saturate: static_report.may_saturate,
+        static_may_underflow: static_report.may_underflow,
     })
 }

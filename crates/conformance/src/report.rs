@@ -26,6 +26,11 @@ pub struct BackendRun {
     /// lanes for the engine modes, operator applications × lanes for the
     /// scalar walk.
     pub work: u64,
+    /// Whether this backend's evaluation raised a runtime `overflow` or
+    /// `underflow` sticky flag. Cross-checked against the static range
+    /// analysis: a raise on a case whose every instruction is
+    /// *provably-safe* is a soundness violation and fails the case.
+    pub range_flag: bool,
 }
 
 impl BackendRun {
@@ -54,12 +59,33 @@ pub struct CaseReport {
     /// Per-backend verdicts, scalar reference first. Hardware backends
     /// appear only in sum-product cases.
     pub backends: Vec<BackendRun>,
+    /// `true` when the static range analysis proved every tape
+    /// instruction of the case safe for its arithmetic (no instruction
+    /// can saturate or underflow, parameter conversion included).
+    pub static_safe: bool,
+    /// Instructions the range analysis classified *may-saturate*.
+    pub static_may_saturate: usize,
+    /// Instructions the range analysis classified *may-underflow*.
+    pub static_may_underflow: usize,
 }
 
 impl CaseReport {
-    /// Returns `true` if every backend matched the reference bit for bit.
+    /// Returns `true` if every backend matched the reference bit for bit
+    /// **and** no backend's runtime flags contradicted the static
+    /// analysis.
     pub fn all_match(&self) -> bool {
-        self.backends.iter().all(|b| b.mismatched_lanes == 0)
+        self.backends.iter().all(|b| b.mismatched_lanes == 0) && self.flag_conflicts() == 0
+    }
+
+    /// Backends whose runtime range flags contradict a *provably-safe*
+    /// static verdict — each one is a soundness violation of the range
+    /// analysis (or a lying backend).
+    pub fn flag_conflicts(&self) -> usize {
+        if self.static_safe {
+            self.backends.iter().filter(|b| b.range_flag).count()
+        } else {
+            0
+        }
     }
 }
 
@@ -88,6 +114,11 @@ impl ConformanceReport {
             .flat_map(|c| &c.backends)
             .map(|b| b.mismatched_lanes)
             .sum()
+    }
+
+    /// Total static/runtime flag conflicts across all cases.
+    pub fn total_flag_conflicts(&self) -> usize {
+        self.cases.iter().map(CaseReport::flag_conflicts).sum()
     }
 
     /// Total compared result streams (backends × cases, reference
@@ -129,14 +160,22 @@ impl std::fmt::Display for ConformanceReport {
              fused-full, simd-compact, schedule, pipeline \
              (hardware joins sum-product cases)"
         )?;
+        writeln!(
+            f,
+            "static: range-analysis verdict per case — `safe` (every \
+             instruction provably in range), `sN`/`uN` (N may-saturate / \
+             may-underflow instructions); FLAG!n marks n backends whose \
+             runtime flags contradicted a safe verdict"
+        )?;
         writeln!(f)?;
         writeln!(
             f,
-            "{:<14} {:<12} {:<12} {:>7}  {:<10} {:<10} {:<10} {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
+            "{:<14} {:<12} {:<12} {:>7} {:<8}  {:<10} {:<10} {:<10} {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
             "model",
             "arith",
             "semiring",
             "lanes",
+            "static",
             "tape",
             "tape-full",
             "fused",
@@ -169,13 +208,33 @@ impl std::fmt::Display for ConformanceReport {
                 .iter()
                 .find(|b| b.backend == BackendKind::TapeCompact)
                 .map_or("-".to_string(), |b| si(b.lanes_per_sec(case.lanes)));
+            let static_cell = if case.flag_conflicts() > 0 {
+                format!("FLAG!{}", case.flag_conflicts())
+            } else if case.static_safe {
+                "safe".to_string()
+            } else {
+                let mut s = String::new();
+                if case.static_may_saturate > 0 {
+                    s.push_str(&format!("s{}", case.static_may_saturate));
+                }
+                if case.static_may_underflow > 0 {
+                    s.push_str(&format!("u{}", case.static_may_underflow));
+                }
+                if s.is_empty() {
+                    // Unsafe with clean instruction verdicts: the
+                    // parameter conversion itself can range-flag.
+                    s.push_str("conv");
+                }
+                s
+            };
             writeln!(
                 f,
-                "{:<14} {:<12} {:<12} {:>7}  {:<10} {:<10} {:<10} {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
+                "{:<14} {:<12} {:<12} {:>7} {:<8}  {:<10} {:<10} {:<10} {:<10} {:<10} {:<10} {:<10}  {:>10} {:>11}",
                 case.model,
                 case.arith.to_string(),
                 semiring_name(case.semiring),
                 case.lanes,
+                static_cell,
                 cell(BackendKind::TapeCompact),
                 cell(BackendKind::TapeFull),
                 cell(BackendKind::FusedCompact),
@@ -191,15 +250,18 @@ impl std::fmt::Display for ConformanceReport {
         if self.all_match() {
             writeln!(
                 f,
-                "verdict: PASS — {} result streams bit-identical to the scalar reference",
+                "verdict: PASS — {} result streams bit-identical to the scalar \
+                 reference, no runtime flag contradicted a provably-safe verdict",
                 self.compared_streams()
             )
         } else {
             writeln!(
                 f,
-                "verdict: FAIL — {} diverging lanes across {} result streams",
+                "verdict: FAIL — {} diverging lanes across {} result streams, \
+                 {} static/runtime flag conflicts",
                 self.total_mismatches(),
-                self.compared_streams()
+                self.compared_streams(),
+                self.total_flag_conflicts()
             )
         }
     }

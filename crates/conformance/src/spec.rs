@@ -4,49 +4,11 @@
 use problp_ac::Semiring;
 use problp_num::{FixedFormat, FloatFormat};
 
-/// One arithmetic a conformance case runs in.
-///
-/// Unlike [`problp_num::Representation`] this includes the exact `f64`
-/// reference arithmetic: bit-identity must hold at full precision too,
-/// not only at the low-precision formats the framework sizes.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ArithSpec {
-    /// Exact double precision ([`problp_num::F64Arith`]).
-    F64,
-    /// Low-precision fixed point in the given format.
-    Fixed(FixedFormat),
-    /// Low-precision floating point in the given format.
-    Float(FloatFormat),
-}
-
-impl ArithSpec {
-    /// Parses `f64`, `fixed:I.F` or `float:E.M` (the CLI's `--repr`
-    /// grammar), e.g. `fixed:2.14` or `float:8.13`.
-    pub fn parse(spec: &str) -> Option<ArithSpec> {
-        if spec == "f64" {
-            return Some(ArithSpec::F64);
-        }
-        let (kind, fmt) = spec.split_once(':')?;
-        let (a, b) = fmt.split_once('.')?;
-        let a: u32 = a.parse().ok()?;
-        let b: u32 = b.parse().ok()?;
-        match kind {
-            "fixed" => FixedFormat::new(a, b).ok().map(ArithSpec::Fixed),
-            "float" => FloatFormat::new(a, b).ok().map(ArithSpec::Float),
-            _ => None,
-        }
-    }
-}
-
-impl std::fmt::Display for ArithSpec {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ArithSpec::F64 => write!(f, "f64"),
-            ArithSpec::Fixed(fmt) => write!(f, "fixed:{}.{}", fmt.int_bits(), fmt.frac_bits()),
-            ArithSpec::Float(fmt) => write!(f, "float:{}.{}", fmt.exp_bits(), fmt.mant_bits()),
-        }
-    }
-}
+// The arithmetic-naming vocabulary moved into `problp-num` so that the
+// static analyses of `problp-verify` and this harness speak the same
+// `f64 | fixed:I.F | float:E.M` grammar; re-exported here so existing
+// `problp_conformance::ArithSpec` callers keep compiling.
+pub use problp_num::ArithSpec;
 
 /// One of the eight result streams the harness compares.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -138,6 +100,15 @@ pub struct ConformanceConfig {
     /// backend's stream before comparison, in every case. A harness that
     /// does not go red under injection is not checking anything.
     pub inject_fault: Option<BackendKind>,
+    /// Test-only fault injection for the static/runtime flag
+    /// cross-check: pretend this backend raised a runtime range flag in
+    /// every case, so a statically-safe case must go red.
+    pub inject_flag_fault: Option<BackendKind>,
+    /// Test-only fault injection for the other direction of the flag
+    /// cross-check: report every case as statically provably-safe
+    /// regardless of what the range analysis concluded, so a case whose
+    /// runtime genuinely flags must go red.
+    pub force_static_safe: bool,
 }
 
 impl Default for ConformanceConfig {
@@ -156,6 +127,8 @@ impl Default for ConformanceConfig {
                 Semiring::MinProduct,
             ],
             inject_fault: None,
+            inject_flag_fault: None,
+            force_static_safe: false,
         }
     }
 }
@@ -173,6 +146,9 @@ pub enum ConformanceError {
     Engine(problp_engine::EngineError),
     /// Evidence-batch construction failed.
     Bayes(problp_bayes::BayesError),
+    /// The static verifier rejected a tape the harness was about to
+    /// range-analyze — the tape itself is malformed.
+    Verify(problp_engine::VerifyError),
 }
 
 impl std::fmt::Display for ConformanceError {
@@ -182,6 +158,9 @@ impl std::fmt::Display for ConformanceError {
             ConformanceError::Hw(e) => write!(f, "hardware backend failed: {e}"),
             ConformanceError::Engine(e) => write!(f, "engine backend failed: {e}"),
             ConformanceError::Bayes(e) => write!(f, "evidence construction failed: {e}"),
+            ConformanceError::Verify(e) => {
+                write!(f, "static verification rejected a tape: {e}")
+            }
         }
     }
 }
@@ -209,6 +188,12 @@ impl From<problp_engine::EngineError> for ConformanceError {
 impl From<problp_bayes::BayesError> for ConformanceError {
     fn from(e: problp_bayes::BayesError) -> Self {
         ConformanceError::Bayes(e)
+    }
+}
+
+impl From<problp_engine::VerifyError> for ConformanceError {
+    fn from(e: problp_engine::VerifyError) -> Self {
+        ConformanceError::Verify(e)
     }
 }
 

@@ -144,6 +144,91 @@ fn single_arith_single_semiring_configs_narrow_the_matrix() {
 }
 
 #[test]
+fn no_runtime_flag_ever_contradicts_a_provably_safe_verdict() {
+    // The soundness contract of the range analysis, asserted across the
+    // full backend matrix: wherever the static pass says every
+    // instruction is provably in range, no backend's sticky
+    // overflow/underflow flag may fire — for any model, semiring or
+    // format in the acceptance set.
+    let mut models = small_models();
+    models.extend(random_models(23, 2));
+    let config = ConformanceConfig {
+        batch: 24,
+        ariths: vec![
+            ArithSpec::parse("f64").unwrap(),
+            ArithSpec::parse("fixed:2.14").unwrap(),
+            ArithSpec::parse("fixed:8.24").unwrap(),
+            ArithSpec::parse("float:8.23").unwrap(),
+        ],
+        ..ConformanceConfig::default()
+    };
+    let report = run_conformance(&models, &config).unwrap();
+    assert_eq!(report.total_flag_conflicts(), 0, "{report}");
+    assert!(report.all_match(), "{report}");
+    // f64 is flagless by construction: the analysis must prove all of
+    // its cases safe, so the contract is not vacuous.
+    for case in report.cases.iter().filter(|c| c.arith == ArithSpec::F64) {
+        assert!(case.static_safe, "f64 case not proven safe:\n{report}");
+        assert!(case.backends.iter().all(|b| !b.range_flag));
+    }
+}
+
+#[test]
+fn injected_runtime_flag_on_a_safe_case_turns_the_verdict_red() {
+    // Direction 1 of the flag cross-check: a backend that raises a range
+    // flag where the analysis proved safety must fail the case. f64
+    // cases are all provably safe, so the injected flag is a guaranteed
+    // contradiction.
+    let models = vec![("sprinkler".to_string(), networks::sprinkler())];
+    let config = ConformanceConfig {
+        batch: 8,
+        ariths: vec![ArithSpec::F64],
+        inject_flag_fault: Some(BackendKind::SimdCompact),
+        ..ConformanceConfig::default()
+    };
+    let report = run_conformance(&models, &config).unwrap();
+    assert!(!report.all_match(), "flag fault went undetected:\n{report}");
+    assert!(report.total_flag_conflicts() > 0);
+    assert_eq!(report.total_mismatches(), 0, "values still agree");
+    assert!(report.to_string().contains("verdict: FAIL"));
+}
+
+#[test]
+fn forged_safe_verdict_on_a_flagging_case_turns_the_verdict_red() {
+    // Direction 2: a static pass that (wrongly) claims safety where the
+    // runtime genuinely flushes to zero must also fail. float:3.8 has
+    // min_positive = 0.25, so asia's small products underflow for real.
+    let models = vec![("asia".to_string(), networks::asia())];
+    let base = ConformanceConfig {
+        batch: 24,
+        ariths: vec![ArithSpec::parse("float:3.8").unwrap()],
+        semirings: vec![problp_ac::Semiring::SumProduct],
+        ..ConformanceConfig::default()
+    };
+
+    // Honest analysis: it predicts the underflow, so no conflict.
+    let report = run_conformance(&models, &base).unwrap();
+    assert!(report.all_match(), "{report}");
+    let case = &report.cases[0];
+    assert!(!case.static_safe, "the analysis must warn here");
+    assert!(case.static_may_underflow > 0);
+    assert!(
+        case.backends.iter().any(|b| b.range_flag),
+        "the runtime must genuinely flag here:\n{report}"
+    );
+
+    // Forged verdict: same run, claimed safe — every flagging backend
+    // becomes a conflict.
+    let forged = ConformanceConfig {
+        force_static_safe: true,
+        ..base
+    };
+    let report = run_conformance(&models, &forged).unwrap();
+    assert!(!report.all_match(), "{report}");
+    assert!(report.total_flag_conflicts() > 0);
+}
+
+#[test]
 fn report_rendering_names_the_verdict() {
     let report = run_conformance(
         &[("sprinkler".to_string(), networks::sprinkler())],

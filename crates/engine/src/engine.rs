@@ -228,6 +228,15 @@ where
         &self.tape
     }
 
+    /// Mutable access to the backing tape. Exists so verifier mutation
+    /// tests can corrupt an engine's tape and prove the
+    /// [`crate::CircuitPool`] admission gate rejects it; an engine edited
+    /// through this computes garbage. Not a stable API.
+    #[doc(hidden)]
+    pub fn raw_tape_mut(&mut self) -> &mut Tape {
+        &mut self.tape
+    }
+
     /// The engine's arithmetic context (a reference hook for differential
     /// harnesses that need to convert or compare engine values — e.g.
     /// `problp-conformance`'s bit-identity checks against the scalar

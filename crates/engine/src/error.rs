@@ -2,6 +2,8 @@
 
 use problp_ac::{AcError, Semiring};
 
+use crate::verify::VerifyError;
+
 /// Errors produced by tape compilation and batch evaluation.
 #[derive(Clone, PartialEq, Debug)]
 #[non_exhaustive]
@@ -41,6 +43,11 @@ pub enum EngineError {
         /// The panic payload, rendered to a string when possible.
         message: String,
     },
+    /// The static tape verifier rejected an instruction stream
+    /// ([`crate::Tape::verify`] / [`crate::Tape::verify_fused`]); raised
+    /// by debug-build compilation and by the [`crate::CircuitPool`]
+    /// admission gate.
+    Verify(VerifyError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -67,6 +74,7 @@ impl std::fmt::Display for EngineError {
             EngineError::WorkerPanic { message } => {
                 write!(f, "a batch evaluation worker panicked: {message}")
             }
+            EngineError::Verify(e) => write!(f, "tape failed static verification: {e}"),
         }
     }
 }
@@ -75,6 +83,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Circuit(e) => Some(e),
+            EngineError::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -83,6 +92,12 @@ impl std::error::Error for EngineError {
 impl From<AcError> for EngineError {
     fn from(e: AcError) -> Self {
         EngineError::Circuit(e)
+    }
+}
+
+impl From<VerifyError> for EngineError {
+    fn from(e: VerifyError) -> Self {
+        EngineError::Verify(e)
     }
 }
 

@@ -44,7 +44,7 @@
 use crate::tape::{Instr, Tape, TapeMode};
 
 /// The elementwise operation a fused instruction applies.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BinOp {
     /// Sum-product addition.
     Add,
@@ -177,6 +177,28 @@ impl FusedTape {
     /// Statistics of the fusion pass that built this tape.
     pub fn stats(&self) -> FuseStats {
         self.stats
+    }
+
+    /// The whole flattened operand side table (the verifier bounds-checks
+    /// `Reduce` ranges against it before slicing).
+    pub(crate) fn operand_table(&self) -> &[u32] {
+        &self.operands
+    }
+
+    /// Mutable access to the raw superinstruction stream. Exists so that
+    /// verifier mutation tests can corrupt a stream on purpose; use
+    /// [`Tape::verify_fused`] to re-check. Not a stable API.
+    #[doc(hidden)]
+    pub fn raw_instrs_mut(&mut self) -> &mut Vec<FusedInstr> {
+        &mut self.instrs
+    }
+
+    /// Mutable access to the raw `Reduce` operand side table. Exists so
+    /// that verifier mutation tests can corrupt fold order on purpose;
+    /// use [`Tape::verify_fused`] to re-check. Not a stable API.
+    #[doc(hidden)]
+    pub fn raw_operands_mut(&mut self) -> &mut Vec<u32> {
+        &mut self.operands
     }
 }
 
@@ -362,11 +384,18 @@ impl Tape {
         }
 
         stats.fused_instrs = out.len();
-        FusedTape {
+        let fused = FusedTape {
             instrs: out,
             operands,
             stats,
+        };
+        // Debug builds prove the fused stream equivalent to its source
+        // (symbolic execution, fold order included) before handing it out.
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.verify_fused(&fused) {
+            panic!("fuse produced an ill-formed stream: {e}");
         }
+        fused
     }
 }
 

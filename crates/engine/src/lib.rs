@@ -90,6 +90,7 @@ pub mod kernels;
 pub mod query;
 pub mod serve;
 pub mod tape;
+pub mod verify;
 
 pub use engine::{BatchResult, Engine, FlaggedBatchResult};
 pub use error::EngineError;
@@ -101,3 +102,4 @@ pub use serve::{
     ServeResponse, Server, ServerStats, Ticket,
 };
 pub use tape::{Instr, Tape, TapeMode, TapeStats};
+pub use verify::VerifyError;

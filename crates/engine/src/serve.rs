@@ -498,9 +498,17 @@ where
     /// Compiles `ac` under both serving semirings and hosts it as
     /// `model`. Re-registering an id replaces the previous circuit.
     ///
+    /// Admission runs the static tape verifier ([`crate::Tape::verify`],
+    /// and [`crate::Tape::verify_fused`] under the fused kernel) over
+    /// both engines in **every** build — release included, where
+    /// compilation itself skips the debug-only auto-check — so a tape
+    /// that lost its dataflow guarantees anywhere between compilation
+    /// and serving never joins the pool.
+    ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Circuit`] if the circuit is invalid.
+    /// Returns [`EngineError::Circuit`] if the circuit is invalid, or
+    /// [`EngineError::Verify`] if a compiled tape fails verification.
     pub fn register(&mut self, model: &str, ac: &AcGraph) -> Result<(), EngineError> {
         let sum = Engine::from_graph(ac, Semiring::SumProduct, self.ctx.clone())?
             .with_threads(self.engine_threads)
@@ -508,7 +516,34 @@ where
         let mpe = Engine::from_graph_full(ac, Semiring::MaxProduct, self.ctx.clone())?
             .with_threads(self.engine_threads)
             .with_kernel(self.kernel);
-        let var_count = ac.var_count();
+        self.register_engines(model, sum, mpe)
+    }
+
+    /// Hosts a pair of pre-built engines as `model` after passing them
+    /// through the verification gate; [`CircuitPool::register`] is the
+    /// compile-and-admit convenience on top of this. Taking engines
+    /// directly is what lets verifier tests (and future tape
+    /// deserialization paths) exercise the typed rejection: a tape
+    /// corrupted after compilation is refused here with
+    /// [`EngineError::Verify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Verify`] if either engine's tape — or its
+    /// fused stream, when one is attached — fails static verification.
+    pub fn register_engines(
+        &mut self,
+        model: &str,
+        sum: Engine<A>,
+        mpe: Engine<A>,
+    ) -> Result<(), EngineError> {
+        for engine in [&sum, &mpe] {
+            engine.tape().verify()?;
+            if let Some(fused) = engine.fused_tape() {
+                engine.tape().verify_fused(fused)?;
+            }
+        }
+        let var_count = sum.tape().var_count();
         self.tenants.insert(
             model.to_string(),
             Arc::new(Tenant {

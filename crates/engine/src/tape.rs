@@ -307,6 +307,11 @@ impl Tape {
         // last_use is pinned to usize::MAX.
         tape.root_reg = reg_of[root.index()];
         debug_assert_ne!(tape.root_reg, u32::MAX, "root register stays live");
+        // Debug builds statically verify every tape they compile; release
+        // builds defer to the serving admission gate
+        // ([`crate::CircuitPool::register`]).
+        #[cfg(debug_assertions)]
+        tape.verify()?;
         Ok(tape)
     }
 
@@ -389,6 +394,9 @@ impl Tape {
                 }
             }
         }
+        // Same debug-build verification as [`Tape::compile`].
+        #[cfg(debug_assertions)]
+        tape.verify()?;
         Ok(tape)
     }
 
@@ -462,6 +470,15 @@ impl Tape {
     #[inline]
     pub(crate) fn slot(&self, slot: u32) -> (u32, u32) {
         self.indicators[slot as usize]
+    }
+
+    /// Mutable access to the raw instruction stream. Exists so that
+    /// verifier mutation tests can corrupt a tape on purpose; a tape
+    /// edited through this no longer carries the compiler's guarantees
+    /// and must be re-checked with [`Tape::verify`]. Not a stable API.
+    #[doc(hidden)]
+    pub fn raw_instrs_mut(&mut self) -> &mut Vec<Instr> {
+        &mut self.instrs
     }
 }
 

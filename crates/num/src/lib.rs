@@ -58,6 +58,7 @@ mod fixed;
 mod flags;
 mod float;
 mod repr;
+mod spec;
 mod wide;
 
 pub use arith::{Arith, F64Arith, FixedArith, FloatArith};
@@ -66,4 +67,5 @@ pub use fixed::{Fixed, FixedFormat, FixedRounding, MAX_FIXED_WIDTH};
 pub use flags::Flags;
 pub use float::{FloatFormat, LpFloat, MAX_EXP_BITS, MAX_MANT_BITS, MIN_EXP_BITS, MIN_MANT_BITS};
 pub use repr::Representation;
+pub use spec::ArithSpec;
 pub use wide::U256;

@@ -381,10 +381,12 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             }
             Some(_) => {
                 // Consume one UTF-8 scalar; input came from &str so the
-                // encoding is valid.
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| JsonError::at(*pos, "invalid utf-8"))?;
-                let c = rest.chars().next().unwrap();
+                // encoding is valid, but fail typed rather than panic if
+                // a caller ever feeds raw bytes through here.
+                let c = std::str::from_utf8(&bytes[*pos..])
+                    .ok()
+                    .and_then(|rest| rest.chars().next())
+                    .ok_or_else(|| JsonError::at(*pos, "invalid utf-8"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -118,6 +118,21 @@ pub mod metric_names {
     /// Histogram, label `stage`: per-stage elapsed time recorded by
     /// [`crate::Tracer`] spans, microseconds.
     pub const STAGE_ELAPSED_US: &str = "problp_stage_elapsed_us";
+    /// Counter: static verifier / range-analysis passes run (one per
+    /// tape × format analyzed).
+    pub const VERIFY_RUNS_TOTAL: &str = "problp_verify_runs_total";
+    /// Counter: tapes the static verifier rejected with a typed
+    /// `VerifyError` (admission-gate and CLI rejects alike).
+    pub const VERIFY_REJECTS_TOTAL: &str = "problp_verify_rejects_total";
+    /// Counter: instructions classified *provably-safe* by the range
+    /// analysis, summed across runs.
+    pub const VERIFY_INSTRS_SAFE_TOTAL: &str = "problp_verify_instrs_safe_total";
+    /// Counter: instructions classified *may-saturate*, summed across
+    /// runs.
+    pub const VERIFY_INSTRS_MAY_SATURATE_TOTAL: &str = "problp_verify_instrs_may_saturate_total";
+    /// Counter: instructions classified *may-underflow*, summed across
+    /// runs.
+    pub const VERIFY_INSTRS_MAY_UNDERFLOW_TOTAL: &str = "problp_verify_instrs_may_underflow_total";
 }
 
 #[cfg(test)]

@@ -1,0 +1,71 @@
+//! # problp-verify — static analysis over the ProbLP tape IR
+//!
+//! conf_dac_ShahOMV19's central claim is that numeric safety of
+//! low-precision probabilistic inference can be established
+//! **analytically, before execution**. This crate is that claim as a
+//! reusable subsystem, layered over the execution tape of
+//! `problp-engine`:
+//!
+//! 1. **Layer 1 — the tape verifier** (re-exported from
+//!    [`problp_engine::verify`]): a single-pass dataflow checker proving
+//!    an instruction stream well-formed — def-before-use, no clobbered
+//!    live registers, parameter immutability, bounds, fused-stream
+//!    equivalence with fold order preserved. See
+//!    [`problp_engine::Tape::verify`] and
+//!    [`problp_engine::Tape::verify_fused`].
+//! 2. **Layer 2 — abstract-interpretation range analysis** ([`analyze`]):
+//!    an interval dataflow over the same tape per [`ArithSpec`], with
+//!    probability-bounded indicator inputs and CPT parameters read from
+//!    the compiled model, statically classifying each instruction as
+//!    [*provably-safe*](InstrVerdict::ProvablySafe),
+//!    [*may-saturate*](InstrVerdict::MaySaturate) or
+//!    [*may-underflow*](InstrVerdict::MayUnderflow) for a concrete
+//!    `fixed:I.F` / `float:E.M` format — and deriving the **minimal safe
+//!    fixed format** per model ([`minimal_fixed_format`]), the paper's
+//!    analytical bound as a pass.
+//!
+//! The verdicts are sound in one direction by construction: every
+//! interval is only ever widened outward, so *provably-safe* really is a
+//! proof (`problp-conformance` cross-checks this against runtime sticky
+//! flags across its whole backend matrix), while *may-*\* verdicts are
+//! conservative warnings.
+//!
+//! # Examples
+//!
+//! ```
+//! use problp_ac::{compile, Semiring};
+//! use problp_bayes::networks;
+//! use problp_engine::Tape;
+//! use problp_num::ArithSpec;
+//! use problp_verify::analyze;
+//!
+//! let ac = compile(&networks::sprinkler())?;
+//! let tape = Tape::compile(&ac, Semiring::SumProduct)?;
+//!
+//! // f64 never saturates or flushes: everything is provably safe.
+//! let report = analyze(&tape, ArithSpec::F64)?;
+//! assert!(report.all_safe());
+//!
+//! // A 2.14 fixed format holds every intermediate of this model too.
+//! let report = analyze(&tape, ArithSpec::parse("fixed:2.14").unwrap())?;
+//! assert!(report.all_safe());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod range;
+
+pub use metrics::VerifyMetrics;
+pub use range::{
+    analyze, minimal_fixed_format, FixedRecommendation, InstrVerdict, Interval, RangeReport,
+};
+
+// Layer 1 lives next to the tape compiler (debug builds auto-run it);
+// re-exported here so `problp::verify` is the one facade for both layers.
+pub use problp_engine::verify::VerifyError;
+
+// The format vocabulary the analysis speaks.
+pub use problp_num::ArithSpec;

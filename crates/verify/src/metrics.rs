@@ -1,0 +1,94 @@
+//! Telemetry for the static-analysis subsystem: `problp_verify_*`
+//! counters published through the shared [`MetricsRegistry`].
+
+use problp_telemetry::{metric_names, Counter, MetricsRegistry};
+
+use crate::RangeReport;
+
+/// Handle bundle for the `problp_verify_*` counters. The serving pool
+/// has no registry of its own, so callers that want verification
+/// observable (the CLI `verify` command, the conformance harness) build
+/// one of these next to their registry and record through it.
+#[derive(Clone)]
+pub struct VerifyMetrics {
+    runs: Counter,
+    rejects: Counter,
+    instrs_safe: Counter,
+    instrs_may_saturate: Counter,
+    instrs_may_underflow: Counter,
+}
+
+impl VerifyMetrics {
+    /// Registers (or re-attaches to) the verify counters on `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        VerifyMetrics {
+            runs: registry.counter(
+                metric_names::VERIFY_RUNS_TOTAL,
+                "Static verifier / range-analysis passes run.",
+            ),
+            rejects: registry.counter(
+                metric_names::VERIFY_REJECTS_TOTAL,
+                "Tapes rejected by the static verifier with a typed error.",
+            ),
+            instrs_safe: registry.counter(
+                metric_names::VERIFY_INSTRS_SAFE_TOTAL,
+                "Instructions classified provably-safe by the range analysis.",
+            ),
+            instrs_may_saturate: registry.counter(
+                metric_names::VERIFY_INSTRS_MAY_SATURATE_TOTAL,
+                "Instructions classified may-saturate by the range analysis.",
+            ),
+            instrs_may_underflow: registry.counter(
+                metric_names::VERIFY_INSTRS_MAY_UNDERFLOW_TOTAL,
+                "Instructions classified may-underflow by the range analysis.",
+            ),
+        }
+    }
+
+    /// Records one completed range analysis: a run plus its per-verdict
+    /// instruction counts.
+    pub fn observe_report(&self, report: &RangeReport) {
+        self.runs.inc();
+        self.instrs_safe.add(report.safe as u64);
+        self.instrs_may_saturate.add(report.may_saturate as u64);
+        self.instrs_may_underflow.add(report.may_underflow as u64);
+    }
+
+    /// Records a structural verifier pass that found nothing to reject
+    /// (Layer 1 alone, no range verdicts).
+    pub fn observe_pass(&self) {
+        self.runs.inc();
+    }
+
+    /// Records a typed rejection (Layer 1 or a corrupted-tape CLI run).
+    pub fn observe_reject(&self) {
+        self.runs.inc();
+        self.rejects.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::{compile, Semiring};
+    use problp_bayes::networks;
+    use problp_engine::Tape;
+    use problp_num::ArithSpec;
+
+    #[test]
+    fn counters_track_reports_and_rejects() {
+        let registry = MetricsRegistry::new();
+        let metrics = VerifyMetrics::new(&registry);
+
+        let ac = compile(&networks::sprinkler()).unwrap();
+        let tape = Tape::compile(&ac, Semiring::SumProduct).unwrap();
+        let report = crate::analyze(&tape, ArithSpec::F64).unwrap();
+        metrics.observe_report(&report);
+        metrics.observe_reject();
+
+        let rendered = registry.render_prometheus();
+        assert!(rendered.contains("problp_verify_runs_total 2"));
+        assert!(rendered.contains("problp_verify_rejects_total 1"));
+        assert!(rendered.contains(&format!("problp_verify_instrs_safe_total {}", report.safe)));
+    }
+}

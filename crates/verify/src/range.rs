@@ -1,0 +1,611 @@
+//! Layer 2: abstract-interpretation range analysis over the tape IR.
+//!
+//! # The abstract domain
+//!
+//! Every register carries an [`Interval`] `⟨lo, hi, min_nz⟩` of the `f64`
+//! values it can hold across **all** evidence instantiations: `lo`/`hi`
+//! bound the value, `min_nz` lower-bounds its smallest possible *nonzero*
+//! magnitude (the quantity that decides underflow). Arithmetic circuits
+//! compute non-negative values only, so `lo ≥ 0` throughout.
+//!
+//! Inputs are exactly the paper's analytical premises: an indicator is
+//! `{0, 1}` (converted to the target format), a CPT parameter is the
+//! point interval of its format-converted constant, read from the
+//! compiled model. The transfer functions mirror the runtime semantics
+//! of `problp-num` — fixed-point add is exact-or-saturate, fixed-point
+//! multiply rounds half-up within one [`FixedFormat::ulp`], low-precision
+//! float ops round to nearest within a relative
+//! [`FloatFormat::epsilon`], there are no subnormals (flush-to-zero
+//! raises `underflow`), and saturation clamps fixed values at the format
+//! maximum while floats overflow to infinity.
+//!
+//! Every widening is **outward only**, so the analysis is sound in the
+//! direction that matters: an instruction classified
+//! [`InstrVerdict::ProvablySafe`] can never raise `overflow` or
+//! `underflow` at runtime for any evidence (the conformance harness
+//! asserts exactly this against the sticky flags of its whole backend
+//! matrix); the `May*` verdicts are conservative warnings.
+
+use problp_engine::tape::Instr;
+use problp_engine::{Tape, VerifyError};
+use problp_num::{ArithSpec, Fixed, FixedFormat, Flags, LpFloat};
+
+/// The abstract value of one register: bounds over every evidence
+/// instantiation, plus the smallest possible nonzero magnitude.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Interval {
+    /// Lower bound of the value (circuits are non-negative: `lo ≥ 0`).
+    pub lo: f64,
+    /// Upper bound of the value.
+    pub hi: f64,
+    /// Lower bound of the smallest *nonzero* value; [`f64::INFINITY`]
+    /// when the register is provably always zero.
+    pub min_nz: f64,
+}
+
+impl Interval {
+    /// The point interval of a known constant.
+    fn point(x: f64) -> Interval {
+        Interval {
+            lo: x,
+            hi: x,
+            min_nz: if x > 0.0 { x } else { f64::INFINITY },
+        }
+    }
+}
+
+/// The static safety classification of one tape instruction under a
+/// concrete arithmetic format.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InstrVerdict {
+    /// No evidence instantiation can make this instruction raise
+    /// `overflow` or `underflow` — a proof, not a heuristic.
+    ProvablySafe,
+    /// Some reachable value may exceed the format's largest finite value
+    /// (fixed point clamps and raises `overflow`; low-precision float
+    /// overflows to infinity).
+    MaySaturate,
+    /// Some reachable nonzero value may fall below the format's smallest
+    /// positive value (low-precision float flushes to zero and raises
+    /// `underflow`; fixed point rounds to zero, conservatively treated
+    /// as a loss here even though its runtime flag is only `inexact`).
+    MayUnderflow,
+}
+
+impl InstrVerdict {
+    /// The verdict's report name (`safe`, `may-saturate`,
+    /// `may-underflow`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            InstrVerdict::ProvablySafe => "safe",
+            InstrVerdict::MaySaturate => "may-saturate",
+            InstrVerdict::MayUnderflow => "may-underflow",
+        }
+    }
+}
+
+/// The result of one range analysis: a verdict per tape instruction plus
+/// the aggregate view the CLI table and the conformance cross-check read.
+#[derive(Clone, Debug)]
+pub struct RangeReport {
+    /// The arithmetic the tape was analyzed for.
+    pub spec: ArithSpec,
+    /// One verdict per instruction of [`Tape::instrs`], in stream order.
+    pub verdicts: Vec<InstrVerdict>,
+    /// The root register's interval (the answer's analytical bounds).
+    pub root: Interval,
+    /// Instructions classified [`InstrVerdict::ProvablySafe`].
+    pub safe: usize,
+    /// Instructions classified [`InstrVerdict::MaySaturate`].
+    pub may_saturate: usize,
+    /// Instructions classified [`InstrVerdict::MayUnderflow`].
+    pub may_underflow: usize,
+    /// Flags raised while converting the CPT parameters themselves into
+    /// the format (the engine performs the same conversions once per
+    /// sweep, before any instruction runs).
+    pub param_flags: Flags,
+}
+
+impl RangeReport {
+    /// `true` when every instruction is provably safe **and** parameter
+    /// conversion cannot raise a range flag: no evidence instantiation
+    /// can make a sweep raise `overflow` or `underflow`.
+    pub fn all_safe(&self) -> bool {
+        self.may_saturate == 0 && self.may_underflow == 0 && !self.param_flags.range_violation()
+    }
+
+    /// The first non-safe instruction, with its verdict.
+    pub fn first_unsafe(&self) -> Option<(usize, InstrVerdict)> {
+        self.verdicts
+            .iter()
+            .enumerate()
+            .find(|(_, v)| **v != InstrVerdict::ProvablySafe)
+            .map(|(i, v)| (i, *v))
+    }
+}
+
+/// The minimal safe fixed format derived for a tape by
+/// [`minimal_fixed_format`]: the paper's analytical precision bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FixedRecommendation {
+    /// The recommended format (minimal integer bits, then minimal
+    /// fractional bits, each verified by re-running the analysis).
+    pub format: FixedFormat,
+    /// `true` when the format provably never saturates; `false` when no
+    /// searched width could rule saturation out.
+    pub saturation_free: bool,
+    /// `true` when the format provably never loses a nonzero value to
+    /// rounding; `false` when no searched width could rule it out.
+    pub underflow_free: bool,
+}
+
+/// Converts a constant into the format, returning the representable
+/// value actually computed with plus the conversion flags.
+fn convert(spec: ArithSpec, x: f64) -> (f64, Flags) {
+    let mut flags = Flags::default();
+    let v = match spec {
+        ArithSpec::F64 => x,
+        ArithSpec::Fixed(f) => Fixed::from_f64(x, f, &mut flags).to_f64(),
+        ArithSpec::Float(f) => LpFloat::from_f64(x, f, &mut flags).to_f64(),
+    };
+    (v, flags)
+}
+
+/// Outward rounding slack applied to upper bounds: one ulp for a
+/// fixed-point multiply's half-up rounding, one relative epsilon (plus
+/// analysis-side `f64` error margin) for float round-to-nearest.
+fn widen_up(spec: ArithSpec, x: f64) -> f64 {
+    match spec {
+        ArithSpec::F64 => x,
+        ArithSpec::Fixed(f) => x + f.ulp(),
+        ArithSpec::Float(f) => x * (1.0 + 2.0 * f.epsilon() + 1e-12),
+    }
+}
+
+/// Outward rounding slack applied to lower bounds (clamped at zero).
+fn widen_down(spec: ArithSpec, x: f64) -> f64 {
+    let w = match spec {
+        ArithSpec::F64 => x,
+        ArithSpec::Fixed(f) => x - f.ulp(),
+        ArithSpec::Float(f) => x * (1.0 - 2.0 * f.epsilon() - 1e-12),
+    };
+    if w.is_finite() {
+        w.max(0.0)
+    } else {
+        w
+    }
+}
+
+/// Runs the interval dataflow over a verified tape, classifying each
+/// instruction for `spec` (the abstract domain and its soundness
+/// direction are described in this module's source-level docs).
+///
+/// # Errors
+///
+/// Returns the [`VerifyError`] of [`Tape::verify`] if the tape is not
+/// structurally well-formed — range analysis only runs on streams whose
+/// dataflow is already proven.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, Semiring};
+/// use problp_bayes::networks;
+/// use problp_engine::Tape;
+/// use problp_num::ArithSpec;
+///
+/// let ac = compile(&networks::asia())?;
+/// let tape = Tape::compile(&ac, Semiring::SumProduct)?;
+/// let report = problp_verify::analyze(&tape, ArithSpec::parse("fixed:2.14").unwrap())?;
+/// assert_eq!(report.verdicts.len(), tape.instrs().len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn analyze(tape: &Tape, spec: ArithSpec) -> Result<RangeReport, VerifyError> {
+    tape.verify()?;
+
+    let max = spec.max_value();
+    let min_pos = spec.min_positive();
+    // `f64` computes every probability exactly enough and never flags:
+    // safety is definitional, and the interval pass below would agree.
+    let is_f64 = spec == ArithSpec::F64;
+
+    let mut regs: Vec<Interval> = vec![Interval::point(0.0); tape.num_regs()];
+    let mut param_flags = Flags::default();
+    for (&reg, &value) in tape.param_regs().iter().zip(tape.params()) {
+        let (converted, flags) = convert(spec, value);
+        param_flags.overflow |= flags.overflow;
+        param_flags.underflow |= flags.underflow;
+        param_flags.inexact |= flags.inexact;
+        param_flags.invalid |= flags.invalid;
+        regs[reg as usize] = Interval::point(converted);
+    }
+    let (one, one_flags) = convert(spec, 1.0);
+
+    let mut verdicts = Vec::with_capacity(tape.instrs().len());
+    let mut safe = 0usize;
+    let mut may_saturate = 0usize;
+    let mut may_underflow = 0usize;
+
+    for &instr in tape.instrs() {
+        let (result, verdict) = match instr {
+            Instr::LoadIndicator { .. } => {
+                // {0, 1} in the format: saturates only when the format
+                // cannot even represent 1 (e.g. `fixed:0.F`).
+                let v = if one_flags.overflow {
+                    InstrVerdict::MaySaturate
+                } else {
+                    InstrVerdict::ProvablySafe
+                };
+                (
+                    Interval {
+                        lo: 0.0,
+                        hi: one,
+                        min_nz: if one > 0.0 { one } else { f64::INFINITY },
+                    },
+                    v,
+                )
+            }
+            Instr::Add { lhs, rhs, .. } => {
+                let (a, b) = (regs[lhs as usize], regs[rhs as usize]);
+                // Exact in fixed point; one rounding in float. A sum of
+                // non-negatives is at least each operand, so its nonzero
+                // minimum never shrinks below the operands' — addition
+                // cannot underflow.
+                let hi = widen_up(spec, a.hi + b.hi);
+                let iv = Interval {
+                    lo: widen_down(spec, a.lo + b.lo),
+                    hi,
+                    min_nz: a.min_nz.min(b.min_nz),
+                };
+                let v = if !is_f64 && hi > max {
+                    InstrVerdict::MaySaturate
+                } else {
+                    InstrVerdict::ProvablySafe
+                };
+                (iv, v)
+            }
+            Instr::Mul { lhs, rhs, .. } => {
+                let (a, b) = (regs[lhs as usize], regs[rhs as usize]);
+                let hi = widen_up(spec, a.hi * b.hi);
+                let raw_min_nz = if a.min_nz.is_infinite() || b.min_nz.is_infinite() {
+                    f64::INFINITY
+                } else {
+                    a.min_nz * b.min_nz
+                };
+                let iv = Interval {
+                    lo: widen_down(spec, a.lo * b.lo),
+                    hi,
+                    min_nz: widen_down(spec, raw_min_nz).max(0.0_f64.min(raw_min_nz)),
+                };
+                // The product is where both failure directions live: the
+                // only op whose result can shrink below its operands.
+                let v = if !is_f64 && hi > max {
+                    InstrVerdict::MaySaturate
+                } else if !is_f64 && raw_min_nz < min_pos * (1.0 + 1e-9) {
+                    InstrVerdict::MayUnderflow
+                } else {
+                    InstrVerdict::ProvablySafe
+                };
+                (iv, v)
+            }
+            Instr::Max { lhs, rhs, .. } => {
+                let (a, b) = (regs[lhs as usize], regs[rhs as usize]);
+                // Selection, not arithmetic: exact, never flags.
+                (
+                    Interval {
+                        lo: a.lo.max(b.lo),
+                        hi: a.hi.max(b.hi),
+                        min_nz: a.min_nz.min(b.min_nz),
+                    },
+                    InstrVerdict::ProvablySafe,
+                )
+            }
+            Instr::MinNz { lhs, rhs, .. } => {
+                let (a, b) = (regs[lhs as usize], regs[rhs as usize]);
+                // Skip-zero minimum: zero only when both sides are zero,
+                // `minnz(x, 0) = x` reaches either side's maximum.
+                (
+                    Interval {
+                        lo: a.lo.min(b.lo),
+                        hi: a.hi.max(b.hi),
+                        min_nz: a.min_nz.min(b.min_nz),
+                    },
+                    InstrVerdict::ProvablySafe,
+                )
+            }
+        };
+
+        // Post-verdict clamp to the runtime's saturation semantics:
+        // fixed point clamps at the format maximum; float overflows to
+        // infinity, which then taints everything downstream (correct —
+        // every consumer of an infinity may flag).
+        let mut result = result;
+        if verdict == InstrVerdict::MaySaturate {
+            match spec {
+                ArithSpec::Fixed(_) => result.hi = result.hi.min(max),
+                ArithSpec::Float(_) => result.hi = f64::INFINITY,
+                ArithSpec::F64 => {}
+            }
+        }
+        if verdict == InstrVerdict::MayUnderflow {
+            // The value may flush (or round) to zero.
+            result.lo = 0.0;
+        }
+
+        let dst = match instr {
+            Instr::LoadIndicator { dst, .. }
+            | Instr::Add { dst, .. }
+            | Instr::Mul { dst, .. }
+            | Instr::Max { dst, .. }
+            | Instr::MinNz { dst, .. } => dst,
+        };
+        regs[dst as usize] = result;
+        match verdict {
+            InstrVerdict::ProvablySafe => safe += 1,
+            InstrVerdict::MaySaturate => may_saturate += 1,
+            InstrVerdict::MayUnderflow => may_underflow += 1,
+        }
+        verdicts.push(verdict);
+    }
+
+    Ok(RangeReport {
+        spec,
+        root: regs[tape.root_reg() as usize],
+        verdicts,
+        safe,
+        may_saturate,
+        may_underflow,
+        param_flags,
+    })
+}
+
+/// Widest integer width tried by [`minimal_fixed_format`].
+const MAX_INT_SEARCH: u32 = 32;
+/// Widest fractional width tried by [`minimal_fixed_format`].
+const MAX_FRAC_SEARCH: u32 = 90;
+
+/// Derives the minimal fixed format `fixed:I.F` for which the range
+/// analysis proves every instruction of `tape` safe: first the smallest
+/// integer width that rules out saturation (searched with generous
+/// fraction bits), then the smallest fraction width that also rules out
+/// underflow — each candidate verified by re-running [`analyze`], never
+/// extrapolated. This is the per-model analytical bound of the paper's
+/// precision tables, as a pass.
+///
+/// When no searched width suffices, the widest candidate is returned
+/// with the corresponding `*_free` flag cleared.
+///
+/// # Errors
+///
+/// Returns the [`VerifyError`] of [`Tape::verify`] if the tape is not
+/// structurally well-formed.
+///
+/// # Examples
+///
+/// ```
+/// use problp_ac::{compile, Semiring};
+/// use problp_bayes::networks;
+/// use problp_engine::Tape;
+/// use problp_num::ArithSpec;
+///
+/// let ac = compile(&networks::asia())?;
+/// let tape = Tape::compile(&ac, Semiring::SumProduct)?;
+/// let rec = problp_verify::minimal_fixed_format(&tape)?;
+/// assert!(rec.saturation_free && rec.underflow_free);
+/// // The recommendation is verified, not extrapolated.
+/// let report = problp_verify::analyze(&tape, ArithSpec::Fixed(rec.format))?;
+/// assert!(report.all_safe());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn minimal_fixed_format(tape: &Tape) -> Result<FixedRecommendation, VerifyError> {
+    tape.verify()?;
+
+    // Phase 1: minimal integer width, probed with generous fraction bits
+    // so rounding never masks saturation.
+    let probe_frac = MAX_FRAC_SEARCH;
+    let mut int_bits = None;
+    for i in 0..=MAX_INT_SEARCH {
+        let fmt = FixedFormat::new(i, probe_frac).expect("searched widths stay in range");
+        let report = analyze(tape, ArithSpec::Fixed(fmt))?;
+        if report.may_saturate == 0 && !report.param_flags.overflow {
+            int_bits = Some(i);
+            break;
+        }
+    }
+    let (i, saturation_free) = match int_bits {
+        Some(i) => (i, true),
+        None => (MAX_INT_SEARCH, false),
+    };
+
+    // Phase 2: minimal fraction width at that integer width.
+    for f in 1..=MAX_FRAC_SEARCH {
+        let fmt = FixedFormat::new(i, f).expect("searched widths stay in range");
+        let report = analyze(tape, ArithSpec::Fixed(fmt))?;
+        if report.all_safe() {
+            return Ok(FixedRecommendation {
+                format: fmt,
+                saturation_free: true,
+                underflow_free: true,
+            });
+        }
+    }
+    Ok(FixedRecommendation {
+        format: FixedFormat::new(i, MAX_FRAC_SEARCH).expect("searched widths stay in range"),
+        saturation_free,
+        underflow_free: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use problp_ac::{compile, AcGraph, Semiring};
+    use problp_bayes::{networks, VarId};
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    /// λ_{a0}·0.3 + λ_{a1}·0.7.
+    fn tiny() -> AcGraph {
+        let mut g = AcGraph::new(vec![2]);
+        let a0 = g.indicator(v(0), 0).unwrap();
+        let a1 = g.indicator(v(0), 1).unwrap();
+        let t0 = g.param(0.3).unwrap();
+        let t1 = g.param(0.7).unwrap();
+        let p0 = g.product(vec![a0, t0]).unwrap();
+        let p1 = g.product(vec![a1, t1]).unwrap();
+        let root = g.sum(vec![p0, p1]).unwrap();
+        g.set_root(root);
+        g
+    }
+
+    #[test]
+    fn f64_is_always_safe() {
+        let tape = Tape::compile(&tiny(), Semiring::SumProduct).unwrap();
+        let report = analyze(&tape, ArithSpec::F64).unwrap();
+        assert!(report.all_safe());
+        assert_eq!(report.safe, tape.instrs().len());
+        // The root is a convex combination: its bounds say so.
+        assert!(report.root.lo >= 0.0);
+        assert!(report.root.hi <= 1.0 + 1e-12, "hi = {}", report.root.hi);
+    }
+
+    #[test]
+    fn builtin_networks_pin_the_paper_shaped_verdicts() {
+        // Sprinkler's products never leave what 2.14 fixed point holds.
+        let ac = compile(&networks::sprinkler()).unwrap();
+        let tape = Tape::compile(&ac, Semiring::SumProduct).unwrap();
+        for spec in ["f64", "fixed:2.14", "float:8.23"] {
+            let spec = ArithSpec::parse(spec).unwrap();
+            let report = analyze(&tape, spec).unwrap();
+            assert!(report.all_safe(), "{spec} on sprinkler");
+        }
+
+        // Asia's deepest product chain bottoms out near 1.5e-9 — far
+        // below the 2^-14 ulp — so 2.14 fixed point may round nonzero
+        // posterior mass to zero, and the analysis must say so, while
+        // an 8-bit-exponent float shrugs it off.
+        let ac = compile(&networks::asia()).unwrap();
+        let tape = Tape::compile(&ac, Semiring::SumProduct).unwrap();
+        for spec in ["f64", "float:8.23"] {
+            let spec = ArithSpec::parse(spec).unwrap();
+            let report = analyze(&tape, spec).unwrap();
+            assert!(report.all_safe(), "{spec} on asia");
+        }
+        let report = analyze(&tape, ArithSpec::parse("fixed:2.14").unwrap()).unwrap();
+        assert_eq!(report.may_saturate, 0, "asia never saturates 2 int bits");
+        assert!(report.may_underflow > 0, "asia's deep products may vanish");
+        assert!(!report.all_safe());
+    }
+
+    #[test]
+    fn a_format_that_cannot_hold_one_may_saturate() {
+        let tape = Tape::compile(&tiny(), Semiring::SumProduct).unwrap();
+        // fixed:0.4 tops out at 1 - 2^-4 < 1: the indicator loads saturate.
+        let spec = ArithSpec::parse("fixed:0.4").unwrap();
+        let report = analyze(&tape, spec).unwrap();
+        assert!(report.may_saturate > 0);
+        assert!(!report.all_safe());
+        assert!(matches!(
+            report.first_unsafe(),
+            Some((_, InstrVerdict::MaySaturate))
+        ));
+    }
+
+    #[test]
+    fn a_coarse_fixed_format_may_underflow_the_products() {
+        let tape = Tape::compile(&tiny(), Semiring::SumProduct).unwrap();
+        // fixed:2.2 has ulp 0.25; 1·0.3 rounds below a representable
+        // nonzero, so the analysis must warn.
+        let spec = ArithSpec::parse("fixed:2.2").unwrap();
+        let report = analyze(&tape, spec).unwrap();
+        assert!(report.may_underflow > 0, "{report:?}");
+    }
+
+    #[test]
+    fn verdict_vector_is_stream_aligned() {
+        let tape = Tape::compile(&tiny(), Semiring::SumProduct).unwrap();
+        let report = analyze(&tape, ArithSpec::parse("fixed:2.14").unwrap()).unwrap();
+        assert_eq!(report.verdicts.len(), tape.instrs().len());
+        assert_eq!(
+            report.safe + report.may_saturate + report.may_underflow,
+            report.verdicts.len()
+        );
+    }
+
+    #[test]
+    fn analysis_covers_all_semirings() {
+        let g = tiny();
+        for semiring in [
+            Semiring::SumProduct,
+            Semiring::MaxProduct,
+            Semiring::MinProduct,
+        ] {
+            let tape = Tape::compile(&g, semiring).unwrap();
+            let report = analyze(&tape, ArithSpec::parse("fixed:2.14").unwrap()).unwrap();
+            assert!(report.all_safe(), "{semiring:?}");
+        }
+    }
+
+    #[test]
+    fn minimal_fixed_format_is_verified_and_minimal() {
+        let ac = compile(&networks::sprinkler()).unwrap();
+        let tape = Tape::compile(&ac, Semiring::SumProduct).unwrap();
+        let rec = minimal_fixed_format(&tape).unwrap();
+        assert!(rec.saturation_free && rec.underflow_free);
+
+        // Verified at the recommendation...
+        let report = analyze(&tape, ArithSpec::Fixed(rec.format)).unwrap();
+        assert!(report.all_safe());
+
+        // ...and minimal in both widths.
+        let (i, f) = (rec.format.int_bits(), rec.format.frac_bits());
+        if f > 1 {
+            let narrower = FixedFormat::new(i, f - 1).unwrap();
+            let report = analyze(&tape, ArithSpec::Fixed(narrower)).unwrap();
+            assert!(!report.all_safe(), "one fewer fraction bit must fail");
+        }
+    }
+
+    #[test]
+    fn readme_walkthrough_formats_stay_pinned() {
+        // The README's "Static analysis" walkthrough quotes these exact
+        // derivations; keep them honest.
+        let asia =
+            Tape::compile(&compile(&networks::asia()).unwrap(), Semiring::SumProduct).unwrap();
+        let rec = minimal_fixed_format(&asia).unwrap();
+        assert!(rec.saturation_free && rec.underflow_free);
+        assert_eq!((rec.format.int_bits(), rec.format.frac_bits()), (1, 31));
+
+        // Alarm's smallest joint products need more than the searched 90
+        // fraction bits: the search pins the integer width (probabilities
+        // never exceed 1) but honestly reports underflow unresolved.
+        let alarm = Tape::compile(
+            &compile(&networks::alarm(11)).unwrap(),
+            Semiring::SumProduct,
+        )
+        .unwrap();
+        let rec = minimal_fixed_format(&alarm).unwrap();
+        assert_eq!(rec.format.int_bits(), 1);
+        assert!(rec.saturation_free);
+        assert!(!rec.underflow_free);
+    }
+
+    #[test]
+    fn rejects_a_corrupted_tape_before_analyzing() {
+        let mut tape = Tape::compile(&tiny(), Semiring::SumProduct).unwrap();
+        let oob = tape.num_regs() as u32 + 7;
+        let mul = tape
+            .raw_instrs_mut()
+            .iter_mut()
+            .find_map(|i| match i {
+                Instr::Mul { rhs, .. } => Some(rhs),
+                _ => None,
+            })
+            .expect("the tiny circuit multiplies");
+        *mul = oob;
+        assert!(analyze(&tape, ArithSpec::F64).is_err());
+        assert!(minimal_fixed_format(&tape).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Cross-checks between the two ways the workspace derives a safe fixed
+//! format: the circuit-level value analysis of `problp-bounds`
+//! (paper-style, over the AC graph) and the tape-level abstract
+//! interpretation of `problp-verify`. They reason over different IRs
+//! with different conservatisms, so the test asserts agreement within
+//! one bit, not equality.
+
+use problp_ac::{compile, transform::binarize, Semiring};
+use problp_bayes::networks;
+use problp_bounds::{required_frac_bits, required_int_bits, AcAnalysis};
+use problp_engine::Tape;
+use problp_num::ArithSpec;
+use problp_verify::{analyze, minimal_fixed_format};
+
+#[test]
+fn tape_level_minimal_format_agrees_with_the_circuit_level_analysis() {
+    for net in [
+        networks::sprinkler(),
+        networks::asia(),
+        networks::student(),
+        networks::earthquake(),
+    ] {
+        let nary = compile(&net).unwrap();
+        let bin = binarize(&nary).unwrap();
+        let analysis = AcAnalysis::new(&bin).unwrap();
+        let circuit_int = required_int_bits(&analysis, 0.0);
+        let circuit_frac = required_frac_bits(&analysis);
+
+        let tape = Tape::compile(&nary, Semiring::SumProduct).unwrap();
+        let rec = minimal_fixed_format(&tape).unwrap();
+        assert!(rec.saturation_free && rec.underflow_free);
+
+        let di = (rec.format.int_bits() as i64 - circuit_int as i64).abs();
+        let df = (rec.format.frac_bits() as i64 - circuit_frac as i64).abs();
+        assert!(
+            di <= 1,
+            "int bits disagree: tape {} vs circuit {circuit_int}",
+            rec.format.int_bits()
+        );
+        assert!(
+            df <= 1,
+            "frac bits disagree: tape {} vs circuit {circuit_frac}",
+            rec.format.frac_bits()
+        );
+
+        // The recommendation really is safe on its own terms.
+        let report = analyze(&tape, ArithSpec::Fixed(rec.format)).unwrap();
+        assert!(report.all_safe());
+    }
+}
+
+#[test]
+fn circuit_level_widths_are_safe_under_the_tape_analysis() {
+    // Granting the circuit-level derivation one extra bit in each
+    // direction (its conservatisms differ from the tape's), the range
+    // analysis must agree nothing can leave the format.
+    for net in [networks::sprinkler(), networks::asia()] {
+        let nary = compile(&net).unwrap();
+        let bin = binarize(&nary).unwrap();
+        let analysis = AcAnalysis::new(&bin).unwrap();
+        let fmt = problp_num::FixedFormat::new(
+            required_int_bits(&analysis, 0.0) + 1,
+            required_frac_bits(&analysis) + 1,
+        )
+        .unwrap();
+        let tape = Tape::compile(&nary, Semiring::SumProduct).unwrap();
+        let report = analyze(&tape, ArithSpec::Fixed(fmt)).unwrap();
+        assert!(report.all_safe(), "{fmt:?} on a builtin network");
+    }
+}

@@ -19,6 +19,9 @@
 //!                   [--seed 7] [--repr f64,fixed:2.14,float:8.13]
 //!                   [--inject-fault scalar|tape|tape-full|fused-compact|
 //!                    fused-full|simd-compact|schedule|pipeline]
+//! problp verify     [--models sprinkler,asia] [--repr f64,fixed:2.14,float:8.23]
+//!                   [--seed 7] [--corrupt oob-reg|slot-oob|param-write|truncate]
+//! problp lint-src   [--allow ci/lint-allow.txt]
 //! ```
 //!
 //! Networks use the plain-text `.bn` format of [`problp::bayes::io`].
@@ -71,6 +74,23 @@
 //! networks (default 2). The exit code is non-zero on any divergence;
 //! `--inject-fault` deliberately corrupts one backend's stream to prove
 //! the harness detects it.
+//!
+//! `verify` runs the static-analysis subsystem (`problp::verify`) over
+//! each model's tape: the Layer-1 structural verifier (compact and
+//! fused streams), the Layer-2 fixed/float range analysis per `--repr`
+//! arithmetic, and the minimal-safe-fixed-format search. It prints one
+//! row per model plus the `problp_verify_*` counter totals and ends
+//! with `verdict: PASS` / `verdict: FAIL` (non-zero exit). `--corrupt`
+//! mutates each tape before verification — the verifier must reject it
+//! with a typed error, so a corrupted run *failing* is the expected CI
+//! outcome.
+//!
+//! `lint-src` enforces the serving-path panic policy: no `.unwrap()` /
+//! `.expect(` in the non-test code of `crates/engine/src/serve.rs` and
+//! `crates/telemetry/src` (scanning stops at the first `#[cfg(test)]`
+//! line of each file). Exceptions live in `ci/lint-allow.txt` as
+//! `file-suffix: line-substring` entries. Run it from the repository
+//! root; non-zero exit on any violation.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -106,7 +126,10 @@ fn usage() -> ExitCode {
                     [--seed N] [--repr LIST] [--inject-fault BACKEND]
                     (LIST entries: f64 | fixed:I.F | float:E.M;
                      BACKEND: scalar|tape|tape-full|fused-compact|
-                     fused-full|simd-compact|schedule|pipeline)"
+                     fused-full|simd-compact|schedule|pipeline)
+  problp verify     [--models NAME|FILE[,...]] [--repr LIST] [--seed N]
+                    [--corrupt oob-reg|slot-oob|param-write|truncate]
+  problp lint-src   [--allow FILE]"
     );
     ExitCode::from(2)
 }
@@ -169,6 +192,8 @@ fn main() -> ExitCode {
     let mut random: Option<usize> = None;
     let mut repr: Option<String> = None;
     let mut inject_fault: Option<String> = None;
+    let mut corrupt: Option<String> = None;
+    let mut allow = PathBuf::from("ci/lint-allow.txt");
     let mut kernel = problp::engine::KernelKind::Scalar;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -268,6 +293,18 @@ fn main() -> ExitCode {
                 };
                 inject_fault = Some(b.clone());
             }
+            "--corrupt" => {
+                let Some(c) = it.next() else {
+                    return usage();
+                };
+                corrupt = Some(c.clone());
+            }
+            "--allow" => {
+                let Some(p) = it.next() else {
+                    return usage();
+                };
+                allow = PathBuf::from(p);
+            }
             "--kernel" => {
                 let Some(k) = it.next().and_then(|s| problp::engine::KernelKind::parse(s)) else {
                     return usage();
@@ -366,6 +403,37 @@ fn main() -> ExitCode {
         };
         return match conformance(&args) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // `verify` shares serve-sim's model loading (built-in names or .bn
+    // files) and never evaluates anything — it is pure static analysis.
+    if command == "verify" {
+        let args = VerifyArgs {
+            models,
+            repr,
+            seed,
+            corrupt,
+        };
+        return match verify_tapes(&args) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // `lint-src` needs no models at all; it reads workspace sources.
+    if command == "lint-src" {
+        return match lint_src(&allow) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
@@ -1293,6 +1361,274 @@ fn conformance(args: &ConformanceArgs) -> Result<(), Box<dyn std::error::Error>>
             report.total_mismatches()
         )
         .into())
+    }
+}
+
+struct VerifyArgs {
+    /// Comma-separated built-in network names or `.bn` paths (`None`
+    /// defaults to `sprinkler,asia`).
+    models: Option<String>,
+    /// Comma-separated arithmetics for the range analysis (`None` =
+    /// `f64,fixed:2.14,float:8.23`).
+    repr: Option<String>,
+    seed: u64,
+    /// Mutate each tape before verification (red-path self-test); the
+    /// run then *must* fail.
+    corrupt: Option<String>,
+}
+
+/// Applies one named corruption class to a compiled tape through the
+/// test-only mutation hook, so the CLI can demonstrate (and CI can
+/// grep for) the verifier's typed rejections.
+fn apply_corruption(tape: &mut problp::engine::Tape, class: &str) -> Result<(), String> {
+    use problp::engine::Instr;
+    let num_regs = tape.num_regs() as u32;
+    let param = tape.param_regs().first().copied();
+    let instrs = tape.raw_instrs_mut();
+    match class {
+        // An operand register past the register file: RegisterOutOfBounds.
+        "oob-reg" => {
+            let bin = instrs
+                .iter_mut()
+                .find_map(|i| match i {
+                    Instr::Add { rhs, .. }
+                    | Instr::Mul { rhs, .. }
+                    | Instr::Max { rhs, .. }
+                    | Instr::MinNz { rhs, .. } => Some(rhs),
+                    Instr::LoadIndicator { .. } => None,
+                })
+                .ok_or("tape has no binary instruction to corrupt")?;
+            *bin = num_regs + 7;
+        }
+        // An indicator slot past the evidence table: SlotOutOfBounds.
+        "slot-oob" => {
+            let slot = instrs
+                .iter_mut()
+                .find_map(|i| match i {
+                    Instr::LoadIndicator { slot, .. } => Some(slot),
+                    _ => None,
+                })
+                .ok_or("tape has no indicator load to corrupt")?;
+            *slot = u32::MAX / 2;
+        }
+        // A write into the immutable parameter table: ParamRegisterWrite.
+        "param-write" => {
+            let reg = param.ok_or("tape has no parameter registers")?;
+            let dst = instrs
+                .first_mut()
+                .map(|i| match i {
+                    Instr::LoadIndicator { dst, .. }
+                    | Instr::Add { dst, .. }
+                    | Instr::Mul { dst, .. }
+                    | Instr::Max { dst, .. }
+                    | Instr::MinNz { dst, .. } => dst,
+                })
+                .ok_or("tape is empty")?;
+            *dst = reg;
+        }
+        // No instruction ever defines the root: RootUndefined.
+        "truncate" => instrs.clear(),
+        other => {
+            return Err(format!(
+                "unknown --corrupt class {other:?} (expected oob-reg, slot-oob, \
+                 param-write or truncate)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the static-analysis subsystem (`problp::verify`) over each
+/// model's tape: Layer-1 structural verification of the compact and
+/// fused streams, Layer-2 range analysis per arithmetic, and the
+/// minimal-safe-fixed-format search. Returns `Ok(false)` (and prints
+/// `verdict: FAIL`) if any tape is rejected.
+fn verify_tapes(args: &VerifyArgs) -> Result<bool, Box<dyn std::error::Error>> {
+    use problp::engine::Tape;
+    use problp::telemetry::{metric_names, MetricsRegistry};
+    use problp::verify::{analyze, minimal_fixed_format, ArithSpec, VerifyMetrics};
+
+    let models = load_models(
+        args.models.as_deref().unwrap_or("sprinkler,asia"),
+        args.seed,
+    )?;
+    if models.is_empty() {
+        return Err("verify needs at least one model (--models)".into());
+    }
+    let spec = args.repr.as_deref().unwrap_or("f64,fixed:2.14,float:8.23");
+    let mut ariths: Vec<ArithSpec> = Vec::new();
+    for entry in spec.split(',').filter(|s| !s.is_empty()) {
+        let Some(a) = ArithSpec::parse(entry.trim()) else {
+            return Err(format!(
+                "bad --repr entry {entry:?} (expected f64, fixed:I.F or float:E.M)"
+            )
+            .into());
+        };
+        ariths.push(a);
+    }
+    if ariths.is_empty() {
+        return Err("--repr lists no arithmetics".into());
+    }
+
+    let registry = MetricsRegistry::new();
+    let metrics = VerifyMetrics::new(&registry);
+    if let Some(class) = &args.corrupt {
+        eprintln!("corrupting every tape with class {class} (verifier self-test)");
+    }
+
+    let arith_width = 16usize;
+    let mut header = format!("{:<12} {:>7}  ", "model", "instrs");
+    for a in &ariths {
+        header.push_str(&format!("{:<arith_width$}", a.to_string()));
+    }
+    header.push_str("minimal fixed");
+    println!("{header}");
+    println!("{}", "-".repeat(header.len().max(60)));
+
+    let mut clean = true;
+    for (name, net) in &models {
+        let ac = compile(net)?;
+        let mut tape = Tape::compile(&ac, Semiring::SumProduct)?;
+        if let Some(class) = &args.corrupt {
+            apply_corruption(&mut tape, class)?;
+        }
+
+        // Layer 1 first; a corrupted tape must not reach fusion or the
+        // range analysis (both assume structural well-formedness).
+        if let Err(e) = tape.verify() {
+            metrics.observe_reject();
+            println!("{name:<12} {:>7}  REJECTED ({e})", tape.instrs().len());
+            clean = false;
+            continue;
+        }
+        tape.verify_fused(&tape.fuse())?;
+        metrics.observe_pass();
+
+        let mut row = format!("{name:<12} {:>7}  ", tape.instrs().len());
+        for &arith in &ariths {
+            let report = analyze(&tape, arith)?;
+            metrics.observe_report(&report);
+            let cell = if report.all_safe() {
+                "safe".to_string()
+            } else {
+                format!("sat:{} unf:{}", report.may_saturate, report.may_underflow)
+            };
+            row.push_str(&format!("{cell:<arith_width$}"));
+        }
+        let rec = minimal_fixed_format(&tape)?;
+        row.push_str(&format!(
+            "fixed:{}.{}{}",
+            rec.format.int_bits(),
+            rec.format.frac_bits(),
+            // The width search is capped; `*` marks a recommendation
+            // that still may saturate or underflow at the cap.
+            if rec.saturation_free && rec.underflow_free {
+                ""
+            } else {
+                "*"
+            }
+        ));
+        println!("{row}");
+    }
+
+    let counter = |name: &str| registry.counter(name, "").get();
+    println!(
+        "\ncounters: runs={} rejects={} safe={} may-saturate={} may-underflow={}",
+        counter(metric_names::VERIFY_RUNS_TOTAL),
+        counter(metric_names::VERIFY_REJECTS_TOTAL),
+        counter(metric_names::VERIFY_INSTRS_SAFE_TOTAL),
+        counter(metric_names::VERIFY_INSTRS_MAY_SATURATE_TOTAL),
+        counter(metric_names::VERIFY_INSTRS_MAY_UNDERFLOW_TOTAL),
+    );
+    if clean {
+        println!("verdict: PASS — every tape verified");
+    } else {
+        println!("verdict: FAIL — the verifier rejected at least one tape");
+    }
+    Ok(clean)
+}
+
+/// The files `lint-src` scans: the serving path plus the whole
+/// telemetry crate — the code that runs inside long-lived servers,
+/// where a stray panic takes the process down.
+const LINT_SCOPE_FILE: &str = "crates/engine/src/serve.rs";
+const LINT_SCOPE_DIR: &str = "crates/telemetry/src";
+
+/// Enforces the serving-path panic policy: no `.unwrap()` / `.expect(`
+/// outside test code in the lint scope. Allowlist entries are
+/// `file-suffix: line-substring` lines in `allow_path`; `#` comments
+/// and blank lines are skipped. Returns `Ok(false)` on violations.
+fn lint_src(allow_path: &std::path::Path) -> Result<bool, Box<dyn std::error::Error>> {
+    let mut files = vec![PathBuf::from(LINT_SCOPE_FILE)];
+    let dir = std::fs::read_dir(LINT_SCOPE_DIR)
+        .map_err(|e| format!("cannot read {LINT_SCOPE_DIR} (run from the repository root): {e}"))?;
+    for entry in dir {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    files.sort();
+
+    let allow: Vec<(String, String)> = match std::fs::read_to_string(allow_path) {
+        Ok(text) => text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                l.split_once(':')
+                    .map(|(f, p)| (f.trim().to_string(), p.trim().to_string()))
+            })
+            .collect(),
+        // A missing allowlist just means "no exceptions".
+        Err(_) => Vec::new(),
+    };
+
+    let mut violations = 0usize;
+    for path in &files {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path.to_string_lossy().replace('\\', "/");
+        for (idx, line) in text.lines().enumerate() {
+            // Everything from the first `#[cfg(test)]` on is test code
+            // (the scoped files keep their test module last).
+            if line.contains("#[cfg(test)]") {
+                break;
+            }
+            let code = line.trim_start();
+            // Doc text may legitimately *mention* unwrap().
+            if code.starts_with("//") {
+                continue;
+            }
+            if !code.contains(".unwrap()") && !code.contains(".expect(") {
+                continue;
+            }
+            if allow
+                .iter()
+                .any(|(f, pat)| rel.ends_with(f.as_str()) && line.contains(pat.as_str()))
+            {
+                continue;
+            }
+            println!(
+                "{rel}:{}: unwrap()/expect() in non-test code: {code}",
+                idx + 1
+            );
+            violations += 1;
+        }
+    }
+
+    if violations == 0 {
+        println!(
+            "lint-src: clean — no unwrap()/expect() in the non-test code of {} files",
+            files.len()
+        );
+        Ok(true)
+    } else {
+        println!(
+            "lint-src: {violations} violation(s); fix them or add a \
+             `file-suffix: line-substring` entry to {}",
+            allow_path.display()
+        );
+        Ok(false)
     }
 }
 

@@ -126,6 +126,7 @@ pub use problp_engine as engine;
 pub use problp_hw as hw;
 pub use problp_num as num;
 pub use problp_telemetry as telemetry;
+pub use problp_verify as verify;
 
 /// The most common imports for working with ProbLP.
 pub mod prelude {
