@@ -179,6 +179,44 @@ pub fn serving_bench_record(study: &crate::ServingStudy) -> BenchRecord {
     }
 }
 
+/// [`BenchRecord`] for the exact answer-cache study
+/// (`BENCH_cache.json`): throughput of the cache-on pass, its sojourn
+/// percentiles, and the cache books + cache-off comparison as extras.
+pub fn cache_bench_record(study: &crate::CacheStudy) -> BenchRecord {
+    BenchRecord {
+        scenario: "cache".to_string(),
+        requests: study.requests as u64,
+        throughput_rps: if study.cached_secs > 0.0 {
+            study.requests as f64 / study.cached_secs
+        } else {
+            0.0
+        },
+        latency: Some(study.sojourn.clone()),
+        rejects: 0,
+        extra: vec![
+            ("unique".to_string(), JsonValue::from(study.unique)),
+            ("rounds".to_string(), JsonValue::from(study.rounds)),
+            ("identical".to_string(), JsonValue::from(study.identical)),
+            ("cold_secs".to_string(), JsonValue::from(study.cold_secs)),
+            (
+                "cached_secs".to_string(),
+                JsonValue::from(study.cached_secs),
+            ),
+            ("speedup".to_string(), JsonValue::from(study.speedup())),
+            ("cache_hits".to_string(), JsonValue::from(study.cache_hits)),
+            (
+                "cache_misses".to_string(),
+                JsonValue::from(study.cache_misses),
+            ),
+            (
+                "cache_evictions".to_string(),
+                JsonValue::from(study.cache_evictions),
+            ),
+            ("hit_rate".to_string(), JsonValue::from(study.hit_rate())),
+        ],
+    }
+}
+
 /// [`BenchRecord`] for the QoS study (`BENCH_qos.json`): the quota
 /// rejects are the record's `rejects`, with the policy settings and
 /// per-class percentiles as extras.
@@ -431,6 +469,30 @@ mod tests {
             .and_then(|l| l.get("p50"))
             .and_then(JsonValue::as_f64)
             .is_some());
+    }
+
+    #[test]
+    fn cache_record_validates_and_the_books_are_deterministic() {
+        let study = crate::cache_study(18, 3, SEED);
+        assert_eq!(study.unique, 18);
+        assert_eq!(study.requests, 54);
+        // Round one misses each of the 18 distinct keys once; the drain
+        // barrier guarantees rounds two and three hit all of them.
+        assert_eq!(study.cache_misses, 18);
+        assert_eq!(study.cache_hits, 36);
+        assert_eq!(study.cache_evictions, 0);
+        // A hit replays the memoized payload: the cached pass must be
+        // bit-identical to the cache-off pass on every request.
+        assert_eq!(study.identical, study.requests);
+        let record = cache_bench_record(&study);
+        assert_eq!(record.file_name(), "BENCH_cache.json");
+        let text = record.to_json().render_pretty();
+        validate_bench_json(&text).expect("cache record validates");
+        let doc = JsonValue::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("hit_rate").and_then(JsonValue::as_f64),
+            Some(36.0 / 54.0)
+        );
     }
 
     #[test]

@@ -14,14 +14,15 @@
 //! `--write-experiments` (rewrite `EXPERIMENTS.md` from the measured
 //! results). The `kernels`, `serving` and `conformance` sections also
 //! write machine-readable `BENCH_kernels.json` / `BENCH_serving.json` /
-//! `BENCH_qos.json` / `BENCH_conformance.json` perf records into the
-//! working directory.
+//! `BENCH_qos.json` / `BENCH_cache.json` / `BENCH_conformance.json`
+//! perf records into the working directory.
 
 use problp_bench::{
-    alarm_fixture, conformance_bench_record, figure5a, figure5b, kernels_bench_record,
-    qos_bench_record, render_conformance_report, render_kernel_study, render_qos_report,
-    render_serving_report, render_sweep, render_table2, serving_bench_record, table1, table2,
-    validate_bench_json, verify_bench_record, BenchRecord, SEED,
+    alarm_fixture, cache_bench_record, conformance_bench_record, figure5a, figure5b,
+    kernels_bench_record, qos_bench_record, render_cache_report, render_conformance_report,
+    render_kernel_study, render_qos_report, render_serving_report, render_sweep, render_table2,
+    serving_bench_record, table1, table2, validate_bench_json, verify_bench_record, BenchRecord,
+    SEED,
 };
 
 struct Options {
@@ -218,6 +219,13 @@ fn main() {
             "## QoS serving policy — hot-tenant quota + priority lanes + adaptive wait\n\n```text\n{t}```\n"
         ));
         emit_bench(&qos_bench_record(&study));
+        let study = problp_bench::cache_study(64, 4, SEED);
+        let t = render_cache_report(&study);
+        println!("{t}");
+        sections.push(format!(
+            "## Exact answer caching — repeated mixed-tenant trace\n\n```text\n{t}```\n"
+        ));
+        emit_bench(&cache_bench_record(&study));
     }
 
     if matches!(opts.command.as_str(), "conformance" | "all") {

@@ -19,8 +19,8 @@
 pub mod bench_json;
 
 pub use bench_json::{
-    conformance_bench_record, kernels_bench_record, qos_bench_record, serving_bench_record,
-    validate_bench_json, verify_bench_record, BenchRecord, BENCH_SCHEMA,
+    cache_bench_record, conformance_bench_record, kernels_bench_record, qos_bench_record,
+    serving_bench_record, validate_bench_json, verify_bench_record, BenchRecord, BENCH_SCHEMA,
 };
 
 use problp_ac::{compile, transform::binarize, AcGraph};
@@ -1406,6 +1406,220 @@ pub fn serving_report(requests: usize, seed: u64) -> String {
     render_serving_report(&serving_study(requests, seed))
 }
 
+/// The result of [`cache_study`]: the same repeated mixed-tenant trace
+/// served twice — exact answer cache off, then on — with the cached
+/// pass's books. The trace repeats `unique` distinct requests for
+/// `rounds` rounds with a drain barrier between rounds, so the cached
+/// pass's hit count is deterministic: round one misses every key once,
+/// every later round hits every key.
+#[derive(Clone, Debug)]
+pub struct CacheStudy {
+    /// Distinct requests per round (distinct cache keys).
+    pub unique: usize,
+    /// Rounds the trace repeats (≥ 2, so hits actually happen).
+    pub rounds: usize,
+    /// Total requests per pass (`unique * rounds`).
+    pub requests: usize,
+    /// Cached answers bit-identical to the cache-off pass.
+    pub identical: usize,
+    /// Wall time of the cache-off pass, seconds.
+    pub cold_secs: f64,
+    /// Wall time of the cache-on pass, seconds.
+    pub cached_secs: f64,
+    /// Cache hits of the cached pass (`(rounds - 1) * unique`).
+    pub cache_hits: u64,
+    /// Cache misses of the cached pass (`unique`).
+    pub cache_misses: u64,
+    /// LRU evictions of the cached pass (zero: ample capacity).
+    pub cache_evictions: u64,
+    /// Sojourn latencies of the cache-on pass — hits resolve at
+    /// admission, so the low percentiles collapse.
+    pub sojourn: problp_telemetry::HistogramSnapshot,
+}
+
+impl CacheStudy {
+    /// Cache-off wall time over cache-on wall time.
+    pub fn speedup(&self) -> f64 {
+        self.cold_secs / self.cached_secs
+    }
+
+    /// Hits over lookups of the cached pass.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Runs the exact answer-cache study: `unique` distinct requests
+/// (round-robin over the three tenants, sweeping query kind × canonical
+/// evidence so every cache key is distinct) served for `rounds` rounds,
+/// once with `cache_capacity: 0` and once with ample capacity. The
+/// cached pass must reproduce the cache-off pass bit for bit — a hit
+/// replays the memoized payload, it never re-derives it.
+pub fn cache_study(unique: usize, rounds: usize, seed: u64) -> CacheStudy {
+    use problp_bayes::BatchQuery;
+    use problp_engine::{CircuitPool, Priority, ServeConfig, ServeRequest, Server};
+    use problp_num::F64Arith;
+    use std::time::{Duration, Instant};
+
+    let (tenants, circuits, pools) = serving_fixture(seed);
+    let unique = unique.max(1);
+    let rounds = rounds.max(2);
+
+    // Distinct-by-construction requests: per tenant, slot `s` maps to
+    // (query kind `s / pool`, evidence `s % pool`), so no two slots of
+    // one tenant share a cache key and round one cannot hit.
+    let mut base: Vec<ServeRequest> = Vec::with_capacity(unique);
+    let mut cursor = vec![0usize; tenants.len()];
+    let mut i = 0usize;
+    while base.len() < unique {
+        let t = i % tenants.len();
+        i += 1;
+        let pool = &pools[t];
+        let slot = cursor[t];
+        if slot >= pool.len() * 3 {
+            if cursor.iter().zip(&pools).all(|(c, p)| *c >= p.len() * 3) {
+                break; // every tenant's key space is exhausted
+            }
+            continue;
+        }
+        cursor[t] += 1;
+        let (name, net) = &tenants[t];
+        let query = match slot / pool.len() {
+            0 => BatchQuery::Marginal,
+            1 => BatchQuery::Mpe,
+            _ => BatchQuery::Conditional {
+                query_var: net.roots()[0],
+            },
+        };
+        base.push(ServeRequest {
+            model: name.clone(),
+            evidence: pool[slot % pool.len()].clone(),
+            query,
+            priority: Priority::Interactive,
+        });
+    }
+    let unique = base.len();
+
+    // One pass: submit each round as a burst, drain it, repeat. The
+    // drain barrier between rounds makes the cached pass deterministic:
+    // by the time round `r + 1` submits, every round-`r` dispatch has
+    // filled the cache.
+    let run_pass = |capacity: usize| {
+        let mut pool = CircuitPool::new(F64Arith::new());
+        for ((name, _), ac) in tenants.iter().zip(&circuits) {
+            pool.register(name, ac).expect("registers");
+        }
+        let server = Server::start(
+            pool,
+            ServeConfig {
+                max_batch: 32,
+                max_wait: Duration::from_micros(500),
+                workers: 4,
+                cache_capacity: capacity,
+                ..ServeConfig::default()
+            },
+        );
+        let sojourn =
+            problp_telemetry::Histogram::new(problp_telemetry::default_latency_buckets_us());
+        let mut answers = Vec::with_capacity(unique * rounds);
+        let start = Instant::now();
+        for _ in 0..rounds {
+            let submitted: Vec<(Instant, _)> = base
+                .iter()
+                .map(|r| (Instant::now(), server.submit(r.clone())))
+                .collect();
+            let deadline = Instant::now() + Duration::from_secs(30);
+            for (enqueued, ticket) in submitted {
+                match ticket {
+                    Ok(t) => {
+                        let (reply, completed) = t.wait_deadline_timed(
+                            deadline.saturating_duration_since(Instant::now()),
+                        );
+                        sojourn.observe_duration(completed.saturating_duration_since(enqueued));
+                        answers.push(reply);
+                    }
+                    Err(e) => answers.push(Err(e)),
+                }
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let stats = server.stats();
+        server.shutdown();
+        (secs, answers, stats, sojourn.snapshot())
+    };
+
+    let (cold_secs, cold, _, _) = run_pass(0);
+    let (cached_secs, cached, stats, sojourn) = run_pass(unique * 2);
+    let identical = cold
+        .iter()
+        .zip(&cached)
+        .filter(|(a, b)| problp_engine::lane_answer_eq(a, b))
+        .count();
+    CacheStudy {
+        unique,
+        rounds,
+        requests: unique * rounds,
+        identical,
+        cold_secs,
+        cached_secs,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_evictions: stats.cache_evictions,
+        sojourn,
+    }
+}
+
+/// Runs [`cache_study`] and renders it as a text table.
+pub fn cache_report(unique: usize, rounds: usize, seed: u64) -> String {
+    render_cache_report(&cache_study(unique, rounds, seed))
+}
+
+/// Renders an already-run cache study as a text table (so callers can
+/// reuse the same study for `BENCH_cache.json`).
+pub fn render_cache_report(study: &CacheStudy) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Exact answer caching: {} distinct requests x {} rounds over 3 models\n",
+        study.unique, study.rounds
+    ));
+    out.push_str(&format!(
+        "bit-identical to the cache-off pass: {}/{}\n",
+        study.identical, study.requests
+    ));
+    out.push_str(&format!(
+        "cache books: {} hits / {} misses / {} evictions (hit rate {:.1}%)\n",
+        study.cache_hits,
+        study.cache_misses,
+        study.cache_evictions,
+        study.hit_rate() * 100.0
+    ));
+    out.push_str(&format!(
+        "cache off {:>8.2} ms | cache on {:>8.2} ms | speedup {:.1}x\n",
+        study.cold_secs * 1e3,
+        study.cached_secs * 1e3,
+        study.speedup()
+    ));
+    let fmt_q = |p: f64| {
+        study
+            .sojourn
+            .quantile(p)
+            .map_or_else(|| "-".to_string(), |us| us.to_string())
+    };
+    out.push_str(&format!(
+        "cached-pass sojourn (us): p50 {} | p90 {} | p99 {} | max {}\n",
+        fmt_q(50.0),
+        fmt_q(90.0),
+        fmt_q(99.0),
+        study.sojourn.max
+    ));
+    out
+}
+
 /// Renders an already-run serving study as a text table (so callers can
 /// reuse the same study for `BENCH_serving.json`).
 pub fn render_serving_report(study: &ServingStudy) -> String {
@@ -1558,6 +1772,7 @@ pub fn qos_study(requests: usize, seed: u64) -> QosStudy {
             tenant_quota: quota,
             priority_aging: Duration::from_millis(2),
             adaptive_wait: true,
+            ..ServeConfig::default()
         },
     );
 

@@ -1,0 +1,463 @@
+//! The exact answer cache: an LRU memo of per-lane serving results
+//! keyed on `(model, tape version, query, canonical evidence)`.
+//!
+//! The cache is *exact*, not approximate: a hit requires full equality
+//! of the canonical evidence column (every variable's observed state,
+//! [`problp_bayes::UNOBSERVED`] where free), so a cached answer is the
+//! very payload the engine produced for that key earlier — hits are
+//! bit-identical by construction, across all three arithmetics. The
+//! 64-bit evidence fingerprint only accelerates hashing; equality never
+//! trusts it.
+//!
+//! Keys carry the tenant's [`ModelVersion`], so answers computed
+//! against an old tape can never resolve a request admitted after a
+//! [`super::Server::reload`] cut-over: the new admission hashes to a
+//! different key. Reload additionally drops the swapped model's entries
+//! eagerly (counted as evictions) to free capacity.
+//!
+//! Only deterministic outcomes are memoized: successful responses and
+//! the typed [`ServeError::ImpossibleEvidence`] reject. Transient
+//! failures (worker panics, lane-count mismatches) always re-execute.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, MutexGuard};
+
+use problp_bayes::{BatchQuery, Evidence, EvidenceBatch, VarId, UNOBSERVED};
+
+use super::admission::{LaneResult, ServeError};
+use super::pool::ModelVersion;
+
+/// The exact identity of one servable lane. Two requests share a key
+/// iff a cached answer for one is, bit for bit, the right answer for
+/// the other.
+///
+/// `Hash` is implemented by hand so only the cheap fields feed the
+/// hasher (the evidence column is folded in through `fingerprint`);
+/// the derived `PartialEq` still compares the full evidence column, so
+/// a fingerprint collision degrades to a bucket collision, never to a
+/// wrong answer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) struct CacheKey {
+    model: String,
+    version: ModelVersion,
+    query: BatchQuery,
+    fingerprint: u64,
+    evidence: Box<[i32]>,
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.model.hash(state);
+        self.version.hash(state);
+        match self.query {
+            BatchQuery::Marginal => 0u8.hash(state),
+            BatchQuery::Mpe => 1u8.hash(state),
+            BatchQuery::Conditional { query_var } => {
+                2u8.hash(state);
+                query_var.index().hash(state);
+            }
+        }
+        self.fingerprint.hash(state);
+    }
+}
+
+/// FNV-1a over the little-endian bytes of the canonical state column —
+/// byte-stable across platforms and across the two key constructors.
+fn evidence_fingerprint(states: &[i32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in states {
+        for b in s.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl CacheKey {
+    fn from_states(
+        model: &str,
+        version: ModelVersion,
+        query: BatchQuery,
+        states: Vec<i32>,
+    ) -> Self {
+        CacheKey {
+            model: model.to_string(),
+            version,
+            query,
+            fingerprint: evidence_fingerprint(&states),
+            evidence: states.into_boxed_slice(),
+        }
+    }
+
+    /// The key of a request at admission, before any coalescing: the
+    /// sparse [`Evidence`] is canonicalized into a dense state column.
+    pub(crate) fn for_request(
+        model: &str,
+        version: ModelVersion,
+        query: BatchQuery,
+        evidence: &Evidence,
+    ) -> Self {
+        let mut states = vec![UNOBSERVED; evidence.len()];
+        for (var, state) in evidence.iter() {
+            states[var.index()] = state as i32;
+        }
+        Self::from_states(model, version, query, states)
+    }
+
+    /// The key of one lane of a dispatched job, read back out of the
+    /// coalesced columnar batch. Produces exactly the column
+    /// [`CacheKey::for_request`] would have built from the lane's
+    /// original request — the property the key-canonicalization unit
+    /// test pins.
+    pub(crate) fn for_lane(
+        model: &str,
+        version: ModelVersion,
+        query: BatchQuery,
+        batch: &EvidenceBatch,
+        lane: usize,
+    ) -> Self {
+        let states = (0..batch.var_count())
+            .map(|v| batch.column(VarId::from_index(v))[lane])
+            .collect();
+        Self::from_states(model, version, query, states)
+    }
+
+    /// Whether this key belongs to `model` (any version).
+    fn is_model(&self, model: &str) -> bool {
+        self.model == model
+    }
+}
+
+/// Whether a lane's outcome is a deterministic function of its cache
+/// key, and therefore safe to memoize.
+pub(crate) fn cacheable<V>(result: &LaneResult<V>) -> bool {
+    matches!(result, Ok(_) | Err(ServeError::ImpossibleEvidence))
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node<T> {
+    key: CacheKey,
+    value: T,
+    prev: usize,
+    next: usize,
+}
+
+/// A strict-capacity LRU map: an intrusive doubly-linked recency list
+/// threaded through a slab `Vec`, with a [`HashMap`] index — `get` and
+/// `insert` are O(1) (amortized), so the hot submit path pays a hash
+/// and a couple of pointer swaps under the cache lock.
+pub(crate) struct AnswerCache<T> {
+    capacity: usize,
+    map: HashMap<CacheKey, usize>,
+    slab: Vec<Node<T>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used — the eviction end.
+    tail: usize,
+}
+
+impl<T> AnswerCache<T> {
+    /// An empty cache holding at most `capacity` entries. Callers gate
+    /// on `capacity > 0` (a zero-capacity cache is represented as no
+    /// cache at all, so the hot paths skip the lock entirely).
+    pub(crate) fn new(capacity: usize) -> Self {
+        AnswerCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<&T> {
+        let idx = *self.map.get(key)?;
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(&self.slab[idx].value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting from the LRU end if over
+    /// capacity. Returns the number of entries evicted (0 or 1).
+    pub(crate) fn insert(&mut self, key: CacheKey, value: T) -> u64 {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return 0;
+        }
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = node;
+                idx
+            }
+            None => {
+                self.slab.push(node);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        if self.map.len() > self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Drops every entry belonging to `model`, any version — the
+    /// reload invalidation hook. Returns the number dropped.
+    pub(crate) fn invalidate_model(&mut self, model: &str) -> u64 {
+        let victims: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| k.is_model(model))
+            .map(|(_, &idx)| idx)
+            .collect();
+        for idx in &victims {
+            self.unlink(*idx);
+            self.map.remove(&self.slab[*idx].key);
+            self.free.push(*idx);
+        }
+        victims.len() as u64
+    }
+}
+
+/// Locks the cache, recovering from poisoning: like the queue, cache
+/// state is plain data with no invariants spanning a panic point, and
+/// serving must outlive a panicked worker.
+pub(crate) fn lock_cache<T>(cache: &Mutex<AnswerCache<T>>) -> MutexGuard<'_, AnswerCache<T>> {
+    cache
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::pool::tests_support::{marginal, two_model_pool};
+    use super::super::{
+        lane_answer_eq, Priority, ServeConfig, ServeError, ServeRequest, ServeResponse, Server,
+    };
+    use super::*;
+    use std::time::Duration;
+
+    fn key(model: &str, version: ModelVersion, states: &[i32]) -> CacheKey {
+        CacheKey::from_states(model, version, BatchQuery::Marginal, states.to_vec())
+    }
+
+    #[test]
+    fn key_canonicalization_matches_between_constructors() {
+        let mut ev = Evidence::empty(4);
+        ev.observe(VarId::from_index(2), 1);
+        let from_request = CacheKey::for_request("m", 3, BatchQuery::Marginal, &ev);
+        let mut batch = EvidenceBatch::new(4);
+        batch.push(&Evidence::empty(4));
+        batch.push(&ev);
+        let from_lane = CacheKey::for_lane("m", 3, BatchQuery::Marginal, &batch, 1);
+        assert_eq!(from_request, from_lane);
+        assert_eq!(from_request.fingerprint, from_lane.fingerprint);
+        // And the unobserved lane is a different key with a different
+        // canonical column.
+        let empty_lane = CacheKey::for_lane("m", 3, BatchQuery::Marginal, &batch, 0);
+        assert_ne!(from_request, empty_lane);
+        assert_eq!(&*empty_lane.evidence, &[UNOBSERVED; 4]);
+    }
+
+    #[test]
+    fn keys_separate_models_versions_and_queries() {
+        let ev = Evidence::empty(4);
+        let base = CacheKey::for_request("m", 1, BatchQuery::Marginal, &ev);
+        assert_ne!(
+            base,
+            CacheKey::for_request("n", 1, BatchQuery::Marginal, &ev)
+        );
+        assert_ne!(
+            base,
+            CacheKey::for_request("m", 2, BatchQuery::Marginal, &ev)
+        );
+        assert_ne!(base, CacheKey::for_request("m", 1, BatchQuery::Mpe, &ev));
+        let cond = |v: usize| BatchQuery::Conditional {
+            query_var: VarId::from_index(v),
+        };
+        // Conditional keys distinguish the query variable even though
+        // the evidence column is identical.
+        assert_ne!(
+            CacheKey::for_request("m", 1, cond(0), &ev),
+            CacheKey::for_request("m", 1, cond(1), &ev)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut c: AnswerCache<u32> = AnswerCache::new(2);
+        assert_eq!(c.insert(key("m", 1, &[0]), 10), 0);
+        assert_eq!(c.insert(key("m", 1, &[1]), 11), 0);
+        // Touch [0] so [1] becomes the LRU victim.
+        assert_eq!(c.get(&key("m", 1, &[0])), Some(&10));
+        assert_eq!(c.insert(key("m", 1, &[2]), 12), 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key("m", 1, &[1])), None);
+        assert_eq!(c.get(&key("m", 1, &[0])), Some(&10));
+        assert_eq!(c.get(&key("m", 1, &[2])), Some(&12));
+        // Refreshing an existing key is not an eviction, and the slab
+        // slot freed above is reused rather than growing the slab.
+        assert_eq!(c.insert(key("m", 1, &[0]), 20), 0);
+        assert_eq!(c.get(&key("m", 1, &[0])), Some(&20));
+        assert_eq!(c.slab.len(), 3);
+    }
+
+    #[test]
+    fn invalidate_model_drops_only_that_model() {
+        let mut c: AnswerCache<u32> = AnswerCache::new(8);
+        c.insert(key("hot", 1, &[0]), 1);
+        c.insert(key("hot", 2, &[0]), 2);
+        c.insert(key("cold", 1, &[0]), 3);
+        // Both versions of the swapped model go; the bystander stays.
+        assert_eq!(c.invalidate_model("hot"), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key("cold", 1, &[0])), Some(&3));
+        assert_eq!(c.get(&key("hot", 1, &[0])), None);
+        // The freed slots are reusable.
+        c.insert(key("hot", 3, &[0]), 4);
+        assert_eq!(c.get(&key("hot", 3, &[0])), Some(&4));
+        assert_eq!(c.slab.len(), 3);
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_and_counted() {
+        let server = Server::start(
+            two_model_pool(),
+            ServeConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(100),
+                workers: 1,
+                cache_capacity: 64,
+                ..ServeConfig::default()
+            },
+        );
+        let req = marginal("sprinkler", 4, Priority::Interactive);
+        let cold = server.submit(req.clone()).unwrap().wait();
+        assert!(matches!(cold, Ok(ServeResponse::Marginal { .. })));
+        // The dispatcher fills the cache before resolving the ticket,
+        // so the resubmit below deterministically hits.
+        let warm = server.submit(req.clone()).unwrap().wait();
+        assert!(lane_answer_eq(&cold, &warm), "{cold:?} vs {warm:?}");
+        let stats = server.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        // The hit never entered the queue: one lane admitted in total.
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.dispatches, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn impossible_evidence_is_memoized_but_panics_are_not() {
+        // ImpossibleEvidence is a deterministic function of the key, so
+        // the second submission must hit.
+        let net = problp_bayes::networks::sprinkler();
+        let server = Server::start(
+            two_model_pool(),
+            ServeConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(50),
+                workers: 1,
+                cache_capacity: 16,
+                ..ServeConfig::default()
+            },
+        );
+        let mut impossible = Evidence::empty(net.var_count());
+        impossible.observe(net.find("Sprinkler").unwrap(), 0);
+        impossible.observe(net.find("Rain").unwrap(), 0);
+        impossible.observe(net.find("WetGrass").unwrap(), 1);
+        let req = ServeRequest {
+            model: "sprinkler".to_string(),
+            evidence: impossible,
+            query: BatchQuery::Conditional {
+                query_var: net.find("Cloudy").unwrap(),
+            },
+            priority: Priority::Interactive,
+        };
+        let cold = server.submit(req.clone()).unwrap().wait();
+        assert_eq!(cold, Err(ServeError::ImpossibleEvidence));
+        let warm = server.submit(req).unwrap().wait();
+        assert_eq!(warm, Err(ServeError::ImpossibleEvidence));
+        assert_eq!(server.stats().cache_hits, 1);
+        server.shutdown();
+        // And the cacheable() gate itself: transient errors are not
+        // deterministic outcomes of the key.
+        assert!(cacheable::<f64>(&Err(ServeError::ImpossibleEvidence)));
+        assert!(!cacheable::<f64>(&Err(ServeError::Disconnected)));
+        assert!(!cacheable::<f64>(&Err(ServeError::LaneCountMismatch {
+            expected: 2,
+            got: 1
+        })));
+    }
+
+    #[test]
+    fn cache_off_by_default_counts_nothing() {
+        let server = Server::start(two_model_pool(), ServeConfig::default());
+        let req = marginal("asia", 8, Priority::Interactive);
+        let a = server.submit(req.clone()).unwrap().wait();
+        let b = server.submit(req).unwrap().wait();
+        assert!(lane_answer_eq(&a, &b));
+        let stats = server.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert_eq!(stats.cache_evictions, 0);
+        assert_eq!(stats.admitted, 2);
+        server.shutdown();
+    }
+}

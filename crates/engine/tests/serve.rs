@@ -2,9 +2,12 @@
 //! admission queue are bit-identical to serving each request alone —
 //! per model, per query kind, per arithmetic, and under **every QoS
 //! policy combination** (per-tenant quotas, priority lanes, adaptive
-//! max_wait). Policy knobs may reorder or reject work, never change an
-//! answer. Plus a deterministic anti-starvation check: a saturating
-//! Interactive tenant cannot delay a Batch group past the aging bound.
+//! max_wait, and the exact answer cache). Policy knobs may reorder,
+//! reject or memoize work, never change an answer. Plus two
+//! deterministic checks: a saturating Interactive tenant cannot delay a
+//! Batch group past the aging bound, and a mid-trace hot swap
+//! ([`Server::reload`]) strands no ticket while cutting new admissions
+//! over to the new tape version.
 
 use std::time::{Duration, Instant};
 
@@ -47,6 +50,10 @@ struct PolicyPick {
     tenant_quota: usize,
     aging_us: u64,
     adaptive_wait: bool,
+    /// 0 = cache off; a tiny capacity (constant LRU churn) and a
+    /// capacity larger than any trace are both generated. Cache hits
+    /// must be indistinguishable from re-evaluation, bit for bit.
+    cache_capacity: usize,
     /// Evaluator kernel for the pool's engines. The coalescing
     /// invariant must hold under every kernel (and `tests/kernels.rs`
     /// pins each kernel to the scalar walk, closing the loop).
@@ -67,20 +74,26 @@ fn trace_strategy() -> impl Strategy<Value = (Vec<TracePick>, PolicyPick)> {
             1..40,
         ),
         (
-            1usize..9,     // max_batch
-            1usize..4,     // dispatcher workers
-            0usize..3,     // quota pick: 0 = off, else quota = pick * 5
-            0u64..3,       // aging pick
-            any::<bool>(), // adaptive max_wait
-            0usize..3,     // kernel pick: scalar | simd | fused
+            (
+                1usize..9, // max_batch
+                1usize..4, // dispatcher workers
+                0usize..3, // quota pick: 0 = off, else quota = pick * 5
+                0u64..3,   // aging pick
+            ),
+            (
+                any::<bool>(), // adaptive max_wait
+                0usize..3,     // cache pick: off | churning | ample
+                0usize..3,     // kernel pick: scalar | simd | fused
+            ),
         )
             .prop_map(
-                |(max_batch, workers, quota, aging, adaptive_wait, kernel)| PolicyPick {
+                |((max_batch, workers, quota, aging), (adaptive_wait, cache, kernel))| PolicyPick {
                     max_batch,
                     workers,
                     tenant_quota: quota * 5,
                     aging_us: [200, 2_000, 50_000][aging as usize],
                     adaptive_wait,
+                    cache_capacity: [0, 3, 256][cache],
                     kernel: KernelKind::ALL[kernel],
                 },
             ),
@@ -113,6 +126,7 @@ where
             tenant_quota: policy.tenant_quota,
             priority_aging: Duration::from_micros(policy.aging_us),
             adaptive_wait: policy.adaptive_wait,
+            cache_capacity: policy.cache_capacity,
         },
     );
     let requests: Vec<ServeRequest> = trace
@@ -169,6 +183,16 @@ where
                 prop_assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+    // The cache books must balance: with the cache on, every request
+    // that reached the queue-or-cache stage did exactly one lookup
+    // (quota rejects happen after the lookup); with it off, the
+    // counters never move.
+    let stats = server.stats();
+    if policy.cache_capacity > 0 {
+        prop_assert_eq!(stats.cache_hits + stats.cache_misses, trace.len() as u64);
+    } else {
+        prop_assert_eq!(stats.cache_hits + stats.cache_misses, 0);
     }
     server.shutdown();
     Ok(())
@@ -274,4 +298,134 @@ fn saturating_interactive_tenant_cannot_starve_batch_past_aging() {
         "batch request delayed {delay:?}, aging bound is 5ms"
     );
     feeder.join().unwrap();
+}
+
+/// A 3-variable net whose CPTs are parameterized by `p`: two values of
+/// `p` give two tape versions with genuinely different answers.
+fn swap_variant(p: f64) -> problp_bayes::BayesNet {
+    let mut b = problp_bayes::BayesNetBuilder::new();
+    let a = b.variable("A", 2);
+    b.cpt(a, [], [p, 1.0 - p]).unwrap();
+    let m = b.variable("B", 3);
+    b.cpt(m, [a], [0.2, 0.3, 0.5, p, (1.0 - p) / 2.0, (1.0 - p) / 2.0])
+        .unwrap();
+    let c = b.variable("C", 2);
+    b.cpt(c, [m], [0.1, 0.9, 0.5, 0.5, 0.8, 0.2]).unwrap();
+    b.build().unwrap()
+}
+
+/// Hot swap under load: a trace straddling a [`Server::reload`] strands
+/// no ticket, requests admitted before the swap finish on the old tape,
+/// and requests admitted after it answer exactly like a fresh pool
+/// compiled from the new graph — with a bystander model unaffected.
+#[test]
+fn hot_swap_under_load_strands_no_ticket_and_cuts_over() {
+    let net_v1 = swap_variant(0.3);
+    let net_v2 = swap_variant(0.6);
+    let ac_v1 = compile(&net_v1).unwrap();
+    let ac_v2 = compile(&net_v2).unwrap();
+    let mut pool = CircuitPool::new(F64Arith::new());
+    pool.register("swap", &ac_v1).unwrap();
+    pool.register("steady", &compile(&networks::asia()).unwrap())
+        .unwrap();
+    let server = Server::start(
+        pool,
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            workers: 2,
+            cache_capacity: 32,
+            ..ServeConfig::default()
+        },
+    );
+    let request = |i: usize, model: &str, net: &problp_bayes::BayesNet| ServeRequest {
+        model: model.to_string(),
+        evidence: evidence_from_picks(net, &[i, i / 2, i / 3, i % 5]),
+        query: match i % 3 {
+            0 => BatchQuery::Marginal,
+            1 => BatchQuery::Mpe,
+            _ => BatchQuery::Conditional {
+                query_var: net.roots()[0],
+            },
+        },
+        priority: Priority::Interactive,
+    };
+    let asia = networks::asia();
+    let mk_phase = |base: usize| -> Vec<ServeRequest> {
+        (0..40)
+            .map(|i| {
+                if i % 4 == 3 {
+                    request(base + i, "steady", &asia)
+                } else {
+                    request(base + i, "swap", &net_v1)
+                }
+            })
+            .collect()
+    };
+    // Phase 1 is admitted against version 1 and left in flight while
+    // the reload lands: nothing is drained before the cut-over.
+    let pre_requests = mk_phase(0);
+    let pre_tickets: Vec<_> = pre_requests
+        .iter()
+        .map(|r| server.submit(r.clone()).unwrap())
+        .collect();
+    assert_eq!(server.reload("swap", &ac_v2).unwrap(), 2);
+    let post_requests = mk_phase(1);
+    let post_tickets: Vec<_> = post_requests
+        .iter()
+        .map(|r| server.submit(r.clone()).unwrap())
+        .collect();
+    // Every ticket resolves (deadline, not wait: a stranded ticket must
+    // fail the test, not hang it).
+    let drain = |tickets: Vec<problp_engine::Ticket<f64>>| -> Vec<_> {
+        tickets
+            .into_iter()
+            .map(|t| {
+                let got = t.wait_deadline(Duration::from_secs(30));
+                assert!(
+                    !matches!(
+                        got,
+                        Err(ServeError::Timeout { .. } | ServeError::Disconnected)
+                    ),
+                    "stranded ticket across the reload: {got:?}"
+                );
+                got
+            })
+            .collect()
+    };
+    let pre_answers = drain(pre_tickets);
+    let post_answers = drain(post_tickets);
+    // References: single-version pools compiled fresh from each graph.
+    let mut ref_v1 = CircuitPool::new(F64Arith::new());
+    ref_v1.register("swap", &ac_v1).unwrap();
+    ref_v1.register("steady", &compile(&asia).unwrap()).unwrap();
+    let mut ref_v2 = CircuitPool::new(F64Arith::new());
+    ref_v2.register("swap", &ac_v2).unwrap();
+    ref_v2.register("steady", &compile(&asia).unwrap()).unwrap();
+    for (req, got) in pre_requests.iter().zip(&pre_answers) {
+        let want = ref_v1.serve_one(req);
+        assert!(
+            lane_answer_eq(&want, got),
+            "pre-reload {req:?}: {want:?} vs {got:?}"
+        );
+    }
+    for (req, got) in post_requests.iter().zip(&post_answers) {
+        let want = ref_v2.serve_one(req);
+        assert!(
+            lane_answer_eq(&want, got),
+            "post-reload {req:?}: {want:?} vs {got:?}"
+        );
+    }
+    // The swap is observable: at least one identical swap-model request
+    // answers differently across the versions (the CPTs really differ).
+    let probe = request(0, "swap", &net_v1);
+    assert!(!lane_answer_eq(
+        &ref_v1.serve_one(&probe),
+        &ref_v2.serve_one(&probe)
+    ));
+    assert_eq!(
+        server.stats().model_versions,
+        vec![("steady".to_string(), 1), ("swap".to_string(), 2)]
+    );
+    server.shutdown();
 }

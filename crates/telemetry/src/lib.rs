@@ -87,6 +87,19 @@ pub mod metric_names {
     pub const SERVE_AGING_PROMOTIONS_TOTAL: &str = "problp_serve_aging_promotions_total";
     /// Counter: dispatched groups (one evaluate call each).
     pub const SERVE_DISPATCHES_TOTAL: &str = "problp_serve_dispatches_total";
+    /// Counter: exact answer-cache hits — lanes resolved at admission
+    /// with a memoized, bit-identical payload. Always exported; stays
+    /// at zero when `ServeConfig::cache_capacity` is zero.
+    pub const SERVE_CACHE_HITS_TOTAL: &str = "problp_serve_cache_hits_total";
+    /// Counter: answer-cache lookups that fell through to the queue.
+    pub const SERVE_CACHE_MISSES_TOTAL: &str = "problp_serve_cache_misses_total";
+    /// Counter: answer-cache entries dropped — LRU capacity pressure
+    /// plus per-model invalidation on a hot reload.
+    pub const SERVE_CACHE_EVICTIONS_TOTAL: &str = "problp_serve_cache_evictions_total";
+    /// Gauge, label `model`: the tape version currently serving new
+    /// admissions for a hosted model (starts at 1, bumped by each
+    /// reload or re-register).
+    pub const POOL_MODEL_VERSION: &str = "problp_pool_model_version";
     /// Histogram, labels `query` ∈ {`marginal`, `mpe`, `conditional`} ×
     /// `priority` ∈ {`interactive`, `batch`}: enqueue-to-completion
     /// sojourn, microseconds.

@@ -120,7 +120,8 @@ fn usage() -> ExitCode {
   problp serve-sim  --models NAME|FILE[,NAME|FILE...] [--requests N]
                     [--max-batch N] [--max-wait-us N] [--workers N] [--seed N]
                     [--tenant-quota N] [--batch-share PCT] [--aging-us N]
-                    [--adaptive-wait] [--metrics-addr HOST:PORT]
+                    [--adaptive-wait] [--cache-capacity N]
+                    [--reload-mid-trace] [--metrics-addr HOST:PORT]
                     [--linger-ms N] [--bench-json FILE]
   problp conformance [--models NAME|FILE[,...]] [--random N] [--batch N]
                     [--seed N] [--repr LIST] [--inject-fault BACKEND]
@@ -186,6 +187,8 @@ fn main() -> ExitCode {
     let mut batch_share = 0u64;
     let mut aging_us = 20_000u64;
     let mut adaptive_wait = false;
+    let mut cache_capacity = 0usize;
+    let mut reload_mid_trace = false;
     let mut metrics_addr: Option<String> = None;
     let mut linger_ms = 0u64;
     let mut bench_json: Option<PathBuf> = None;
@@ -257,6 +260,13 @@ fn main() -> ExitCode {
                 aging_us = n;
             }
             "--adaptive-wait" => adaptive_wait = true,
+            "--cache-capacity" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                cache_capacity = n;
+            }
+            "--reload-mid-trace" => reload_mid_trace = true,
             "--metrics-addr" => {
                 let Some(a) = it.next() else {
                     return usage();
@@ -377,6 +387,8 @@ fn main() -> ExitCode {
             batch_share,
             aging_us,
             adaptive_wait,
+            cache_capacity,
+            reload_mid_trace,
             metrics_addr,
             linger_ms,
             bench_json,
@@ -727,6 +739,12 @@ struct ServeSimArgs {
     aging_us: u64,
     /// Shrink the coalescing wait of hot streams (EWMA-driven).
     adaptive_wait: bool,
+    /// Exact answer-cache capacity in entries (0 = cache off).
+    cache_capacity: usize,
+    /// Hot-swap the first model halfway through the trace
+    /// ([`Server::reload`]): recompiles the same graph, so answers stay
+    /// bit-identical while the version bumps and the cut-over runs.
+    reload_mid_trace: bool,
     /// Bind the `/metrics` + `/healthz` sidecar here (port 0 = any).
     metrics_addr: Option<String>,
     /// Keep the sidecar and server alive this long after the trace.
@@ -903,6 +921,16 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         args.aging_us,
         if args.adaptive_wait { "on" } else { "off" }
     );
+    println!(
+        "  cache: capacity {} ({}), mid-trace reload {}",
+        args.cache_capacity,
+        if args.cache_capacity == 0 {
+            "off"
+        } else {
+            "on"
+        },
+        if args.reload_mid_trace { "on" } else { "off" }
+    );
 
     // Scalar replay: every request answered alone by the per-instance
     // tree-walk (the paper's software baseline) — also the bit-identity
@@ -968,6 +996,7 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
             tenant_quota: args.tenant_quota,
             priority_aging: Duration::from_micros(args.aging_us),
             adaptive_wait: args.adaptive_wait,
+            cache_capacity: args.cache_capacity,
         },
         Arc::clone(&registry),
     );
@@ -984,10 +1013,25 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         None => None,
     };
     let served_start = Instant::now();
-    let submitted: Vec<_> = trace
-        .iter()
-        .map(|(_, req)| (Instant::now(), server.submit(req.clone())))
-        .collect();
+    // With --reload-mid-trace, the first model is hot-swapped while the
+    // first half of the trace is still in flight: admissions after this
+    // point run on tape version 2 (recompiled from the same graph, so
+    // every bit-identity check below still holds), in-flight work stays
+    // pinned to version 1, and nothing is drained for the cut-over.
+    let reload_at = if args.reload_mid_trace {
+        Some(trace.len() / 2)
+    } else {
+        None
+    };
+    let mut submitted = Vec::with_capacity(trace.len());
+    for (i, (_, req)) in trace.iter().enumerate() {
+        if Some(i) == reload_at {
+            let (name, _, ac) = &tenants[0];
+            let version = server.reload(name, ac)?;
+            println!("  mid-trace reload: model {name} cut over to version {version}");
+        }
+        submitted.push((Instant::now(), server.submit(req.clone())));
+    }
     // Self-check while the trace is in flight: the sidecar must report
     // healthy (workers alive, not shut down) mid-run.
     if let Some(s) = &sidecar {
@@ -1118,6 +1162,21 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         )
         .into());
     }
+    // Cache accounting: with the cache on, every well-formed submission
+    // either hit or missed (hits bypass the quota; quota rejects still
+    // count a miss first), so the two counters partition the trace.
+    let expected_lookups = if args.cache_capacity > 0 {
+        trace.len() as u64
+    } else {
+        0
+    };
+    if stats.cache_hits + stats.cache_misses != expected_lookups {
+        return Err(format!(
+            "cache books off: {} hits + {} misses != {expected_lookups} lookups",
+            stats.cache_hits, stats.cache_misses
+        )
+        .into());
+    }
 
     let admitted = trace.len() - quota_rejects;
     println!(
@@ -1202,6 +1261,77 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         return Err("quota rejects without a configured quota".into());
     }
 
+    // Cache study: resubmit a slice of already-served requests. Every
+    // replay must come back bit-identical to the first pass, and with a
+    // cache big enough that nothing was evicted, every one must be a
+    // hit. After a mid-trace reload only post-reload requests replay —
+    // the swap invalidated the old version's entries by design.
+    let mut replay_submissions = 0usize;
+    if args.cache_capacity > 0 {
+        let before = server.stats();
+        let replay: Vec<usize> = served
+            .iter()
+            .enumerate()
+            .filter(|(i, outcome)| outcome.is_some() && reload_at.is_none_or(|at| *i >= at))
+            .map(|(i, _)| i)
+            .collect();
+        let replay = &replay[replay.len().saturating_sub(32)..];
+        replay_submissions = replay.len();
+        let replay_deadline = Instant::now() + Duration::from_secs(30);
+        let mut replayed = 0usize;
+        for &i in replay {
+            let req = &trace[i].1;
+            let ticket = match server.submit(req.clone()) {
+                Ok(t) => t,
+                // A miss (small cache) can still bounce off the quota;
+                // that is the quota doing its job, not a cache bug.
+                Err(ServeError::QuotaExceeded { .. }) => continue,
+                Err(e) => return Err(format!("replay admission failed: {e}").into()),
+            };
+            let reply =
+                ticket.wait_deadline(replay_deadline.saturating_duration_since(Instant::now()));
+            replayed += 1;
+            let first = served[i].as_ref().expect("replay set is served");
+            if !problp::engine::lane_answer_eq(first, &reply) {
+                return Err(format!("cache replay diverged at request {i}").into());
+            }
+        }
+        let after = server.stats();
+        let hits = after.cache_hits - before.cache_hits;
+        println!(
+            "  cache replay: {replayed} resubmissions, {hits} hits \
+             ({} hits / {} misses / {} evictions overall)",
+            after.cache_hits, after.cache_misses, after.cache_evictions
+        );
+        if args.cache_capacity >= admitted && hits != replayed as u64 {
+            return Err(format!(
+                "expected all {replayed} replays to hit an unevicted cache, got {hits}"
+            )
+            .into());
+        }
+    }
+    let stats = server.stats();
+    let versions: Vec<String> = stats
+        .model_versions
+        .iter()
+        .map(|(m, v)| format!("{m}=v{v}"))
+        .collect();
+    println!("  model versions: {}", versions.join("  "));
+    if args.reload_mid_trace {
+        let (name0, _, _) = &tenants[0];
+        let v0 = stats
+            .model_versions
+            .iter()
+            .find(|(m, _)| m == name0)
+            .map(|(_, v)| *v);
+        if v0 != Some(2) {
+            return Err(format!(
+                "model {name0} should be at version 2 after the reload, stats say {v0:?}"
+            )
+            .into());
+        }
+    }
+
     // Final self-scrape: the Prometheus rendering must carry the series
     // the run produced — the request counter at the trace size, the
     // queue-depth gauge and the typed reject counters.
@@ -1211,9 +1341,21 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         if status != 200 {
             return Err(format!("/metrics returned {status}").into());
         }
-        let want_counter = format!("{} {}", metric_names::SERVE_REQUESTS_TOTAL, trace.len());
+        let want_counter = format!(
+            "{} {}",
+            metric_names::SERVE_REQUESTS_TOTAL,
+            trace.len() + replay_submissions
+        );
+        let want_hits = format!(
+            "{} {}",
+            metric_names::SERVE_CACHE_HITS_TOTAL,
+            stats.cache_hits
+        );
         for needle in [
             want_counter.as_str(),
+            want_hits.as_str(),
+            metric_names::SERVE_CACHE_MISSES_TOTAL,
+            metric_names::POOL_MODEL_VERSION,
             metric_names::SERVE_QUEUE_DEPTH,
             metric_names::SERVE_REJECTED_TOTAL,
             metric_names::SERVE_SOJOURN_US,
@@ -1548,24 +1690,25 @@ fn verify_tapes(args: &VerifyArgs) -> Result<bool, Box<dyn std::error::Error>> {
     Ok(clean)
 }
 
-/// The files `lint-src` scans: the serving path plus the whole
-/// telemetry crate — the code that runs inside long-lived servers,
-/// where a stray panic takes the process down.
-const LINT_SCOPE_FILE: &str = "crates/engine/src/serve.rs";
-const LINT_SCOPE_DIR: &str = "crates/telemetry/src";
+/// The files `lint-src` scans: the whole serving module tree plus the
+/// whole telemetry crate — the code that runs inside long-lived
+/// servers, where a stray panic takes the process down.
+const LINT_SCOPE_DIRS: [&str; 2] = ["crates/engine/src/serve", "crates/telemetry/src"];
 
 /// Enforces the serving-path panic policy: no `.unwrap()` / `.expect(`
 /// outside test code in the lint scope. Allowlist entries are
 /// `file-suffix: line-substring` lines in `allow_path`; `#` comments
 /// and blank lines are skipped. Returns `Ok(false)` on violations.
 fn lint_src(allow_path: &std::path::Path) -> Result<bool, Box<dyn std::error::Error>> {
-    let mut files = vec![PathBuf::from(LINT_SCOPE_FILE)];
-    let dir = std::fs::read_dir(LINT_SCOPE_DIR)
-        .map_err(|e| format!("cannot read {LINT_SCOPE_DIR} (run from the repository root): {e}"))?;
-    for entry in dir {
-        let path = entry?.path();
-        if path.extension().is_some_and(|e| e == "rs") {
-            files.push(path);
+    let mut files = Vec::new();
+    for scope in LINT_SCOPE_DIRS {
+        let dir = std::fs::read_dir(scope)
+            .map_err(|e| format!("cannot read {scope} (run from the repository root): {e}"))?;
+        for entry in dir {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
         }
     }
     files.sort();
