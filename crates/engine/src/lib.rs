@@ -98,8 +98,8 @@ pub use fuse::{BinOp, FuseStats, FusedInstr, FusedTape};
 pub use kernels::{KernelKind, KernelSet, LANE_WIDTH};
 pub use query::{ConditionalBatchResult, ConditionalLaneStatus, MpeBatchResult, QueryBatchResult};
 pub use serve::{
-    lane_answer_eq, CircuitPool, LaneResult, ModelVersion, Priority, ServeConfig, ServeError,
-    ServeRequest, ServeResponse, Server, ServerStats, Ticket,
+    lane_answer_eq, CircuitPool, Gateway, GatewayConfig, LaneResult, ModelVersion, Priority,
+    ServeConfig, ServeError, ServeRequest, ServeResponse, Server, ServerStats, Ticket,
 };
 pub use tape::{Instr, Tape, TapeMode, TapeStats};
 pub use verify::VerifyError;

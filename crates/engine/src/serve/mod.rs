@@ -60,6 +60,10 @@
 //!   is the programmatic snapshot).
 //! * `server.rs` — [`Server`]: admission (`submit`) wired to the queue,
 //!   the cache, the shards and the pool.
+//! * [`gateway`] (`gateway.rs`) — the HTTP/1.1 query front end:
+//!   `POST /v1/query` with bearer-token auth in front of
+//!   [`Server::submit`], typed [`ServeError`]s mapped to
+//!   429/503/4xx JSON responses.
 //!
 //! * [`CircuitPool`] hosts the compiled tapes, keyed by model id
 //!   (model-per-tenant): registering a model compiles a
@@ -183,6 +187,7 @@
 mod admission;
 mod cache;
 mod dispatch;
+pub mod gateway;
 mod metrics;
 mod pool;
 mod queue;
@@ -192,6 +197,7 @@ mod ticket;
 pub use admission::{
     lane_answer_eq, LaneResult, Priority, ServeConfig, ServeError, ServeRequest, ServeResponse,
 };
+pub use gateway::{Gateway, GatewayConfig};
 pub use metrics::ServerStats;
 pub use pool::{CircuitPool, ModelVersion};
 pub use server::Server;

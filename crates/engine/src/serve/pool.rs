@@ -96,6 +96,13 @@ where
         self.kernel
     }
 
+    /// The arithmetic context every hosted engine evaluates in — the
+    /// hook result renderers (the HTTP gateway) use to project values
+    /// into `f64` via [`problp_num::Arith::to_f64`].
+    pub fn context(&self) -> &A {
+        &self.ctx
+    }
+
     /// Compiles both serving engines for `ac` under the pool's context,
     /// threads and kernel — the shared build step of [`register`] and
     /// [`reload`].

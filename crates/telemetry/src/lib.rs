@@ -44,11 +44,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod httpd;
 pub mod json;
 pub mod registry;
 pub mod sidecar;
 pub mod trace;
 
+pub use httpd::{
+    drain_rejected, http_post, http_request, read_request, read_response, status_reason,
+    write_response, HttpError, HttpLimits, HttpRequest, HttpResponse, WorkerPool,
+};
 pub use json::{JsonError, JsonValue};
 pub use registry::{
     default_latency_buckets_us, default_size_buckets, Counter, Gauge, Histogram, HistogramSnapshot,
@@ -146,6 +151,18 @@ pub mod metric_names {
     /// Counter: instructions classified *may-underflow*, summed across
     /// runs.
     pub const VERIFY_INSTRS_MAY_UNDERFLOW_TOTAL: &str = "problp_verify_instrs_may_underflow_total";
+    /// Counter, label `status` (HTTP status code as a string, e.g.
+    /// `"200"`, `"429"`): every HTTP response the query gateway wrote,
+    /// including protocol-level rejects (400/408/413/431) and
+    /// load-shedding 503s from a full worker queue.
+    pub const GATEWAY_REQUESTS_TOTAL: &str = "problp_gateway_requests_total";
+    /// Histogram: request body bytes per gateway query (after the
+    /// max-body admission cap).
+    pub const GATEWAY_BODY_BYTES: &str = "problp_gateway_body_bytes";
+    /// Histogram: gateway handler latency per parsed request —
+    /// auth + decode + `Server::submit` + ticket wait + render,
+    /// excluding socket read/write time — microseconds.
+    pub const GATEWAY_HANDLER_US: &str = "problp_gateway_handler_us";
 }
 
 #[cfg(test)]

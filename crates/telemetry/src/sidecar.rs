@@ -2,21 +2,45 @@
 //! registry: `GET /metrics` (Prometheus text), `GET /healthz`
 //! (liveness + detail lines, 200/503) and `GET /statz` (JSON snapshot).
 //!
-//! One accept thread handles connections serially — scrape traffic is
-//! a request every few seconds, not a load-bearing path — with read and
-//! write timeouts so a stuck client cannot wedge the exporter. The
-//! listener is non-blocking and polls a shutdown flag so
-//! [`Sidecar::shutdown`] returns promptly.
+//! The accept thread only accepts: connections are handled on a small
+//! bounded [`WorkerPool`] (shared with the query gateway in
+//! `problp-engine`), so one slow or stalled scraper cannot delay a
+//! `/healthz` probe behind it and flap liveness. Requests are parsed
+//! through [`crate::httpd::read_request`] under hard size limits —
+//! oversized request lines/headers answer 431 and oversized bodies 413
+//! instead of reading unboundedly into memory — and read/write timeouts
+//! bound how long any one client can hold a worker. The listener is
+//! non-blocking and polls a shutdown flag so [`Sidecar::shutdown`]
+//! returns promptly.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use crate::httpd::{
+    drain_rejected, http_request, read_request, write_response, HttpLimits, WorkerPool,
+};
 use crate::json::JsonValue;
 use crate::registry::MetricsRegistry;
+
+/// Worker threads handling sidecar connections: two, so a stalled
+/// scraper can burn one full IO timeout while `/healthz` stays prompt
+/// on the other.
+const SIDECAR_WORKERS: usize = 2;
+/// Connections queued for the workers before the accept loop sheds load
+/// with an immediate 503.
+const SIDECAR_BACKLOG: usize = 16;
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+/// Size limits of one scrape request: routing needs no body, so both
+/// caps stay small.
+const SIDECAR_LIMITS: HttpLimits = HttpLimits {
+    max_head: 8 * 1024,
+    max_body: 4 * 1024,
+};
 
 /// What `/healthz` reports. Produced by the health callback on every
 /// request, so liveness reflects the serving stack *now*, not at
@@ -52,7 +76,7 @@ pub struct Sidecar {
 impl Sidecar {
     /// Binds `addr` (use port 0 for an OS-assigned port, then
     /// [`Sidecar::local_addr`]) and starts serving `registry` and
-    /// `health` on a background thread.
+    /// `health` on a background accept thread plus a small worker pool.
     pub fn start(
         addr: &str,
         registry: Arc<MetricsRegistry>,
@@ -78,7 +102,7 @@ impl Sidecar {
         self.addr
     }
 
-    /// Stops the accept loop and joins the serving thread.
+    /// Stops the accept loop and joins the serving threads.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = self.handle.take() {
@@ -99,12 +123,19 @@ fn serve_loop(
     health: HealthFn,
     stop: Arc<AtomicBool>,
 ) {
+    let health = Arc::new(health);
+    let handler: Arc<dyn Fn(TcpStream) + Send + Sync> = Arc::new(move |stream| {
+        let _ = handle_connection(stream, &registry, &health);
+    });
+    let pool = WorkerPool::new("problp-sidecar", SIDECAR_WORKERS, SIDECAR_BACKLOG, handler);
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Serial handling is fine for scrape traffic; timeouts
-                // below bound how long one client can hold the loop.
-                let _ = handle_connection(stream, &registry, &health);
+                if let Err(stream) = pool.dispatch(stream) {
+                    // Queue full (every worker stalled): shed load with
+                    // a prompt 503 instead of queueing unboundedly.
+                    let _ = busy_reject(stream);
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(20));
@@ -112,6 +143,21 @@ fn serve_loop(
             Err(_) => thread::sleep(Duration::from_millis(20)),
         }
     }
+    // Dropping the pool drains the queue and joins the workers.
+}
+
+/// Answers a connection the worker pool could not take. The short write
+/// timeout keeps the accept loop from being the thing a slow client
+/// stalls.
+fn busy_reject(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(Duration::from_millis(100)))?;
+    write_response(
+        &mut stream,
+        503,
+        "text/plain; charset=utf-8",
+        &[],
+        b"sidecar worker queue is full\n",
+    )
 }
 
 fn handle_connection(
@@ -120,38 +166,41 @@ fn handle_connection(
     health: &HealthFn,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers; we only route on the request line.
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
-            break;
-        }
-    }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
     let mut stream = stream;
-    if method != "GET" {
+    let request = match read_request(&mut reader, &SIDECAR_LIMITS) {
+        Ok(request) => request,
+        Err(e) => {
+            // Protocol-level rejects (400/408/413/431) are answered;
+            // a dead socket is just dropped.
+            if let Some((code, _)) = e.status() {
+                respond(
+                    &mut stream,
+                    code,
+                    "text/plain; charset=utf-8",
+                    &format!("{e}\n"),
+                )?;
+                drain_rejected(&stream, &mut reader);
+            }
+            return Ok(());
+        }
+    };
+    if request.method != "GET" {
         return respond(
             &mut stream,
             405,
-            "Method Not Allowed",
             "text/plain; charset=utf-8",
             "only GET is supported\n",
         );
     }
-    match path {
+    match request.path.as_str() {
         "/metrics" => {
             let body = registry.render_prometheus();
             respond(
                 &mut stream,
                 200,
-                "OK",
                 "text/plain; version=0.0.4; charset=utf-8",
                 &body,
             )
@@ -167,18 +216,8 @@ fn handle_connection(
             for (k, v) in &status.detail {
                 body.push_str(&format!("{k}: {v}\n"));
             }
-            let (code, reason) = if status.healthy {
-                (200, "OK")
-            } else {
-                (503, "Service Unavailable")
-            };
-            respond(
-                &mut stream,
-                code,
-                reason,
-                "text/plain; charset=utf-8",
-                &body,
-            )
+            let code = if status.healthy { 200 } else { 503 };
+            respond(&mut stream, code, "text/plain; charset=utf-8", &body)
         }
         "/statz" => {
             let status = health();
@@ -199,7 +238,6 @@ fn handle_connection(
             respond(
                 &mut stream,
                 200,
-                "OK",
                 "application/json; charset=utf-8",
                 &doc.render(),
             )
@@ -207,7 +245,6 @@ fn handle_connection(
         _ => respond(
             &mut stream,
             404,
-            "Not Found",
             "text/plain; charset=utf-8",
             "unknown path; try /metrics, /healthz or /statz\n",
         ),
@@ -217,45 +254,21 @@ fn handle_connection(
 fn respond(
     stream: &mut TcpStream,
     code: u16,
-    reason: &str,
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
-    let header = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    write_response(stream, code, content_type, &[], body.as_bytes())
 }
 
 /// A tiny scrape client for tests and the serve-sim self-check: issues
 /// `GET path` against `addr` and returns `(status_code, body)`.
+///
+/// Built on [`crate::httpd::read_response`], so a malformed status line
+/// fails with a typed [`std::io::ErrorKind::InvalidData`] error naming
+/// the line, and a response that declares `Content-Length` is read to
+/// exactly that many bytes instead of blocking on a keep-alive server
+/// until the 2-second read timeout.
 pub fn http_get(addr: &std::net::SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(2))?;
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    stream.write_all(
-        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
-    )?;
-    let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
-    let code: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
-    // Skip headers.
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
-            break;
-        }
-    }
-    let mut body = String::new();
-    use std::io::Read;
-    reader.read_to_string(&mut body)?;
+    let (code, _headers, body) = http_request(addr, "GET", path, &[], &[])?;
     Ok((code, body))
 }

@@ -123,6 +123,12 @@ fn usage() -> ExitCode {
                     [--adaptive-wait] [--cache-capacity N]
                     [--reload-mid-trace] [--metrics-addr HOST:PORT]
                     [--linger-ms N] [--bench-json FILE]
+  problp serve-http --models NAME|FILE[,NAME|FILE...] [--addr HOST:PORT]
+                    [--tokens TOK=MODEL[,TOK=MODEL...]] [--http-workers N]
+                    [--max-batch N] [--max-wait-us N] [--workers N]
+                    [--tenant-quota N] [--cache-capacity N] [--seed N]
+                    [--self-drive N] [--metrics-addr HOST:PORT]
+                    [--linger-ms N] [--bench-json FILE]
   problp conformance [--models NAME|FILE[,...]] [--random N] [--batch N]
                     [--seed N] [--repr LIST] [--inject-fault BACKEND]
                     (LIST entries: f64 | fixed:I.F | float:E.M;
@@ -198,6 +204,10 @@ fn main() -> ExitCode {
     let mut corrupt: Option<String> = None;
     let mut allow = PathBuf::from("ci/lint-allow.txt");
     let mut kernel = problp::engine::KernelKind::Scalar;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut tokens: Option<String> = None;
+    let mut http_workers = 4usize;
+    let mut self_drive: Option<usize> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -267,6 +277,30 @@ fn main() -> ExitCode {
                 cache_capacity = n;
             }
             "--reload-mid-trace" => reload_mid_trace = true,
+            "--addr" => {
+                let Some(a) = it.next() else {
+                    return usage();
+                };
+                addr = a.clone();
+            }
+            "--tokens" => {
+                let Some(t) = it.next() else {
+                    return usage();
+                };
+                tokens = Some(t.clone());
+            }
+            "--http-workers" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                http_workers = n;
+            }
+            "--self-drive" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                self_drive = Some(n);
+            }
             "--metrics-addr" => {
                 let Some(a) = it.next() else {
                     return usage();
@@ -394,6 +428,37 @@ fn main() -> ExitCode {
             bench_json,
         };
         return match serve_sim(&sim) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // `serve-http` puts the query gateway in front of the same pooled
+    // serving stack; it shares serve-sim's model loading.
+    if command == "serve-http" {
+        let Some(models) = models else {
+            return usage();
+        };
+        let http = ServeHttpArgs {
+            models,
+            addr,
+            tokens,
+            http_workers,
+            max_batch,
+            max_wait_us,
+            workers,
+            seed,
+            tenant_quota,
+            cache_capacity,
+            self_drive,
+            metrics_addr,
+            linger_ms,
+            bench_json,
+        };
+        return match serve_http(&http) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -1414,6 +1479,569 @@ fn serve_sim(args: &ServeSimArgs) -> Result<(), Box<dyn std::error::Error>> {
         std::thread::sleep(Duration::from_millis(args.linger_ms));
     }
     server.shutdown();
+    drop(sidecar);
+    Ok(())
+}
+
+struct ServeHttpArgs {
+    /// Comma-separated built-in network names or `.bn` paths.
+    models: String,
+    /// Gateway bind address (`host:port`; port 0 = OS-assigned).
+    addr: String,
+    /// `TOK=MODEL` pairs; `None` mints `token-<model>` per model.
+    tokens: Option<String>,
+    /// Gateway connection-handling worker threads.
+    http_workers: usize,
+    max_batch: usize,
+    max_wait_us: u64,
+    workers: usize,
+    seed: u64,
+    tenant_quota: usize,
+    cache_capacity: usize,
+    /// `Some(n)`: replay an `n`-request seeded trace through real
+    /// sockets, self-check and exit. `None`: serve until killed.
+    self_drive: Option<usize>,
+    metrics_addr: Option<String>,
+    /// Self-drive / bounded-serve linger before exiting.
+    linger_ms: u64,
+    /// Write the run's `problp-bench/v1` perf record here.
+    bench_json: Option<PathBuf>,
+}
+
+/// Renders a [`problp::engine::ServeRequest`] as the gateway's POST
+/// body. The model never appears — it is carried by the bearer token.
+fn gateway_body(req: &problp::engine::ServeRequest) -> String {
+    let lanes: Vec<String> = (0..req.evidence.len())
+        .map(|i| match req.evidence.state(VarId::from_index(i)) {
+            Some(s) => s.to_string(),
+            None => "null".to_string(),
+        })
+        .collect();
+    let priority = match req.priority {
+        problp::engine::Priority::Interactive => "interactive",
+        problp::engine::Priority::Batch => "batch",
+    };
+    match req.query {
+        BatchQuery::Marginal => format!(
+            r#"{{"query": "marginal", "evidence": [{}], "priority": "{priority}"}}"#,
+            lanes.join(", ")
+        ),
+        BatchQuery::Mpe => format!(
+            r#"{{"query": "mpe", "evidence": [{}], "priority": "{priority}"}}"#,
+            lanes.join(", ")
+        ),
+        BatchQuery::Conditional { query_var } => format!(
+            r#"{{"query": "conditional", "query_var": {}, "evidence": [{}], "priority": "{priority}"}}"#,
+            query_var.index(),
+            lanes.join(", ")
+        ),
+    }
+}
+
+/// Whether a parsed 200 body reproduces the uncached `serve_one`
+/// reference bit for bit (values, posteriors, assignments,
+/// predictions — flags are batch-scope and excluded by design).
+fn gateway_reply_matches(
+    doc: &problp::telemetry::JsonValue,
+    want: &problp::engine::ServeResponse<f64>,
+) -> bool {
+    use problp::engine::ServeResponse;
+    use problp::telemetry::JsonValue;
+    let f64_field = |name: &str| doc.get(name).and_then(JsonValue::as_f64);
+    let usize_array = |name: &str| -> Option<Vec<usize>> {
+        doc.get(name)?
+            .as_array()?
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as usize))
+            .collect()
+    };
+    match want {
+        ServeResponse::Marginal { value, .. } => {
+            f64_field("value").is_some_and(|got| got.to_bits() == value.to_bits())
+        }
+        ServeResponse::Mpe {
+            assignment, value, ..
+        } => {
+            f64_field("value").is_some_and(|got| got.to_bits() == value.to_bits())
+                && usize_array("assignment").is_some_and(|got| &got == assignment)
+        }
+        ServeResponse::Conditional {
+            posteriors,
+            prediction,
+            ..
+        } => {
+            let got: Option<Vec<f64>> = doc
+                .get("posteriors")
+                .and_then(JsonValue::as_array)
+                .map(|a| a.iter().filter_map(JsonValue::as_f64).collect());
+            got.is_some_and(|got| {
+                got.len() == posteriors.len()
+                    && got
+                        .iter()
+                        .zip(posteriors)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+            }) && f64_field("prediction").is_some_and(|p| p as usize == *prediction)
+        }
+    }
+}
+
+/// Hosts the multi-model pool behind the HTTP query gateway
+/// (`problp::gateway`). Without `--self-drive` it serves until killed
+/// (or for `--linger-ms`); with it, a seeded mixed-query trace is
+/// replayed through real sockets, every admitted answer checked
+/// bit-identical to per-request `serve_one` evaluation, the typed
+/// error → status mapping probed (401/404/405/400/413/429), and the
+/// `problp_gateway_*` series cross-checked against the client's own
+/// status counts.
+fn serve_http(args: &ServeHttpArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use problp::engine::{
+        CircuitPool, Gateway, GatewayConfig, Priority, ServeConfig, ServeError, ServeRequest,
+        Server,
+    };
+    use problp::telemetry::{
+        http_post, http_request, metric_names, JsonValue, MetricsRegistry, Sidecar,
+    };
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let mut tenants: Vec<(String, BayesNet, AcGraph)> = Vec::new();
+    for (name, net) in load_models(&args.models, args.seed)? {
+        let ac = compile(&net)?;
+        tenants.push((name, net, ac));
+    }
+    if tenants.is_empty() {
+        return Err("serve-http needs at least one model (--models a,b)".into());
+    }
+
+    // The auth table: explicit TOK=MODEL pairs, or one minted
+    // `token-<model>` per hosted model.
+    let tokens: Vec<(String, String)> = match &args.tokens {
+        Some(spec) => {
+            let mut table = Vec::new();
+            for entry in spec.split(',').filter(|s| !s.is_empty()) {
+                let Some((tok, model)) = entry.trim().split_once('=') else {
+                    return Err(format!("--tokens entry {entry:?} is not TOK=MODEL").into());
+                };
+                if !tenants.iter().any(|(n, _, _)| n == model) {
+                    return Err(format!("--tokens names unhosted model {model:?}").into());
+                }
+                table.push((tok.to_string(), model.to_string()));
+            }
+            table
+        }
+        None => tenants
+            .iter()
+            .map(|(n, _, _)| (format!("token-{n}"), n.clone()))
+            .collect(),
+    };
+
+    let mut pool = CircuitPool::new(F64Arith::new());
+    for (name, _, ac) in &tenants {
+        pool.register(name, ac)?;
+    }
+    let registry = Arc::new(MetricsRegistry::new());
+    let server = Arc::new(Server::start_instrumented(
+        pool,
+        ServeConfig {
+            max_batch: args.max_batch.max(1),
+            max_wait: Duration::from_micros(args.max_wait_us),
+            workers: args.workers.max(1),
+            tenant_quota: args.tenant_quota,
+            cache_capacity: args.cache_capacity,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&registry),
+    ));
+    let mut gateway = Gateway::start(
+        Arc::clone(&server),
+        GatewayConfig {
+            addr: args.addr.clone(),
+            tokens: tokens.clone(),
+            http_workers: args.http_workers.max(1),
+            ..GatewayConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind gateway on {}: {e}", args.addr))?;
+    let addr = gateway.local_addr();
+    println!(
+        "serve-http: {} models behind POST http://{addr}/v1/query",
+        tenants.len()
+    );
+    for (tok, model) in &tokens {
+        println!("  token {tok} -> model {model}");
+    }
+    let sidecar = match &args.metrics_addr {
+        Some(maddr) => {
+            let s = Sidecar::start(maddr, Arc::clone(&registry), server.health_fn())
+                .map_err(|e| format!("cannot bind metrics sidecar on {maddr}: {e}"))?;
+            println!("  metrics sidecar: http://{}/metrics", s.local_addr());
+            Some(s)
+        }
+        None => None,
+    };
+
+    let Some(drive) = args.self_drive else {
+        // Plain serving mode: stay up until killed, or for a bounded
+        // window when --linger-ms is given (the CI smoke uses this).
+        if args.linger_ms > 0 {
+            std::thread::sleep(Duration::from_millis(args.linger_ms));
+            gateway.shutdown();
+            drop(server); // the Arc's last drop joins the serve workers
+            drop(sidecar);
+            return Ok(());
+        }
+        loop {
+            std::thread::sleep(Duration::from_secs(1));
+        }
+    };
+
+    // --- Self-drive: a seeded mixed trace over real sockets. ---
+    let pools: Vec<Vec<Evidence>> = tenants
+        .iter()
+        .map(|(_, _, ac)| problp::bayes::single_variable_evidences(ac.var_arities()))
+        .collect();
+    let mut rng = TraceRng::new(args.seed);
+    let trace: Vec<(usize, ServeRequest)> = (0..drive.max(1))
+        .map(|_| {
+            let t = rng.below(tenants.len());
+            let (name, net, _) = &tenants[t];
+            let query = match rng.below(3) {
+                0 => BatchQuery::Marginal,
+                1 => BatchQuery::Mpe,
+                _ => BatchQuery::Conditional {
+                    query_var: net.roots().first().copied().unwrap_or(VarId::from_index(0)),
+                },
+            };
+            let evidence = pools[t][rng.below(pools[t].len())].clone();
+            let priority = if rng.below(4) == 0 {
+                Priority::Batch
+            } else {
+                Priority::Interactive
+            };
+            (
+                t,
+                ServeRequest {
+                    model: name.clone(),
+                    evidence,
+                    query,
+                    priority,
+                },
+            )
+        })
+        .collect();
+    println!(
+        "  self-drive: {} requests (seed {})",
+        trace.len(),
+        args.seed
+    );
+
+    let token_for = |model: &str| -> Result<&str, String> {
+        tokens
+            .iter()
+            .find(|(_, m)| m == model)
+            .map(|(t, _)| t.as_str())
+            .ok_or_else(|| format!("no token grants model {model:?}"))
+    };
+    let bearer = |tok: &str| [("Authorization", format!("Bearer {tok}"))];
+    // The client's own status ledger: the run's last self-check holds
+    // the gateway's counters to exactly these numbers.
+    let mut statuses: Vec<(u16, u64)> = Vec::new();
+    let mut count = |code: u16| match statuses.iter_mut().find(|(c, _)| *c == code) {
+        Some((_, n)) => *n += 1,
+        None => statuses.push((code, 1)),
+    };
+    let latency =
+        problp::telemetry::Histogram::new(problp::telemetry::default_latency_buckets_us());
+    let mut latencies_us: Vec<u128> = Vec::with_capacity(trace.len());
+    let mut identical = 0usize;
+    let mut mismatches = 0usize;
+    let mut impossible = 0usize;
+    let drive_start = Instant::now();
+    for (i, (_, req)) in trace.iter().enumerate() {
+        let body = gateway_body(req);
+        let tok = token_for(&req.model)?;
+        let sent = Instant::now();
+        let (code, _headers, text) = http_post(&addr, "/v1/query", &bearer(tok), &body)
+            .map_err(|e| format!("request {i} failed: {e}"))?;
+        let waited = sent.elapsed();
+        latency.observe_duration(waited);
+        latencies_us.push(waited.as_micros());
+        count(code);
+        // The uncached per-request reference the socket answer must
+        // reproduce bit for bit.
+        let reference = server.pool().serve_one(req);
+        let ok = match (code, &reference) {
+            (200, Ok(want)) => JsonValue::parse(&text)
+                .ok()
+                .is_some_and(|doc| gateway_reply_matches(&doc, want)),
+            (422, Err(ServeError::ImpossibleEvidence)) => {
+                impossible += 1;
+                text.contains("\"impossible_evidence\"")
+            }
+            _ => false,
+        };
+        if ok {
+            identical += 1;
+        } else {
+            mismatches += 1;
+            if mismatches <= 3 {
+                eprintln!("mismatch at request {i}: HTTP {code} {text} vs {reference:?}");
+            }
+        }
+    }
+    let drive_total = drive_start.elapsed();
+    println!(
+        "  verification: {identical}/{} socket answers bit-identical to serve_one \
+         ({impossible} typed impossible-evidence)",
+        trace.len()
+    );
+
+    // Typed-error probes: each must surface as its mapped status with
+    // the stable error slug in a JSON body.
+    let (ref_model, _, _) = &tenants[0];
+    let ref_token = token_for(ref_model)?.to_string();
+    let good = gateway_body(&ServeRequest {
+        model: ref_model.clone(),
+        evidence: Evidence::empty(tenants[0].2.var_arities().len()),
+        query: BatchQuery::Marginal,
+        priority: Priority::Interactive,
+    });
+    let bad_shape = r#"{"query": "marginal", "evidence": [null]}"#;
+    let oversized = format!(
+        r#"{{"query": "marginal", "evidence": [{}null]}}"#,
+        "null, ".repeat(20_000)
+    );
+    let probes: Vec<(&str, u16, &str, problp::telemetry::HttpResponse)> = vec![
+        (
+            "missing auth",
+            401,
+            "unauthorized",
+            http_post(&addr, "/v1/query", &[], &good)?,
+        ),
+        (
+            "unknown token",
+            401,
+            "unauthorized",
+            http_post(&addr, "/v1/query", &bearer("definitely-wrong"), &good)?,
+        ),
+        (
+            "unknown path",
+            404,
+            "not_found",
+            http_post(&addr, "/v2/query", &bearer(&ref_token), &good)?,
+        ),
+        (
+            "bad method",
+            405,
+            "method_not_allowed",
+            http_request(&addr, "GET", "/v1/query", &bearer(&ref_token), &[])?,
+        ),
+        (
+            "bad json",
+            400,
+            "bad_json",
+            http_post(&addr, "/v1/query", &bearer(&ref_token), "{nope")?,
+        ),
+        (
+            "bad shape",
+            400,
+            "bad_shape",
+            http_post(&addr, "/v1/query", &bearer(&ref_token), bad_shape)?,
+        ),
+        (
+            "oversized body",
+            413,
+            "body_too_large",
+            http_post(&addr, "/v1/query", &bearer(&ref_token), &oversized)?,
+        ),
+    ];
+    let mut parse_rejects = 0u64;
+    for (what, want_code, want_slug, (code, _headers, text)) in probes {
+        count(code);
+        if code == 413 {
+            parse_rejects += 1; // rejected before the body counters
+        }
+        if code != want_code || !text.contains(&format!("\"{want_slug}\"")) {
+            return Err(format!(
+                "{what} probe: expected {want_code} {want_slug}, got {code}: {}",
+                text.trim()
+            )
+            .into());
+        }
+        println!("  probe {what}: {code} {want_slug}");
+    }
+
+    // Deterministic quota probe on a dedicated single-worker instance:
+    // a long coalescing window holds two requests in flight, so the
+    // third must bounce off tenant_quota=2 as a 429 with Retry-After.
+    {
+        let mut qpool = CircuitPool::new(F64Arith::new());
+        qpool.register(ref_model, &tenants[0].2)?;
+        // The coalescing wait must outlast the 600ms fill window below
+        // (so both fillers are still occupying the quota when the probe
+        // lands) but stay well under the HTTP client's 2s read timeout,
+        // or the fillers time out waiting for their own answers.
+        let qserver = Arc::new(Server::start(
+            qpool,
+            ServeConfig {
+                max_batch: 1024,
+                max_wait: Duration::from_millis(1200),
+                workers: 1,
+                tenant_quota: 2,
+                ..ServeConfig::default()
+            },
+        ));
+        let mut qgateway = Gateway::start(
+            Arc::clone(&qserver),
+            GatewayConfig {
+                tokens: vec![("quota-probe".to_string(), ref_model.clone())],
+                ..GatewayConfig::default()
+            },
+        )?;
+        let qaddr = qgateway.local_addr();
+        let fill_body = good.clone();
+        let fillers: Vec<_> = (0..2)
+            .map(|_| {
+                let body = fill_body.clone();
+                std::thread::spawn(move || {
+                    http_post(
+                        &qaddr,
+                        "/v1/query",
+                        &[("Authorization", "Bearer quota-probe".to_string())],
+                        &body,
+                    )
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(600));
+        let (code, headers, text) = http_post(
+            &qaddr,
+            "/v1/query",
+            &[("Authorization", "Bearer quota-probe".to_string())],
+            &good,
+        )?;
+        if code != 429 || !text.contains("\"quota_exceeded\"") {
+            return Err(format!("quota probe: expected 429, got {code}: {}", text.trim()).into());
+        }
+        let retry_after = headers
+            .iter()
+            .find(|(n, _)| n == "retry-after")
+            .map(|(_, v)| v.clone());
+        if retry_after.is_none() {
+            return Err("quota probe: 429 without a Retry-After header".into());
+        }
+        for filler in fillers {
+            let (code, _h, text) = filler
+                .join()
+                .map_err(|_| "quota filler thread panicked")?
+                .map_err(|e| format!("quota filler failed: {e}"))?;
+            if code != 200 {
+                return Err(format!("quota filler got {code}: {}", text.trim()).into());
+            }
+        }
+        let scrape = qserver.metrics().render_prometheus();
+        let needle = format!(
+            "{}{{status=\"429\"}} 1",
+            metric_names::GATEWAY_REQUESTS_TOTAL
+        );
+        if !scrape.contains(&needle) {
+            return Err(format!("quota instance scrape is missing {needle:?}").into());
+        }
+        println!(
+            "  probe quota: 429 quota_exceeded (Retry-After {})",
+            retry_after.unwrap_or_default()
+        );
+        qgateway.shutdown();
+        drop(qserver); // last Arc: Drop joins the quota instance
+    }
+
+    // Metrics self-check: the gateway's own counters must agree with
+    // the client-side status ledger, and every request that got past
+    // HTTP parsing must appear in the body/latency histograms.
+    let scrape = registry.render_prometheus();
+    for (code, n) in &statuses {
+        let needle = format!(
+            "{}{{status=\"{code}\"}} {n}",
+            metric_names::GATEWAY_REQUESTS_TOTAL
+        );
+        if !scrape.contains(&needle) {
+            return Err(format!("gateway scrape is missing {needle:?}").into());
+        }
+    }
+    let total: u64 = statuses.iter().map(|(_, n)| *n).sum();
+    let parsed = total - parse_rejects;
+    for histogram in [
+        metric_names::GATEWAY_BODY_BYTES,
+        metric_names::GATEWAY_HANDLER_US,
+    ] {
+        let needle = format!("{histogram}_count {parsed}");
+        if !scrape.contains(&needle) {
+            return Err(format!("gateway scrape is missing {needle:?}").into());
+        }
+    }
+    println!(
+        "  metrics self-check: {total} requests across {} statuses",
+        statuses.len()
+    );
+
+    let mut all = latencies_us.clone();
+    all.sort_unstable();
+    println!(
+        "  latency (round-trip): p50 {}us  p90 {}us  p99 {}us  max {}us",
+        fmt_us(percentile(&all, 50.0)),
+        fmt_us(percentile(&all, 90.0)),
+        fmt_us(percentile(&all, 99.0)),
+        all.last().copied().unwrap_or(0)
+    );
+    println!(
+        "  trace: {:>9.2} ms total  ({:>10.0} req/s over sockets)",
+        drive_total.as_secs_f64() * 1e3,
+        trace.len() as f64 / drive_total.as_secs_f64()
+    );
+    if mismatches > 0 {
+        return Err(format!("{mismatches} socket answers diverged from serve_one").into());
+    }
+
+    if let Some(path) = &args.bench_json {
+        let statuses_json = JsonValue::Object(
+            statuses
+                .iter()
+                .map(|(c, n)| (c.to_string(), JsonValue::from(*n as usize)))
+                .collect(),
+        );
+        let rejects: u64 = statuses
+            .iter()
+            .filter(|(c, _)| *c != 200)
+            .map(|(_, n)| *n)
+            .sum();
+        let record = problp::bench::BenchRecord {
+            scenario: "gateway".to_string(),
+            requests: trace.len() as u64,
+            throughput_rps: trace.len() as f64 / drive_total.as_secs_f64(),
+            latency: Some(latency.snapshot()),
+            rejects,
+            extra: vec![
+                ("models".to_string(), JsonValue::from(tenants.len())),
+                (
+                    "http_workers".to_string(),
+                    JsonValue::from(args.http_workers.max(1)),
+                ),
+                ("identical".to_string(), JsonValue::from(identical)),
+                ("statuses".to_string(), statuses_json),
+            ],
+        };
+        let text = record.to_json().render_pretty();
+        problp::bench::validate_bench_json(&text)
+            .map_err(|e| format!("emitted bench record is invalid: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("  wrote {}", path.display());
+    }
+
+    if args.linger_ms > 0 {
+        std::thread::sleep(Duration::from_millis(args.linger_ms));
+    }
+    gateway.shutdown();
+    drop(server); // the Arc's last drop joins the serve workers
     drop(sidecar);
     Ok(())
 }

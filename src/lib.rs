@@ -123,6 +123,7 @@ pub use problp_core as core;
 pub use problp_data as data;
 pub use problp_energy as energy;
 pub use problp_engine as engine;
+pub use problp_engine::serve::gateway;
 pub use problp_hw as hw;
 pub use problp_num as num;
 pub use problp_telemetry as telemetry;
@@ -138,8 +139,8 @@ pub mod prelude {
     pub use problp_conformance::{run_conformance, ConformanceConfig, ConformanceReport};
     pub use problp_core::{measure_errors, Problp, Report};
     pub use problp_engine::{
-        CircuitPool, Engine, Priority, ServeConfig, ServeRequest, ServeResponse, Server,
-        ServerStats, Tape, TapeMode,
+        CircuitPool, Engine, Gateway, GatewayConfig, Priority, ServeConfig, ServeRequest,
+        ServeResponse, Server, ServerStats, Tape, TapeMode,
     };
     pub use problp_hw::{emit_testbench, emit_verilog, Netlist, PipelineSim};
     pub use problp_num::{
